@@ -1,0 +1,202 @@
+// §4 "Rule Quality Evaluation": the three methods and their trade-offs.
+//   1. one shared validation set  — cheap per rule, blind to tail rules;
+//   2. per-rule crowd samples     — accurate but costly; overlap-aware
+//      sampling (ref [18]) recovers much of the cost;
+//   3. whole-module estimate      — cheapest, coarsest.
+// Plus the §5.3 impactful-rule alerting policy.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/chimera/analyst.h"
+#include "src/data/catalog_generator.h"
+#include "src/engine/rule_classifier.h"
+#include "src/eval/module_eval.h"
+#include "src/eval/per_rule_eval.h"
+#include "src/eval/tracker.h"
+#include "src/eval/validation_set.h"
+
+namespace {
+
+using namespace rulekit;
+
+// True precision of each whitelist rule, from ground truth (the yardstick
+// the methods are judged against; the production system never has this).
+std::map<std::string, double> TruePrecision(
+    const rules::RuleSet& set, const std::vector<data::LabeledItem>& corpus) {
+  std::map<std::string, double> out;
+  for (const auto& rule : set.rules()) {
+    if (!rule.is_active() ||
+        rule.kind() != rules::RuleKind::kWhitelist) {
+      continue;
+    }
+    size_t touched = 0, correct = 0;
+    for (const auto& li : corpus) {
+      if (!rule.Applies(li.item)) continue;
+      ++touched;
+      if (li.label == rule.target_type()) ++correct;
+    }
+    out[rule.id()] = touched == 0 ? 1.0
+                                  : static_cast<double>(correct) / touched;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("bench_eval_methods",
+                "§4 Rule Quality Evaluation — the three methods");
+
+  data::GeneratorConfig config;
+  config.seed = 1006;
+  config.num_types = 25;
+  data::CatalogGenerator gen(config);
+  chimera::SimulatedAnalyst analyst(gen);
+
+  // A realistic mixed-quality rule set: analyst rules for every type plus
+  // a few deliberately sloppy rules.
+  auto set = std::make_shared<rules::RuleSet>();
+  for (const auto& spec : gen.specs()) {
+    for (auto& r : analyst.WriteRulesForType(spec.name, 4)) {
+      (void)set->Add(std::move(r));
+    }
+  }
+  (void)set->Add(*rules::Rule::Whitelist("sloppy-1", "premium", "rings"));
+  (void)set->Add(*rules::Rule::Whitelist("sloppy-2", "deluxe",
+                                         "athletic gloves"));
+  (void)set->Add(*rules::Rule::Whitelist(
+      "sloppy-3", "classic", gen.specs()[3].name));
+
+  auto corpus = gen.GenerateMany(20000);
+  auto truth = TruePrecision(*set, corpus);
+  std::printf("rule set: %zu active rules over a %zu-item corpus\n",
+              set->CountActive(), corpus.size());
+
+  auto error_vs_truth =
+      [&](const std::map<std::string, crowd::PrecisionEstimate>& est) {
+        double sum = 0;
+        size_t n = 0;
+        for (const auto& [id, e] : est) {
+          auto it = truth.find(id);
+          if (it == truth.end() || e.sample_size == 0) continue;
+          sum += std::fabs(e.estimate - it->second);
+          ++n;
+        }
+        return n == 0 ? 1.0 : sum / static_cast<double>(n);
+      };
+
+  std::printf("\n  %-34s %-10s %-12s %-10s\n", "method", "questions",
+              "rules-cov", "mean |err|");
+
+  // Method 1: shared validation set (cost = labels, not crowd questions).
+  {
+    std::vector<data::LabeledItem> validation(corpus.begin(),
+                                              corpus.begin() + 2000);
+    auto report = eval::EvaluateOnValidationSet(*set, validation);
+    std::map<std::string, crowd::PrecisionEstimate> estimates;
+    for (const auto& r : report.per_rule) {
+      if (r.evaluable) estimates[r.rule_id] = r.estimate;
+    }
+    std::printf("  %-34s %-10zu %zu/%-10zu %-10.3f\n",
+                "1. shared validation set (2000)", report.labeling_cost,
+                report.evaluable_rules,
+                report.evaluable_rules + report.tail_rules,
+                error_vs_truth(estimates));
+    std::printf("     tail rules it cannot evaluate: %zu\n",
+                report.tail_rules);
+  }
+
+  // Method 2: per-rule sampling, independent vs overlap-aware.
+  eval::PerRuleEvalConfig pr_config;
+  pr_config.samples_per_rule = 20;
+  size_t independent_cost = 0;
+  {
+    crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+    pr_config.exploit_overlap = false;
+    auto report = eval::EvaluatePerRule(*set, corpus, crowd, pr_config);
+    independent_cost = report.crowd_questions;
+    std::printf("  %-34s %-10zu %zu/%-10zu %-10.3f\n",
+                "2a. per-rule, independent", report.crowd_questions,
+                report.per_rule.size() - report.under_sampled_rules,
+                report.per_rule.size(), error_vs_truth(report.per_rule));
+  }
+  {
+    crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+    pr_config.exploit_overlap = true;
+    auto report = eval::EvaluatePerRule(*set, corpus, crowd, pr_config);
+    std::printf("  %-34s %-10zu %zu/%-10zu %-10.3f\n",
+                "2b. per-rule, overlap-aware [18]", report.crowd_questions,
+                report.per_rule.size() - report.under_sampled_rules,
+                report.per_rule.size(), error_vs_truth(report.per_rule));
+    double saving = independent_cost == 0
+                        ? 0.0
+                        : 100.0 * (1.0 - static_cast<double>(
+                                             report.crowd_questions) /
+                                             independent_cost);
+    std::printf("     overlap sampling saves %.0f%% of the questions\n",
+                saving);
+  }
+
+  // Method 2c: sequential per-rule evaluation against the deploy bar —
+  // resolves clearly-good and clearly-bad rules with far fewer questions
+  // than a fixed sample, at the cost of answering a coarser question
+  // ("above/below 0.92?" rather than "what is the precision?").
+  {
+    crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+    size_t above = 0, below = 0, unresolved = 0;
+    for (const auto& rule : set->rules()) {
+      if (rule.kind() != rules::RuleKind::kWhitelist) continue;
+      auto decision = eval::EvaluateRuleUntilResolved(
+          rule, corpus, crowd, /*precision_bar=*/0.92, /*max_samples=*/60);
+      switch (decision.verdict) {
+        case eval::SequentialDecision::Verdict::kAbove: ++above; break;
+        case eval::SequentialDecision::Verdict::kBelow: ++below; break;
+        default: ++unresolved;
+      }
+    }
+    std::printf("  %-34s %-10zu %-12s %-10s\n",
+                "2c. per-rule, sequential @0.92", crowd.num_tasks(),
+                "(verdicts)", "n/a");
+    std::printf("     verdicts: %zu above bar, %zu below, %zu unresolved "
+                "at 60-sample cap\n",
+                above, below, unresolved);
+  }
+
+  // Method 3: module-level.
+  {
+    crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+    engine::RuleBasedClassifier module(set);
+    auto report = eval::EvaluateModule(module, corpus, crowd, 300);
+    std::printf("  %-34s %-10zu %-12s %-10s\n", "3. whole-module estimate",
+                report.crowd_questions, "(module)", "n/a");
+    std::printf("     module precision estimate: %.3f (CI %.3f-%.3f)\n",
+                report.estimate.estimate, report.estimate.lower,
+                report.estimate.upper);
+  }
+  bench::PaperNote("none of the three methods is satisfactory: the shared "
+                   "set misses tail rules,");
+  bench::PaperNote("per-rule crowdsourcing of tens of thousands of rules is "
+                   "prohibitive, and the");
+  bench::PaperNote("module estimate gives up per-rule accountability.");
+
+  // §5.3 impactful-rule tracking.
+  bench::Section("§5.3 budgeted evaluation: alert when unevaluated rules "
+                 "become impactful");
+  eval::ImpactTracker tracker(/*impact_threshold=*/200);
+  std::vector<data::ProductItem> stream;
+  for (const auto& li : corpus) stream.push_back(li.item);
+  tracker.RecordBatch(*set, stream);
+  auto alerts = tracker.PendingAlerts();
+  std::printf("  rules over the %d-match impact threshold and never "
+              "evaluated: %zu\n",
+              200, alerts.size());
+  for (size_t i = 0; i < alerts.size() && i < 5; ++i) {
+    std::printf("    %-28s %zu matches\n", alerts[i].rule_id.c_str(),
+                alerts[i].matches);
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Reproduces the §3.3 deployment claims about Chimera:
+//   - the learning-only first solution "did not reach the required 92%
+//     precision threshold";
+//   - adding rules "significantly helps improve both precision and
+//     recall, with precision consistently in the range 92-93%";
+//   - rule mix: 15,058 whitelist + 5,401 blacklist (≈74%/26%);
+//   - ~30% of types had insufficient training data and were "handled
+//     primarily by the rule-based and attribute/value-based classifiers".
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/chimera/analyst.h"
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/ml/metrics.h"
+
+namespace {
+
+using namespace rulekit;
+
+struct ConfigResult {
+  ml::EvalSummary summary;
+  size_t whitelist = 0;
+  size_t blacklist = 0;
+};
+
+ml::EvalSummary Evaluate(const chimera::ChimeraPipeline& pipeline,
+                         const std::vector<data::LabeledItem>& batch) {
+  std::vector<data::ProductItem> items;
+  for (const auto& li : batch) items.push_back(li.item);
+  auto report = pipeline.ProcessBatch(items);
+  std::vector<ml::Observation> obs;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    obs.push_back({batch[i].label, report.predictions[i]});
+  }
+  return ml::Summarize(obs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("bench_sec33_chimera",
+                "§3.3 — learning-only vs rules-only vs learning+rules");
+
+  data::GeneratorConfig config;
+  config.seed = 1033;
+  config.num_types = 30;
+  data::CatalogGenerator gen(config);
+  // First-responder analysts label quickly and imperfectly; the learners
+  // inherit that noise, the rules don't.
+  chimera::AnalystConfig analyst_config;
+  analyst_config.labeling_accuracy = 0.85;
+  chimera::SimulatedAnalyst analyst(gen, analyst_config);
+
+  // Training data exists for only 70% of the types (paper: ~30% of types
+  // had insufficient training data). Noise comes from analyst labeling.
+  std::set<std::string> trained_types;
+  for (size_t t = 0; t < gen.specs().size() * 7 / 10; ++t) {
+    trained_types.insert(gen.specs()[t].name);
+  }
+  std::vector<data::LabeledItem> training;
+  for (const auto& li : analyst.LabelItems(gen.GenerateMany(15000))) {
+    if (trained_types.count(li.label)) training.push_back(li);
+  }
+
+  // Analyst rules for every type (rules are exactly how the uncovered 30%
+  // gets handled), plus error-driven blacklists after a dry run.
+  auto make_rules = [&](chimera::ChimeraPipeline& p) {
+    for (const auto& spec : gen.specs()) {
+      (void)p.AddRules(analyst.WriteRulesForType(spec.name, 3), "analyst");
+    }
+    (void)p.AddRules(analyst.WriteAttributeRules(), "analyst");
+    (void)p.AddRules(analyst.WriteBrandRules(), "analyst");
+  };
+
+  auto eval_batch = gen.GenerateMany(8000);
+
+  bench::Section("configuration comparison (same 8000-item batch)");
+  std::printf("  %-18s %-10s %-10s %-10s %-9s %-9s\n", "config",
+              "precision", "recall", "coverage", "whitelist", "blacklist");
+
+  auto run = [&](const char* name, bool use_rules, bool use_learning) {
+    chimera::PipelineConfig pconfig;
+    pconfig.use_rules = use_rules;
+    pconfig.use_learning = use_learning;
+    chimera::ChimeraPipeline pipeline(pconfig);
+    if (use_rules) make_rules(pipeline);
+    if (use_learning) {
+      pipeline.AddTrainingData(training);
+      pipeline.RetrainLearning();
+    }
+    // One round of error-driven blacklist patching (the analyst's
+    // first-responder move) using a held-out tuning batch.
+    if (use_rules) {
+      auto tune = gen.GenerateMany(2000);
+      std::vector<data::ProductItem> items;
+      for (const auto& li : tune) items.push_back(li.item);
+      auto report = pipeline.ProcessBatch(items);
+      std::vector<chimera::Misclassification> errors;
+      for (size_t i = 0; i < tune.size(); ++i) {
+        if (report.predictions[i].has_value() &&
+            *report.predictions[i] != tune[i].label) {
+          errors.push_back({tune[i].item, *report.predictions[i],
+                            tune[i].label});
+        }
+      }
+      (void)pipeline.AddRules(analyst.WriteBlacklistsForErrors(errors),
+                              "analyst");
+    }
+    auto summary = Evaluate(pipeline, eval_batch);
+    size_t wl = pipeline.rule_set().CountActiveOfKind(
+        rules::RuleKind::kWhitelist);
+    size_t bl = pipeline.rule_set().CountActiveOfKind(
+        rules::RuleKind::kBlacklist);
+    std::printf("  %-18s %-10.3f %-10.3f %-10.3f %-9zu %-9zu\n", name,
+                summary.precision(), summary.recall(), summary.coverage(),
+                wl, bl);
+    return ConfigResult{summary, wl, bl};
+  };
+
+  auto learning_only = run("learning-only", false, true);
+  auto rules_only = run("rules-only", true, false);
+  auto combined = run("learning+rules", true, true);
+
+  bench::PaperNote("learning-only missed the 92%% precision bar");
+  bench::PaperNote(
+      "learning+rules: precision 92-93%% over 16M items, recall improved");
+  bench::PaperNote("rule mix: 15,058 whitelist / 5,401 blacklist (74/26)");
+
+  // Types handled only by rules (no training data).
+  bench::Section("types without training data (the rules-only tail)");
+  size_t uncovered = gen.specs().size() - trained_types.size();
+  std::printf("  types with no training data: %zu / %zu (%.0f%%)\n",
+              uncovered, gen.specs().size(),
+              100.0 * uncovered / gen.specs().size());
+  // Recall on those types, learning-only vs combined.
+  std::vector<data::LabeledItem> uncovered_batch;
+  for (const auto& li : eval_batch) {
+    if (!trained_types.count(li.label)) uncovered_batch.push_back(li);
+  }
+  {
+    chimera::PipelineConfig pc;
+    pc.use_rules = false;
+    chimera::ChimeraPipeline p(pc);
+    p.AddTrainingData(training);
+    p.RetrainLearning();
+    auto s = Evaluate(p, uncovered_batch);
+    std::printf("  learning-only recall on them:  %.3f\n", s.recall());
+  }
+  {
+    chimera::ChimeraPipeline p;
+    make_rules(p);
+    p.AddTrainingData(training);
+    p.RetrainLearning();
+    auto s = Evaluate(p, uncovered_batch);
+    std::printf("  learning+rules recall on them: %.3f\n", s.recall());
+  }
+  bench::PaperNote(
+      "~30%% of types were handled primarily by the rule-based and "
+      "attribute/value classifiers");
+
+  std::printf("\nshape check: learning-only < 0.92 precision or clearly "
+              "below combined;\nrules lift recall, especially on types "
+              "without training data; combined\nprecision >= 0.92: %s\n",
+              combined.summary.precision() >= 0.92 &&
+                      combined.summary.recall() >
+                          learning_only.summary.recall()
+                  ? "HOLDS"
+                  : "CHECK");
+  (void)rules_only;
+  return 0;
+}

@@ -1,0 +1,249 @@
+// Reproduces the §5.2 empirical evaluation of rule generation from labeled
+// data (scaled to the synthetic catalog; paper numbers in brackets):
+//   - 885K labeled products / 3707 types  -> mined 874K candidate rules
+//   - selection at alpha=0.7 -> 63K high-confidence + 37K low-confidence
+//   - estimated precision 95% (high) / 92% (low)
+//   - deploying both sets cut the items the system declines to classify
+//     by 18% while keeping precision >= 92%.
+// Also runs the Greedy vs Greedy-Biased ablation from DESIGN.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/chimera/analyst.h"
+#include "src/chimera/pipeline.h"
+#include "src/crowd/crowd.h"
+#include "src/data/catalog_generator.h"
+#include "src/engine/rule_classifier.h"
+#include "src/eval/module_eval.h"
+#include "src/gen/rule_miner.h"
+#include "src/gen/rule_selection.h"
+#include "src/ml/metrics.h"
+
+namespace {
+
+using namespace rulekit;
+
+std::shared_ptr<rules::RuleSet> ToRuleSet(
+    const std::vector<gen::MinedRule>& mined, bool high_confidence,
+    double alpha) {
+  auto set = std::make_shared<rules::RuleSet>();
+  size_t id = 0;
+  for (const auto& r : mined) {
+    if ((r.confidence >= alpha) != high_confidence) continue;
+    auto rule = r.ToRule((high_confidence ? "hi-" : "lo-") +
+                         std::to_string(id++));
+    if (rule.ok()) (void)set->Add(std::move(rule).value());
+  }
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("bench_sec52_rule_mining",
+                "§5.2 empirical evaluation — mining rules from labeled data");
+
+  data::GeneratorConfig config;
+  config.seed = 1052;
+  config.num_types = 40;
+  data::CatalogGenerator generator(config);
+
+  auto labeled = generator.GenerateMany(30000);
+  std::printf("labeled data: %zu items, %zu types  [paper: 885K items, "
+              "3707 types]\n",
+              labeled.size(), generator.specs().size());
+
+  gen::RuleMinerConfig miner_config;
+  miner_config.min_support = 0.005;
+  miner_config.alpha = 0.7;
+  auto outcome = gen::MineRules(labeled, miner_config);
+
+  bench::Section("mining + selection");
+  std::printf("  frequent sequences mined:     %zu\n",
+              outcome.candidates_mined);
+  std::printf("  consistent candidates:        %zu\n",
+              outcome.candidates_consistent);
+  std::printf("  selected rules:               %zu\n",
+              outcome.selected.size());
+  std::printf("  high-confidence (>= %.1f):     %zu (%.0f%%)\n",
+              miner_config.alpha, outcome.num_high_confidence,
+              100.0 * outcome.num_high_confidence /
+                  std::max<size_t>(1, outcome.selected.size()));
+  std::printf("  low-confidence:               %zu (%.0f%%)\n",
+              outcome.num_low_confidence,
+              100.0 * outcome.num_low_confidence /
+                  std::max<size_t>(1, outcome.selected.size()));
+  bench::PaperNote("874K mined -> 63K high (63%%) + 37K low (37%%)");
+
+  // ---- precision of the two sets, crowd-estimated on fresh data ----------
+  bench::Section("precision of the selected rule sets (crowd-estimated)");
+  auto fresh = generator.GenerateMany(8000);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  auto high_set = ToRuleSet(outcome.selected, true, miner_config.alpha);
+  auto low_set = ToRuleSet(outcome.selected, false, miner_config.alpha);
+  engine::RuleBasedClassifier high_module(high_set);
+  engine::RuleBasedClassifier low_module(low_set);
+  auto high_eval = eval::EvaluateModule(high_module, fresh, crowd, 400);
+  auto low_eval = eval::EvaluateModule(low_module, fresh, crowd, 400);
+  std::printf("  high-confidence set: precision %.3f  (CI %.3f-%.3f, "
+              "touches %zu items)\n",
+              high_eval.estimate.estimate, high_eval.estimate.lower,
+              high_eval.estimate.upper, high_eval.items_touched);
+  std::printf("  low-confidence set:  precision %.3f  (CI %.3f-%.3f, "
+              "touches %zu items)\n",
+              low_eval.estimate.estimate, low_eval.estimate.lower,
+              low_eval.estimate.upper, low_eval.items_touched);
+  bench::PaperNote("high = 95%%, low = 92%%; both cleared the 92%% bar");
+
+  // ---- the 18% reduction in unclassified items ----------------------------
+  bench::Section("deploying the mined rules in the classification system");
+  // Baseline system: learning trained on 70% of the types (the paper notes
+  // ~30% of types lacked training data), plus attribute/brand rules.
+  chimera::SimulatedAnalyst analyst(generator);
+  chimera::ChimeraPipeline pipeline;
+  (void)pipeline.AddRules(analyst.WriteAttributeRules(), "analyst");
+  (void)pipeline.AddRules(analyst.WriteBrandRules(), "analyst");
+  std::set<std::string> trained_types;
+  for (size_t t = 0; t < generator.specs().size() * 7 / 10; ++t) {
+    trained_types.insert(generator.specs()[t].name);
+  }
+  std::vector<data::LabeledItem> training;
+  for (const auto& li : labeled) {
+    if (trained_types.count(li.label)) training.push_back(li);
+  }
+  pipeline.AddTrainingData(training);
+  pipeline.RetrainLearning();
+
+  std::vector<data::ProductItem> batch;
+  for (const auto& li : fresh) batch.push_back(li.item);
+  auto before = pipeline.ProcessBatch(batch);
+  std::vector<ml::Observation> obs_before;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    obs_before.push_back({fresh[i].label, before.predictions[i]});
+  }
+  auto sum_before = ml::Summarize(obs_before);
+  size_t unclassified_before = fresh.size() - sum_before.predicted;
+
+  // Deploy every selected mined rule, carrying its set's crowd-validated
+  // precision as the voting confidence — the paper adds the sets only
+  // after their precision estimates cleared the bar, and that estimate is
+  // the system's trust in them.
+  std::vector<rules::Rule> mined_rules;
+  size_t id = 0;
+  for (const auto& mined : outcome.selected) {
+    auto rule = mined.ToRule("mined-" + std::to_string(id++));
+    if (!rule.ok()) continue;
+    rule->metadata().confidence = mined.confidence >= miner_config.alpha
+                                      ? high_eval.estimate.estimate
+                                      : low_eval.estimate.estimate;
+    mined_rules.push_back(std::move(rule).value());
+  }
+  (void)pipeline.AddRules(std::move(mined_rules), "rule-miner");
+
+  auto after = pipeline.ProcessBatch(batch);
+  std::vector<ml::Observation> obs_after;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    obs_after.push_back({fresh[i].label, after.predictions[i]});
+  }
+  auto sum_after = ml::Summarize(obs_after);
+  size_t unclassified_after = fresh.size() - sum_after.predicted;
+
+  double reduction =
+      unclassified_before == 0
+          ? 0.0
+          : 100.0 *
+                (static_cast<double>(unclassified_before) -
+                 static_cast<double>(unclassified_after)) /
+                static_cast<double>(unclassified_before);
+  std::printf("  before: unclassified %zu / %zu, precision %.3f\n",
+              unclassified_before, fresh.size(), sum_before.precision());
+  std::printf("  after:  unclassified %zu / %zu, precision %.3f\n",
+              unclassified_after, fresh.size(), sum_after.precision());
+  std::printf("  reduction in unclassified items: %.1f%%\n", reduction);
+  bench::PaperNote("18%% reduction, precision maintained at >= 92%%");
+
+  // ---- ablation: Greedy vs Greedy-Biased ---------------------------------
+  bench::Section("ablation: Algorithm 1 (Greedy) vs Algorithm 2 (Biased)");
+  // Aggregate over every type, tight quota, using all consistent
+  // candidates.
+  std::map<std::string, std::vector<gen::SelectionCandidate>> per_type;
+  std::map<std::string, size_t> universe_of;
+  {
+    gen::RuleMinerConfig keep_all = miner_config;
+    keep_all.max_rules_per_type = 1u << 30;
+    auto all = gen::MineRules(labeled, keep_all);
+    for (const auto& r : all.selected) {
+      per_type[r.type].push_back({r.confidence, r.covered});
+    }
+    for (const auto& li : labeled) ++universe_of[li.label];
+  }
+  const size_t quota = 10;
+  size_t types_compared = 0, types_differ = 0;
+  double plain_conf_sum = 0, biased_conf_sum = 0;
+  double plain_cov_sum = 0, biased_cov_sum = 0;
+  for (const auto& [type, cands] : per_type) {
+    size_t universe = universe_of[type];
+    auto plain = gen::GreedySelect(cands, universe, quota);
+    auto biased = gen::GreedyBiasedSelect(cands, universe, quota,
+                                          miner_config.alpha);
+    auto mean_conf = [&](const std::vector<size_t>& picked) {
+      double sum = 0;
+      for (size_t i : picked) sum += cands[i].confidence;
+      return picked.empty() ? 0.0 : sum / picked.size();
+    };
+    auto coverage_of = [&](const std::vector<size_t>& picked) {
+      std::set<uint32_t> covered;
+      for (size_t i : picked) {
+        covered.insert(cands[i].covered.begin(), cands[i].covered.end());
+      }
+      return universe == 0
+                 ? 0.0
+                 : static_cast<double>(covered.size()) / universe;
+    };
+    ++types_compared;
+    auto sorted_plain = plain;
+    auto sorted_biased = biased;
+    std::sort(sorted_plain.begin(), sorted_plain.end());
+    std::sort(sorted_biased.begin(), sorted_biased.end());
+    if (sorted_plain != sorted_biased) ++types_differ;
+    plain_conf_sum += mean_conf(plain);
+    biased_conf_sum += mean_conf(biased);
+    plain_cov_sum += coverage_of(plain);
+    biased_cov_sum += coverage_of(biased);
+  }
+  std::printf("  %zu types, quota %zu per type; selections differ for %zu "
+              "types\n",
+              types_compared, quota, types_differ);
+  std::printf("  Greedy:        mean confidence %.3f, mean coverage %.3f\n",
+              plain_conf_sum / types_compared,
+              plain_cov_sum / types_compared);
+  std::printf("  Greedy-Biased: mean confidence %.3f, mean coverage %.3f\n",
+              biased_conf_sum / types_compared,
+              biased_cov_sum / types_compared);
+
+  // Controlled case: one wide low-confidence rule vs narrow
+  // high-confidence ones — the scenario Algorithm 2 was designed for
+  // ("rules with low confidence scores may be selected if they have wide
+  // coverage ... analysts prefer rules with high confidence").
+  std::vector<gen::SelectionCandidate> controlled = {
+      {0.30, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+      {0.95, {0, 1, 2}},
+      {0.95, {3, 4, 5}},
+  };
+  auto plain1 = gen::GreedySelect(controlled, 10, 1);
+  auto biased1 = gen::GreedyBiasedSelect(controlled, 10, 1, 0.7);
+  std::printf("  controlled case (quota 1): Greedy picks conf=%.2f, "
+              "Greedy-Biased picks conf=%.2f\n",
+              controlled[plain1[0]].confidence,
+              controlled[biased1[0]].confidence);
+  std::printf("\nshape check: Greedy-Biased never selects lower-confidence "
+              "rules than Greedy\nfor the same quota, and prefers "
+              "high-confidence rules whenever the pools conflict.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Table 1 (§5.1): sample regexes provided by the analyst to the
+// synonym-finder tool, and the synonyms it finds. The corpus is the
+// synthetic catalog whose type vocabularies seed the same four types.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/data/catalog_generator.h"
+#include "src/gen/synonym_finder.h"
+
+namespace {
+
+using namespace rulekit;
+
+struct Table1Row {
+  const char* type;
+  const char* template_pattern;
+  const char* golden;
+  const char* paper_synonyms;
+};
+
+const Table1Row kRows[] = {
+    {"area rugs", "(area|\\syn) rugs?", "area",
+     "shaw, oriental, drive, novelty, braided, royal, casual, ivory, "
+     "tufted, contemporary, floral"},
+    {"athletic gloves", "(athletic|\\syn) gloves?", "athletic",
+     "impact, football, training, boxing, golf, workout"},
+    {"shorts", "(boys?|\\syn) shorts?", "boys",
+     "denim, knit, cotton blend, elastic, loose fit, classic mesh, cargo, "
+     "carpenter"},
+    {"abrasive wheels & discs", "(abrasive|\\syn) (wheels?|discs?)",
+     "abrasive",
+     "flap, grinding, fiber, sanding, zirconia fiber, abrasive grinding, "
+     "cutter, knot, twisted knot"},
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("bench_table1_synonyms",
+                "Table 1 — sample input regexes and synonyms found");
+
+  data::GeneratorConfig config;
+  config.seed = 1001;
+  data::CatalogGenerator gen(config);
+  std::vector<std::string> titles;
+  for (const auto& li : gen.GenerateMany(30000)) {
+    titles.push_back(li.item.title);
+  }
+  std::printf("corpus: %zu generated titles, %zu types\n", titles.size(),
+              gen.specs().size());
+
+  for (const auto& row : kRows) {
+    bench::Section(row.type);
+    std::printf("  input regex: %s\n", row.template_pattern);
+
+    size_t spec_index = gen.SpecIndexOf(row.type);
+    std::set<std::string> truth;
+    for (const auto& q : gen.specs()[spec_index].qualifiers) {
+      if (q != row.golden) truth.insert(q);
+    }
+
+    auto finder = gen::SynonymFinder::Create(row.template_pattern, titles);
+    if (!finder.ok()) {
+      std::printf("  ERROR: %s\n", finder.status().ToString().c_str());
+      continue;
+    }
+    auto session = gen::RunSynonymSession(
+        *finder, [&](const std::string& p) { return truth.count(p) > 0; },
+        /*max_iterations=*/3);
+
+    std::printf("  synonyms found (%zu, %zu iterations): ",
+                session.found.size(), session.iterations);
+    for (const auto& s : session.found) std::printf("%s, ", s.c_str());
+    std::printf("\n  ground-truth qualifiers recovered: %zu / %zu\n",
+                session.found.size(), truth.size());
+    bench::PaperNote("sample synonyms found: %s", row.paper_synonyms);
+  }
+
+  std::printf("\nshape check: the tool recovers most of each type's seeded "
+              "qualifier vocabulary\nfrom the analyst's one-seed template, "
+              "as Table 1 reports for the production tool.\n");
+  return 0;
+}

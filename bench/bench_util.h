@@ -1,0 +1,39 @@
+#ifndef RULEKIT_BENCH_BENCH_UTIL_H_
+#define RULEKIT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment-reproduction binaries. Each bench
+// prints the paper's reported numbers alongside the measured ones; the
+// reproduction target is the *shape* (who wins, directions, ratios), not
+// absolute magnitudes — see EXPERIMENTS.md.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace rulekit::bench {
+
+inline void Header(const char* experiment, const char* paper_artifact) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+inline void Section(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+inline void PaperNote(const char* fmt, ...) {
+  std::printf("  [paper] ");
+  va_list ap;
+  va_start(ap, fmt);
+  std::vprintf(fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+}
+
+}  // namespace rulekit::bench
+
+#endif  // RULEKIT_BENCH_BENCH_UTIL_H_

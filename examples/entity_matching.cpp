@@ -1,0 +1,79 @@
+// Rule-based entity matching (§6): declarative match rules, token
+// blocking, and per-match explanations over a catalog salted with noisy
+// duplicate listings.
+//
+// Build & run:  ./build/examples/entity_matching
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/data/catalog_generator.h"
+#include "src/em/matcher.h"
+
+int main() {
+  using namespace rulekit;
+
+  data::GeneratorConfig config;
+  config.seed = 17;
+  data::CatalogGenerator gen(config);
+  Rng rng(5);
+
+  // Catalog + planted duplicates.
+  auto originals = gen.GenerateMany(3000);
+  std::vector<data::ProductItem> records;
+  std::set<std::pair<std::string, std::string>> truth;
+  for (const auto& li : originals) records.push_back(li.item);
+  for (size_t i = 0; i < originals.size(); i += 4) {
+    auto dup = em::PerturbItem(originals[i].item, rng);
+    truth.emplace(originals[i].item.id, dup.id);
+    records.push_back(dup);
+  }
+  std::printf("%zu records, %zu planted duplicate pairs\n\n",
+              records.size(), truth.size());
+
+  // The paper's book rule plus a general title-similarity rule.
+  std::vector<em::EmRule> match_rules = {
+      em::EmRule("isbn+title",
+                 {{"ISBN", em::EmOp::kExactEqual, 0.0},
+                  {"Title", em::EmOp::kJaccard3Gram, 0.5}}),
+      em::EmRule("title-sim", {{"Title", em::EmOp::kJaccard3Gram, 0.9}}),
+      em::EmRule("brand+title",
+                 {{"Brand", em::EmOp::kExactEqual, 0.0},
+                  {"Title", em::EmOp::kJaccard3Gram, 0.8}}),
+  };
+  for (const auto& r : match_rules) {
+    std::printf("rule %s\n", r.ToString().c_str());
+  }
+
+  em::EmMatcher matcher(match_rules);
+  em::TokenBlocker blocker;
+  auto candidates = blocker.CandidatePairs(records);
+  auto matches = matcher.MatchAll(records, blocker);
+
+  size_t tp = 0;
+  std::map<std::string, size_t> by_rule;
+  for (const auto& m : matches) {
+    ++by_rule[m.rule_id];
+    auto key = std::make_pair(records[m.left].id, records[m.right].id);
+    auto rev = std::make_pair(records[m.right].id, records[m.left].id);
+    if (truth.count(key) || truth.count(rev)) ++tp;
+  }
+  double precision = matches.empty()
+                         ? 1.0
+                         : static_cast<double>(tp) / matches.size();
+  double recall = truth.empty()
+                      ? 1.0
+                      : static_cast<double>(tp) / truth.size();
+  std::printf("\nblocking: %zu candidate pairs (vs %.0f all-pairs)\n",
+              candidates.size(),
+              0.5 * records.size() * (records.size() - 1));
+  std::printf("matches: %zu  precision=%.3f recall=%.3f\n", matches.size(),
+              precision, recall);
+  std::printf("matches by rule (explainability):\n");
+  for (const auto& [rule_id, count] : by_rule) {
+    std::printf("  %-12s %zu\n", rule_id.c_str(), count);
+  }
+  return 0;
+}

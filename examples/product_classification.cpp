@@ -1,0 +1,91 @@
+// End-to-end Chimera-style ongoing classification over a synthetic
+// product feed: batches arrive, the crowd samples quality, the analyst
+// patches with rules and labels, and an odd vendor triggers the
+// scale-down / repair / restore cycle of §2.2.
+//
+// Build & run:  ./build/examples/product_classification
+
+#include <cstdio>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/feedback_loop.h"
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/ml/metrics.h"
+
+int main() {
+  using namespace rulekit;
+
+  data::GeneratorConfig gen_config;
+  gen_config.seed = 2026;
+  gen_config.num_types = 24;
+  data::CatalogGenerator gen(gen_config);
+
+  chimera::ChimeraPipeline pipeline;
+  chimera::SimulatedAnalyst analyst(gen);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  chimera::QualityMonitor monitor(0.92);
+
+  // Bootstrap: rules for the six most popular types, attribute and brand
+  // rules, and a little initial training data.
+  std::vector<rules::Rule> bootstrap;
+  for (size_t t = 0; t < 6; ++t) {
+    for (auto& r : analyst.WriteRulesForType(gen.specs()[t].name)) {
+      bootstrap.push_back(std::move(r));
+    }
+  }
+  for (auto& r : analyst.WriteAttributeRules()) bootstrap.push_back(std::move(r));
+  for (auto& r : analyst.WriteBrandRules()) bootstrap.push_back(std::move(r));
+  if (auto st = pipeline.AddRules(std::move(bootstrap), "bootstrap");
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  pipeline.AddTrainingData(analyst.LabelItems(gen.GenerateMany(1500)));
+  pipeline.RetrainLearning();
+
+  chimera::FeedbackLoopConfig loop_config;
+  loop_config.precision_threshold = 0.92;
+  chimera::FeedbackLoop loop(pipeline, analyst, crowd, loop_config);
+
+  std::printf("%-8s %-6s %-10s %-10s %-8s %-8s\n", "batch", "items",
+              "precision", "recall", "rules", "accepted");
+  for (size_t batch_no = 1; batch_no <= 5; ++batch_no) {
+    auto batch = gen.GenerateMany(1200);
+    auto result = loop.RunBatch(batch);
+    const auto& q = result.final_quality;
+    std::printf("%-8zu %-6zu %-10.3f %-10.3f %-8zu %-8s\n", batch_no,
+                batch.size(), q.precision(), q.recall(),
+                pipeline.rule_set().CountActive(),
+                result.accepted ? "yes" : "NO");
+    chimera::BatchQuality quality;
+    quality.batch_index = batch_no;
+    quality.precision = result.iterations.back().sampled_precision;
+    quality.recall = q.recall();
+    monitor.Record(quality);
+  }
+
+  // An odd vendor arrives: new vocabulary, rules suddenly miss (§2.2).
+  std::printf("\nodd vendor batch arrives (renamed head nouns):\n");
+  auto vendor = gen.MakeOddVendor(6);
+  auto odd_batch = gen.GenerateVendorBatch(1000, vendor);
+  auto odd_result = loop.RunBatch(odd_batch);
+  std::printf("  precision=%.3f recall=%.3f accepted=%s\n",
+              odd_result.final_quality.precision(),
+              odd_result.final_quality.recall(),
+              odd_result.accepted ? "yes" : "NO");
+
+  // Scale down the worst-hit type, then restore after the incident.
+  uint64_t checkpoint = pipeline.repository().Checkpoint("oncall");
+  const std::string& victim = gen.specs()[0].name;
+  pipeline.ScaleDownType(victim, "oncall", "odd vendor vocabulary");
+  std::printf("\nscaled down '%s': active rules now %zu\n", victim.c_str(),
+              pipeline.rule_set().CountActive());
+  (void)pipeline.repository().RestoreCheckpoint(checkpoint, "oncall");
+  pipeline.ScaleUpType(victim);
+  std::printf("restored checkpoint: active rules %zu, audit entries %zu\n",
+              pipeline.rule_set().CountActive(),
+              pipeline.repository().audit_log().size());
+  return 0;
+}

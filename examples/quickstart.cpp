@@ -1,0 +1,84 @@
+// Quickstart: author classification rules in the DSL, build the two rule
+// classifiers, and classify a handful of product items.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "src/data/product.h"
+#include "src/engine/rule_classifier.h"
+#include "src/rules/rule_parser.h"
+
+int main() {
+  using namespace rulekit;
+
+  // The rule language of §4, including the paper's own examples.
+  const char* dsl = R"(
+# whitelist: title matches regex  => type
+whitelist rings1:  rings? => rings
+whitelist rings2:  wedding bands? => rings
+whitelist oil1:    (motor | engine) oils? => motor oil
+whitelist jeans1:  denim.*jeans? => jeans
+# blacklist: title matches regex  => NOT type
+blacklist rings3:  toe rings? => rings
+# attribute rules
+attr     books1:   has(ISBN) => books
+attrval  apple1:   Brand = "apple" => smart phones | laptop computers
+# predicate rules ("if the title contains 'Apple' but the price is less
+# than $100 then the product is not a phone")
+pred     apple2:   title has "apple" and price < 100 => not smart phones
+)";
+
+  auto parsed = rules::ParseRuleSet(dsl);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "rule parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto rule_set =
+      std::make_shared<rules::RuleSet>(std::move(parsed).value());
+  std::printf("loaded %zu rules (%zu whitelist, %zu blacklist)\n\n",
+              rule_set->CountActive(),
+              rule_set->CountActiveOfKind(rules::RuleKind::kWhitelist),
+              rule_set->CountActiveOfKind(rules::RuleKind::kBlacklist));
+
+  engine::RuleBasedClassifier title_rules(rule_set);
+  engine::AttrValueClassifier attr_rules(rule_set);
+
+  auto classify = [&](const data::ProductItem& item) {
+    auto from_title = title_rules.Predict(item);
+    auto from_attrs = attr_rules.Predict(item);
+    const ml::ScoredLabel* best = nullptr;
+    if (!from_title.empty()) best = &from_title.front();
+    if (!from_attrs.empty() &&
+        (best == nullptr || from_attrs.front().score > best->score)) {
+      best = &from_attrs.front();
+    }
+    std::printf("  %-55s -> %s\n", item.title.c_str(),
+                best != nullptr ? best->label.c_str() : "(unclassified)");
+  };
+
+  data::ProductItem ring;
+  ring.title = "Always & Forever Platinaire Diamond Accent Ring";
+  data::ProductItem toe_ring;
+  toe_ring.title = "adjustable silver toe ring";
+  data::ProductItem oil;
+  oil.title = "Castrol GTX Motor Oil 5w-30, 5 Quart";
+  data::ProductItem book;
+  book.title = "The Silent Patient";
+  book.SetAttribute("ISBN", "9781250301697");
+  data::ProductItem phone_case;
+  phone_case.title = "protective case for apple iphone";
+  phone_case.SetAttribute("Brand", "apple");
+  phone_case.SetAttribute("Price", "12.99");
+
+  std::printf("classifying:\n");
+  classify(ring);
+  classify(toe_ring);   // whitelist proposes, blacklist vetoes
+  classify(oil);
+  classify(book);       // attribute rule
+  classify(phone_case); // attrval proposes, predicate rule vetoes phones
+
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Rule authoring with the §5.1 synonym finder: an analyst starts from
+// "(area | \syn) rugs?", the tool mines and ranks candidate synonyms from
+// the catalog, and a scripted analyst accepts/rejects batches until the
+// rule is expanded.
+//
+// Build & run:  ./build/examples/rule_authoring
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/data/catalog_generator.h"
+#include "src/gen/synonym_finder.h"
+
+int main() {
+  using namespace rulekit;
+
+  data::GeneratorConfig config;
+  config.seed = 7;
+  data::CatalogGenerator gen(config);
+
+  // Development corpus of titles.
+  std::vector<std::string> titles;
+  for (const auto& li : gen.GenerateMany(20000)) {
+    titles.push_back(li.item.title);
+  }
+
+  // Ground truth the scripted analyst consults: the generator's qualifier
+  // vocabulary for "area rugs" (minus the golden seed "area").
+  size_t rug_spec = gen.SpecIndexOf("area rugs");
+  std::set<std::string> truth(gen.specs()[rug_spec].qualifiers.begin(),
+                              gen.specs()[rug_spec].qualifiers.end());
+  truth.erase("area");
+
+  auto finder = gen::SynonymFinder::Create("(area|\\syn) rugs?", titles);
+  if (!finder.ok()) {
+    std::fprintf(stderr, "%s\n", finder.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("template: (area|\\syn) rugs?\n");
+  std::printf("candidates mined from %zu titles: %zu\n\n", titles.size(),
+              finder->num_candidates());
+
+  size_t iteration = 0;
+  while (!finder->exhausted() && iteration < 5) {
+    auto batch = finder->NextBatch();
+    if (batch.empty()) break;
+    ++iteration;
+    std::printf("--- iteration %zu (top %zu candidates) ---\n", iteration,
+                batch.size());
+    std::vector<std::string> accepted, rejected;
+    for (const auto& cand : batch) {
+      bool is_synonym = truth.count(cand.phrase) > 0;
+      std::printf("  %-22s score=%.3f matches=%-4zu -> %s\n",
+                  cand.phrase.c_str(), cand.score, cand.num_matches,
+                  is_synonym ? "ACCEPT" : "reject");
+      (is_synonym ? accepted : rejected).push_back(cand.phrase);
+    }
+    finder->ProvideFeedback(accepted, rejected);
+    if (accepted.empty() && iteration > 2) break;  // analyst loses patience
+  }
+
+  std::printf("\nsynonyms found (%zu): ", finder->accepted().size());
+  for (const auto& s : finder->accepted()) std::printf("%s ", s.c_str());
+  std::printf("\nexpanded rule: %s => area rugs\n",
+              finder->ExpandedPattern().c_str());
+  return 0;
+}

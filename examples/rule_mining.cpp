@@ -1,0 +1,70 @@
+// §5.2 rule generation from labeled data: mine frequent token sequences,
+// score and select rules with Greedy-Biased, and show how the mined rule
+// module lifts coverage of items the deployed system declined.
+//
+// Build & run:  ./build/examples/rule_mining
+
+#include <cstdio>
+#include <memory>
+
+#include "src/data/catalog_generator.h"
+#include "src/engine/rule_classifier.h"
+#include "src/gen/rule_miner.h"
+#include "src/ml/metrics.h"
+
+int main() {
+  using namespace rulekit;
+
+  data::GeneratorConfig config;
+  config.seed = 11;
+  config.num_types = 20;
+  data::CatalogGenerator gen(config);
+
+  auto training = gen.GenerateMany(20000);
+  std::printf("training data: %zu labeled items, %zu types\n",
+              training.size(), gen.specs().size());
+
+  gen::RuleMinerConfig miner_config;
+  miner_config.min_support = 0.01;
+  auto outcome = gen::MineRules(training, miner_config);
+  std::printf("frequent sequences mined:   %zu\n", outcome.candidates_mined);
+  std::printf("consistent rule candidates: %zu\n",
+              outcome.candidates_consistent);
+  std::printf("selected (greedy-biased):   %zu  (%zu high-conf, %zu "
+              "low-conf at alpha=%.2f)\n\n",
+              outcome.selected.size(), outcome.num_high_confidence,
+              outcome.num_low_confidence, miner_config.alpha);
+
+  std::printf("sample mined rules:\n");
+  for (size_t i = 0; i < outcome.selected.size() && i < 8; ++i) {
+    const auto& r = outcome.selected[i];
+    std::printf("  %-40s => %-22s conf=%.2f support=%.3f\n",
+                r.Pattern().c_str(), r.type.c_str(), r.confidence,
+                r.support);
+  }
+
+  // Deploy the mined rules as a rule-based module and measure coverage and
+  // precision on fresh data.
+  auto rule_set = std::make_shared<rules::RuleSet>();
+  size_t id = 0;
+  for (const auto& mined : outcome.selected) {
+    auto rule = mined.ToRule("mined-" + std::to_string(id++));
+    if (rule.ok()) (void)rule_set->Add(std::move(rule).value());
+  }
+  engine::RuleBasedClassifier module(rule_set);
+
+  auto test = gen.GenerateMany(5000);
+  std::vector<ml::Observation> observations;
+  for (const auto& li : test) {
+    auto scored = module.Predict(li.item);
+    observations.push_back(
+        {li.label, scored.empty()
+                       ? std::nullopt
+                       : std::make_optional(scored.front().label)});
+  }
+  auto summary = ml::Summarize(observations);
+  std::printf("\nmined-rule module on %zu fresh items:\n", test.size());
+  std::printf("  coverage=%.3f precision=%.3f recall=%.3f\n",
+              summary.coverage(), summary.precision(), summary.recall());
+  return 0;
+}

@@ -1,0 +1,134 @@
+// An interactive-ish rule-management shell over a RuleRepository, the kind
+// of tool a domain analyst drives day to day. Reads commands from stdin
+// (or runs a scripted demo when stdin is a TTY/empty):
+//
+//   add <dsl line>            add a rule (audited)
+//   disable <id> | enable <id> | retire <id>
+//   classify <title>          classify a title with the current rules
+//   list                      print active rules
+//   history <id>              audit history of a rule
+//   subsumed                  run the subsumption advisor
+//   save <path> | load <path>
+//   quit
+//
+// Build & run:  echo 'classify diamond ring' | ./build/examples/rule_shell
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/chimera/pipeline.h"
+#include "src/maint/subsumption.h"
+#include "src/rules/rule_parser.h"
+
+namespace {
+
+using namespace rulekit;
+
+const char* ActionName(rules::AuditAction action) {
+  switch (action) {
+    case rules::AuditAction::kAdd: return "add";
+    case rules::AuditAction::kDisable: return "disable";
+    case rules::AuditAction::kEnable: return "enable";
+    case rules::AuditAction::kRetire: return "retire";
+    case rules::AuditAction::kSetConfidence: return "set-confidence";
+    case rules::AuditAction::kCheckpoint: return "checkpoint";
+    case rules::AuditAction::kRestore: return "restore";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  chimera::ChimeraPipeline pipeline;
+
+  // A starter rule set so `classify` works out of the box.
+  auto seed = rules::ParseRules(R"(
+whitelist rings1: rings? => rings
+whitelist oil1: (motor | engine) oils? => motor oil
+blacklist rings2: toe rings? => rings
+attr books1: has(ISBN) => books
+)");
+  if (seed.ok()) (void)pipeline.AddRules(std::move(seed).value(), "seed");
+
+  std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
+              "enable, retire,\nclassify, list, history, subsumed, save, "
+              "load, quit\n",
+              pipeline.rule_set().CountActive());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    std::string rest;
+    std::getline(in, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+    if (cmd.empty() || cmd == "#") continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "add") {
+      auto parsed = rules::ParseRules(rest);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto st = pipeline.AddRules(std::move(parsed).value(), "shell-user");
+      std::printf("%s\n", st.ok() ? "added" : st.ToString().c_str());
+    } else if (cmd == "disable" || cmd == "enable" || cmd == "retire") {
+      Status st = cmd == "disable"
+                      ? pipeline.repository().Disable(rest, "shell-user",
+                                                      "via shell")
+                      : cmd == "enable"
+                            ? pipeline.repository().Enable(rest,
+                                                           "shell-user")
+                            : pipeline.repository().Retire(rest,
+                                                           "shell-user",
+                                                           "via shell");
+      pipeline.RebuildRules();
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "classify") {
+      data::ProductItem item;
+      item.title = rest;
+      auto result = pipeline.Classify(item);
+      std::printf("%s -> %s\n", rest.c_str(),
+                  result.has_value() ? result->c_str() : "(unclassified)");
+    } else if (cmd == "list") {
+      std::printf("%s", pipeline.rule_set().ToDsl().c_str());
+    } else if (cmd == "history") {
+      for (const auto& e : pipeline.repository().HistoryOf(rest)) {
+        std::printf("  t=%llu %-14s by %-12s %s\n",
+                    static_cast<unsigned long long>(e.timestamp),
+                    ActionName(e.action), e.author.c_str(),
+                    e.detail.c_str());
+      }
+    } else if (cmd == "subsumed") {
+      auto report = maint::FindSubsumedRules(pipeline.rule_set());
+      if (report.findings.empty()) std::printf("no subsumed rules\n");
+      for (const auto& f : report.findings) {
+        std::printf("  %s subsumed by %s%s\n", f.subsumed.c_str(),
+                    f.by.c_str(), f.equivalent ? " (equivalent)" : "");
+      }
+    } else if (cmd == "save") {
+      auto st = pipeline.repository().SaveToFile(rest);
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    } else if (cmd == "load") {
+      auto loaded = rules::RuleRepository::LoadFromFile(rest);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        continue;
+      }
+      std::vector<rules::Rule> rules_to_add(
+          loaded->rules().rules().begin(), loaded->rules().rules().end());
+      auto st = pipeline.AddRules(std::move(rules_to_add), "loader");
+      std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    } else {
+      std::printf("unknown command '%s'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

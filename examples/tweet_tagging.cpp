@@ -1,0 +1,136 @@
+// Event detection in a tweet stream with rules (§6 "Event Detection and
+// Monitoring in Social Media", the Kosmix Tweetbeat story): dictionary
+// rules tag tweets with live events, blacklist rules drop junk, and when
+// the system starts showing unrelated tweets for an event the analysts
+// "scale it down" by making the rules more conservative — all with the
+// same rule machinery the product classifier uses.
+//
+// Build & run:  ./build/examples/tweet_tagging
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/product.h"
+#include "src/engine/rule_classifier.h"
+#include "src/rules/dictionary_registry.h"
+#include "src/rules/rule_parser.h"
+
+namespace {
+
+using namespace rulekit;
+
+// A tweet re-uses ProductItem: the text is the title; metadata (author,
+// follower count) are attributes the rules can reference.
+data::ProductItem MakeTweet(std::string text, std::string author,
+                            int followers) {
+  data::ProductItem tweet;
+  tweet.title = std::move(text);
+  tweet.SetAttribute("Author", std::move(author));
+  tweet.SetAttribute("Followers", std::to_string(followers));
+  return tweet;
+}
+
+std::vector<data::ProductItem> SynthesizeStream(Rng& rng, size_t n) {
+  const char* kGameTemplates[] = {
+      "touchdown!! packers marching now",
+      "what a pass from rodgers to the end zone",
+      "lambeau field is going wild right now",
+      "packers defense holding strong in the 4th",
+  };
+  const char* kOscarsTemplates[] = {
+      "red carpet looks are unreal tonight #oscars",
+      "best picture nominees announced at the academy awards",
+      "that acceptance speech had me in tears",
+  };
+  const char* kNoiseTemplates[] = {
+      "just had the best sandwich of my life",
+      "monday again... coffee please",
+      "check out my soundcloud mix",
+      "packers of value bundles at the store lol",  // ambiguous troll
+  };
+  std::vector<data::ProductItem> stream;
+  for (size_t i = 0; i < n; ++i) {
+    double r = rng.NextDouble();
+    const char* text =
+        r < 0.35
+            ? kGameTemplates[rng.Uniform(std::size(kGameTemplates))]
+            : r < 0.55
+                  ? kOscarsTemplates[rng.Uniform(std::size(kOscarsTemplates))]
+                  : kNoiseTemplates[rng.Uniform(std::size(kNoiseTemplates))];
+    stream.push_back(MakeTweet(text, "user" + std::to_string(i % 97),
+                               static_cast<int>(rng.Uniform(100000))));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+
+  // Event dictionaries curated by analysts (the KB behind the rules).
+  rules::DictionaryRegistry dicts;
+  dicts.RegisterPhrases("packers game",
+                        {"packers", "rodgers", "lambeau", "touchdown"});
+  dicts.RegisterPhrases("oscars night",
+                        {"oscars", "red carpet", "academy awards",
+                         "best picture", "acceptance speech"});
+
+  // Tagging rules. The blacklist makes the game tag conservative for the
+  // known confusion ("packers of value bundles"); low-follower spam is
+  // dropped by a predicate veto.
+  const char* dsl = R"(
+pred game1:   title anyof dict(packers game) => packers-game
+pred oscars1: title anyof dict(oscars night) => oscars-night
+pred junk1:   title has "value bundles" => not packers-game
+pred junk2:   title has "soundcloud" and attr(Followers) ~ "^\d{1,2}$" => not packers-game
+)";
+  auto parsed = rules::ParseRuleSet(dsl, &dicts);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto rule_set =
+      std::make_shared<rules::RuleSet>(std::move(parsed).value());
+  engine::AttrValueClassifier tagger(rule_set);
+
+  auto stream = SynthesizeStream(rng, 3000);
+  size_t game = 0, oscars = 0, untagged = 0, bundle_vetoed = 0;
+  for (const auto& tweet : stream) {
+    auto tags = tagger.Predict(tweet);
+    if (tags.empty()) {
+      ++untagged;
+      if (tweet.title.find("value bundles") != std::string::npos) {
+        ++bundle_vetoed;
+      }
+    } else if (tags.front().label == "packers-game") {
+      ++game;
+    } else {
+      ++oscars;
+    }
+  }
+  std::printf("stream of %zu tweets:\n", stream.size());
+  std::printf("  tagged packers-game: %zu\n", game);
+  std::printf("  tagged oscars-night: %zu\n", oscars);
+  std::printf("  untagged:            %zu (incl. %zu 'value bundle' "
+              "confusions vetoed)\n",
+              untagged, bundle_vetoed);
+
+  // Something goes wrong mid-event: the game tag starts pulling unrelated
+  // tweets (say the dictionaries drifted). Scale it down instantly.
+  (void)rule_set->Disable("game1");
+  engine::AttrValueClassifier conservative(rule_set);
+  size_t still_game = 0;
+  for (const auto& tweet : stream) {
+    auto tags = conservative.Predict(tweet);
+    if (!tags.empty() && tags.front().label == "packers-game") ++still_game;
+  }
+  std::printf("\nafter scaling the game tag down: %zu game-tagged tweets "
+              "(was %zu)\n",
+              still_game, game);
+  std::printf("re-enable when repaired: rules are compositional, nothing "
+              "else moved.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "src/chimera/analyst.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace rulekit::chimera {
+
+SimulatedAnalyst::SimulatedAnalyst(const data::CatalogGenerator& generator,
+                                   AnalystConfig config)
+    : generator_(generator), config_(config), rng_(config.seed) {}
+
+std::string SimulatedAnalyst::FreshRuleId(const std::string& prefix) {
+  return prefix + "-" + std::to_string(next_id_++);
+}
+
+std::string SimulatedAnalyst::NounAlternation(
+    const std::vector<std::string>& nouns) {
+  // Collapse {x, xs} pairs to "xs?" and escape the rest.
+  std::set<std::string> pool(nouns.begin(), nouns.end());
+  std::vector<std::string> branches;
+  for (const auto& noun : nouns) {
+    if (pool.count(noun) == 0) continue;  // consumed by a pair
+    std::string plural = noun + "s";
+    if (pool.count(plural) > 0) {
+      pool.erase(plural);
+      branches.push_back(RegexEscape(noun) + "s?");
+    } else if (!noun.empty() && noun.back() == 's' &&
+               pool.count(noun.substr(0, noun.size() - 1)) > 0) {
+      continue;  // singular present; the pair is handled there
+    } else {
+      branches.push_back(RegexEscape(noun));
+    }
+    pool.erase(noun);
+  }
+  return "(" + Join(branches, "|") + ")";
+}
+
+std::vector<rules::Rule> SimulatedAnalyst::WriteRulesForType(
+    const std::string& type, size_t max_qualifier_rules) {
+  std::vector<rules::Rule> out;
+  size_t spec_index = generator_.SpecIndexOf(type);
+  if (spec_index == data::CatalogGenerator::kNpos) return out;
+  const data::TypeSpec& spec = generator_.specs()[spec_index];
+  if (spec.head_nouns.empty()) return out;
+
+  std::string nouns = NounAlternation(spec.head_nouns);
+  auto head_rule =
+      rules::Rule::Whitelist(FreshRuleId("wl-" + type), nouns, type);
+  if (head_rule.ok()) {
+    ++rules_written_;
+    out.push_back(std::move(head_rule).value());
+  } else {
+    RULEKIT_LOG(kWarning) << "analyst rule failed to compile: "
+                          << head_rule.status().ToString();
+  }
+
+  size_t qualifier_rules = std::min(max_qualifier_rules,
+                                    spec.qualifiers.size());
+  for (size_t q = 0; q < qualifier_rules; ++q) {
+    std::string pattern = RegexEscape(spec.qualifiers[q]) + ".*" + nouns;
+    auto rule = rules::Rule::Whitelist(FreshRuleId("wl-" + type), pattern,
+                                       type);
+    if (rule.ok()) {
+      ++rules_written_;
+      out.push_back(std::move(rule).value());
+    }
+  }
+  return out;
+}
+
+std::vector<rules::Rule> SimulatedAnalyst::WriteBlacklistsForErrors(
+    const std::vector<Misclassification>& errors) {
+  std::vector<rules::Rule> out;
+  std::set<std::pair<std::string, std::string>> confusions;
+  for (const auto& e : errors) {
+    if (e.predicted == e.correct) continue;
+    confusions.emplace(e.predicted, e.correct);
+  }
+  for (const auto& [predicted, correct] : confusions) {
+    size_t spec_index = generator_.SpecIndexOf(correct);
+    if (spec_index == data::CatalogGenerator::kNpos) continue;
+    const data::TypeSpec& spec = generator_.specs()[spec_index];
+    if (spec.head_nouns.empty()) continue;
+    // "items that are really <correct> must not be labeled <predicted>".
+    auto rule = rules::Rule::Blacklist(FreshRuleId("bl-" + predicted),
+                                       NounAlternation(spec.head_nouns),
+                                       predicted);
+    if (rule.ok()) {
+      ++rules_written_;
+      out.push_back(std::move(rule).value());
+    }
+  }
+  return out;
+}
+
+std::vector<rules::Rule> SimulatedAnalyst::WriteAttributeRules() {
+  std::vector<rules::Rule> out;
+  for (const auto& spec : generator_.specs()) {
+    if (!spec.has_isbn) continue;
+    ++rules_written_;
+    out.push_back(rules::Rule::AttributeExists(
+        FreshRuleId("attr-" + spec.name), "ISBN", spec.name));
+  }
+  return out;
+}
+
+std::vector<rules::Rule> SimulatedAnalyst::WriteBrandRules() {
+  std::unordered_map<std::string, std::set<std::string>> brand_types;
+  for (const auto& spec : generator_.specs()) {
+    for (const auto& brand : spec.brands) {
+      brand_types[brand].insert(spec.name);
+    }
+  }
+  std::vector<rules::Rule> out;
+  for (const auto& [brand, types] : brand_types) {
+    out.push_back(rules::Rule::AttributeValue(
+        FreshRuleId("brand-" + brand), "Brand", brand,
+        std::vector<std::string>(types.begin(), types.end())));
+    ++rules_written_;
+  }
+  return out;
+}
+
+std::vector<data::LabeledItem> SimulatedAnalyst::LabelItems(
+    const std::vector<data::LabeledItem>& items) {
+  std::vector<data::LabeledItem> out;
+  out.reserve(items.size());
+  const auto& specs = generator_.specs();
+  for (const auto& li : items) {
+    data::LabeledItem labeled = li;
+    if (!rng_.Bernoulli(config_.labeling_accuracy) && specs.size() > 1) {
+      // A labeling mistake: a random different type.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const auto& wrong = specs[rng_.Uniform(specs.size())].name;
+        if (wrong != li.label) {
+          labeled.label = wrong;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(labeled));
+  }
+  return out;
+}
+
+}  // namespace rulekit::chimera

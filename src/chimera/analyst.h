@@ -1,0 +1,82 @@
+#ifndef RULEKIT_CHIMERA_ANALYST_H_
+#define RULEKIT_CHIMERA_ANALYST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/catalog_generator.h"
+#include "src/data/product.h"
+#include "src/rules/rule.h"
+
+namespace rulekit::chimera {
+
+/// Configuration of the simulated analyst.
+struct AnalystConfig {
+  uint64_t seed = 77;
+  /// Accuracy of manual labels (domain analysts are good but not perfect).
+  double labeling_accuracy = 0.97;
+};
+
+/// A confirmed misclassification handed to the analyst: the item, what the
+/// system said, and the correct type (established via crowd/manual review).
+struct Misclassification {
+  data::ProductItem item;
+  std::string predicted;
+  std::string correct;
+};
+
+/// Simulated domain analyst (DESIGN.md substitution table). Domain
+/// analysts "can be trained to understand the domain, detect patterns ...
+/// and write rules" (§2.2); this stand-in consults the catalog generator's
+/// type vocabularies — the analog of a human's domain knowledge — to write
+/// the same kinds of rules WalmartLabs analysts write.
+class SimulatedAnalyst {
+ public:
+  SimulatedAnalyst(const data::CatalogGenerator& generator,
+                   AnalystConfig config = {});
+
+  /// Whitelist rules for a type: one head-noun rule ("(rug|rugs) =>
+  /// area rugs") plus up to `max_qualifier_rules` qualifier rules
+  /// ("braided.*(rug|rugs) => area rugs").
+  std::vector<rules::Rule> WriteRulesForType(const std::string& type,
+                                             size_t max_qualifier_rules = 3);
+
+  /// Blacklist rules reacting to confirmed errors: for each distinct
+  /// (predicted, correct) confusion, a blacklist on the predicted type
+  /// keyed to the correct type's head nouns.
+  std::vector<rules::Rule> WriteBlacklistsForErrors(
+      const std::vector<Misclassification>& errors);
+
+  /// Attribute rules derivable from domain knowledge: has(ISBN) => books
+  /// (for every ISBN-bearing type).
+  std::vector<rules::Rule> WriteAttributeRules();
+
+  /// Brand knowledge-base rules: Brand = "apple" => {every type selling
+  /// that brand} (§3.2 "Other Considerations": brand KBs are applied via
+  /// rules).
+  std::vector<rules::Rule> WriteBrandRules();
+
+  /// Manually (re)labels items — ground truth with labeling noise.
+  /// Mislabels draw a random other type.
+  std::vector<data::LabeledItem> LabelItems(
+      const std::vector<data::LabeledItem>& items);
+
+  size_t rules_written() const { return rules_written_; }
+
+ private:
+  std::string FreshRuleId(const std::string& prefix);
+  /// "(rug|rugs)" with plural forms collapsed to "rugs?" where possible.
+  static std::string NounAlternation(
+      const std::vector<std::string>& nouns);
+
+  const data::CatalogGenerator& generator_;
+  AnalystConfig config_;
+  Rng rng_;
+  size_t rules_written_ = 0;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_ANALYST_H_

@@ -1,0 +1,150 @@
+#include "src/chimera/feedback_loop.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rulekit::chimera {
+
+FeedbackLoop::FeedbackLoop(ChimeraPipeline& pipeline,
+                           SimulatedAnalyst& analyst,
+                           crowd::CrowdSimulator& crowd,
+                           FeedbackLoopConfig config)
+    : pipeline_(pipeline), analyst_(analyst), crowd_(crowd),
+      config_(config) {}
+
+FeedbackLoopResult FeedbackLoop::RunBatch(
+    const std::vector<data::LabeledItem>& batch) {
+  FeedbackLoopResult result;
+
+  std::vector<data::ProductItem> items;
+  items.reserve(batch.size());
+  for (const auto& li : batch) items.push_back(li.item);
+
+  for (size_t iteration = 1; iteration <= config_.max_iterations;
+       ++iteration) {
+    IterationTrace trace;
+    trace.iteration = iteration;
+    const size_t questions_before = crowd_.num_tasks();
+
+    BatchReport report = pipeline_.ProcessBatch(items);
+
+    // True quality for the trace (ground truth is available here because
+    // the generator produced the batch; the production system never sees
+    // it).
+    std::vector<ml::Observation> observations;
+    observations.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      observations.push_back({batch[i].label, report.predictions[i]});
+    }
+    trace.true_quality = ml::Summarize(observations);
+
+    // Crowd-evaluate a sample of the classified items.
+    std::vector<size_t> classified_idx;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (report.predictions[i].has_value()) classified_idx.push_back(i);
+    }
+    std::vector<size_t> flagged;  // crowd says the prediction is wrong
+    size_t sample_positives = 0, sample_size = 0;
+    {
+      auto sample = rng_.SampleWithoutReplacement(
+          classified_idx.size(),
+          std::min(config_.sample_size, classified_idx.size()));
+      for (size_t si : sample) {
+        size_t i = classified_idx[si];
+        bool verdict =
+            crowd_.AskYesNo(*report.predictions[i] == batch[i].label);
+        ++sample_size;
+        if (verdict) {
+          ++sample_positives;
+        } else {
+          flagged.push_back(i);
+        }
+      }
+    }
+    trace.sampled_precision =
+        crowd::WilsonEstimate(sample_positives, sample_size);
+    trace.crowd_questions = crowd_.num_tasks() - questions_before;
+
+    const bool passes =
+        sample_size == 0 ||
+        trace.sampled_precision.estimate >= config_.precision_threshold;
+    if (passes) {
+      trace.accepted = true;
+      result.iterations.push_back(trace);
+      result.accepted = true;
+      result.final_quality = trace.true_quality;
+      return result;
+    }
+
+    // Analyst reviews flagged pairs -> blacklist rules + relabeled
+    // training data.
+    std::vector<Misclassification> errors;
+    std::vector<data::LabeledItem> to_relabel;
+    for (size_t i : flagged) {
+      if (errors.size() >= config_.max_errors_reviewed) break;
+      errors.push_back({batch[i].item, *report.predictions[i],
+                        batch[i].label});
+      to_relabel.push_back(batch[i]);
+    }
+    auto blacklists = analyst_.WriteBlacklistsForErrors(errors);
+
+    // Analyst also writes whitelist rules for the true types behind the
+    // errors, and labels a slice of the declined items (new training data
+    // + coverage for unhandled types).
+    std::set<std::string> error_types;
+    for (const auto& e : errors) error_types.insert(e.correct);
+    std::vector<rules::Rule> whitelists;
+    for (const auto& type : error_types) {
+      auto rules_for_type = analyst_.WriteRulesForType(type);
+      whitelists.insert(whitelists.end(),
+                        std::make_move_iterator(rules_for_type.begin()),
+                        std::make_move_iterator(rules_for_type.end()));
+    }
+    std::vector<data::LabeledItem> declined_labeled;
+    {
+      std::vector<size_t> declined_idx;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!report.predictions[i].has_value()) declined_idx.push_back(i);
+      }
+      auto sample = rng_.SampleWithoutReplacement(
+          declined_idx.size(),
+          std::min(config_.max_declined_labeled, declined_idx.size()));
+      std::vector<data::LabeledItem> picked;
+      for (size_t si : sample) picked.push_back(batch[declined_idx[si]]);
+      declined_labeled = analyst_.LabelItems(picked);
+      // Types the analyst saw while labeling also get whitelist rules.
+      std::set<std::string> seen_types;
+      for (const auto& li : declined_labeled) seen_types.insert(li.label);
+      for (const auto& type : seen_types) {
+        if (error_types.count(type)) continue;
+        auto rules_for_type = analyst_.WriteRulesForType(type);
+        whitelists.insert(whitelists.end(),
+                          std::make_move_iterator(rules_for_type.begin()),
+                          std::make_move_iterator(rules_for_type.end()));
+      }
+    }
+
+    // Fold the feedback into the system. Duplicate rule ids cannot occur
+    // (the analyst numbers its rules), but AddRules surfaces any failure.
+    size_t rules_added = 0;
+    std::vector<rules::Rule> new_rules;
+    for (auto& r : blacklists) new_rules.push_back(std::move(r));
+    for (auto& r : whitelists) new_rules.push_back(std::move(r));
+    rules_added = new_rules.size();
+    (void)pipeline_.AddRules(std::move(new_rules), "analyst");
+
+    auto relabeled = analyst_.LabelItems(to_relabel);
+    size_t labels_added = relabeled.size() + declined_labeled.size();
+    pipeline_.AddTrainingData(std::move(relabeled));
+    pipeline_.AddTrainingData(std::move(declined_labeled));
+    pipeline_.RetrainLearning();
+
+    trace.rules_added = rules_added;
+    trace.labels_added = labels_added;
+    result.iterations.push_back(trace);
+    result.final_quality = trace.true_quality;
+  }
+  return result;
+}
+
+}  // namespace rulekit::chimera

@@ -1,0 +1,68 @@
+#ifndef RULEKIT_CHIMERA_FEEDBACK_LOOP_H_
+#define RULEKIT_CHIMERA_FEEDBACK_LOOP_H_
+
+#include <vector>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/crowd/crowd.h"
+#include "src/ml/metrics.h"
+
+namespace rulekit::chimera {
+
+/// Knobs of the crowd-evaluate / analyst-patch / rerun loop.
+struct FeedbackLoopConfig {
+  size_t sample_size = 200;
+  size_t max_iterations = 4;
+  double precision_threshold = 0.92;
+  /// How many flagged errors the analyst reviews per iteration.
+  size_t max_errors_reviewed = 50;
+  /// How many declined items the analyst labels per iteration (they become
+  /// training data AND drive new whitelist rules for uncovered types).
+  size_t max_declined_labeled = 200;
+};
+
+/// One loop iteration's record (the Figure 2 cycle).
+struct IterationTrace {
+  size_t iteration = 0;
+  crowd::PrecisionEstimate sampled_precision;  // what the crowd saw
+  ml::EvalSummary true_quality;  // against ground truth, for reporting
+  size_t rules_added = 0;
+  size_t labels_added = 0;
+  size_t crowd_questions = 0;
+  bool accepted = false;  // batch passed the precision bar
+};
+
+/// Result of running a batch through the loop.
+struct FeedbackLoopResult {
+  std::vector<IterationTrace> iterations;
+  bool accepted = false;
+  ml::EvalSummary final_quality;
+};
+
+/// Drives the §3.3 evaluation loop: classify the batch, crowd-verify a
+/// sample, and — while the sampled precision is below the bar — hand the
+/// flagged pairs to the analyst (who writes rules and relabels), fold the
+/// feedback into the pipeline, and rerun the batch.
+class FeedbackLoop {
+ public:
+  FeedbackLoop(ChimeraPipeline& pipeline, SimulatedAnalyst& analyst,
+               crowd::CrowdSimulator& crowd,
+               FeedbackLoopConfig config = {});
+
+  /// Processes one batch (with ground truth attached for the crowd oracle
+  /// and for the true-quality trace).
+  FeedbackLoopResult RunBatch(const std::vector<data::LabeledItem>& batch);
+
+ private:
+  ChimeraPipeline& pipeline_;
+  SimulatedAnalyst& analyst_;
+  crowd::CrowdSimulator& crowd_;
+  FeedbackLoopConfig config_;
+  Rng rng_{991};
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_FEEDBACK_LOOP_H_

@@ -1,0 +1,74 @@
+#include "src/chimera/first_responder.h"
+
+#include <map>
+
+namespace rulekit::chimera {
+
+FirstResponder::FirstResponder(ChimeraPipeline& pipeline,
+                               crowd::CrowdSimulator& crowd,
+                               FirstResponderConfig config)
+    : pipeline_(pipeline), crowd_(crowd), config_(config),
+      rng_(config.seed) {}
+
+IncidentReport FirstResponder::Triage(
+    const std::vector<data::LabeledItem>& batch, const BatchReport& report) {
+  IncidentReport incident;
+  const size_t questions_before = crowd_.num_tasks();
+
+  std::vector<size_t> classified;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (report.predictions[i].has_value()) classified.push_back(i);
+  }
+  auto sample = rng_.SampleWithoutReplacement(
+      classified.size(), std::min(config_.sample_size, classified.size()));
+
+  size_t positives = 0;
+  std::map<std::string, std::pair<size_t, size_t>> per_type;  // yes, total
+  for (size_t si : sample) {
+    size_t i = classified[si];
+    const std::string& predicted = *report.predictions[i];
+    bool verdict = crowd_.AskYesNo(predicted == batch[i].label);
+    auto& [yes, total] = per_type[predicted];
+    ++total;
+    if (verdict) {
+      ++yes;
+      ++positives;
+    }
+  }
+  incident.batch_precision = crowd::WilsonEstimate(positives, sample.size());
+  incident.crowd_questions = crowd_.num_tasks() - questions_before;
+
+  if (sample.empty() ||
+      incident.batch_precision.estimate >=
+          config_.batch_precision_threshold) {
+    return incident;  // healthy batch
+  }
+
+  incident.incident = true;
+  incident.checkpoint = pipeline_.repository().Checkpoint("first-responder");
+  for (const auto& [type, counts] : per_type) {
+    const auto& [yes, total] = counts;
+    if (total < config_.min_type_verdicts) continue;
+    double precision = static_cast<double>(yes) /
+                       static_cast<double>(total);
+    if (precision < config_.type_precision_floor) {
+      pipeline_.ScaleDownType(type, "first-responder",
+                              "triage: sampled precision below floor");
+      incident.scaled_down_types.push_back(type);
+    }
+  }
+  return incident;
+}
+
+Status FirstResponder::Resolve(const IncidentReport& incident) {
+  if (!incident.incident) return Status::OK();
+  RULEKIT_RETURN_IF_ERROR(pipeline_.repository().RestoreCheckpoint(
+      incident.checkpoint, "first-responder"));
+  for (const auto& type : incident.scaled_down_types) {
+    pipeline_.ScaleUpType(type);
+  }
+  pipeline_.RebuildRules();
+  return Status::OK();
+}
+
+}  // namespace rulekit::chimera

@@ -1,0 +1,63 @@
+#ifndef RULEKIT_CHIMERA_FIRST_RESPONDER_H_
+#define RULEKIT_CHIMERA_FIRST_RESPONDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chimera/pipeline.h"
+#include "src/common/random.h"
+#include "src/crowd/crowd.h"
+#include "src/crowd/estimator.h"
+
+namespace rulekit::chimera {
+
+/// Triage policy knobs.
+struct FirstResponderConfig {
+  uint64_t seed = 4242;
+  /// Crowd verdicts sampled per triaged batch.
+  size_t sample_size = 300;
+  /// Batch-level precision below this is an incident.
+  double batch_precision_threshold = 0.92;
+  /// Types whose sampled precision falls below this (with enough
+  /// verdicts) get scaled down.
+  double type_precision_floor = 0.85;
+  size_t min_type_verdicts = 10;
+};
+
+/// What the responder did about one batch.
+struct IncidentReport {
+  bool incident = false;
+  crowd::PrecisionEstimate batch_precision;
+  uint64_t checkpoint = 0;  // valid when incident
+  std::vector<std::string> scaled_down_types;
+  size_t crowd_questions = 0;
+};
+
+/// The §2.2 first-responder workflow as a policy object: crowd-sample a
+/// processed batch, raise an incident when precision breaks the bar,
+/// checkpoint the rule repository, and scale down the misbehaving types —
+/// then restore everything once the underlying problem is fixed. Analysts
+/// are the first responders; this encodes their standard playbook.
+class FirstResponder {
+ public:
+  FirstResponder(ChimeraPipeline& pipeline, crowd::CrowdSimulator& crowd,
+                 FirstResponderConfig config = {});
+
+  /// Samples the batch's predictions via the crowd and intervenes if
+  /// needed. `batch` carries ground truth only for the crowd oracle.
+  IncidentReport Triage(const std::vector<data::LabeledItem>& batch,
+                        const BatchReport& report);
+
+  /// Restores the checkpoint taken by Triage and lifts its suppressions.
+  Status Resolve(const IncidentReport& incident);
+
+ private:
+  ChimeraPipeline& pipeline_;
+  crowd::CrowdSimulator& crowd_;
+  FirstResponderConfig config_;
+  Rng rng_;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_FIRST_RESPONDER_H_

@@ -1,0 +1,22 @@
+#include "src/chimera/gate_keeper.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::chimera {
+
+GateDecision GateKeeper::Decide(const data::ProductItem& item) const {
+  if (Trim(item.title).empty()) {
+    return {GateDecision::Kind::kRejected, ""};
+  }
+  auto it = memo_.find(ToLowerAscii(item.title));
+  if (it != memo_.end()) {
+    return {GateDecision::Kind::kClassified, it->second};
+  }
+  return {GateDecision::Kind::kPass, ""};
+}
+
+void GateKeeper::Memoize(const std::string& title, const std::string& type) {
+  memo_[ToLowerAscii(title)] = type;
+}
+
+}  // namespace rulekit::chimera

@@ -1,0 +1,43 @@
+#ifndef RULEKIT_CHIMERA_GATE_KEEPER_H_
+#define RULEKIT_CHIMERA_GATE_KEEPER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/data/product.h"
+
+namespace rulekit::chimera {
+
+/// What the gate keeper decides about an incoming item.
+struct GateDecision {
+  enum class Kind {
+    kPass,       // forward to the classifiers
+    kClassified, // immediately classified (memo hit)
+    kRejected,   // unprocessable (e.g. empty title) -> manual queue
+  };
+  Kind kind = Kind::kPass;
+  std::string type;  // kClassified only
+};
+
+/// The first stage of Figure 2: "does preliminary processing, and under
+/// certain conditions can immediately classify an item". This
+/// implementation rejects unprocessable items and short-circuits items
+/// whose exact title was already confirmed earlier (a memo of curated
+/// results), which is how re-sent catalog items bypass the classifiers.
+class GateKeeper {
+ public:
+  GateDecision Decide(const data::ProductItem& item) const;
+
+  /// Records a confirmed (title -> type) pair for future short-circuiting.
+  void Memoize(const std::string& title, const std::string& type);
+
+  size_t memo_size() const { return memo_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> memo_;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_GATE_KEEPER_H_

@@ -1,0 +1,19 @@
+#include "src/chimera/monitor.h"
+
+namespace rulekit::chimera {
+
+void QualityMonitor::Record(const BatchQuality& quality) {
+  history_.push_back(quality);
+}
+
+bool QualityMonitor::DegradationAlarm() const {
+  if (history_.empty()) return false;
+  return history_.back().precision.estimate < threshold_;
+}
+
+bool QualityMonitor::SevereDegradationAlarm() const {
+  if (history_.empty()) return false;
+  return history_.back().precision.upper < threshold_;
+}
+
+}  // namespace rulekit::chimera

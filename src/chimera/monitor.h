@@ -1,0 +1,49 @@
+#ifndef RULEKIT_CHIMERA_MONITOR_H_
+#define RULEKIT_CHIMERA_MONITOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/crowd/estimator.h"
+
+namespace rulekit::chimera {
+
+/// One batch-level quality observation (from crowd-sampled evaluation).
+struct BatchQuality {
+  size_t batch_index = 0;
+  crowd::PrecisionEstimate precision;
+  double recall = 0.0;     // classified-and-correct / batch size (est.)
+  double coverage = 0.0;   // classified / batch size
+};
+
+/// Tracks batch-level precision and raises a degradation alarm when the
+/// estimate falls below the business threshold (§2.2 requirement 3:
+/// "detect such quality problems quickly").
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(double precision_threshold = 0.92)
+      : threshold_(precision_threshold) {}
+
+  void Record(const BatchQuality& quality);
+
+  const std::vector<BatchQuality>& history() const { return history_; }
+
+  /// True if the most recent batch's precision point estimate is below
+  /// threshold.
+  bool DegradationAlarm() const;
+
+  /// True if even the Wilson upper bound is below threshold — i.e. the
+  /// degradation is statistically unambiguous.
+  bool SevereDegradationAlarm() const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  std::vector<BatchQuality> history_;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_MONITOR_H_

@@ -1,0 +1,139 @@
+#include "src/chimera/pipeline.h"
+
+namespace rulekit::chimera {
+
+ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
+    : config_(config), repo_(std::make_shared<rules::RuleRepository>()) {
+  // Classifiers view the repository's rule set through an aliasing
+  // shared_ptr, so repository mutations are visible after RebuildRules().
+  rules_view_ =
+      std::shared_ptr<const rules::RuleSet>(repo_, &repo_->rules());
+  rule_classifier_ =
+      std::make_shared<engine::RuleBasedClassifier>(rules_view_);
+  attr_classifier_ =
+      std::make_shared<engine::AttrValueClassifier>(rules_view_);
+  filter_ = std::make_unique<Filter>(rules_view_);
+  RebuildVoting();
+}
+
+void ChimeraPipeline::RebuildVoting() {
+  voting_ = std::make_unique<VotingMaster>(config_.voting);
+  if (config_.use_rules) {
+    voting_->AddMember(rule_classifier_, config_.rule_weight);
+    voting_->AddMember(attr_classifier_, config_.attr_weight);
+  }
+  if (config_.use_learning && learning_trained_) {
+    voting_->AddMember(ensemble_, config_.learning_weight);
+  }
+}
+
+Status ChimeraPipeline::AddRules(std::vector<rules::Rule> new_rules,
+                                 std::string_view author) {
+  for (auto& rule : new_rules) {
+    RULEKIT_RETURN_IF_ERROR(repo_->Add(std::move(rule), author));
+  }
+  RebuildRules();
+  return Status::OK();
+}
+
+void ChimeraPipeline::RebuildRules() { rule_classifier_->Rebuild(); }
+
+void ChimeraPipeline::AddTrainingData(
+    std::vector<data::LabeledItem> labeled) {
+  training_data_.insert(training_data_.end(),
+                        std::make_move_iterator(labeled.begin()),
+                        std::make_move_iterator(labeled.end()));
+}
+
+void ChimeraPipeline::RetrainLearning() {
+  if (training_data_.empty()) return;
+  // Fresh extractor + learners: the simplest correct retraining story
+  // (incremental learners accumulate state across Train calls).
+  features_ = std::make_shared<ml::FeatureExtractor>();
+  auto nb = std::make_shared<ml::NaiveBayesClassifier>(features_);
+  nb->Train(training_data_);
+  auto knn = std::make_shared<ml::KnnClassifier>(features_, 7);
+  knn->Train(training_data_);
+  auto logreg = std::make_shared<ml::LogRegClassifier>(features_);
+  logreg->Train(training_data_);
+  ensemble_ = std::make_shared<ml::EnsembleClassifier>();
+  ensemble_->AddMember(std::move(nb));
+  ensemble_->AddMember(std::move(knn));
+  ensemble_->AddMember(std::move(logreg));
+  learning_trained_ = true;
+  RebuildVoting();
+}
+
+void ChimeraPipeline::ScaleDownType(const std::string& type,
+                                    std::string_view author,
+                                    std::string_view reason) {
+  suppressed_.insert(type);
+  repo_->DisableRulesForType(type, author, reason);
+  RebuildRules();
+}
+
+void ChimeraPipeline::ScaleUpType(const std::string& type) {
+  suppressed_.erase(type);
+  RebuildRules();
+}
+
+std::optional<std::string> ChimeraPipeline::Classify(
+    const data::ProductItem& item) const {
+  GateDecision gate = gate_.Decide(item);
+  if (gate.kind == GateDecision::Kind::kRejected) return std::nullopt;
+  if (gate.kind == GateDecision::Kind::kClassified) {
+    if (suppressed_.count(gate.type)) return std::nullopt;
+    return gate.type;
+  }
+  auto vote = voting_->Vote(item);
+  if (!vote.has_value()) return std::nullopt;
+  if (suppressed_.count(vote->label)) return std::nullopt;
+  if (!filter_->Admit(item, vote->label)) return std::nullopt;
+  return vote->label;
+}
+
+BatchReport ChimeraPipeline::ProcessBatch(
+    const std::vector<data::ProductItem>& items) const {
+  BatchReport report;
+  report.total = items.size();
+  report.predictions.reserve(items.size());
+  for (const auto& item : items) {
+    GateDecision gate = gate_.Decide(item);
+    if (gate.kind == GateDecision::Kind::kRejected) {
+      ++report.gate_rejected;
+      report.predictions.emplace_back(std::nullopt);
+      continue;
+    }
+    if (gate.kind == GateDecision::Kind::kClassified) {
+      if (suppressed_.count(gate.type)) {
+        ++report.suppressed;
+        report.predictions.emplace_back(std::nullopt);
+      } else {
+        ++report.gate_classified;
+        report.predictions.emplace_back(gate.type);
+      }
+      continue;
+    }
+    auto vote = voting_->Vote(item);
+    if (!vote.has_value()) {
+      ++report.declined;
+      report.predictions.emplace_back(std::nullopt);
+      continue;
+    }
+    if (suppressed_.count(vote->label)) {
+      ++report.suppressed;
+      report.predictions.emplace_back(std::nullopt);
+      continue;
+    }
+    if (!filter_->Admit(item, vote->label)) {
+      ++report.filtered;
+      report.predictions.emplace_back(std::nullopt);
+      continue;
+    }
+    ++report.classified;
+    report.predictions.emplace_back(vote->label);
+  }
+  return report;
+}
+
+}  // namespace rulekit::chimera

@@ -1,0 +1,129 @@
+#ifndef RULEKIT_CHIMERA_PIPELINE_H_
+#define RULEKIT_CHIMERA_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/chimera/gate_keeper.h"
+#include "src/chimera/voting.h"
+#include "src/data/product.h"
+#include "src/engine/rule_classifier.h"
+#include "src/ml/ensemble.h"
+#include "src/ml/features.h"
+#include "src/ml/knn.h"
+#include "src/ml/logreg.h"
+#include "src/ml/naive_bayes.h"
+#include "src/rules/repository.h"
+
+namespace rulekit::chimera {
+
+/// Pipeline composition knobs (also the ablation switches for the
+/// benchmarks: learning-only vs rules-only vs both).
+struct PipelineConfig {
+  bool use_rules = true;
+  bool use_learning = true;
+  double rule_weight = 1.0;      // analysts' rules are trusted most
+  double attr_weight = 0.9;
+  double learning_weight = 0.7;
+  VotingOptions voting;
+};
+
+/// Where each item of a batch ended up.
+struct BatchReport {
+  size_t total = 0;
+  size_t gate_classified = 0;  // classified by the Gate Keeper memo
+  size_t gate_rejected = 0;    // unprocessable -> manual queue
+  size_t classified = 0;       // classified by voting (net of filtering)
+  size_t filtered = 0;         // voting winner vetoed by the Filter
+  size_t suppressed = 0;       // type currently scaled down
+  size_t declined = 0;         // low confidence -> manual queue
+  /// Final prediction per item (nullopt = unclassified).
+  std::vector<std::optional<std::string>> predictions;
+
+  double coverage() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(gate_classified + classified) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The Chimera system (Figure 2): Gate Keeper -> {rule-based,
+/// attribute/value, learning ensemble} classifiers -> Voting Master ->
+/// Filter -> Result, with scale-down/scale-up controls and a versioned
+/// rule repository underneath.
+class ChimeraPipeline {
+ public:
+  explicit ChimeraPipeline(PipelineConfig config = {});
+
+  // ---- rules -------------------------------------------------------------
+
+  /// Adds rules through the repository (audited) and rebuilds the rule
+  /// index.
+  Status AddRules(std::vector<rules::Rule> new_rules,
+                  std::string_view author);
+
+  rules::RuleRepository& repository() { return *repo_; }
+  const rules::RuleSet& rule_set() const { return repo_->rules(); }
+
+  /// Re-derives classifier state after direct rule-set mutations.
+  void RebuildRules();
+
+  // ---- learning ----------------------------------------------------------
+
+  /// Accumulates labeled training data.
+  void AddTrainingData(std::vector<data::LabeledItem> labeled);
+
+  /// Retrains the learning ensemble from scratch on all accumulated data.
+  void RetrainLearning();
+
+  size_t training_size() const { return training_data_.size(); }
+
+  // ---- scale down / up (§2.2 requirement 3) -------------------------------
+
+  /// Suppresses all predictions of one type (and disables its rules).
+  void ScaleDownType(const std::string& type, std::string_view author,
+                     std::string_view reason);
+
+  /// Lifts a suppression (rules must be re-enabled via the repository or a
+  /// checkpoint restore).
+  void ScaleUpType(const std::string& type);
+
+  const std::unordered_set<std::string>& suppressed_types() const {
+    return suppressed_;
+  }
+
+  // ---- classification ----------------------------------------------------
+
+  /// Classifies one item.
+  std::optional<std::string> Classify(const data::ProductItem& item) const;
+
+  /// Classifies a batch with full stage accounting.
+  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items) const;
+
+  GateKeeper& gate_keeper() { return gate_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  void RebuildVoting();
+
+  PipelineConfig config_;
+  std::shared_ptr<rules::RuleRepository> repo_;
+  std::shared_ptr<const rules::RuleSet> rules_view_;  // aliases repo_
+  GateKeeper gate_;
+  std::shared_ptr<engine::RuleBasedClassifier> rule_classifier_;
+  std::shared_ptr<engine::AttrValueClassifier> attr_classifier_;
+  std::shared_ptr<ml::FeatureExtractor> features_;
+  std::shared_ptr<ml::EnsembleClassifier> ensemble_;
+  std::unique_ptr<VotingMaster> voting_;
+  std::unique_ptr<Filter> filter_;
+  std::unordered_set<std::string> suppressed_;
+  std::vector<data::LabeledItem> training_data_;
+  bool learning_trained_ = false;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_PIPELINE_H_

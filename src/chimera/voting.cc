@@ -1,0 +1,85 @@
+#include "src/chimera/voting.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rulekit::chimera {
+
+VotingMaster::VotingMaster(VotingOptions options) : options_(options) {}
+
+void VotingMaster::AddMember(std::shared_ptr<ml::Classifier> member,
+                             double weight) {
+  members_.emplace_back(std::move(member), weight);
+}
+
+std::vector<ml::ScoredLabel> VotingMaster::CombinedScores(
+    const data::ProductItem& item) const {
+  std::unordered_map<std::string, double> sums;
+  double participating_weight = 0.0;
+  for (const auto& [member, weight] : members_) {
+    auto scored = member->Predict(item);
+    if (scored.empty()) continue;
+    participating_weight += weight;
+    for (const auto& s : scored) sums[s.label] += weight * s.score;
+  }
+  std::vector<ml::ScoredLabel> out;
+  if (participating_weight <= 0.0) return out;
+  out.reserve(sums.size());
+  for (const auto& [label, sum] : sums) {
+    out.push_back({label, sum / participating_weight});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+std::optional<ml::ScoredLabel> VotingMaster::Vote(
+    const data::ProductItem& item) const {
+  auto combined = CombinedScores(item);
+  if (combined.empty()) return std::nullopt;
+  if (combined[0].score < options_.confidence_threshold) return std::nullopt;
+  if (combined.size() > 1 &&
+      combined[0].score - combined[1].score < options_.min_margin) {
+    return std::nullopt;
+  }
+  return combined[0];
+}
+
+Filter::Filter(std::shared_ptr<const rules::RuleSet> rules)
+    : rules_(std::move(rules)) {}
+
+bool Filter::Admit(const data::ProductItem& item,
+                   const std::string& predicted) const {
+  for (const auto& rule : rules_->rules()) {
+    if (!rule.is_active()) continue;
+    switch (rule.kind()) {
+      case rules::RuleKind::kBlacklist:
+        if (rule.target_type() == predicted && rule.Applies(item)) {
+          return false;
+        }
+        break;
+      case rules::RuleKind::kAttributeValue: {
+        if (!rule.Applies(item)) break;
+        const auto& candidates = rule.candidate_types();
+        if (std::find(candidates.begin(), candidates.end(), predicted) ==
+            candidates.end()) {
+          return false;  // prediction inconsistent with the narrowed set
+        }
+        break;
+      }
+      case rules::RuleKind::kPredicate:
+        if (!rule.is_positive() && rule.target_type() == predicted &&
+            rule.Applies(item)) {
+          return false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rulekit::chimera

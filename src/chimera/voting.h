@@ -1,0 +1,65 @@
+#ifndef RULEKIT_CHIMERA_VOTING_H_
+#define RULEKIT_CHIMERA_VOTING_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::chimera {
+
+/// Voting-master knobs. Defaults are tuned for "high precision first":
+/// decline rather than guess (§2.2: precision >= 92% at all times, recall
+/// can start low).
+struct VotingOptions {
+  /// Minimum combined score of the winner; below it the master declines.
+  double confidence_threshold = 0.45;
+  /// Minimum lead of the winner over the runner-up.
+  double min_margin = 0.05;
+};
+
+/// Combines the classifiers' weighted predictions into a final type or a
+/// decline (Figure 2's Voting Master).
+class VotingMaster {
+ public:
+  explicit VotingMaster(VotingOptions options = {});
+
+  /// Adds a voting member. Rule-based members typically get weight >= 1,
+  /// learning members < 1, mirroring Chimera's trust in analyst rules.
+  void AddMember(std::shared_ptr<ml::Classifier> member, double weight);
+
+  /// The combined decision; nullopt = low confidence, item stays
+  /// unclassified.
+  std::optional<ml::ScoredLabel> Vote(const data::ProductItem& item) const;
+
+  /// The full combined ranking (for diagnostics).
+  std::vector<ml::ScoredLabel> CombinedScores(
+      const data::ProductItem& item) const;
+
+ private:
+  VotingOptions options_;
+  std::vector<std::pair<std::shared_ptr<ml::Classifier>, double>> members_;
+};
+
+/// Figure 2's Filter: last-line vetoes on the voting master's choice.
+/// Applies active blacklist rules ("here the analysts use mostly blacklist
+/// rules") and attribute-value consistency (a Brand->candidate-set rule
+/// that fires must contain the final type).
+class Filter {
+ public:
+  explicit Filter(std::shared_ptr<const rules::RuleSet> rules);
+
+  /// True if `predicted` survives the vetoes for this item.
+  bool Admit(const data::ProductItem& item,
+             const std::string& predicted) const;
+
+ private:
+  std::shared_ptr<const rules::RuleSet> rules_;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_VOTING_H_

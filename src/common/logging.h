@@ -1,0 +1,46 @@
+#ifndef RULEKIT_COMMON_LOGGING_H_
+#define RULEKIT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rulekit {
+
+/// Severity levels for the minimal logging facility. Benchmarks and
+/// examples default to kInfo; tests typically raise the threshold to
+/// kWarning to keep output clean.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rulekit
+
+#define RULEKIT_LOG(level)                                              \
+  if (::rulekit::LogLevel::level < ::rulekit::GetLogLevel()) {          \
+  } else                                                                \
+    ::rulekit::internal_logging::LogMessage(::rulekit::LogLevel::level, \
+                                            __FILE__, __LINE__)         \
+        .stream()
+
+#endif  // RULEKIT_COMMON_LOGGING_H_

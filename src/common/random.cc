@@ -1,0 +1,126 @@
+#include "src/common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace rulekit {
+
+namespace {
+
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling would be overkill here;
+  // plain rejection keeps the distribution exact.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; one value per call is fine at our scales.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Rejection sampling against the integral bound of x^-s
+  // (see "Rejection sampling of the Zipf distribution", J. Crease).
+  const double t = (std::pow(static_cast<double>(n), 1.0 - s) - s) / (1.0 - s);
+  for (;;) {
+    const double inv =
+        [&](double p) {  // inverse of the bounding CDF
+          if (p * t <= 1.0) return p * t;
+          return std::pow(p * t * (1.0 - s) + s, 1.0 / (1.0 - s));
+        }(NextDouble());
+    const uint64_t k = static_cast<uint64_t>(inv);  // in [0, n)
+    const double x = static_cast<double>(k) + 1.0;
+    const double ratio = std::pow(x, -s) /
+                         (inv <= 1.0 ? 1.0 : std::pow(inv, -s));
+    if (NextDouble() < ratio) return k < n ? k : n - 1;
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  // Floyd's algorithm: k iterations, set membership checks.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = Uniform(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  return out;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rulekit

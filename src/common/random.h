@@ -1,0 +1,66 @@
+#ifndef RULEKIT_COMMON_RANDOM_H_
+#define RULEKIT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rulekit {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). All
+/// randomized components of the library (catalog generation, crowd noise,
+/// sampling) take a Rng so every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Zipf-distributed value in [0, n) with skew parameter s. Used to model
+  /// the heavy head/long tail of product-type popularity.
+  /// Implemented by inverse-CDF over precomputed weights is too slow for
+  /// large n, so this uses rejection sampling (Jason Crease method).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Sample k distinct indices from [0, n) (Floyd's algorithm). If k >= n
+  /// returns all of [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick an index according to non-negative weights. Requires a positive
+  /// total weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+#ifndef RULEKIT_COMMON_RESULT_H_
+#define RULEKIT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace rulekit {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Accessing value() on an error result aborts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return parsed_regex;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("empty result");
+};
+
+}  // namespace rulekit
+
+/// Evaluate `expr` (a Result<T>), propagate its error, else bind the value.
+#define RULEKIT_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto RULEKIT_CONCAT_(_res_, __LINE__) = (expr);\
+  if (!RULEKIT_CONCAT_(_res_, __LINE__).ok())    \
+    return RULEKIT_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(RULEKIT_CONCAT_(_res_, __LINE__)).value()
+
+#define RULEKIT_CONCAT_(a, b) RULEKIT_CONCAT_IMPL_(a, b)
+#define RULEKIT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // RULEKIT_COMMON_RESULT_H_

@@ -1,0 +1,80 @@
+#ifndef RULEKIT_COMMON_STATUS_H_
+#define RULEKIT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rulekit {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes that appear across the library; keep this list short.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (e.g. a bad regex)
+  kNotFound,          // a referenced entity does not exist
+  kAlreadyExists,     // uniqueness violated (e.g. duplicate rule id)
+  kFailedPrecondition,// object not in the right state for the call
+  kResourceExhausted, // a budget or cap was hit (e.g. DFA state cap)
+  kInternal,          // invariant violation inside the library
+  kIOError,           // filesystem problem
+};
+
+/// Value-semantic success/error carrier, used instead of exceptions across
+/// all public API boundaries (RocksDB idiom). A default-constructed Status
+/// is OK and carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace rulekit
+
+/// Propagate a non-OK Status to the caller. Statement form, usable only in
+/// functions returning Status.
+#define RULEKIT_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::rulekit::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // RULEKIT_COMMON_STATUS_H_

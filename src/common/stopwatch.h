@@ -1,0 +1,29 @@
+#ifndef RULEKIT_COMMON_STOPWATCH_H_
+#define RULEKIT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rulekit {
+
+/// Wall-clock stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_STOPWATCH_H_

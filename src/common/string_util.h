@@ -1,0 +1,51 @@
+#ifndef RULEKIT_COMMON_STRING_UTIL_H_
+#define RULEKIT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rulekit {
+
+/// ASCII lowercase copy. The library normalizes all product text to ASCII
+/// lowercase before matching, mirroring Chimera's title preprocessing.
+std::string ToLowerAscii(std::string_view s);
+
+/// In-place ASCII lowercase.
+void ToLowerAsciiInPlace(std::string& s);
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Split on any run of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack` (byte-wise).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Escape a string for embedding in our TSV/JSONL formats: backslash,
+/// tab, newline, carriage return.
+std::string EscapeControl(std::string_view s);
+
+/// Inverse of EscapeControl.
+std::string UnescapeControl(std::string_view s);
+
+/// Escape regex metacharacters so the result matches `s` literally.
+std::string RegexEscape(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#ifndef RULEKIT_COMMON_THREAD_POOL_H_
+#define RULEKIT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rulekit {
+
+/// Fixed-size worker pool used by the parallel rule executor. Stands in for
+/// the Hadoop cluster the paper mentions for scaling rule execution; the
+/// indexing-vs-scan and parallel-speedup claims are machine-local.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Partition [0, n) into roughly equal chunks and run `fn(begin, end)` on
+  /// the pool, blocking until all chunks complete.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_THREAD_POOL_H_

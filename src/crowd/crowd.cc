@@ -1,0 +1,38 @@
+#include "src/crowd/crowd.h"
+
+#include <algorithm>
+
+namespace rulekit::crowd {
+
+CrowdSimulator::CrowdSimulator(const CrowdConfig& config)
+    : rng_(config.seed), config_(config) {
+  workers_.reserve(config.num_workers);
+  for (size_t i = 0; i < config.num_workers; ++i) {
+    double acc = config.mean_worker_accuracy +
+                 config.worker_accuracy_stddev * rng_.NextGaussian();
+    workers_.push_back(std::clamp(acc, 0.51, 0.999));
+  }
+}
+
+bool CrowdSimulator::AskYesNo(bool ground_truth) {
+  size_t yes = 0, no = 0;
+  for (size_t v = 0; v < config_.votes_per_task; ++v) {
+    const double acc = workers_[rng_.Uniform(workers_.size())];
+    bool answer = rng_.Bernoulli(acc) ? ground_truth : !ground_truth;
+    (answer ? yes : no) += 1;
+    ++num_votes_;
+    total_cost_ += config_.cost_per_vote;
+  }
+  ++num_tasks_;
+  bool majority = yes >= no;  // ties (even vote counts) resolve to yes
+  if (majority == ground_truth) ++num_correct_;
+  return majority;
+}
+
+double CrowdSimulator::empirical_accuracy() const {
+  if (num_tasks_ == 0) return 1.0;
+  return static_cast<double>(num_correct_) /
+         static_cast<double>(num_tasks_);
+}
+
+}  // namespace rulekit::crowd

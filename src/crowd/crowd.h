@@ -1,0 +1,60 @@
+#ifndef RULEKIT_CROWD_CROWD_H_
+#define RULEKIT_CROWD_CROWD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace rulekit::crowd {
+
+/// Configuration of the simulated crowd. Workers have individual accuracy
+/// levels drawn from a truncated normal; each yes/no task is answered by
+/// majority vote of `votes_per_task` randomly chosen workers. This stands
+/// in for the paper's crowdsourcing platform (DESIGN.md substitution
+/// table): what the experiments need is a noisy labeling oracle with a
+/// per-question cost.
+struct CrowdConfig {
+  uint64_t seed = 123;
+  size_t num_workers = 50;
+  double mean_worker_accuracy = 0.93;
+  double worker_accuracy_stddev = 0.05;
+  size_t votes_per_task = 3;
+  double cost_per_vote = 1.0;  // abstract cost units
+};
+
+/// Simulated crowdsourcing marketplace for yes/no verification tasks
+/// ("is predicted type T correct for this item?").
+class CrowdSimulator {
+ public:
+  explicit CrowdSimulator(const CrowdConfig& config);
+
+  /// Poses one yes/no task whose correct answer is `ground_truth`; returns
+  /// the majority vote. Spends votes_per_task * cost_per_vote.
+  bool AskYesNo(bool ground_truth);
+
+  /// Accounting.
+  size_t num_tasks() const { return num_tasks_; }
+  size_t num_votes() const { return num_votes_; }
+  double total_cost() const { return total_cost_; }
+
+  /// Empirical accuracy of the majority vote so far (for calibration
+  /// tests); NaN-free: returns 1.0 before any task.
+  double empirical_accuracy() const;
+
+  const std::vector<double>& worker_accuracies() const { return workers_; }
+
+ private:
+  Rng rng_;
+  CrowdConfig config_;
+  std::vector<double> workers_;
+  size_t num_tasks_ = 0;
+  size_t num_votes_ = 0;
+  size_t num_correct_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace rulekit::crowd
+
+#endif  // RULEKIT_CROWD_CROWD_H_

@@ -1,0 +1,33 @@
+#include "src/crowd/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rulekit::crowd {
+
+PrecisionEstimate WilsonEstimate(size_t positives, size_t n, double z) {
+  PrecisionEstimate out;
+  out.sample_size = n;
+  out.positives = positives;
+  if (n == 0) return out;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(positives) / nn;
+  out.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = p + z2 / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  out.lower = std::max(0.0, (center - margin) / denom);
+  out.upper = std::min(1.0, (center + margin) / denom);
+  return out;
+}
+
+size_t SamplesForHalfWidth(double half_width, double z) {
+  half_width = std::max(1e-6, half_width);
+  // Normal-approximation planning bound at p = 0.5.
+  double n = z * z * 0.25 / (half_width * half_width);
+  return static_cast<size_t>(std::ceil(n));
+}
+
+}  // namespace rulekit::crowd

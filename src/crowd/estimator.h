@@ -1,0 +1,28 @@
+#ifndef RULEKIT_CROWD_ESTIMATOR_H_
+#define RULEKIT_CROWD_ESTIMATOR_H_
+
+#include <cstddef>
+
+namespace rulekit::crowd {
+
+/// A sampled precision estimate with a Wilson-score confidence interval.
+struct PrecisionEstimate {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 1.0;
+  size_t sample_size = 0;
+  size_t positives = 0;
+};
+
+/// Wilson score interval for a binomial proportion at confidence level
+/// z (1.96 = 95%). Well-behaved for small n and extreme proportions,
+/// which matters for "tail" rules sampled with a handful of items.
+PrecisionEstimate WilsonEstimate(size_t positives, size_t n, double z = 1.96);
+
+/// Number of samples needed so the Wilson interval half-width at worst-case
+/// p=0.5 is at most `half_width` (planning helper for sampling budgets).
+size_t SamplesForHalfWidth(double half_width, double z = 1.96);
+
+}  // namespace rulekit::crowd
+
+#endif  // RULEKIT_CROWD_ESTIMATOR_H_

@@ -1,0 +1,511 @@
+#include "src/data/catalog_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::data {
+
+namespace {
+
+const std::vector<std::string>& GenericBrands() {
+  static const auto* kBrands = new std::vector<std::string>{
+      "mainstays",    "better homes", "ozark trail", "great value",
+      "hyper tough",  "parkview",     "holden",      "northbrook",
+      "silverline",   "eastport"};
+  return *kBrands;
+}
+
+const std::vector<std::string>& Colors() {
+  static const auto* kColors = new std::vector<std::string>{
+      "black", "white", "red",  "blue",  "green", "ivory",
+      "gray",  "brown", "navy", "beige", "teal",  "burgundy"};
+  return *kColors;
+}
+
+const std::vector<std::string>& Suffixes() {
+  static const auto* kSuffixes = new std::vector<std::string>{
+      "5x7",        "8x10",     "2 pack",  "3 pack",  "value bundle",
+      "size 10",    "size m",   "size l",  "xl",      "standard",
+      "deluxe",     "premium",  "classic", "2026 model"};
+  return *kSuffixes;
+}
+
+}  // namespace
+
+std::vector<TypeSpec> CatalogGenerator::CuratedSpecs() {
+  std::vector<TypeSpec> specs;
+
+  // Table 1 types first.
+  specs.push_back({"area rugs",
+                   {"rug", "rugs"},
+                   {"area", "shaw", "oriental", "novelty", "braided", "royal",
+                    "casual", "tufted", "contemporary", "floral", "shag",
+                    "medallion"},
+                   {"wool", "polypropylene", "jute", "microfiber"},
+                   {},
+                   15, 400});
+  specs.push_back({"athletic gloves",
+                   {"gloves", "glove"},
+                   {"athletic", "impact", "football", "training", "boxing",
+                    "golf", "workout", "batting", "weightlifting",
+                    "sparring"},
+                   {"leather", "synthetic", "neoprene"},
+                   {},
+                   8, 80});
+  specs.push_back({"shorts",
+                   {"shorts"},
+                   {"boys", "denim", "knit", "cotton blend", "elastic",
+                    "loose fit", "classic mesh", "cargo", "carpenter",
+                    "athletic fit"},
+                   {"cotton", "polyester", "fleece"},
+                   {},
+                   6, 40});
+  specs.push_back({"abrasive wheels & discs",
+                   {"wheels", "wheel", "discs", "disc"},
+                   {"abrasive", "flap", "grinding", "fiber", "sanding",
+                    "zirconia fiber", "cutter", "knot", "twisted knot",
+                    "cutoff"},
+                   {"aluminum oxide", "silicon carbide", "ceramic"},
+                   {"dewalt", "makita", "norton", "3m"},
+                   5, 60});
+
+  // Types used throughout the paper's narrative.
+  specs.push_back({"motor oil",
+                   {"oil", "oils", "lubricant", "lubricants"},
+                   {"motor", "engine", "automotive", "car", "truck", "suv",
+                    "van", "vehicle", "motorcycle", "pickup", "scooter",
+                    "atv", "boat"},
+                   {"5w-30", "10w-40", "full synthetic", "high mileage"},
+                   {"castrol", "mobil", "pennzoil", "valvoline",
+                    "quaker state"},
+                   10, 70});
+  specs.push_back({"rings",
+                   {"ring", "rings", "wedding band", "wedding bands",
+                    "trio set"},
+                   {"wedding", "diamond", "engagement", "eternity",
+                    "solitaire", "sapphire", "promise", "birthstone", "halo",
+                    "anniversary"},
+                   {"10kt white gold", "sterling silver", "platinaire",
+                    "rose gold", "tungsten"},
+                   {"always & forever", "keepsake", "miabella"},
+                   25, 900});
+  specs.push_back({"jeans",
+                   {"jeans", "jean"},
+                   {"denim", "relaxed fit", "skinny", "bootcut",
+                    "straight leg", "slim fit", "carpenter", "distressed",
+                    "regular fit", "indigo"},
+                   {"cotton", "stretch denim"},
+                   {"dickies", "levis", "wrangler", "lee"},
+                   12, 90});
+  specs.push_back({"laptop bags & cases",
+                   {"bag", "bags", "case", "cases", "sleeve"},
+                   {"laptop", "notebook", "chromebook", "messenger",
+                    "carrying", "protective", "neoprene zip"},
+                   {"nylon", "neoprene", "leather", "eva"},
+                   {"targus", "case logic", "swissgear"},
+                   10, 90});
+  specs.push_back({"books",
+                   {"book", "novel", "paperback", "hardcover"},
+                   {"mystery", "romance", "cook", "children's", "history",
+                    "fantasy", "science fiction", "biography"},
+                   {},
+                   {"penguin", "harpercollins", "random house"},
+                   4, 45,
+                   /*has_isbn=*/true});
+  specs.push_back({"smart phones",
+                   {"smartphone", "phone", "phones"},
+                   {"smart", "android", "unlocked", "4g lte", "dual sim",
+                    "prepaid", "refurbished"},
+                   {},
+                   {"apple", "samsung", "motorola", "nokia", "lg"},
+                   60, 1100});
+  specs.push_back({"laptop computers",
+                   {"laptop", "laptops", "ultrabook"},
+                   {"gaming", "touchscreen", "business", "2-in-1",
+                    "convertible", "student"},
+                   {},
+                   {"apple", "dell", "hp", "lenovo", "asus", "acer"},
+                   250, 2400});
+  specs.push_back({"computer cables",
+                   {"cable", "cables", "cord", "cords"},
+                   {"usb", "hdmi", "ethernet", "networking", "vga", "dvi",
+                    "sata", "motherboard", "monitor", "printer", "charging",
+                    "extension", "mouse"},
+                   {"braided", "gold plated"},
+                   {"belkin", "amazonbasics", "monoprice"},
+                   3, 35});
+  specs.push_back({"handbags",
+                   {"handbag", "handbags", "satchel", "purse", "tote",
+                    "clutch", "hobo bag"},
+                   {"crossbody", "shoulder", "quilted", "woven", "studded",
+                    "convertible"},
+                   {"leather", "faux leather", "canvas"},
+                   {"michael kors", "coach", "nine west"},
+                   20, 350});
+  specs.push_back({"dining chairs",
+                   {"chair", "chairs"},
+                   {"dining", "upholstered", "ladder back", "parsons",
+                    "side", "wingback", "slat back"},
+                   {"oak", "walnut", "metal", "velvet"},
+                   {},
+                   40, 320});
+  specs.push_back({"holiday decorations",
+                   {"christmas tree", "christmas trees", "garland",
+                    "wreath"},
+                   {"pre-lit", "artificial", "spruce", "fir", "pine",
+                    "flocked"},
+                   {},
+                   {},
+                   15, 300,
+                   /*has_isbn=*/false,
+                   /*weight=*/0.12});  // deliberate tail type (§4 "tail rules")
+  specs.push_back({"table lamps",
+                   {"lamp", "lamps"},
+                   {"table", "desk", "bedside", "torchiere", "accent",
+                    "banker's"},
+                   {"brushed nickel", "ceramic", "glass"},
+                   {},
+                   12, 150});
+  specs.push_back({"dog food",
+                   {"dog food", "puppy food", "kibble"},
+                   {"dry", "grain free", "adult", "senior", "small breed",
+                    "high protein"},
+                   {"chicken", "beef", "salmon"},
+                   {"pedigree", "purina", "iams", "blue buffalo"},
+                   10, 70});
+  specs.push_back({"bath towels",
+                   {"towel", "towels", "washcloth"},
+                   {"bath", "beach", "hand", "quick dry", "oversized"},
+                   {"egyptian cotton", "microfiber", "bamboo"},
+                   {},
+                   5, 60});
+  specs.push_back({"coffee makers",
+                   {"coffee maker", "coffee makers", "espresso machine"},
+                   {"single serve", "12-cup", "programmable", "drip",
+                    "cold brew", "thermal"},
+                   {"stainless steel"},
+                   {"mr. coffee", "keurig", "hamilton beach", "ninja"},
+                   20, 250});
+  specs.push_back({"headphones",
+                   {"headphones", "headphone", "earbuds", "headset"},
+                   {"wireless", "bluetooth", "noise cancelling", "over-ear",
+                    "in-ear", "gaming"},
+                   {},
+                   {"sony", "jbl", "beats", "skullcandy"},
+                   10, 350});
+  specs.push_back({"office desks",
+                   {"desk", "desks"},
+                   {"computer", "writing", "standing", "l-shaped", "corner",
+                    "executive"},
+                   {"oak", "glass", "steel"},
+                   {},
+                   60, 600});
+  specs.push_back({"wall art",
+                   {"canvas print", "wall art", "poster", "framed print"},
+                   {"abstract", "vintage", "botanical", "typography",
+                    "panoramic"},
+                   {},
+                   {},
+                   8, 180});
+  specs.push_back({"baby strollers",
+                   {"stroller", "strollers"},
+                   {"jogging", "umbrella", "double", "travel system",
+                    "lightweight", "reversible"},
+                   {},
+                   {"graco", "chicco", "evenflo", "baby trend"},
+                   50, 500});
+  specs.push_back({"power drills",
+                   {"drill", "drills", "drill driver"},
+                   {"cordless", "hammer", "impact", "brushless",
+                    "right angle", "20v max"},
+                   {},
+                   {"dewalt", "makita", "ryobi", "black+decker"},
+                   30, 300});
+  specs.push_back({"winter coats",
+                   {"coat", "coats", "parka"},
+                   {"winter", "puffer", "down", "hooded", "quilted",
+                    "insulated"},
+                   {"polyester", "wool blend", "faux fur"},
+                   {},
+                   25, 250});
+  specs.push_back({"vacuum cleaners",
+                   {"vacuum", "vacuums", "vacuum cleaner"},
+                   {"robot", "upright", "canister", "cordless", "bagless",
+                    "stick"},
+                   {},
+                   {"dyson", "shark", "bissell", "hoover", "eureka"},
+                   40, 600});
+  specs.push_back({"bed sheets",
+                   {"sheet set", "sheets", "bed sheets"},
+                   {"queen", "king", "twin", "deep pocket",
+                    "1800 thread count", "sateen"},
+                   {"microfiber", "egyptian cotton", "bamboo"},
+                   {},
+                   12, 120});
+  specs.push_back({"wrist watches",
+                   {"watch", "watches", "wristwatch"},
+                   {"chronograph", "digital", "analog", "dive", "fitness",
+                    "dress"},
+                   {"stainless steel", "silicone", "leather"},
+                   {"casio", "timex", "fossil", "armitron"},
+                   15, 400});
+
+  return specs;
+}
+
+CatalogGenerator::CatalogGenerator(const GeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  specs_ = CuratedSpecs();
+  while (specs_.size() < config_.num_types) {
+    specs_.push_back(SynthesizeSpec());
+  }
+  if (config_.num_types > 0 && specs_.size() > config_.num_types) {
+    specs_.resize(config_.num_types);
+  }
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    taxonomy_.AddType(specs_[i].name);
+    spec_index_[specs_[i].name] = i;
+  }
+  RebuildSampler();
+}
+
+void CatalogGenerator::RebuildSampler() {
+  sample_weights_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    double zipf = 1.0 / std::pow(static_cast<double>(i + 1),
+                                 config_.zipf_skew);
+    sample_weights_[i] = zipf * specs_[i].weight;
+  }
+}
+
+size_t CatalogGenerator::SpecIndexOf(std::string_view type_name) const {
+  auto it = spec_index_.find(std::string(type_name));
+  return it == spec_index_.end() ? kNpos : it->second;
+}
+
+std::string CatalogGenerator::FreshWord() {
+  static const char* kOnsets[] = {"b",  "br", "d",  "dr", "f",  "gl", "k",
+                                  "kr", "l",  "m",  "n",  "p",  "pl", "r",
+                                  "s",  "st", "t",  "tr", "v",  "z"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "or"};
+  static const char* kCodas[] = {"b", "d", "g", "k", "l", "m", "n", "p",
+                                 "r", "s", "t", "x"};
+  std::string word;
+  int syllables = 2 + static_cast<int>(rng_.Uniform(2));
+  for (int s = 0; s < syllables; ++s) {
+    word += kOnsets[rng_.Uniform(std::size(kOnsets))];
+    word += kVowels[rng_.Uniform(std::size(kVowels))];
+  }
+  word += kCodas[rng_.Uniform(std::size(kCodas))];
+  // Uniqueness: suffix with a counter; collisions with English vocabulary
+  // are implausible and harmless anyway.
+  word += StrFormat("%llu", static_cast<unsigned long long>(next_word_id_++));
+  return word;
+}
+
+TypeSpec CatalogGenerator::SynthesizeSpec() {
+  TypeSpec spec;
+  std::string noun = FreshWord();
+  spec.name = FreshWord() + " " + noun + "s";
+  spec.head_nouns = {noun, noun + "s"};
+  size_t num_qualifiers = 5 + rng_.Uniform(8);
+  for (size_t i = 0; i < num_qualifiers; ++i) {
+    spec.qualifiers.push_back(FreshWord());
+  }
+  for (size_t i = 0; i < 3; ++i) spec.materials.push_back(FreshWord());
+  spec.min_price = 5.0 + rng_.NextDouble() * 50.0;
+  spec.max_price = spec.min_price * (2.0 + rng_.NextDouble() * 8.0);
+  return spec;
+}
+
+std::string CatalogGenerator::MakeTitle(const TypeSpec& spec, Rng& rng,
+                                        const VendorProfile* vendor,
+                                        std::string* title_brand) {
+  std::vector<std::string> parts;
+
+  const std::vector<std::string>& brands =
+      spec.brands.empty() ? GenericBrands() : spec.brands;
+  if (rng.Bernoulli(0.65)) {
+    std::string brand = brands[rng.Uniform(brands.size())];
+    parts.push_back(brand);
+    if (title_brand != nullptr) *title_brand = brand;
+  }
+
+  // 1-2 qualifiers.
+  if (!spec.qualifiers.empty()) {
+    size_t qi = rng.Uniform(spec.qualifiers.size());
+    parts.push_back(spec.qualifiers[qi]);
+    if (spec.qualifiers.size() > 1 && rng.Bernoulli(0.3)) {
+      size_t qj = rng.Uniform(spec.qualifiers.size());
+      if (qj != qi) parts.push_back(spec.qualifiers[qj]);
+    }
+  }
+
+  if (!spec.materials.empty() && rng.Bernoulli(0.4)) {
+    parts.push_back(spec.materials[rng.Uniform(spec.materials.size())]);
+  }
+
+  // Head noun (sometimes omitted; sometimes vendor-aliased).
+  if (!rng.Bernoulli(config_.omit_noun_prob)) {
+    std::string noun = spec.head_nouns[rng.Uniform(spec.head_nouns.size())];
+    if (vendor != nullptr && rng.Bernoulli(vendor->alias_prob)) {
+      auto it = vendor->noun_aliases.find(spec.name);
+      if (it != vendor->noun_aliases.end() && !it->second.empty()) {
+        noun = it->second[rng.Uniform(it->second.size())];
+      }
+    }
+    parts.push_back(noun);
+  }
+
+  if (rng.Bernoulli(0.5)) {
+    parts.push_back(Suffixes()[rng.Uniform(Suffixes().size())]);
+  }
+  if (rng.Bernoulli(0.35)) {
+    parts.push_back(Colors()[rng.Uniform(Colors().size())]);
+  }
+
+  // Cross-type confuser phrase.
+  if (specs_.size() > 1 && rng.Bernoulli(config_.confuser_prob)) {
+    const TypeSpec& other = specs_[rng.Uniform(specs_.size())];
+    if (other.name != spec.name && !other.head_nouns.empty()) {
+      parts.push_back("for " +
+                      other.head_nouns[rng.Uniform(other.head_nouns.size())]);
+    }
+  }
+
+  std::string title = Join(parts, " ");
+
+  // Typo: transpose two adjacent characters.
+  if (title.size() > 3 && rng.Bernoulli(config_.typo_prob)) {
+    size_t i = 1 + rng.Uniform(title.size() - 2);
+    if (title[i] != ' ' && title[i + 1] != ' ') {
+      std::swap(title[i], title[i + 1]);
+    }
+  }
+  return title;
+}
+
+LabeledItem CatalogGenerator::MakeItem(size_t spec_index, Rng& rng,
+                                       const VendorProfile* vendor) {
+  const TypeSpec& spec = specs_[spec_index];
+  LabeledItem out;
+  out.label = spec.name;
+  out.item.id = StrFormat("item-%llu",
+                          static_cast<unsigned long long>(next_item_id_++));
+  std::string title_brand;
+  out.item.title = MakeTitle(spec, rng, vendor, &title_brand);
+
+  double attr_keep = vendor == nullptr ? 1.0 : 1.0 - vendor->attr_dropout;
+
+  double price = spec.min_price +
+                 rng.NextDouble() * (spec.max_price - spec.min_price);
+  out.item.SetAttribute("Price", StrFormat("%.2f", price));
+
+  // The Brand attribute, when present, agrees with the title's brand (a
+  // title-less brand draws randomly).
+  const std::vector<std::string>& brands =
+      spec.brands.empty() ? GenericBrands() : spec.brands;
+  if (rng.Bernoulli(0.8 * attr_keep)) {
+    out.item.SetAttribute("Brand",
+                          title_brand.empty()
+                              ? brands[rng.Uniform(brands.size())]
+                              : title_brand);
+  }
+  if (rng.Bernoulli(0.45 * attr_keep)) {
+    out.item.SetAttribute("Color", Colors()[rng.Uniform(Colors().size())]);
+  }
+  if (rng.Bernoulli(0.3 * attr_keep)) {
+    out.item.SetAttribute(
+        "Item Weight",
+        StrFormat("%.1f lb", 0.2 + rng.NextDouble() * 40.0));
+  }
+  if (spec.has_isbn && rng.Bernoulli(0.95)) {
+    std::string isbn = "978";
+    for (int i = 0; i < 10; ++i) {
+      isbn += static_cast<char>('0' + rng.Uniform(10));
+    }
+    out.item.SetAttribute("ISBN", isbn);
+  }
+  if (rng.Bernoulli(0.7 * attr_keep)) {
+    std::string desc = spec.qualifiers.empty()
+                           ? spec.name
+                           : spec.qualifiers[rng.Uniform(
+                                 spec.qualifiers.size())] +
+                                 " " + spec.name;
+    out.item.SetAttribute("Description",
+                          "quality " + desc + " for everyday use");
+  }
+  return out;
+}
+
+LabeledItem CatalogGenerator::Generate() {
+  size_t spec_index = rng_.WeightedIndex(sample_weights_);
+  return MakeItem(spec_index, rng_, nullptr);
+}
+
+std::vector<LabeledItem> CatalogGenerator::GenerateMany(size_t n) {
+  std::vector<LabeledItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Generate());
+  return out;
+}
+
+LabeledItem CatalogGenerator::GenerateOfType(size_t spec_index) {
+  assert(spec_index < specs_.size());
+  return MakeItem(spec_index, rng_, nullptr);
+}
+
+std::vector<LabeledItem> CatalogGenerator::GenerateManyOfType(
+    size_t spec_index, size_t n) {
+  std::vector<LabeledItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(GenerateOfType(spec_index));
+  return out;
+}
+
+std::vector<LabeledItem> CatalogGenerator::GenerateVendorBatch(
+    size_t n, const VendorProfile& vendor) {
+  std::vector<LabeledItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t spec_index = rng_.WeightedIndex(sample_weights_);
+    out.push_back(MakeItem(spec_index, rng_, &vendor));
+  }
+  return out;
+}
+
+VendorProfile CatalogGenerator::MakeOddVendor(size_t num_renamed_types) {
+  VendorProfile vendor;
+  vendor.name = "vendor-" + FreshWord();
+  vendor.alias_prob = 0.9;
+  vendor.attr_dropout = 0.5;
+  num_renamed_types = std::min(num_renamed_types, specs_.size());
+  auto picks = rng_.SampleWithoutReplacement(specs_.size(),
+                                             num_renamed_types);
+  for (size_t idx : picks) {
+    vendor.noun_aliases[specs_[idx].name] = {FreshWord(), FreshWord()};
+  }
+  return vendor;
+}
+
+void CatalogGenerator::AddQualifier(size_t spec_index,
+                                    std::string qualifier) {
+  assert(spec_index < specs_.size());
+  specs_[spec_index].qualifiers.push_back(std::move(qualifier));
+}
+
+void CatalogGenerator::AddHeadNoun(size_t spec_index, std::string noun) {
+  assert(spec_index < specs_.size());
+  specs_[spec_index].head_nouns.push_back(std::move(noun));
+}
+
+void CatalogGenerator::SetTypeWeight(size_t spec_index, double weight) {
+  assert(spec_index < specs_.size());
+  specs_[spec_index].weight = weight;
+  RebuildSampler();
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,137 @@
+#ifndef RULEKIT_DATA_CATALOG_GENERATOR_H_
+#define RULEKIT_DATA_CATALOG_GENERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/product.h"
+#include "src/data/taxonomy.h"
+
+namespace rulekit::data {
+
+/// Vocabulary specification of one product type. Titles of the type are
+/// assembled as "[brand] [qualifier]+ [material] [head noun] [suffix]";
+/// `qualifiers` doubles as the ground-truth synonym set that the §5.1
+/// synonym-finder experiments try to rediscover.
+struct TypeSpec {
+  std::string name;
+  std::vector<std::string> head_nouns;   // singular/plural/alias forms
+  std::vector<std::string> qualifiers;   // discoverable "synonyms"
+  std::vector<std::string> materials;
+  std::vector<std::string> brands;       // empty -> generic brand pool
+  double min_price = 5.0;
+  double max_price = 100.0;
+  bool has_isbn = false;    // books carry an ISBN attribute
+  double weight = 1.0;      // relative popularity multiplier
+};
+
+/// Knobs of the synthetic catalog. The generator substitutes for the
+/// paper's Walmart product feed (see DESIGN.md): large-scale, noisy,
+/// skewed across types, arriving in vendor batches, subject to drift.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  /// Total number of product types. At least the curated set (~28); any
+  /// excess is synthesized with generated vocabularies.
+  size_t num_types = 40;
+  /// Zipf skew of type popularity (larger = heavier head).
+  double zipf_skew = 1.05;
+  /// Probability of a character transposition typo somewhere in the title.
+  double typo_prob = 0.03;
+  /// Probability that the title omits the head noun (hard items that only
+  /// attributes/brands can classify).
+  double omit_noun_prob = 0.05;
+  /// Probability of appending a cross-type confuser phrase
+  /// ("... for laptop").
+  double confuser_prob = 0.05;
+};
+
+/// A marketplace vendor with its own vocabulary habits. An "odd" vendor
+/// that renames head nouns models the §2.2 scale-down scenario: a batch
+/// whose items the deployed rules suddenly cannot classify.
+struct VendorProfile {
+  std::string name;
+  /// Probability that the head noun is replaced by a vendor-specific alias.
+  double alias_prob = 0.0;
+  /// type name -> alias nouns used by this vendor.
+  std::unordered_map<std::string, std::vector<std::string>> noun_aliases;
+  /// Probability that each non-required attribute is dropped.
+  double attr_dropout = 0.0;
+};
+
+/// Deterministic synthetic product catalog.
+class CatalogGenerator {
+ public:
+  explicit CatalogGenerator(const GeneratorConfig& config);
+
+  /// The ~28 hand-curated type specs (Table 1's four types included).
+  static std::vector<TypeSpec> CuratedSpecs();
+
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+  const std::vector<TypeSpec>& specs() const { return specs_; }
+
+  /// Index into specs() for a type name, or npos.
+  size_t SpecIndexOf(std::string_view type_name) const;
+
+  /// One item of a type drawn from the Zipf popularity distribution.
+  LabeledItem Generate();
+
+  /// `n` items from the popularity distribution.
+  std::vector<LabeledItem> GenerateMany(size_t n);
+
+  /// One item of a specific type.
+  LabeledItem GenerateOfType(size_t spec_index);
+
+  /// `n` items of a specific type.
+  std::vector<LabeledItem> GenerateManyOfType(size_t spec_index, size_t n);
+
+  /// A batch from a vendor, applying the vendor's vocabulary quirks.
+  std::vector<LabeledItem> GenerateVendorBatch(size_t n,
+                                               const VendorProfile& vendor);
+
+  /// A vendor that renames the head nouns of `num_renamed_types` types to
+  /// fresh made-up words — the "new vendor, new vocabulary" stressor.
+  VendorProfile MakeOddVendor(size_t num_renamed_types);
+
+  // ---- drift hooks (used by data/drift.h) --------------------------------
+
+  /// Introduces a new qualifier word into a type's vocabulary (concept
+  /// drift: a new subtype appears; paper example "computer cables").
+  void AddQualifier(size_t spec_index, std::string qualifier);
+
+  /// Introduces a new head noun into a type's vocabulary (stronger concept
+  /// drift: a new kind of product joins the type, e.g. "dongle" joining
+  /// "computer cables" — noun-anchored rules miss these items).
+  void AddHeadNoun(size_t spec_index, std::string noun);
+
+  /// Rescales a type's popularity (distribution drift: seasonal shifts).
+  void SetTypeWeight(size_t spec_index, double weight);
+
+  /// A fresh made-up word not used anywhere in the catalog vocabulary.
+  std::string FreshWord();
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+ private:
+  std::string MakeTitle(const TypeSpec& spec, Rng& rng,
+                        const VendorProfile* vendor,
+                        std::string* title_brand);
+  LabeledItem MakeItem(size_t spec_index, Rng& rng,
+                       const VendorProfile* vendor);
+  TypeSpec SynthesizeSpec();
+  void RebuildSampler();
+
+  GeneratorConfig config_;
+  Rng rng_;
+  Taxonomy taxonomy_;
+  std::vector<TypeSpec> specs_;
+  std::vector<double> sample_weights_;  // zipf x spec weight
+  std::unordered_map<std::string, size_t> spec_index_;
+  uint64_t next_item_id_ = 0;
+  uint64_t next_word_id_ = 0;
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_CATALOG_GENERATOR_H_

@@ -1,0 +1,266 @@
+#include "src/data/dataset.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::data {
+
+namespace {
+
+constexpr char kAttrSep = '\x1e';
+
+std::string EscapeField(std::string_view s) {
+  // EscapeControl handles backslash/tab/newline; kAttrSep never occurs in
+  // generated text and is rejected on save if it does.
+  return EscapeControl(s);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveTsv(const std::string& path,
+               const std::vector<LabeledItem>& items) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const auto& li : items) {
+    for (std::string_view field : {std::string_view(li.label),
+                                   std::string_view(li.item.id),
+                                   std::string_view(li.item.title)}) {
+      if (field.find(kAttrSep) != std::string_view::npos) {
+        return Status::InvalidArgument(
+            "field contains the attribute separator byte 0x1e");
+      }
+    }
+    out << EscapeField(li.label) << '\t' << EscapeField(li.item.id) << '\t'
+        << EscapeField(li.item.title) << '\t';
+    bool first = true;
+    for (const auto& [k, v] : li.item.attributes) {
+      if (k.find(kAttrSep) != std::string::npos ||
+          v.find(kAttrSep) != std::string::npos ||
+          k.find('=') != std::string::npos) {
+        return Status::InvalidArgument(
+            "attribute contains a reserved separator character");
+      }
+      if (!first) out << kAttrSep;
+      first = false;
+      out << EscapeField(k) << '=' << EscapeField(v);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<LabeledItem>> LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<LabeledItem> items;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 4 tab-separated fields, got %zu",
+                    path.c_str(), line_no, fields.size()));
+    }
+    LabeledItem li;
+    li.label = UnescapeControl(fields[0]);
+    li.item.id = UnescapeControl(fields[1]);
+    li.item.title = UnescapeControl(fields[2]);
+    if (!fields[3].empty()) {
+      for (const auto& pair : Split(fields[3], kAttrSep)) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument(
+              StrFormat("%s:%zu: malformed attribute pair", path.c_str(),
+                        line_no));
+        }
+        li.item.attributes.emplace_back(
+            UnescapeControl(pair.substr(0, eq)),
+            UnescapeControl(pair.substr(eq + 1)));
+      }
+    }
+    items.push_back(std::move(li));
+  }
+  return items;
+}
+
+Status SaveJsonl(const std::string& path,
+                 const std::vector<LabeledItem>& items) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const auto& li : items) {
+    out << "{\"Item ID\": \"" << JsonEscape(li.item.id) << "\", \"Title\": \""
+        << JsonEscape(li.item.title) << "\"";
+    for (const auto& [k, v] : li.item.attributes) {
+      out << ", \"" << JsonEscape(k) << "\": \"" << JsonEscape(v) << "\"";
+    }
+    out << ", \"_type\": \"" << JsonEscape(li.label) << "\"}\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace {
+
+// Minimal parser for one flat JSON object with string keys and string
+// values — exactly the shape SaveJsonl emits.
+Status ParseJsonObject(
+    std::string_view line, size_t line_no, const std::string& path,
+    std::vector<std::pair<std::string, std::string>>* pairs) {
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("%s:%zu: %s", path.c_str(), line_no, msg.c_str()));
+  };
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string* out) -> Status {
+    skip_ws();
+    if (i >= line.size() || line[i] != '"') return err("expected '\"'");
+    ++i;
+    out->clear();
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (i >= line.size()) return err("dangling escape");
+      char e = line[i++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (i + 4 > line.size()) return err("truncated \\u escape");
+          unsigned value = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = line[i++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return err("bad \\u escape");
+          }
+          if (value > 0x7f) return err("non-ASCII \\u escape unsupported");
+          *out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return err("unknown escape");
+      }
+    }
+    if (i >= line.size()) return err("unterminated string");
+    ++i;  // closing quote
+    return Status::OK();
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return err("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return Status::OK();
+  while (true) {
+    std::string key, value;
+    RULEKIT_RETURN_IF_ERROR(parse_string(&key));
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return err("expected ':'");
+    ++i;
+    RULEKIT_RETURN_IF_ERROR(parse_string(&value));
+    pairs->emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') return Status::OK();
+    return err("expected ',' or '}'");
+  }
+}
+
+}  // namespace
+
+Result<std::vector<LabeledItem>> LoadJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<LabeledItem> items;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    RULEKIT_RETURN_IF_ERROR(ParseJsonObject(line, line_no, path, &pairs));
+    LabeledItem li;
+    for (auto& [key, value] : pairs) {
+      if (key == "Item ID") {
+        li.item.id = std::move(value);
+      } else if (key == "Title") {
+        li.item.title = std::move(value);
+      } else if (key == "_type") {
+        li.label = std::move(value);
+      } else {
+        li.item.attributes.emplace_back(std::move(key), std::move(value));
+      }
+    }
+    items.push_back(std::move(li));
+  }
+  return items;
+}
+
+std::pair<std::vector<LabeledItem>, std::vector<LabeledItem>> SplitByHash(
+    const std::vector<LabeledItem>& items, double test_fraction) {
+  std::vector<LabeledItem> train, test;
+  const uint64_t threshold =
+      static_cast<uint64_t>(test_fraction * 1000000.0);
+  for (const auto& li : items) {
+    uint64_t h = std::hash<std::string>{}(li.item.id);
+    // Mix, then reduce into [0, 1e6).
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    if (h % 1000000 < threshold) {
+      test.push_back(li);
+    } else {
+      train.push_back(li);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,39 @@
+#ifndef RULEKIT_DATA_DATASET_H_
+#define RULEKIT_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/product.h"
+
+namespace rulekit::data {
+
+/// Serializes labeled items to a TSV file:
+///   label \t id \t title \t k1=v1 \x1e k2=v2 ...
+/// Tabs/newlines/backslashes inside fields are backslash-escaped; attribute
+/// pairs are separated by the ASCII record separator 0x1e.
+Status SaveTsv(const std::string& path, const std::vector<LabeledItem>& items);
+
+/// Loads a file written by SaveTsv.
+Result<std::vector<LabeledItem>> LoadTsv(const std::string& path);
+
+/// Serializes items as JSON Lines, one product per line, in the shape of
+/// the paper's Figure 1 ({"Item ID": ..., "Title": ..., ...} plus a
+/// "_type" field for the label).
+Status SaveJsonl(const std::string& path,
+                 const std::vector<LabeledItem>& items);
+
+/// Loads a file written by SaveJsonl (flat JSON objects with string
+/// values). Unknown keys become attributes; a missing "_type" yields an
+/// empty label.
+Result<std::vector<LabeledItem>> LoadJsonl(const std::string& path);
+
+/// Splits items into train/test by a deterministic hash of the item id.
+/// `test_fraction` of items land in the second return component.
+std::pair<std::vector<LabeledItem>, std::vector<LabeledItem>> SplitByHash(
+    const std::vector<LabeledItem>& items, double test_fraction);
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_DATASET_H_

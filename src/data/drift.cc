@@ -1,0 +1,46 @@
+#include "src/data/drift.h"
+
+#include <cmath>
+
+namespace rulekit::data {
+
+DriftInjector::DriftInjector(CatalogGenerator& generator,
+                             const DriftConfig& config)
+    : generator_(generator), config_(config), rng_(config.seed) {
+  current_weights_.assign(generator_.specs().size(), 1.0);
+  for (size_t i = 0; i < generator_.specs().size(); ++i) {
+    current_weights_[i] = generator_.specs()[i].weight;
+  }
+}
+
+DriftEvent DriftInjector::AdvanceEra() {
+  DriftEvent event;
+  event.era = ++era_;
+  const size_t num_specs = generator_.specs().size();
+
+  // Concept drift: new qualifier words enter some types' vocabularies.
+  auto drifting = rng_.SampleWithoutReplacement(
+      num_specs, config_.concept_drift_types_per_era);
+  for (size_t idx : drifting) {
+    std::string word = generator_.FreshWord();
+    generator_.AddQualifier(idx, word);
+    event.new_qualifiers.emplace_back(generator_.specs()[idx].name, word);
+  }
+
+  // Distribution drift: rescale some types' popularity.
+  auto reweighted = rng_.SampleWithoutReplacement(
+      num_specs, config_.reweighted_types_per_era);
+  for (size_t idx : reweighted) {
+    double lo = std::log(config_.min_weight_factor);
+    double hi = std::log(config_.max_weight_factor);
+    double factor = std::exp(lo + rng_.NextDouble() * (hi - lo));
+    current_weights_[idx] *= factor;
+    generator_.SetTypeWeight(idx, current_weights_[idx]);
+    event.reweighted.emplace_back(generator_.specs()[idx].name, factor);
+  }
+
+  history_.push_back(event);
+  return event;
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,61 @@
+#ifndef RULEKIT_DATA_DRIFT_H_
+#define RULEKIT_DATA_DRIFT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/catalog_generator.h"
+
+namespace rulekit::data {
+
+/// Knobs of the drift process (paper §2.2/§3.2: never-ending data whose
+/// type vocabulary and distribution both change over time).
+struct DriftConfig {
+  uint64_t seed = 7;
+  /// Number of types that gain a brand-new qualifier word per era
+  /// (concept drift: "new types of computer cables keep appearing").
+  size_t concept_drift_types_per_era = 3;
+  /// Number of types whose popularity is rescaled per era (distribution
+  /// drift: seasonal/market shifts).
+  size_t reweighted_types_per_era = 5;
+  /// Multiplier range for reweighting (sampled log-uniformly).
+  double min_weight_factor = 0.2;
+  double max_weight_factor = 5.0;
+};
+
+/// Record of one era's mutations, so experiments can report exactly what
+/// drifted.
+struct DriftEvent {
+  size_t era = 0;
+  std::vector<std::pair<std::string, std::string>> new_qualifiers;  // type, word
+  std::vector<std::pair<std::string, double>> reweighted;           // type, factor
+};
+
+/// Applies concept drift and distribution drift to a CatalogGenerator in
+/// discrete "eras". Items generated after AdvanceEra() reflect the new
+/// vocabulary and popularity, which is what degrades deployed rules and
+/// learned models in the experiments.
+class DriftInjector {
+ public:
+  DriftInjector(CatalogGenerator& generator, const DriftConfig& config);
+
+  /// Mutates the generator and returns a record of what changed.
+  DriftEvent AdvanceEra();
+
+  size_t era() const { return era_; }
+  const std::vector<DriftEvent>& history() const { return history_; }
+
+ private:
+  CatalogGenerator& generator_;
+  DriftConfig config_;
+  Rng rng_;
+  size_t era_ = 0;
+  std::vector<DriftEvent> history_;
+  std::vector<double> current_weights_;
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_DRIFT_H_

@@ -1,0 +1,35 @@
+#include "src/data/product.h"
+
+#include <cstdlib>
+
+namespace rulekit::data {
+
+std::optional<std::string_view> ProductItem::GetAttribute(
+    std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+void ProductItem::SetAttribute(std::string_view name, std::string_view value) {
+  for (auto& [k, v] : attributes) {
+    if (k == name) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attributes.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<double> ProductItem::Price() const {
+  auto p = GetAttribute("Price");
+  if (!p.has_value()) return std::nullopt;
+  std::string s(*p);
+  char* end = nullptr;
+  double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;
+  return value;
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,43 @@
+#ifndef RULEKIT_DATA_PRODUCT_H_
+#define RULEKIT_DATA_PRODUCT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rulekit::data {
+
+/// A product item: a record of attribute-value pairs describing a product
+/// (paper §2.1, Figure 1). "Item ID" and "Title" are required and stored as
+/// dedicated fields; everything else ("Description", "Brand", "Color",
+/// "ISBN", "Price", ...) lives in `attributes`.
+struct ProductItem {
+  std::string id;
+  std::string title;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// Case-sensitive attribute lookup; first match wins.
+  std::optional<std::string_view> GetAttribute(std::string_view name) const;
+
+  bool HasAttribute(std::string_view name) const {
+    return GetAttribute(name).has_value();
+  }
+
+  /// Sets (replacing any existing value of) an attribute.
+  void SetAttribute(std::string_view name, std::string_view value);
+
+  /// The "Price" attribute parsed as a double, if present and numeric.
+  std::optional<double> Price() const;
+};
+
+/// A product item together with its ground-truth product type, used for
+/// training data, validation sets, and the synthetic generator's output.
+struct LabeledItem {
+  ProductItem item;
+  std::string label;  // product type name
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_PRODUCT_H_

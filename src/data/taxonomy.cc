@@ -1,0 +1,68 @@
+#include "src/data/taxonomy.h"
+
+#include <algorithm>
+
+namespace rulekit::data {
+
+TypeId Taxonomy::AddType(std::string_view name) {
+  std::string key(name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TypeId id = static_cast<TypeId>(names_.size());
+  names_.push_back(key);
+  active_.push_back(true);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TypeId Taxonomy::IdOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidTypeId : it->second;
+}
+
+size_t Taxonomy::num_active() const {
+  return static_cast<size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+std::vector<std::string> Taxonomy::ActiveTypes() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (active_[i]) out.push_back(names_[i]);
+  }
+  return out;
+}
+
+Status Taxonomy::SplitType(std::string_view name,
+                           const std::vector<std::string>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("split requires at least one part");
+  }
+  TypeId id = IdOf(name);
+  if (id == kInvalidTypeId) {
+    return Status::NotFound("unknown type: " + std::string(name));
+  }
+  if (!active_[id]) {
+    return Status::FailedPrecondition("type already retired: " +
+                                      std::string(name));
+  }
+  active_[id] = false;
+  std::vector<TypeId>& repl = replacements_[id];
+  for (const auto& part : parts) {
+    repl.push_back(AddType(part));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Taxonomy::ReplacementsOf(
+    std::string_view name) const {
+  TypeId id = IdOf(name);
+  std::vector<std::string> out;
+  if (id == kInvalidTypeId) return out;
+  auto it = replacements_.find(id);
+  if (it == replacements_.end()) return out;
+  for (TypeId r : it->second) out.push_back(names_[r]);
+  return out;
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,63 @@
+#ifndef RULEKIT_DATA_TAXONOMY_H_
+#define RULEKIT_DATA_TAXONOMY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace rulekit::data {
+
+/// Dense identifier of a product type within a Taxonomy.
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidTypeId = static_cast<TypeId>(-1);
+
+/// The registry of mutually exclusive product types (paper §2.1: 5,000+
+/// types such as "laptop computers", "area rugs", "rings"). Supports the
+/// split operation from §4 (Rule Maintenance): splitting "pants" into
+/// "work pants" and "jeans" retires the old type and invalidates its rules.
+class Taxonomy {
+ public:
+  /// Adds a type; returns its id, or the existing id if already present.
+  TypeId AddType(std::string_view name);
+
+  /// Id for `name`, or kInvalidTypeId.
+  TypeId IdOf(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return IdOf(name) != kInvalidTypeId;
+  }
+
+  /// Name of an id. Requires a valid id.
+  const std::string& NameOf(TypeId id) const { return names_[id]; }
+
+  /// True if the type exists and has not been retired by a split.
+  bool IsActive(TypeId id) const { return id < names_.size() && active_[id]; }
+
+  size_t size() const { return names_.size(); }
+  size_t num_active() const;
+
+  /// All active type names.
+  std::vector<std::string> ActiveTypes() const;
+
+  /// Splits `name` into `parts` (paper example: "pants" -> {"work pants",
+  /// "jeans"}): retires `name`, adds the parts, records the lineage. Fails
+  /// if `name` is unknown or already retired, or parts is empty.
+  Status SplitType(std::string_view name,
+                   const std::vector<std::string>& parts);
+
+  /// The replacement types of a retired type (empty if not retired).
+  std::vector<std::string> ReplacementsOf(std::string_view name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<bool> active_;
+  std::unordered_map<std::string, TypeId> index_;
+  std::unordered_map<TypeId, std::vector<TypeId>> replacements_;
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_TAXONOMY_H_

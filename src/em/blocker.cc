@@ -1,0 +1,84 @@
+#include "src/em/blocker.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "src/text/tokenizer.h"
+
+namespace rulekit::em {
+
+namespace {
+
+// Blocking keys of a record: its (sufficiently long) title tokens plus an
+// "isbn:" key when present.
+std::vector<std::string> KeysOf(const data::ProductItem& item,
+                                const BlockerOptions& options,
+                                const text::Tokenizer& tokenizer) {
+  std::vector<std::string> keys;
+  for (auto& tok : tokenizer.Tokenize(item.title)) {
+    if (tok.size() >= options.min_token_length) {
+      keys.push_back(std::move(tok));
+    }
+  }
+  if (auto isbn = item.GetAttribute("ISBN"); isbn.has_value()) {
+    keys.push_back("isbn:" + std::string(*isbn));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+TokenBlocker::TokenBlocker(BlockerOptions options) : options_(options) {}
+
+std::vector<std::pair<uint32_t, uint32_t>> TokenBlocker::CandidatePairs(
+    const std::vector<data::ProductItem>& records) const {
+  text::Tokenizer tokenizer;
+  std::unordered_map<std::string, std::vector<uint32_t>> blocks;
+  for (uint32_t i = 0; i < records.size(); ++i) {
+    for (const auto& key : KeysOf(records[i], options_, tokenizer)) {
+      blocks[key].push_back(i);
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (const auto& [key, members] : blocks) {
+    if (members.size() > options_.max_block_size) continue;
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        pairs.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+TokenBlocker::CandidatePairsAcross(
+    const std::vector<data::ProductItem>& left,
+    const std::vector<data::ProductItem>& right) const {
+  text::Tokenizer tokenizer;
+  std::unordered_map<std::string, std::vector<uint32_t>> right_blocks;
+  for (uint32_t j = 0; j < right.size(); ++j) {
+    for (const auto& key : KeysOf(right[j], options_, tokenizer)) {
+      right_blocks[key].push_back(j);
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (const auto& key : KeysOf(left[i], options_, tokenizer)) {
+      auto it = right_blocks.find(key);
+      if (it == right_blocks.end()) continue;
+      if (it->second.size() > options_.max_block_size) continue;
+      for (uint32_t j : it->second) pairs.emplace_back(i, j);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace rulekit::em

@@ -1,0 +1,45 @@
+#ifndef RULEKIT_EM_BLOCKER_H_
+#define RULEKIT_EM_BLOCKER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/data/product.h"
+
+namespace rulekit::em {
+
+/// Options for token blocking.
+struct BlockerOptions {
+  /// Tokens shorter than this do not form blocks (too common).
+  size_t min_token_length = 3;
+  /// Blocks larger than this are skipped (stopword-like tokens would
+  /// otherwise produce quadratic candidate blowup).
+  size_t max_block_size = 200;
+};
+
+/// Standard token blocking: candidate pairs share at least one title token
+/// (or an exact key attribute value like ISBN). Blocking is what makes
+/// rule-based EM feasible over large catalogs — evaluating every pair is
+/// quadratic.
+class TokenBlocker {
+ public:
+  explicit TokenBlocker(BlockerOptions options = {});
+
+  /// Candidate pairs (i, j), i < j, within one record collection.
+  std::vector<std::pair<uint32_t, uint32_t>> CandidatePairs(
+      const std::vector<data::ProductItem>& records) const;
+
+  /// Candidate pairs (i, j) across two collections: i indexes `left`,
+  /// j indexes `right`.
+  std::vector<std::pair<uint32_t, uint32_t>> CandidatePairsAcross(
+      const std::vector<data::ProductItem>& left,
+      const std::vector<data::ProductItem>& right) const;
+
+ private:
+  BlockerOptions options_;
+};
+
+}  // namespace rulekit::em
+
+#endif  // RULEKIT_EM_BLOCKER_H_

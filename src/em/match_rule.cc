@@ -1,0 +1,88 @@
+#include "src/em/match_rule.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+#include "src/text/similarity.h"
+
+namespace rulekit::em {
+
+namespace {
+
+std::optional<std::string> FieldOf(const data::ProductItem& item,
+                                   const std::string& attribute) {
+  if (attribute == "Title") return item.title;
+  auto v = item.GetAttribute(attribute);
+  if (!v.has_value()) return std::nullopt;
+  return std::string(*v);
+}
+
+}  // namespace
+
+bool EmCondition::Eval(const data::ProductItem& a,
+                       const data::ProductItem& b) const {
+  auto va = FieldOf(a, attribute);
+  auto vb = FieldOf(b, attribute);
+  if (!va.has_value() || !vb.has_value()) return false;
+  switch (op) {
+    case EmOp::kExactEqual:
+      return ToLowerAscii(*va) == ToLowerAscii(*vb);
+    case EmOp::kJaccard3Gram:
+      return text::JaccardNGram(ToLowerAscii(*va), ToLowerAscii(*vb), 3) >=
+             threshold;
+    case EmOp::kEditSimilarity:
+      return text::EditSimilarity(ToLowerAscii(*va), ToLowerAscii(*vb)) >=
+             threshold;
+    case EmOp::kNumericTolerance: {
+      char* end_a = nullptr;
+      char* end_b = nullptr;
+      double na = std::strtod(va->c_str(), &end_a);
+      double nb = std::strtod(vb->c_str(), &end_b);
+      if (end_a == va->c_str() || end_b == vb->c_str()) return false;
+      return std::fabs(na - nb) <= threshold;
+    }
+  }
+  return false;
+}
+
+std::string EmCondition::ToString() const {
+  switch (op) {
+    case EmOp::kExactEqual:
+      return StrFormat("[a.%s = b.%s]", attribute.c_str(),
+                       attribute.c_str());
+    case EmOp::kJaccard3Gram:
+      return StrFormat("[jaccard.3g(a.%s, b.%s) >= %.2f]",
+                       attribute.c_str(), attribute.c_str(), threshold);
+    case EmOp::kEditSimilarity:
+      return StrFormat("[editsim(a.%s, b.%s) >= %.2f]", attribute.c_str(),
+                       attribute.c_str(), threshold);
+    case EmOp::kNumericTolerance:
+      return StrFormat("[|a.%s - b.%s| <= %.2f]", attribute.c_str(),
+                       attribute.c_str(), threshold);
+  }
+  return "";
+}
+
+EmRule::EmRule(std::string id, std::vector<EmCondition> conditions)
+    : id_(std::move(id)), conditions_(std::move(conditions)) {}
+
+bool EmRule::Matches(const data::ProductItem& a,
+                     const data::ProductItem& b) const {
+  for (const auto& c : conditions_) {
+    if (!c.Eval(a, b)) return false;
+  }
+  return !conditions_.empty();
+}
+
+std::string EmRule::ToString() const {
+  std::string out = id_ + ": ";
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i) out += " AND ";
+    out += conditions_[i].ToString();
+  }
+  out += " => match";
+  return out;
+}
+
+}  // namespace rulekit::em

@@ -1,0 +1,54 @@
+#ifndef RULEKIT_EM_MATCH_RULE_H_
+#define RULEKIT_EM_MATCH_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+
+namespace rulekit::em {
+
+/// Similarity operator of one EM condition.
+enum class EmOp {
+  kExactEqual,       // attribute values equal (case-insensitive)
+  kJaccard3Gram,     // jaccard.3g(a, b) >= threshold (the paper's example)
+  kEditSimilarity,   // normalized edit similarity >= threshold
+  kNumericTolerance, // |a - b| <= threshold (both numeric)
+};
+
+/// One conjunct over a record pair. `attribute` may be "Title" (the title
+/// field) or any attribute name.
+struct EmCondition {
+  std::string attribute;
+  EmOp op = EmOp::kExactEqual;
+  double threshold = 0.0;
+
+  /// Evaluates the conjunct; missing attributes fail the condition.
+  bool Eval(const data::ProductItem& a, const data::ProductItem& b) const;
+
+  std::string ToString() const;
+};
+
+/// A declarative match rule: the conjunction of its conditions implies a
+/// match. The paper's example (§6):
+///   [a.isbn = b.isbn] ∧ [jaccard.3g(a.title, b.title) >= 0.8] => a ≈ b
+class EmRule {
+ public:
+  EmRule(std::string id, std::vector<EmCondition> conditions);
+
+  const std::string& id() const { return id_; }
+  const std::vector<EmCondition>& conditions() const { return conditions_; }
+
+  /// True if every condition holds (symmetric in a, b for all ops).
+  bool Matches(const data::ProductItem& a, const data::ProductItem& b) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string id_;
+  std::vector<EmCondition> conditions_;
+};
+
+}  // namespace rulekit::em
+
+#endif  // RULEKIT_EM_MATCH_RULE_H_

@@ -1,0 +1,69 @@
+#include "src/em/matcher.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::em {
+
+EmMatcher::EmMatcher(std::vector<EmRule> match_rules,
+                     std::vector<EmRule> reject_rules)
+    : rules_(std::move(match_rules)), rejects_(std::move(reject_rules)) {}
+
+bool EmMatcher::Matches(const data::ProductItem& a,
+                        const data::ProductItem& b,
+                        std::string* rule_id) const {
+  // Scan all rules and report the lowest id, so the explanation (not just
+  // the decision) is independent of rule order.
+  const EmRule* best = nullptr;
+  for (const auto& rule : rules_) {
+    if (!rule.Matches(a, b)) continue;
+    if (best == nullptr || rule.id() < best->id()) best = &rule;
+  }
+  if (best == nullptr) return false;
+  for (const auto& reject : rejects_) {
+    if (reject.Matches(a, b)) return false;
+  }
+  if (rule_id != nullptr) *rule_id = best->id();
+  return true;
+}
+
+std::vector<MatchDecision> EmMatcher::MatchAll(
+    const std::vector<data::ProductItem>& records,
+    const TokenBlocker& blocker) const {
+  std::vector<MatchDecision> out;
+  for (const auto& [i, j] : blocker.CandidatePairs(records)) {
+    std::string rule_id;
+    if (Matches(records[i], records[j], &rule_id)) {
+      out.push_back({i, j, rule_id});
+    }
+  }
+  return out;
+}
+
+data::ProductItem PerturbItem(const data::ProductItem& item, Rng& rng,
+                              double token_dropout, double typo_prob,
+                              double attr_dropout) {
+  data::ProductItem out;
+  out.id = item.id + "-dup";
+  // Token dropout, preserving order.
+  std::vector<std::string> kept;
+  for (const auto& tok : SplitWhitespace(item.title)) {
+    if (kept.empty() || !rng.Bernoulli(token_dropout)) kept.push_back(tok);
+  }
+  out.title = Join(kept, " ");
+  // Typo: one adjacent transposition.
+  if (out.title.size() > 3 && rng.Bernoulli(typo_prob)) {
+    size_t i = 1 + rng.Uniform(out.title.size() - 2);
+    if (out.title[i] != ' ' && out.title[i + 1] != ' ') {
+      std::swap(out.title[i], out.title[i + 1]);
+    }
+  }
+  for (const auto& [k, v] : item.attributes) {
+    if (k != "ISBN" && rng.Bernoulli(attr_dropout)) continue;
+    out.attributes.emplace_back(k, v);
+  }
+  return out;
+}
+
+}  // namespace rulekit::em

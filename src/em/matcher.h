@@ -1,0 +1,64 @@
+#ifndef RULEKIT_EM_MATCHER_H_
+#define RULEKIT_EM_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/em/blocker.h"
+#include "src/em/match_rule.h"
+
+namespace rulekit::em {
+
+/// One declared match with the rule that fired first (for explainability —
+/// one of the paper's core reasons rules survive in industry).
+struct MatchDecision {
+  uint32_t left = 0;
+  uint32_t right = 0;
+  std::string rule_id;
+};
+
+/// Rule-based entity matcher: a pair matches iff ANY rule matches it
+/// (disjunctive semantics). Because the rules vote independently and
+/// positively, the match set is invariant under rule reordering — the
+/// §5.3 question "would executing these rules in any order give us the
+/// same matching result?" has answer yes for this semantics, and the tests
+/// verify it.
+class EmMatcher {
+ public:
+  /// `match_rules` assert matches; `reject_rules` veto them (the analysts'
+  /// blacklist analog for EM): a pair matches iff some match rule fires
+  /// AND no reject rule fires. Both directions are order-independent.
+  explicit EmMatcher(std::vector<EmRule> match_rules,
+                     std::vector<EmRule> reject_rules = {});
+
+  const std::vector<EmRule>& match_rules() const { return rules_; }
+  const std::vector<EmRule>& reject_rules() const { return rejects_; }
+
+  /// True if some match rule fires and no reject rule does; fills
+  /// `rule_id` (lowest-id firing match rule, order-independent) when
+  /// provided.
+  bool Matches(const data::ProductItem& a, const data::ProductItem& b,
+               std::string* rule_id = nullptr) const;
+
+  /// All matches within one collection, via token blocking.
+  std::vector<MatchDecision> MatchAll(
+      const std::vector<data::ProductItem>& records,
+      const TokenBlocker& blocker) const;
+
+ private:
+  std::vector<EmRule> rules_;
+  std::vector<EmRule> rejects_;
+};
+
+/// Produces a noisy duplicate of an item — token dropout, transposition
+/// typos, attribute dropout — for EM benchmarks (the synthetic stand-in
+/// for real duplicate listings from different vendors).
+data::ProductItem PerturbItem(const data::ProductItem& item, Rng& rng,
+                              double token_dropout = 0.15,
+                              double typo_prob = 0.2,
+                              double attr_dropout = 0.3);
+
+}  // namespace rulekit::em
+
+#endif  // RULEKIT_EM_MATCHER_H_

@@ -1,0 +1,86 @@
+#include "src/engine/data_index.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::engine {
+
+uint32_t DataIndex::PackTrigram(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2]));
+}
+
+void DataIndex::Build(const std::vector<std::string>& titles) {
+  titles_.clear();
+  postings_.clear();
+  titles_.reserve(titles.size());
+  for (const auto& t : titles) titles_.push_back(ToLowerAscii(t));
+
+  for (uint32_t i = 0; i < titles_.size(); ++i) {
+    const std::string& t = titles_[i];
+    if (t.size() < 3) continue;
+    uint32_t prev = 0xffffffffu;
+    for (size_t j = 0; j + 3 <= t.size(); ++j) {
+      uint32_t g = PackTrigram(t.data() + j);
+      if (g == prev) continue;  // cheap dedupe of runs
+      prev = g;
+      auto& list = postings_[g];
+      if (list.empty() || list.back() != i) list.push_back(i);
+    }
+  }
+}
+
+std::vector<size_t> DataIndex::MatchingTitles(
+    const regex::Regex& re, DataIndexQueryStats* stats) const {
+  DataIndexQueryStats local;
+  auto literals = regex::RequiredAlternatives(re);
+
+  std::vector<size_t> candidates;
+  if (literals.ok()) {
+    local.used_index = true;
+    // For each alternative literal, probe its rarest trigram; a title can
+    // only match the literal if it contains every trigram of the literal,
+    // so the rarest one gives the tightest superset.
+    std::vector<uint32_t> merged;
+    for (const auto& lit : *literals) {
+      if (lit.size() < 3) {
+        local.used_index = false;
+        break;
+      }
+      const std::vector<uint32_t>* best = nullptr;
+      static const std::vector<uint32_t> kEmpty;
+      for (size_t j = 0; j + 3 <= lit.size(); ++j) {
+        auto it = postings_.find(PackTrigram(lit.data() + j));
+        const std::vector<uint32_t>* list = it == postings_.end()
+                                                ? &kEmpty
+                                                : &it->second;
+        if (best == nullptr || list->size() < best->size()) best = list;
+      }
+      if (best != nullptr) {
+        merged.insert(merged.end(), best->begin(), best->end());
+      }
+    }
+    if (local.used_index) {
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      candidates.assign(merged.begin(), merged.end());
+    }
+  }
+  if (!local.used_index) {
+    candidates.resize(titles_.size());
+    for (size_t i = 0; i < titles_.size(); ++i) candidates[i] = i;
+  }
+  local.candidates = candidates.size();
+
+  std::vector<size_t> matches;
+  for (size_t i : candidates) {
+    if (re.PartialMatch(titles_[i])) matches.push_back(i);
+  }
+  local.matches = matches.size();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+}  // namespace rulekit::engine

@@ -1,0 +1,54 @@
+#ifndef RULEKIT_ENGINE_DATA_INDEX_H_
+#define RULEKIT_ENGINE_DATA_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/regex/analysis.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::engine {
+
+/// Statistics from one indexed query.
+struct DataIndexQueryStats {
+  size_t candidates = 0;  // titles whose trigrams survived the prefilter
+  size_t matches = 0;     // titles the regex actually matched
+  bool used_index = false;
+};
+
+/// Character-trigram index over a development corpus of titles, for the §4
+/// rule-development loop: "the analyst often needs to run variations of
+/// rule R repeatedly on a development data set D ... a solution direction
+/// is to index the data set D for efficient rule execution."
+///
+/// Given a rule regex, the index probes the rarest trigram of each required
+/// literal, unions the posting lists, and verifies only those titles.
+class DataIndex {
+ public:
+  DataIndex() = default;
+
+  /// Indexes lowercased copies of `titles`. Positions in query results
+  /// refer to this vector.
+  void Build(const std::vector<std::string>& titles);
+
+  size_t num_titles() const { return titles_.size(); }
+  const std::string& TitleAt(size_t i) const { return titles_[i]; }
+
+  /// Indices of titles matching the (case-folded) regex, ascending.
+  /// Falls back to a full scan when the regex has no usable prefilter.
+  std::vector<size_t> MatchingTitles(const regex::Regex& re,
+                                     DataIndexQueryStats* stats = nullptr)
+      const;
+
+ private:
+  static uint32_t PackTrigram(const char* p);
+
+  std::vector<std::string> titles_;  // lowercased
+  std::unordered_map<uint32_t, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace rulekit::engine
+
+#endif  // RULEKIT_ENGINE_DATA_INDEX_H_

@@ -1,0 +1,68 @@
+#include "src/engine/executor.h"
+
+#include <atomic>
+
+#include "src/common/stopwatch.h"
+
+namespace rulekit::engine {
+
+RuleExecutor::RuleExecutor(const rules::RuleSet& set,
+                           ExecutorOptions options)
+    : set_(set), options_(options) {
+  if (options_.use_index) index_.Build(set_);
+  const auto& all = set_.rules();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const rules::Rule& r = all[i];
+    if (r.is_active() && (r.kind() == rules::RuleKind::kWhitelist ||
+                          r.kind() == rules::RuleKind::kBlacklist)) {
+      active_regex_rules_.push_back(i);
+    }
+  }
+}
+
+ExecutionResult RuleExecutor::Execute(
+    const std::vector<data::ProductItem>& items) const {
+  ExecutionResult result;
+  result.matches_per_item.resize(items.size());
+  std::atomic<size_t> evals{0};
+  std::atomic<size_t> matches{0};
+  const auto& all = set_.rules();
+
+  Stopwatch timer;
+  auto run_range = [&](size_t begin, size_t end) {
+    size_t local_evals = 0, local_matches = 0;
+    std::vector<size_t> candidates;
+    for (size_t i = begin; i < end; ++i) {
+      const data::ProductItem& item = items[i];
+      auto& out = result.matches_per_item[i];
+      if (options_.use_index) {
+        candidates = index_.Candidates(item.title);
+      }
+      const std::vector<size_t>& to_try =
+          options_.use_index ? candidates : active_regex_rules_;
+      for (size_t rule_idx : to_try) {
+        ++local_evals;
+        if (all[rule_idx].pattern_regex()->PartialMatch(item.title)) {
+          out.push_back(rule_idx);
+          ++local_matches;
+        }
+      }
+    }
+    evals.fetch_add(local_evals, std::memory_order_relaxed);
+    matches.fetch_add(local_matches, std::memory_order_relaxed);
+  };
+
+  if (options_.pool != nullptr) {
+    options_.pool->ParallelFor(items.size(), run_range);
+  } else {
+    run_range(0, items.size());
+  }
+
+  result.stats.items = items.size();
+  result.stats.rule_evaluations = evals.load();
+  result.stats.matches = matches.load();
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rulekit::engine

@@ -1,0 +1,129 @@
+#include "src/engine/rule_classifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rulekit::engine {
+
+RuleBasedClassifier::RuleBasedClassifier(
+    std::shared_ptr<const rules::RuleSet> rules,
+    RuleClassifierOptions options)
+    : rules_(std::move(rules)), options_(options) {
+  Rebuild();
+}
+
+void RuleBasedClassifier::Rebuild() {
+  if (options_.use_index) index_.Build(*rules_);
+}
+
+std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
+    const data::ProductItem& item) const {
+  const auto& all = rules_->rules();
+
+  // Phase 1: whitelist rules propose types (max confidence per type).
+  // Phase 2: blacklist rules veto types. The two-phase order makes the
+  // output independent of rule ordering within each phase.
+  std::unordered_map<std::string, double> proposed;
+  std::unordered_set<std::string> vetoed;
+
+  auto consider = [&](const rules::Rule& rule) {
+    if (!rule.is_active()) return;
+    if (rule.kind() == rules::RuleKind::kWhitelist) {
+      if (rule.Applies(item)) {
+        double& score = proposed[rule.target_type()];
+        score = std::max(score, rule.metadata().confidence);
+      }
+    }
+  };
+  auto veto = [&](const rules::Rule& rule) {
+    if (!rule.is_active()) return;
+    if (rule.kind() == rules::RuleKind::kBlacklist) {
+      if (rule.Applies(item)) vetoed.insert(rule.target_type());
+    }
+  };
+
+  if (options_.use_index) {
+    auto candidates = index_.Candidates(item.title);
+    for (size_t i : candidates) consider(all[i]);
+    if (!proposed.empty()) {
+      for (size_t i : candidates) veto(all[i]);
+    }
+  } else {
+    for (const auto& rule : all) consider(rule);
+    if (!proposed.empty()) {
+      for (const auto& rule : all) veto(rule);
+    }
+  }
+
+  std::vector<ml::ScoredLabel> out;
+  for (const auto& [type, score] : proposed) {
+    if (vetoed.count(type)) continue;
+    out.push_back({type, score});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+AttrValueClassifier::AttrValueClassifier(
+    std::shared_ptr<const rules::RuleSet> rules)
+    : rules_(std::move(rules)) {}
+
+std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
+    const data::ProductItem& item) const {
+  std::unordered_map<std::string, double> proposed;
+  std::unordered_set<std::string> vetoed;
+
+  for (const auto& rule : rules_->rules()) {
+    if (!rule.is_active()) continue;
+    switch (rule.kind()) {
+      case rules::RuleKind::kAttributeExists: {
+        if (!rule.Applies(item)) break;
+        double& score = proposed[rule.target_type()];
+        score = std::max(score, rule.metadata().confidence);
+        break;
+      }
+      case rules::RuleKind::kAttributeValue: {
+        if (!rule.Applies(item)) break;
+        // The value only narrows the item to a candidate set; weight is
+        // split across candidates.
+        double share = rule.metadata().confidence /
+                       static_cast<double>(rule.candidate_types().size());
+        for (const auto& type : rule.candidate_types()) {
+          double& score = proposed[type];
+          score = std::max(score, share);
+        }
+        break;
+      }
+      case rules::RuleKind::kPredicate: {
+        if (!rule.Applies(item)) break;
+        if (rule.is_positive()) {
+          double& score = proposed[rule.target_type()];
+          score = std::max(score, rule.metadata().confidence);
+        } else {
+          vetoed.insert(rule.target_type());
+        }
+        break;
+      }
+      case rules::RuleKind::kWhitelist:
+      case rules::RuleKind::kBlacklist:
+        break;  // handled by RuleBasedClassifier
+    }
+  }
+
+  std::vector<ml::ScoredLabel> out;
+  for (const auto& [type, score] : proposed) {
+    if (vetoed.count(type)) continue;
+    out.push_back({type, score});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+}  // namespace rulekit::engine

@@ -1,0 +1,65 @@
+#ifndef RULEKIT_ENGINE_RULE_CLASSIFIER_H_
+#define RULEKIT_ENGINE_RULE_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/rule_index.h"
+#include "src/ml/classifier.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::engine {
+
+/// Options for the rule-based classifier.
+struct RuleClassifierOptions {
+  /// Prune candidate rules with the literal prefilter index.
+  bool use_index = true;
+};
+
+/// Chimera's rule-based classifier (§3.3): whitelist rules propose types,
+/// blacklist rules veto them, and — as the paper requires for
+/// order-independence (§4 "Rule System Properties") — ALL whitelist rules
+/// run before ANY blacklist rule, so execution order within each phase
+/// cannot change the output.
+class RuleBasedClassifier : public ml::Classifier {
+ public:
+  /// `rules` is shared with the pipeline/analyst tooling that mutates it;
+  /// call Rebuild() after any mutation.
+  RuleBasedClassifier(std::shared_ptr<const rules::RuleSet> rules,
+                      RuleClassifierOptions options = {});
+
+  /// Re-derives the rule index from the current rule set.
+  void Rebuild();
+
+  std::vector<ml::ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+  std::string name() const override { return "rule_based"; }
+
+  const RuleIndexStats& index_stats() const { return index_.stats(); }
+
+ private:
+  std::shared_ptr<const rules::RuleSet> rules_;
+  RuleClassifierOptions options_;
+  RuleIndex index_;
+};
+
+/// Chimera's attribute/value-based classifier (§3.3): attribute-existence
+/// rules ("has ISBN => books"), attribute-value rules ("Brand apple =>
+/// phone | laptop"), and predicate rules. Positive rules propose types;
+/// negative predicate rules veto them.
+class AttrValueClassifier : public ml::Classifier {
+ public:
+  explicit AttrValueClassifier(std::shared_ptr<const rules::RuleSet> rules);
+
+  std::vector<ml::ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+  std::string name() const override { return "attr_value"; }
+
+ private:
+  std::shared_ptr<const rules::RuleSet> rules_;
+};
+
+}  // namespace rulekit::engine
+
+#endif  // RULEKIT_ENGINE_RULE_CLASSIFIER_H_

@@ -1,0 +1,61 @@
+#include "src/engine/rule_index.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::engine {
+
+void RuleIndex::Build(const rules::RuleSet& set,
+                      const regex::AnalysisOptions& options) {
+  automaton_ = text::AhoCorasick();
+  always_check_.clear();
+  stats_ = RuleIndexStats{};
+
+  const auto& all = set.rules();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const rules::Rule& rule = all[i];
+    if (!rule.is_active()) continue;
+    if (rule.kind() != rules::RuleKind::kWhitelist &&
+        rule.kind() != rules::RuleKind::kBlacklist) {
+      continue;
+    }
+    auto literals = regex::RequiredAlternatives(*rule.pattern_regex(),
+                                                options);
+    if (!literals.ok()) {
+      always_check_.push_back(i);
+      ++stats_.unindexed_rules;
+      continue;
+    }
+    for (const auto& lit : *literals) {
+      automaton_.Add(lit, static_cast<uint32_t>(i));
+      ++stats_.literals;
+    }
+    ++stats_.indexed_rules;
+  }
+  automaton_.Build();
+  std::sort(always_check_.begin(), always_check_.end());
+}
+
+std::vector<size_t> RuleIndex::Candidates(std::string_view title) const {
+  std::string lowered = ToLowerAscii(title);
+  std::vector<uint32_t> hits = automaton_.CollectUnique(lowered);
+  std::vector<size_t> out;
+  out.reserve(hits.size() + always_check_.size());
+  // Merge the sorted hit list with the sorted always-check list.
+  size_t i = 0, j = 0;
+  while (i < hits.size() || j < always_check_.size()) {
+    if (j >= always_check_.size() ||
+        (i < hits.size() && hits[i] < always_check_[j])) {
+      out.push_back(hits[i++]);
+    } else if (i >= hits.size() || always_check_[j] < hits[i]) {
+      out.push_back(always_check_[j++]);
+    } else {
+      out.push_back(hits[i++]);
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace rulekit::engine

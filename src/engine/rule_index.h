@@ -1,0 +1,51 @@
+#ifndef RULEKIT_ENGINE_RULE_INDEX_H_
+#define RULEKIT_ENGINE_RULE_INDEX_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/regex/analysis.h"
+#include "src/rules/rule_set.h"
+#include "src/text/aho_corasick.h"
+
+namespace rulekit::engine {
+
+/// Index statistics, reported by benchmarks.
+struct RuleIndexStats {
+  size_t indexed_rules = 0;    // rules reachable via literal prefilter
+  size_t unindexed_rules = 0;  // rules that must always be evaluated
+  size_t literals = 0;         // total prefilter literals registered
+};
+
+/// Maps a product title to the subset of regex rules that can possibly
+/// match it (§4 "Rule Execution and Optimization": "index the rules so that
+/// given a particular data item, we can quickly locate ... a small set of
+/// rules"; cf. ref [31]). Soundness comes from regex/analysis.h: a rule is
+/// only skipped if none of its required literals occurs in the title.
+class RuleIndex {
+ public:
+  RuleIndex() = default;
+
+  /// Builds the index over the active kWhitelist/kBlacklist rules of `set`.
+  /// Indexed positions refer to `set.rules()`. The index must be rebuilt
+  /// whenever rules are added or their states change.
+  void Build(const rules::RuleSet& set,
+             const regex::AnalysisOptions& options = {});
+
+  /// Indices (into the RuleSet passed to Build) of rules whose prefilter
+  /// fires on `title`, plus all always-check rules. `title` is lowercased
+  /// internally. Sorted ascending.
+  std::vector<size_t> Candidates(std::string_view title) const;
+
+  const RuleIndexStats& stats() const { return stats_; }
+
+ private:
+  text::AhoCorasick automaton_;
+  std::vector<size_t> always_check_;
+  RuleIndexStats stats_;
+};
+
+}  // namespace rulekit::engine
+
+#endif  // RULEKIT_ENGINE_RULE_INDEX_H_

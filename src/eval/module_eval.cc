@@ -1,0 +1,38 @@
+#include "src/eval/module_eval.h"
+
+#include <algorithm>
+
+namespace rulekit::eval {
+
+ModuleEvalReport EvaluateModule(const ml::Classifier& module,
+                                const std::vector<data::LabeledItem>& corpus,
+                                crowd::CrowdSimulator& crowd,
+                                size_t sample_size, uint64_t seed) {
+  ModuleEvalReport report;
+  const size_t start_questions = crowd.num_tasks();
+  const double start_cost = crowd.total_cost();
+
+  // Items the module predicts on, with its top prediction.
+  std::vector<std::pair<uint32_t, std::string>> touched;
+  for (uint32_t i = 0; i < corpus.size(); ++i) {
+    auto scored = module.Predict(corpus[i].item);
+    if (scored.empty()) continue;
+    touched.emplace_back(i, scored.front().label);
+  }
+  report.items_touched = touched.size();
+
+  Rng rng(seed);
+  auto sample_idx = rng.SampleWithoutReplacement(
+      touched.size(), std::min(sample_size, touched.size()));
+  size_t positives = 0;
+  for (size_t si : sample_idx) {
+    const auto& [item_idx, predicted] = touched[si];
+    if (crowd.AskYesNo(corpus[item_idx].label == predicted)) ++positives;
+  }
+  report.estimate = crowd::WilsonEstimate(positives, sample_idx.size());
+  report.crowd_questions = crowd.num_tasks() - start_questions;
+  report.crowd_cost = crowd.total_cost() - start_cost;
+  return report;
+}
+
+}  // namespace rulekit::eval

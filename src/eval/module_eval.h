@@ -1,0 +1,33 @@
+#ifndef RULEKIT_EVAL_MODULE_EVAL_H_
+#define RULEKIT_EVAL_MODULE_EVAL_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/crowd/crowd.h"
+#include "src/crowd/estimator.h"
+#include "src/data/product.h"
+#include "src/ml/classifier.h"
+
+namespace rulekit::eval {
+
+/// Result of module-level evaluation.
+struct ModuleEvalReport {
+  crowd::PrecisionEstimate estimate;  // precision of the module as a whole
+  size_t items_touched = 0;           // items the module made a prediction for
+  size_t crowd_questions = 0;
+  double crowd_cost = 0.0;
+};
+
+/// Method 3 (§4): give up per-rule estimates and evaluate a whole
+/// rule-based module — sample from the items the module touches, ask the
+/// crowd whether the module's prediction is right, and report one Wilson
+/// estimate. Far cheaper than per-rule evaluation; far coarser.
+ModuleEvalReport EvaluateModule(const ml::Classifier& module,
+                                const std::vector<data::LabeledItem>& corpus,
+                                crowd::CrowdSimulator& crowd,
+                                size_t sample_size, uint64_t seed = 19);
+
+}  // namespace rulekit::eval
+
+#endif  // RULEKIT_EVAL_MODULE_EVAL_H_

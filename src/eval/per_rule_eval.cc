@@ -1,0 +1,175 @@
+#include "src/eval/per_rule_eval.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace rulekit::eval {
+
+namespace {
+
+struct RuleCoverage {
+  const rules::Rule* rule;
+  std::vector<uint32_t> items;
+  size_t samples = 0;
+  size_t positives = 0;
+
+  bool Satisfied(size_t target) const { return samples >= target; }
+};
+
+}  // namespace
+
+PerRuleEvalReport EvaluatePerRule(
+    const rules::RuleSet& rules, const std::vector<data::LabeledItem>& corpus,
+    crowd::CrowdSimulator& crowd, const PerRuleEvalConfig& config) {
+  PerRuleEvalReport report;
+  Rng rng(config.seed);
+
+  const size_t start_questions = crowd.num_tasks();
+  const double start_cost = crowd.total_cost();
+
+  // Coverage of every active positive rule.
+  std::vector<RuleCoverage> coverages;
+  for (const auto& rule : rules.rules()) {
+    if (!rule.is_active()) continue;
+    if (rule.kind() != rules::RuleKind::kWhitelist &&
+        rule.kind() != rules::RuleKind::kAttributeExists) {
+      continue;
+    }
+    RuleCoverage cov;
+    cov.rule = &rule;
+    for (uint32_t i = 0; i < corpus.size(); ++i) {
+      if (rule.Applies(corpus[i].item)) cov.items.push_back(i);
+    }
+    coverages.push_back(std::move(cov));
+  }
+
+  auto ask = [&](uint32_t item_idx, const std::string& type) {
+    return crowd.AskYesNo(corpus[item_idx].label == type);
+  };
+
+  if (!config.exploit_overlap) {
+    // Baseline: every rule draws its own sample; identical questions are
+    // re-asked — that is precisely the cost the overlap method removes.
+    for (auto& cov : coverages) {
+      auto sample_idx = rng.SampleWithoutReplacement(
+          cov.items.size(),
+          std::min(config.samples_per_rule, cov.items.size()));
+      for (size_t si : sample_idx) {
+        bool verdict = ask(cov.items[si], cov.rule->target_type());
+        ++cov.samples;
+        if (verdict) ++cov.positives;
+      }
+    }
+  } else {
+    // Group rules by target type; within a group one crowd question serves
+    // every covering rule that still needs samples.
+    std::unordered_map<std::string, std::vector<size_t>> by_type;
+    for (size_t r = 0; r < coverages.size(); ++r) {
+      by_type[coverages[r].rule->target_type()].push_back(r);
+    }
+    for (auto& [type, rule_ids] : by_type) {
+      // item -> rules of this type covering it.
+      std::unordered_map<uint32_t, std::vector<size_t>> covering;
+      for (size_t r : rule_ids) {
+        for (uint32_t item : coverages[r].items) {
+          covering[item].push_back(r);
+        }
+      }
+      // Lazy greedy by "number of needy rules served": the count only
+      // decreases as rules get satisfied, so stale heap keys are upper
+      // bounds.
+      struct Entry {
+        size_t count;
+        uint32_t item;
+        uint64_t round;
+        bool operator<(const Entry& o) const { return count < o.count; }
+      };
+      auto needy_count = [&](uint32_t item) {
+        size_t n = 0;
+        for (size_t r : covering[item]) {
+          if (!coverages[r].Satisfied(config.samples_per_rule)) ++n;
+        }
+        return n;
+      };
+      std::priority_queue<Entry> heap;
+      for (const auto& [item, rs] : covering) {
+        heap.push({rs.size(), item, 0});
+      }
+      uint64_t round = 0;
+      while (!heap.empty()) {
+        Entry top = heap.top();
+        heap.pop();
+        if (top.round != round) {
+          top.count = needy_count(top.item);
+          top.round = round;
+          if (top.count > 0) heap.push(top);
+          continue;
+        }
+        if (top.count == 0) break;
+        bool verdict = ask(top.item, type);
+        for (size_t r : covering[top.item]) {
+          RuleCoverage& cov = coverages[r];
+          if (cov.Satisfied(config.samples_per_rule)) continue;
+          ++cov.samples;
+          if (verdict) ++cov.positives;
+        }
+        ++round;
+      }
+    }
+  }
+
+  for (const auto& cov : coverages) {
+    report.per_rule[cov.rule->id()] =
+        crowd::WilsonEstimate(cov.positives, cov.samples);
+    if (cov.samples < config.samples_per_rule) ++report.under_sampled_rules;
+  }
+  report.crowd_questions = crowd.num_tasks() - start_questions;
+  report.crowd_cost = crowd.total_cost() - start_cost;
+  return report;
+}
+
+SequentialDecision EvaluateRuleUntilResolved(
+    const rules::Rule& rule, const std::vector<data::LabeledItem>& corpus,
+    crowd::CrowdSimulator& crowd, double precision_bar, size_t max_samples,
+    size_t batch, uint64_t seed) {
+  SequentialDecision decision;
+  const size_t start_questions = crowd.num_tasks();
+
+  std::vector<uint32_t> coverage;
+  for (uint32_t i = 0; i < corpus.size(); ++i) {
+    if (rule.Applies(corpus[i].item)) coverage.push_back(i);
+  }
+  Rng rng(seed);
+  rng.Shuffle(coverage);
+
+  size_t samples = 0, positives = 0;
+  for (uint32_t item : coverage) {
+    if (samples >= max_samples) break;
+    bool verdict =
+        crowd.AskYesNo(corpus[item].label == rule.target_type());
+    ++samples;
+    if (verdict) ++positives;
+    // Check the interval at batch boundaries (peeking every sample would
+    // inflate the error rate; batching is the cheap mitigation).
+    if (samples % batch != 0) continue;
+    auto estimate = crowd::WilsonEstimate(positives, samples);
+    if (estimate.lower >= precision_bar) {
+      decision.verdict = SequentialDecision::Verdict::kAbove;
+      decision.estimate = estimate;
+      decision.crowd_questions = crowd.num_tasks() - start_questions;
+      return decision;
+    }
+    if (estimate.upper < precision_bar) {
+      decision.verdict = SequentialDecision::Verdict::kBelow;
+      decision.estimate = estimate;
+      decision.crowd_questions = crowd.num_tasks() - start_questions;
+      return decision;
+    }
+  }
+  decision.estimate = crowd::WilsonEstimate(positives, samples);
+  decision.crowd_questions = crowd.num_tasks() - start_questions;
+  return decision;
+}
+
+}  // namespace rulekit::eval

@@ -1,0 +1,70 @@
+#ifndef RULEKIT_EVAL_PER_RULE_EVAL_H_
+#define RULEKIT_EVAL_PER_RULE_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/crowd/crowd.h"
+#include "src/crowd/estimator.h"
+#include "src/data/product.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::eval {
+
+/// Configuration of method 2 (per-rule crowd sampling, ref [18]).
+struct PerRuleEvalConfig {
+  uint64_t seed = 17;
+  /// Target number of verdicts per rule.
+  size_t samples_per_rule = 20;
+  /// Exploit coverage overlap: sample items in the intersection of several
+  /// same-type rules first, so one crowd question feeds several rules'
+  /// estimates. False = sample each rule independently (the costly
+  /// baseline).
+  bool exploit_overlap = true;
+};
+
+/// Per-rule precision estimate plus the total crowd spend.
+struct PerRuleEvalReport {
+  std::map<std::string, crowd::PrecisionEstimate> per_rule;
+  size_t crowd_questions = 0;
+  double crowd_cost = 0.0;
+  /// Rules whose coverage on the corpus was too small to reach the target
+  /// sample (tail rules again, but this method still gives them whatever
+  /// samples exist).
+  size_t under_sampled_rules = 0;
+};
+
+/// Method 2 (§4): estimate each rule's precision by having the crowd judge
+/// a sample of the items the rule touches. With exploit_overlap, items
+/// covered by several not-yet-satisfied rules of the same target type are
+/// prioritized, reproducing ref [18]'s cost saving.
+///
+/// `corpus` supplies both the items and the hidden ground truth the
+/// simulated crowd consults.
+PerRuleEvalReport EvaluatePerRule(const rules::RuleSet& rules,
+                                  const std::vector<data::LabeledItem>& corpus,
+                                  crowd::CrowdSimulator& crowd,
+                                  const PerRuleEvalConfig& config = {});
+
+/// Outcome of sequential single-rule evaluation against a deploy bar.
+struct SequentialDecision {
+  enum class Verdict { kAbove, kBelow, kUnresolved };
+  Verdict verdict = Verdict::kUnresolved;
+  crowd::PrecisionEstimate estimate;
+  size_t crowd_questions = 0;
+};
+
+/// Sequential evaluation of ONE rule: keep sampling its coverage until the
+/// Wilson interval clears or misses `precision_bar`, or `max_samples` is
+/// spent. This is how a budget-conscious team answers the §5.2 question
+/// "is this rule safe to deploy?" without fixing the sample size up front.
+SequentialDecision EvaluateRuleUntilResolved(
+    const rules::Rule& rule, const std::vector<data::LabeledItem>& corpus,
+    crowd::CrowdSimulator& crowd, double precision_bar,
+    size_t max_samples = 200, size_t batch = 10, uint64_t seed = 23);
+
+}  // namespace rulekit::eval
+
+#endif  // RULEKIT_EVAL_PER_RULE_EVAL_H_

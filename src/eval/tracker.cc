@@ -1,0 +1,65 @@
+#include "src/eval/tracker.h"
+
+#include <algorithm>
+
+#include "src/engine/executor.h"
+
+namespace rulekit::eval {
+
+void ImpactTracker::RecordBatch(const rules::RuleSet& rules,
+                                const std::vector<data::ProductItem>& batch) {
+  engine::RuleExecutor executor(rules, {.use_index = true});
+  auto result = executor.Execute(batch);
+  const auto& all = rules.rules();
+  for (const auto& matched : result.matches_per_item) {
+    for (size_t rule_idx : matched) {
+      ++matches_[all[rule_idx].id()];
+    }
+  }
+  items_seen_ += batch.size();
+}
+
+void ImpactTracker::MarkEvaluated(const std::string& rule_id) {
+  evaluated_.insert(rule_id);
+}
+
+std::vector<ImpactAlert> ImpactTracker::PendingAlerts() const {
+  std::vector<ImpactAlert> alerts;
+  for (const auto& [id, count] : matches_) {
+    if (count >= threshold_ && evaluated_.count(id) == 0) {
+      alerts.push_back({id, count});
+    }
+  }
+  std::sort(alerts.begin(), alerts.end(),
+            [](const ImpactAlert& a, const ImpactAlert& b) {
+              if (a.matches != b.matches) return a.matches > b.matches;
+              return a.rule_id < b.rule_id;
+            });
+  return alerts;
+}
+
+size_t ImpactTracker::MatchCount(const std::string& rule_id) const {
+  auto it = matches_.find(rule_id);
+  return it == matches_.end() ? 0 : it->second;
+}
+
+EvaluationPlan PlanBudgetedEvaluation(const ImpactTracker& tracker,
+                                      size_t budget_questions,
+                                      size_t samples_per_rule) {
+  EvaluationPlan plan;
+  size_t remaining = budget_questions;
+  for (const auto& alert : tracker.PendingAlerts()) {
+    size_t cost = std::min(samples_per_rule, alert.matches);
+    if (cost == 0) continue;
+    if (cost > remaining) {
+      ++plan.rules_deferred;
+      continue;
+    }
+    remaining -= cost;
+    plan.estimated_questions += cost;
+    plan.to_evaluate.push_back(alert.rule_id);
+  }
+  return plan;
+}
+
+}  // namespace rulekit::eval

@@ -1,0 +1,75 @@
+#ifndef RULEKIT_EVAL_TRACKER_H_
+#define RULEKIT_EVAL_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::eval {
+
+/// A rule that crossed the impact threshold without ever being evaluated.
+struct ImpactAlert {
+  std::string rule_id;
+  size_t matches = 0;
+};
+
+/// Tracks how many live items each rule touches, and alerts when a rule
+/// that was never crowd-evaluated becomes impactful (§5.3 "Rule
+/// Evaluation": "use the limited crowdsourcing budget to evaluate only the
+/// most impactful rules ... if an un-evaluated non-impactful rule becomes
+/// impactful, then we alert the analyst").
+class ImpactTracker {
+ public:
+  explicit ImpactTracker(size_t impact_threshold = 100)
+      : threshold_(impact_threshold) {}
+
+  /// Counts each active regex rule's matches over the batch.
+  void RecordBatch(const rules::RuleSet& rules,
+                   const std::vector<data::ProductItem>& batch);
+
+  /// Records that a rule has been evaluated (clears it from alerting).
+  void MarkEvaluated(const std::string& rule_id);
+
+  /// Unevaluated rules at or above the impact threshold, most impactful
+  /// first.
+  std::vector<ImpactAlert> PendingAlerts() const;
+
+  size_t MatchCount(const std::string& rule_id) const;
+  size_t items_seen() const { return items_seen_; }
+
+  bool IsEvaluated(const std::string& rule_id) const {
+    return evaluated_.count(rule_id) > 0;
+  }
+
+ private:
+  size_t threshold_;
+  size_t items_seen_ = 0;
+  std::unordered_map<std::string, size_t> matches_;
+  std::unordered_set<std::string> evaluated_;
+};
+
+/// A crowd-budget-constrained evaluation plan (§5.3 "Rule Evaluation":
+/// "use the limited crowdsourcing budget to evaluate only the most
+/// impactful rules").
+struct EvaluationPlan {
+  /// Rule ids to evaluate, most impactful first.
+  std::vector<std::string> to_evaluate;
+  size_t estimated_questions = 0;
+  size_t rules_deferred = 0;  // impactful but out of budget
+};
+
+/// Greedily fits the most impactful unevaluated rules into a crowd-question
+/// budget (samples_per_rule questions each; a rule with fewer matches than
+/// that costs only its match count).
+EvaluationPlan PlanBudgetedEvaluation(const ImpactTracker& tracker,
+                                      size_t budget_questions,
+                                      size_t samples_per_rule);
+
+}  // namespace rulekit::eval
+
+#endif  // RULEKIT_EVAL_TRACKER_H_

@@ -1,0 +1,39 @@
+#include "src/eval/validation_set.h"
+
+namespace rulekit::eval {
+
+ValidationEvalReport EvaluateOnValidationSet(
+    const rules::RuleSet& rules,
+    const std::vector<data::LabeledItem>& validation_set,
+    size_t min_sample) {
+  ValidationEvalReport report;
+  report.validation_set_size = validation_set.size();
+  report.labeling_cost = validation_set.size();
+
+  for (const auto& rule : rules.rules()) {
+    if (!rule.is_active()) continue;
+    if (rule.kind() != rules::RuleKind::kWhitelist &&
+        rule.kind() != rules::RuleKind::kAttributeExists) {
+      continue;  // precision of a veto rule is not defined this way
+    }
+    ValidationRuleResult result;
+    result.rule_id = rule.id();
+    result.target_type = rule.target_type();
+    for (const auto& li : validation_set) {
+      if (!rule.Applies(li.item)) continue;
+      ++result.touched;
+      if (li.label == rule.target_type()) ++result.correct;
+    }
+    result.estimate = crowd::WilsonEstimate(result.correct, result.touched);
+    result.evaluable = result.touched >= min_sample;
+    if (result.evaluable) {
+      ++report.evaluable_rules;
+    } else {
+      ++report.tail_rules;
+    }
+    report.per_rule.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace rulekit::eval

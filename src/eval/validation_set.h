@@ -1,0 +1,45 @@
+#ifndef RULEKIT_EVAL_VALIDATION_SET_H_
+#define RULEKIT_EVAL_VALIDATION_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/crowd/estimator.h"
+#include "src/data/product.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::eval {
+
+/// Per-rule outcome of evaluation against a shared validation set.
+struct ValidationRuleResult {
+  std::string rule_id;
+  std::string target_type;
+  size_t touched = 0;  // validation items the rule's condition fires on
+  size_t correct = 0;  // ... whose gold label equals the rule's type
+  crowd::PrecisionEstimate estimate;
+  /// Whether `touched` reached the minimum sample size. "Tail" rules touch
+  /// too few items to be evaluable this way (§4's core criticism of the
+  /// single-validation-set method).
+  bool evaluable = false;
+};
+
+/// Aggregate over all rules plus the method's cost.
+struct ValidationEvalReport {
+  std::vector<ValidationRuleResult> per_rule;
+  size_t validation_set_size = 0;
+  size_t labeling_cost = 0;  // one gold label per validation item
+  size_t evaluable_rules = 0;
+  size_t tail_rules = 0;  // rules below the min sample size
+};
+
+/// Method 1 (§4, "Rule Quality Evaluation"): estimate every rule's
+/// precision from one labeled validation set. Cheap per rule but blind to
+/// tail rules.
+ValidationEvalReport EvaluateOnValidationSet(
+    const rules::RuleSet& rules,
+    const std::vector<data::LabeledItem>& validation_set,
+    size_t min_sample = 5);
+
+}  // namespace rulekit::eval
+
+#endif  // RULEKIT_EVAL_VALIDATION_SET_H_

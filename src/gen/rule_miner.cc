@@ -1,0 +1,213 @@
+#include "src/gen/rule_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/gen/rule_selection.h"
+#include "src/rules/token_pattern.h"
+#include "src/mining/apriori_all.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace rulekit::gen {
+
+namespace {
+
+// Singular/plural-insensitive token comparison ("rug" matches "rugs").
+bool TokensEquivalent(std::string_view a, std::string_view b) {
+  if (a == b) return true;
+  if (a.size() + 1 == b.size() && b.back() == 's' &&
+      b.substr(0, a.size()) == a) {
+    return true;
+  }
+  if (b.size() + 1 == a.size() && a.back() == 's' &&
+      a.substr(0, b.size()) == b) {
+    return true;
+  }
+  return false;
+}
+
+double ConfidenceOf(const std::vector<std::string>& rule_tokens,
+                    const std::vector<std::string>& type_tokens,
+                    double support, const RuleMinerConfig& config) {
+  size_t present = 0;
+  for (const auto& tt : type_tokens) {
+    for (const auto& rt : rule_tokens) {
+      if (TokensEquivalent(tt, rt)) {
+        ++present;
+        break;
+      }
+    }
+  }
+  const bool full = !type_tokens.empty() && present == type_tokens.size();
+  const double frac =
+      type_tokens.empty()
+          ? 0.0
+          : static_cast<double>(present) /
+                static_cast<double>(type_tokens.size());
+  // The head noun (last token of the type name: "rugs" of "area rugs") is
+  // the strongest signal a rule really is about this type.
+  bool head = false;
+  if (!type_tokens.empty()) {
+    for (const auto& rt : rule_tokens) {
+      if (TokensEquivalent(type_tokens.back(), rt)) {
+        head = true;
+        break;
+      }
+    }
+  }
+  // Support saturates at 10%: beyond that a sequence is clearly common
+  // enough, and raw support would otherwise contribute almost nothing.
+  const double support_term = std::min(1.0, support * 10.0);
+  double conf = (head ? config.w_head_token : 0.0) +
+                (full ? config.w_full_type_name : 0.0) +
+                config.w_type_name_tokens * frac +
+                config.w_support * support_term;
+  return std::min(1.0, conf);
+}
+
+}  // namespace
+
+std::string MinedRule::Pattern() const {
+  std::vector<std::string> escaped;
+  escaped.reserve(tokens.size());
+  for (const auto& t : tokens) escaped.push_back(RegexEscape(t));
+  return Join(escaped, ".*");
+}
+
+Result<rules::Rule> MinedRule::ToRule(std::string id) const {
+  // The compiled form anchors each token at word boundaries so the rule's
+  // matching semantics equal the subsequence semantics the consistency
+  // filter verified.
+  auto rule = rules::Rule::Whitelist(std::move(id),
+                                     rules::BoundedTokenPattern(tokens),
+                                     type);
+  if (!rule.ok()) return rule.status();
+  rule->metadata().origin = rules::RuleOrigin::kMined;
+  rule->metadata().author = "rule-miner";
+  rule->metadata().confidence = confidence;
+  return rule;
+}
+
+MiningOutcome MineRules(const std::vector<data::LabeledItem>& labeled,
+                        const RuleMinerConfig& config) {
+  MiningOutcome outcome;
+
+  text::TokenizerOptions tok_options;
+  tok_options.stopwords = text::Tokenizer::DefaultStopwords();
+  text::Tokenizer tokenizer(tok_options);
+  text::Vocabulary vocab;
+
+  // Tokenize every title once; group document ids by type.
+  std::vector<std::vector<text::TokenId>> docs;
+  std::vector<std::string> doc_type;
+  std::unordered_map<std::string, std::vector<uint32_t>> docs_of_type;
+  docs.reserve(labeled.size());
+  for (const auto& li : labeled) {
+    docs.push_back(vocab.InternAll(tokenizer.Tokenize(li.item.title)));
+    doc_type.push_back(li.label);
+    docs_of_type[li.label].push_back(
+        static_cast<uint32_t>(docs.size() - 1));
+  }
+
+  // Global postings for the consistency/coverage scan.
+  std::unordered_map<text::TokenId, std::vector<uint32_t>> postings;
+  for (uint32_t d = 0; d < docs.size(); ++d) {
+    text::TokenId prev = text::kInvalidTokenId;
+    std::vector<text::TokenId> sorted = docs[d];
+    std::sort(sorted.begin(), sorted.end());
+    for (text::TokenId t : sorted) {
+      if (t == prev) continue;
+      prev = t;
+      postings[t].push_back(d);
+    }
+  }
+
+  mining::SequenceMiningOptions mining_options;
+  mining_options.min_support = config.min_support;
+  mining_options.min_length = config.min_tokens;
+  mining_options.max_length = config.max_tokens;
+
+  for (auto& [type, type_doc_ids] : docs_of_type) {
+    // Mine frequent sequences within this type's titles.
+    std::vector<std::vector<text::TokenId>> type_docs;
+    type_docs.reserve(type_doc_ids.size());
+    for (uint32_t d : type_doc_ids) type_docs.push_back(docs[d]);
+    auto sequences = mining::MineFrequentSequences(type_docs,
+                                                   mining_options);
+    outcome.candidates_mined += sequences.size();
+
+    // Map global doc id -> local index within the type.
+    std::unordered_map<uint32_t, uint32_t> local_of;
+    for (uint32_t i = 0; i < type_doc_ids.size(); ++i) {
+      local_of[type_doc_ids[i]] = i;
+    }
+
+    std::vector<std::string> type_tokens = tokenizer.Tokenize(type);
+
+    std::vector<MinedRule> consistent;
+    for (const auto& fs : sequences) {
+      // Scan the postings of the rarest token: every doc (any type)
+      // containing the sequence is in that list.
+      const std::vector<uint32_t>* rarest = nullptr;
+      for (text::TokenId t : fs.tokens) {
+        auto it = postings.find(t);
+        if (it == postings.end()) {
+          rarest = nullptr;
+          break;
+        }
+        if (rarest == nullptr || it->second.size() < rarest->size()) {
+          rarest = &it->second;
+        }
+      }
+      if (rarest == nullptr) continue;
+
+      MinedRule rule;
+      rule.type = type;
+      for (text::TokenId t : fs.tokens) {
+        rule.tokens.push_back(vocab.TokenFor(t));
+      }
+      bool consistent_rule = true;
+      for (uint32_t d : *rarest) {
+        if (!mining::IsSubsequence(fs.tokens, docs[d])) continue;
+        if (doc_type[d] == type) {
+          rule.covered.push_back(local_of[d]);
+        } else if (config.require_consistency) {
+          consistent_rule = false;
+          break;
+        }
+      }
+      if (!consistent_rule || rule.covered.empty()) continue;
+      rule.support_count = rule.covered.size();
+      rule.support = static_cast<double>(rule.support_count) /
+                     static_cast<double>(type_doc_ids.size());
+      rule.confidence =
+          ConfidenceOf(rule.tokens, type_tokens, rule.support, config);
+      consistent.push_back(std::move(rule));
+    }
+    outcome.candidates_consistent += consistent.size();
+
+    // Greedy-Biased selection (Algorithm 2) over this type's candidates.
+    std::vector<SelectionCandidate> cands;
+    cands.reserve(consistent.size());
+    for (const auto& r : consistent) {
+      cands.push_back({r.confidence, r.covered});
+    }
+    auto picked = GreedyBiasedSelect(cands, type_doc_ids.size(),
+                                     config.max_rules_per_type,
+                                     config.alpha);
+    for (size_t idx : picked) {
+      if (consistent[idx].confidence >= config.alpha) {
+        ++outcome.num_high_confidence;
+      } else {
+        ++outcome.num_low_confidence;
+      }
+      outcome.selected.push_back(std::move(consistent[idx]));
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace rulekit::gen

@@ -1,0 +1,73 @@
+#ifndef RULEKIT_GEN_RULE_MINER_H_
+#define RULEKIT_GEN_RULE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/product.h"
+#include "src/rules/rule.h"
+
+namespace rulekit::gen {
+
+/// Knobs of the §5.2 rule generator. Defaults mirror the paper: minimum
+/// support 0.001 within a type's titles, 2-4 tokens per rule, confidence
+/// threshold α = 0.7 splitting high/low-confidence rules, and up to q = 500
+/// selected rules per type.
+struct RuleMinerConfig {
+  double min_support = 0.001;
+  size_t min_tokens = 2;
+  size_t max_tokens = 4;
+  double alpha = 0.7;
+  size_t max_rules_per_type = 500;
+  /// Drop candidate rules that match any title of a different type
+  /// ("we only consider those rules that do not make any incorrect
+  /// predictions on training data", §7).
+  bool require_consistency = true;
+  /// Confidence model weights (linear combination, §5.2): does the rule
+  /// contain the type's head noun (the last type-name token), the full
+  /// type name, how many type-name tokens appear, and the rule's support.
+  double w_head_token = 0.45;
+  double w_full_type_name = 0.1;
+  double w_type_name_tokens = 0.2;
+  double w_support = 0.25;
+};
+
+/// One mined rule: token sequence a1..an, compiled as a1.*a2.*...*an => t.
+struct MinedRule {
+  std::vector<std::string> tokens;
+  std::string type;
+  size_t support_count = 0;
+  double support = 0.0;     // fraction of the type's titles
+  double confidence = 0.0;  // [0,1]
+  std::vector<uint32_t> covered;  // indices of the type's titles it touches
+
+  /// "a1.*a2.*a3" — the display form of Rule R4 (§5.2).
+  std::string Pattern() const;
+
+  /// A whitelist Rule (origin kMined, confidence attached). The compiled
+  /// pattern is the token-anchored form (rules/token_pattern.h) so that
+  /// matching equals token-subsequence semantics. `id` must be unique in
+  /// the receiving rule set.
+  Result<rules::Rule> ToRule(std::string id) const;
+};
+
+/// Outcome of mining + selection over a labeled corpus.
+struct MiningOutcome {
+  size_t candidates_mined = 0;      // frequent sequences across all types
+  size_t candidates_consistent = 0; // after the consistency filter
+  std::vector<MinedRule> selected;  // after Greedy-Biased selection
+  size_t num_high_confidence = 0;   // selected with confidence >= alpha
+  size_t num_low_confidence = 0;
+};
+
+/// Mines classification rules from labeled data (paper §5.2): frequent
+/// token sequences per type (AprioriAll), a confidence score per rule, a
+/// consistency filter against other types' titles, and Greedy-Biased
+/// subset selection (Algorithm 2) per type.
+MiningOutcome MineRules(const std::vector<data::LabeledItem>& labeled,
+                        const RuleMinerConfig& config = {});
+
+}  // namespace rulekit::gen
+
+#endif  // RULEKIT_GEN_RULE_MINER_H_

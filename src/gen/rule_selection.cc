@@ -1,0 +1,99 @@
+#include "src/gen/rule_selection.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rulekit::gen {
+
+namespace {
+
+// Lazy greedy (CELF-style): marginal coverage gains only shrink as items
+// get covered, so a stale heap entry is an upper bound and can be
+// re-evaluated on demand instead of recomputing every gain each round.
+struct HeapEntry {
+  double gain;
+  size_t index;
+  uint64_t round;  // round at which `gain` was computed
+  bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+};
+
+size_t NewCoverage(const SelectionCandidate& cand,
+                   const std::vector<bool>& covered) {
+  size_t fresh = 0;
+  for (uint32_t item : cand.covered) {
+    if (item < covered.size() && !covered[item]) ++fresh;
+  }
+  return fresh;
+}
+
+// Greedy over the candidate subset `pool`, mutating `covered`; appends
+// selected global indices to `out` until `quota` more rules are chosen or
+// no rule adds coverage.
+void GreedyInto(const std::vector<SelectionCandidate>& candidates,
+                const std::vector<size_t>& pool, std::vector<bool>& covered,
+                size_t quota, std::vector<size_t>& out) {
+  if (quota == 0 || pool.empty()) return;
+  std::priority_queue<HeapEntry> heap;
+  uint64_t round = 0;
+  for (size_t i : pool) {
+    double gain = static_cast<double>(NewCoverage(candidates[i], covered)) *
+                  candidates[i].confidence;
+    heap.push({gain, i, round});
+  }
+  size_t chosen = 0;
+  while (chosen < quota && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      // Stale: recompute against the current coverage and reinsert.
+      top.gain = static_cast<double>(
+                     NewCoverage(candidates[top.index], covered)) *
+                 candidates[top.index].confidence;
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    // Fresh maximum. Algorithm 1 line 4: add only if it covers new items.
+    size_t fresh = NewCoverage(candidates[top.index], covered);
+    if (fresh == 0) return;
+    for (uint32_t item : candidates[top.index].covered) {
+      if (item < covered.size()) covered[item] = true;
+    }
+    out.push_back(top.index);
+    ++chosen;
+    ++round;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> GreedySelect(
+    const std::vector<SelectionCandidate>& candidates, size_t universe_size,
+    size_t q) {
+  std::vector<bool> covered(universe_size, false);
+  std::vector<size_t> pool(candidates.size());
+  for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  std::vector<size_t> out;
+  GreedyInto(candidates, pool, covered, q, out);
+  return out;
+}
+
+std::vector<size_t> GreedyBiasedSelect(
+    const std::vector<SelectionCandidate>& candidates, size_t universe_size,
+    size_t q, double alpha) {
+  std::vector<size_t> high, low;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    (candidates[i].confidence >= alpha ? high : low).push_back(i);
+  }
+  std::vector<bool> covered(universe_size, false);
+  std::vector<size_t> out;
+  // Algorithm 2: exhaust the high-confidence pool first; only then let
+  // low-confidence rules claim the remaining uncovered items.
+  GreedyInto(candidates, high, covered, q, out);
+  if (out.size() < q) {
+    GreedyInto(candidates, low, covered, q - out.size(), out);
+  }
+  return out;
+}
+
+}  // namespace rulekit::gen

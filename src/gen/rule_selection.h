@@ -1,0 +1,35 @@
+#ifndef RULEKIT_GEN_RULE_SELECTION_H_
+#define RULEKIT_GEN_RULE_SELECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rulekit::gen {
+
+/// Input to rule-subset selection: each candidate rule has a confidence
+/// and the set of item indices it covers.
+struct SelectionCandidate {
+  double confidence = 0.0;
+  std::vector<uint32_t> covered;  // sorted unique item indices
+};
+
+/// Algorithm 1 (Greedy): repeatedly pick the rule maximizing
+/// |new coverage| * confidence; stop at q rules or when no rule adds
+/// coverage. Returns indices into `candidates` in selection order.
+/// `universe_size` bounds the item indices.
+std::vector<size_t> GreedySelect(
+    const std::vector<SelectionCandidate>& candidates, size_t universe_size,
+    size_t q);
+
+/// Algorithm 2 (Greedy-Biased): split candidates at confidence >= alpha,
+/// exhaust Greedy over the high-confidence pool first, then fill the
+/// remaining quota from the low-confidence pool over the still-uncovered
+/// items.
+std::vector<size_t> GreedyBiasedSelect(
+    const std::vector<SelectionCandidate>& candidates, size_t universe_size,
+    size_t q, double alpha);
+
+}  // namespace rulekit::gen
+
+#endif  // RULEKIT_GEN_RULE_SELECTION_H_

@@ -1,0 +1,416 @@
+#include "src/gen/synonym_finder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/regex/regex.h"
+#include "src/rules/rule.h"
+
+namespace rulekit::gen {
+
+namespace {
+
+constexpr char kSynToken[] = "\\syn";
+
+struct TemplateParts {
+  std::string prefix;                // pattern before '('
+  std::string suffix;                // pattern after ')'
+  std::vector<std::string> branches; // disjunction branches minus \syn
+};
+
+Result<TemplateParts> ParseTemplate(std::string_view pattern) {
+  size_t syn = pattern.find(kSynToken);
+  if (syn == std::string_view::npos) {
+    return Status::InvalidArgument("template must contain \\syn");
+  }
+  if (pattern.find(kSynToken, syn + 1) != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "template must contain exactly one \\syn (the tool expands one "
+        "disjunction at a time)");
+  }
+  // Find the enclosing parenthesized disjunction.
+  int depth = 0;
+  size_t open = std::string_view::npos;
+  for (size_t i = syn; i-- > 0;) {
+    if (pattern[i] == ')') ++depth;
+    if (pattern[i] == '(') {
+      if (depth == 0) {
+        open = i;
+        break;
+      }
+      --depth;
+    }
+  }
+  if (open == std::string_view::npos) {
+    return Status::InvalidArgument("\\syn must appear inside (...)");
+  }
+  depth = 0;
+  size_t close = std::string_view::npos;
+  for (size_t i = open + 1; i < pattern.size(); ++i) {
+    if (pattern[i] == '(') ++depth;
+    if (pattern[i] == ')') {
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+      --depth;
+    }
+  }
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("unterminated group around \\syn");
+  }
+
+  TemplateParts parts;
+  parts.prefix = std::string(pattern.substr(0, open));
+  parts.suffix = std::string(pattern.substr(close + 1));
+  // Split the group content on top-level '|'.
+  std::string_view content = pattern.substr(open + 1, close - open - 1);
+  size_t start = 0;
+  depth = 0;
+  for (size_t i = 0; i <= content.size(); ++i) {
+    if (i < content.size() && content[i] == '(') ++depth;
+    if (i < content.size() && content[i] == ')') --depth;
+    if (i == content.size() || (content[i] == '|' && depth == 0)) {
+      std::string branch(Trim(content.substr(start, i - start)));
+      if (branch != kSynToken && !branch.empty()) {
+        parts.branches.push_back(std::move(branch));
+      }
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+// Number of capturing groups opened in a pattern fragment (unescaped '('
+// not followed by "?:").
+size_t CountCaptures(std::string_view fragment) {
+  size_t count = 0;
+  for (size_t i = 0; i < fragment.size(); ++i) {
+    if (fragment[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (fragment[i] == '(' &&
+        fragment.substr(i + 1, 2) != std::string_view("?:")) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string CollapseSpaces(std::string_view s) {
+  std::string out;
+  bool in_space = false;
+  for (char c : Trim(s)) {
+    if (c == ' ' || c == '\t') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out += ' ';
+    in_space = false;
+    out += c;
+  }
+  return out;
+}
+
+// Context tokens: the last/first `window` words of the text before/after a
+// span.
+std::vector<std::string> PrefixContext(const text::Tokenizer& tokenizer,
+                                       std::string_view text, size_t window) {
+  auto tokens = tokenizer.Tokenize(text);
+  if (tokens.size() > window) {
+    tokens.erase(tokens.begin(),
+                 tokens.end() - static_cast<ptrdiff_t>(window));
+  }
+  return tokens;
+}
+
+std::vector<std::string> SuffixContext(const text::Tokenizer& tokenizer,
+                                       std::string_view text, size_t window) {
+  auto tokens = tokenizer.Tokenize(text);
+  if (tokens.size() > window) tokens.resize(window);
+  return tokens;
+}
+
+}  // namespace
+
+Result<SynonymFinder> SynonymFinder::Create(
+    std::string_view template_pattern, const std::vector<std::string>& titles,
+    SynonymFinderConfig config) {
+  std::string normalized = rules::Rule::NormalizePattern(template_pattern);
+  auto parts = ParseTemplate(normalized);
+  if (!parts.ok()) return parts.status();
+  if (parts->branches.empty()) {
+    return Status::InvalidArgument(
+        "the \\syn disjunction needs at least one golden synonym");
+  }
+
+  SynonymFinder finder;
+  finder.config_ = config;
+  finder.template_prefix_ = parts->prefix;
+  finder.template_suffix_ = parts->suffix;
+  finder.golden_ = parts->branches;
+
+  // The capture of interest is the group we insert at the disjunction.
+  const size_t group_index = CountCaptures(parts->prefix);
+
+  // Golden regex: the original disjunction, captured.
+  std::string golden_pattern = parts->prefix + "(" +
+                               Join(parts->branches, "|") + ")" +
+                               parts->suffix;
+  auto golden_re = regex::Regex::CompileCaseFolded(golden_pattern);
+  if (!golden_re.ok()) return golden_re.status();
+
+  // Generalized regexes: (\w+), (\w+\s+\w+), ... in place of the
+  // disjunction.
+  std::vector<regex::Regex> generalized;
+  for (size_t words = 1; words <= config.max_synonym_words; ++words) {
+    std::string span = "\\w+";
+    for (size_t w = 1; w < words; ++w) span += "\\s+\\w+";
+    auto re = regex::Regex::CompileCaseFolded(parts->prefix + "(" + span +
+                                              ")" + parts->suffix);
+    if (!re.ok()) return re.status();
+    generalized.push_back(std::move(re).value());
+  }
+
+  // Per-branch exact matchers, to drop candidates that are really golden.
+  std::vector<regex::Regex> branch_matchers;
+  for (const auto& b : parts->branches) {
+    auto re = regex::Regex::CompileCaseFolded(b);
+    if (!re.ok()) return re.status();
+    branch_matchers.push_back(std::move(re).value());
+  }
+
+  // Scan the corpus.
+  text::Tokenizer tokenizer;
+  text::Vocabulary vocab;
+  text::TfIdfModel prefix_model, suffix_model;
+
+  struct RawMatch {
+    std::string phrase;  // empty for golden matches
+    std::vector<text::TokenId> prefix_ids;
+    std::vector<text::TokenId> suffix_ids;
+    size_t title_index;
+  };
+  std::vector<RawMatch> golden_matches;
+  std::vector<RawMatch> candidate_matches;
+
+  auto record_match = [&](const regex::Match& m, const std::string& title,
+                          size_t title_index, bool is_golden) {
+    if (group_index >= m.groups.size() ||
+        !m.groups[group_index].valid()) {
+      return;
+    }
+    const regex::Span& span = m.groups[group_index];
+    RawMatch raw;
+    raw.title_index = title_index;
+    if (!is_golden) {
+      raw.phrase = CollapseSpaces(
+          std::string_view(title).substr(span.begin, span.length()));
+      if (raw.phrase.empty()) return;
+    }
+    raw.prefix_ids = vocab.InternAll(PrefixContext(
+        tokenizer, std::string_view(title).substr(0, span.begin),
+        config.context_window));
+    raw.suffix_ids = vocab.InternAll(SuffixContext(
+        tokenizer, std::string_view(title).substr(span.end),
+        config.context_window));
+    prefix_model.AddDocument(raw.prefix_ids);
+    suffix_model.AddDocument(raw.suffix_ids);
+    (is_golden ? golden_matches : candidate_matches)
+        .push_back(std::move(raw));
+  };
+
+  for (size_t ti = 0; ti < titles.size(); ++ti) {
+    const std::string lowered = ToLowerAscii(titles[ti]);
+    for (const auto& m : golden_re->FindAll(lowered)) {
+      record_match(m, lowered, ti, /*is_golden=*/true);
+    }
+    for (const auto& re : generalized) {
+      for (const auto& m : re.FindAll(lowered)) {
+        record_match(m, lowered, ti, /*is_golden=*/false);
+      }
+    }
+  }
+
+  // Golden centroids (means of normalized context vectors).
+  auto add_mean = [&](const std::vector<RawMatch>& matches, bool prefix,
+                      text::SparseVector& out) {
+    size_t n = 0;
+    for (const auto& m : matches) {
+      text::SparseVector v =
+          prefix ? prefix_model.VectorizeNormalized(m.prefix_ids)
+                 : suffix_model.VectorizeNormalized(m.suffix_ids);
+      out.AddScaled(v, 1.0);
+      ++n;
+    }
+    if (n > 0) out.Scale(1.0 / static_cast<double>(n));
+  };
+  add_mean(golden_matches, /*prefix=*/true, finder.golden_prefix_);
+  add_mean(golden_matches, /*prefix=*/false, finder.golden_suffix_);
+
+  // Group candidate matches by phrase.
+  std::unordered_map<std::string, size_t> phrase_index;
+  for (const auto& m : candidate_matches) {
+    // Skip phrases that are really golden synonyms.
+    bool is_golden_phrase = false;
+    for (const auto& bm : branch_matchers) {
+      if (bm.FullMatch(m.phrase)) {
+        is_golden_phrase = true;
+        break;
+      }
+    }
+    if (is_golden_phrase) continue;
+
+    auto [it, inserted] =
+        phrase_index.emplace(m.phrase, finder.candidates_.size());
+    if (inserted) {
+      Candidate c;
+      c.phrase = m.phrase;
+      finder.candidates_.push_back(std::move(c));
+    }
+    Candidate& c = finder.candidates_[it->second];
+    c.mean_prefix.AddScaled(prefix_model.VectorizeNormalized(m.prefix_ids),
+                            1.0);
+    c.mean_suffix.AddScaled(suffix_model.VectorizeNormalized(m.suffix_ids),
+                            1.0);
+    ++c.num_matches;
+    if (c.samples.size() < 3) c.samples.push_back(titles[m.title_index]);
+  }
+  // Finish the means and filter rare candidates.
+  std::vector<Candidate> kept;
+  for (auto& c : finder.candidates_) {
+    if (c.num_matches < config.min_candidate_matches) continue;
+    c.mean_prefix.Scale(1.0 / static_cast<double>(c.num_matches));
+    c.mean_suffix.Scale(1.0 / static_cast<double>(c.num_matches));
+    kept.push_back(std::move(c));
+  }
+  finder.candidates_ = std::move(kept);
+
+  finder.ScoreAll();
+  finder.SortUnreviewed();
+  return finder;
+}
+
+void SynonymFinder::ScoreAll() {
+  for (auto& c : candidates_) {
+    if (c.reviewed) continue;
+    c.score = config_.prefix_weight * c.mean_prefix.Cosine(golden_prefix_) +
+              config_.suffix_weight * c.mean_suffix.Cosine(golden_suffix_);
+  }
+}
+
+void SynonymFinder::SortUnreviewed() {
+  std::stable_sort(candidates_.begin(), candidates_.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.reviewed != b.reviewed) return !a.reviewed;
+                     if (a.score != b.score) return a.score > b.score;
+                     if (a.num_matches != b.num_matches) {
+                       return a.num_matches > b.num_matches;
+                     }
+                     return a.phrase < b.phrase;
+                   });
+}
+
+std::vector<SynonymCandidate> SynonymFinder::NextBatch() {
+  current_batch_.clear();
+  std::vector<SynonymCandidate> out;
+  for (size_t i = 0; i < candidates_.size() &&
+                     out.size() < config_.batch_size;
+       ++i) {
+    if (candidates_[i].reviewed) continue;
+    current_batch_.push_back(i);
+    out.push_back({candidates_[i].phrase, candidates_[i].score,
+                   candidates_[i].num_matches, candidates_[i].samples});
+  }
+  if (!out.empty()) ++iterations_;
+  return out;
+}
+
+void SynonymFinder::ProvideFeedback(
+    const std::vector<std::string>& accepted,
+    const std::vector<std::string>& rejected) {
+  std::vector<const Candidate*> accepted_cands, rejected_cands;
+  auto mark = [&](const std::string& phrase, bool is_accept) {
+    for (auto& c : candidates_) {
+      if (c.phrase != phrase) continue;
+      if (!c.reviewed) {
+        c.reviewed = true;
+        ++reviewed_;
+      }
+      (is_accept ? accepted_cands : rejected_cands).push_back(&c);
+      return;
+    }
+  };
+  for (const auto& p : accepted) {
+    mark(p, true);
+    accepted_.push_back(p);
+  }
+  for (const auto& p : rejected) mark(p, false);
+
+  if (config_.use_feedback &&
+      (!accepted_cands.empty() || !rejected_cands.empty())) {
+    // Rocchio: pull the golden centroids toward accepted contexts, away
+    // from rejected ones.
+    auto update = [&](text::SparseVector& centroid, bool prefix) {
+      centroid.Scale(config_.rocchio_alpha);
+      if (!accepted_cands.empty()) {
+        double beta = config_.rocchio_beta /
+                      static_cast<double>(accepted_cands.size());
+        for (const Candidate* c : accepted_cands) {
+          centroid.AddScaled(prefix ? c->mean_prefix : c->mean_suffix, beta);
+        }
+      }
+      if (!rejected_cands.empty()) {
+        double gamma = config_.rocchio_gamma /
+                       static_cast<double>(rejected_cands.size());
+        for (const Candidate* c : rejected_cands) {
+          centroid.AddScaled(prefix ? c->mean_prefix : c->mean_suffix,
+                             -gamma);
+        }
+      }
+      centroid.ClampNonNegative();
+    };
+    update(golden_prefix_, /*prefix=*/true);
+    update(golden_suffix_, /*prefix=*/false);
+    ScoreAll();
+  }
+  SortUnreviewed();
+}
+
+std::string SynonymFinder::ExpandedPattern() const {
+  std::vector<std::string> branches = golden_;
+  branches.insert(branches.end(), accepted_.begin(), accepted_.end());
+  return template_prefix_ + "(" + Join(branches, "|") + ")" +
+         template_suffix_;
+}
+
+SynonymSession RunSynonymSession(
+    SynonymFinder& finder,
+    const std::function<bool(const std::string&)>& is_synonym,
+    size_t max_iterations, size_t max_barren_batches) {
+  SynonymSession session;
+  size_t barren = 0;
+  while (session.iterations < max_iterations && !finder.exhausted() &&
+         barren < max_barren_batches) {
+    auto batch = finder.NextBatch();
+    if (batch.empty()) break;
+    ++session.iterations;
+    session.candidates_reviewed += batch.size();
+    std::vector<std::string> accepted, rejected;
+    for (const auto& cand : batch) {
+      (is_synonym(cand.phrase) ? accepted : rejected).push_back(cand.phrase);
+    }
+    if (accepted.empty()) {
+      ++barren;
+    } else {
+      barren = 0;
+    }
+    finder.ProvideFeedback(accepted, rejected);
+  }
+  session.found = finder.accepted();
+  return session;
+}
+
+}  // namespace rulekit::gen

@@ -1,0 +1,137 @@
+#ifndef RULEKIT_GEN_SYNONYM_FINDER_H_
+#define RULEKIT_GEN_SYNONYM_FINDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace rulekit::gen {
+
+/// Knobs of the §5.1 synonym-discovery tool. Defaults mirror the paper:
+/// synonyms up to 3 words, context = 5 words before/after, top-10 batches,
+/// prefix/suffix weights 0.5/0.5, Rocchio feedback re-ranking.
+struct SynonymFinderConfig {
+  size_t max_synonym_words = 3;
+  size_t context_window = 5;
+  size_t batch_size = 10;
+  double prefix_weight = 0.5;
+  double suffix_weight = 0.5;
+  double rocchio_alpha = 1.0;
+  double rocchio_beta = 0.75;
+  double rocchio_gamma = 0.25;
+  /// Disable to ablate the feedback re-ranking (batches keep the initial
+  /// ranking order).
+  bool use_feedback = true;
+  /// Minimum number of corpus matches for a candidate to be considered.
+  size_t min_candidate_matches = 1;
+};
+
+/// One ranked candidate shown to the analyst.
+struct SynonymCandidate {
+  std::string phrase;
+  double score = 0.0;
+  size_t num_matches = 0;
+  /// Up to three sample titles containing the candidate, to help the
+  /// analyst verify (paper: "we also show a small set of sample product
+  /// titles in which the synonym appears").
+  std::vector<std::string> sample_titles;
+};
+
+/// Interactive synonym finder for regex disjunctions (§5.1).
+///
+/// The analyst writes a template like "(motor | engine | \syn) oils?". The
+/// tool derives generalized regexes ("(\w+) oils?", "(\w+\s+\w+) oils?",
+/// ...), extracts candidate phrases with their prefix/suffix contexts from
+/// a corpus of titles, ranks candidates by TF-IDF context similarity to
+/// the golden synonyms ("motor", "engine"), and re-ranks after each batch
+/// of analyst feedback using the Rocchio algorithm.
+class SynonymFinder {
+ public:
+  /// Builds a finder. Fails if the template does not contain exactly one
+  /// "\syn" inside a parenthesized disjunction, or if the regexes do not
+  /// compile.
+  static Result<SynonymFinder> Create(std::string_view template_pattern,
+                                      const std::vector<std::string>& titles,
+                                      SynonymFinderConfig config = {});
+
+  /// The golden synonyms parsed from the template.
+  const std::vector<std::string>& golden() const { return golden_; }
+
+  /// The next batch of top-ranked unreviewed candidates (at most
+  /// config.batch_size). Empty when exhausted.
+  std::vector<SynonymCandidate> NextBatch();
+
+  /// Records the analyst's verdicts for phrases of the current batch and
+  /// (if enabled) re-ranks the remaining candidates with Rocchio feedback.
+  void ProvideFeedback(const std::vector<std::string>& accepted,
+                       const std::vector<std::string>& rejected);
+
+  /// Accepted synonyms so far, in acceptance order.
+  const std::vector<std::string>& accepted() const { return accepted_; }
+
+  /// Number of NextBatch() calls so far.
+  size_t iterations() const { return iterations_; }
+
+  /// True when every candidate has been reviewed.
+  bool exhausted() const { return reviewed_ >= candidates_.size(); }
+
+  size_t num_candidates() const { return candidates_.size(); }
+
+  /// The template with "\syn" replaced by the accepted synonyms — the
+  /// expanded rule the analyst walks away with.
+  std::string ExpandedPattern() const;
+
+ private:
+  struct Candidate {
+    std::string phrase;
+    text::SparseVector mean_prefix;  // normalized mean over its matches
+    text::SparseVector mean_suffix;
+    size_t num_matches = 0;
+    std::vector<std::string> samples;
+    double score = 0.0;
+    bool reviewed = false;
+  };
+
+  SynonymFinder() = default;
+
+  void ScoreAll();
+  void SortUnreviewed();
+
+  SynonymFinderConfig config_;
+  std::string template_prefix_;  // pattern text before the disjunction
+  std::string template_suffix_;  // pattern text after the disjunction
+  std::vector<std::string> golden_;
+  std::vector<std::string> accepted_;
+
+  text::SparseVector golden_prefix_;  // (Rocchio-updated) golden centroids
+  text::SparseVector golden_suffix_;
+
+  std::vector<Candidate> candidates_;
+  size_t reviewed_ = 0;
+  size_t iterations_ = 0;
+  std::vector<size_t> current_batch_;  // candidate indices
+};
+
+/// Drives a finder to completion against an oracle (simulated analyst):
+/// `is_synonym(phrase)` returns the verdict for each shown candidate.
+/// Stops after `max_iterations` batches, when the finder is exhausted, or
+/// after `max_barren_batches` consecutive batches with no acceptance.
+struct SynonymSession {
+  std::vector<std::string> found;
+  size_t iterations = 0;
+  size_t candidates_reviewed = 0;
+};
+SynonymSession RunSynonymSession(
+    SynonymFinder& finder,
+    const std::function<bool(const std::string&)>& is_synonym,
+    size_t max_iterations = 10, size_t max_barren_batches = 2);
+
+}  // namespace rulekit::gen
+
+#endif  // RULEKIT_GEN_SYNONYM_FINDER_H_

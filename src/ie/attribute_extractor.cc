@@ -1,0 +1,56 @@
+#include "src/ie/attribute_extractor.h"
+
+#include <unordered_set>
+
+namespace rulekit::ie {
+
+Status AttributeExtractor::AddPattern(std::string attribute,
+                                      std::string_view pattern,
+                                      int value_group) {
+  auto re = regex::Regex::CompileCaseFolded(pattern);
+  if (!re.ok()) return re.status();
+  if (value_group >= re->num_captures()) {
+    return Status::InvalidArgument(
+        "value_group exceeds the pattern's capture count");
+  }
+  rules_.push_back(
+      {std::move(attribute), std::move(re).value(), value_group});
+  return Status::OK();
+}
+
+AttributeExtractor AttributeExtractor::WithDefaultRules() {
+  AttributeExtractor ex;
+  // Weight: "2.5 lb", "12oz", "1.2 kg".
+  (void)ex.AddPattern("Item Weight",
+                      "(\\d+(?:\\.\\d+)? ?(?:lbs?|oz|kg|g))(?:[^a-z]|$)", 0);
+  // Dimensions: "5x7", "8 x 10".
+  (void)ex.AddPattern("Size", "(\\d+ ?x ?\\d+)", 0);
+  // Apparel size: "size m", "size 10".
+  (void)ex.AddPattern("Size", "(size (?:xs|s|m|l|xl|xxl|\\d+))", 0);
+  // Screen size: "15.6 inch".
+  (void)ex.AddPattern("Size", "(\\d+(?:\\.\\d+)?) ?(?:inch|in\\.|\")", 0);
+  // Pack count: "3 pack", "2-pack".
+  (void)ex.AddPattern("Pack Count", "(\\d+)[ -]pack", 0);
+  return ex;
+}
+
+std::vector<Extraction> AttributeExtractor::Extract(
+    const data::ProductItem& item) const {
+  std::vector<Extraction> out;
+  std::unordered_set<std::string> already;
+  for (const auto& rule : rules_) {
+    if (already.count(rule.attribute)) continue;
+    auto m = rule.pattern.Find(item.title);
+    if (!m.has_value()) continue;
+    size_t group = static_cast<size_t>(rule.value_group);
+    if (group >= m->groups.size() || !m->groups[group].valid()) continue;
+    const regex::Span& span = m->groups[group];
+    out.push_back({rule.attribute,
+                   std::string(item.title.substr(span.begin, span.length())),
+                   span.begin, span.end});
+    already.insert(rule.attribute);
+  }
+  return out;
+}
+
+}  // namespace rulekit::ie

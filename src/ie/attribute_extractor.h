@@ -1,0 +1,55 @@
+#ifndef RULEKIT_IE_ATTRIBUTE_EXTRACTOR_H_
+#define RULEKIT_IE_ATTRIBUTE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/product.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::ie {
+
+/// One extracted attribute value with its provenance span in the title.
+struct Extraction {
+  std::string attribute;
+  std::string value;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Regex-rule-based attribute extraction from product titles (§6 IE:
+/// "yet another set of rules apply regular expressions to extract weights,
+/// sizes, and colors — instead of learning, it was easier to use regular
+/// expressions to capture the appearance patterns of such attributes").
+class AttributeExtractor {
+ public:
+  AttributeExtractor() = default;
+
+  /// Registers an extraction rule: when `pattern` (case-folded) matches the
+  /// title, capture group `value_group` becomes the value of `attribute`.
+  Status AddPattern(std::string attribute, std::string_view pattern,
+                    int value_group = 0);
+
+  /// The stock rules: Item Weight ("2.5 lb", "12 oz"), Size ("5x7",
+  /// "size m", "15.6 inch"), Pack Count ("3 pack").
+  static AttributeExtractor WithDefaultRules();
+
+  /// All extractions over the title, left to right, first rule wins per
+  /// attribute.
+  std::vector<Extraction> Extract(const data::ProductItem& item) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  struct ExtractionRule {
+    std::string attribute;
+    regex::Regex pattern;
+    int value_group;
+  };
+  std::vector<ExtractionRule> rules_;
+};
+
+}  // namespace rulekit::ie
+
+#endif  // RULEKIT_IE_ATTRIBUTE_EXTRACTOR_H_

@@ -1,0 +1,38 @@
+#include "src/ie/brand_extractor.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::ie {
+
+BrandExtractor::BrandExtractor(
+    const std::vector<std::string>& brand_dictionary) {
+  dict_.AddAll(brand_dictionary);
+}
+
+std::optional<Extraction> BrandExtractor::ExtractBrand(
+    const data::ProductItem& item) const {
+  auto matches = dict_.FindAll(item.title);
+  if (matches.empty()) return std::nullopt;
+
+  auto make = [&](const text::DictionaryMatch& m) {
+    return Extraction{"Brand",
+                      std::string(item.title.substr(m.begin, m.end - m.begin)),
+                      m.begin, m.end};
+  };
+
+  std::string lowered = ToLowerAscii(item.title);
+  for (const auto& m : matches) {
+    // Context rule 1: title-initial brand ("dickies 38in ... jeans").
+    if (m.begin == 0) return make(m);
+    // Context rule 2: preceded by "by " or "from ".
+    auto before = std::string_view(lowered).substr(0, m.begin);
+    if (EndsWith(before, "by ") || EndsWith(before, "from ")) {
+      return make(m);
+    }
+  }
+  // Context rule 3: a unique dictionary hit is trusted anywhere.
+  if (matches.size() == 1) return make(matches[0]);
+  return std::nullopt;
+}
+
+}  // namespace rulekit::ie

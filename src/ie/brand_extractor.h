@@ -1,0 +1,37 @@
+#ifndef RULEKIT_IE_BRAND_EXTRACTOR_H_
+#define RULEKIT_IE_BRAND_EXTRACTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/ie/attribute_extractor.h"
+#include "src/text/dictionary.h"
+
+namespace rulekit::ie {
+
+/// Dictionary+context brand extraction (§6 IE: "a rule extracts a
+/// substring s of t as the brand name if (a) s approximately matches a
+/// string in a large given dictionary of brand names, and (b) the text
+/// surrounding s conforms to a pre-specified pattern").
+///
+/// Context rules implemented: a dictionary hit counts as a brand if it is
+/// at the start of the title, or follows "by"/"from", or is the only hit.
+class BrandExtractor {
+ public:
+  explicit BrandExtractor(const std::vector<std::string>& brand_dictionary);
+
+  /// The best brand extraction from the title, if any.
+  std::optional<Extraction> ExtractBrand(
+      const data::ProductItem& item) const;
+
+  size_t dictionary_size() const { return dict_.size(); }
+
+ private:
+  text::Dictionary dict_;
+};
+
+}  // namespace rulekit::ie
+
+#endif  // RULEKIT_IE_BRAND_EXTRACTOR_H_

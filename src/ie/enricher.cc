@@ -1,0 +1,40 @@
+#include "src/ie/enricher.h"
+
+namespace rulekit::ie {
+
+ProductEnricher::ProductEnricher(BrandExtractor brands,
+                                 AttributeExtractor attributes,
+                                 Normalizer normalizer,
+                                 EnricherConfig config)
+    : brands_(std::move(brands)), attributes_(std::move(attributes)),
+      normalizer_(std::move(normalizer)), config_(config) {}
+
+data::ProductItem ProductEnricher::Enrich(
+    const data::ProductItem& item) const {
+  data::ProductItem out = item;
+  auto set_if_allowed = [&](const std::string& name,
+                            const std::string& value) {
+    if (!config_.overwrite_existing && out.HasAttribute(name)) return;
+    out.SetAttribute(name, value);
+  };
+  if (auto brand = brands_.ExtractBrand(item); brand.has_value()) {
+    set_if_allowed("Brand", normalizer_.Normalize(brand->value));
+  }
+  for (const auto& extraction : attributes_.Extract(item)) {
+    set_if_allowed(extraction.attribute, extraction.value);
+  }
+  return out;
+}
+
+size_t ProductEnricher::EnrichAll(
+    std::vector<data::ProductItem>& items) const {
+  size_t added = 0;
+  for (auto& item : items) {
+    size_t before = item.attributes.size();
+    item = Enrich(item);
+    added += item.attributes.size() - before;
+  }
+  return added;
+}
+
+}  // namespace rulekit::ie

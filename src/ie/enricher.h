@@ -1,0 +1,45 @@
+#ifndef RULEKIT_IE_ENRICHER_H_
+#define RULEKIT_IE_ENRICHER_H_
+
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/ie/attribute_extractor.h"
+#include "src/ie/brand_extractor.h"
+#include "src/ie/normalizer.h"
+
+namespace rulekit::ie {
+
+/// Options for the enrichment pass.
+struct EnricherConfig {
+  /// Replace attributes the vendor already supplied. Default off: vendor
+  /// data wins, extraction only fills gaps.
+  bool overwrite_existing = false;
+};
+
+/// The §6 IE pipeline assembled: extract the brand (dictionary+context),
+/// normalize it, extract regex attributes (weight/size/pack), and write
+/// everything back onto the item. Enriched attributes immediately benefit
+/// the attribute/value classifier and the learners — the paper's systems
+/// feed each other exactly this way.
+class ProductEnricher {
+ public:
+  ProductEnricher(BrandExtractor brands, AttributeExtractor attributes,
+                  Normalizer normalizer, EnricherConfig config = {});
+
+  /// Returns a copy of `item` with extracted attributes added.
+  data::ProductItem Enrich(const data::ProductItem& item) const;
+
+  /// Enriches items in place; returns the number of attributes added.
+  size_t EnrichAll(std::vector<data::ProductItem>& items) const;
+
+ private:
+  BrandExtractor brands_;
+  AttributeExtractor attributes_;
+  Normalizer normalizer_;
+  EnricherConfig config_;
+};
+
+}  // namespace rulekit::ie
+
+#endif  // RULEKIT_IE_ENRICHER_H_

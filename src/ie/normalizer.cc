@@ -1,0 +1,42 @@
+#include "src/ie/normalizer.h"
+
+#include <cctype>
+
+namespace rulekit::ie {
+
+std::string Normalizer::Key(std::string_view s) {
+  // Case-fold and strip punctuation; collapse whitespace runs.
+  std::string key;
+  bool pending_space = false;
+  for (char c : s) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      if (pending_space && !key.empty()) key += ' ';
+      pending_space = false;
+      key += static_cast<char>(std::tolower(uc));
+    } else if (std::isspace(uc)) {
+      pending_space = true;
+    }
+    // Punctuation is dropped entirely ("ibm inc." == "ibm inc").
+  }
+  return key;
+}
+
+void Normalizer::AddRule(std::string canonical,
+                         const std::vector<std::string>& variants) {
+  variants_[Key(canonical)] = canonical;
+  for (const auto& v : variants) {
+    variants_[Key(v)] = canonical;
+  }
+}
+
+std::string Normalizer::Normalize(std::string_view surface) const {
+  auto it = variants_.find(Key(surface));
+  return it == variants_.end() ? std::string(surface) : it->second;
+}
+
+bool Normalizer::Knows(std::string_view surface) const {
+  return variants_.count(Key(surface)) > 0;
+}
+
+}  // namespace rulekit::ie

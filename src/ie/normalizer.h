@@ -1,0 +1,41 @@
+#ifndef RULEKIT_IE_NORMALIZER_H_
+#define RULEKIT_IE_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rulekit::ie {
+
+/// Normalization rules mapping surface variants to canonical forms (§6 IE:
+/// "another set of rules normalizes the extracted brand names (e.g.,
+/// converting 'IBM', 'IBM Inc.', and 'the Big Blue' all into 'IBM
+/// Corporation')"). Matching is case-insensitive and punctuation-tolerant.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Registers a canonical form and its variants. The canonical form maps
+  /// to itself.
+  void AddRule(std::string canonical,
+               const std::vector<std::string>& variants);
+
+  /// The canonical form of `surface`, or a copy of `surface` when no rule
+  /// applies.
+  std::string Normalize(std::string_view surface) const;
+
+  /// True if some rule rewrites `surface`.
+  bool Knows(std::string_view surface) const;
+
+  size_t num_variants() const { return variants_.size(); }
+
+ private:
+  static std::string Key(std::string_view s);
+
+  std::unordered_map<std::string, std::string> variants_;  // key -> canonical
+};
+
+}  // namespace rulekit::ie
+
+#endif  // RULEKIT_IE_NORMALIZER_H_

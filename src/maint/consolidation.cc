@@ -1,0 +1,110 @@
+#include "src/maint/consolidation.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::maint {
+
+namespace {
+
+Result<rules::Rule> MakeRegexRule(rules::RuleKind kind, std::string id,
+                                  const std::string& pattern,
+                                  std::string type) {
+  if (kind == rules::RuleKind::kWhitelist) {
+    return rules::Rule::Whitelist(std::move(id), pattern, std::move(type));
+  }
+  return rules::Rule::Blacklist(std::move(id), pattern, std::move(type));
+}
+
+}  // namespace
+
+Result<rules::Rule> ConsolidateRules(const rules::Rule& a,
+                                     const rules::Rule& b,
+                                     std::string merged_id) {
+  if (a.kind() != b.kind()) {
+    return Status::InvalidArgument("cannot consolidate different kinds");
+  }
+  if (a.kind() != rules::RuleKind::kWhitelist &&
+      a.kind() != rules::RuleKind::kBlacklist) {
+    return Status::InvalidArgument("only regex rules can be consolidated");
+  }
+  if (a.target_type() != b.target_type()) {
+    return Status::InvalidArgument(
+        "cannot consolidate rules with different target types");
+  }
+  std::string pattern =
+      "(?:" + a.pattern_text() + ")|(?:" + b.pattern_text() + ")";
+  auto merged = MakeRegexRule(a.kind(), std::move(merged_id), pattern,
+                              a.target_type());
+  if (!merged.ok()) return merged.status();
+  merged->metadata().confidence =
+      std::min(a.metadata().confidence, b.metadata().confidence);
+  merged->metadata().note =
+      "consolidated from " + a.id() + " and " + b.id();
+  return merged;
+}
+
+std::vector<std::string> TopLevelBranches(const std::string& pattern) {
+  std::string body = pattern;
+  // Unwrap "(?:...)" spanning the whole pattern.
+  if (StartsWith(body, "(?:") && EndsWith(body, ")")) {
+    int depth = 0;
+    bool spans = true;
+    for (size_t i = 0; i + 1 < body.size(); ++i) {
+      if (body[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (body[i] == '(') ++depth;
+      if (body[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          spans = false;  // the opening group closes before the end
+          break;
+        }
+      }
+    }
+    if (spans) body = body.substr(3, body.size() - 4);
+  }
+
+  std::vector<std::string> branches;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size() && body[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (i < body.size() && body[i] == '(') ++depth;
+    if (i < body.size() && body[i] == ')') --depth;
+    if (i == body.size() || (body[i] == '|' && depth == 0)) {
+      branches.push_back(body.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return branches;
+}
+
+Result<std::vector<rules::Rule>> SplitRule(const rules::Rule& rule) {
+  if (rule.kind() != rules::RuleKind::kWhitelist &&
+      rule.kind() != rules::RuleKind::kBlacklist) {
+    return Status::InvalidArgument("only regex rules can be split");
+  }
+  auto branches = TopLevelBranches(rule.pattern_text());
+  if (branches.size() < 2) {
+    return Status::FailedPrecondition(
+        "pattern has no top-level alternation to split");
+  }
+  std::vector<rules::Rule> out;
+  for (size_t i = 0; i < branches.size(); ++i) {
+    auto part = MakeRegexRule(rule.kind(),
+                              rule.id() + "." + std::to_string(i),
+                              branches[i], rule.target_type());
+    if (!part.ok()) return part.status();
+    part->metadata() = rule.metadata();
+    part->metadata().note = "split from " + rule.id();
+    out.push_back(std::move(part).value());
+  }
+  return out;
+}
+
+}  // namespace rulekit::maint

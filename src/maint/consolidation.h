@@ -1,0 +1,33 @@
+#ifndef RULEKIT_MAINT_CONSOLIDATION_H_
+#define RULEKIT_MAINT_CONSOLIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rules/rule.h"
+
+namespace rulekit::maint {
+
+/// Merges two same-type, same-kind regex rules into one disjunction rule
+/// "(?:a)|(?:b)". The paper notes the tension (§4): consolidation shrinks
+/// the rule set but makes debugging harder — which branch misfired? — so
+/// this is offered as a tool, not a policy.
+Result<rules::Rule> ConsolidateRules(const rules::Rule& a,
+                                     const rules::Rule& b,
+                                     std::string merged_id);
+
+/// The inverse: splits a rule whose pattern is a top-level alternation
+/// into one rule per branch (ids suffixed ".0", ".1", ...). This is what
+/// an analyst reaches for when a composite rule misclassifies and the
+/// offending part must be found and disabled in isolation.
+Result<std::vector<rules::Rule>> SplitRule(const rules::Rule& rule);
+
+/// Splits a pattern on its top-level '|' branches (unwrapping one level of
+/// non-capturing group if the whole pattern is "(?:...)"). A pattern with
+/// no top-level alternation yields a single branch.
+std::vector<std::string> TopLevelBranches(const std::string& pattern);
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_CONSOLIDATION_H_

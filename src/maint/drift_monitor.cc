@@ -1,0 +1,130 @@
+#include "src/maint/drift_monitor.h"
+
+#include <algorithm>
+
+#include "src/rules/repository.h"
+
+namespace rulekit::maint {
+
+void RulePrecisionMonitor::RecordVerdict(const std::string& rule_id,
+                                         bool correct) {
+  auto& window = windows_[rule_id];
+  window.push_back(correct);
+  while (window.size() > options_.window_size) window.pop_front();
+}
+
+double RulePrecisionMonitor::WindowedPrecision(
+    const std::string& rule_id) const {
+  auto it = windows_.find(rule_id);
+  if (it == windows_.end() || it->second.empty()) return 1.0;
+  size_t correct = static_cast<size_t>(
+      std::count(it->second.begin(), it->second.end(), true));
+  return static_cast<double>(correct) /
+         static_cast<double>(it->second.size());
+}
+
+std::vector<DriftFlag> RulePrecisionMonitor::FlaggedRules() const {
+  std::vector<DriftFlag> flags;
+  for (const auto& [id, window] : windows_) {
+    if (window.size() < options_.min_verdicts) continue;
+    double precision = WindowedPrecision(id);
+    if (precision < options_.precision_floor) {
+      flags.push_back({id, precision, window.size()});
+    }
+  }
+  std::sort(flags.begin(), flags.end(),
+            [](const DriftFlag& a, const DriftFlag& b) {
+              if (a.windowed_precision != b.windowed_precision) {
+                return a.windowed_precision < b.windowed_precision;
+              }
+              return a.rule_id < b.rule_id;
+            });
+  return flags;
+}
+
+std::vector<InapplicableRule> FindInapplicableRules(
+    const rules::RuleSet& rules, const data::Taxonomy& taxonomy) {
+  std::vector<InapplicableRule> out;
+  for (const auto& rule : rules.rules()) {
+    if (!rule.is_active()) continue;
+    for (const auto& type : rule.candidate_types()) {
+      data::TypeId id = taxonomy.IdOf(type);
+      if (id == data::kInvalidTypeId) continue;  // foreign type: not ours
+      if (!taxonomy.IsActive(id)) {
+        out.push_back({rule.id(), type, taxonomy.ReplacementsOf(type)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Clones a regex/attr rule with a new id and target type. Predicate and
+// attribute-value rules are not auto-migrated (their semantics entangle
+// the type set) — they are only retired.
+std::optional<rules::Rule> CloneForType(const rules::Rule& rule,
+                                        const std::string& new_id,
+                                        const std::string& type) {
+  switch (rule.kind()) {
+    case rules::RuleKind::kWhitelist: {
+      auto clone = rules::Rule::Whitelist(new_id, rule.pattern_text(), type);
+      if (!clone.ok()) return std::nullopt;
+      return std::move(clone).value();
+    }
+    case rules::RuleKind::kBlacklist: {
+      auto clone = rules::Rule::Blacklist(new_id, rule.pattern_text(), type);
+      if (!clone.ok()) return std::nullopt;
+      return std::move(clone).value();
+    }
+    case rules::RuleKind::kAttributeExists:
+      return rules::Rule::AttributeExists(new_id, rule.attribute(), type);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+SplitMigrationReport MigrateRulesAcrossSplit(
+    rules::RuleRepository& repository, const data::Taxonomy& taxonomy,
+    std::string_view author) {
+  SplitMigrationReport report;
+  auto inapplicable = FindInapplicableRules(repository.rules(), taxonomy);
+  for (const auto& finding : inapplicable) {
+    const rules::Rule* rule = repository.rules().Find(finding.rule_id);
+    if (rule == nullptr || !rule->is_active()) continue;
+
+    std::vector<rules::Rule> drafts;
+    for (const auto& replacement : finding.replacements) {
+      auto clone = CloneForType(*rule, finding.rule_id + "@" + replacement,
+                                replacement);
+      if (!clone.has_value()) continue;
+      clone->metadata().confidence = rule->metadata().confidence;
+      clone->metadata().origin = rule->metadata().origin;
+      clone->metadata().note = "drafted from " + finding.rule_id +
+                               " after split of " + finding.retired_type;
+      drafts.push_back(std::move(*clone));
+    }
+    if (!repository
+             .Retire(finding.rule_id, author,
+                     "target type split: " + finding.retired_type)
+             .ok()) {
+      continue;
+    }
+    report.retired.push_back(finding.rule_id);
+    for (auto& draft : drafts) {
+      std::string id = draft.id();
+      if (!repository.Add(std::move(draft), author).ok()) continue;
+      // Drafts are parked disabled until an analyst reviews them.
+      if (repository.Disable(id, author, "pending review after split")
+              .ok()) {
+        report.drafted.push_back(std::move(id));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rulekit::maint

@@ -1,0 +1,88 @@
+#ifndef RULEKIT_MAINT_DRIFT_MONITOR_H_
+#define RULEKIT_MAINT_DRIFT_MONITOR_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/taxonomy.h"
+#include "src/rules/repository.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::maint {
+
+/// A rule flagged by the monitor.
+struct DriftFlag {
+  std::string rule_id;
+  double windowed_precision = 1.0;
+  size_t window_matches = 0;
+};
+
+/// Options for windowed precision monitoring.
+struct DriftMonitorOptions {
+  /// Verdicts kept per rule (sliding window).
+  size_t window_size = 50;
+  /// Minimum verdicts before a rule can be flagged.
+  size_t min_verdicts = 10;
+  /// Flag when windowed precision drops below this.
+  double precision_floor = 0.85;
+};
+
+/// Tracks per-rule precision over a sliding window of sampled verdicts
+/// and flags rules that have gone imprecise (§4 "Rule Maintenance",
+/// challenges 1-2: imprecise rules sneak in, and once-good rules decay as
+/// the product universe drifts).
+class RulePrecisionMonitor {
+ public:
+  explicit RulePrecisionMonitor(DriftMonitorOptions options = {})
+      : options_(options) {}
+
+  /// Records one sampled verdict: the rule fired on an item and the
+  /// verdict says whether its type was correct for that item.
+  void RecordVerdict(const std::string& rule_id, bool correct);
+
+  /// Windowed precision of a rule (1.0 if never observed).
+  double WindowedPrecision(const std::string& rule_id) const;
+
+  /// Rules currently below the precision floor, worst first.
+  std::vector<DriftFlag> FlaggedRules() const;
+
+ private:
+  DriftMonitorOptions options_;
+  std::unordered_map<std::string, std::deque<bool>> windows_;
+};
+
+/// Rules whose target type was retired by a taxonomy split and are thus
+/// inapplicable (§4 example: rules written for "pants" after the split
+/// into "work pants" and "jeans"). For each, reports the replacement
+/// types an analyst should rewrite the rule against.
+struct InapplicableRule {
+  std::string rule_id;
+  std::string retired_type;
+  std::vector<std::string> replacements;
+};
+
+std::vector<InapplicableRule> FindInapplicableRules(
+    const rules::RuleSet& rules, const data::Taxonomy& taxonomy);
+
+/// Result of migrating rules across a taxonomy split.
+struct SplitMigrationReport {
+  std::vector<std::string> retired;  // old rules taken out of execution
+  std::vector<std::string> drafted;  // new per-replacement rules, created
+                                     // DISABLED pending analyst review
+};
+
+/// The §4 split workflow, mechanized: for every rule targeting a retired
+/// type, retire it and draft one copy per replacement type (id suffixed
+/// "@<replacement>") in the kDisabled state — the condition usually needs
+/// analyst attention ("pants?" matches both work pants and jeans), so the
+/// drafts never run until a human enables them.
+SplitMigrationReport MigrateRulesAcrossSplit(
+    rules::RuleRepository& repository, const data::Taxonomy& taxonomy,
+    std::string_view author = "maintenance");
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_DRIFT_MONITOR_H_

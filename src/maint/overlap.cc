@@ -1,0 +1,71 @@
+#include "src/maint/overlap.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/engine/executor.h"
+
+namespace rulekit::maint {
+
+std::vector<OverlapFinding> FindOverlappingRules(
+    const rules::RuleSet& rules,
+    const std::vector<data::ProductItem>& corpus, double min_jaccard) {
+  // One indexed pass computes every rule's coverage.
+  engine::RuleExecutor executor(rules, {.use_index = true});
+  auto result = executor.Execute(corpus);
+
+  const auto& all = rules.rules();
+  std::map<size_t, std::vector<uint32_t>> coverage;  // rule idx -> items
+  for (uint32_t item = 0; item < result.matches_per_item.size(); ++item) {
+    for (size_t rule_idx : result.matches_per_item[item]) {
+      coverage[rule_idx].push_back(item);
+    }
+  }
+
+  // Group rule indices by (kind, type).
+  std::map<std::pair<int, std::string>, std::vector<size_t>> groups;
+  for (const auto& [rule_idx, items] : coverage) {
+    const rules::Rule& rule = all[rule_idx];
+    groups[{static_cast<int>(rule.kind()), rule.target_type()}].push_back(
+        rule_idx);
+  }
+
+  std::vector<OverlapFinding> findings;
+  for (const auto& [key, members] : groups) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const auto& ca = coverage[members[i]];
+        const auto& cb = coverage[members[j]];
+        // Sorted by construction; linear intersection.
+        size_t inter = 0, x = 0, y = 0;
+        while (x < ca.size() && y < cb.size()) {
+          if (ca[x] < cb[y]) {
+            ++x;
+          } else if (ca[x] > cb[y]) {
+            ++y;
+          } else {
+            ++inter;
+            ++x;
+            ++y;
+          }
+        }
+        size_t uni = ca.size() + cb.size() - inter;
+        double jaccard = uni == 0 ? 0.0
+                                  : static_cast<double>(inter) /
+                                        static_cast<double>(uni);
+        if (jaccard >= min_jaccard) {
+          findings.push_back({all[members[i]].id(), all[members[j]].id(),
+                              ca.size(), cb.size(), inter, jaccard});
+        }
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const OverlapFinding& a, const OverlapFinding& b) {
+              if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
+              return a.rule_a < b.rule_a;
+            });
+  return findings;
+}
+
+}  // namespace rulekit::maint

@@ -1,0 +1,34 @@
+#ifndef RULEKIT_MAINT_OVERLAP_H_
+#define RULEKIT_MAINT_OVERLAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::maint {
+
+/// A pair of same-type rules whose coverage on a reference corpus overlaps
+/// heavily — consolidation candidates (§4's "(abrasive|sand...)" vs
+/// "abrasive.*..." example).
+struct OverlapFinding {
+  std::string rule_a;
+  std::string rule_b;
+  size_t coverage_a = 0;
+  size_t coverage_b = 0;
+  size_t intersection = 0;
+  double jaccard = 0.0;
+};
+
+/// Measures pairwise coverage overlap of active same-kind, same-type regex
+/// rules over `corpus`, reporting pairs with Jaccard >= `min_jaccard`.
+/// Data-driven (unlike the language-level subsumption check): it reflects
+/// how the rules behave on real traffic.
+std::vector<OverlapFinding> FindOverlappingRules(
+    const rules::RuleSet& rules,
+    const std::vector<data::ProductItem>& corpus, double min_jaccard = 0.5);
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_OVERLAP_H_

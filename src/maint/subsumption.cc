@@ -1,0 +1,213 @@
+#include "src/maint/subsumption.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "src/common/string_util.h"
+#include "src/regex/containment.h"
+#include "src/rules/token_pattern.h"
+
+namespace rulekit::maint {
+
+namespace {
+
+// A pattern recognized as a token sequence, in either the plain display
+// shape ("denim.*jeans", substring semantics) or the bounded shape
+// produced by rules::BoundedTokenPattern (whole-token semantics).
+struct TokenShape {
+  std::vector<std::string> tokens;
+  bool bounded = false;
+};
+
+std::optional<TokenShape> ExtractTokens(const std::string& pattern) {
+  if (auto tokens = rules::ParseTokenPattern(pattern)) {
+    bool bounded = StartsWith(pattern, "(^|");
+    return TokenShape{*tokens, bounded};
+  }
+  std::vector<std::string> tokens;
+  if (IsDotStarTokenPattern(pattern, &tokens)) {
+    return TokenShape{std::move(tokens), false};
+  }
+  return std::nullopt;
+}
+
+// Positive test under substring semantics for the broad side: every
+// narrow-matching title contains the narrow tokens (at least as
+// substrings) in order, so it matches broad if broad's tokens embed in
+// narrow's, each as a substring.
+bool SubstringSubsume(const std::vector<std::string>& narrow,
+                      const std::vector<std::string>& broad) {
+  size_t b = 0;
+  for (const auto& nt : narrow) {
+    if (b == broad.size()) break;
+    if (nt.find(broad[b]) != std::string::npos) ++b;
+  }
+  return b == broad.size();
+}
+
+// Positive test when the broad side is bounded (whole-token): a narrow
+// match forces narrow's tokens as whole tokens only when narrow is itself
+// bounded, so the embedding must use exact token equality.
+bool ExactTokenSubsume(const std::vector<std::string>& narrow,
+                       const std::vector<std::string>& broad) {
+  size_t b = 0;
+  for (const auto& nt : narrow) {
+    if (b == broad.size()) break;
+    if (nt == broad[b]) ++b;
+  }
+  return b == broad.size();
+}
+
+// Sound refutation: construct minimal titles that match `narrow` and test
+// them against `broad`. A witness that broad misses disproves subsumption.
+bool WitnessRefutes(const TokenShape& narrow, const regex::Regex& narrow_re,
+                    const regex::Regex& broad_re) {
+  std::vector<const char*> fillers =
+      narrow.bounded ? std::vector<const char*>{" ", "-"}
+                     : std::vector<const char*>{"", " ", "0"};
+  for (const char* filler : fillers) {
+    std::string witness;
+    for (size_t i = 0; i < narrow.tokens.size(); ++i) {
+      if (i) witness += filler;
+      witness += narrow.tokens[i];
+    }
+    // Belt and braces: only use witnesses that genuinely match narrow.
+    if (!narrow_re.PartialMatch(witness)) continue;
+    if (!broad_re.PartialMatch(witness)) return true;
+  }
+  return false;
+}
+
+// Three-valued fast decision: 1 = subsumed, 0 = not, -1 = undecided.
+int TokenFastPath(const TokenShape& narrow, const TokenShape& broad,
+                  const regex::Regex& narrow_re,
+                  const regex::Regex& broad_re) {
+  if (!broad.bounded) {
+    if (SubstringSubsume(narrow.tokens, broad.tokens)) return 1;
+  } else if (narrow.bounded) {
+    if (ExactTokenSubsume(narrow.tokens, broad.tokens)) return 1;
+  }
+  if (WitnessRefutes(narrow, narrow_re, broad_re)) return 0;
+  return -1;
+}
+
+}  // namespace
+
+bool IsDotStarTokenPattern(const std::string& pattern,
+                           std::vector<std::string>* tokens) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = pattern.find(".*", start);
+    parts.push_back(pattern.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 2;
+  }
+  for (const auto& part : parts) {
+    if (part.empty()) return false;
+    for (char c : part) {
+      bool plain = std::isalnum(static_cast<unsigned char>(c)) ||
+                   c == ' ' || c == '-' || c == '_';
+      if (!plain) return false;
+    }
+  }
+  if (tokens != nullptr) *tokens = parts;
+  return true;
+}
+
+std::vector<std::string> ApplySubsumptionFindings(
+    rules::RuleRepository& repository, const SubsumptionReport& report,
+    std::string_view author) {
+  std::vector<std::string> retired;
+  for (const auto& finding : report.findings) {
+    const rules::Rule* rule = repository.rules().Find(finding.subsumed);
+    if (rule == nullptr || !rule->is_active()) continue;
+    std::string reason =
+        (finding.equivalent ? "equivalent to " : "subsumed by ") +
+        finding.by;
+    if (repository.Retire(finding.subsumed, author, reason).ok()) {
+      retired.push_back(finding.subsumed);
+    }
+  }
+  return retired;
+}
+
+SubsumptionReport FindSubsumedRules(const rules::RuleSet& rules,
+                                    const SubsumptionOptions& options) {
+  SubsumptionReport report;
+
+  // Group active regex rules by (kind, target type): subsumption is only
+  // actionable within a group.
+  std::map<std::pair<int, std::string>, std::vector<const rules::Rule*>>
+      groups;
+  for (const auto& rule : rules.rules()) {
+    if (!rule.is_active()) continue;
+    if (rule.kind() != rules::RuleKind::kWhitelist &&
+        rule.kind() != rules::RuleKind::kBlacklist) {
+      continue;
+    }
+    groups[{static_cast<int>(rule.kind()), rule.target_type()}].push_back(
+        &rule);
+  }
+
+  regex::ContainmentOptions containment_options;
+  containment_options.max_dfa_states = options.max_dfa_states;
+
+  for (const auto& [key, group] : groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        const rules::Rule* a = group[i];
+        const rules::Rule* b = group[j];
+        ++report.pairs_checked;
+
+        int a_in_b_tv = -1, b_in_a_tv = -1;
+        if (options.use_token_fast_path) {
+          auto sa = ExtractTokens(a->pattern_text());
+          auto sb = ExtractTokens(b->pattern_text());
+          if (sa.has_value() && sb.has_value()) {
+            a_in_b_tv = TokenFastPath(*sa, *sb, *a->pattern_regex(),
+                                      *b->pattern_regex());
+            b_in_a_tv = TokenFastPath(*sb, *sa, *b->pattern_regex(),
+                                      *a->pattern_regex());
+            if (a_in_b_tv >= 0 && b_in_a_tv >= 0) ++report.fast_path_hits;
+          }
+        }
+        auto decide = [&](int tv, const rules::Rule* narrow,
+                          const rules::Rule* broad, bool& out) -> bool {
+          if (tv >= 0) {
+            out = tv == 1;
+            return true;
+          }
+          auto r = regex::SearchSubsumes(*narrow->pattern_regex(),
+                                         *broad->pattern_regex(),
+                                         containment_options);
+          if (!r.ok()) return false;
+          out = *r;
+          return true;
+        };
+        bool a_in_b = false, b_in_a = false;
+        if (!decide(a_in_b_tv, a, b, a_in_b) ||
+            !decide(b_in_a_tv, b, a, b_in_a)) {
+          ++report.skipped_pairs;
+          continue;
+        }
+
+        if (a_in_b && b_in_a) {
+          // Equivalent: by convention retire the later id.
+          const rules::Rule* keep = a->id() < b->id() ? a : b;
+          const rules::Rule* drop = a->id() < b->id() ? b : a;
+          report.findings.push_back({drop->id(), keep->id(), true});
+        } else if (a_in_b) {
+          report.findings.push_back({a->id(), b->id(), false});
+        } else if (b_in_a) {
+          report.findings.push_back({b->id(), a->id(), false});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rulekit::maint

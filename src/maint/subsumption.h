@@ -1,0 +1,61 @@
+#ifndef RULEKIT_MAINT_SUBSUMPTION_H_
+#define RULEKIT_MAINT_SUBSUMPTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/rules/repository.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::maint {
+
+/// One detected redundancy: `subsumed` can be removed because every title
+/// it fires on also fires `by` (same kind, same target type).
+struct SubsumptionFinding {
+  std::string subsumed;
+  std::string by;
+  bool equivalent = false;  // the two rules match exactly the same titles
+};
+
+/// Options for the subsumption scan.
+struct SubsumptionOptions {
+  /// DFA state cap per containment decision; pairs that exceed it are
+  /// skipped (reported in `skipped_pairs`).
+  size_t max_dfa_states = 8000;
+  /// Try the cheap token-subsequence test for mined-style "a.*b.*c"
+  /// patterns before the automata-based decision.
+  bool use_token_fast_path = true;
+};
+
+/// Report of a full scan.
+struct SubsumptionReport {
+  std::vector<SubsumptionFinding> findings;
+  size_t pairs_checked = 0;
+  size_t fast_path_hits = 0;  // decided by the token subsequence test
+  size_t skipped_pairs = 0;   // containment undecidable within limits
+};
+
+/// Finds subsumed rules among same-kind, same-type active regex rules
+/// (§4 "Rule Maintenance", third challenge; paper example: "denim.*jeans?"
+/// is subsumed by "jeans?"). Exact decision via regex language containment
+/// on the unanchored search semantics, with a token-level fast path for
+/// mined rules.
+SubsumptionReport FindSubsumedRules(const rules::RuleSet& rules,
+                                    const SubsumptionOptions& options = {});
+
+/// True if `pattern` has the mined shape tok1.*tok2.*...*tokN (plain
+/// literal tokens); fills `tokens` when so.
+bool IsDotStarTokenPattern(const std::string& pattern,
+                           std::vector<std::string>* tokens);
+
+/// Applies a subsumption report to a repository: retires every subsumed
+/// rule (audited with the subsuming rule's id). Returns the ids retired.
+/// Rules already inactive by the time this runs are skipped.
+std::vector<std::string> ApplySubsumptionFindings(
+    rules::RuleRepository& repository, const SubsumptionReport& report,
+    std::string_view author = "maintenance");
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_SUBSUMPTION_H_

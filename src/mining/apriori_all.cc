@@ -1,0 +1,160 @@
+#include "src/mining/apriori_all.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rulekit::mining {
+
+namespace {
+
+// Sequences here are at most 4 tokens (options.max_length is clamped), so
+// they pack into a fixed array key.
+struct SeqKey {
+  std::array<text::TokenId, 4> tokens{};
+  uint8_t len = 0;
+
+  bool operator==(const SeqKey&) const = default;
+
+  static SeqKey Of(const std::vector<text::TokenId>& seq) {
+    SeqKey key;
+    key.len = static_cast<uint8_t>(seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) key.tokens[i] = seq[i];
+    return key;
+  }
+
+  std::vector<text::TokenId> ToVector() const {
+    return std::vector<text::TokenId>(tokens.begin(), tokens.begin() + len);
+  }
+};
+
+struct SeqKeyHash {
+  size_t operator()(const SeqKey& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.len;
+    for (uint8_t i = 0; i < key.len; ++i) {
+      h ^= key.tokens[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using SeqSet = std::unordered_set<SeqKey, SeqKeyHash>;
+using SeqCount = std::unordered_map<SeqKey, size_t, SeqKeyHash>;
+
+// Enumerates the length-k subsequences of `doc` whose (k-1)-prefix is in
+// `prev_level`, inserting each distinct sequence once into `found`.
+void EnumerateCandidates(const std::vector<text::TokenId>& doc, size_t k,
+                         const SeqSet& prev_level, SeqSet& found) {
+  std::vector<text::TokenId> partial;
+  partial.reserve(k);
+  // Depth-first over start positions; prune via the apriori property on the
+  // (k-1)-prefix before extending to full length.
+  auto rec = [&](auto&& self, size_t start) -> void {
+    if (partial.size() == k) {
+      found.insert(SeqKey::Of(partial));
+      return;
+    }
+    // Apriori prune: a partial of size k-1 must itself be frequent.
+    if (partial.size() == k - 1 && k >= 2 &&
+        prev_level.find(SeqKey::Of(partial)) == prev_level.end()) {
+      return;
+    }
+    for (size_t i = start; i < doc.size(); ++i) {
+      partial.push_back(doc[i]);
+      self(self, i + 1);
+      partial.pop_back();
+    }
+  };
+  rec(rec, 0);
+}
+
+}  // namespace
+
+bool IsSubsequence(const std::vector<text::TokenId>& pattern,
+                   const std::vector<text::TokenId>& doc) {
+  size_t p = 0;
+  for (text::TokenId t : doc) {
+    if (p < pattern.size() && t == pattern[p]) ++p;
+  }
+  return p == pattern.size();
+}
+
+std::vector<FrequentSequence> MineFrequentSequences(
+    const std::vector<std::vector<text::TokenId>>& docs,
+    const SequenceMiningOptions& options) {
+  std::vector<FrequentSequence> results;
+  if (docs.empty()) return results;
+
+  const size_t max_length = std::min<size_t>(options.max_length, 4);
+  const size_t min_length = std::max<size_t>(options.min_length, 1);
+  size_t min_count = static_cast<size_t>(
+      std::ceil(options.min_support * static_cast<double>(docs.size())));
+  min_count = std::max<size_t>(min_count, 1);
+  const double n_docs = static_cast<double>(docs.size());
+
+  // Level 1: token presence counts.
+  std::unordered_map<text::TokenId, size_t> token_counts;
+  for (const auto& doc : docs) {
+    std::unordered_set<text::TokenId> seen(doc.begin(), doc.end());
+    for (text::TokenId t : seen) ++token_counts[t];
+  }
+  std::unordered_set<text::TokenId> frequent_tokens;
+  SeqSet current_level;
+  for (const auto& [t, c] : token_counts) {
+    if (c >= min_count) {
+      frequent_tokens.insert(t);
+      current_level.insert(SeqKey::Of({t}));
+      if (min_length <= 1) {
+        results.push_back(
+            {{t}, c, static_cast<double>(c) / n_docs});
+      }
+    }
+  }
+
+  // Pre-filter docs to frequent tokens once.
+  std::vector<std::vector<text::TokenId>> filtered;
+  filtered.reserve(docs.size());
+  for (const auto& doc : docs) {
+    std::vector<text::TokenId> f;
+    for (text::TokenId t : doc) {
+      if (frequent_tokens.count(t)) f.push_back(t);
+    }
+    filtered.push_back(std::move(f));
+  }
+
+  for (size_t k = 2; k <= max_length; ++k) {
+    SeqCount counts;
+    SeqSet per_doc;
+    for (const auto& doc : filtered) {
+      if (doc.size() < k) continue;
+      per_doc.clear();
+      EnumerateCandidates(doc, k, current_level, per_doc);
+      for (const auto& key : per_doc) ++counts[key];
+      if (counts.size() > options.max_candidates_per_level) break;
+    }
+    SeqSet next_level;
+    for (const auto& [key, c] : counts) {
+      if (c < min_count) continue;
+      next_level.insert(key);
+      if (k >= min_length) {
+        results.push_back(
+            {key.ToVector(), c, static_cast<double>(c) / n_docs});
+      }
+    }
+    if (next_level.empty()) break;
+    current_level = std::move(next_level);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const FrequentSequence& a, const FrequentSequence& b) {
+              if (a.support_count != b.support_count) {
+                return a.support_count > b.support_count;
+              }
+              return a.tokens < b.tokens;
+            });
+  return results;
+}
+
+}  // namespace rulekit::mining

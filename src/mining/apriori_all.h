@@ -1,0 +1,45 @@
+#ifndef RULEKIT_MINING_APRIORI_ALL_H_
+#define RULEKIT_MINING_APRIORI_ALL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/text/vocabulary.h"
+
+namespace rulekit::mining {
+
+/// Options for frequent-sequence mining.
+struct SequenceMiningOptions {
+  /// Minimum support as a fraction of documents (paper §5.2 uses 0.001).
+  double min_support = 0.001;
+  /// Only sequences of this length range are returned (paper: 2-4 tokens —
+  /// 1-token rules are too general, 5+ too specific).
+  size_t min_length = 2;
+  size_t max_length = 4;
+  /// Safety cap on the candidate set per level.
+  size_t max_candidates_per_level = 2000000;
+};
+
+/// A frequent token sequence with its support.
+struct FrequentSequence {
+  std::vector<text::TokenId> tokens;
+  size_t support_count = 0;
+  double support = 0.0;
+};
+
+/// True if `pattern` occurs as a (not necessarily contiguous) subsequence
+/// of `doc`.
+bool IsSubsequence(const std::vector<text::TokenId>& pattern,
+                   const std::vector<text::TokenId>& doc);
+
+/// AprioriAll (Agrawal & Srikant, ICDE'95 — the paper's ref [4]) over
+/// token sequences: finds all sequences of length [min_length, max_length]
+/// appearing as subsequences in at least min_support of the documents.
+/// Each document counts a sequence at most once.
+std::vector<FrequentSequence> MineFrequentSequences(
+    const std::vector<std::vector<text::TokenId>>& docs,
+    const SequenceMiningOptions& options = {});
+
+}  // namespace rulekit::mining
+
+#endif  // RULEKIT_MINING_APRIORI_ALL_H_

@@ -1,0 +1,46 @@
+#ifndef RULEKIT_ML_CLASSIFIER_H_
+#define RULEKIT_ML_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+
+namespace rulekit::ml {
+
+/// A candidate product type with a weight in [0, 1]. Classifiers return a
+/// (possibly empty) ranked list; the Chimera voting master combines lists
+/// from several classifiers (paper §3.3: "each prediction is a list of
+/// product types together with weights").
+struct ScoredLabel {
+  std::string label;
+  double score = 0.0;
+};
+
+/// Common interface of all Chimera classifiers — learning-based (this
+/// module) and rule-based (src/engine).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Ranked candidate types for an item; empty = declines to predict.
+  virtual std::vector<ScoredLabel> Predict(
+      const data::ProductItem& item) const = 0;
+
+  /// Human-readable classifier name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Convenience: the top-scoring label, or nullopt if the classifier
+/// declined.
+inline const ScoredLabel* TopLabel(const std::vector<ScoredLabel>& scored) {
+  const ScoredLabel* best = nullptr;
+  for (const auto& s : scored) {
+    if (best == nullptr || s.score > best->score) best = &s;
+  }
+  return best;
+}
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_CLASSIFIER_H_

@@ -1,0 +1,36 @@
+#include "src/ml/ensemble.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rulekit::ml {
+
+void EnsembleClassifier::AddMember(std::shared_ptr<Classifier> member,
+                                   double weight) {
+  members_.emplace_back(std::move(member), weight);
+}
+
+std::vector<ScoredLabel> EnsembleClassifier::Predict(
+    const data::ProductItem& item) const {
+  std::unordered_map<std::string, double> sums;
+  double total_weight = 0.0;
+  for (const auto& [member, weight] : members_) {
+    auto scored = member->Predict(item);
+    if (scored.empty()) continue;
+    total_weight += weight;
+    for (const auto& s : scored) {
+      sums[s.label] += weight * s.score;
+    }
+  }
+  if (sums.empty() || total_weight <= 0.0) return {};
+  std::vector<ScoredLabel> out;
+  out.reserve(sums.size());
+  for (const auto& [label, sum] : sums) {
+    out.push_back({label, sum / total_weight});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace rulekit::ml

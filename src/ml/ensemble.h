@@ -1,0 +1,36 @@
+#ifndef RULEKIT_ML_ENSEMBLE_H_
+#define RULEKIT_ML_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/classifier.h"
+
+namespace rulekit::ml {
+
+/// Weighted score-averaging ensemble: the "combine them into an ensemble"
+/// step of the paper's default learning-based solution (§3.1). Member
+/// scores for the same label are summed with member weights and
+/// renormalized.
+class EnsembleClassifier : public Classifier {
+ public:
+  EnsembleClassifier() = default;
+
+  /// Adds a member with a voting weight. Members are not owned exclusively;
+  /// they may be shared with a Chimera pipeline.
+  void AddMember(std::shared_ptr<Classifier> member, double weight = 1.0);
+
+  size_t num_members() const { return members_.size(); }
+
+  std::vector<ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+  std::string name() const override { return "ensemble"; }
+
+ private:
+  std::vector<std::pair<std::shared_ptr<Classifier>, double>> members_;
+};
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_ENSEMBLE_H_

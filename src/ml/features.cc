@@ -1,0 +1,48 @@
+#include "src/ml/features.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::ml {
+
+FeatureExtractor::FeatureExtractor(FeatureOptions options)
+    : options_(options) {}
+
+std::vector<std::string> FeatureExtractor::RawFeatures(
+    const data::ProductItem& item) const {
+  std::vector<std::string> features = tokenizer_.Tokenize(item.title);
+
+  if (options_.use_description) {
+    if (auto desc = item.GetAttribute("Description"); desc.has_value()) {
+      for (auto& t : tokenizer_.Tokenize(*desc)) {
+        features.push_back("d:" + t);
+      }
+    }
+  }
+  if (options_.use_attributes) {
+    for (const auto& [k, v] : item.attributes) {
+      if (k == "Description" || k == "Price") continue;
+      features.push_back("has:" + ToLowerAscii(k));
+      if (k == "Brand") features.push_back("brand:" + ToLowerAscii(v));
+    }
+  }
+  return features;
+}
+
+std::vector<text::TokenId> FeatureExtractor::InternFeatureIds(
+    const data::ProductItem& item) {
+  std::vector<text::TokenId> ids;
+  for (const auto& f : RawFeatures(item)) ids.push_back(vocab_.Intern(f));
+  return ids;
+}
+
+std::vector<text::TokenId> FeatureExtractor::LookupFeatureIds(
+    const data::ProductItem& item) const {
+  std::vector<text::TokenId> ids;
+  for (const auto& f : RawFeatures(item)) {
+    text::TokenId id = vocab_.Lookup(f);
+    if (id != text::kInvalidTokenId) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace rulekit::ml

@@ -1,0 +1,66 @@
+#ifndef RULEKIT_ML_FEATURES_H_
+#define RULEKIT_ML_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace rulekit::ml {
+
+/// Options for feature extraction from product items.
+struct FeatureOptions {
+  /// Include tokens from the "Description" attribute (prefixed "d:").
+  bool use_description = true;
+  /// Include attribute-presence features ("has:isbn") and brand identity
+  /// features ("brand:apple").
+  bool use_attributes = true;
+};
+
+/// Maps product items to sparse token-id feature vectors over a shared
+/// vocabulary. Training-time extraction interns new tokens; inference-time
+/// extraction only looks tokens up, so unseen words map to no feature.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(FeatureOptions options = {});
+
+  /// Token ids of an item's features, interning unseen tokens (training).
+  std::vector<text::TokenId> InternFeatureIds(const data::ProductItem& item);
+
+  /// Token ids of an item's features; unseen tokens are dropped
+  /// (inference).
+  std::vector<text::TokenId> LookupFeatureIds(
+      const data::ProductItem& item) const;
+
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  text::Vocabulary& vocabulary() { return vocab_; }
+
+ private:
+  std::vector<std::string> RawFeatures(const data::ProductItem& item) const;
+
+  FeatureOptions options_;
+  text::Tokenizer tokenizer_;
+  text::Vocabulary vocab_;
+};
+
+/// Dense label (product type) interning shared by the learning classifiers.
+class LabelSpace {
+ public:
+  uint32_t Intern(const std::string& label) { return vocab_.Intern(label); }
+  uint32_t Lookup(const std::string& label) const {
+    return vocab_.Lookup(label);
+  }
+  const std::string& NameOf(uint32_t id) const { return vocab_.TokenFor(id); }
+  size_t size() const { return vocab_.size(); }
+
+ private:
+  text::Vocabulary vocab_;
+};
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_FEATURES_H_

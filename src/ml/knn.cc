@@ -1,0 +1,78 @@
+#include "src/ml/knn.h"
+
+#include <algorithm>
+
+namespace rulekit::ml {
+
+KnnClassifier::KnnClassifier(std::shared_ptr<FeatureExtractor> extractor,
+                             size_t k)
+    : extractor_(std::move(extractor)), k_(std::max<size_t>(1, k)) {}
+
+void KnnClassifier::Train(const std::vector<data::LabeledItem>& data) {
+  std::vector<std::vector<text::TokenId>> id_lists;
+  id_lists.reserve(data.size());
+  for (const auto& li : data) {
+    id_lists.push_back(extractor_->InternFeatureIds(li.item));
+    tfidf_.AddDocument(id_lists.back());
+  }
+  docs_.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Doc doc;
+    doc.vector = tfidf_.VectorizeNormalized(id_lists[i]);
+    doc.label = labels_.Intern(data[i].label);
+    uint32_t doc_id = static_cast<uint32_t>(docs_.size());
+    for (const auto& [t, w] : doc.vector.entries()) {
+      postings_[t].push_back(doc_id);
+    }
+    docs_.push_back(std::move(doc));
+  }
+}
+
+std::vector<ScoredLabel> KnnClassifier::Predict(
+    const data::ProductItem& item) const {
+  if (docs_.empty()) return {};
+  auto ids = extractor_->LookupFeatureIds(item);
+  if (ids.empty()) return {};
+  text::SparseVector query = tfidf_.VectorizeNormalized(ids);
+
+  // Accumulate dot products over postings (vectors are normalized, so the
+  // dot product is the cosine).
+  std::unordered_map<uint32_t, double> similarity;
+  for (const auto& [t, w] : query.entries()) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) continue;
+    for (uint32_t doc_id : it->second) {
+      similarity[doc_id] += w * docs_[doc_id].vector.WeightOf(t);
+    }
+  }
+  if (similarity.empty()) return {};
+
+  // Top-k by similarity.
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(similarity.size());
+  for (const auto& [doc_id, sim] : similarity) {
+    scored.emplace_back(sim, doc_id);
+  }
+  size_t k = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) { return a > b; });
+
+  // Similarity-weighted vote among the neighbors.
+  std::unordered_map<uint32_t, double> votes;
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    votes[docs_[scored[i].second].label] += scored[i].first;
+    total += scored[i].first;
+  }
+  if (total <= 0.0) return {};
+
+  std::vector<ScoredLabel> out;
+  for (const auto& [label, v] : votes) {
+    out.push_back({labels_.NameOf(label), v / total});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  return out;
+}
+
+}  // namespace rulekit::ml

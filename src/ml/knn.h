@@ -1,0 +1,46 @@
+#ifndef RULEKIT_ML_KNN_H_
+#define RULEKIT_ML_KNN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/features.h"
+#include "src/text/tfidf.h"
+
+namespace rulekit::ml {
+
+/// k-nearest-neighbors over TF-IDF cosine similarity, accelerated by an
+/// inverted index from token to training documents (only documents sharing
+/// at least one token with the query are scored). Another stock member of
+/// Chimera's learning ensemble.
+class KnnClassifier : public Classifier {
+ public:
+  KnnClassifier(std::shared_ptr<FeatureExtractor> extractor, size_t k = 7);
+
+  void Train(const std::vector<data::LabeledItem>& data);
+
+  std::vector<ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+  std::string name() const override { return "knn"; }
+
+  size_t num_examples() const { return docs_.size(); }
+
+ private:
+  struct Doc {
+    text::SparseVector vector;  // L2-normalized TF-IDF
+    uint32_t label;
+  };
+
+  std::shared_ptr<FeatureExtractor> extractor_;
+  size_t k_;
+  LabelSpace labels_;
+  text::TfIdfModel tfidf_;
+  std::vector<Doc> docs_;
+  std::unordered_map<text::TokenId, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_KNN_H_

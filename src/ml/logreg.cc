@@ -1,0 +1,111 @@
+#include "src/ml/logreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rulekit::ml {
+
+LogRegClassifier::LogRegClassifier(
+    std::shared_ptr<FeatureExtractor> extractor, LogRegOptions options)
+    : extractor_(std::move(extractor)), options_(options) {}
+
+void LogRegClassifier::Train(const std::vector<data::LabeledItem>& data) {
+  // First pass: intern features and labels.
+  std::vector<std::vector<text::TokenId>> xs;
+  std::vector<uint32_t> ys;
+  xs.reserve(data.size());
+  ys.reserve(data.size());
+  for (const auto& li : data) {
+    xs.push_back(extractor_->InternFeatureIds(li.item));
+    ys.push_back(labels_.Intern(li.label));
+  }
+  num_features_ = extractor_->vocabulary().size();
+  const size_t num_classes = labels_.size();
+  const size_t stride = num_features_ + 1;  // +1 bias
+  weights_.assign(num_classes * stride, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> logits(num_classes);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        options_.learning_rate / (1.0 + 0.5 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const auto& x = xs[idx];
+      if (x.empty()) continue;
+      const double inv_len = 1.0 / static_cast<double>(x.size());
+      // logits = W x (x entries have weight inv_len; bias always on).
+      for (size_t c = 0; c < num_classes; ++c) {
+        double z = weights_[c * stride + num_features_];
+        for (text::TokenId t : x) z += weights_[c * stride + t] * inv_len;
+        logits[c] = z;
+      }
+      double max_z = *std::max_element(logits.begin(), logits.end());
+      double sum = 0.0;
+      for (size_t c = 0; c < num_classes; ++c) {
+        logits[c] = std::exp(logits[c] - max_z);
+        sum += logits[c];
+      }
+      for (size_t c = 0; c < num_classes; ++c) {
+        const double p = logits[c] / sum;
+        const double grad = p - (ys[idx] == c ? 1.0 : 0.0);
+        if (std::abs(grad) < 1e-9) continue;
+        double* w = &weights_[c * stride];
+        w[num_features_] -= lr * grad;
+        const double step = lr * grad * inv_len;
+        for (text::TokenId t : x) {
+          w[t] -= step + lr * options_.l2 * w[t];
+        }
+      }
+    }
+  }
+}
+
+double LogRegClassifier::WeightAt(size_t cls, text::TokenId t) const {
+  return weights_[cls * (num_features_ + 1) + t];
+}
+
+std::vector<ScoredLabel> LogRegClassifier::Predict(
+    const data::ProductItem& item) const {
+  const size_t num_classes = labels_.size();
+  if (num_classes == 0) return {};
+  auto ids = extractor_->LookupFeatureIds(item);
+  if (ids.empty()) return {};
+  // Features interned after training have no weights.
+  std::vector<text::TokenId> usable;
+  for (text::TokenId t : ids) {
+    if (t < num_features_) usable.push_back(t);
+  }
+  if (usable.empty()) return {};
+  const double inv_len = 1.0 / static_cast<double>(usable.size());
+  const size_t stride = num_features_ + 1;
+
+  std::vector<double> logits(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    double z = weights_[c * stride + num_features_];
+    for (text::TokenId t : usable) z += weights_[c * stride + t] * inv_len;
+    logits[c] = z;
+  }
+  double max_z = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& z : logits) {
+    z = std::exp(z - max_z);
+    sum += z;
+  }
+  std::vector<ScoredLabel> out;
+  for (size_t c = 0; c < num_classes; ++c) {
+    double p = logits[c] / sum;
+    if (p > 0.01) {
+      out.push_back({labels_.NameOf(static_cast<uint32_t>(c)), p});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  if (out.size() > 5) out.resize(5);
+  return out;
+}
+
+}  // namespace rulekit::ml

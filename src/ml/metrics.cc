@@ -1,0 +1,30 @@
+#include "src/ml/metrics.h"
+
+namespace rulekit::ml {
+
+EvalSummary Summarize(const std::vector<Observation>& observations) {
+  EvalSummary out;
+  out.total = observations.size();
+  for (const auto& obs : observations) {
+    if (!obs.predicted.has_value()) continue;
+    ++out.predicted;
+    if (*obs.predicted == obs.gold) ++out.correct;
+  }
+  return out;
+}
+
+std::map<std::string, ClassMetrics> PerClass(
+    const std::vector<Observation>& observations) {
+  std::map<std::string, ClassMetrics> out;
+  for (const auto& obs : observations) {
+    out[obs.gold].gold_count += 1;
+    if (obs.predicted.has_value()) {
+      ClassMetrics& pm = out[*obs.predicted];
+      pm.predicted_count += 1;
+      if (*obs.predicted == obs.gold) pm.correct += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace rulekit::ml

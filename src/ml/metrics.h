@@ -1,0 +1,76 @@
+#ifndef RULEKIT_ML_METRICS_H_
+#define RULEKIT_ML_METRICS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rulekit::ml {
+
+/// One evaluation observation: ground truth plus the system's prediction
+/// (nullopt = the system declined to classify the item).
+struct Observation {
+  std::string gold;
+  std::optional<std::string> predicted;
+};
+
+/// Aggregate quality numbers in the paper's operational sense (§2.2):
+///   precision = correct / predicted   (quality of what was shipped)
+///   recall    = correct / total      (coverage of the incoming batch)
+/// This recall definition charges declined items against recall, matching
+/// "items that the system declines to classify … lower recall".
+struct EvalSummary {
+  size_t total = 0;
+  size_t predicted = 0;
+  size_t correct = 0;
+
+  double precision() const {
+    return predicted == 0 ? 1.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(predicted);
+  }
+  double recall() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double coverage() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(predicted) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Per-class precision/recall breakdown.
+struct ClassMetrics {
+  size_t gold_count = 0;       // items whose gold label is this class
+  size_t predicted_count = 0;  // items predicted as this class
+  size_t correct = 0;
+
+  double precision() const {
+    return predicted_count == 0 ? 1.0
+                                : static_cast<double>(correct) /
+                                      static_cast<double>(predicted_count);
+  }
+  double recall() const {
+    return gold_count == 0 ? 1.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(gold_count);
+  }
+};
+
+/// Computes the aggregate summary over observations.
+EvalSummary Summarize(const std::vector<Observation>& observations);
+
+/// Computes the per-class breakdown.
+std::map<std::string, ClassMetrics> PerClass(
+    const std::vector<Observation>& observations);
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_METRICS_H_

@@ -1,0 +1,85 @@
+#include "src/ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rulekit::ml {
+
+NaiveBayesClassifier::NaiveBayesClassifier(
+    std::shared_ptr<FeatureExtractor> extractor, double alpha)
+    : extractor_(std::move(extractor)), alpha_(alpha) {}
+
+void NaiveBayesClassifier::Train(const std::vector<data::LabeledItem>& data) {
+  std::vector<std::unordered_map<text::TokenId, size_t>> counts;
+  std::vector<size_t> class_totals;
+  std::vector<size_t> class_docs;
+
+  for (const auto& li : data) {
+    uint32_t c = labels_.Intern(li.label);
+    if (c >= counts.size()) {
+      counts.resize(c + 1);
+      class_totals.resize(c + 1, 0);
+      class_docs.resize(c + 1, 0);
+    }
+    ++class_docs[c];
+    for (text::TokenId t : extractor_->InternFeatureIds(li.item)) {
+      ++counts[c][t];
+      ++class_totals[c];
+    }
+  }
+
+  const double vocab_size =
+      static_cast<double>(extractor_->vocabulary().size()) + 1.0;
+  const double total_docs = static_cast<double>(data.size());
+  log_prior_.resize(counts.size());
+  log_likelihood_.resize(counts.size());
+  default_log_likelihood_.resize(counts.size());
+  for (size_t c = 0; c < counts.size(); ++c) {
+    log_prior_[c] =
+        std::log(static_cast<double>(class_docs[c]) / total_docs);
+    const double denom =
+        static_cast<double>(class_totals[c]) + alpha_ * vocab_size;
+    default_log_likelihood_[c] = std::log(alpha_ / denom);
+    for (const auto& [t, n] : counts[c]) {
+      log_likelihood_[c][t] =
+          std::log((static_cast<double>(n) + alpha_) / denom);
+    }
+  }
+}
+
+std::vector<ScoredLabel> NaiveBayesClassifier::Predict(
+    const data::ProductItem& item) const {
+  if (log_prior_.empty()) return {};
+  auto ids = extractor_->LookupFeatureIds(item);
+  if (ids.empty()) return {};
+
+  std::vector<double> scores(log_prior_.size());
+  for (size_t c = 0; c < scores.size(); ++c) {
+    double s = log_prior_[c];
+    const auto& ll = log_likelihood_[c];
+    for (text::TokenId t : ids) {
+      auto it = ll.find(t);
+      s += it == ll.end() ? default_log_likelihood_[c] : it->second;
+    }
+    scores[c] = s;
+  }
+
+  // Softmax-normalize the joint log scores into [0, 1] confidences.
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  double z = 0.0;
+  for (double s : scores) z += std::exp(s - max_score);
+
+  std::vector<ScoredLabel> out;
+  for (size_t c = 0; c < scores.size(); ++c) {
+    double p = std::exp(scores[c] - max_score) / z;
+    if (p > 0.01) {
+      out.push_back({labels_.NameOf(static_cast<uint32_t>(c)), p});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  if (out.size() > 5) out.resize(5);
+  return out;
+}
+
+}  // namespace rulekit::ml

@@ -1,0 +1,44 @@
+#include "src/ml/split.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rulekit::ml {
+
+std::pair<std::vector<data::LabeledItem>, std::vector<data::LabeledItem>>
+RandomSplit(std::vector<data::LabeledItem> items, double test_fraction,
+            Rng& rng) {
+  rng.Shuffle(items);
+  size_t test_size = static_cast<size_t>(
+      test_fraction * static_cast<double>(items.size()));
+  std::vector<data::LabeledItem> test(
+      std::make_move_iterator(items.begin()),
+      std::make_move_iterator(items.begin() + test_size));
+  std::vector<data::LabeledItem> train(
+      std::make_move_iterator(items.begin() + test_size),
+      std::make_move_iterator(items.end()));
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<std::vector<data::LabeledItem>, std::vector<data::LabeledItem>>
+StratifiedSplit(const std::vector<data::LabeledItem>& items,
+                double test_fraction, Rng& rng) {
+  std::unordered_map<std::string, std::vector<size_t>> by_label;
+  for (size_t i = 0; i < items.size(); ++i) {
+    by_label[items[i].label].push_back(i);
+  }
+  std::vector<data::LabeledItem> train, test;
+  for (auto& [label, indices] : by_label) {
+    rng.Shuffle(indices);
+    size_t test_size = static_cast<size_t>(
+        test_fraction * static_cast<double>(indices.size()));
+    // Keep at least one item in train when the class has any.
+    if (test_size == indices.size() && test_size > 0) --test_size;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      (i < test_size ? test : train).push_back(items[indices[i]]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace rulekit::ml

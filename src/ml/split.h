@@ -1,0 +1,24 @@
+#ifndef RULEKIT_ML_SPLIT_H_
+#define RULEKIT_ML_SPLIT_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/product.h"
+
+namespace rulekit::ml {
+
+/// Shuffled split into (train, test) with `test_fraction` of items in test.
+std::pair<std::vector<data::LabeledItem>, std::vector<data::LabeledItem>>
+RandomSplit(std::vector<data::LabeledItem> items, double test_fraction,
+            Rng& rng);
+
+/// Class-stratified split: each label contributes ~test_fraction of its
+/// items to the test set (at least one stays in train when possible).
+std::pair<std::vector<data::LabeledItem>, std::vector<data::LabeledItem>>
+StratifiedSplit(const std::vector<data::LabeledItem>& items,
+                double test_fraction, Rng& rng);
+
+}  // namespace rulekit::ml
+
+#endif  // RULEKIT_ML_SPLIT_H_

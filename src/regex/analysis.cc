@@ -1,0 +1,273 @@
+#include "src/regex/analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <set>
+
+namespace rulekit::regex {
+
+namespace {
+
+// The set of strings a node can match exactly, when that set is small and
+// bounded; nullopt when unbounded or too large. Strings may include "".
+using ExactSet = std::optional<std::vector<std::string>>;
+
+// A prefilter candidate: every match contains >= 1 of these (all nonempty).
+using Alternatives = std::optional<std::vector<std::string>>;
+
+struct Analyzer {
+  const AnalysisOptions& options;
+
+  // Expands a byte class into its characters if small enough.
+  std::optional<std::vector<char>> ClassChars(
+      const std::bitset<256>& cls) const {
+    std::vector<char> chars;
+    for (int b = 0; b < 256; ++b) {
+      if (!cls.test(static_cast<size_t>(b))) continue;
+      chars.push_back(static_cast<char>(b));
+      if (chars.size() > options.max_class_expansion) return std::nullopt;
+    }
+    if (chars.empty()) return std::nullopt;
+    // A case-folded letter pair {x, X} counts as one char (lowercase).
+    if (chars.size() == 2 &&
+        std::tolower(static_cast<unsigned char>(chars[0])) ==
+            std::tolower(static_cast<unsigned char>(chars[1])) &&
+        std::isalpha(static_cast<unsigned char>(chars[0]))) {
+      return std::vector<char>{static_cast<char>(
+          std::tolower(static_cast<unsigned char>(chars[0])))};
+    }
+    return chars;
+  }
+
+  ExactSet Exact(const AstNode& node) const {
+    switch (node.kind) {
+      case AstKind::kEmpty:
+        return std::vector<std::string>{""};
+      case AstKind::kLiteral:
+        return std::vector<std::string>{std::string(
+            1, static_cast<char>(std::tolower(
+                   static_cast<unsigned char>(node.literal))))};
+      case AstKind::kClass: {
+        auto chars = ClassChars(node.char_class);
+        if (!chars) return std::nullopt;
+        std::vector<std::string> out;
+        for (char c : *chars) {
+          out.emplace_back(1, static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c))));
+        }
+        return out;
+      }
+      case AstKind::kAny:
+      case AstKind::kAnchorBegin:
+      case AstKind::kAnchorEnd:
+        return std::nullopt;
+      case AstKind::kGroup:
+        return Exact(*node.child);
+      case AstKind::kConcat: {
+        std::vector<std::string> acc{""};
+        for (const auto& c : node.children) {
+          auto part = Exact(*c);
+          if (!part) return std::nullopt;
+          std::vector<std::string> next;
+          for (const auto& a : acc) {
+            for (const auto& p : *part) {
+              if (a.size() + p.size() > options.max_literal_length) {
+                return std::nullopt;
+              }
+              next.push_back(a + p);
+              if (next.size() > options.max_alternatives) {
+                return std::nullopt;
+              }
+            }
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+      case AstKind::kAlternate: {
+        std::vector<std::string> out;
+        for (const auto& c : node.children) {
+          auto part = Exact(*c);
+          if (!part) return std::nullopt;
+          out.insert(out.end(), part->begin(), part->end());
+          if (out.size() > options.max_alternatives) return std::nullopt;
+        }
+        return out;
+      }
+      case AstKind::kRepeat: {
+        if (node.max == kUnbounded || node.max > 4) return std::nullopt;
+        auto part = Exact(*node.child);
+        if (!part) return std::nullopt;
+        std::vector<std::string> out;
+        // All concatenations of k copies, for k in [min, max].
+        std::vector<std::string> acc{""};
+        for (int k = 0; k < node.max; ++k) {
+          if (k >= node.min) {
+            out.insert(out.end(), acc.begin(), acc.end());
+          }
+          std::vector<std::string> next;
+          for (const auto& a : acc) {
+            for (const auto& p : *part) {
+              if (a.size() + p.size() > options.max_literal_length) {
+                return std::nullopt;
+              }
+              next.push_back(a + p);
+              if (next.size() > options.max_alternatives) {
+                return std::nullopt;
+              }
+            }
+          }
+          acc = std::move(next);
+        }
+        out.insert(out.end(), acc.begin(), acc.end());
+        if (node.min == 0) out.emplace_back("");
+        if (out.size() > options.max_alternatives) return std::nullopt;
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Score of an alternatives set: (min length, -count). Larger is better.
+  static std::pair<size_t, int64_t> Score(const std::vector<std::string>& v) {
+    size_t min_len = static_cast<size_t>(-1);
+    for (const auto& s : v) min_len = std::min(min_len, s.size());
+    return {min_len, -static_cast<int64_t>(v.size())};
+  }
+
+  static Alternatives Better(Alternatives a, Alternatives b) {
+    if (!a) return b;
+    if (!b) return a;
+    return Score(*a) >= Score(*b) ? a : b;
+  }
+
+  // Deduplicates and drops alternatives that contain another alternative as
+  // a substring (keeping the shorter is sound: "contains s" is implied).
+  static std::vector<std::string> Minimize(std::vector<std::string> v) {
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      return a.size() < b.size() || (a.size() == b.size() && a < b);
+    });
+    std::vector<std::string> kept;
+    for (const auto& s : v) {
+      bool redundant = false;
+      for (const auto& k : kept) {
+        if (s.find(k) != std::string::npos) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant && (kept.empty() || s != kept.back())) kept.push_back(s);
+    }
+    return kept;
+  }
+
+  Alternatives Required(const AstNode& node) const {
+    // An exact set with no empty string is itself a (best possible)
+    // required-alternatives set.
+    auto AsAlternatives = [&](const ExactSet& es) -> Alternatives {
+      if (!es) return std::nullopt;
+      for (const auto& s : *es) {
+        if (s.empty()) return std::nullopt;
+      }
+      return *es;
+    };
+
+    switch (node.kind) {
+      case AstKind::kEmpty:
+      case AstKind::kAny:
+      case AstKind::kAnchorBegin:
+      case AstKind::kAnchorEnd:
+        return std::nullopt;
+      case AstKind::kLiteral:
+      case AstKind::kClass:
+        return AsAlternatives(Exact(node));
+      case AstKind::kGroup:
+        return Required(*node.child);
+      case AstKind::kRepeat:
+        if (node.min >= 1) return Required(*node.child);
+        return std::nullopt;
+      case AstKind::kAlternate: {
+        std::vector<std::string> out;
+        for (const auto& c : node.children) {
+          auto part = Required(*c);
+          if (!part) return std::nullopt;
+          out.insert(out.end(), part->begin(), part->end());
+          if (out.size() > options.max_alternatives) return std::nullopt;
+        }
+        return out;
+      }
+      case AstKind::kConcat: {
+        // Greedy literal runs: stretches of children whose Exact sets can
+        // be cross-multiplied give long literals; each run (without "") is
+        // a candidate. Children outside runs contribute their own Required
+        // sets as candidates.
+        Alternatives best;
+        std::vector<std::string> run{""};
+        bool run_live = true;
+        auto close_run = [&]() {
+          if (run_live && !(run.size() == 1 && run[0].empty())) {
+            best = Better(best, AsAlternatives(run));
+          }
+          run = {""};
+          run_live = true;
+        };
+        for (const auto& c : node.children) {
+          auto part = Exact(*c);
+          bool extended = false;
+          if (part) {
+            std::vector<std::string> next;
+            bool ok = true;
+            for (const auto& a : run) {
+              for (const auto& p : *part) {
+                if (a.size() + p.size() > options.max_literal_length ||
+                    next.size() >= options.max_alternatives) {
+                  ok = false;
+                  break;
+                }
+                next.push_back(a + p);
+              }
+              if (!ok) break;
+            }
+            if (ok) {
+              run = std::move(next);
+              extended = true;
+            }
+          }
+          if (!extended) {
+            close_run();
+            best = Better(best, Required(*c));
+          }
+        }
+        close_run();
+        return best;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<std::string>> RequiredAlternativesOf(
+    const AstNode& root, const AnalysisOptions& options) {
+  Analyzer analyzer{options};
+  auto alts = analyzer.Required(root);
+  if (!alts) {
+    return Status::NotFound("no required literal set exists");
+  }
+  auto minimized = Analyzer::Minimize(std::move(*alts));
+  auto [min_len, neg_count] = Analyzer::Score(minimized);
+  (void)neg_count;
+  if (minimized.empty() || min_len < options.min_length) {
+    return Status::NotFound("required literals too short to be useful");
+  }
+  return minimized;
+}
+
+Result<std::vector<std::string>> RequiredAlternatives(
+    const Regex& re, const AnalysisOptions& options) {
+  return RequiredAlternativesOf(re.ast(), options);
+}
+
+}  // namespace rulekit::regex

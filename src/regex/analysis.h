@@ -1,0 +1,42 @@
+#ifndef RULEKIT_REGEX_ANALYSIS_H_
+#define RULEKIT_REGEX_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::regex {
+
+/// Options for required-literal extraction.
+struct AnalysisOptions {
+  /// Minimum usable literal length. Shorter literals prune too little.
+  size_t min_length = 3;
+  /// Maximum number of alternative literals in the prefilter.
+  size_t max_alternatives = 64;
+  /// Maximum characters kept per literal.
+  size_t max_literal_length = 24;
+  /// Maximum byte-class cardinality expanded into alternatives
+  /// (e.g. [ -] has 2).
+  size_t max_class_expansion = 4;
+};
+
+/// Computes a *prefilter* for a pattern: a set of lowercase literal
+/// substrings such that every text containing a match of the regex contains
+/// at least one of them. Used by the rule index (§4 "Rule Execution and
+/// Optimization"; cf. the trigram analysis in Google Code Search and the
+/// rule indexing of ref [31]).
+///
+/// Fails with NotFound when no usable literal set exists (e.g. `\w+`),
+/// in which case the rule must always be executed.
+Result<std::vector<std::string>> RequiredAlternatives(
+    const Regex& re, const AnalysisOptions& options = {});
+
+/// Same, operating directly on an AST.
+Result<std::vector<std::string>> RequiredAlternativesOf(
+    const AstNode& root, const AnalysisOptions& options = {});
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_ANALYSIS_H_

@@ -1,0 +1,211 @@
+#include "src/regex/ast.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::regex {
+
+AstRef AstNode::Empty() {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kEmpty;
+  return n;
+}
+
+AstRef AstNode::Literal(char c) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kLiteral;
+  n->literal = c;
+  return n;
+}
+
+AstRef AstNode::Class(std::bitset<256> cls) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kClass;
+  n->char_class = cls;
+  return n;
+}
+
+AstRef AstNode::Any() {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kAny;
+  return n;
+}
+
+AstRef AstNode::Concat(std::vector<AstRef> children) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kConcat;
+  n->children = std::move(children);
+  return n;
+}
+
+AstRef AstNode::Alternate(std::vector<AstRef> children) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kAlternate;
+  n->children = std::move(children);
+  return n;
+}
+
+AstRef AstNode::Repeat(AstRef child, int min, int max) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kRepeat;
+  n->child = std::move(child);
+  n->min = min;
+  n->max = max;
+  return n;
+}
+
+AstRef AstNode::Group(AstRef child, int capture_index) {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kGroup;
+  n->child = std::move(child);
+  n->capture_index = capture_index;
+  return n;
+}
+
+AstRef AstNode::AnchorBegin() {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kAnchorBegin;
+  return n;
+}
+
+AstRef AstNode::AnchorEnd() {
+  auto n = std::make_unique<AstNode>();
+  n->kind = AstKind::kAnchorEnd;
+  return n;
+}
+
+AstRef AstNode::Clone() const {
+  auto n = std::make_unique<AstNode>();
+  n->kind = kind;
+  n->literal = literal;
+  n->char_class = char_class;
+  n->min = min;
+  n->max = max;
+  n->capture_index = capture_index;
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  if (child) n->child = child->Clone();
+  return n;
+}
+
+namespace {
+
+std::string ClassToString(const std::bitset<256>& cls) {
+  if (cls == WordClass()) return "\\w";
+  if (cls == DigitClass()) return "\\d";
+  if (cls == SpaceClass()) return "\\s";
+  std::string out = "[";
+  int i = 0;
+  while (i < 256) {
+    if (!cls.test(static_cast<size_t>(i))) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j + 1 < 256 && cls.test(static_cast<size_t>(j + 1))) ++j;
+    auto emit = [&](int c) {
+      if (c >= 0x20 && c < 0x7f) {
+        out += static_cast<char>(c);
+      } else {
+        out += StrFormat("\\x%02x", c);
+      }
+    };
+    emit(i);
+    if (j > i) {
+      if (j > i + 1) out += '-';
+      emit(j);
+    }
+    i = j + 1;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string AstNode::ToString() const {
+  switch (kind) {
+    case AstKind::kEmpty:
+      return "";
+    case AstKind::kLiteral: {
+      std::string out;
+      static const char kMeta[] = "\\^$.|?*+()[]{}";
+      for (const char* m = kMeta; *m; ++m) {
+        if (*m == literal) out += '\\';
+      }
+      out += literal;
+      return out;
+    }
+    case AstKind::kClass:
+      return ClassToString(char_class);
+    case AstKind::kAny:
+      return ".";
+    case AstKind::kConcat: {
+      std::string out;
+      for (const auto& c : children) {
+        if (c->kind == AstKind::kAlternate) {
+          out += "(?:" + c->ToString() + ")";
+        } else {
+          out += c->ToString();
+        }
+      }
+      return out;
+    }
+    case AstKind::kAlternate: {
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += "|";
+        out += children[i]->ToString();
+      }
+      return out;
+    }
+    case AstKind::kRepeat: {
+      std::string inner = child->ToString();
+      bool atomic = child->kind == AstKind::kLiteral ||
+                    child->kind == AstKind::kClass ||
+                    child->kind == AstKind::kAny ||
+                    child->kind == AstKind::kGroup;
+      if (!atomic) inner = "(?:" + inner + ")";
+      if (min == 0 && max == kUnbounded) return inner + "*";
+      if (min == 1 && max == kUnbounded) return inner + "+";
+      if (min == 0 && max == 1) return inner + "?";
+      if (max == kUnbounded) return inner + StrFormat("{%d,}", min);
+      if (min == max) return inner + StrFormat("{%d}", min);
+      return inner + StrFormat("{%d,%d}", min, max);
+    }
+    case AstKind::kGroup:
+      return (capture_index >= 0 ? "(" : "(?:") + child->ToString() + ")";
+    case AstKind::kAnchorBegin:
+      return "^";
+    case AstKind::kAnchorEnd:
+      return "$";
+  }
+  return "";
+}
+
+std::bitset<256> WordClass() {
+  std::bitset<256> cls;
+  for (int c = '0'; c <= '9'; ++c) cls.set(static_cast<size_t>(c));
+  for (int c = 'a'; c <= 'z'; ++c) cls.set(static_cast<size_t>(c));
+  for (int c = 'A'; c <= 'Z'; ++c) cls.set(static_cast<size_t>(c));
+  cls.set('_');
+  return cls;
+}
+
+std::bitset<256> DigitClass() {
+  std::bitset<256> cls;
+  for (int c = '0'; c <= '9'; ++c) cls.set(static_cast<size_t>(c));
+  return cls;
+}
+
+std::bitset<256> SpaceClass() {
+  std::bitset<256> cls;
+  for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    cls.set(static_cast<size_t>(static_cast<unsigned char>(c)));
+  }
+  return cls;
+}
+
+std::bitset<256> NegateClass(const std::bitset<256>& cls) { return ~cls; }
+
+}  // namespace rulekit::regex

@@ -1,0 +1,69 @@
+#ifndef RULEKIT_REGEX_AST_H_
+#define RULEKIT_REGEX_AST_H_
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rulekit::regex {
+
+/// Node kinds of the parsed regex syntax tree.
+enum class AstKind {
+  kEmpty,        // matches the empty string
+  kLiteral,      // a single byte
+  kClass,        // a set of bytes ([a-z], \w, ...)
+  kAny,          // '.', any byte except '\n'
+  kConcat,       // sequence of children
+  kAlternate,    // choice between children
+  kRepeat,       // child{min,max}; max = kUnbounded for unbounded
+  kGroup,        // capturing or non-capturing group
+  kAnchorBegin,  // ^
+  kAnchorEnd,    // $
+};
+
+inline constexpr int kUnbounded = -1;
+
+struct AstNode;
+using AstRef = std::unique_ptr<AstNode>;
+
+/// One node of the regex AST. Which fields are meaningful depends on kind;
+/// the factory functions below construct well-formed nodes.
+struct AstNode {
+  AstKind kind = AstKind::kEmpty;
+
+  char literal = 0;                 // kLiteral
+  std::bitset<256> char_class;      // kClass
+  std::vector<AstRef> children;     // kConcat, kAlternate
+  AstRef child;                     // kRepeat, kGroup
+  int min = 0;                      // kRepeat
+  int max = kUnbounded;             // kRepeat
+  int capture_index = -1;           // kGroup; -1 = non-capturing
+
+  static AstRef Empty();
+  static AstRef Literal(char c);
+  static AstRef Class(std::bitset<256> cls);
+  static AstRef Any();
+  static AstRef Concat(std::vector<AstRef> children);
+  static AstRef Alternate(std::vector<AstRef> children);
+  static AstRef Repeat(AstRef child, int min, int max);
+  static AstRef Group(AstRef child, int capture_index);
+  static AstRef AnchorBegin();
+  static AstRef AnchorEnd();
+
+  /// Deep copy.
+  AstRef Clone() const;
+
+  /// Canonical-ish debug form (not guaranteed to re-parse identically).
+  std::string ToString() const;
+};
+
+/// Byte-class helpers used by the parser and tests.
+std::bitset<256> WordClass();    // [0-9A-Za-z_]
+std::bitset<256> DigitClass();   // [0-9]
+std::bitset<256> SpaceClass();   // [ \t\n\r\f\v]
+std::bitset<256> NegateClass(const std::bitset<256>& cls);  // exact complement
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_AST_H_

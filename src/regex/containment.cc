@@ -1,0 +1,113 @@
+#include "src/regex/containment.h"
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <utility>
+
+namespace rulekit::regex {
+
+namespace {
+
+// AST for `.*` over any byte (including '\n'): used to turn unanchored
+// search semantics into an anchored language.
+AstRef DotStarAnyByte() {
+  std::bitset<256> all;
+  all.set();
+  return AstNode::Repeat(AstNode::Class(all), 0, kUnbounded);
+}
+
+// Compile `.* <ast> .*` to a program (captures stripped).
+Result<Program> CompileSearchWrapped(const AstNode& root) {
+  std::vector<AstRef> seq;
+  seq.push_back(DotStarAnyByte());
+  seq.push_back(root.Clone());
+  seq.push_back(DotStarAnyByte());
+  AstRef wrapped = AstNode::Concat(std::move(seq));
+  return CompileProgram(*wrapped, /*num_captures=*/0, CompileOptions{});
+}
+
+// Product-automaton reachability: visits all reachable (sa, sb) pairs and
+// invokes `predicate`; returns true if any visited pair satisfies it.
+// Dead states (-1) are legal inputs to the predicate.
+bool ProductSearch(const Dfa& da, const Dfa& db,
+                   const std::function<bool(int32_t, int32_t)>& predicate) {
+  std::set<std::pair<int32_t, int32_t>> visited;
+  std::deque<std::pair<int32_t, int32_t>> queue;
+  auto push = [&](int32_t a, int32_t b) {
+    if (a == Dfa::kDeadState && b == Dfa::kDeadState) return;
+    if (visited.emplace(a, b).second) queue.emplace_back(a, b);
+  };
+  push(da.start_state(), db.start_state());
+  const uint16_t num_classes = da.classes().num_classes;
+  while (!queue.empty()) {
+    auto [sa, sb] = queue.front();
+    queue.pop_front();
+    if (predicate(sa, sb)) return true;
+    for (uint16_t c = 0; c < num_classes; ++c) {
+      int32_t na = sa == Dfa::kDeadState ? Dfa::kDeadState
+                                         : da.NextClass(sa, c);
+      int32_t nb = sb == Dfa::kDeadState ? Dfa::kDeadState
+                                         : db.NextClass(sb, c);
+      push(na, nb);
+    }
+  }
+  return false;
+}
+
+struct DfaPair {
+  Dfa a;
+  Dfa b;
+};
+
+// Builds both DFAs over a joint byte-class partition.
+Result<DfaPair> BuildPair(const Program& pa, const Program& pb,
+                          const ContainmentOptions& options) {
+  ByteClasses classes = ComputeByteClasses({&pa, &pb});
+  auto da = Dfa::Build(pa, classes, options.max_dfa_states);
+  if (!da.ok()) return da.status();
+  auto db = Dfa::Build(pb, classes, options.max_dfa_states);
+  if (!db.ok()) return db.status();
+  return DfaPair{std::move(da).value(), std::move(db).value()};
+}
+
+Result<bool> SubsetOfPrograms(const Program& pa, const Program& pb,
+                              const ContainmentOptions& options) {
+  auto pair = BuildPair(pa, pb, options);
+  if (!pair.ok()) return pair.status();
+  // L(a) ⊆ L(b) iff no reachable product state accepts in a but not b.
+  bool counterexample =
+      ProductSearch(pair->a, pair->b, [&](int32_t sa, int32_t sb) {
+        return pair->a.IsAccepting(sa) && !pair->b.IsAccepting(sb);
+      });
+  return !counterexample;
+}
+
+}  // namespace
+
+Result<bool> LanguageSubset(const Regex& a, const Regex& b,
+                            const ContainmentOptions& options) {
+  return SubsetOfPrograms(a.program(), b.program(), options);
+}
+
+Result<bool> SearchSubsumes(const Regex& narrow, const Regex& broad,
+                            const ContainmentOptions& options) {
+  auto pa = CompileSearchWrapped(narrow.ast());
+  if (!pa.ok()) return pa.status();
+  auto pb = CompileSearchWrapped(broad.ast());
+  if (!pb.ok()) return pb.status();
+  return SubsetOfPrograms(*pa, *pb, options);
+}
+
+Result<bool> LanguagesIntersect(const Regex& a, const Regex& b,
+                                const ContainmentOptions& options) {
+  auto pair = BuildPair(a.program(), b.program(), options);
+  if (!pair.ok()) return pair.status();
+  bool witness =
+      ProductSearch(pair->a, pair->b, [&](int32_t sa, int32_t sb) {
+        return pair->a.IsAccepting(sa) && pair->b.IsAccepting(sb);
+      });
+  return witness;
+}
+
+}  // namespace rulekit::regex

@@ -1,0 +1,35 @@
+#ifndef RULEKIT_REGEX_CONTAINMENT_H_
+#define RULEKIT_REGEX_CONTAINMENT_H_
+
+#include "src/common/result.h"
+#include "src/regex/dfa.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::regex {
+
+/// Limits for the decision procedures below.
+struct ContainmentOptions {
+  size_t max_dfa_states = 20000;
+};
+
+/// Decides L(a) ⊆ L(b) for whole-string (anchored) matching. Fails with
+/// FailedPrecondition for patterns with ^/$ and ResourceExhausted when
+/// determinization exceeds the state cap.
+Result<bool> LanguageSubset(const Regex& a, const Regex& b,
+                            const ContainmentOptions& options = {});
+
+/// Decides whether every string that CONTAINS a match of `a` also contains
+/// a match of `b` — the subsumption relation for Chimera-style rules, which
+/// apply a regex to a title unanchored. Equivalent to
+/// L(.*a.*) ⊆ L(.*b.*). The paper's example: `denim.*jeans?` is subsumed by
+/// `jeans?`.
+Result<bool> SearchSubsumes(const Regex& narrow, const Regex& broad,
+                            const ContainmentOptions& options = {});
+
+/// Decides whether the anchored languages intersect.
+Result<bool> LanguagesIntersect(const Regex& a, const Regex& b,
+                                const ContainmentOptions& options = {});
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_CONTAINMENT_H_

@@ -1,0 +1,157 @@
+#include "src/regex/dfa.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rulekit::regex {
+
+ByteClasses ComputeByteClasses(const std::vector<const Program*>& programs) {
+  // Signature of a byte = the vector of memberships across all distinct
+  // byte sets in the programs. Bytes with equal signatures are equivalent.
+  std::vector<const std::bitset<256>*> sets;
+  for (const Program* p : programs) {
+    for (const Inst& inst : p->insts) {
+      if (inst.op == Inst::Op::kByte) sets.push_back(&inst.bytes);
+    }
+  }
+  std::map<std::vector<bool>, uint16_t> signature_to_class;
+  ByteClasses out;
+  for (int b = 0; b < 256; ++b) {
+    std::vector<bool> sig;
+    sig.reserve(sets.size());
+    for (const auto* s : sets) sig.push_back(s->test(static_cast<size_t>(b)));
+    auto [it, inserted] = signature_to_class.emplace(
+        std::move(sig), static_cast<uint16_t>(signature_to_class.size()));
+    out.class_of[static_cast<size_t>(b)] = it->second;
+  }
+  out.num_classes = static_cast<uint16_t>(signature_to_class.size());
+  return out;
+}
+
+namespace {
+
+// Epsilon closure of a pc set: returns the sorted set of kByte/kMatch pcs.
+std::vector<uint32_t> Closure(const Program& prog,
+                              const std::vector<uint32_t>& seeds) {
+  std::vector<bool> seen(prog.insts.size(), false);
+  std::vector<uint32_t> stack(seeds.begin(), seeds.end());
+  std::vector<uint32_t> out;
+  while (!stack.empty()) {
+    uint32_t pc = stack.back();
+    stack.pop_back();
+    if (seen[pc]) continue;
+    seen[pc] = true;
+    const Inst& inst = prog.insts[pc];
+    switch (inst.op) {
+      case Inst::Op::kJmp:
+      case Inst::Op::kSave:
+        stack.push_back(inst.next);
+        break;
+      case Inst::Op::kSplit:
+        stack.push_back(inst.next);
+        stack.push_back(inst.next2);
+        break;
+      case Inst::Op::kByte:
+      case Inst::Op::kMatch:
+        out.push_back(pc);
+        break;
+      case Inst::Op::kAssertBegin:
+      case Inst::Op::kAssertEnd:
+        // Rejected by Build() before we get here.
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<Dfa> Dfa::Build(const Program& program, const ByteClasses& classes,
+                       size_t max_states) {
+  if (program.has_assertions) {
+    return Status::FailedPrecondition(
+        "DFA construction does not support ^/$ assertions");
+  }
+  Dfa dfa;
+  dfa.classes_ = classes;
+
+  // Representative byte for each class, for stepping byte sets.
+  std::vector<unsigned char> rep(classes.num_classes, 0);
+  for (int b = 255; b >= 0; --b) {
+    rep[classes.class_of[static_cast<size_t>(b)]] =
+        static_cast<unsigned char>(b);
+  }
+
+  std::map<std::vector<uint32_t>, int32_t> state_ids;
+  std::vector<std::vector<uint32_t>> states;
+
+  auto intern = [&](std::vector<uint32_t> set) -> int32_t {
+    if (set.empty()) return kDeadState;
+    auto it = state_ids.find(set);
+    if (it != state_ids.end()) return it->second;
+    int32_t id = static_cast<int32_t>(states.size());
+    state_ids.emplace(set, id);
+    states.push_back(std::move(set));
+    return id;
+  };
+
+  int32_t start = intern(Closure(program, {program.start}));
+  dfa.start_ = start;
+  if (start == kDeadState) {
+    dfa.accepting_.clear();
+    return dfa;
+  }
+
+  for (size_t si = 0; si < states.size(); ++si) {
+    if (states.size() > max_states) {
+      return Status::ResourceExhausted("DFA state limit exceeded");
+    }
+    for (uint16_t c = 0; c < classes.num_classes; ++c) {
+      unsigned char byte = rep[c];
+      std::vector<uint32_t> seeds;
+      for (uint32_t pc : states[si]) {
+        const Inst& inst = program.insts[pc];
+        if (inst.op == Inst::Op::kByte &&
+            inst.bytes.test(static_cast<size_t>(byte))) {
+          seeds.push_back(inst.next);
+        }
+      }
+      int32_t target = intern(Closure(program, seeds));
+      dfa.transitions_.push_back(target);
+    }
+  }
+
+  dfa.accepting_.resize(states.size(), false);
+  for (size_t si = 0; si < states.size(); ++si) {
+    for (uint32_t pc : states[si]) {
+      if (program.insts[pc].op == Inst::Op::kMatch) {
+        dfa.accepting_[si] = true;
+        break;
+      }
+    }
+  }
+  return dfa;
+}
+
+int32_t Dfa::Next(int32_t state, unsigned char byte) const {
+  if (state == kDeadState) return kDeadState;
+  return NextClass(state, classes_.class_of[byte]);
+}
+
+int32_t Dfa::NextClass(int32_t state, uint16_t cls) const {
+  if (state == kDeadState) return kDeadState;
+  return transitions_[static_cast<size_t>(state) * classes_.num_classes +
+                      cls];
+}
+
+bool Dfa::Matches(std::string_view text) const {
+  int32_t state = start_;
+  for (char c : text) {
+    state = Next(state, static_cast<unsigned char>(c));
+    if (state == kDeadState) return false;
+  }
+  return IsAccepting(state);
+}
+
+}  // namespace rulekit::regex

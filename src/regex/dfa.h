@@ -1,0 +1,63 @@
+#ifndef RULEKIT_REGEX_DFA_H_
+#define RULEKIT_REGEX_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/regex/nfa.h"
+
+namespace rulekit::regex {
+
+/// Partition of the 256 byte values into equivalence classes such that all
+/// bytes in a class behave identically in every program the partition was
+/// computed from. Shrinks DFA transition tables dramatically.
+struct ByteClasses {
+  std::vector<uint16_t> class_of = std::vector<uint16_t>(256, 0);
+  uint16_t num_classes = 1;
+};
+
+/// Compute the joint byte-class partition of several programs.
+ByteClasses ComputeByteClasses(const std::vector<const Program*>& programs);
+
+/// A fully-determinized automaton built from an NFA program by subset
+/// construction. Used by the containment checker (rule subsumption) and as
+/// a fast full-match path in tests.
+class Dfa {
+ public:
+  /// Determinize `program` over `classes`. Fails with ResourceExhausted if
+  /// more than `max_states` DFA states are produced, and with
+  /// FailedPrecondition if the program contains ^/$ assertions (the subset
+  /// construction here is position-oblivious).
+  static Result<Dfa> Build(const Program& program, const ByteClasses& classes,
+                           size_t max_states = 20000);
+
+  /// Whole-string acceptance.
+  bool Matches(std::string_view text) const;
+
+  size_t num_states() const { return accepting_.size(); }
+  bool IsAccepting(int32_t state) const {
+    return state >= 0 && accepting_[static_cast<size_t>(state)];
+  }
+  /// Transition; -1 is the dead state (and stays dead).
+  int32_t Next(int32_t state, unsigned char byte) const;
+
+  static constexpr int32_t kDeadState = -1;
+  int32_t start_state() const { return start_; }
+  const ByteClasses& classes() const { return classes_; }
+
+  /// Transition on a byte-class id (valid ids only).
+  int32_t NextClass(int32_t state, uint16_t cls) const;
+
+ private:
+  Dfa() = default;
+
+  ByteClasses classes_;
+  int32_t start_ = 0;
+  std::vector<int32_t> transitions_;  // num_states x num_classes
+  std::vector<bool> accepting_;
+};
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_DFA_H_

@@ -1,0 +1,191 @@
+#include "src/regex/nfa.h"
+
+#include <utility>
+
+namespace rulekit::regex {
+
+namespace {
+
+// Emits instructions for the AST bottom-up. Every Emit* call appends the
+// fragment's instructions and returns with the fragment entered at the
+// returned pc; dangling exits are wired by the caller via `next`
+// placeholders patched at the end of each Emit.
+class Compiler {
+ public:
+  Compiler(const CompileOptions& options) : options_(options) {}
+
+  Result<Program> Compile(const AstNode& root, int num_captures) {
+    Program prog;
+    prog.num_captures = num_captures;
+
+    // save slot 0, <body>, save slot 1, match
+    uint32_t save0 = Append({Inst::Op::kSave, {}, 0, 0, 0});
+    Status st = EmitNode(root);
+    if (!st.ok()) return st;
+    uint32_t save1 = Append({Inst::Op::kSave, {}, 0, 0, 1});
+    uint32_t match = Append({Inst::Op::kMatch, {}, 0, 0, -1});
+    insts_[save0].next = save0 + 1;
+    insts_[save1].next = match;
+
+    prog.insts = std::move(insts_);
+    prog.start = save0;
+    prog.has_assertions = has_assertions_;
+    return prog;
+  }
+
+ private:
+  // Appends an instruction and returns its pc.
+  uint32_t Append(Inst inst) {
+    insts_.push_back(std::move(inst));
+    return static_cast<uint32_t>(insts_.size() - 1);
+  }
+
+  Status CheckBudget() {
+    if (insts_.size() > options_.max_instructions) {
+      return Status::ResourceExhausted(
+          "compiled regex program exceeds instruction limit");
+    }
+    return Status::OK();
+  }
+
+  // Emits code for `node`; on return the fragment occupies
+  // [entry, insts_.size()) and control falls through to insts_.size().
+  // We achieve "fall through" by always wiring exits to the pc just past
+  // the fragment.
+  Status EmitNode(const AstNode& node) {
+    RULEKIT_RETURN_IF_ERROR(CheckBudget());
+    switch (node.kind) {
+      case AstKind::kEmpty:
+        return Status::OK();
+      case AstKind::kLiteral: {
+        std::bitset<256> b;
+        b.set(static_cast<unsigned char>(node.literal));
+        uint32_t pc = Append({Inst::Op::kByte, b, 0, 0, -1});
+        insts_[pc].next = pc + 1;
+        return Status::OK();
+      }
+      case AstKind::kClass: {
+        uint32_t pc = Append({Inst::Op::kByte, node.char_class, 0, 0, -1});
+        insts_[pc].next = pc + 1;
+        return Status::OK();
+      }
+      case AstKind::kAny: {
+        std::bitset<256> b;
+        b.set();
+        b.reset(static_cast<unsigned char>('\n'));
+        uint32_t pc = Append({Inst::Op::kByte, b, 0, 0, -1});
+        insts_[pc].next = pc + 1;
+        return Status::OK();
+      }
+      case AstKind::kConcat:
+        for (const auto& c : node.children) {
+          RULEKIT_RETURN_IF_ERROR(EmitNode(*c));
+        }
+        return Status::OK();
+      case AstKind::kAlternate: {
+        // split -> branch1 -> jmp end; split2 -> branch2 -> jmp end; ...
+        std::vector<uint32_t> jmps;
+        std::vector<uint32_t> splits;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          bool last = i + 1 == node.children.size();
+          uint32_t split = 0;
+          if (!last) {
+            split = Append({Inst::Op::kSplit, {}, 0, 0, -1});
+            splits.push_back(split);
+          }
+          uint32_t branch_entry = static_cast<uint32_t>(insts_.size());
+          RULEKIT_RETURN_IF_ERROR(EmitNode(*node.children[i]));
+          if (!last) {
+            uint32_t jmp = Append({Inst::Op::kJmp, {}, 0, 0, -1});
+            jmps.push_back(jmp);
+            insts_[split].next = branch_entry;
+            insts_[split].next2 = static_cast<uint32_t>(insts_.size());
+          }
+        }
+        uint32_t end = static_cast<uint32_t>(insts_.size());
+        for (uint32_t j : jmps) insts_[j].next = end;
+        return Status::OK();
+      }
+      case AstKind::kRepeat:
+        return EmitRepeat(node);
+      case AstKind::kGroup: {
+        if (node.capture_index >= 0) {
+          int slot = 2 * node.capture_index + 2;
+          uint32_t s0 = Append({Inst::Op::kSave, {}, 0, 0, slot});
+          insts_[s0].next = s0 + 1;
+          RULEKIT_RETURN_IF_ERROR(EmitNode(*node.child));
+          uint32_t s1 = Append({Inst::Op::kSave, {}, 0, 0, slot + 1});
+          insts_[s1].next = s1 + 1;
+          return Status::OK();
+        }
+        return EmitNode(*node.child);
+      }
+      case AstKind::kAnchorBegin: {
+        has_assertions_ = true;
+        uint32_t pc = Append({Inst::Op::kAssertBegin, {}, 0, 0, -1});
+        insts_[pc].next = pc + 1;
+        return Status::OK();
+      }
+      case AstKind::kAnchorEnd: {
+        has_assertions_ = true;
+        uint32_t pc = Append({Inst::Op::kAssertEnd, {}, 0, 0, -1});
+        insts_[pc].next = pc + 1;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled AST kind");
+  }
+
+  Status EmitStar(const AstNode& body) {
+    // L1: split L2, L3 ; L2: body ; jmp L1 ; L3:
+    uint32_t l1 = Append({Inst::Op::kSplit, {}, 0, 0, -1});
+    uint32_t l2 = static_cast<uint32_t>(insts_.size());
+    RULEKIT_RETURN_IF_ERROR(EmitNode(body));
+    uint32_t jmp = Append({Inst::Op::kJmp, {}, l1, 0, -1});
+    (void)jmp;
+    uint32_t l3 = static_cast<uint32_t>(insts_.size());
+    insts_[l1].next = l2;
+    insts_[l1].next2 = l3;
+    return Status::OK();
+  }
+
+  Status EmitOptional(const AstNode& body) {
+    // split L1, L2 ; L1: body ; L2:
+    uint32_t split = Append({Inst::Op::kSplit, {}, 0, 0, -1});
+    uint32_t l1 = static_cast<uint32_t>(insts_.size());
+    RULEKIT_RETURN_IF_ERROR(EmitNode(body));
+    uint32_t l2 = static_cast<uint32_t>(insts_.size());
+    insts_[split].next = l1;
+    insts_[split].next2 = l2;
+    return Status::OK();
+  }
+
+  Status EmitRepeat(const AstNode& node) {
+    const AstNode& body = *node.child;
+    // min mandatory copies.
+    for (int i = 0; i < node.min; ++i) {
+      RULEKIT_RETURN_IF_ERROR(EmitNode(body));
+    }
+    if (node.max == kUnbounded) {
+      return EmitStar(body);
+    }
+    // (max - min) optional copies.
+    for (int i = node.min; i < node.max; ++i) {
+      RULEKIT_RETURN_IF_ERROR(EmitOptional(body));
+    }
+    return Status::OK();
+  }
+
+  CompileOptions options_;
+  std::vector<Inst> insts_;
+  bool has_assertions_ = false;
+};
+
+}  // namespace
+
+Result<Program> CompileProgram(const AstNode& root, int num_captures,
+                               const CompileOptions& options) {
+  return Compiler(options).Compile(root, num_captures);
+}
+
+}  // namespace rulekit::regex

@@ -1,0 +1,56 @@
+#ifndef RULEKIT_REGEX_NFA_H_
+#define RULEKIT_REGEX_NFA_H_
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/regex/ast.h"
+
+namespace rulekit::regex {
+
+/// One instruction of the compiled NFA program (Thompson construction,
+/// instruction-list representation in the style of RE2's Prog / Russ Cox's
+/// "Regular Expression Matching: the Virtual Machine Approach").
+struct Inst {
+  enum class Op : uint8_t {
+    kByte,         // consume one byte in `bytes`, go to next
+    kSplit,        // fork to next and next2 (next has higher priority)
+    kJmp,          // go to next
+    kSave,         // record current position in capture slot `slot`
+    kAssertBegin,  // succeed only at text start
+    kAssertEnd,    // succeed only at text end
+    kMatch,        // accept
+  };
+
+  Op op = Op::kMatch;
+  std::bitset<256> bytes;  // kByte only
+  uint32_t next = 0;
+  uint32_t next2 = 0;  // kSplit only
+  int slot = -1;       // kSave only
+};
+
+/// A compiled NFA program.
+struct Program {
+  std::vector<Inst> insts;
+  uint32_t start = 0;
+  int num_captures = 0;     // capturing groups; slots = 2*(num_captures+1)
+  bool has_assertions = false;
+
+  int num_slots() const { return 2 * (num_captures + 1); }
+};
+
+/// Limits for compilation; repetition expansion can blow up the program.
+struct CompileOptions {
+  size_t max_instructions = 20000;
+};
+
+/// Compile an AST into an NFA program. Slot 0/1 delimit the whole match;
+/// group i uses slots 2i+2 and 2i+3.
+Result<Program> CompileProgram(const AstNode& root, int num_captures,
+                               const CompileOptions& options = {});
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_NFA_H_

@@ -1,0 +1,279 @@
+#include "src/regex/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::regex {
+
+namespace {
+
+// Maximum bound in {m,n} repetitions; larger bounds blow up the compiled
+// program, and no hand-written classification rule needs them.
+constexpr int kMaxRepeatBound = 256;
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const ParseOptions& options)
+      : pattern_(pattern), options_(options) {}
+
+  Result<ParsedRegex> Run() {
+    auto root = ParseAlternate();
+    if (!root.ok()) return root.status();
+    if (pos_ != pattern_.size()) {
+      return Error("unexpected ')' or trailing input");
+    }
+    ParsedRegex out{std::move(root).value(), num_captures_};
+    return out;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("regex parse error at offset %zu in \"%.*s\": %s", pos_,
+                  static_cast<int>(pattern_.size()), pattern_.data(),
+                  msg.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+  char Take() { return pattern_[pos_++]; }
+  bool TryTake(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // alternate := concat ('|' concat)*
+  Result<AstRef> ParseAlternate() {
+    std::vector<AstRef> branches;
+    auto first = ParseConcat();
+    if (!first.ok()) return first.status();
+    branches.push_back(std::move(first).value());
+    while (TryTake('|')) {
+      auto next = ParseConcat();
+      if (!next.ok()) return next.status();
+      branches.push_back(std::move(next).value());
+    }
+    if (branches.size() == 1) return std::move(branches[0]);
+    return AstNode::Alternate(std::move(branches));
+  }
+
+  // concat := repeat*
+  Result<AstRef> ParseConcat() {
+    std::vector<AstRef> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto part = ParseRepeat();
+      if (!part.ok()) return part.status();
+      parts.push_back(std::move(part).value());
+    }
+    if (parts.empty()) return AstNode::Empty();
+    if (parts.size() == 1) return std::move(parts[0]);
+    return AstNode::Concat(std::move(parts));
+  }
+
+  // repeat := atom ('*' | '+' | '?' | '{m,n}')*
+  Result<AstRef> ParseRepeat() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    AstRef node = std::move(atom).value();
+    for (;;) {
+      if (AtEnd()) break;
+      char c = Peek();
+      if (c == '*') {
+        Take();
+        node = AstNode::Repeat(std::move(node), 0, kUnbounded);
+      } else if (c == '+') {
+        Take();
+        node = AstNode::Repeat(std::move(node), 1, kUnbounded);
+      } else if (c == '?') {
+        Take();
+        node = AstNode::Repeat(std::move(node), 0, 1);
+      } else if (c == '{') {
+        // A '{' followed by a digit starts a bound and must be well-formed;
+        // otherwise '{' is an ordinary literal.
+        if (pos_ + 1 >= pattern_.size() ||
+            !std::isdigit(static_cast<unsigned char>(pattern_[pos_ + 1]))) {
+          break;
+        }
+        auto bound = ParseBound(node);
+        if (!bound.ok()) return bound.status();
+        node = std::move(bound).value();
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<AstRef> ParseBound(AstRef& node) {
+    // Caller guarantees Peek() == '{'.
+    Take();
+    auto parse_int = [&]() -> int {
+      int value = -1;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        if (value < 0) value = 0;
+        value = value * 10 + (Take() - '0');
+        if (value > kMaxRepeatBound) return kMaxRepeatBound + 1;
+      }
+      return value;
+    };
+    int min = parse_int();
+    if (min < 0) return Error("expected number in {...}");
+    int max = min;
+    if (TryTake(',')) {
+      max = parse_int();
+      if (max < 0) max = kUnbounded;
+    }
+    if (!TryTake('}')) return Error("unterminated {...}");
+    if (min > kMaxRepeatBound ||
+        (max != kUnbounded && (max > kMaxRepeatBound || max < min))) {
+      return Error("repetition bound out of range");
+    }
+    return AstNode::Repeat(std::move(node), min, max);
+  }
+
+  // atom := '(' ... ')' | '[' ... ']' | '.' | '^' | '$' | escape | literal
+  Result<AstRef> ParseAtom() {
+    if (AtEnd()) return Error("expected atom");
+    char c = Take();
+    switch (c) {
+      case '(': {
+        int capture_index = -1;
+        if (TryTake('?')) {
+          if (!TryTake(':')) return Error("only (?: groups are supported");
+        } else {
+          capture_index = num_captures_++;
+        }
+        auto inner = ParseAlternate();
+        if (!inner.ok()) return inner.status();
+        if (!TryTake(')')) return Error("unterminated group");
+        return AstNode::Group(std::move(inner).value(), capture_index);
+      }
+      case '[':
+        return ParseClass();
+      case '.':
+        return AstNode::Any();
+      case '^':
+        return AstNode::AnchorBegin();
+      case '$':
+        return AstNode::AnchorEnd();
+      case '*':
+      case '+':
+      case '?':
+        return Error("repetition operator with nothing to repeat");
+      case '\\':
+        return ParseEscape();
+      default:
+        return MakeLiteral(c);
+    }
+  }
+
+  Result<AstRef> ParseEscape() {
+    if (AtEnd()) return Error("trailing backslash");
+    char c = Take();
+    switch (c) {
+      case 'w': return AstNode::Class(WordClass());
+      case 'W': return AstNode::Class(NegateClass(WordClass()));
+      case 'd': return AstNode::Class(DigitClass());
+      case 'D': return AstNode::Class(NegateClass(DigitClass()));
+      case 's': return AstNode::Class(SpaceClass());
+      case 'S': return AstNode::Class(NegateClass(SpaceClass()));
+      case 't': return MakeLiteral('\t');
+      case 'n': return MakeLiteral('\n');
+      case 'r': return MakeLiteral('\r');
+      default:
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          return Error(StrFormat("unsupported escape \\%c", c));
+        }
+        return MakeLiteral(c);
+    }
+  }
+
+  Result<AstRef> ParseClass() {
+    std::bitset<256> cls;
+    bool negated = TryTake('^');
+    bool first = true;
+    for (;;) {
+      if (AtEnd()) return Error("unterminated character class");
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) return Error("trailing backslash in class");
+        char e = Take();
+        switch (e) {
+          case 'w': cls |= WordClass(); continue;
+          case 'd': cls |= DigitClass(); continue;
+          case 's': cls |= SpaceClass(); continue;
+          case 't': c = '\t'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          default: c = e; break;
+        }
+      }
+      // Range?
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hi = Take();
+        if (hi == '\\') {
+          if (AtEnd()) return Error("trailing backslash in class");
+          hi = Take();
+          if (hi == 't') hi = '\t';
+          else if (hi == 'n') hi = '\n';
+          else if (hi == 'r') hi = '\r';
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          return Error("invalid range in character class");
+        }
+        for (int b = static_cast<unsigned char>(c);
+             b <= static_cast<unsigned char>(hi); ++b) {
+          SetFolded(cls, static_cast<char>(b));
+        }
+      } else {
+        SetFolded(cls, c);
+      }
+    }
+    if (negated) cls = NegateClass(cls);
+    return AstNode::Class(cls);
+  }
+
+  void SetFolded(std::bitset<256>& cls, char c) {
+    cls.set(static_cast<unsigned char>(c));
+    if (options_.case_insensitive) {
+      if (c >= 'a' && c <= 'z') {
+        cls.set(static_cast<unsigned char>(c - 'a' + 'A'));
+      } else if (c >= 'A' && c <= 'Z') {
+        cls.set(static_cast<unsigned char>(c - 'A' + 'a'));
+      }
+    }
+  }
+
+  Result<AstRef> MakeLiteral(char c) {
+    if (options_.case_insensitive &&
+        std::isalpha(static_cast<unsigned char>(c))) {
+      std::bitset<256> cls;
+      SetFolded(cls, c);
+      return AstNode::Class(cls);
+    }
+    return AstNode::Literal(c);
+  }
+
+  std::string_view pattern_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int num_captures_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedRegex> Parse(std::string_view pattern,
+                          const ParseOptions& options) {
+  return Parser(pattern, options).Run();
+}
+
+}  // namespace rulekit::regex

@@ -1,0 +1,35 @@
+#ifndef RULEKIT_REGEX_PARSER_H_
+#define RULEKIT_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/regex/ast.h"
+
+namespace rulekit::regex {
+
+/// Options applied while parsing a pattern.
+struct ParseOptions {
+  /// Fold ASCII case: literals and class ranges match both cases. Chimera
+  /// rules match lowercased titles, so rule patterns default to folded.
+  bool case_insensitive = false;
+};
+
+/// Result of a successful parse.
+struct ParsedRegex {
+  AstRef root;
+  int num_captures = 0;  // number of capturing groups
+};
+
+/// Parse a pattern into an AST.
+///
+/// Supported syntax: literals, '.', escapes (\w \W \d \D \s \S \t \n \r and
+/// escaped metacharacters), classes [...] with ranges and negation,
+/// alternation '|', groups '(...)' (capturing) and '(?:...)', postfix
+/// '*' '+' '?' '{m}' '{m,}' '{m,n}', anchors '^' and '$'.
+Result<ParsedRegex> Parse(std::string_view pattern,
+                          const ParseOptions& options = {});
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_PARSER_H_

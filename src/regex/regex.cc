@@ -1,0 +1,332 @@
+#include "src/regex/regex.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rulekit::regex {
+
+namespace {
+
+constexpr size_t kNoPos = Span::kNoPos;
+
+// ---------------------------------------------------------------------------
+// Pike VM: NFA simulation with capture slots, leftmost-first semantics.
+// Follows Russ Cox's pike.c ("Regular Expression Matching: the Virtual
+// Machine Approach").
+// ---------------------------------------------------------------------------
+
+struct Thread {
+  uint32_t pc;
+  std::vector<size_t> caps;
+};
+
+class ThreadList {
+ public:
+  explicit ThreadList(size_t num_insts)
+      : seen_(num_insts, 0) {}
+
+  void Clear() { threads_.clear(); ++generation_; }
+
+  bool Mark(uint32_t pc) {
+    if (seen_[pc] == generation_) return false;
+    seen_[pc] = generation_;
+    return true;
+  }
+
+  void Push(uint32_t pc, std::vector<size_t> caps) {
+    threads_.push_back({pc, std::move(caps)});
+  }
+
+  std::vector<Thread>& threads() { return threads_; }
+
+ private:
+  std::vector<Thread> threads_;
+  std::vector<uint64_t> seen_;
+  uint64_t generation_ = 1;
+};
+
+// Adds `pc` (with epsilon closure) to `list` for text position `pos`.
+void AddThread(const Program& prog, ThreadList& list, uint32_t pc, size_t pos,
+               size_t text_len, std::vector<size_t> caps) {
+  struct Item {
+    uint32_t pc;
+    std::vector<size_t> caps;
+  };
+  std::vector<Item> stack;
+  stack.push_back({pc, std::move(caps)});
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    if (!list.Mark(item.pc)) continue;
+    const Inst& inst = prog.insts[item.pc];
+    switch (inst.op) {
+      case Inst::Op::kJmp:
+        stack.push_back({inst.next, std::move(item.caps)});
+        break;
+      case Inst::Op::kSplit:
+        // next has priority over next2; since the stack is LIFO, push next2
+        // first so next is processed (and marked) first.
+        stack.push_back({inst.next2, item.caps});
+        stack.push_back({inst.next, std::move(item.caps)});
+        break;
+      case Inst::Op::kSave: {
+        std::vector<size_t> caps2 = std::move(item.caps);
+        if (inst.slot >= 0 &&
+            static_cast<size_t>(inst.slot) < caps2.size()) {
+          caps2[static_cast<size_t>(inst.slot)] = pos;
+        }
+        stack.push_back({inst.next, std::move(caps2)});
+        break;
+      }
+      case Inst::Op::kAssertBegin:
+        if (pos == 0) stack.push_back({inst.next, std::move(item.caps)});
+        break;
+      case Inst::Op::kAssertEnd:
+        if (pos == text_len) {
+          stack.push_back({inst.next, std::move(item.caps)});
+        }
+        break;
+      case Inst::Op::kByte:
+      case Inst::Op::kMatch:
+        list.Push(item.pc, std::move(item.caps));
+        break;
+    }
+  }
+}
+
+// AddThread pushes epsilon-closure items onto a LIFO stack, which reverses
+// sibling priority when one item expands to several (kSplit pushes next2
+// then next, so next pops first — correct). However, when expanding a chain,
+// children are processed immediately (depth-first), which matches the
+// recursive formulation, so priority order is preserved.
+
+std::optional<Match> PikeFind(const Program& prog, std::string_view text,
+                              size_t start, bool anchored) {
+  const size_t nslots = static_cast<size_t>(prog.num_slots());
+  ThreadList clist(prog.insts.size()), nlist(prog.insts.size());
+  clist.Clear();
+  nlist.Clear();
+
+  std::vector<size_t> matched;
+  bool has_match = false;
+
+  for (size_t pos = start; pos <= text.size(); ++pos) {
+    if (!has_match && (pos == start || !anchored)) {
+      AddThread(prog, clist, prog.start, pos, text.size(),
+                std::vector<size_t>(nslots, kNoPos));
+    }
+    auto& threads = clist.threads();
+    for (size_t i = 0; i < threads.size(); ++i) {
+      Thread& t = threads[i];
+      const Inst& inst = prog.insts[t.pc];
+      if (inst.op == Inst::Op::kByte) {
+        if (pos < text.size() &&
+            inst.bytes.test(static_cast<unsigned char>(text[pos]))) {
+          AddThread(prog, nlist, inst.next, pos + 1, text.size(),
+                    std::move(t.caps));
+        }
+      } else if (inst.op == Inst::Op::kMatch) {
+        matched = std::move(t.caps);
+        has_match = true;
+        // Lower-priority threads are cut off: leftmost-first semantics.
+        break;
+      }
+    }
+    std::swap(clist, nlist);
+    nlist.Clear();
+    // Once a match is recorded no new start threads are injected, and in
+    // anchored mode none are injected after `start`; with no live threads
+    // the outcome cannot change.
+    if (clist.threads().empty() && (has_match || anchored)) break;
+  }
+
+  if (!has_match) return std::nullopt;
+  Match m;
+  m.overall = {matched[0], matched[1]};
+  m.groups.resize(static_cast<size_t>(prog.num_captures));
+  for (int g = 0; g < prog.num_captures; ++g) {
+    size_t b = matched[static_cast<size_t>(2 * g + 2)];
+    size_t e = matched[static_cast<size_t>(2 * g + 3)];
+    m.groups[static_cast<size_t>(g)] = {b, e};
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Boolean Thompson VM: no captures, used for the PartialMatch/FullMatch fast
+// paths.
+// ---------------------------------------------------------------------------
+
+class PcList {
+ public:
+  explicit PcList(size_t num_insts) : seen_(num_insts, 0) {}
+
+  void Clear() {
+    pcs_.clear();
+    ++generation_;
+  }
+  bool Mark(uint32_t pc) {
+    if (seen_[pc] == generation_) return false;
+    seen_[pc] = generation_;
+    return true;
+  }
+  void Push(uint32_t pc) { pcs_.push_back(pc); }
+  const std::vector<uint32_t>& pcs() const { return pcs_; }
+
+ private:
+  std::vector<uint32_t> pcs_;
+  std::vector<uint64_t> seen_;
+  uint64_t generation_ = 1;
+};
+
+// Returns true if a Match instruction is in the closure (subject to the
+// `at_end` constraint for full matches, checked by the caller via flag).
+void AddPc(const Program& prog, PcList& list, uint32_t pc, size_t pos,
+           size_t text_len) {
+  std::vector<uint32_t> stack{pc};
+  while (!stack.empty()) {
+    uint32_t p = stack.back();
+    stack.pop_back();
+    if (!list.Mark(p)) continue;
+    const Inst& inst = prog.insts[p];
+    switch (inst.op) {
+      case Inst::Op::kJmp:
+        stack.push_back(inst.next);
+        break;
+      case Inst::Op::kSplit:
+        stack.push_back(inst.next2);
+        stack.push_back(inst.next);
+        break;
+      case Inst::Op::kSave:
+        stack.push_back(inst.next);
+        break;
+      case Inst::Op::kAssertBegin:
+        if (pos == 0) stack.push_back(inst.next);
+        break;
+      case Inst::Op::kAssertEnd:
+        if (pos == text_len) stack.push_back(inst.next);
+        break;
+      case Inst::Op::kByte:
+      case Inst::Op::kMatch:
+        list.Push(p);
+        break;
+    }
+  }
+}
+
+bool BooleanRun(const Program& prog, std::string_view text, bool full) {
+  PcList clist(prog.insts.size()), nlist(prog.insts.size());
+  clist.Clear();
+  nlist.Clear();
+  for (size_t pos = 0; pos <= text.size(); ++pos) {
+    if (pos == 0 || !full) {
+      AddPc(prog, clist, prog.start, pos, text.size());
+    }
+    for (uint32_t pc : clist.pcs()) {
+      const Inst& inst = prog.insts[pc];
+      if (inst.op == Inst::Op::kMatch) {
+        if (!full || pos == text.size()) return true;
+      } else if (inst.op == Inst::Op::kByte) {
+        if (pos < text.size() &&
+            inst.bytes.test(static_cast<unsigned char>(text[pos]))) {
+          AddPc(prog, nlist, inst.next, pos + 1, text.size());
+        }
+      }
+    }
+    // In full mode no threads are injected after position 0, so an empty
+    // next list means no match is possible.
+    if (full && nlist.pcs().empty()) return false;
+    std::swap(clist, nlist);
+    nlist.Clear();
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+// Builds the DFA of ".*<root>" (any-byte star), used as the PartialMatch
+// fast path. Returns nullopt when the pattern has assertions or the
+// subset construction exceeds the cap.
+std::optional<Dfa> BuildSearchDfa(const AstNode& root) {
+  std::bitset<256> all;
+  all.set();
+  std::vector<AstRef> seq;
+  seq.push_back(AstNode::Repeat(AstNode::Class(all), 0, kUnbounded));
+  seq.push_back(root.Clone());
+  AstRef wrapped = AstNode::Concat(std::move(seq));
+  auto program = CompileProgram(*wrapped, /*num_captures=*/0,
+                                CompileOptions{});
+  if (!program.ok()) return std::nullopt;
+  ByteClasses classes = ComputeByteClasses({&*program});
+  auto dfa = Dfa::Build(*program, classes, /*max_states=*/2000);
+  if (!dfa.ok()) return std::nullopt;
+  return std::move(dfa).value();
+}
+
+}  // namespace
+
+Result<Regex> Regex::Compile(std::string_view pattern,
+                             const ParseOptions& options) {
+  auto parsed = Parse(pattern, options);
+  if (!parsed.ok()) return parsed.status();
+  auto program =
+      CompileProgram(*parsed->root, parsed->num_captures, CompileOptions{});
+  if (!program.ok()) return program.status();
+  auto impl = std::make_shared<Impl>();
+  impl->pattern = std::string(pattern);
+  impl->options = options;
+  impl->ast = std::move(parsed->root);
+  impl->program = std::move(program).value();
+  impl->search_dfa = BuildSearchDfa(*impl->ast);
+  return Regex(std::move(impl));
+}
+
+Result<Regex> Regex::CompileCaseFolded(std::string_view pattern) {
+  ParseOptions options;
+  options.case_insensitive = true;
+  return Compile(pattern, options);
+}
+
+bool Regex::FullMatch(std::string_view text) const {
+  return BooleanRun(impl_->program, text, /*full=*/true);
+}
+
+bool Regex::PartialMatch(std::string_view text) const {
+  if (impl_->search_dfa.has_value()) {
+    // A match exists iff some prefix of text lands in an accepting state
+    // of the ".*pattern" DFA.
+    const Dfa& dfa = *impl_->search_dfa;
+    int32_t state = dfa.start_state();
+    if (dfa.IsAccepting(state)) return true;
+    for (char c : text) {
+      state = dfa.Next(state, static_cast<unsigned char>(c));
+      if (state == Dfa::kDeadState) return false;
+      if (dfa.IsAccepting(state)) return true;
+    }
+    return false;
+  }
+  return BooleanRun(impl_->program, text, /*full=*/false);
+}
+
+std::optional<Match> Regex::Find(std::string_view text, size_t start) const {
+  if (start > text.size()) return std::nullopt;
+  return PikeFind(impl_->program, text, start, /*anchored=*/false);
+}
+
+std::vector<Match> Regex::FindAll(std::string_view text) const {
+  std::vector<Match> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    auto m = Find(text, pos);
+    if (!m.has_value()) break;
+    out.push_back(*m);
+    size_t next = m->overall.end;
+    if (next == pos) ++next;  // avoid stalling on empty matches
+    pos = next;
+  }
+  return out;
+}
+
+}  // namespace rulekit::regex

@@ -1,0 +1,99 @@
+#ifndef RULEKIT_REGEX_REGEX_H_
+#define RULEKIT_REGEX_REGEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/regex/ast.h"
+#include "src/regex/dfa.h"
+#include "src/regex/nfa.h"
+#include "src/regex/parser.h"
+
+namespace rulekit::regex {
+
+/// A span [begin, end) of the subject text; npos/npos when a group did not
+/// participate in the match.
+struct Span {
+  size_t begin = kNoPos;
+  size_t end = kNoPos;
+
+  static constexpr size_t kNoPos = static_cast<size_t>(-1);
+  bool valid() const { return begin != kNoPos && end != kNoPos; }
+  size_t length() const { return valid() ? end - begin : 0; }
+  bool operator==(const Span&) const = default;
+};
+
+/// One match: the overall span plus one span per capturing group.
+struct Match {
+  Span overall;
+  std::vector<Span> groups;
+
+  /// Text of the overall match within `subject`.
+  std::string_view Text(std::string_view subject) const {
+    return subject.substr(overall.begin, overall.length());
+  }
+  /// Text of group `i`, or empty if the group did not participate.
+  std::string_view GroupText(std::string_view subject, size_t i) const {
+    if (i >= groups.size() || !groups[i].valid()) return {};
+    return subject.substr(groups[i].begin, groups[i].length());
+  }
+};
+
+/// Compiled regular expression. Cheap to copy (shares the compiled program).
+/// Matching uses a Pike VM (captures, leftmost-first greedy semantics) and
+/// never backtracks exponentially.
+class Regex {
+ public:
+  /// Compile a pattern. See regex/parser.h for the supported syntax.
+  static Result<Regex> Compile(std::string_view pattern,
+                               const ParseOptions& options = {});
+
+  /// Compile a pattern that folds ASCII case (the rule-language default).
+  static Result<Regex> CompileCaseFolded(std::string_view pattern);
+
+  /// Whole-string match.
+  bool FullMatch(std::string_view text) const;
+
+  /// True if the pattern matches anywhere in `text`.
+  bool PartialMatch(std::string_view text) const;
+
+  /// Leftmost match starting at or after `start`, with capture groups.
+  std::optional<Match> Find(std::string_view text, size_t start = 0) const;
+
+  /// All non-overlapping matches, scanning left to right.
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  const std::string& pattern() const { return impl_->pattern; }
+  int num_captures() const { return impl_->program.num_captures; }
+  const Program& program() const { return impl_->program; }
+  const AstNode& ast() const { return *impl_->ast; }
+  const ParseOptions& options() const { return impl_->options; }
+
+  /// True when PartialMatch runs on the O(len) DFA fast path (built at
+  /// compile time for assertion-free patterns of moderate size).
+  bool has_search_dfa() const { return impl_->search_dfa.has_value(); }
+
+ private:
+  struct Impl {
+    std::string pattern;
+    ParseOptions options;
+    AstRef ast;
+    Program program;
+    // DFA of ".*<pattern>": PartialMatch(text) is true iff some prefix of
+    // text is accepted. Absent when the pattern has anchors or the
+    // determinization exceeded its state cap.
+    std::optional<Dfa> search_dfa;
+  };
+
+  explicit Regex(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace rulekit::regex
+
+#endif  // RULEKIT_REGEX_REGEX_H_

@@ -1,0 +1,33 @@
+#include "src/rules/dictionary_registry.h"
+
+#include <algorithm>
+
+namespace rulekit::rules {
+
+void DictionaryRegistry::Register(
+    std::string name, std::shared_ptr<const text::Dictionary> dict) {
+  dicts_[std::move(name)] = std::move(dict);
+}
+
+void DictionaryRegistry::RegisterPhrases(
+    std::string name, const std::vector<std::string>& phrases) {
+  auto dict = std::make_shared<text::Dictionary>();
+  dict->AddAll(phrases);
+  Register(std::move(name), std::move(dict));
+}
+
+std::shared_ptr<const text::Dictionary> DictionaryRegistry::Find(
+    std::string_view name) const {
+  auto it = dicts_.find(std::string(name));
+  return it == dicts_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> DictionaryRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(dicts_.size());
+  for (const auto& [name, dict] : dicts_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace rulekit::rules

@@ -1,0 +1,44 @@
+#ifndef RULEKIT_RULES_DICTIONARY_REGISTRY_H_
+#define RULEKIT_RULES_DICTIONARY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/dictionary.h"
+
+namespace rulekit::rules {
+
+/// Named phrase dictionaries referenced from the rule DSL (§4's wished-for
+/// rule: "if the title contains any word from a given dictionary then the
+/// product is either a PC or a laptop"). Analysts curate dictionaries
+/// (brand lists, subtype vocabularies) separately from the rules that use
+/// them, so one dictionary update refreshes every dependent rule.
+class DictionaryRegistry {
+ public:
+  DictionaryRegistry() = default;
+
+  /// Registers (or replaces) a named dictionary.
+  void Register(std::string name,
+                std::shared_ptr<const text::Dictionary> dict);
+
+  /// Builds and registers a dictionary from phrases.
+  void RegisterPhrases(std::string name,
+                       const std::vector<std::string>& phrases);
+
+  /// The dictionary for `name`, or nullptr.
+  std::shared_ptr<const text::Dictionary> Find(std::string_view name) const;
+
+  size_t size() const { return dicts_.size(); }
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const text::Dictionary>>
+      dicts_;
+};
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_DICTIONARY_REGISTRY_H_

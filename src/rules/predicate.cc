@@ -1,0 +1,206 @@
+#include "src/rules/predicate.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::rules {
+
+namespace {
+
+class TitleMatchesPredicate : public Predicate {
+ public:
+  explicit TitleMatchesPredicate(regex::Regex re) : re_(std::move(re)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    return re_.PartialMatch(item.title);
+  }
+  std::string ToString() const override {
+    return "title ~ \"" + re_.pattern() + "\"";
+  }
+
+ private:
+  regex::Regex re_;
+};
+
+class TitleContainsPredicate : public Predicate {
+ public:
+  explicit TitleContainsPredicate(std::string phrase)
+      : phrase_(ToLowerAscii(phrase)) {
+    dict_.Add(phrase_);
+  }
+  bool Eval(const data::ProductItem& item) const override {
+    return dict_.ContainsAny(item.title);
+  }
+  std::string ToString() const override {
+    return "title has \"" + phrase_ + "\"";
+  }
+
+ private:
+  std::string phrase_;
+  text::Dictionary dict_;
+};
+
+class AttributeExistsPredicate : public Predicate {
+ public:
+  explicit AttributeExistsPredicate(std::string name)
+      : name_(std::move(name)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    return item.HasAttribute(name_);
+  }
+  std::string ToString() const override { return "has(" + name_ + ")"; }
+
+ private:
+  std::string name_;
+};
+
+class AttributeEqualsPredicate : public Predicate {
+ public:
+  AttributeEqualsPredicate(std::string name, std::string value)
+      : name_(std::move(name)), value_(ToLowerAscii(value)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    auto v = item.GetAttribute(name_);
+    return v.has_value() && ToLowerAscii(*v) == value_;
+  }
+  std::string ToString() const override {
+    return "attr(" + name_ + ") = \"" + value_ + "\"";
+  }
+
+ private:
+  std::string name_;
+  std::string value_;
+};
+
+class AttributeMatchesPredicate : public Predicate {
+ public:
+  AttributeMatchesPredicate(std::string name, regex::Regex re)
+      : name_(std::move(name)), re_(std::move(re)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    auto v = item.GetAttribute(name_);
+    return v.has_value() && re_.PartialMatch(*v);
+  }
+  std::string ToString() const override {
+    return "attr(" + name_ + ") ~ \"" + re_.pattern() + "\"";
+  }
+
+ private:
+  std::string name_;
+  regex::Regex re_;
+};
+
+class PricePredicate : public Predicate {
+ public:
+  PricePredicate(double limit, bool below) : limit_(limit), below_(below) {}
+  bool Eval(const data::ProductItem& item) const override {
+    auto price = item.Price();
+    if (!price.has_value()) return false;
+    return below_ ? *price < limit_ : *price > limit_;
+  }
+  std::string ToString() const override {
+    return StrFormat("price %c %.2f", below_ ? '<' : '>', limit_);
+  }
+
+ private:
+  double limit_;
+  bool below_;
+};
+
+class DictionaryPredicate : public Predicate {
+ public:
+  DictionaryPredicate(std::shared_ptr<const text::Dictionary> dict,
+                      std::string name)
+      : dict_(std::move(dict)), name_(std::move(name)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    return dict_->ContainsAny(item.title);
+  }
+  std::string ToString() const override {
+    return "title anyof dict(" + name_ + ")";
+  }
+
+ private:
+  std::shared_ptr<const text::Dictionary> dict_;
+  std::string name_;
+};
+
+class BinaryPredicate : public Predicate {
+ public:
+  BinaryPredicate(PredicatePtr a, PredicatePtr b, bool conjunction)
+      : a_(std::move(a)), b_(std::move(b)), conjunction_(conjunction) {}
+  bool Eval(const data::ProductItem& item) const override {
+    return conjunction_ ? a_->Eval(item) && b_->Eval(item)
+                        : a_->Eval(item) || b_->Eval(item);
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + (conjunction_ ? " and " : " or ") +
+           b_->ToString() + ")";
+  }
+
+ private:
+  PredicatePtr a_, b_;
+  bool conjunction_;
+};
+
+class NotPredicate : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr a) : a_(std::move(a)) {}
+  bool Eval(const data::ProductItem& item) const override {
+    return !a_->Eval(item);
+  }
+  std::string ToString() const override {
+    return "not " + a_->ToString();
+  }
+
+ private:
+  PredicatePtr a_;
+};
+
+}  // namespace
+
+PredicatePtr TitleMatches(regex::Regex re) {
+  return std::make_shared<TitleMatchesPredicate>(std::move(re));
+}
+
+PredicatePtr TitleContains(std::string phrase) {
+  return std::make_shared<TitleContainsPredicate>(std::move(phrase));
+}
+
+PredicatePtr AttributeExists(std::string name) {
+  return std::make_shared<AttributeExistsPredicate>(std::move(name));
+}
+
+PredicatePtr AttributeEquals(std::string name, std::string value) {
+  return std::make_shared<AttributeEqualsPredicate>(std::move(name),
+                                                    std::move(value));
+}
+
+PredicatePtr AttributeMatches(std::string name, regex::Regex re) {
+  return std::make_shared<AttributeMatchesPredicate>(std::move(name),
+                                                     std::move(re));
+}
+
+PredicatePtr PriceBelow(double limit) {
+  return std::make_shared<PricePredicate>(limit, /*below=*/true);
+}
+
+PredicatePtr PriceAbove(double limit) {
+  return std::make_shared<PricePredicate>(limit, /*below=*/false);
+}
+
+PredicatePtr DictionaryContains(
+    std::shared_ptr<const text::Dictionary> dict, std::string name) {
+  return std::make_shared<DictionaryPredicate>(std::move(dict),
+                                               std::move(name));
+}
+
+PredicatePtr And(PredicatePtr a, PredicatePtr b) {
+  return std::make_shared<BinaryPredicate>(std::move(a), std::move(b),
+                                           /*conjunction=*/true);
+}
+
+PredicatePtr Or(PredicatePtr a, PredicatePtr b) {
+  return std::make_shared<BinaryPredicate>(std::move(a), std::move(b),
+                                           /*conjunction=*/false);
+}
+
+PredicatePtr Not(PredicatePtr a) {
+  return std::make_shared<NotPredicate>(std::move(a));
+}
+
+}  // namespace rulekit::rules

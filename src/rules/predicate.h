@@ -1,0 +1,63 @@
+#ifndef RULEKIT_RULES_PREDICATE_H_
+#define RULEKIT_RULES_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/product.h"
+#include "src/regex/regex.h"
+#include "src/text/dictionary.h"
+
+namespace rulekit::rules {
+
+/// A boolean condition over a product item — the building block of the
+/// richer rule language §4 calls for ("if the title contains 'Apple' but
+/// the price is less than $100 then the product is not a phone").
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluates the condition on an item.
+  virtual bool Eval(const data::ProductItem& item) const = 0;
+
+  /// Round-trippable DSL form (see rules/rule_parser.h).
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// title ~ "pattern" — the (case-folded) regex matches the title anywhere.
+PredicatePtr TitleMatches(regex::Regex re);
+
+/// title has "phrase" — the lowercased title contains the phrase at word
+/// boundaries.
+PredicatePtr TitleContains(std::string phrase);
+
+/// has(Name) — the attribute is present.
+PredicatePtr AttributeExists(std::string name);
+
+/// attr(Name) = "value" — case-insensitive attribute equality.
+PredicatePtr AttributeEquals(std::string name, std::string value);
+
+/// attr(Name) ~ "pattern" — the regex matches the attribute value.
+PredicatePtr AttributeMatches(std::string name, regex::Regex re);
+
+/// price < x / price > x. Items without a parsable price fail both.
+PredicatePtr PriceBelow(double limit);
+PredicatePtr PriceAbove(double limit);
+
+/// title anyof dict — the title contains any phrase of the dictionary
+/// (§4: "if the title contains any word from a given dictionary ...").
+/// `name` is used for printing.
+PredicatePtr DictionaryContains(std::shared_ptr<const text::Dictionary> dict,
+                                std::string name);
+
+/// Boolean combinators.
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+PredicatePtr Not(PredicatePtr a);
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_PREDICATE_H_

@@ -1,0 +1,210 @@
+#include "src/rules/repository.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::rules {
+
+namespace {
+
+const char* OriginName(RuleOrigin origin) {
+  switch (origin) {
+    case RuleOrigin::kAnalyst: return "analyst";
+    case RuleOrigin::kMined: return "mined";
+    case RuleOrigin::kCurated: return "curated";
+    case RuleOrigin::kImported: return "imported";
+  }
+  return "analyst";
+}
+
+RuleOrigin OriginFromName(std::string_view name) {
+  if (name == "mined") return RuleOrigin::kMined;
+  if (name == "curated") return RuleOrigin::kCurated;
+  if (name == "imported") return RuleOrigin::kImported;
+  return RuleOrigin::kAnalyst;
+}
+
+const char* StateName(RuleState state) {
+  switch (state) {
+    case RuleState::kActive: return "active";
+    case RuleState::kDisabled: return "disabled";
+    case RuleState::kRetired: return "retired";
+  }
+  return "active";
+}
+
+RuleState StateFromName(std::string_view name) {
+  if (name == "disabled") return RuleState::kDisabled;
+  if (name == "retired") return RuleState::kRetired;
+  return RuleState::kActive;
+}
+
+}  // namespace
+
+void RuleRepository::Log(AuditAction action, std::string_view rule_id,
+                         std::string_view author, std::string_view detail) {
+  audit_.push_back({++clock_, action, std::string(rule_id),
+                    std::string(author), std::string(detail)});
+}
+
+Status RuleRepository::Add(Rule rule, std::string_view author) {
+  rule.metadata().author = std::string(author);
+  rule.metadata().created_at = clock_ + 1;
+  std::string id = rule.id();
+  RULEKIT_RETURN_IF_ERROR(rules_.Add(std::move(rule)));
+  Log(AuditAction::kAdd, id, author, "");
+  return Status::OK();
+}
+
+Status RuleRepository::Disable(std::string_view id, std::string_view author,
+                               std::string_view reason) {
+  RULEKIT_RETURN_IF_ERROR(rules_.Disable(id));
+  Log(AuditAction::kDisable, id, author, reason);
+  return Status::OK();
+}
+
+Status RuleRepository::Enable(std::string_view id, std::string_view author) {
+  RULEKIT_RETURN_IF_ERROR(rules_.Enable(id));
+  Log(AuditAction::kEnable, id, author, "");
+  return Status::OK();
+}
+
+Status RuleRepository::Retire(std::string_view id, std::string_view author,
+                              std::string_view reason) {
+  RULEKIT_RETURN_IF_ERROR(rules_.Retire(id));
+  Log(AuditAction::kRetire, id, author, reason);
+  return Status::OK();
+}
+
+Status RuleRepository::SetConfidence(std::string_view id, double confidence,
+                                     std::string_view author) {
+  Rule* rule = rules_.FindMutable(id);
+  if (rule == nullptr) {
+    return Status::NotFound("no such rule: " + std::string(id));
+  }
+  rule->metadata().confidence = confidence;
+  Log(AuditAction::kSetConfidence, id, author,
+      StrFormat("%.4f", confidence));
+  return Status::OK();
+}
+
+std::vector<std::string> RuleRepository::DisableRulesForType(
+    std::string_view type, std::string_view author,
+    std::string_view reason) {
+  std::vector<std::string> disabled;
+  for (const Rule* rule : rules_.ActiveForType(type)) {
+    if (Disable(rule->id(), author, reason).ok()) {
+      disabled.push_back(rule->id());
+    }
+  }
+  return disabled;
+}
+
+uint64_t RuleRepository::Checkpoint(std::string_view author) {
+  Snapshot snap;
+  for (const Rule& rule : rules_.rules()) {
+    snap.states[rule.id()] = {rule.metadata().state,
+                              rule.metadata().confidence};
+  }
+  Log(AuditAction::kCheckpoint, "", author, "");
+  uint64_t version = clock_;
+  snapshots_[version] = std::move(snap);
+  return version;
+}
+
+Status RuleRepository::RestoreCheckpoint(uint64_t version,
+                                         std::string_view author) {
+  auto it = snapshots_.find(version);
+  if (it == snapshots_.end()) {
+    return Status::NotFound(StrFormat("no checkpoint %llu",
+                                      static_cast<unsigned long long>(
+                                          version)));
+  }
+  for (Rule& rule : rules_.mutable_rules()) {
+    auto state_it = it->second.states.find(rule.id());
+    if (state_it == it->second.states.end()) {
+      // Added after the checkpoint: take it out of execution.
+      rule.metadata().state = RuleState::kDisabled;
+    } else {
+      rule.metadata().state = state_it->second.first;
+      rule.metadata().confidence = state_it->second.second;
+    }
+  }
+  Log(AuditAction::kRestore, "", author,
+      StrFormat("version %llu", static_cast<unsigned long long>(version)));
+  return Status::OK();
+}
+
+std::vector<AuditEntry> RuleRepository::HistoryOf(
+    std::string_view rule_id) const {
+  std::vector<AuditEntry> out;
+  for (const auto& e : audit_) {
+    if (e.rule_id == rule_id) out.push_back(e);
+  }
+  return out;
+}
+
+Status RuleRepository::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# rulekit repository v1\n";
+  for (const Rule& rule : rules_.rules()) {
+    const RuleMetadata& m = rule.metadata();
+    out << "#meta " << m.author << '\t' << OriginName(m.origin) << '\t'
+        << m.created_at << '\t' << StrFormat("%.6f", m.confidence) << '\t'
+        << StateName(m.state) << '\t' << EscapeControl(m.note) << '\n';
+    out << rule.ToDsl() << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  RuleRepository repo;
+  std::string line;
+  RuleMetadata pending;
+  bool has_pending = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (StartsWith(trimmed, "#meta ")) {
+      auto fields = Split(trimmed.substr(6), '\t');
+      if (fields.size() < 5) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: malformed #meta line", path.c_str(),
+                      line_no));
+      }
+      pending = RuleMetadata{};
+      pending.author = fields[0];
+      pending.origin = OriginFromName(fields[1]);
+      pending.created_at = std::strtoull(fields[2].c_str(), nullptr, 10);
+      pending.confidence = std::strtod(fields[3].c_str(), nullptr);
+      pending.state = StateFromName(fields[4]);
+      if (fields.size() > 5) pending.note = UnescapeControl(fields[5]);
+      has_pending = true;
+      continue;
+    }
+    if (trimmed.front() == '#') continue;
+    auto rules = ParseRules(trimmed);
+    if (!rules.ok()) return rules.status();
+    for (Rule& rule : *rules) {
+      if (has_pending) {
+        rule.metadata() = pending;
+        has_pending = false;
+      }
+      std::string id = rule.id();
+      RULEKIT_RETURN_IF_ERROR(repo.rules_.Add(std::move(rule)));
+      repo.Log(AuditAction::kAdd, id, "loader", "loaded from " + path);
+    }
+  }
+  return repo;
+}
+
+}  // namespace rulekit::rules

@@ -1,0 +1,108 @@
+#ifndef RULEKIT_RULES_REPOSITORY_H_
+#define RULEKIT_RULES_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::rules {
+
+/// What happened to a rule (audit log entries).
+enum class AuditAction {
+  kAdd,
+  kDisable,
+  kEnable,
+  kRetire,
+  kSetConfidence,
+  kCheckpoint,
+  kRestore,
+};
+
+/// One audit-log record. Over years, many analysts and developers modify,
+/// add, and remove rules (§4 "Rule System Properties"); the log is what
+/// makes that churn reconstructible.
+struct AuditEntry {
+  uint64_t timestamp = 0;  // logical clock
+  AuditAction action = AuditAction::kAdd;
+  std::string rule_id;     // empty for checkpoint/restore
+  std::string author;
+  std::string detail;
+};
+
+/// The system of record for rules: every mutation goes through the
+/// repository, bumps a logical clock, and lands in the audit log.
+/// Checkpoints capture all rule states so the system can be "scaled down"
+/// (disable the bad parts) and later restored to the previous state
+/// quickly (§2.2 requirement 3).
+class RuleRepository {
+ public:
+  RuleRepository() = default;
+
+  // ---- mutations ---------------------------------------------------------
+
+  Status Add(Rule rule, std::string_view author);
+  Status Disable(std::string_view id, std::string_view author,
+                 std::string_view reason);
+  Status Enable(std::string_view id, std::string_view author);
+  Status Retire(std::string_view id, std::string_view author,
+                std::string_view reason);
+  Status SetConfidence(std::string_view id, double confidence,
+                       std::string_view author);
+
+  /// Disables every active rule targeting `type`; returns the ids disabled.
+  /// This is the scale-down lever: "Chimera's predictions regarding clothes
+  /// need to be temporarily disabled".
+  std::vector<std::string> DisableRulesForType(std::string_view type,
+                                               std::string_view author,
+                                               std::string_view reason);
+
+  // ---- snapshots ---------------------------------------------------------
+
+  /// Records the current state (+confidence) of every rule; returns a
+  /// version handle.
+  uint64_t Checkpoint(std::string_view author);
+
+  /// Restores every rule present in the checkpoint to its recorded state;
+  /// rules added after the checkpoint are disabled.
+  Status RestoreCheckpoint(uint64_t version, std::string_view author);
+
+  // ---- access ------------------------------------------------------------
+
+  const RuleSet& rules() const { return rules_; }
+  RuleSet& mutable_rules() { return rules_; }
+  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  uint64_t clock() const { return clock_; }
+
+  /// Audit entries touching one rule, oldest first.
+  std::vector<AuditEntry> HistoryOf(std::string_view rule_id) const;
+
+  // ---- persistence -------------------------------------------------------
+
+  /// Saves all rules (with metadata) to a text file.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a file written by SaveToFile into a fresh repository. The audit
+  /// log is not persisted; loading yields kAdd entries.
+  static Result<RuleRepository> LoadFromFile(const std::string& path);
+
+ private:
+  struct Snapshot {
+    std::map<std::string, std::pair<RuleState, double>> states;
+  };
+
+  void Log(AuditAction action, std::string_view rule_id,
+           std::string_view author, std::string_view detail);
+
+  RuleSet rules_;
+  std::vector<AuditEntry> audit_;
+  std::map<uint64_t, Snapshot> snapshots_;
+  uint64_t clock_ = 0;
+};
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_REPOSITORY_H_

@@ -1,0 +1,142 @@
+#include "src/rules/rule.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::rules {
+
+std::string Rule::NormalizePattern(std::string_view pattern) {
+  // Remove spaces that only serve readability: around '|' and just inside
+  // parentheses. Literal spaces elsewhere are significant.
+  std::string out;
+  out.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (c == ' ') {
+      // Look at the nearest non-space neighbors.
+      size_t j = i;
+      while (j < pattern.size() && pattern[j] == ' ') ++j;
+      char next = j < pattern.size() ? pattern[j] : '\0';
+      char prev = out.empty() ? '\0' : out.back();
+      bool decorative = prev == '|' || prev == '(' || next == '|' ||
+                        next == ')';
+      if (decorative) {
+        i = j - 1;  // skip the run of spaces
+        continue;
+      }
+    }
+    out += c;
+  }
+  return out;
+}
+
+namespace {
+
+Result<regex::Regex> CompileRulePattern(std::string_view pattern) {
+  return regex::Regex::CompileCaseFolded(Rule::NormalizePattern(pattern));
+}
+
+}  // namespace
+
+Result<Rule> Rule::Whitelist(std::string id, std::string_view pattern,
+                             std::string type) {
+  auto re = CompileRulePattern(pattern);
+  if (!re.ok()) return re.status();
+  Rule r;
+  r.id_ = std::move(id);
+  r.kind_ = RuleKind::kWhitelist;
+  r.types_ = {std::move(type)};
+  r.pattern_text_ = NormalizePattern(pattern);
+  r.regex_ = std::move(re).value();
+  return r;
+}
+
+Result<Rule> Rule::Blacklist(std::string id, std::string_view pattern,
+                             std::string type) {
+  auto re = CompileRulePattern(pattern);
+  if (!re.ok()) return re.status();
+  Rule r;
+  r.id_ = std::move(id);
+  r.kind_ = RuleKind::kBlacklist;
+  r.types_ = {std::move(type)};
+  r.positive_ = false;
+  r.pattern_text_ = NormalizePattern(pattern);
+  r.regex_ = std::move(re).value();
+  return r;
+}
+
+Rule Rule::AttributeExists(std::string id, std::string attribute,
+                           std::string type) {
+  Rule r;
+  r.id_ = std::move(id);
+  r.kind_ = RuleKind::kAttributeExists;
+  r.types_ = {std::move(type)};
+  r.attribute_ = std::move(attribute);
+  return r;
+}
+
+Rule Rule::AttributeValue(std::string id, std::string attribute,
+                          std::string value,
+                          std::vector<std::string> types) {
+  Rule r;
+  r.id_ = std::move(id);
+  r.kind_ = RuleKind::kAttributeValue;
+  r.types_ = std::move(types);
+  r.attribute_ = std::move(attribute);
+  r.attribute_value_ = ToLowerAscii(value);
+  return r;
+}
+
+Rule Rule::FromPredicate(std::string id, PredicatePtr predicate,
+                         std::string type, bool positive) {
+  Rule r;
+  r.id_ = std::move(id);
+  r.kind_ = RuleKind::kPredicate;
+  r.types_ = {std::move(type)};
+  r.positive_ = positive;
+  r.predicate_ = std::move(predicate);
+  return r;
+}
+
+bool Rule::Applies(const data::ProductItem& item) const {
+  switch (kind_) {
+    case RuleKind::kWhitelist:
+    case RuleKind::kBlacklist:
+      return regex_->PartialMatch(item.title);
+    case RuleKind::kAttributeExists:
+      return item.HasAttribute(attribute_);
+    case RuleKind::kAttributeValue: {
+      auto v = item.GetAttribute(attribute_);
+      return v.has_value() && ToLowerAscii(*v) == attribute_value_;
+    }
+    case RuleKind::kPredicate:
+      return predicate_->Eval(item);
+  }
+  return false;
+}
+
+std::string Rule::ToDsl() const {
+  switch (kind_) {
+    case RuleKind::kWhitelist:
+      return StrFormat("whitelist %s: %s => %s", id_.c_str(),
+                       pattern_text_.c_str(), types_.front().c_str());
+    case RuleKind::kBlacklist:
+      return StrFormat("blacklist %s: %s => %s", id_.c_str(),
+                       pattern_text_.c_str(), types_.front().c_str());
+    case RuleKind::kAttributeExists:
+      return StrFormat("attr %s: has(%s) => %s", id_.c_str(),
+                       attribute_.c_str(), types_.front().c_str());
+    case RuleKind::kAttributeValue: {
+      std::string types = Join(types_, " | ");
+      return StrFormat("attrval %s: %s = \"%s\" => %s", id_.c_str(),
+                       attribute_.c_str(), attribute_value_.c_str(),
+                       types.c_str());
+    }
+    case RuleKind::kPredicate:
+      return StrFormat("pred %s: %s => %s%s", id_.c_str(),
+                       predicate_->ToString().c_str(),
+                       positive_ ? "" : "not ", types_.front().c_str());
+  }
+  return "";
+}
+
+}  // namespace rulekit::rules

@@ -1,0 +1,141 @@
+#ifndef RULEKIT_RULES_RULE_H_
+#define RULEKIT_RULES_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/product.h"
+#include "src/regex/regex.h"
+#include "src/rules/predicate.h"
+
+namespace rulekit::rules {
+
+/// The rule families Chimera uses (§3.3): regex whitelist/blacklist rules
+/// over titles, attribute-existence and attribute-value rules, plus the
+/// richer predicate rules §4 asks for.
+enum class RuleKind {
+  kWhitelist,        // title matches regex           => type
+  kBlacklist,        // title matches regex           => NOT type
+  kAttributeExists,  // item has attribute            => type
+  kAttributeValue,   // attribute equals value        => one of types
+  kPredicate,        // arbitrary predicate           => type / NOT type
+};
+
+/// Lifecycle state used by rule maintenance.
+enum class RuleState {
+  kActive,
+  kDisabled,  // temporarily off ("scale down"), can be re-enabled
+  kRetired,   // permanently removed from execution
+};
+
+/// Where a rule came from.
+enum class RuleOrigin { kAnalyst, kMined, kCurated, kImported };
+
+/// Bookkeeping attached to every rule.
+struct RuleMetadata {
+  std::string author = "analyst";
+  RuleOrigin origin = RuleOrigin::kAnalyst;
+  uint64_t created_at = 0;  // logical timestamp
+  double confidence = 1.0;  // [0,1]; mined rules carry their score
+  RuleState state = RuleState::kActive;
+  std::string note;
+};
+
+/// An immutable-condition classification rule with mutable metadata.
+/// Copyable (regexes and predicates are shared).
+class Rule {
+ public:
+  /// r => type. The pattern is compiled case-folded; normalization strips
+  /// decorative spaces around '|' so paper-style patterns parse verbatim.
+  static Result<Rule> Whitelist(std::string id, std::string_view pattern,
+                                std::string type);
+
+  /// r => NOT type.
+  static Result<Rule> Blacklist(std::string id, std::string_view pattern,
+                                std::string type);
+
+  /// has(attribute) => type. (Paper: "if a product has an 'isbn' attribute,
+  /// then it is a book".)
+  static Rule AttributeExists(std::string id, std::string attribute,
+                              std::string type);
+
+  /// attr = value => one of `types`. (Paper: Brand "Apple" => phone,
+  /// laptop, ...). Matching is case-insensitive on the value.
+  static Rule AttributeValue(std::string id, std::string attribute,
+                             std::string value,
+                             std::vector<std::string> types);
+
+  /// predicate => type (or NOT type when `positive` is false).
+  static Rule FromPredicate(std::string id, PredicatePtr predicate,
+                            std::string type, bool positive = true);
+
+  // ---- structure ---------------------------------------------------------
+
+  const std::string& id() const { return id_; }
+  RuleKind kind() const { return kind_; }
+
+  /// The single target type (all kinds except kAttributeValue).
+  const std::string& target_type() const { return types_.front(); }
+
+  /// Candidate types (kAttributeValue may carry several).
+  const std::vector<std::string>& candidate_types() const { return types_; }
+
+  /// True for rules that assert a type; false for ones that veto it.
+  bool is_positive() const {
+    return kind_ != RuleKind::kBlacklist && positive_;
+  }
+
+  /// The regex pattern text ("" for non-regex rules).
+  const std::string& pattern_text() const { return pattern_text_; }
+
+  /// The compiled regex for kWhitelist/kBlacklist rules.
+  const std::optional<regex::Regex>& pattern_regex() const { return regex_; }
+
+  /// The attribute name for attribute rules ("" otherwise).
+  const std::string& attribute() const { return attribute_; }
+  /// The attribute value for kAttributeValue ("" otherwise).
+  const std::string& attribute_value() const { return attribute_value_; }
+
+  /// The predicate for kPredicate rules.
+  const PredicatePtr& predicate() const { return predicate_; }
+
+  // ---- evaluation --------------------------------------------------------
+
+  /// True if the rule's condition holds on the item (regardless of
+  /// polarity or state).
+  bool Applies(const data::ProductItem& item) const;
+
+  // ---- metadata ----------------------------------------------------------
+
+  const RuleMetadata& metadata() const { return metadata_; }
+  RuleMetadata& metadata() { return metadata_; }
+  bool is_active() const { return metadata_.state == RuleState::kActive; }
+
+  /// One-line DSL form (see rules/rule_parser.h); kPredicate rules print a
+  /// `pred` line.
+  std::string ToDsl() const;
+
+  /// Strips decorative whitespace around '|' and group parentheses so the
+  /// paper's "(motor | engine) oils?" notation compiles as intended.
+  static std::string NormalizePattern(std::string_view pattern);
+
+ private:
+  Rule() = default;
+
+  std::string id_;
+  RuleKind kind_ = RuleKind::kWhitelist;
+  std::vector<std::string> types_;
+  bool positive_ = true;
+  std::string pattern_text_;
+  std::optional<regex::Regex> regex_;
+  std::string attribute_;
+  std::string attribute_value_;
+  PredicatePtr predicate_;
+  RuleMetadata metadata_;
+};
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_RULE_H_

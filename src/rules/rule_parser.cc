@@ -1,0 +1,365 @@
+#include "src/rules/rule_parser.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::rules {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Predicate expression parser (recursive descent over a char scanner).
+// ---------------------------------------------------------------------------
+
+class PredicateParser {
+ public:
+  PredicateParser(std::string_view text,
+                  const DictionaryRegistry* dictionaries)
+      : text_(text), dictionaries_(dictionaries) {}
+
+  Result<PredicatePtr> Run() {
+    auto p = ParseOr();
+    if (!p.ok()) return p;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing input");
+    return p;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument(StrFormat(
+        "predicate parse error at offset %zu in \"%.*s\": %s", pos_,
+        static_cast<int>(text_.size()), text_.data(), msg.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  // Consumes `word` if it appears (word-bounded) at the cursor.
+  bool TryKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool TryChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseQuoted() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected a double-quoted string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+      }
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<std::string> ParseIdentifierUntil(char terminator) {
+    SkipSpace();
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != terminator) {
+      out += text_[pos_++];
+    }
+    std::string trimmed(Trim(out));
+    if (trimmed.empty()) return Error("expected a name");
+    return trimmed;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  Result<PredicatePtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    PredicatePtr node = std::move(left).value();
+    while (TryKeyword("or")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right;
+      node = Or(std::move(node), std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    PredicatePtr node = std::move(left).value();
+    while (TryKeyword("and")) {
+      auto right = ParseUnary();
+      if (!right.ok()) return right;
+      node = And(std::move(node), std::move(right).value());
+    }
+    return node;
+  }
+
+  Result<PredicatePtr> ParseUnary() {
+    if (TryKeyword("not")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return Not(std::move(inner).value());
+    }
+    return ParseAtom();
+  }
+
+  Result<PredicatePtr> ParseAtom() {
+    if (TryChar('(')) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (!TryChar(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (TryKeyword("title")) {
+      if (TryChar('~')) {
+        auto pattern = ParseQuoted();
+        if (!pattern.ok()) return pattern.status();
+        auto re = regex::Regex::CompileCaseFolded(
+            Rule::NormalizePattern(*pattern));
+        if (!re.ok()) return re.status();
+        return TitleMatches(std::move(re).value());
+      }
+      if (TryKeyword("has")) {
+        auto phrase = ParseQuoted();
+        if (!phrase.ok()) return phrase.status();
+        return TitleContains(std::move(phrase).value());
+      }
+      if (TryKeyword("anyof")) {
+        if (!TryKeyword("dict") || !TryChar('(')) {
+          return Error("expected dict(Name) after 'anyof'");
+        }
+        auto name = ParseIdentifierUntil(')');
+        if (!name.ok()) return name.status();
+        if (!TryChar(')')) return Error("expected ')'");
+        if (dictionaries_ == nullptr) {
+          return Error("dictionary rules need a DictionaryRegistry");
+        }
+        auto dict = dictionaries_->Find(*name);
+        if (dict == nullptr) {
+          return Error("unknown dictionary '" + *name + "'");
+        }
+        return DictionaryContains(std::move(dict), std::move(name).value());
+      }
+      return Error("expected '~', 'has', or 'anyof' after 'title'");
+    }
+    if (TryKeyword("has")) {
+      if (!TryChar('(')) return Error("expected '(' after 'has'");
+      auto name = ParseIdentifierUntil(')');
+      if (!name.ok()) return name.status();
+      if (!TryChar(')')) return Error("expected ')'");
+      return AttributeExists(std::move(name).value());
+    }
+    if (TryKeyword("attr")) {
+      if (!TryChar('(')) return Error("expected '(' after 'attr'");
+      auto name = ParseIdentifierUntil(')');
+      if (!name.ok()) return name.status();
+      if (!TryChar(')')) return Error("expected ')'");
+      if (TryChar('=')) {
+        auto value = ParseQuoted();
+        if (!value.ok()) return value.status();
+        return AttributeEquals(std::move(name).value(),
+                               std::move(value).value());
+      }
+      if (TryChar('~')) {
+        auto pattern = ParseQuoted();
+        if (!pattern.ok()) return pattern.status();
+        auto re = regex::Regex::CompileCaseFolded(*pattern);
+        if (!re.ok()) return re.status();
+        return AttributeMatches(std::move(name).value(),
+                                std::move(re).value());
+      }
+      return Error("expected '=' or '~' after attr(...)");
+    }
+    if (TryKeyword("price")) {
+      if (TryChar('<')) {
+        auto limit = ParseNumber();
+        if (!limit.ok()) return limit.status();
+        return PriceBelow(*limit);
+      }
+      if (TryChar('>')) {
+        auto limit = ParseNumber();
+        if (!limit.ok()) return limit.status();
+        return PriceAbove(*limit);
+      }
+      return Error("expected '<' or '>' after 'price'");
+    }
+    return Error("expected a predicate atom");
+  }
+
+  std::string_view text_;
+  const DictionaryRegistry* dictionaries_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Line-level rule parser.
+// ---------------------------------------------------------------------------
+
+struct LineParts {
+  std::string keyword;
+  std::string id;
+  std::string body;
+  std::string target;
+};
+
+Result<LineParts> SplitLine(std::string_view line, size_t line_no) {
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("rule line %zu: %s", line_no, msg.c_str()));
+  };
+  size_t arrow = line.rfind("=>");
+  if (arrow == std::string_view::npos) return err("missing '=>'");
+  std::string_view head = line.substr(0, arrow);
+  std::string_view target = Trim(line.substr(arrow + 2));
+  if (target.empty()) return err("missing target type after '=>'");
+
+  size_t colon = head.find(':');
+  if (colon == std::string_view::npos) return err("missing ':' after id");
+  std::string_view decl = Trim(head.substr(0, colon));
+  std::string_view body = Trim(head.substr(colon + 1));
+
+  size_t space = decl.find(' ');
+  if (space == std::string_view::npos) {
+    return err("expected '<kind> <id>:'");
+  }
+  LineParts parts;
+  parts.keyword = std::string(Trim(decl.substr(0, space)));
+  parts.id = std::string(Trim(decl.substr(space + 1)));
+  parts.body = std::string(body);
+  parts.target = std::string(target);
+  if (parts.id.empty()) return err("empty rule id");
+  if (parts.body.empty()) return err("empty rule body");
+  return parts;
+}
+
+Result<Rule> ParseLine(std::string_view line, size_t line_no,
+                       const DictionaryRegistry* dictionaries) {
+  auto parts = SplitLine(line, line_no);
+  if (!parts.ok()) return parts.status();
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("rule line %zu: %s", line_no, msg.c_str()));
+  };
+
+  const std::string& kw = parts->keyword;
+  if (kw == "whitelist") {
+    return Rule::Whitelist(parts->id, parts->body, parts->target);
+  }
+  if (kw == "blacklist") {
+    return Rule::Blacklist(parts->id, parts->body, parts->target);
+  }
+  if (kw == "attr") {
+    // body: has(Name)
+    std::string_view body = parts->body;
+    if (!StartsWith(body, "has(") || !EndsWith(body, ")")) {
+      return err("attr rule body must be has(AttributeName)");
+    }
+    std::string name(Trim(body.substr(4, body.size() - 5)));
+    if (name.empty()) return err("empty attribute name");
+    return Rule::AttributeExists(parts->id, name, parts->target);
+  }
+  if (kw == "attrval") {
+    // body: Name = "value"; target: type1 | type2 | ...
+    size_t eq = parts->body.find('=');
+    if (eq == std::string::npos) return err("attrval body must be Name = \"value\"");
+    std::string name(Trim(std::string_view(parts->body).substr(0, eq)));
+    std::string_view rest = Trim(std::string_view(parts->body).substr(eq + 1));
+    if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+      return err("attrval value must be double-quoted");
+    }
+    std::string value(rest.substr(1, rest.size() - 2));
+    std::vector<std::string> types;
+    for (auto& t : Split(parts->target, '|')) {
+      std::string trimmed(Trim(t));
+      if (!trimmed.empty()) types.push_back(std::move(trimmed));
+    }
+    if (types.empty()) return err("attrval needs at least one target type");
+    return Rule::AttributeValue(parts->id, name, value, std::move(types));
+  }
+  if (kw == "pred") {
+    bool positive = true;
+    std::string target = parts->target;
+    if (StartsWith(target, "not ")) {
+      positive = false;
+      target = std::string(Trim(std::string_view(target).substr(4)));
+    }
+    auto predicate = PredicateParser(parts->body, dictionaries).Run();
+    if (!predicate.ok()) return predicate.status();
+    return Rule::FromPredicate(parts->id, std::move(predicate).value(),
+                               target, positive);
+  }
+  return err("unknown rule kind '" + kw + "'");
+}
+
+}  // namespace
+
+Result<std::vector<Rule>> ParseRules(
+    std::string_view text, const DictionaryRegistry* dictionaries) {
+  std::vector<Rule> rules;
+  size_t line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto rule = ParseLine(line, line_no, dictionaries);
+    if (!rule.ok()) return rule.status();
+    rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+Result<RuleSet> ParseRuleSet(
+    std::string_view text, const DictionaryRegistry* dictionaries) {
+  auto rules = ParseRules(text, dictionaries);
+  if (!rules.ok()) return rules.status();
+  RuleSet set;
+  Status st = set.AddAll(std::move(rules).value());
+  if (!st.ok()) return st;
+  return set;
+}
+
+Result<PredicatePtr> ParsePredicate(
+    std::string_view text, const DictionaryRegistry* dictionaries) {
+  return PredicateParser(text, dictionaries).Run();
+}
+
+}  // namespace rulekit::rules

@@ -1,0 +1,44 @@
+#ifndef RULEKIT_RULES_RULE_PARSER_H_
+#define RULEKIT_RULES_RULE_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rules/dictionary_registry.h"
+#include "src/rules/rule.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::rules {
+
+/// Parses the rule DSL, one rule per line. The language is designed so that
+/// non-programmer domain analysts can author rules (§4 "Rule Languages"):
+///
+///   # comment
+///   whitelist rings1: rings? => rings
+///   whitelist oil2: (motor | engine) oils? => motor oil
+///   blacklist toe1: toe rings? => rings
+///   attr isbn1: has(ISBN) => books
+///   attrval apple1: Brand = "apple" => smart phones | laptop computers
+///   pred cheap1: title has "apple" and price < 100 => not smart phones
+///   pred bags1: title anyof dict(handbag words) => handbags
+///
+/// Predicate expressions support: `title ~ "regex"`, `title has "phrase"`,
+/// `title anyof dict(Name)` (requires a DictionaryRegistry), `has(Attr)`,
+/// `attr(Attr) = "value"`, `attr(Attr) ~ "regex"`, `price < N`,
+/// `price > N`, with `and`, `or`, `not` and parentheses.
+Result<std::vector<Rule>> ParseRules(
+    std::string_view text, const DictionaryRegistry* dictionaries = nullptr);
+
+/// ParseRules + RuleSet assembly.
+Result<RuleSet> ParseRuleSet(
+    std::string_view text, const DictionaryRegistry* dictionaries = nullptr);
+
+/// Parses a single predicate expression (the part before "=>" of a `pred`
+/// rule).
+Result<PredicatePtr> ParsePredicate(
+    std::string_view text, const DictionaryRegistry* dictionaries = nullptr);
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_RULE_PARSER_H_

@@ -1,0 +1,140 @@
+#include "src/rules/rule_set.h"
+
+#include <algorithm>
+
+namespace rulekit::rules {
+
+Status RuleSet::Add(Rule rule) {
+  if (index_.count(rule.id()) > 0) {
+    return Status::AlreadyExists("duplicate rule id: " + rule.id());
+  }
+  index_.emplace(rule.id(), rules_.size());
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status RuleSet::AddAll(std::vector<Rule> rules) {
+  for (auto& r : rules) {
+    RULEKIT_RETURN_IF_ERROR(Add(std::move(r)));
+  }
+  return Status::OK();
+}
+
+const Rule* RuleSet::Find(std::string_view id) const {
+  auto it = index_.find(std::string(id));
+  return it == index_.end() ? nullptr : &rules_[it->second];
+}
+
+Rule* RuleSet::FindMutable(std::string_view id) {
+  auto it = index_.find(std::string(id));
+  return it == index_.end() ? nullptr : &rules_[it->second];
+}
+
+namespace {
+Status SetState(RuleSet& set, std::string_view id, RuleState state,
+                bool allow_from_retired) {
+  Rule* rule = set.FindMutable(id);
+  if (rule == nullptr) {
+    return Status::NotFound("no such rule: " + std::string(id));
+  }
+  if (!allow_from_retired && rule->metadata().state == RuleState::kRetired) {
+    return Status::FailedPrecondition("rule is retired: " + std::string(id));
+  }
+  rule->metadata().state = state;
+  return Status::OK();
+}
+}  // namespace
+
+Status RuleSet::Disable(std::string_view id) {
+  return SetState(*this, id, RuleState::kDisabled, false);
+}
+
+Status RuleSet::Enable(std::string_view id) {
+  return SetState(*this, id, RuleState::kActive, false);
+}
+
+Status RuleSet::Retire(std::string_view id) {
+  return SetState(*this, id, RuleState::kRetired, true);
+}
+
+std::vector<const Rule*> RuleSet::ActiveOfKind(RuleKind kind) const {
+  std::vector<const Rule*> out;
+  for (const auto& r : rules_) {
+    if (r.is_active() && r.kind() == kind) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const Rule*> RuleSet::ActiveForType(std::string_view type) const {
+  std::vector<const Rule*> out;
+  for (const auto& r : rules_) {
+    if (!r.is_active()) continue;
+    const auto& types = r.candidate_types();
+    if (std::find(types.begin(), types.end(), type) != types.end()) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+size_t RuleSet::CountActive() const {
+  return static_cast<size_t>(
+      std::count_if(rules_.begin(), rules_.end(),
+                    [](const Rule& r) { return r.is_active(); }));
+}
+
+size_t RuleSet::CountActiveOfKind(RuleKind kind) const {
+  return static_cast<size_t>(std::count_if(
+      rules_.begin(), rules_.end(), [kind](const Rule& r) {
+        return r.is_active() && r.kind() == kind;
+      }));
+}
+
+RuleSetStats ComputeStats(const RuleSet& set) {
+  RuleSetStats stats;
+  std::unordered_map<std::string, bool> types;
+  double confidence_sum = 0.0;
+  for (const auto& rule : set.rules()) {
+    ++stats.total;
+    switch (rule.metadata().state) {
+      case RuleState::kActive: ++stats.active; break;
+      case RuleState::kDisabled: ++stats.disabled; break;
+      case RuleState::kRetired: ++stats.retired; break;
+    }
+    if (!rule.is_active()) continue;
+    confidence_sum += rule.metadata().confidence;
+    switch (rule.kind()) {
+      case RuleKind::kWhitelist: ++stats.whitelist; break;
+      case RuleKind::kBlacklist: ++stats.blacklist; break;
+      case RuleKind::kAttributeExists:
+      case RuleKind::kAttributeValue:
+        ++stats.attribute_rules;
+        break;
+      case RuleKind::kPredicate: ++stats.predicate_rules; break;
+    }
+    switch (rule.metadata().origin) {
+      case RuleOrigin::kMined: ++stats.mined_rules; break;
+      default: ++stats.analyst_rules; break;
+    }
+    for (const auto& type : rule.candidate_types()) {
+      types.emplace(type, true);
+    }
+  }
+  stats.types_covered = types.size();
+  stats.mean_confidence =
+      stats.active == 0 ? 0.0
+                        : confidence_sum / static_cast<double>(stats.active);
+  return stats;
+}
+
+std::string RuleSet::ToDsl() const {
+  std::string out;
+  for (const auto& r : rules_) {
+    if (!r.is_active()) continue;
+    out += r.ToDsl();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rulekit::rules

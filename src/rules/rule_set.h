@@ -1,0 +1,82 @@
+#ifndef RULEKIT_RULES_RULE_SET_H_
+#define RULEKIT_RULES_RULE_SET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rules/rule.h"
+
+namespace rulekit::rules {
+
+/// An id-keyed collection of rules. Industrial systems accumulate rules in
+/// the tens of thousands (§3.3: 20,459 rules); this container provides the
+/// lookups the classifiers, evaluators, and maintenance tools need.
+/// Rules are never erased — maintenance retires them — so indices handed
+/// out by `rules()` stay stable.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  /// Adds a rule; fails with AlreadyExists on a duplicate id.
+  Status Add(Rule rule);
+
+  /// Adds every rule, stopping at the first failure.
+  Status AddAll(std::vector<Rule> rules);
+
+  const Rule* Find(std::string_view id) const;
+  Rule* FindMutable(std::string_view id);
+
+  /// State transitions (§2.2 "scale down" = disable; maintenance = retire).
+  Status Disable(std::string_view id);
+  Status Enable(std::string_view id);
+  Status Retire(std::string_view id);
+
+  /// All rules, including disabled and retired ones.
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// Mutable access for bulk metadata edits (checkpoint restore). Ids and
+  /// conditions must not be changed through this.
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Active rules of one kind.
+  std::vector<const Rule*> ActiveOfKind(RuleKind kind) const;
+
+  /// Active rules (any kind) targeting `type`.
+  std::vector<const Rule*> ActiveForType(std::string_view type) const;
+
+  size_t CountActive() const;
+  size_t CountActiveOfKind(RuleKind kind) const;
+
+  /// Serializes every active rule as DSL, one per line.
+  std::string ToDsl() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Summary statistics of a rule set — what the §3.3 deployment report
+/// enumerates (rule counts by kind, types covered, mix of origins).
+struct RuleSetStats {
+  size_t total = 0;
+  size_t active = 0;
+  size_t disabled = 0;
+  size_t retired = 0;
+  size_t whitelist = 0;       // active only, likewise below
+  size_t blacklist = 0;
+  size_t attribute_rules = 0;  // kAttributeExists + kAttributeValue
+  size_t predicate_rules = 0;
+  size_t analyst_rules = 0;
+  size_t mined_rules = 0;
+  size_t types_covered = 0;   // distinct target types of active rules
+  double mean_confidence = 0.0;  // over active rules
+};
+
+RuleSetStats ComputeStats(const RuleSet& set);
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_RULE_SET_H_

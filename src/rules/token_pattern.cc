@@ -1,0 +1,70 @@
+#include "src/rules/token_pattern.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::rules {
+
+namespace {
+
+constexpr char kPrefix[] = "(^|[^a-z0-9])";
+constexpr char kGap[] = "[^a-z0-9](?:.*[^a-z0-9])?";
+constexpr char kSuffix[] = "([^a-z0-9]|$)";
+
+bool IsPlainToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string BoundedTokenPattern(const std::vector<std::string>& tokens) {
+  std::string out = kPrefix;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += kGap;
+    out += RegexEscape(tokens[i]);
+  }
+  out += kSuffix;
+  return out;
+}
+
+std::optional<std::vector<std::string>> ParseTokenPattern(
+    const std::string& pattern) {
+  // Bounded shape first.
+  if (StartsWith(pattern, kPrefix) && EndsWith(pattern, kSuffix)) {
+    std::string body = pattern.substr(
+        sizeof(kPrefix) - 1,
+        pattern.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+    std::vector<std::string> tokens;
+    size_t start = 0;
+    while (true) {
+      size_t gap = body.find(kGap, start);
+      std::string token = body.substr(
+          start, gap == std::string::npos ? std::string::npos : gap - start);
+      if (!IsPlainToken(token)) return std::nullopt;
+      tokens.push_back(std::move(token));
+      if (gap == std::string::npos) break;
+      start = gap + (sizeof(kGap) - 1);
+    }
+    return tokens;
+  }
+  // Plain display shape "a.*b".
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (true) {
+    size_t dot = pattern.find(".*", start);
+    std::string token = pattern.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (!IsPlainToken(token)) return std::nullopt;
+    tokens.push_back(std::move(token));
+    if (dot == std::string::npos) break;
+    start = dot + 2;
+  }
+  return tokens;
+}
+
+}  // namespace rulekit::rules

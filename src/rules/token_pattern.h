@@ -1,0 +1,27 @@
+#ifndef RULEKIT_RULES_TOKEN_PATTERN_H_
+#define RULEKIT_RULES_TOKEN_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rulekit::rules {
+
+/// Builds the token-anchored regex for a mined token sequence a1..an
+/// (§5.2 rule form R4). Each token must match a whole title token, in
+/// order, with arbitrary gaps:
+///   (^|[^a-z0-9])a1[^a-z0-9](?:.*[^a-z0-9])?a2...an([^a-z0-9]|$)
+/// so "ring.*size" cannot fire on "sparring ... size" — the regex
+/// semantics coincide with token-subsequence semantics, which is what the
+/// miner's consistency filter checks.
+std::string BoundedTokenPattern(const std::vector<std::string>& tokens);
+
+/// Inverse of BoundedTokenPattern: recovers the token sequence if
+/// `pattern` has exactly that shape. Also accepts the plain display shape
+/// "a1.*a2...*an" over literal token characters. Returns nullopt otherwise.
+std::optional<std::vector<std::string>> ParseTokenPattern(
+    const std::string& pattern);
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_TOKEN_PATTERN_H_

@@ -1,0 +1,114 @@
+#include "src/text/aho_corasick.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace rulekit::text {
+
+void AhoCorasick::Add(std::string_view pattern, uint32_t payload) {
+  assert(!built_);
+  if (pattern.empty()) return;
+  int32_t node = 0;
+  for (unsigned char c : pattern) {
+    auto it = nodes_[static_cast<size_t>(node)].next.find(c);
+    if (it == nodes_[static_cast<size_t>(node)].next.end()) {
+      int32_t child = static_cast<int32_t>(nodes_.size());
+      nodes_[static_cast<size_t>(node)].next.emplace(c, child);
+      nodes_.push_back(Node{});
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  nodes_[static_cast<size_t>(node)].outputs.push_back(payload);
+  ++num_patterns_;
+}
+
+void AhoCorasick::Build() {
+  assert(!built_);
+  // BFS to compute fail links; merge fail outputs into each node so that
+  // matching never needs to walk fail chains for outputs.
+  std::deque<int32_t> queue;
+  for (auto& [c, child] : nodes_[0].next) {
+    nodes_[static_cast<size_t>(child)].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int32_t u = queue.front();
+    queue.pop_front();
+    for (auto& [c, v] : nodes_[static_cast<size_t>(u)].next) {
+      // Find the longest proper suffix state with an edge on c.
+      int32_t f = nodes_[static_cast<size_t>(u)].fail;
+      for (;;) {
+        auto it = nodes_[static_cast<size_t>(f)].next.find(c);
+        if (it != nodes_[static_cast<size_t>(f)].next.end() &&
+            it->second != v) {
+          nodes_[static_cast<size_t>(v)].fail = it->second;
+          break;
+        }
+        if (f == 0) {
+          nodes_[static_cast<size_t>(v)].fail = 0;
+          break;
+        }
+        f = nodes_[static_cast<size_t>(f)].fail;
+      }
+      const auto& fail_outputs =
+          nodes_[static_cast<size_t>(nodes_[static_cast<size_t>(v)].fail)]
+              .outputs;
+      auto& outputs = nodes_[static_cast<size_t>(v)].outputs;
+      outputs.insert(outputs.end(), fail_outputs.begin(),
+                     fail_outputs.end());
+      queue.push_back(v);
+    }
+  }
+  built_ = true;
+}
+
+void AhoCorasick::Collect(std::string_view text,
+                          std::vector<uint32_t>& out) const {
+  assert(built_);
+  int32_t node = 0;
+  for (unsigned char c : text) {
+    for (;;) {
+      auto it = nodes_[static_cast<size_t>(node)].next.find(c);
+      if (it != nodes_[static_cast<size_t>(node)].next.end()) {
+        node = it->second;
+        break;
+      }
+      if (node == 0) break;
+      node = nodes_[static_cast<size_t>(node)].fail;
+    }
+    const auto& outputs = nodes_[static_cast<size_t>(node)].outputs;
+    out.insert(out.end(), outputs.begin(), outputs.end());
+  }
+}
+
+std::vector<uint32_t> AhoCorasick::CollectUnique(
+    std::string_view text) const {
+  std::vector<uint32_t> out;
+  Collect(text, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AhoCorasick::AnyMatch(std::string_view text) const {
+  assert(built_);
+  int32_t node = 0;
+  for (unsigned char c : text) {
+    for (;;) {
+      auto it = nodes_[static_cast<size_t>(node)].next.find(c);
+      if (it != nodes_[static_cast<size_t>(node)].next.end()) {
+        node = it->second;
+        break;
+      }
+      if (node == 0) break;
+      node = nodes_[static_cast<size_t>(node)].fail;
+    }
+    if (!nodes_[static_cast<size_t>(node)].outputs.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace rulekit::text

@@ -1,0 +1,56 @@
+#ifndef RULEKIT_TEXT_AHO_CORASICK_H_
+#define RULEKIT_TEXT_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace rulekit::text {
+
+/// Multi-pattern substring matcher (Aho-Corasick automaton). The rule index
+/// uses one automaton over all rules' required literals to map a product
+/// title to its candidate rules in one pass over the title.
+///
+/// Matching is byte-exact; callers normalize case themselves.
+class AhoCorasick {
+ public:
+  AhoCorasick() = default;
+
+  /// Registers a pattern carrying a payload. Call before Build(). Empty
+  /// patterns are ignored. The same payload may be attached to several
+  /// patterns.
+  void Add(std::string_view pattern, uint32_t payload);
+
+  /// Finalizes the automaton. Must be called once, after all Add() calls.
+  void Build();
+
+  bool built() const { return built_; }
+  size_t num_patterns() const { return num_patterns_; }
+
+  /// Appends to `out` the payloads of all patterns occurring in `text`.
+  /// Payloads may repeat if attached to several matching patterns; use
+  /// CollectUnique for a deduplicated result.
+  void Collect(std::string_view text, std::vector<uint32_t>& out) const;
+
+  /// Distinct payloads of patterns occurring in `text` (sorted).
+  std::vector<uint32_t> CollectUnique(std::string_view text) const;
+
+  /// True if any registered pattern occurs in `text`.
+  bool AnyMatch(std::string_view text) const;
+
+ private:
+  struct Node {
+    std::map<unsigned char, int32_t> next;
+    int32_t fail = 0;
+    std::vector<uint32_t> outputs;  // payloads ending at this node
+  };
+
+  std::vector<Node> nodes_{Node{}};
+  bool built_ = false;
+  size_t num_patterns_ = 0;
+};
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_AHO_CORASICK_H_

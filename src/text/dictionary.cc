@@ -1,0 +1,123 @@
+#include "src/text/dictionary.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace rulekit::text {
+
+namespace {
+
+struct WordSpan {
+  std::string word;
+  size_t begin;
+  size_t end;
+};
+
+std::vector<WordSpan> SplitWords(std::string_view textv) {
+  std::vector<WordSpan> spans;
+  size_t i = 0;
+  while (i < textv.size()) {
+    while (i < textv.size() &&
+           !std::isalnum(static_cast<unsigned char>(textv[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    std::string word;
+    while (i < textv.size() &&
+           std::isalnum(static_cast<unsigned char>(textv[i]))) {
+      word += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(textv[i])));
+      ++i;
+    }
+    if (i > start) spans.push_back({std::move(word), start, i});
+  }
+  return spans;
+}
+
+}  // namespace
+
+size_t Dictionary::InternWord(std::string_view w) {
+  std::string key(w);
+  auto it = std::lower_bound(
+      word_index_.begin(), word_index_.end(), key,
+      [](const auto& e, const std::string& k) { return e.first < k; });
+  if (it != word_index_.end() && it->first == key) return it->second;
+  size_t id = words_.size();
+  words_.push_back(key);
+  word_index_.insert(it, {std::move(key), id});
+  return id;
+}
+
+size_t Dictionary::ChildOf(size_t node, size_t word) const {
+  for (const auto& [w, child] : nodes_[node].children) {
+    if (w == word) return child;
+  }
+  return kNpos;
+}
+
+void Dictionary::Add(std::string_view phrase) {
+  std::string lowered = ToLowerAscii(phrase);
+  auto spans = SplitWords(lowered);
+  if (spans.empty()) return;
+  size_t node = 0;
+  for (const auto& span : spans) {
+    size_t word = InternWord(span.word);
+    size_t child = ChildOf(node, word);
+    if (child == kNpos) {
+      child = nodes_.size();
+      nodes_.push_back(Node{});
+      nodes_[node].children.emplace_back(word, child);
+    }
+    node = child;
+  }
+  if (nodes_[node].entry < 0) {
+    nodes_[node].entry = static_cast<int>(entries_.size());
+    entries_.emplace_back(lowered);
+  }
+}
+
+void Dictionary::AddAll(const std::vector<std::string>& phrases) {
+  for (const auto& p : phrases) Add(p);
+}
+
+std::vector<DictionaryMatch> Dictionary::FindAll(
+    std::string_view textv) const {
+  std::vector<DictionaryMatch> matches;
+  auto spans = SplitWords(textv);
+  size_t i = 0;
+  while (i < spans.size()) {
+    size_t node = 0;
+    int best_entry = -1;
+    size_t best_len = 0;
+    for (size_t j = i; j < spans.size(); ++j) {
+      // Look up the word; unseen words terminate the walk.
+      auto it = std::lower_bound(
+          word_index_.begin(), word_index_.end(), spans[j].word,
+          [](const auto& e, const std::string& k) { return e.first < k; });
+      if (it == word_index_.end() || it->first != spans[j].word) break;
+      size_t child = ChildOf(node, it->second);
+      if (child == kNpos) break;
+      node = child;
+      if (nodes_[node].entry >= 0) {
+        best_entry = nodes_[node].entry;
+        best_len = j - i + 1;
+      }
+    }
+    if (best_entry >= 0) {
+      matches.push_back({spans[i].begin, spans[i + best_len - 1].end,
+                         static_cast<size_t>(best_entry)});
+      i += best_len;
+    } else {
+      ++i;
+    }
+  }
+  return matches;
+}
+
+bool Dictionary::ContainsAny(std::string_view textv) const {
+  return !FindAll(textv).empty();
+}
+
+}  // namespace rulekit::text

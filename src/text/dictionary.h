@@ -1,0 +1,64 @@
+#ifndef RULEKIT_TEXT_DICTIONARY_H_
+#define RULEKIT_TEXT_DICTIONARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rulekit::text {
+
+/// A phrase found by Dictionary::FindAll: [begin, end) byte offsets into the
+/// searched text and the index of the matched dictionary entry.
+struct DictionaryMatch {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t entry = 0;
+};
+
+/// Token-trie phrase dictionary. Supports "title contains any phrase from
+/// this dictionary" rule predicates (the rule-language extension the paper
+/// asks for in §4) and dictionary-based IE (brand extraction in §6).
+///
+/// Matching is word-aligned: a phrase matches only at token boundaries of
+/// the lowercased text.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Add a phrase (one or more words). Lowercased internally.
+  void Add(std::string_view phrase);
+
+  /// Add many phrases.
+  void AddAll(const std::vector<std::string>& phrases);
+
+  size_t size() const { return entries_.size(); }
+  const std::string& EntryAt(size_t i) const { return entries_[i]; }
+
+  /// All non-overlapping, leftmost-longest phrase matches in `textv`.
+  std::vector<DictionaryMatch> FindAll(std::string_view textv) const;
+
+  /// True if any dictionary phrase occurs in `textv`.
+  bool ContainsAny(std::string_view textv) const;
+
+ private:
+  struct Node {
+    // child edges: (word id into words_, node index)
+    std::vector<std::pair<size_t, size_t>> children;
+    int entry = -1;  // index into entries_ if a phrase ends here
+  };
+
+  size_t InternWord(std::string_view w);
+  size_t ChildOf(size_t node, size_t word) const;  // npos if absent
+
+  std::vector<std::string> entries_;
+  std::vector<std::string> words_;
+  std::vector<std::pair<std::string, size_t>> word_index_;  // sorted
+  std::vector<Node> nodes_{Node{}};
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+};
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_DICTIONARY_H_

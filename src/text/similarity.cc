@@ -1,0 +1,81 @@
+#include "src/text/similarity.h"
+
+#include <algorithm>
+
+namespace rulekit::text {
+
+std::unordered_set<std::string> CharNGrams(std::string_view s, size_t n) {
+  std::unordered_set<std::string> grams;
+  if (s.empty() || n == 0) return grams;
+  if (s.size() <= n) {
+    grams.emplace(s);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    grams.emplace(s.substr(i, n));
+  }
+  return grams;
+}
+
+namespace {
+double JaccardOfSets(const std::unordered_set<std::string>& a,
+                     const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& g : small) {
+    if (large.count(g)) ++inter;
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+}  // namespace
+
+double JaccardNGram(std::string_view a, std::string_view b, size_t n) {
+  return JaccardOfSets(CharNGrams(a, n), CharNGrams(b, n));
+}
+
+double JaccardTokens(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  return JaccardOfSets(sa, sb);
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(m);
+}
+
+double OverlapCoefficient(const std::unordered_set<std::string>& a,
+                          const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& g : small) {
+    if (large.count(g)) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(small.size());
+}
+
+}  // namespace rulekit::text

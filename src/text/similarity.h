@@ -1,0 +1,36 @@
+#ifndef RULEKIT_TEXT_SIMILARITY_H_
+#define RULEKIT_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace rulekit::text {
+
+/// Character n-grams of a string ("abc", 2) -> {"ab", "bc"}. Strings shorter
+/// than n yield the whole string as a single gram.
+std::unordered_set<std::string> CharNGrams(std::string_view s, size_t n);
+
+/// Jaccard similarity of two sets of character n-grams of the inputs.
+/// This is the `jaccard.3g` measure from the paper's EM rule example.
+double JaccardNGram(std::string_view a, std::string_view b, size_t n);
+
+/// Jaccard similarity of two token multisets (treated as sets).
+double JaccardTokens(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// Levenshtein edit distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity: 1 - dist/max(len). Both empty -> 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Overlap coefficient of two sets of tokens: |A∩B| / min(|A|,|B|).
+double OverlapCoefficient(const std::unordered_set<std::string>& a,
+                          const std::unordered_set<std::string>& b);
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_SIMILARITY_H_

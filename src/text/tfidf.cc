@@ -1,0 +1,148 @@
+#include "src/text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rulekit::text {
+
+SparseVector SparseVector::FromPairs(
+    std::vector<std::pair<TokenId, double>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SparseVector v;
+  for (const auto& [id, w] : pairs) {
+    if (!v.entries_.empty() && v.entries_.back().first == id) {
+      v.entries_.back().second += w;
+    } else {
+      v.entries_.emplace_back(id, w);
+    }
+  }
+  return v;
+}
+
+SparseVector SparseVector::FromCounts(const std::vector<TokenId>& ids) {
+  std::vector<std::pair<TokenId, double>> pairs;
+  pairs.reserve(ids.size());
+  for (TokenId id : ids) {
+    if (id != kInvalidTokenId) pairs.emplace_back(id, 1.0);
+  }
+  return FromPairs(std::move(pairs));
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].first < other.entries_[j].first) {
+      ++i;
+    } else if (entries_[i].first > other.entries_[j].first) {
+      ++j;
+    } else {
+      sum += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::Norm() const {
+  double sum = 0.0;
+  for (const auto& [id, w] : entries_) sum += w * w;
+  return std::sqrt(sum);
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double na = Norm();
+  double nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+void SparseVector::AddScaled(const SparseVector& other, double scale) {
+  std::vector<std::pair<TokenId, double>> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() &&
+         entries_[i].first < other.entries_[j].first)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() ||
+               entries_[i].first > other.entries_[j].first) {
+      merged.emplace_back(other.entries_[j].first,
+                          scale * other.entries_[j].second);
+      ++j;
+    } else {
+      merged.emplace_back(entries_[i].first,
+                          entries_[i].second + scale * other.entries_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void SparseVector::Scale(double scale) {
+  for (auto& [id, w] : entries_) w *= scale;
+}
+
+void SparseVector::Normalize() {
+  double n = Norm();
+  if (n == 0.0) return;
+  Scale(1.0 / n);
+}
+
+void SparseVector::ClampNonNegative() {
+  std::vector<std::pair<TokenId, double>> kept;
+  kept.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (e.second > 0.0) kept.push_back(e);
+  }
+  entries_ = std::move(kept);
+}
+
+double SparseVector::WeightOf(TokenId id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& e, TokenId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) return it->second;
+  return 0.0;
+}
+
+void TfIdfModel::AddDocument(const std::vector<TokenId>& ids) {
+  std::unordered_set<TokenId> seen;
+  for (TokenId id : ids) {
+    if (id == kInvalidTokenId) continue;
+    if (seen.insert(id).second) ++df_[id];
+  }
+  ++num_documents_;
+}
+
+double TfIdfModel::Idf(TokenId id) const {
+  auto it = df_.find(id);
+  double n = static_cast<double>(num_documents_) + 1.0;
+  // Unseen tokens take df = 0.5 (strictly rarer than anything observed).
+  double df = it == df_.end() ? 0.5 : static_cast<double>(it->second);
+  return std::log(n / df);
+}
+
+SparseVector TfIdfModel::Vectorize(const std::vector<TokenId>& ids) const {
+  SparseVector tf = SparseVector::FromCounts(ids);
+  std::vector<std::pair<TokenId, double>> weighted;
+  weighted.reserve(tf.entries().size());
+  for (const auto& [id, count] : tf.entries()) {
+    weighted.emplace_back(id, count * Idf(id));
+  }
+  return SparseVector::FromPairs(std::move(weighted));
+}
+
+SparseVector TfIdfModel::VectorizeNormalized(
+    const std::vector<TokenId>& ids) const {
+  SparseVector v = Vectorize(ids);
+  v.Normalize();
+  return v;
+}
+
+}  // namespace rulekit::text

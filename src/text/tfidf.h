@@ -1,0 +1,83 @@
+#ifndef RULEKIT_TEXT_TFIDF_H_
+#define RULEKIT_TEXT_TFIDF_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/vocabulary.h"
+
+namespace rulekit::text {
+
+/// Sparse vector over token ids. Entries are kept sorted by token id so
+/// dot products are linear merges.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Build from (possibly unsorted, possibly duplicated) id/weight pairs;
+  /// duplicate ids are summed.
+  static SparseVector FromPairs(std::vector<std::pair<TokenId, double>> pairs);
+
+  /// Term-frequency vector of a token sequence (counts).
+  static SparseVector FromCounts(const std::vector<TokenId>& ids);
+
+  const std::vector<std::pair<TokenId, double>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  double Dot(const SparseVector& other) const;
+  double Norm() const;
+
+  /// Cosine similarity; 0 if either vector is empty or zero.
+  double Cosine(const SparseVector& other) const;
+
+  /// this += scale * other.
+  void AddScaled(const SparseVector& other, double scale);
+
+  /// Multiply all weights by `scale`.
+  void Scale(double scale);
+
+  /// Divide by the L2 norm; no-op for the zero vector.
+  void Normalize();
+
+  /// Clamp negative weights to zero (used after Rocchio updates, where the
+  /// subtractive term may push weights negative).
+  void ClampNonNegative();
+
+  double WeightOf(TokenId id) const;
+
+ private:
+  std::vector<std::pair<TokenId, double>> entries_;
+};
+
+/// Corpus-level document-frequency statistics, producing TF-IDF vectors:
+/// weight(t, d) = tf(t, d) * log(N / df(t)). This is the weighting scheme
+/// the paper's synonym finder uses for context vectors (ref [29]).
+class TfIdfModel {
+ public:
+  /// Count one document's worth of token ids (duplicates counted once).
+  void AddDocument(const std::vector<TokenId>& ids);
+
+  size_t num_documents() const { return num_documents_; }
+
+  /// log((N+1) / df(t)); tokens never seen take df = 0.5, i.e. strictly
+  /// higher idf than any observed token.
+  double Idf(TokenId id) const;
+
+  /// TF-IDF vector for a document's token ids.
+  SparseVector Vectorize(const std::vector<TokenId>& ids) const;
+
+  /// TF-IDF vector, L2-normalized.
+  SparseVector VectorizeNormalized(const std::vector<TokenId>& ids) const;
+
+ private:
+  std::unordered_map<TokenId, size_t> df_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_TFIDF_H_

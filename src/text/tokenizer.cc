@@ -1,0 +1,42 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+namespace rulekit::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view textv) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    if (!options_.stopwords.empty() &&
+        options_.stopwords.count(current) > 0) {
+      current.clear();
+      return;
+    }
+    tokens.push_back(current);
+    current.clear();
+  };
+  for (char c : textv) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current += options_.lowercase
+                     ? static_cast<char>(std::tolower(uc))
+                     : c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::unordered_set<std::string> Tokenizer::DefaultStopwords() {
+  return {"a",   "an",  "and", "the", "of",  "for", "with", "in",
+          "on",  "by",  "to",  "x",   "w",   "pack", "value",
+          "new", "set", "pcs", "oz",  "inch"};
+}
+
+}  // namespace rulekit::text

@@ -1,0 +1,42 @@
+#ifndef RULEKIT_TEXT_TOKENIZER_H_
+#define RULEKIT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace rulekit::text {
+
+/// Options controlling tokenization of product titles and descriptions.
+struct TokenizerOptions {
+  /// Lowercase tokens (Chimera normalizes titles before rule matching).
+  bool lowercase = true;
+  /// Drop tokens consisting only of punctuation.
+  bool drop_punctuation = true;
+  /// Tokens to drop entirely (the paper's manually compiled stop list used
+  /// during rule mining preprocessing).
+  std::unordered_set<std::string> stopwords;
+};
+
+/// Splits text into word tokens. A token is a maximal run of alphanumeric
+/// characters; punctuation splits tokens except for intra-word '-' and '/'
+/// which are treated as separators too (so "13-293snb" -> "13", "293snb").
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options);
+
+  /// Tokenize `textv` according to the options.
+  std::vector<std::string> Tokenize(std::string_view textv) const;
+
+  /// Standard English + e-commerce stopwords used by the rule miner.
+  static std::unordered_set<std::string> DefaultStopwords();
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_TOKENIZER_H_

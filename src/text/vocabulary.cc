@@ -1,0 +1,35 @@
+#include "src/text/vocabulary.h"
+
+namespace rulekit::text {
+
+TokenId Vocabulary::Intern(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kInvalidTokenId : it->second;
+}
+
+std::vector<TokenId> Vocabulary::InternAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Intern(t));
+  return ids;
+}
+
+std::vector<TokenId> Vocabulary::LookupAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Lookup(t));
+  return ids;
+}
+
+}  // namespace rulekit::text

@@ -1,0 +1,44 @@
+#ifndef RULEKIT_TEXT_VOCABULARY_H_
+#define RULEKIT_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rulekit::text {
+
+/// Identifier for an interned token. kInvalidTokenId means "not present".
+using TokenId = uint32_t;
+inline constexpr TokenId kInvalidTokenId = static_cast<TokenId>(-1);
+
+/// Bidirectional token <-> dense-id interning table. Dense ids keep the
+/// TF/IDF vectors, inverted indexes, and sequence miner compact.
+class Vocabulary {
+ public:
+  /// Returns the id for `token`, interning it if new.
+  TokenId Intern(std::string_view token);
+
+  /// Returns the id for `token` or kInvalidTokenId if never interned.
+  TokenId Lookup(std::string_view token) const;
+
+  /// The token for a valid id.
+  const std::string& TokenFor(TokenId id) const { return tokens_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Intern every token in `tokens`.
+  std::vector<TokenId> InternAll(const std::vector<std::string>& tokens);
+
+  /// Look up every token; unseen tokens map to kInvalidTokenId.
+  std::vector<TokenId> LookupAll(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace rulekit::text
+
+#endif  // RULEKIT_TEXT_VOCABULARY_H_

@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/feedback_loop.h"
+#include "src/chimera/first_responder.h"
+#include "src/chimera/gate_keeper.h"
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/chimera/voting.h"
+#include "src/data/catalog_generator.h"
+#include "src/ml/metrics.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::chimera {
+namespace {
+
+data::ProductItem MakeItem(std::string title) {
+  data::ProductItem item;
+  item.title = std::move(title);
+  return item;
+}
+
+// -------------------------------------------------------------- GateKeeper --
+
+TEST(GateKeeperTest, RejectsEmptyTitles) {
+  GateKeeper gate;
+  EXPECT_EQ(gate.Decide(MakeItem("")).kind, GateDecision::Kind::kRejected);
+  EXPECT_EQ(gate.Decide(MakeItem("  ")).kind,
+            GateDecision::Kind::kRejected);
+  EXPECT_EQ(gate.Decide(MakeItem("ring")).kind, GateDecision::Kind::kPass);
+}
+
+TEST(GateKeeperTest, MemoShortCircuits) {
+  GateKeeper gate;
+  gate.Memoize("Diamond Ring 10kt", "rings");
+  auto decision = gate.Decide(MakeItem("diamond ring 10KT"));
+  EXPECT_EQ(decision.kind, GateDecision::Kind::kClassified);
+  EXPECT_EQ(decision.type, "rings");
+  EXPECT_EQ(gate.Decide(MakeItem("other title")).kind,
+            GateDecision::Kind::kPass);
+}
+
+// ------------------------------------------------------------ VotingMaster --
+
+class FixedClassifier : public ml::Classifier {
+ public:
+  FixedClassifier(std::string name, std::vector<ml::ScoredLabel> scored)
+      : name_(std::move(name)), scored_(std::move(scored)) {}
+  std::vector<ml::ScoredLabel> Predict(
+      const data::ProductItem&) const override {
+    return scored_;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<ml::ScoredLabel> scored_;
+};
+
+TEST(VotingMasterTest, CombinesWeightedScores) {
+  VotingMaster master({.confidence_threshold = 0.3, .min_margin = 0.0});
+  master.AddMember(
+      std::make_shared<FixedClassifier>(
+          "a", std::vector<ml::ScoredLabel>{{"rings", 0.9}}),
+      1.0);
+  master.AddMember(
+      std::make_shared<FixedClassifier>(
+          "b", std::vector<ml::ScoredLabel>{{"rings", 0.5}, {"books", 0.4}}),
+      1.0);
+  auto vote = master.Vote(MakeItem("x"));
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->label, "rings");
+  EXPECT_NEAR(vote->score, (0.9 + 0.5) / 2.0, 1e-9);
+}
+
+TEST(VotingMasterTest, DeclinesBelowThreshold) {
+  VotingMaster master({.confidence_threshold = 0.6, .min_margin = 0.0});
+  master.AddMember(
+      std::make_shared<FixedClassifier>(
+          "a", std::vector<ml::ScoredLabel>{{"rings", 0.5}}),
+      1.0);
+  EXPECT_FALSE(master.Vote(MakeItem("x")).has_value());
+}
+
+TEST(VotingMasterTest, DeclinesOnSlimMargin) {
+  VotingMaster master({.confidence_threshold = 0.1, .min_margin = 0.2});
+  master.AddMember(
+      std::make_shared<FixedClassifier>(
+          "a",
+          std::vector<ml::ScoredLabel>{{"rings", 0.5}, {"books", 0.45}}),
+      1.0);
+  EXPECT_FALSE(master.Vote(MakeItem("x")).has_value());
+}
+
+TEST(VotingMasterTest, AbstainingMembersDoNotDilute) {
+  VotingMaster master({.confidence_threshold = 0.5, .min_margin = 0.0});
+  master.AddMember(
+      std::make_shared<FixedClassifier>(
+          "a", std::vector<ml::ScoredLabel>{{"rings", 0.8}}),
+      1.0);
+  master.AddMember(std::make_shared<FixedClassifier>(
+                       "b", std::vector<ml::ScoredLabel>{}),
+                   5.0);  // abstains; its weight must not count
+  auto vote = master.Vote(MakeItem("x"));
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_NEAR(vote->score, 0.8, 1e-9);
+}
+
+// ---------------------------------------------------------------- Filter --
+
+TEST(FilterTest, BlacklistVetoesFinalPrediction) {
+  auto parsed = rules::ParseRuleSet("blacklist b: toe rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+  auto set = std::make_shared<rules::RuleSet>(std::move(parsed).value());
+  Filter filter(set);
+  EXPECT_FALSE(filter.Admit(MakeItem("silver toe ring"), "rings"));
+  EXPECT_TRUE(filter.Admit(MakeItem("silver ring"), "rings"));
+  EXPECT_TRUE(filter.Admit(MakeItem("silver toe ring"), "jewelry sets"));
+}
+
+TEST(FilterTest, AttrValueConsistencyVeto) {
+  auto parsed = rules::ParseRuleSet(
+      "attrval a: Brand = \"apple\" => smart phones | laptop computers\n");
+  ASSERT_TRUE(parsed.ok());
+  auto set = std::make_shared<rules::RuleSet>(std::move(parsed).value());
+  Filter filter(set);
+  data::ProductItem item = MakeItem("apple device");
+  item.SetAttribute("Brand", "apple");
+  EXPECT_TRUE(filter.Admit(item, "smart phones"));
+  EXPECT_FALSE(filter.Admit(item, "area rugs"));
+  data::ProductItem other = MakeItem("generic device");
+  EXPECT_TRUE(filter.Admit(other, "area rugs"));
+}
+
+// ----------------------------------------------------------------- Monitor --
+
+TEST(QualityMonitorTest, AlarmsBelowThreshold) {
+  QualityMonitor monitor(0.92);
+  BatchQuality good;
+  good.precision = crowd::WilsonEstimate(95, 100);
+  monitor.Record(good);
+  EXPECT_FALSE(monitor.DegradationAlarm());
+  BatchQuality bad;
+  bad.precision = crowd::WilsonEstimate(60, 100);
+  monitor.Record(bad);
+  EXPECT_TRUE(monitor.DegradationAlarm());
+  EXPECT_TRUE(monitor.SevereDegradationAlarm());
+  BatchQuality borderline;
+  borderline.precision = crowd::WilsonEstimate(91, 100);
+  monitor.Record(borderline);
+  EXPECT_TRUE(monitor.DegradationAlarm());
+  EXPECT_FALSE(monitor.SevereDegradationAlarm());  // CI still crosses 0.92
+}
+
+// ----------------------------------------------------------------- Analyst --
+
+class AnalystTest : public ::testing::Test {
+ protected:
+  AnalystTest() : gen_(MakeConfig()), analyst_(gen_) {}
+  static data::GeneratorConfig MakeConfig() {
+    data::GeneratorConfig config;
+    config.seed = 31;
+    return config;
+  }
+  data::CatalogGenerator gen_;
+  SimulatedAnalyst analyst_;
+};
+
+TEST_F(AnalystTest, WritesCompilingRulesForEveryType) {
+  for (const auto& spec : gen_.specs()) {
+    auto written = analyst_.WriteRulesForType(spec.name, 2);
+    ASSERT_FALSE(written.empty()) << spec.name;
+    for (const auto& rule : written) {
+      EXPECT_EQ(rule.target_type(), spec.name);
+      EXPECT_TRUE(rule.kind() == rules::RuleKind::kWhitelist);
+    }
+  }
+}
+
+TEST_F(AnalystTest, HeadNounRuleMatchesGeneratedItems) {
+  data::GeneratorConfig config;
+  config.seed = 32;
+  config.omit_noun_prob = 0.0;
+  config.typo_prob = 0.0;
+  data::CatalogGenerator gen(config);
+  SimulatedAnalyst analyst(gen);
+  size_t rugs = gen.SpecIndexOf("area rugs");
+  auto written = analyst.WriteRulesForType("area rugs", 0);
+  ASSERT_EQ(written.size(), 1u);
+  size_t matched = 0;
+  auto items = gen.GenerateManyOfType(rugs, 100);
+  for (const auto& li : items) {
+    if (written[0].Applies(li.item)) ++matched;
+  }
+  EXPECT_EQ(matched, items.size());
+}
+
+TEST_F(AnalystTest, BlacklistsForConfusions) {
+  std::vector<Misclassification> errors;
+  data::ProductItem bag = MakeItem("neoprene laptop sleeve 15.6");
+  errors.push_back({bag, "laptop computers", "laptop bags & cases"});
+  errors.push_back({bag, "laptop computers", "laptop bags & cases"});  // dup
+  auto written = analyst_.WriteBlacklistsForErrors(errors);
+  ASSERT_EQ(written.size(), 1u);  // confusions are deduplicated
+  EXPECT_EQ(written[0].kind(), rules::RuleKind::kBlacklist);
+  EXPECT_EQ(written[0].target_type(), "laptop computers");
+  EXPECT_TRUE(written[0].Applies(bag));  // fires on bag-ish titles
+}
+
+TEST_F(AnalystTest, AttributeAndBrandRules) {
+  auto attr_rules = analyst_.WriteAttributeRules();
+  ASSERT_EQ(attr_rules.size(), 1u);  // only books carry ISBNs
+  EXPECT_EQ(attr_rules[0].target_type(), "books");
+
+  auto brand_rules = analyst_.WriteBrandRules();
+  EXPECT_GT(brand_rules.size(), 10u);
+  bool found_apple = false;
+  for (const auto& rule : brand_rules) {
+    if (rule.attribute_value() == "apple") {
+      found_apple = true;
+      EXPECT_EQ(rule.candidate_types().size(), 2u);  // phones + laptops
+    }
+  }
+  EXPECT_TRUE(found_apple);
+}
+
+TEST_F(AnalystTest, LabelingIsImperfect) {
+  AnalystConfig config;
+  config.labeling_accuracy = 0.5;
+  config.seed = 3;
+  SimulatedAnalyst sloppy(gen_, config);
+  auto items = gen_.GenerateMany(400);
+  auto labeled = sloppy.LabelItems(items);
+  size_t wrong = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (labeled[i].label != items[i].label) ++wrong;
+  }
+  EXPECT_GT(wrong, 100u);
+  EXPECT_LT(wrong, 300u);
+}
+
+// ---------------------------------------------------------------- Pipeline --
+
+TEST(PipelineTest, RulesOnlyClassifiesRuleCoveredItems) {
+  ChimeraPipeline pipeline;
+  auto parsed = rules::ParseRules(R"(
+whitelist r1: rings? => rings
+whitelist r2: rugs? => area rugs
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
+
+  EXPECT_EQ(pipeline.Classify(MakeItem("diamond ring")).value_or(""),
+            "rings");
+  EXPECT_FALSE(pipeline.Classify(MakeItem("mystery novel")).has_value());
+}
+
+TEST(PipelineTest, ScaleDownSuppressesType) {
+  ChimeraPipeline pipeline;
+  auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
+  ASSERT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
+
+  uint64_t version = pipeline.repository().Checkpoint("oncall");
+  pipeline.ScaleDownType("rings", "oncall", "bad vendor batch");
+  EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value());
+  EXPECT_EQ(pipeline.rule_set().CountActive(), 0u);
+
+  // Scale back up: restore the checkpoint and lift the suppression.
+  ASSERT_TRUE(
+      pipeline.repository().RestoreCheckpoint(version, "oncall").ok());
+  pipeline.ScaleUpType("rings");
+  EXPECT_EQ(pipeline.rule_set().CountActive(), 1u);
+  EXPECT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
+}
+
+TEST(PipelineTest, BatchReportAccounting) {
+  ChimeraPipeline pipeline;
+  auto parsed = rules::ParseRules(R"(
+whitelist r1: rings? => rings
+blacklist b1: toe rings? => rings
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
+  pipeline.gate_keeper().Memoize("known title", "books");
+
+  std::vector<data::ProductItem> batch = {
+      MakeItem("gold ring"),      // classified
+      MakeItem("toe ring"),       // whitelist+blacklist -> no proposal
+      MakeItem("known title"),    // gate memo
+      MakeItem(""),               // rejected
+      MakeItem("mystery novel"),  // declined
+  };
+  auto report = pipeline.ProcessBatch(batch);
+  EXPECT_EQ(report.total, 5u);
+  EXPECT_EQ(report.classified, 1u);
+  EXPECT_EQ(report.gate_classified, 1u);
+  EXPECT_EQ(report.gate_rejected, 1u);
+  EXPECT_EQ(report.declined, 2u);
+  ASSERT_EQ(report.predictions.size(), 5u);
+  EXPECT_EQ(report.predictions[0].value_or(""), "rings");
+  EXPECT_EQ(report.predictions[2].value_or(""), "books");
+}
+
+TEST(PipelineTest, LearningJoinsAfterTraining) {
+  data::GeneratorConfig config;
+  config.seed = 71;
+  config.num_types = 8;
+  data::CatalogGenerator gen(config);
+
+  ChimeraPipeline pipeline;
+  EXPECT_FALSE(
+      pipeline.Classify(gen.GenerateOfType(0).item).has_value());
+
+  pipeline.AddTrainingData(gen.GenerateMany(1500));
+  pipeline.RetrainLearning();
+
+  size_t classified = 0;
+  auto test_items = gen.GenerateMany(200);
+  for (const auto& li : test_items) {
+    if (pipeline.Classify(li.item).has_value()) ++classified;
+  }
+  EXPECT_GT(classified, 100u);
+}
+
+// ---------------------------------------------------------- FirstResponder --
+
+TEST(FirstResponderTest, HealthyBatchNoIncident) {
+  data::GeneratorConfig config;
+  config.seed = 61;
+  config.num_types = 8;
+  data::CatalogGenerator gen(config);
+  SimulatedAnalyst analyst(gen);
+  ChimeraPipeline pipeline;
+  for (const auto& spec : gen.specs()) {
+    ASSERT_TRUE(
+        pipeline.AddRules(analyst.WriteRulesForType(spec.name), "a").ok());
+  }
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  FirstResponder responder(pipeline, crowd);
+
+  auto batch = gen.GenerateMany(800);
+  std::vector<data::ProductItem> items;
+  for (const auto& li : batch) items.push_back(li.item);
+  auto report = pipeline.ProcessBatch(items);
+  auto incident = responder.Triage(batch, report);
+  EXPECT_FALSE(incident.incident);
+  EXPECT_GT(incident.batch_precision.estimate, 0.92);
+  EXPECT_TRUE(incident.scaled_down_types.empty());
+  EXPECT_GT(incident.crowd_questions, 0u);
+}
+
+TEST(FirstResponderTest, IncidentScalesDownAndResolves) {
+  data::GeneratorConfig config;
+  config.seed = 62;
+  config.num_types = 8;
+  data::CatalogGenerator gen(config);
+  SimulatedAnalyst analyst(gen);
+  ChimeraPipeline pipeline;
+  // Good rules for the most popular type, plus a rule that grabs another
+  // popular type's items and labels them wrong.
+  ASSERT_TRUE(pipeline
+                  .AddRules(analyst.WriteRulesForType(gen.specs()[0].name),
+                            "a")
+                  .ok());
+  ASSERT_TRUE(pipeline
+                  .AddRules({*rules::Rule::Whitelist(
+                                "bad", "(glove|gloves)", "rings")},
+                            "a")
+                  .ok());
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  FirstResponder responder(pipeline, crowd);
+
+  auto batch = gen.GenerateMany(1200);
+  std::vector<data::ProductItem> items;
+  for (const auto& li : batch) items.push_back(li.item);
+  auto report = pipeline.ProcessBatch(items);
+  auto incident = responder.Triage(batch, report);
+  ASSERT_TRUE(incident.incident);
+  // "rings" is the misbehaving predicted type.
+  ASSERT_FALSE(incident.scaled_down_types.empty());
+  EXPECT_EQ(incident.scaled_down_types[0], "rings");
+  EXPECT_TRUE(pipeline.suppressed_types().count("rings"));
+
+  // After the fix (retire the bad rule), resolve restores everything.
+  ASSERT_TRUE(responder.Resolve(incident).ok());
+  EXPECT_TRUE(pipeline.suppressed_types().empty());
+  // The restore re-activated the bad rule (snapshot semantics); retiring
+  // it is the actual fix.
+  ASSERT_TRUE(pipeline.repository().Retire("bad", "dev", "misfired").ok());
+  pipeline.RebuildRules();
+  auto report2 = pipeline.ProcessBatch(items);
+  auto incident2 = responder.Triage(batch, report2);
+  EXPECT_FALSE(incident2.incident);
+}
+
+// ------------------------------------------------------------ FeedbackLoop --
+
+TEST(FeedbackLoopTest, ImprovesAcrossIterations) {
+  data::GeneratorConfig config;
+  config.seed = 99;
+  config.num_types = 10;
+  data::CatalogGenerator gen(config);
+  SimulatedAnalyst analyst(gen);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+
+  ChimeraPipeline pipeline;
+  // Cold start: one type covered properly, plus a misbehaving rule that
+  // labels area rugs as rings (the kind of mistake the loop must catch).
+  ASSERT_TRUE(pipeline
+                  .AddRules(analyst.WriteRulesForType(gen.specs()[0].name),
+                            "analyst")
+                  .ok());
+  size_t baseline_rules = pipeline.rule_set().size();
+  // The bad rule targets a type no good rule covers, so its wrong
+  // predictions actually ship (athletic gloves labeled as rings).
+  ASSERT_TRUE(pipeline
+                  .AddRules({*rules::Rule::Whitelist(
+                                "bad-rule", "(glove|gloves)", "rings")},
+                            "sloppy-analyst")
+                  .ok());
+
+  FeedbackLoopConfig loop_config;
+  loop_config.max_iterations = 3;
+  loop_config.precision_threshold = 0.92;
+  FeedbackLoop loop(pipeline, analyst, crowd, loop_config);
+
+  auto batch = gen.GenerateMany(800);
+  auto result = loop.RunBatch(batch);
+  // The bad rule forces at least one failed iteration before the analyst's
+  // corrections take hold.
+  ASSERT_GE(result.iterations.size(), 2u);
+  EXPECT_FALSE(result.iterations.front().accepted);
+  EXPECT_GT(result.iterations.front().rules_added, 0u);
+  // Precision recovers across iterations.
+  const auto& first = result.iterations.front();
+  const auto& last = result.iterations.back();
+  EXPECT_GT(last.true_quality.precision(),
+            first.true_quality.precision());
+  // And the repository grew.
+  EXPECT_GT(pipeline.rule_set().size(), baseline_rules + 1);
+}
+
+}  // namespace
+}  // namespace rulekit::chimera

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/crowd/crowd.h"
+#include "src/crowd/estimator.h"
+
+namespace rulekit::crowd {
+namespace {
+
+TEST(CrowdTest, SpendsBudgetPerTask) {
+  CrowdConfig config;
+  config.votes_per_task = 3;
+  config.cost_per_vote = 2.0;
+  CrowdSimulator crowd(config);
+  crowd.AskYesNo(true);
+  crowd.AskYesNo(false);
+  EXPECT_EQ(crowd.num_tasks(), 2u);
+  EXPECT_EQ(crowd.num_votes(), 6u);
+  EXPECT_DOUBLE_EQ(crowd.total_cost(), 12.0);
+}
+
+TEST(CrowdTest, MajorityVoteIsMostlyCorrect) {
+  CrowdConfig config;
+  config.seed = 7;
+  config.mean_worker_accuracy = 0.9;
+  config.votes_per_task = 3;
+  CrowdSimulator crowd(config);
+  size_t correct = 0;
+  const size_t n = 5000;
+  for (size_t i = 0; i < n; ++i) {
+    bool truth = (i % 2) == 0;
+    if (crowd.AskYesNo(truth) == truth) ++correct;
+  }
+  // Majority of three 0.9-accurate workers ≈ 0.972.
+  EXPECT_GT(static_cast<double>(correct) / n, 0.94);
+  EXPECT_NEAR(crowd.empirical_accuracy(),
+              static_cast<double>(correct) / n, 1e-12);
+}
+
+TEST(CrowdTest, MoreVotesImproveAccuracy) {
+  auto run = [](size_t votes) {
+    CrowdConfig config;
+    config.seed = 21;
+    config.mean_worker_accuracy = 0.75;
+    config.worker_accuracy_stddev = 0.0;
+    config.votes_per_task = votes;
+    CrowdSimulator crowd(config);
+    size_t correct = 0;
+    for (size_t i = 0; i < 4000; ++i) {
+      bool truth = (i % 3) != 0;
+      if (crowd.AskYesNo(truth) == truth) ++correct;
+    }
+    return static_cast<double>(correct) / 4000.0;
+  };
+  EXPECT_GT(run(7), run(1) + 0.02);
+}
+
+TEST(CrowdTest, WorkerAccuraciesAreClamped) {
+  CrowdConfig config;
+  config.worker_accuracy_stddev = 0.5;  // wild spread
+  CrowdSimulator crowd(config);
+  for (double acc : crowd.worker_accuracies()) {
+    EXPECT_GE(acc, 0.51);
+    EXPECT_LE(acc, 0.999);
+  }
+}
+
+TEST(EstimatorTest, WilsonBasicProperties) {
+  auto est = WilsonEstimate(90, 100);
+  EXPECT_NEAR(est.estimate, 0.9, 1e-12);
+  EXPECT_LT(est.lower, 0.9);
+  EXPECT_GT(est.upper, 0.9);
+  EXPECT_GE(est.lower, 0.0);
+  EXPECT_LE(est.upper, 1.0);
+}
+
+TEST(EstimatorTest, WilsonZeroSample) {
+  auto est = WilsonEstimate(0, 0);
+  EXPECT_EQ(est.sample_size, 0u);
+  EXPECT_DOUBLE_EQ(est.lower, 0.0);
+  EXPECT_DOUBLE_EQ(est.upper, 1.0);
+}
+
+TEST(EstimatorTest, WilsonExtremesStayInBounds) {
+  auto all = WilsonEstimate(10, 10);
+  EXPECT_LE(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);  // small samples can't certify perfection
+  auto none = WilsonEstimate(0, 10);
+  EXPECT_GE(none.lower, 0.0);
+  EXPECT_GT(none.upper, 0.0);
+}
+
+TEST(EstimatorTest, IntervalShrinksWithSampleSize) {
+  auto small = WilsonEstimate(9, 10);
+  auto large = WilsonEstimate(900, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(EstimatorTest, SamplesForHalfWidth) {
+  // Classic result: ±5% at 95% needs ~385 samples.
+  size_t n = SamplesForHalfWidth(0.05);
+  EXPECT_GE(n, 380u);
+  EXPECT_LE(n, 390u);
+  EXPECT_GT(SamplesForHalfWidth(0.01), n);
+}
+
+}  // namespace
+}  // namespace rulekit::crowd

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+
+#include "src/data/catalog_generator.h"
+#include "src/data/dataset.h"
+#include "src/data/drift.h"
+#include "src/data/product.h"
+#include "src/data/taxonomy.h"
+
+namespace rulekit::data {
+namespace {
+
+// ------------------------------------------------------------ ProductItem --
+
+TEST(ProductItemTest, AttributeAccessors) {
+  ProductItem item;
+  item.SetAttribute("Brand", "apple");
+  EXPECT_TRUE(item.HasAttribute("Brand"));
+  EXPECT_EQ(*item.GetAttribute("Brand"), "apple");
+  EXPECT_FALSE(item.GetAttribute("brand").has_value());  // case-sensitive
+  item.SetAttribute("Brand", "dell");
+  EXPECT_EQ(*item.GetAttribute("Brand"), "dell");
+  EXPECT_EQ(item.attributes.size(), 1u);
+}
+
+TEST(ProductItemTest, PriceParsing) {
+  ProductItem item;
+  EXPECT_FALSE(item.Price().has_value());
+  item.SetAttribute("Price", "59.99");
+  ASSERT_TRUE(item.Price().has_value());
+  EXPECT_DOUBLE_EQ(*item.Price(), 59.99);
+  item.SetAttribute("Price", "not a number");
+  EXPECT_FALSE(item.Price().has_value());
+}
+
+// --------------------------------------------------------------- Taxonomy --
+
+TEST(TaxonomyTest, AddAndLookup) {
+  Taxonomy tax;
+  TypeId rings = tax.AddType("rings");
+  EXPECT_EQ(tax.IdOf("rings"), rings);
+  EXPECT_EQ(tax.AddType("rings"), rings);  // idempotent
+  EXPECT_EQ(tax.IdOf("unknown"), kInvalidTypeId);
+  EXPECT_EQ(tax.NameOf(rings), "rings");
+  EXPECT_EQ(tax.size(), 1u);
+}
+
+TEST(TaxonomyTest, SplitRetiresAndAddsParts) {
+  Taxonomy tax;
+  tax.AddType("pants");
+  ASSERT_TRUE(tax.SplitType("pants", {"work pants", "jeans"}).ok());
+  EXPECT_FALSE(tax.IsActive(tax.IdOf("pants")));
+  EXPECT_TRUE(tax.IsActive(tax.IdOf("work pants")));
+  EXPECT_TRUE(tax.IsActive(tax.IdOf("jeans")));
+  auto repl = tax.ReplacementsOf("pants");
+  ASSERT_EQ(repl.size(), 2u);
+  EXPECT_EQ(repl[0], "work pants");
+}
+
+TEST(TaxonomyTest, SplitErrors) {
+  Taxonomy tax;
+  EXPECT_EQ(tax.SplitType("nope", {"a"}).code(), StatusCode::kNotFound);
+  tax.AddType("pants");
+  EXPECT_EQ(tax.SplitType("pants", {}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(tax.SplitType("pants", {"jeans"}).ok());
+  EXPECT_EQ(tax.SplitType("pants", {"x"}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------- CatalogGenerator --
+
+TEST(CatalogGeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.seed = 99;
+  CatalogGenerator g1(config), g2(config);
+  auto a = g1.GenerateMany(50);
+  auto b = g2.GenerateMany(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item.title, b[i].item.title);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(CatalogGeneratorTest, RespectsNumTypes) {
+  GeneratorConfig config;
+  config.num_types = 60;
+  CatalogGenerator gen(config);
+  EXPECT_EQ(gen.specs().size(), 60u);
+  EXPECT_EQ(gen.taxonomy().size(), 60u);
+  // Synthetic specs beyond the curated set have distinct names.
+  std::set<std::string> names;
+  for (const auto& s : gen.specs()) names.insert(s.name);
+  EXPECT_EQ(names.size(), 60u);
+}
+
+TEST(CatalogGeneratorTest, TruncatesToFewTypes) {
+  GeneratorConfig config;
+  config.num_types = 10;
+  CatalogGenerator gen(config);
+  EXPECT_EQ(gen.specs().size(), 10u);
+}
+
+TEST(CatalogGeneratorTest, TitlesMostlyContainHeadNoun) {
+  GeneratorConfig config;
+  config.omit_noun_prob = 0.0;
+  config.typo_prob = 0.0;
+  CatalogGenerator gen(config);
+  size_t rug_index = gen.SpecIndexOf("area rugs");
+  ASSERT_NE(rug_index, CatalogGenerator::kNpos);
+  auto items = gen.GenerateManyOfType(rug_index, 100);
+  for (const auto& li : items) {
+    EXPECT_EQ(li.label, "area rugs");
+    EXPECT_NE(li.item.title.find("rug"), std::string::npos) << li.item.title;
+  }
+}
+
+TEST(CatalogGeneratorTest, ZipfSkewsTowardHeadTypes) {
+  GeneratorConfig config;
+  config.num_types = 40;
+  config.zipf_skew = 1.1;
+  CatalogGenerator gen(config);
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& li : gen.GenerateMany(5000)) counts[li.label]++;
+  // The most popular type should dominate the least popular by a lot.
+  size_t max_count = 0, min_count = 5000;
+  for (const auto& [name, c] : counts) {
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(max_count, 20 * std::max<size_t>(min_count, 1) / 10);
+}
+
+TEST(CatalogGeneratorTest, BooksCarryIsbn) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  size_t books = gen.SpecIndexOf("books");
+  ASSERT_NE(books, CatalogGenerator::kNpos);
+  auto items = gen.GenerateManyOfType(books, 200);
+  size_t with_isbn = 0;
+  for (const auto& li : items) {
+    if (li.item.HasAttribute("ISBN")) ++with_isbn;
+  }
+  EXPECT_GT(with_isbn, 150u);  // ~95%
+  // No other curated type gets ISBNs.
+  size_t rugs = gen.SpecIndexOf("area rugs");
+  for (const auto& li : gen.GenerateManyOfType(rugs, 50)) {
+    EXPECT_FALSE(li.item.HasAttribute("ISBN"));
+  }
+}
+
+TEST(CatalogGeneratorTest, OddVendorRenamesNouns) {
+  GeneratorConfig config;
+  config.omit_noun_prob = 0.0;
+  config.typo_prob = 0.0;
+  config.seed = 5;
+  CatalogGenerator gen(config);
+  VendorProfile vendor = gen.MakeOddVendor(gen.specs().size());
+  ASSERT_EQ(vendor.noun_aliases.size(), gen.specs().size());
+  auto batch = gen.GenerateVendorBatch(300, vendor);
+  // With alias_prob 0.9, most items of a renamed type should not contain
+  // any canonical head noun.
+  size_t aliased = 0, considered = 0;
+  for (const auto& li : batch) {
+    size_t spec_idx = gen.SpecIndexOf(li.label);
+    const auto& spec = gen.specs()[spec_idx];
+    bool has_canonical = false;
+    for (const auto& noun : spec.head_nouns) {
+      if (li.item.title.find(noun) != std::string::npos) {
+        has_canonical = true;
+      }
+    }
+    ++considered;
+    if (!has_canonical) ++aliased;
+  }
+  EXPECT_GT(aliased * 100, considered * 60);
+}
+
+TEST(CatalogGeneratorTest, FreshWordsAreUnique) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  std::set<std::string> words;
+  for (int i = 0; i < 500; ++i) words.insert(gen.FreshWord());
+  EXPECT_EQ(words.size(), 500u);
+}
+
+// ------------------------------------------------------------------ Drift --
+
+TEST(DriftTest, AddsQualifiersAndReweights) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  size_t cables = gen.SpecIndexOf("computer cables");
+  size_t before = gen.specs()[cables].qualifiers.size();
+
+  DriftConfig dconfig;
+  dconfig.concept_drift_types_per_era = gen.specs().size();  // drift all
+  DriftInjector drift(gen, dconfig);
+  DriftEvent event = drift.AdvanceEra();
+  EXPECT_EQ(event.era, 1u);
+  EXPECT_EQ(event.new_qualifiers.size(), gen.specs().size());
+  EXPECT_EQ(gen.specs()[cables].qualifiers.size(), before + 1);
+  EXPECT_EQ(event.reweighted.size(), dconfig.reweighted_types_per_era);
+}
+
+TEST(DriftTest, NewQualifierAppearsInGeneratedTitles) {
+  GeneratorConfig config;
+  config.seed = 11;
+  CatalogGenerator gen(config);
+  size_t rugs = gen.SpecIndexOf("area rugs");
+  gen.AddQualifier(rugs, "zibblewash");
+  bool seen = false;
+  for (const auto& li : gen.GenerateManyOfType(rugs, 400)) {
+    if (li.item.title.find("zibblewash") != std::string::npos) seen = true;
+  }
+  EXPECT_TRUE(seen);
+}
+
+// -------------------------------------------------------------- Dataset IO --
+
+TEST(DatasetTest, TsvRoundTrip) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  auto items = gen.GenerateMany(200);
+  std::string path = ::testing::TempDir() + "/rulekit_dataset_test.tsv";
+  ASSERT_TRUE(SaveTsv(path, items).ok());
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].label, items[i].label);
+    EXPECT_EQ((*loaded)[i].item.id, items[i].item.id);
+    EXPECT_EQ((*loaded)[i].item.title, items[i].item.title);
+    EXPECT_EQ((*loaded)[i].item.attributes, items[i].item.attributes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, TsvEscapesControlCharacters) {
+  std::vector<LabeledItem> items(1);
+  items[0].label = "weird\ttype";
+  items[0].item.id = "id\n1";
+  items[0].item.title = "title with \\ backslash";
+  items[0].item.SetAttribute("K", "v\tv");
+  std::string path = ::testing::TempDir() + "/rulekit_escape_test.tsv";
+  ASSERT_TRUE(SaveTsv(path, items).ok());
+  auto loaded = LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].label, "weird\ttype");
+  EXPECT_EQ((*loaded)[0].item.title, "title with \\ backslash");
+  EXPECT_EQ((*loaded)[0].item.attributes, items[0].item.attributes);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsMalformedLines) {
+  std::string path = ::testing::TempDir() + "/rulekit_malformed_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "only\ttwo\n";
+  }
+  auto loaded = LoadTsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  auto loaded = LoadTsv("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(DatasetTest, JsonlWritesOneLinePerItem) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  auto items = gen.GenerateMany(20);
+  std::string path = ::testing::TempDir() + "/rulekit_jsonl_test.jsonl";
+  ASSERT_TRUE(SaveJsonl(path, items).ok());
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"Item ID\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, items.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, JsonlRoundTrip) {
+  GeneratorConfig config;
+  config.seed = 77;
+  CatalogGenerator gen(config);
+  auto items = gen.GenerateMany(150);
+  std::string path = ::testing::TempDir() + "/rulekit_jsonl_rt.jsonl";
+  ASSERT_TRUE(SaveJsonl(path, items).ok());
+  auto loaded = LoadJsonl(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].label, items[i].label);
+    EXPECT_EQ((*loaded)[i].item.id, items[i].item.id);
+    EXPECT_EQ((*loaded)[i].item.title, items[i].item.title);
+    EXPECT_EQ((*loaded)[i].item.attributes, items[i].item.attributes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, JsonlRoundTripsEscapes) {
+  std::vector<LabeledItem> items(1);
+  items[0].label = "type \"quoted\"";
+  items[0].item.id = "id\\backslash";
+  items[0].item.title = "title\twith\ncontrol chars";
+  items[0].item.SetAttribute("K", "v\rv");
+  std::string path = ::testing::TempDir() + "/rulekit_jsonl_esc.jsonl";
+  ASSERT_TRUE(SaveJsonl(path, items).ok());
+  auto loaded = LoadJsonl(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].label, items[0].label);
+  EXPECT_EQ((*loaded)[0].item.id, items[0].item.id);
+  EXPECT_EQ((*loaded)[0].item.title, items[0].item.title);
+  EXPECT_EQ((*loaded)[0].item.attributes, items[0].item.attributes);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, JsonlRejectsMalformed) {
+  std::string path = ::testing::TempDir() + "/rulekit_jsonl_bad.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"Item ID\": \"x\" \"Title\": \"missing comma\"}\n";
+  }
+  auto loaded = LoadJsonl(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, SplitByHashIsDeterministicAndDisjoint) {
+  GeneratorConfig config;
+  CatalogGenerator gen(config);
+  auto items = gen.GenerateMany(1000);
+  auto [train1, test1] = SplitByHash(items, 0.3);
+  auto [train2, test2] = SplitByHash(items, 0.3);
+  EXPECT_EQ(train1.size(), train2.size());
+  EXPECT_EQ(train1.size() + test1.size(), items.size());
+  EXPECT_NEAR(static_cast<double>(test1.size()) / items.size(), 0.3, 0.06);
+}
+
+}  // namespace
+}  // namespace rulekit::data

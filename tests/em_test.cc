@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/data/catalog_generator.h"
+#include "src/em/blocker.h"
+#include "src/em/match_rule.h"
+#include "src/em/matcher.h"
+
+namespace rulekit::em {
+namespace {
+
+data::ProductItem MakeBook(std::string id, std::string title,
+                           std::string isbn) {
+  data::ProductItem item;
+  item.id = std::move(id);
+  item.title = std::move(title);
+  item.SetAttribute("ISBN", std::move(isbn));
+  return item;
+}
+
+EmRule PaperBookRule() {
+  // §6: [a.isbn = b.isbn] ∧ [jaccard.3g(a.title, b.title) >= 0.8] => match.
+  return EmRule("book-rule",
+                {{"ISBN", EmOp::kExactEqual, 0.0},
+                 {"Title", EmOp::kJaccard3Gram, 0.8}});
+}
+
+// --------------------------------------------------------------- EmRule --
+
+TEST(EmRuleTest, PaperExampleMatches) {
+  EmRule rule = PaperBookRule();
+  auto a = MakeBook("a", "the silent patient hardcover", "9781250301697");
+  auto b = MakeBook("b", "the silent patient hardcover!", "9781250301697");
+  EXPECT_TRUE(rule.Matches(a, b));
+  EXPECT_TRUE(rule.Matches(b, a));  // symmetric
+}
+
+TEST(EmRuleTest, SameIsbnDifferentTitleRejected) {
+  // "two different books can still match on ISBNs" — the title conjunct
+  // is what prevents that.
+  EmRule rule = PaperBookRule();
+  auto a = MakeBook("a", "the silent patient", "9781250301697");
+  auto b = MakeBook("b", "introductory calculus volume two", "9781250301697");
+  EXPECT_FALSE(rule.Matches(a, b));
+}
+
+TEST(EmRuleTest, MissingAttributeFailsCondition) {
+  EmRule rule = PaperBookRule();
+  auto a = MakeBook("a", "t", "123");
+  data::ProductItem b;
+  b.title = "t";
+  EXPECT_FALSE(rule.Matches(a, b));
+}
+
+TEST(EmRuleTest, NumericTolerance) {
+  EmRule rule("price-rule", {{"Price", EmOp::kNumericTolerance, 0.5}});
+  data::ProductItem a, b;
+  a.title = b.title = "x";
+  a.SetAttribute("Price", "19.99");
+  b.SetAttribute("Price", "20.25");
+  EXPECT_TRUE(rule.Matches(a, b));
+  b.SetAttribute("Price", "25.00");
+  EXPECT_FALSE(rule.Matches(a, b));
+  b.SetAttribute("Price", "n/a");
+  EXPECT_FALSE(rule.Matches(a, b));
+}
+
+TEST(EmRuleTest, EmptyRuleNeverMatches) {
+  EmRule rule("empty", {});
+  data::ProductItem a, b;
+  EXPECT_FALSE(rule.Matches(a, b));
+}
+
+TEST(EmRuleTest, ToStringIsReadable) {
+  EXPECT_EQ(PaperBookRule().ToString(),
+            "book-rule: [a.ISBN = b.ISBN] AND "
+            "[jaccard.3g(a.Title, b.Title) >= 0.80] => match");
+}
+
+// --------------------------------------------------------------- Blocker --
+
+TEST(BlockerTest, PairsShareTokens) {
+  std::vector<data::ProductItem> records(3);
+  records[0].title = "harry potter goblet";
+  records[1].title = "harry potter chamber";
+  records[2].title = "unrelated widget";
+  TokenBlocker blocker;
+  auto pairs = blocker.CandidatePairs(records);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0u, 1u));
+}
+
+TEST(BlockerTest, IsbnKeyBlocksEvenWithDisjointTitles) {
+  std::vector<data::ProductItem> records(2);
+  records[0] = MakeBook("a", "alpha", "9781");
+  records[1] = MakeBook("b", "omega", "9781");
+  TokenBlocker blocker;
+  auto pairs = blocker.CandidatePairs(records);
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST(BlockerTest, OversizedBlocksSkipped) {
+  BlockerOptions options;
+  options.max_block_size = 5;
+  std::vector<data::ProductItem> records(10);
+  for (auto& r : records) r.title = "common token";
+  TokenBlocker blocker(options);
+  EXPECT_TRUE(blocker.CandidatePairs(records).empty());
+}
+
+TEST(BlockerTest, CrossCollection) {
+  std::vector<data::ProductItem> left(1), right(2);
+  left[0].title = "quaker state motor oil";
+  right[0].title = "motor oil 5qt";
+  right[1].title = "paperback novel";
+  TokenBlocker blocker;
+  auto pairs = blocker.CandidatePairsAcross(left, right);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0u, 0u));
+}
+
+// --------------------------------------------------------------- Matcher --
+
+TEST(MatcherTest, FindsPlantedDuplicates) {
+  data::GeneratorConfig config;
+  config.seed = 44;
+  data::CatalogGenerator gen(config);
+  Rng rng(7);
+
+  auto originals = gen.GenerateMany(150);
+  std::vector<data::ProductItem> records;
+  std::set<std::pair<std::string, std::string>> truth;
+  for (const auto& li : originals) records.push_back(li.item);
+  for (size_t i = 0; i < originals.size(); i += 3) {
+    data::ProductItem dup = PerturbItem(originals[i].item, rng,
+                                        /*token_dropout=*/0.05,
+                                        /*typo_prob=*/0.1,
+                                        /*attr_dropout=*/0.2);
+    truth.emplace(originals[i].item.id, dup.id);
+    records.push_back(dup);
+  }
+
+  EmMatcher matcher({EmRule(
+      "title-sim", {{"Title", EmOp::kJaccard3Gram, 0.75}})});
+  TokenBlocker blocker;
+  auto matches = matcher.MatchAll(records, blocker);
+
+  size_t true_positives = 0;
+  for (const auto& m : matches) {
+    auto key = std::make_pair(records[m.left].id, records[m.right].id);
+    auto rev = std::make_pair(records[m.right].id, records[m.left].id);
+    if (truth.count(key) || truth.count(rev)) ++true_positives;
+  }
+  // Most planted duplicates are found, and precision is decent.
+  EXPECT_GT(true_positives * 10, truth.size() * 6);
+  EXPECT_GT(true_positives * 10, matches.size() * 5);
+}
+
+TEST(MatcherTest, OrderIndependenceOfRuleSet) {
+  // §5.3: "would it be the case that executing these rules in any order
+  // will give us the same matching result?" — yes, for disjunctive
+  // positive rules, including the reported explanation.
+  std::vector<EmRule> rule_pool = {
+      EmRule("r1", {{"Title", EmOp::kJaccard3Gram, 0.9}}),
+      EmRule("r2", {{"ISBN", EmOp::kExactEqual, 0.0},
+                    {"Title", EmOp::kJaccard3Gram, 0.5}}),
+      EmRule("r3", {{"Title", EmOp::kEditSimilarity, 0.95}}),
+  };
+  std::vector<data::ProductItem> records;
+  records.push_back(MakeBook("a", "the silent patient", "978x"));
+  records.push_back(MakeBook("b", "the silent patient.", "978x"));
+  records.push_back(MakeBook("c", "calculus volume two", "978y"));
+  records.push_back(MakeBook("d", "calculus volume twoo", "978z"));
+
+  TokenBlocker blocker;
+  Rng rng(3);
+  std::vector<MatchDecision> reference;
+  for (int perm = 0; perm < 6; ++perm) {
+    EmMatcher matcher(rule_pool);
+    auto matches = matcher.MatchAll(records, blocker);
+    std::sort(matches.begin(), matches.end(),
+              [](const MatchDecision& x, const MatchDecision& y) {
+                return std::tie(x.left, x.right) < std::tie(y.left, y.right);
+              });
+    if (perm == 0) {
+      reference = matches;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(matches.size(), reference.size());
+      for (size_t i = 0; i < matches.size(); ++i) {
+        EXPECT_EQ(matches[i].left, reference[i].left);
+        EXPECT_EQ(matches[i].right, reference[i].right);
+        EXPECT_EQ(matches[i].rule_id, reference[i].rule_id);
+      }
+    }
+    rng.Shuffle(rule_pool);
+  }
+}
+
+TEST(MatcherTest, RejectRulesVetoMatches) {
+  // A reject rule fires on a condition that disproves the match; here:
+  // the pair is vetoed whenever both records carry a parsable Price (a
+  // degenerate-but-deterministic reject condition for the test).
+  EmMatcher price_guard(
+      {EmRule("title", {{"Title", EmOp::kJaccard3Gram, 0.8}})},
+      {EmRule("price-reject", {{"Price", EmOp::kNumericTolerance, 1e9}})});
+  data::ProductItem a, b;
+  a.title = b.title = "mainstays braided rug 5x7";
+  a.SetAttribute("Price", "20.00");
+  b.SetAttribute("Price", "21.00");
+  EXPECT_FALSE(price_guard.Matches(a, b));
+  // Without prices the reject rule cannot fire, so the match stands.
+  data::ProductItem c, d;
+  c.title = d.title = "mainstays braided rug 5x7";
+  EXPECT_TRUE(price_guard.Matches(c, d));
+}
+
+TEST(MatcherTest, RejectRulesAreOrderIndependent) {
+  std::vector<EmRule> rejects = {
+      EmRule("r1", {{"Price", EmOp::kNumericTolerance, 1e9}}),
+      EmRule("r2", {{"ISBN", EmOp::kExactEqual, 0.0}}),
+  };
+  data::ProductItem a = MakeBook("a", "same title", "1");
+  data::ProductItem b = MakeBook("b", "same title", "1");
+  for (int perm = 0; perm < 2; ++perm) {
+    EmMatcher matcher(
+        {EmRule("title", {{"Title", EmOp::kJaccard3Gram, 0.9}})}, rejects);
+    EXPECT_FALSE(matcher.Matches(a, b));
+    std::swap(rejects[0], rejects[1]);
+  }
+}
+
+TEST(MatcherTest, ExplainsWhichRuleFired) {
+  EmMatcher matcher({PaperBookRule()});
+  auto a = MakeBook("a", "identical title", "1");
+  auto b = MakeBook("b", "identical title", "1");
+  std::string rule_id;
+  ASSERT_TRUE(matcher.Matches(a, b, &rule_id));
+  EXPECT_EQ(rule_id, "book-rule");
+}
+
+TEST(PerturbItemTest, KeepsIsbnAndChangesId) {
+  Rng rng(5);
+  auto a = MakeBook("orig", "some long book title here", "978123");
+  auto dup = PerturbItem(a, rng);
+  EXPECT_EQ(dup.id, "orig-dup");
+  EXPECT_EQ(dup.GetAttribute("ISBN").value_or(""), "978123");
+  EXPECT_FALSE(dup.title.empty());
+}
+
+}  // namespace
+}  // namespace rulekit::em

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/data/catalog_generator.h"
+#include "src/engine/rule_classifier.h"
+#include "src/eval/module_eval.h"
+#include "src/eval/per_rule_eval.h"
+#include "src/eval/tracker.h"
+#include "src/eval/validation_set.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::eval {
+namespace {
+
+std::shared_ptr<rules::RuleSet> MakeRuleSet(std::string_view dsl) {
+  auto parsed = rules::ParseRuleSet(dsl);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::make_shared<rules::RuleSet>(std::move(parsed).value());
+}
+
+std::vector<data::LabeledItem> MakeCorpus(size_t n, uint64_t seed = 5) {
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.num_types = 12;
+  data::CatalogGenerator gen(config);
+  return gen.GenerateMany(n);
+}
+
+// ----------------------------------------------------- Validation method --
+
+TEST(ValidationSetTest, EstimatesRulePrecision) {
+  auto set = MakeRuleSet(R"(
+whitelist good: rugs? => area rugs
+whitelist bad: rugs? => rings
+)");
+  auto corpus = MakeCorpus(2000);
+  auto report = EvaluateOnValidationSet(*set, corpus);
+  ASSERT_EQ(report.per_rule.size(), 2u);
+  const ValidationRuleResult* good = nullptr;
+  const ValidationRuleResult* bad = nullptr;
+  for (const auto& r : report.per_rule) {
+    if (r.rule_id == "good") good = &r;
+    if (r.rule_id == "bad") bad = &r;
+  }
+  ASSERT_NE(good, nullptr);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(good->touched, bad->touched);  // identical condition
+  EXPECT_GT(good->estimate.estimate, 0.8);
+  EXPECT_LT(bad->estimate.estimate, 0.1);
+  EXPECT_EQ(report.labeling_cost, corpus.size());
+}
+
+TEST(ValidationSetTest, TailRulesAreNotEvaluable) {
+  // "christmas tree" touches almost nothing: holiday decorations is a
+  // deliberate tail type in the generator.
+  auto set = MakeRuleSet(R"(
+whitelist head: rugs? => area rugs
+whitelist tail: christmas trees? => holiday decorations
+)");
+  auto corpus = MakeCorpus(400);
+  auto report = EvaluateOnValidationSet(*set, corpus, /*min_sample=*/5);
+  const ValidationRuleResult* tail = nullptr;
+  for (const auto& r : report.per_rule) {
+    if (r.rule_id == "tail") tail = &r;
+  }
+  ASSERT_NE(tail, nullptr);
+  EXPECT_FALSE(tail->evaluable);
+  EXPECT_GE(report.tail_rules, 1u);
+}
+
+TEST(ValidationSetTest, BlacklistRulesSkipped) {
+  auto set = MakeRuleSet("blacklist b: toe rings? => rings\n");
+  auto report = EvaluateOnValidationSet(*set, MakeCorpus(100));
+  EXPECT_TRUE(report.per_rule.empty());
+}
+
+// ------------------------------------------------------- Per-rule method --
+
+TEST(PerRuleEvalTest, OverlapSamplingCostsLess) {
+  // Several overlapping rules for the same type.
+  auto set = MakeRuleSet(R"(
+whitelist r1: rugs? => area rugs
+whitelist r2: area rugs? => area rugs
+whitelist r3: (braided|tufted).*rugs? => area rugs
+whitelist r4: (oriental|shag).*rugs? => area rugs
+)");
+  auto corpus = MakeCorpus(3000);
+  PerRuleEvalConfig config;
+  config.samples_per_rule = 20;
+
+  crowd::CrowdConfig crowd_config;
+  crowd::CrowdSimulator crowd_overlap(crowd_config);
+  config.exploit_overlap = true;
+  auto with_overlap = EvaluatePerRule(*set, corpus, crowd_overlap, config);
+
+  crowd::CrowdSimulator crowd_indep(crowd_config);
+  config.exploit_overlap = false;
+  auto independent = EvaluatePerRule(*set, corpus, crowd_indep, config);
+
+  EXPECT_EQ(with_overlap.per_rule.size(), 4u);
+  EXPECT_EQ(independent.per_rule.size(), 4u);
+  // The headline effect of ref [18]: overlap sharing needs fewer
+  // questions for the same per-rule sample targets.
+  EXPECT_LT(with_overlap.crowd_questions, independent.crowd_questions);
+  // Both produce sane estimates for the precise rules.
+  EXPECT_GT(with_overlap.per_rule.at("r2").estimate, 0.7);
+  EXPECT_GT(independent.per_rule.at("r2").estimate, 0.7);
+}
+
+TEST(PerRuleEvalTest, ReportsUndersampledTailRules) {
+  auto set = MakeRuleSet(
+      "whitelist tail: christmas trees? => holiday decorations\n");
+  auto corpus = MakeCorpus(300);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  PerRuleEvalConfig config;
+  config.samples_per_rule = 50;
+  auto report = EvaluatePerRule(*set, corpus, crowd, config);
+  EXPECT_EQ(report.under_sampled_rules, 1u);
+}
+
+TEST(PerRuleEvalTest, ImpreciseRuleGetsLowEstimate) {
+  auto set = MakeRuleSet("whitelist wrong: rugs? => rings\n");
+  auto corpus = MakeCorpus(2000);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  auto report = EvaluatePerRule(*set, corpus, crowd, {});
+  EXPECT_LT(report.per_rule.at("wrong").estimate, 0.2);
+}
+
+TEST(SequentialEvalTest, ResolvesGoodAndBadRulesCheaply) {
+  auto corpus = MakeCorpus(4000);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+
+  auto good = *rules::Rule::Whitelist("good", "rugs?", "area rugs");
+  auto decision = EvaluateRuleUntilResolved(good, corpus, crowd,
+                                            /*precision_bar=*/0.8);
+  EXPECT_EQ(decision.verdict, SequentialDecision::Verdict::kAbove);
+  EXPECT_LT(decision.crowd_questions, 200u);  // resolved before the cap
+
+  auto bad = *rules::Rule::Whitelist("bad", "rugs?", "rings");
+  auto bad_decision = EvaluateRuleUntilResolved(bad, corpus, crowd, 0.8);
+  EXPECT_EQ(bad_decision.verdict, SequentialDecision::Verdict::kBelow);
+  // A clearly-bad rule resolves far faster than a borderline one.
+  EXPECT_LT(bad_decision.crowd_questions, 60u);
+}
+
+TEST(SequentialEvalTest, BorderlineRuleMayStayUnresolved) {
+  auto corpus = MakeCorpus(4000);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  // A rule whose true precision sits near the bar: matches rugs, but the
+  // bar is set exactly at its noisy neighborhood.
+  auto rule = *rules::Rule::Whitelist("edge", "rugs?", "area rugs");
+  auto decision = EvaluateRuleUntilResolved(rule, corpus, crowd,
+                                            /*precision_bar=*/0.97,
+                                            /*max_samples=*/30);
+  // With only 30 samples a 0.97 bar is typically not separable from the
+  // rule's ~0.95-0.99 true precision either way; any verdict is legal but
+  // the questions must respect the cap.
+  EXPECT_LE(decision.crowd_questions, 30u);
+}
+
+// --------------------------------------------------------- Module method --
+
+TEST(ModuleEvalTest, CheapButCoarse) {
+  auto set = MakeRuleSet(R"(
+whitelist r1: rugs? => area rugs
+whitelist r2: rings? => rings
+whitelist wrong: jeans? => rings
+)");
+  engine::RuleBasedClassifier module(set);
+  auto corpus = MakeCorpus(3000);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  auto report = EvaluateModule(module, corpus, crowd, /*sample_size=*/150);
+  EXPECT_EQ(report.crowd_questions, 150u);
+  EXPECT_GT(report.items_touched, 150u);
+  // Module precision sits between the good rules' (high) and the wrong
+  // rule's (0) precision.
+  EXPECT_GT(report.estimate.estimate, 0.3);
+  EXPECT_LT(report.estimate.estimate, 0.98);
+}
+
+TEST(ModuleEvalTest, EmptyModule) {
+  auto set = MakeRuleSet("");
+  engine::RuleBasedClassifier module(set);
+  crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
+  auto report = EvaluateModule(module, MakeCorpus(50), crowd, 10);
+  EXPECT_EQ(report.items_touched, 0u);
+  EXPECT_EQ(report.crowd_questions, 0u);
+}
+
+// --------------------------------------------------------- ImpactTracker --
+
+TEST(ImpactTrackerTest, AlertsOnImpactfulUnevaluatedRules) {
+  auto set = MakeRuleSet(R"(
+whitelist head: rugs? => area rugs
+whitelist tail: christmas trees? => holiday decorations
+)");
+  auto corpus = MakeCorpus(2000);
+  std::vector<data::ProductItem> items;
+  for (auto& li : corpus) items.push_back(li.item);
+
+  ImpactTracker tracker(/*impact_threshold=*/20);
+  tracker.RecordBatch(*set, items);
+  EXPECT_EQ(tracker.items_seen(), items.size());
+  EXPECT_GT(tracker.MatchCount("head"), 20u);
+
+  auto alerts = tracker.PendingAlerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].rule_id, "head");
+
+  tracker.MarkEvaluated("head");
+  for (const auto& a : tracker.PendingAlerts()) {
+    EXPECT_NE(a.rule_id, "head");
+  }
+}
+
+TEST(ImpactTrackerTest, CountsAccumulateAcrossBatches) {
+  auto set = MakeRuleSet("whitelist r: rugs? => area rugs\n");
+  data::GeneratorConfig config;
+  config.seed = 6;
+  data::CatalogGenerator gen(config);
+  size_t rug_index = gen.SpecIndexOf("area rugs");
+  std::vector<data::ProductItem> batch;
+  for (auto& li : gen.GenerateManyOfType(rug_index, 50)) {
+    batch.push_back(li.item);
+  }
+  ImpactTracker tracker(1000);
+  tracker.RecordBatch(*set, batch);
+  size_t after_one = tracker.MatchCount("r");
+  tracker.RecordBatch(*set, batch);
+  EXPECT_EQ(tracker.MatchCount("r"), 2 * after_one);
+  EXPECT_GT(after_one, 40u);
+}
+
+}  // namespace
+}  // namespace rulekit::eval

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/data/catalog_generator.h"
+#include "src/gen/rule_miner.h"
+#include "src/gen/rule_selection.h"
+#include "src/gen/synonym_finder.h"
+
+namespace rulekit::gen {
+namespace {
+
+// ---------------------------------------------------------- RuleSelection --
+
+TEST(GreedySelectTest, PrefersHighGain) {
+  std::vector<SelectionCandidate> cands = {
+      {1.0, {0, 1}},        // covers 2
+      {1.0, {2, 3, 4, 5}},  // covers 4  <- picked first
+      {1.0, {0, 2}},        // adds only {0} after #1
+  };
+  auto picked = GreedySelect(cands, 6, 10);
+  ASSERT_GE(picked.size(), 2u);
+  EXPECT_EQ(picked[0], 1u);
+  EXPECT_EQ(picked[1], 0u);  // gain 2 beats candidate 2's gain 1
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(GreedySelectTest, ConfidenceWeighsGain) {
+  std::vector<SelectionCandidate> cands = {
+      {0.1, {0, 1, 2, 3}},  // gain 0.4
+      {1.0, {4, 5}},        // gain 2.0 <- first
+  };
+  auto picked = GreedySelect(cands, 6, 10);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(GreedySelectTest, RespectsQuota) {
+  std::vector<SelectionCandidate> cands;
+  for (uint32_t i = 0; i < 20; ++i) {
+    cands.push_back({1.0, {i}});
+  }
+  EXPECT_EQ(GreedySelect(cands, 20, 5).size(), 5u);
+}
+
+TEST(GreedySelectTest, StopsWhenNoNewCoverage) {
+  std::vector<SelectionCandidate> cands = {
+      {1.0, {0, 1}}, {1.0, {0, 1}}, {1.0, {1}}};
+  EXPECT_EQ(GreedySelect(cands, 2, 10).size(), 1u);
+}
+
+TEST(GreedySelectTest, EmptyInput) {
+  EXPECT_TRUE(GreedySelect({}, 10, 5).empty());
+  EXPECT_TRUE(GreedyBiasedSelect({}, 10, 5, 0.7).empty());
+}
+
+TEST(GreedyBiasedTest, HighConfidenceFirstEvenWithLowerCoverage) {
+  // The paper's motivation for Algorithm 2: wide but low-confidence rules
+  // must not crowd out high-confidence ones.
+  std::vector<SelectionCandidate> cands = {
+      {0.2, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}},  // low conf, wide
+      {0.9, {0, 1}},                                  // high conf
+      {0.9, {2, 3}},                                  // high conf
+  };
+  auto plain = GreedySelect(cands, 12, 1);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0], 0u);  // plain greedy takes the wide rule (gain 2.4)
+
+  auto biased = GreedyBiasedSelect(cands, 12, 3, 0.7);
+  ASSERT_EQ(biased.size(), 3u);
+  EXPECT_EQ(biased[0], 1u);
+  EXPECT_EQ(biased[1], 2u);
+  EXPECT_EQ(biased[2], 0u);  // low-conf pool fills the remainder
+}
+
+TEST(GreedyBiasedTest, QuotaSharedAcrossPools) {
+  std::vector<SelectionCandidate> cands = {
+      {0.9, {0}}, {0.9, {1}}, {0.1, {2}}, {0.1, {3}}};
+  auto picked = GreedyBiasedSelect(cands, 4, 3, 0.7);
+  ASSERT_EQ(picked.size(), 3u);
+  // Two high-confidence first, one low-confidence.
+  EXPECT_TRUE(std::find(picked.begin(), picked.end(), 0u) != picked.end());
+  EXPECT_TRUE(std::find(picked.begin(), picked.end(), 1u) != picked.end());
+}
+
+// ------------------------------------------------------------- RuleMiner --
+
+TEST(RuleMinerTest, MinesObviousRules) {
+  data::GeneratorConfig config;
+  config.seed = 41;
+  config.num_types = 8;
+  config.omit_noun_prob = 0.0;
+  config.confuser_prob = 0.0;
+  data::CatalogGenerator gen(config);
+  auto labeled = gen.GenerateMany(2000);
+
+  RuleMinerConfig miner_config;
+  miner_config.min_support = 0.02;
+  auto outcome = MineRules(labeled, miner_config);
+  EXPECT_GT(outcome.candidates_mined, 0u);
+  EXPECT_GT(outcome.selected.size(), 0u);
+  EXPECT_EQ(outcome.num_high_confidence + outcome.num_low_confidence,
+            outcome.selected.size());
+
+  // Every selected rule is consistent on training data by construction:
+  // its pattern must not match titles of other types.
+  size_t checked = 0;
+  for (const auto& mined : outcome.selected) {
+    auto rule = mined.ToRule("m" + std::to_string(checked++));
+    ASSERT_TRUE(rule.ok()) << mined.Pattern();
+    for (const auto& li : labeled) {
+      if (li.label != mined.type &&
+          rule->Applies(li.item)) {
+        // Tokenization differences (stopwords) can cause rare disagreement
+        // between subsequence consistency and regex matching; it must stay
+        // rare. Fail only on exact subsequence-level violations.
+        ADD_FAILURE() << "rule " << mined.Pattern() << " for " << mined.type
+                      << " matched a " << li.label << " item: "
+                      << li.item.title;
+        break;
+      }
+    }
+    if (checked > 40) break;  // bound test cost
+  }
+}
+
+TEST(RuleMinerTest, ConfidenceRewardsTypeNameTokens) {
+  RuleMinerConfig config;
+  std::vector<data::LabeledItem> labeled;
+  // 30 titles "denim jeans x", 30 titles "blue trousers y" for type
+  // "jeans"; "denim jeans" should outscore "blue trousers".
+  for (int i = 0; i < 30; ++i) {
+    data::LabeledItem a;
+    a.item.title = "denim jeans item" + std::to_string(i);
+    a.label = "jeans";
+    labeled.push_back(a);
+    data::LabeledItem b;
+    b.item.title = "blue trousers item" + std::to_string(i);
+    b.label = "jeans";
+    labeled.push_back(b);
+  }
+  config.min_support = 0.1;
+  auto outcome = MineRules(labeled, config);
+  double jeans_conf = -1, trousers_conf = -1;
+  for (const auto& r : outcome.selected) {
+    if (r.tokens == std::vector<std::string>{"denim", "jeans"}) {
+      jeans_conf = r.confidence;
+    }
+    if (r.tokens == std::vector<std::string>{"blue", "trousers"}) {
+      trousers_conf = r.confidence;
+    }
+  }
+  ASSERT_GE(jeans_conf, 0.0);
+  ASSERT_GE(trousers_conf, 0.0);
+  EXPECT_GT(jeans_conf, trousers_conf);
+}
+
+TEST(RuleMinerTest, ConsistencyFilterDropsCrossTypeSequences) {
+  std::vector<data::LabeledItem> labeled;
+  for (int i = 0; i < 20; ++i) {
+    data::LabeledItem a;
+    a.item.title = "shared words alpha";
+    a.label = "t1";
+    labeled.push_back(a);
+    data::LabeledItem b;
+    b.item.title = "shared words beta";
+    b.label = "t2";
+    labeled.push_back(b);
+  }
+  RuleMinerConfig config;
+  config.min_support = 0.1;
+  auto outcome = MineRules(labeled, config);
+  for (const auto& r : outcome.selected) {
+    EXPECT_NE(r.tokens, (std::vector<std::string>{"shared", "words"}))
+        << "inconsistent rule survived for type " << r.type;
+  }
+
+  config.require_consistency = false;
+  auto loose = MineRules(labeled, config);
+  EXPECT_GT(loose.candidates_consistent, outcome.candidates_consistent);
+}
+
+TEST(RuleMinerTest, PatternCompilesAndMatches) {
+  MinedRule mined;
+  mined.tokens = {"denim", "jeans"};
+  mined.type = "jeans";
+  mined.confidence = 0.8;
+  EXPECT_EQ(mined.Pattern(), "denim.*jeans");
+  auto rule = mined.ToRule("m1");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->metadata().origin, rules::RuleOrigin::kMined);
+  data::ProductItem item;
+  item.title = "mens denim relaxed fit jeans 38x30";
+  EXPECT_TRUE(rule->Applies(item));
+}
+
+// ----------------------------------------------------------SynonymFinder --
+
+class SynonymFinderTest : public ::testing::Test {
+ protected:
+  // A corpus seeded with rug qualifiers in shared contexts.
+  static std::vector<std::string> RugCorpus() {
+    std::vector<std::string> titles;
+    const char* qualifiers[] = {"area",   "braided", "oriental",
+                                "tufted", "shag",    "floral"};
+    const char* brands[] = {"mainstays", "better homes", "parkview"};
+    const char* suffixes[] = {"5x7 blue", "8x10 ivory", "2 pack"};
+    int n = 0;
+    for (const char* q : qualifiers) {
+      for (const char* b : brands) {
+        for (const char* s : suffixes) {
+          titles.push_back(std::string(b) + " " + q + " rug " + s);
+          if (++n % 2 == 0) {
+            titles.push_back(std::string(b) + " " + q + " rugs " + s);
+          }
+        }
+      }
+    }
+    // Noise: other-type titles, some with misleading "<word> rug" shapes.
+    titles.push_back("usb cable 6ft black");
+    titles.push_back("dog chew toy rug pattern");
+    titles.push_back("castrol motor oil 5qt");
+    return titles;
+  }
+};
+
+TEST_F(SynonymFinderTest, RejectsBadTemplates) {
+  auto corpus = RugCorpus();
+  EXPECT_FALSE(SynonymFinder::Create("area rugs?", corpus).ok());
+  EXPECT_FALSE(SynonymFinder::Create("(\\syn|\\syn) rugs?", corpus).ok());
+  EXPECT_FALSE(SynonymFinder::Create("\\syn rugs?", corpus).ok());
+  EXPECT_FALSE(SynonymFinder::Create("(\\syn) rugs?", corpus).ok());
+}
+
+TEST_F(SynonymFinderTest, FindsSeededQualifiers) {
+  auto corpus = RugCorpus();
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus);
+  ASSERT_TRUE(finder.ok()) << finder.status().ToString();
+  EXPECT_EQ(finder->golden(), std::vector<std::string>{"area"});
+  EXPECT_GT(finder->num_candidates(), 0u);
+
+  std::set<std::string> truth = {"braided", "oriental", "tufted", "shag",
+                                 "floral"};
+  auto session = RunSynonymSession(
+      *finder, [&](const std::string& p) { return truth.count(p) > 0; });
+  std::set<std::string> found(session.found.begin(), session.found.end());
+  // All five seeded qualifiers are discoverable within the session.
+  for (const auto& q : truth) {
+    EXPECT_TRUE(found.count(q)) << "missed " << q;
+  }
+  EXPECT_GE(session.iterations, 1u);
+}
+
+TEST_F(SynonymFinderTest, RankingPrefersSharedContexts) {
+  auto corpus = RugCorpus();
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus);
+  ASSERT_TRUE(finder.ok());
+  auto batch = finder->NextBatch();
+  ASSERT_FALSE(batch.empty());
+  // Scores are sorted descending.
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_GE(batch[i - 1].score, batch[i].score);
+  }
+  // The top candidate should be one of the seeded qualifiers, which share
+  // brand/suffix contexts with "area"; the noise phrases should not crowd
+  // the top of the first batch.
+  std::set<std::string> truth = {"braided", "oriental", "tufted", "shag",
+                                 "floral"};
+  EXPECT_TRUE(truth.count(batch[0].phrase)) << batch[0].phrase;
+}
+
+TEST_F(SynonymFinderTest, CandidatesComeWithSamples) {
+  auto corpus = RugCorpus();
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus);
+  ASSERT_TRUE(finder.ok());
+  for (const auto& cand : finder->NextBatch()) {
+    EXPECT_FALSE(cand.sample_titles.empty()) << cand.phrase;
+    EXPECT_LE(cand.sample_titles.size(), 3u);
+  }
+}
+
+TEST_F(SynonymFinderTest, ExpandedPatternIncludesAccepted) {
+  auto corpus = RugCorpus();
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus);
+  ASSERT_TRUE(finder.ok());
+  finder->NextBatch();
+  finder->ProvideFeedback({"braided", "shag"}, {});
+  EXPECT_EQ(finder->ExpandedPattern(), "(area|braided|shag) rugs?");
+}
+
+TEST_F(SynonymFinderTest, GoldenSynonymsAreNotCandidates) {
+  auto corpus = RugCorpus();
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus);
+  ASSERT_TRUE(finder.ok());
+  while (!finder->exhausted()) {
+    auto batch = finder->NextBatch();
+    if (batch.empty()) break;
+    std::vector<std::string> rejected;
+    for (const auto& cand : batch) {
+      EXPECT_NE(cand.phrase, "area");
+      rejected.push_back(cand.phrase);
+    }
+    finder->ProvideFeedback({}, rejected);
+  }
+}
+
+TEST_F(SynonymFinderTest, FeedbackImprovesRankingOfRelatedCandidates) {
+  // With feedback off the order is frozen; with feedback on, accepting a
+  // true qualifier should pull other qualifiers (same contexts) upward.
+  auto corpus = RugCorpus();
+  SynonymFinderConfig config;
+  config.batch_size = 3;
+  auto finder = SynonymFinder::Create("(area|\\syn) rugs?", corpus, config);
+  ASSERT_TRUE(finder.ok());
+  std::set<std::string> truth = {"braided", "oriental", "tufted", "shag",
+                                 "floral"};
+  auto session = RunSynonymSession(
+      *finder, [&](const std::string& p) { return truth.count(p) > 0; },
+      /*max_iterations=*/10, /*max_barren_batches=*/3);
+  EXPECT_GE(session.found.size(), 4u);
+}
+
+TEST_F(SynonymFinderTest, MultiWordSynonymsAreFound) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back("brand" + std::to_string(i % 3) +
+                     " twisted knot wheel 4in");
+    corpus.push_back("brand" + std::to_string(i % 3) +
+                     " abrasive wheel 4in");
+  }
+  auto finder = SynonymFinder::Create("(abrasive|\\syn) wheels?", corpus);
+  ASSERT_TRUE(finder.ok());
+  bool has_multiword = false;
+  while (!finder->exhausted()) {
+    auto batch = finder->NextBatch();
+    if (batch.empty()) break;
+    std::vector<std::string> rejected;
+    for (const auto& cand : batch) {
+      if (cand.phrase == "twisted knot") has_multiword = true;
+      rejected.push_back(cand.phrase);
+    }
+    finder->ProvideFeedback({}, rejected);
+  }
+  EXPECT_TRUE(has_multiword);
+}
+
+}  // namespace
+}  // namespace rulekit::gen

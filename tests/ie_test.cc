@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "src/data/catalog_generator.h"
+#include "src/rules/rule.h"
+#include "src/ie/attribute_extractor.h"
+#include "src/ie/brand_extractor.h"
+#include "src/ie/enricher.h"
+#include "src/ie/normalizer.h"
+
+namespace rulekit::ie {
+namespace {
+
+data::ProductItem MakeItem(std::string title) {
+  data::ProductItem item;
+  item.title = std::move(title);
+  return item;
+}
+
+// ------------------------------------------------------ AttributeExtractor --
+
+TEST(AttributeExtractorTest, ExtractsWeight) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  auto found = ex.Extract(MakeItem("castrol motor oil 2.5 lb bottle"));
+  bool weight = false;
+  for (const auto& e : found) {
+    if (e.attribute == "Item Weight") {
+      weight = true;
+      EXPECT_EQ(e.value, "2.5 lb");
+    }
+  }
+  EXPECT_TRUE(weight);
+}
+
+TEST(AttributeExtractorTest, ExtractsDimensionsAndPack) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  auto found = ex.Extract(MakeItem("mainstays area rug 5x7 2-pack"));
+  std::string size, pack;
+  for (const auto& e : found) {
+    if (e.attribute == "Size") size = e.value;
+    if (e.attribute == "Pack Count") pack = e.value;
+  }
+  EXPECT_EQ(size, "5x7");
+  EXPECT_EQ(pack, "2");
+}
+
+TEST(AttributeExtractorTest, ExtractsApparelSize) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  auto found = ex.Extract(MakeItem("boys cargo shorts size m blue"));
+  bool size = false;
+  for (const auto& e : found) {
+    if (e.attribute == "Size") {
+      size = true;
+      EXPECT_EQ(e.value, "size m");
+    }
+  }
+  EXPECT_TRUE(size);
+}
+
+TEST(AttributeExtractorTest, FirstRuleWinsPerAttribute) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  // Both the dimension rule and the apparel rule could fire; only one
+  // Size extraction must be returned.
+  auto found = ex.Extract(MakeItem("rug 5x7 size 10"));
+  size_t size_count = 0;
+  for (const auto& e : found) size_count += e.attribute == "Size";
+  EXPECT_EQ(size_count, 1u);
+}
+
+TEST(AttributeExtractorTest, SpansPointIntoTitle) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  data::ProductItem item = MakeItem("thing 12 oz jar");
+  auto found = ex.Extract(item);
+  ASSERT_FALSE(found.empty());
+  for (const auto& e : found) {
+    EXPECT_EQ(item.title.substr(e.begin, e.end - e.begin), e.value);
+  }
+}
+
+TEST(AttributeExtractorTest, RejectsBadPatterns) {
+  AttributeExtractor ex;
+  EXPECT_FALSE(ex.AddPattern("X", "(unclosed", 0).ok());
+  EXPECT_FALSE(ex.AddPattern("X", "nogroups", 0).ok());
+  EXPECT_TRUE(ex.AddPattern("X", "(\\d+)", 0).ok());
+}
+
+TEST(AttributeExtractorTest, NoMatchesOnPlainTitle) {
+  auto ex = AttributeExtractor::WithDefaultRules();
+  EXPECT_TRUE(ex.Extract(MakeItem("plain wooden chair")).empty());
+}
+
+// ---------------------------------------------------------- BrandExtractor --
+
+TEST(BrandExtractorTest, TitleInitialBrand) {
+  BrandExtractor ex({"dickies", "levis", "apple"});
+  auto brand = ex.ExtractBrand(
+      MakeItem("dickies 38in x 30in indigo relaxed fit jeans"));
+  ASSERT_TRUE(brand.has_value());
+  EXPECT_EQ(brand->value, "dickies");
+  EXPECT_EQ(brand->begin, 0u);
+}
+
+TEST(BrandExtractorTest, ContextPatternBy) {
+  BrandExtractor ex({"keepsake", "miabella"});
+  auto brand = ex.ExtractBrand(MakeItem("diamond ring by keepsake 10kt"));
+  ASSERT_TRUE(brand.has_value());
+  EXPECT_EQ(brand->value, "keepsake");
+}
+
+TEST(BrandExtractorTest, UniqueHitAnywhere) {
+  BrandExtractor ex({"fisher-price", "graco"});
+  auto brand = ex.ExtractBrand(MakeItem("baby swing graco deluxe"));
+  ASSERT_TRUE(brand.has_value());
+  EXPECT_EQ(brand->value, "graco");
+}
+
+TEST(BrandExtractorTest, AmbiguousMidTitleHitsRejected) {
+  BrandExtractor ex({"alpha", "beta"});
+  // Two mid-title dictionary hits with no context: abstain.
+  EXPECT_FALSE(
+      ex.ExtractBrand(MakeItem("thing alpha and beta bundle")).has_value());
+}
+
+TEST(BrandExtractorTest, NoDictionaryHit) {
+  BrandExtractor ex({"apple"});
+  EXPECT_FALSE(ex.ExtractBrand(MakeItem("generic usb cable")).has_value());
+}
+
+TEST(BrandExtractorTest, WorksOnGeneratedCatalog) {
+  data::GeneratorConfig config;
+  config.seed = 15;
+  data::CatalogGenerator gen(config);
+  // Build the brand dictionary from the specs (the "large given
+  // dictionary of brand names").
+  std::vector<std::string> brands;
+  for (const auto& spec : gen.specs()) {
+    for (const auto& b : spec.brands) brands.push_back(b);
+  }
+  BrandExtractor ex(brands);
+  auto items = gen.GenerateMany(300);
+  size_t extracted = 0, agree = 0;
+  for (const auto& li : items) {
+    auto brand = ex.ExtractBrand(li.item);
+    if (!brand.has_value()) continue;
+    ++extracted;
+    auto truth = li.item.GetAttribute("Brand");
+    if (truth.has_value() && *truth == brand->value) ++agree;
+  }
+  EXPECT_GT(extracted, 50u);
+  // When the Brand attribute is present it should usually agree.
+  EXPECT_GT(agree * 10, extracted * 5);
+}
+
+// ---------------------------------------------------------------- Enricher --
+
+TEST(EnricherTest, FillsMissingAttributes) {
+  Normalizer norm;
+  norm.AddRule("Castrol Ltd.", {"castrol"});
+  ProductEnricher enricher(BrandExtractor({"castrol", "mobil"}),
+                           AttributeExtractor::WithDefaultRules(),
+                           std::move(norm));
+  data::ProductItem item = MakeItem("castrol motor oil 2.5 lb 2-pack");
+  auto enriched = enricher.Enrich(item);
+  EXPECT_EQ(enriched.GetAttribute("Brand").value_or(""), "Castrol Ltd.");
+  EXPECT_EQ(enriched.GetAttribute("Item Weight").value_or(""), "2.5 lb");
+  EXPECT_EQ(enriched.GetAttribute("Pack Count").value_or(""), "2");
+  // The original is untouched.
+  EXPECT_FALSE(item.HasAttribute("Brand"));
+}
+
+TEST(EnricherTest, VendorDataWinsByDefault) {
+  ProductEnricher enricher(BrandExtractor({"castrol"}),
+                           AttributeExtractor::WithDefaultRules(),
+                           Normalizer());
+  data::ProductItem item = MakeItem("castrol motor oil");
+  item.SetAttribute("Brand", "Vendor Says Mobil");
+  auto enriched = enricher.Enrich(item);
+  EXPECT_EQ(enriched.GetAttribute("Brand").value_or(""),
+            "Vendor Says Mobil");
+
+  EnricherConfig overwrite;
+  overwrite.overwrite_existing = true;
+  ProductEnricher aggressive(BrandExtractor({"castrol"}),
+                             AttributeExtractor::WithDefaultRules(),
+                             Normalizer(), overwrite);
+  auto replaced = aggressive.Enrich(item);
+  EXPECT_EQ(replaced.GetAttribute("Brand").value_or(""), "castrol");
+}
+
+TEST(EnricherTest, EnrichAllCountsAdditions) {
+  ProductEnricher enricher(BrandExtractor({"castrol"}),
+                           AttributeExtractor::WithDefaultRules(),
+                           Normalizer());
+  std::vector<data::ProductItem> items = {
+      MakeItem("castrol motor oil 5x7"),  // brand + size
+      MakeItem("plain wooden chair"),     // nothing
+  };
+  size_t added = enricher.EnrichAll(items);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(items[0].HasAttribute("Brand"));
+  EXPECT_FALSE(items[1].HasAttribute("Brand"));
+}
+
+TEST(EnricherTest, EnrichedAttributesDriveAttributeRules) {
+  // The point of enrichment: an item without a vendor Brand attribute
+  // becomes classifiable by a Brand attrval rule after extraction.
+  ProductEnricher enricher(BrandExtractor({"castrol"}),
+                           AttributeExtractor::WithDefaultRules(),
+                           Normalizer());
+  data::ProductItem item = MakeItem("castrol gtx 5w-30 full synthetic");
+  auto rule = rulekit::rules::Rule::AttributeValue(
+      "brand1", "Brand", "castrol", {"motor oil"});
+  EXPECT_FALSE(rule.Applies(item));
+  EXPECT_TRUE(rule.Applies(enricher.Enrich(item)));
+}
+
+// -------------------------------------------------------------- Normalizer --
+
+TEST(NormalizerTest, PaperIbmExample) {
+  Normalizer norm;
+  norm.AddRule("IBM Corporation", {"IBM", "IBM Inc.", "the Big Blue"});
+  EXPECT_EQ(norm.Normalize("ibm"), "IBM Corporation");
+  EXPECT_EQ(norm.Normalize("IBM INC"), "IBM Corporation");
+  EXPECT_EQ(norm.Normalize("The  Big Blue"), "IBM Corporation");
+  EXPECT_EQ(norm.Normalize("IBM Corporation"), "IBM Corporation");
+  EXPECT_EQ(norm.Normalize("Lenovo"), "Lenovo");  // pass-through
+}
+
+TEST(NormalizerTest, PunctuationAndCaseInsensitive) {
+  Normalizer norm;
+  norm.AddRule("Mr. Coffee", {"mr coffee", "MR-COFFEE"});
+  EXPECT_TRUE(norm.Knows("mr. coffee"));
+  EXPECT_EQ(norm.Normalize("MR COFFEE!"), "Mr. Coffee");
+}
+
+TEST(NormalizerTest, LaterRulesOverrideEarlier) {
+  Normalizer norm;
+  norm.AddRule("A", {"x"});
+  norm.AddRule("B", {"x"});
+  EXPECT_EQ(norm.Normalize("x"), "B");
+}
+
+}  // namespace
+}  // namespace rulekit::ie

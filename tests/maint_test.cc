@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/data/catalog_generator.h"
+#include "src/maint/consolidation.h"
+#include "src/maint/drift_monitor.h"
+#include "src/maint/overlap.h"
+#include "src/maint/subsumption.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::maint {
+namespace {
+
+rules::RuleSet MakeRuleSet(std::string_view dsl) {
+  auto parsed = rules::ParseRuleSet(dsl);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+// ------------------------------------------------------------ Subsumption --
+
+TEST(SubsumptionTest, PaperJeansExample) {
+  // §4: "denim.*jeans? → Jeans" and "jeans? → Jeans": the first is
+  // subsumed by the second and should be removed.
+  auto set = MakeRuleSet(R"(
+whitelist narrow: denim.*jeans? => jeans
+whitelist broad: jeans? => jeans
+)");
+  auto report = FindSubsumedRules(set);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].subsumed, "narrow");
+  EXPECT_EQ(report.findings[0].by, "broad");
+  EXPECT_FALSE(report.findings[0].equivalent);
+}
+
+TEST(SubsumptionTest, EquivalentRulesDetected) {
+  auto set = MakeRuleSet(R"(
+whitelist a1: rings? => rings
+whitelist a2: ring|rings => rings
+)");
+  auto report = FindSubsumedRules(set);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].equivalent);
+  EXPECT_EQ(report.findings[0].subsumed, "a2");  // keeps the smaller id
+}
+
+TEST(SubsumptionTest, DifferentTypesNeverCompared) {
+  auto set = MakeRuleSet(R"(
+whitelist a: jeans? => jeans
+whitelist b: jeans? => denim pants
+)");
+  auto report = FindSubsumedRules(set);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.pairs_checked, 0u);
+}
+
+TEST(SubsumptionTest, WhitelistVsBlacklistNeverCompared) {
+  auto set = MakeRuleSet(R"(
+whitelist a: jeans? => jeans
+blacklist b: jeans? => jeans
+)");
+  auto report = FindSubsumedRules(set);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SubsumptionTest, MinedRulesUseFastPath) {
+  auto set = MakeRuleSet(R"(
+whitelist m1: denim.*jeans => jeans
+whitelist m2: jeans => jeans
+whitelist m3: mens.*denim.*jeans => jeans
+)");
+  auto report = FindSubsumedRules(set);
+  EXPECT_GE(report.fast_path_hits, 3u);  // all pairs are token patterns
+  // m1 subsumed by m2; m3 subsumed by m2 and by m1.
+  size_t subsumed_count = report.findings.size();
+  EXPECT_EQ(subsumed_count, 3u);
+}
+
+TEST(SubsumptionTest, TokenFastPathAgreesWithAutomata) {
+  const char* patterns[] = {"denim.*jeans", "jeans", "denim",
+                            "mens.*jeans",  "denim.*jean", "jean"};
+  // Compare the report with the fast path on and off.
+  std::string dsl;
+  int id = 0;
+  for (const char* p : patterns) {
+    dsl += "whitelist r" + std::to_string(id++) + ": " + p + " => t\n";
+  }
+  auto set = MakeRuleSet(dsl);
+  SubsumptionOptions with_fast, without_fast;
+  without_fast.use_token_fast_path = false;
+  auto a = FindSubsumedRules(set, with_fast);
+  auto b = FindSubsumedRules(set, without_fast);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].subsumed, b.findings[i].subsumed);
+    EXPECT_EQ(a.findings[i].by, b.findings[i].by);
+    EXPECT_EQ(a.findings[i].equivalent, b.findings[i].equivalent);
+  }
+}
+
+TEST(SubsumptionTest, IsDotStarTokenPattern) {
+  std::vector<std::string> tokens;
+  EXPECT_TRUE(IsDotStarTokenPattern("denim.*jeans", &tokens));
+  EXPECT_EQ(tokens, (std::vector<std::string>{"denim", "jeans"}));
+  EXPECT_TRUE(IsDotStarTokenPattern("plain", &tokens));
+  EXPECT_FALSE(IsDotStarTokenPattern("rings?", nullptr));
+  EXPECT_FALSE(IsDotStarTokenPattern("(a|b).*c", nullptr));
+  EXPECT_FALSE(IsDotStarTokenPattern("a.*.*b", nullptr));  // empty part
+}
+
+TEST(SubsumptionTest, ApplyFindingsRetiresSubsumedRules) {
+  rules::RuleRepository repo;
+  ASSERT_TRUE(repo.Add(*rules::Rule::Whitelist("narrow", "denim.*jeans?",
+                                               "jeans"),
+                       "a")
+                  .ok());
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("broad", "jeans?", "jeans"), "a")
+          .ok());
+  auto report = FindSubsumedRules(repo.rules());
+  auto retired = ApplySubsumptionFindings(repo, report, "maintenance");
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0], "narrow");
+  EXPECT_EQ(repo.rules().Find("narrow")->metadata().state,
+            rules::RuleState::kRetired);
+  EXPECT_TRUE(repo.rules().Find("broad")->is_active());
+  // The audit trail names the subsuming rule.
+  auto history = repo.HistoryOf("narrow");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_NE(history[1].detail.find("broad"), std::string::npos);
+  // Re-applying is a no-op.
+  EXPECT_TRUE(ApplySubsumptionFindings(repo, report).empty());
+}
+
+// ---------------------------------------------------------------- Overlap --
+
+TEST(OverlapTest, PaperWheelsRulesOverlap) {
+  // §4's overlapping pair.
+  auto set = MakeRuleSet(R"(
+whitelist w1: (abrasive|sand(er|ing))[ -](wheels?|discs?) => abrasive wheels & discs
+whitelist w2: abrasive.*(wheels?|discs?) => abrasive wheels & discs
+whitelist other: rings? => rings
+)");
+  data::GeneratorConfig config;
+  config.seed = 23;
+  data::CatalogGenerator gen(config);
+  size_t wheels = gen.SpecIndexOf("abrasive wheels & discs");
+  ASSERT_NE(wheels, data::CatalogGenerator::kNpos);
+  std::vector<data::ProductItem> corpus;
+  for (auto& li : gen.GenerateManyOfType(wheels, 600)) {
+    corpus.push_back(li.item);
+  }
+  for (auto& li : gen.GenerateMany(600)) corpus.push_back(li.item);
+
+  auto findings = FindOverlappingRules(set, corpus, /*min_jaccard=*/0.2);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule_a, "w1");
+  EXPECT_EQ(findings[0].rule_b, "w2");
+  EXPECT_GT(findings[0].intersection, 0u);
+}
+
+TEST(OverlapTest, DisjointRulesNotReported) {
+  auto set = MakeRuleSet(R"(
+whitelist a: rings? => rings
+whitelist b: wedding bands? => rings
+)");
+  data::GeneratorConfig config;
+  data::CatalogGenerator gen(config);
+  std::vector<data::ProductItem> corpus;
+  for (auto& li : gen.GenerateMany(500)) corpus.push_back(li.item);
+  // "wedding band" titles don't contain "ring", so overlap stays low.
+  auto findings = FindOverlappingRules(set, corpus, /*min_jaccard=*/0.9);
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------- Consolidation --
+
+TEST(ConsolidationTest, MergeAndSplitRoundTrip) {
+  auto a = *rules::Rule::Whitelist("a", "rings?", "rings");
+  auto b = *rules::Rule::Whitelist("b", "wedding bands?", "rings");
+  auto merged = ConsolidateRules(a, b, "merged");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  data::ProductItem ring;
+  ring.title = "diamond ring";
+  data::ProductItem band;
+  band.title = "tungsten wedding band";
+  EXPECT_TRUE(merged->Applies(ring));
+  EXPECT_TRUE(merged->Applies(band));
+
+  auto split = SplitRule(*merged);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->size(), 2u);
+  EXPECT_TRUE((*split)[0].Applies(ring));
+  EXPECT_FALSE((*split)[0].Applies(band));
+  EXPECT_TRUE((*split)[1].Applies(band));
+}
+
+TEST(ConsolidationTest, MergeRejectsMismatchedRules) {
+  auto a = *rules::Rule::Whitelist("a", "x", "t1");
+  auto b = *rules::Rule::Whitelist("b", "y", "t2");
+  EXPECT_FALSE(ConsolidateRules(a, b, "m").ok());
+  auto c = *rules::Rule::Blacklist("c", "z", "t1");
+  EXPECT_FALSE(ConsolidateRules(a, c, "m").ok());
+}
+
+TEST(ConsolidationTest, SplitRequiresTopLevelAlternation) {
+  auto rule = *rules::Rule::Whitelist("r", "(a|b)c", "t");
+  EXPECT_FALSE(SplitRule(rule).ok());  // the alternation is nested
+  auto flat = *rules::Rule::Whitelist("f", "ab|cd|ef", "t");
+  auto split = SplitRule(flat);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->size(), 3u);
+}
+
+TEST(ConsolidationTest, TopLevelBranches) {
+  EXPECT_EQ(TopLevelBranches("a|b").size(), 2u);
+  EXPECT_EQ(TopLevelBranches("(a|b)").size(), 1u);
+  EXPECT_EQ(TopLevelBranches("(?:a|b)").size(), 2u);  // unwrapped
+  EXPECT_EQ(TopLevelBranches("(?:a)|(?:b)").size(), 2u);
+  EXPECT_EQ(TopLevelBranches("a\\|b").size(), 1u);  // escaped pipe
+}
+
+// ---------------------------------------------------------- Drift monitor --
+
+TEST(DriftMonitorTest, FlagsDecayingRule) {
+  RulePrecisionMonitor monitor({.window_size = 20,
+                                .min_verdicts = 10,
+                                .precision_floor = 0.8});
+  // Rule starts healthy...
+  for (int i = 0; i < 20; ++i) monitor.RecordVerdict("r1", true);
+  EXPECT_TRUE(monitor.FlaggedRules().empty());
+  // ...then the data drifts under it.
+  for (int i = 0; i < 15; ++i) monitor.RecordVerdict("r1", i % 3 != 0);
+  for (int i = 0; i < 10; ++i) monitor.RecordVerdict("r1", false);
+  auto flags = monitor.FlaggedRules();
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].rule_id, "r1");
+  EXPECT_LT(flags[0].windowed_precision, 0.8);
+}
+
+TEST(DriftMonitorTest, RequiresMinimumEvidence) {
+  RulePrecisionMonitor monitor({.window_size = 50,
+                                .min_verdicts = 10,
+                                .precision_floor = 0.9});
+  for (int i = 0; i < 5; ++i) monitor.RecordVerdict("r1", false);
+  EXPECT_TRUE(monitor.FlaggedRules().empty());  // only 5 verdicts
+  EXPECT_DOUBLE_EQ(monitor.WindowedPrecision("r1"), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowedPrecision("unknown"), 1.0);
+}
+
+TEST(DriftMonitorTest, WindowSlides) {
+  RulePrecisionMonitor monitor({.window_size = 10,
+                                .min_verdicts = 5,
+                                .precision_floor = 0.5});
+  for (int i = 0; i < 10; ++i) monitor.RecordVerdict("r1", false);
+  EXPECT_DOUBLE_EQ(monitor.WindowedPrecision("r1"), 0.0);
+  for (int i = 0; i < 10; ++i) monitor.RecordVerdict("r1", true);
+  EXPECT_DOUBLE_EQ(monitor.WindowedPrecision("r1"), 1.0);  // old forgotten
+}
+
+TEST(InapplicableRulesTest, MigrateRulesAcrossSplit) {
+  rules::RuleRepository repo;
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("p1", "pants?", "pants"), "a").ok());
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Blacklist("p2", "yoga pants?", "pants"), "a")
+          .ok());
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("j1", "jeans?", "jeans"), "a").ok());
+  data::Taxonomy taxonomy;
+  taxonomy.AddType("pants");
+  taxonomy.AddType("jeans");
+  ASSERT_TRUE(taxonomy.SplitType("pants", {"work pants", "jeans"}).ok());
+
+  auto report = MigrateRulesAcrossSplit(repo, taxonomy);
+  EXPECT_EQ(report.retired, (std::vector<std::string>{"p1", "p2"}));
+  EXPECT_EQ(report.drafted.size(), 4u);  // 2 rules x 2 replacements
+  // Old rules are out of execution; drafts exist but are disabled.
+  EXPECT_FALSE(repo.rules().Find("p1")->is_active());
+  const rules::Rule* draft = repo.rules().Find("p1@work pants");
+  ASSERT_NE(draft, nullptr);
+  EXPECT_EQ(draft->metadata().state, rules::RuleState::kDisabled);
+  EXPECT_EQ(draft->target_type(), "work pants");
+  EXPECT_EQ(draft->pattern_text(), "pants?");
+  // Unrelated rules untouched; re-running is a no-op.
+  EXPECT_TRUE(repo.rules().Find("j1")->is_active());
+  auto again = MigrateRulesAcrossSplit(repo, taxonomy);
+  EXPECT_TRUE(again.retired.empty());
+}
+
+TEST(InapplicableRulesTest, TaxonomySplitRetiresRules) {
+  auto set = MakeRuleSet(R"(
+whitelist p1: pants? => pants
+whitelist p2: slacks? => pants
+whitelist j1: jeans? => jeans
+)");
+  data::Taxonomy taxonomy;
+  taxonomy.AddType("pants");
+  taxonomy.AddType("jeans");
+  ASSERT_TRUE(taxonomy.SplitType("pants", {"work pants", "jeans"}).ok());
+
+  auto inapplicable = FindInapplicableRules(set, taxonomy);
+  ASSERT_EQ(inapplicable.size(), 2u);
+  EXPECT_EQ(inapplicable[0].retired_type, "pants");
+  ASSERT_EQ(inapplicable[0].replacements.size(), 2u);
+  EXPECT_EQ(inapplicable[0].replacements[0], "work pants");
+}
+
+}  // namespace
+}  // namespace rulekit::maint

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/catalog_generator.h"
+#include "src/mining/apriori_all.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace rulekit::mining {
+namespace {
+
+using text::TokenId;
+
+TEST(SubsequenceTest, Basics) {
+  EXPECT_TRUE(IsSubsequence({1, 3}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubsequence({}, {1, 2}));
+  EXPECT_FALSE(IsSubsequence({3, 1}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubsequence({1, 1}, {1, 2}));
+  EXPECT_TRUE(IsSubsequence({1, 1}, {1, 2, 1}));
+}
+
+TEST(AprioriAllTest, FindsPlantedSequences) {
+  // 60% of docs contain (1, 2) in order, 10% contain (7, 8).
+  std::vector<std::vector<TokenId>> docs;
+  for (int i = 0; i < 100; ++i) {
+    if (i < 60) {
+      docs.push_back({1, 5, 2, 9});
+    } else if (i < 70) {
+      docs.push_back({7, 6, 8});
+    } else {
+      docs.push_back({9, 5, 6});
+    }
+  }
+  SequenceMiningOptions options;
+  options.min_support = 0.5;
+  options.min_length = 2;
+  options.max_length = 2;
+  auto result = MineFrequentSequences(docs, options);
+  // The 60-doc titles {1,5,2,9} make all six of their in-order pairs
+  // frequent; nothing else reaches 50 docs.
+  ASSERT_EQ(result.size(), 6u);
+  bool found_planted = false;
+  for (const auto& fs : result) {
+    EXPECT_GE(fs.support_count, 50u);
+    if (fs.tokens == std::vector<TokenId>{1, 2}) {
+      found_planted = true;
+      EXPECT_EQ(fs.support_count, 60u);
+      EXPECT_NEAR(fs.support, 0.6, 1e-12);
+    }
+    EXPECT_NE(fs.tokens, (std::vector<TokenId>{7, 8}));
+  }
+  EXPECT_TRUE(found_planted);
+}
+
+TEST(AprioriAllTest, OrderMatters) {
+  std::vector<std::vector<TokenId>> docs(10, {2, 1});
+  SequenceMiningOptions options;
+  options.min_support = 0.5;
+  options.min_length = 2;
+  auto result = MineFrequentSequences(docs, options);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].tokens, (std::vector<TokenId>{2, 1}));
+}
+
+TEST(AprioriAllTest, CountsDocumentOncePerSequence) {
+  // Sequence (1,2) occurs twice inside one doc; support must count docs.
+  std::vector<std::vector<TokenId>> docs = {{1, 2, 1, 2}, {3, 4}};
+  SequenceMiningOptions options;
+  options.min_support = 0.5;
+  options.min_length = 2;
+  options.max_length = 2;
+  auto result = MineFrequentSequences(docs, options);
+  for (const auto& fs : result) {
+    if (fs.tokens == std::vector<TokenId>{1, 2}) {
+      EXPECT_EQ(fs.support_count, 1u);
+    }
+  }
+}
+
+TEST(AprioriAllTest, RespectsLengthBounds) {
+  std::vector<std::vector<TokenId>> docs(20, {1, 2, 3, 4, 5});
+  SequenceMiningOptions options;
+  options.min_support = 0.9;
+  options.min_length = 2;
+  options.max_length = 4;
+  auto result = MineFrequentSequences(docs, options);
+  for (const auto& fs : result) {
+    EXPECT_GE(fs.tokens.size(), 2u);
+    EXPECT_LE(fs.tokens.size(), 4u);
+  }
+  // All in-order pairs/triples/quadruples of {1..5} are frequent:
+  // C(5,2) + C(5,3) + C(5,4) = 10 + 10 + 5 = 25.
+  EXPECT_EQ(result.size(), 25u);
+}
+
+TEST(AprioriAllTest, MinSupportFiltersRareSequences) {
+  std::vector<std::vector<TokenId>> docs;
+  for (int i = 0; i < 99; ++i) docs.push_back({1, 2});
+  docs.push_back({8, 9});
+  SequenceMiningOptions options;
+  options.min_support = 0.02;
+  options.min_length = 2;
+  auto result = MineFrequentSequences(docs, options);
+  std::set<std::vector<TokenId>> found;
+  for (const auto& fs : result) found.insert(fs.tokens);
+  EXPECT_TRUE(found.count({1, 2}));
+  EXPECT_FALSE(found.count({8, 9}));
+}
+
+TEST(AprioriAllTest, EmptyInput) {
+  auto result = MineFrequentSequences({}, {});
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(AprioriAllTest, ResultsSortedBySupport) {
+  std::vector<std::vector<TokenId>> docs;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<TokenId> d = {1, 2};
+    if (i < 50) d.push_back(3);
+    docs.push_back(d);
+  }
+  SequenceMiningOptions options;
+  options.min_support = 0.3;
+  options.min_length = 2;
+  auto result = MineFrequentSequences(docs, options);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].support_count, result[i].support_count);
+  }
+}
+
+TEST(AprioriAllTest, MinesProductTitles) {
+  // End-to-end shape test on generated jeans titles: the (denim-ish
+  // qualifier, jeans) pairs should be frequent.
+  data::GeneratorConfig config;
+  config.seed = 77;
+  config.omit_noun_prob = 0.0;
+  data::CatalogGenerator gen(config);
+  size_t jeans = gen.SpecIndexOf("jeans");
+  ASSERT_NE(jeans, data::CatalogGenerator::kNpos);
+  text::Tokenizer tokenizer;
+  text::Vocabulary vocab;
+  std::vector<std::vector<TokenId>> docs;
+  for (const auto& li : gen.GenerateManyOfType(jeans, 500)) {
+    docs.push_back(vocab.InternAll(tokenizer.Tokenize(li.item.title)));
+  }
+  SequenceMiningOptions options;
+  options.min_support = 0.05;
+  options.min_length = 2;
+  options.max_length = 3;
+  auto result = MineFrequentSequences(docs, options);
+  ASSERT_FALSE(result.empty());
+  // Expect some frequent sequence ending in "jeans".
+  TokenId jeans_tok = vocab.Lookup("jeans");
+  ASSERT_NE(jeans_tok, text::kInvalidTokenId);
+  bool found = false;
+  for (const auto& fs : result) {
+    if (fs.tokens.back() == jeans_tok && fs.tokens.size() >= 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rulekit::mining

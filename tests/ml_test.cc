@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/data/catalog_generator.h"
+#include "src/ml/ensemble.h"
+#include "src/ml/features.h"
+#include "src/ml/knn.h"
+#include "src/ml/logreg.h"
+#include "src/ml/metrics.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/split.h"
+
+namespace rulekit::ml {
+namespace {
+
+// Shared fixture data: a small catalog plus train/test split.
+class LearnersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig config;
+    config.seed = 1234;
+    config.num_types = 12;
+    data::CatalogGenerator gen(config);
+    auto items = gen.GenerateMany(3000);
+    Rng rng(55);
+    auto [train, test] = StratifiedSplit(items, 0.25, rng);
+    train_ = new std::vector<data::LabeledItem>(std::move(train));
+    test_ = new std::vector<data::LabeledItem>(std::move(test));
+  }
+
+  template <typename C>
+  double AccuracyOf(const C& classifier) {
+    size_t correct = 0, predicted = 0;
+    for (const auto& li : *test_) {
+      auto scored = classifier.Predict(li.item);
+      if (scored.empty()) continue;
+      ++predicted;
+      if (scored.front().label == li.label) ++correct;
+    }
+    EXPECT_GT(predicted, test_->size() * 8 / 10);
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(predicted);
+  }
+
+  static std::vector<data::LabeledItem>* train_;
+  static std::vector<data::LabeledItem>* test_;
+};
+
+std::vector<data::LabeledItem>* LearnersTest::train_ = nullptr;
+std::vector<data::LabeledItem>* LearnersTest::test_ = nullptr;
+
+// -------------------------------------------------------------- Features --
+
+TEST(FeatureExtractorTest, InternThenLookupRoundTrips) {
+  FeatureExtractor fx;
+  data::ProductItem item;
+  item.title = "blue denim jeans";
+  item.SetAttribute("Brand", "levis");
+  auto train_ids = fx.InternFeatureIds(item);
+  auto test_ids = fx.LookupFeatureIds(item);
+  EXPECT_EQ(train_ids, test_ids);
+  EXPECT_FALSE(train_ids.empty());
+}
+
+TEST(FeatureExtractorTest, UnseenTokensDroppedAtLookup) {
+  FeatureExtractor fx;
+  data::ProductItem seen;
+  seen.title = "red shirt";
+  fx.InternFeatureIds(seen);
+  data::ProductItem unseen;
+  unseen.title = "completely novel words";
+  EXPECT_TRUE(fx.LookupFeatureIds(unseen).empty());
+}
+
+TEST(FeatureExtractorTest, AttributeFeaturesToggle) {
+  data::ProductItem item;
+  item.title = "x";
+  item.SetAttribute("ISBN", "9781234567890");
+  FeatureOptions with;
+  FeatureExtractor fx_with(with);
+  size_t n_with = fx_with.InternFeatureIds(item).size();
+  FeatureOptions without;
+  without.use_attributes = false;
+  FeatureExtractor fx_without(without);
+  size_t n_without = fx_without.InternFeatureIds(item).size();
+  EXPECT_GT(n_with, n_without);
+}
+
+// -------------------------------------------------------------- Learners --
+
+TEST_F(LearnersTest, NaiveBayesLearnsTheCatalog) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  NaiveBayesClassifier nb(fx);
+  nb.Train(*train_);
+  EXPECT_EQ(nb.num_classes(), 12u);
+  EXPECT_GT(AccuracyOf(nb), 0.85);
+}
+
+TEST_F(LearnersTest, KnnLearnsTheCatalog) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  KnnClassifier knn(fx, 7);
+  knn.Train(*train_);
+  EXPECT_EQ(knn.num_examples(), train_->size());
+  EXPECT_GT(AccuracyOf(knn), 0.85);
+}
+
+TEST_F(LearnersTest, LogRegLearnsTheCatalog) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  LogRegClassifier lr(fx);
+  lr.Train(*train_);
+  EXPECT_GT(AccuracyOf(lr), 0.85);
+}
+
+TEST_F(LearnersTest, EnsembleAtLeastMatchesMembers) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  auto nb = std::make_shared<NaiveBayesClassifier>(fx);
+  nb->Train(*train_);
+  auto knn = std::make_shared<KnnClassifier>(fx, 7);
+  knn->Train(*train_);
+  EnsembleClassifier ensemble;
+  ensemble.AddMember(nb);
+  ensemble.AddMember(knn);
+  EXPECT_EQ(ensemble.num_members(), 2u);
+  double acc = AccuracyOf(ensemble);
+  EXPECT_GT(acc, 0.85);
+}
+
+TEST_F(LearnersTest, PredictionsAreSortedAndBounded) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  NaiveBayesClassifier nb(fx);
+  nb.Train(*train_);
+  for (size_t i = 0; i < 20 && i < test_->size(); ++i) {
+    auto scored = nb.Predict((*test_)[i].item);
+    for (size_t j = 1; j < scored.size(); ++j) {
+      EXPECT_GE(scored[j - 1].score, scored[j].score);
+    }
+    for (const auto& s : scored) {
+      EXPECT_GE(s.score, 0.0);
+      EXPECT_LE(s.score, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(ClassifierTest, UntrainedDeclines) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  NaiveBayesClassifier nb(fx);
+  KnnClassifier knn(fx);
+  LogRegClassifier lr(fx);
+  data::ProductItem item;
+  item.title = "anything";
+  EXPECT_TRUE(nb.Predict(item).empty());
+  EXPECT_TRUE(knn.Predict(item).empty());
+  EXPECT_TRUE(lr.Predict(item).empty());
+}
+
+TEST(ClassifierTest, EmptyFeaturesDecline) {
+  auto fx = std::make_shared<FeatureExtractor>();
+  NaiveBayesClassifier nb(fx);
+  std::vector<data::LabeledItem> tiny(2);
+  tiny[0].item.title = "red ring";
+  tiny[0].label = "rings";
+  tiny[1].item.title = "blue rug";
+  tiny[1].label = "area rugs";
+  nb.Train(tiny);
+  data::ProductItem item;  // empty title, no attrs
+  EXPECT_TRUE(nb.Predict(item).empty());
+}
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, SummarizeCountsDeclines) {
+  std::vector<Observation> obs = {
+      {"a", "a"}, {"a", "b"}, {"b", std::nullopt}, {"b", "b"}};
+  EvalSummary s = Summarize(obs);
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.predicted, 3u);
+  EXPECT_EQ(s.correct, 2u);
+  EXPECT_NEAR(s.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.recall(), 0.5, 1e-12);
+  EXPECT_NEAR(s.coverage(), 0.75, 1e-12);
+  EXPECT_GT(s.f1(), 0.0);
+}
+
+TEST(MetricsTest, EmptyObservations) {
+  EvalSummary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+}
+
+TEST(MetricsTest, PerClassBreakdown) {
+  std::vector<Observation> obs = {
+      {"a", "a"}, {"a", "b"}, {"b", "b"}, {"b", std::nullopt}};
+  auto per_class = PerClass(obs);
+  EXPECT_EQ(per_class["a"].gold_count, 2u);
+  EXPECT_EQ(per_class["a"].predicted_count, 1u);
+  EXPECT_EQ(per_class["a"].correct, 1u);
+  EXPECT_DOUBLE_EQ(per_class["a"].precision(), 1.0);
+  EXPECT_DOUBLE_EQ(per_class["a"].recall(), 0.5);
+  EXPECT_EQ(per_class["b"].predicted_count, 2u);
+}
+
+// ----------------------------------------------------------------- Split --
+
+TEST(SplitTest, RandomSplitSizes) {
+  std::vector<data::LabeledItem> items(100);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].label = i % 2 ? "a" : "b";
+  }
+  Rng rng(3);
+  auto [train, test] = RandomSplit(items, 0.2, rng);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.size(), 80u);
+}
+
+TEST(SplitTest, StratifiedKeepsClassBalance) {
+  std::vector<data::LabeledItem> items;
+  for (int i = 0; i < 90; ++i) {
+    data::LabeledItem li;
+    li.label = "big";
+    items.push_back(li);
+  }
+  for (int i = 0; i < 10; ++i) {
+    data::LabeledItem li;
+    li.label = "small";
+    items.push_back(li);
+  }
+  Rng rng(3);
+  auto [train, test] = StratifiedSplit(items, 0.3, rng);
+  size_t small_test = 0;
+  for (const auto& li : test) small_test += li.label == "small";
+  EXPECT_EQ(small_test, 3u);
+  EXPECT_EQ(test.size(), 30u);
+}
+
+TEST(SplitTest, StratifiedKeepsOneInTrain) {
+  std::vector<data::LabeledItem> items(1);
+  items[0].label = "only";
+  Rng rng(3);
+  auto [train, test] = StratifiedSplit(items, 0.99, rng);
+  EXPECT_EQ(train.size(), 1u);
+  EXPECT_TRUE(test.empty());
+}
+
+}  // namespace
+}  // namespace rulekit::ml

@@ -1,0 +1,174 @@
+// Property tests: random small patterns and texts over a tiny alphabet,
+// cross-checking the independent implementations against each other
+// (Pike VM vs boolean VM vs DFA vs prefilter analysis vs containment).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/random.h"
+#include "src/regex/analysis.h"
+#include "src/regex/containment.h"
+#include "src/regex/dfa.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::regex {
+namespace {
+
+// Generates a random pattern over {a, b, c, ' '} without anchors.
+std::string RandomPattern(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.4)) {
+    // Leaf: literal, class, or dot.
+    switch (rng.Uniform(6)) {
+      case 0: return "a";
+      case 1: return "b";
+      case 2: return "c";
+      case 3: return "[ab]";
+      case 4: return "[^a]";
+      default: return ".";
+    }
+  }
+  switch (rng.Uniform(5)) {
+    case 0:  // concat
+      return RandomPattern(rng, depth - 1) + RandomPattern(rng, depth - 1);
+    case 1:  // alternation
+      return "(" + RandomPattern(rng, depth - 1) + "|" +
+             RandomPattern(rng, depth - 1) + ")";
+    case 2:  // star
+      return "(" + RandomPattern(rng, depth - 1) + ")*";
+    case 3:  // plus
+      return "(" + RandomPattern(rng, depth - 1) + ")+";
+    default:  // optional
+      return "(" + RandomPattern(rng, depth - 1) + ")?";
+  }
+}
+
+std::string RandomText(Rng& rng, size_t max_len) {
+  static const char kAlphabet[] = "abc abc";
+  size_t len = rng.Uniform(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class RegexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegexPropertyTest, DfaAgreesWithNfaFullMatch) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string pattern = RandomPattern(rng, 3);
+    auto re = Regex::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    ByteClasses classes = ComputeByteClasses({&re->program()});
+    auto dfa = Dfa::Build(re->program(), classes);
+    ASSERT_TRUE(dfa.ok()) << pattern;
+    for (int t = 0; t < 25; ++t) {
+      std::string text = RandomText(rng, 12);
+      EXPECT_EQ(dfa->Matches(text), re->FullMatch(text))
+          << "pattern=" << pattern << " text=\"" << text << "\"";
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, PartialMatchAgreesWithFind) {
+  Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string pattern = RandomPattern(rng, 3);
+    auto re = Regex::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    for (int t = 0; t < 25; ++t) {
+      std::string text = RandomText(rng, 12);
+      bool partial = re->PartialMatch(text);
+      auto m = re->Find(text);
+      EXPECT_EQ(partial, m.has_value())
+          << "pattern=" << pattern << " text=\"" << text << "\"";
+      if (m.has_value()) {
+        // The matched substring must itself be in the language.
+        std::string sub(text.substr(m->overall.begin, m->overall.length()));
+        EXPECT_TRUE(re->FullMatch(sub))
+            << "pattern=" << pattern << " sub=\"" << sub << "\"";
+      }
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, FullMatchImpliesPartialMatch) {
+  Rng rng(GetParam() + 2000);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string pattern = RandomPattern(rng, 3);
+    auto re = Regex::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    for (int t = 0; t < 25; ++t) {
+      std::string text = RandomText(rng, 10);
+      if (re->FullMatch(text)) {
+        EXPECT_TRUE(re->PartialMatch(text))
+            << "pattern=" << pattern << " text=\"" << text << "\"";
+      }
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, SelfSubsumptionHolds) {
+  Rng rng(GetParam() + 3000);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::string pattern = RandomPattern(rng, 2);
+    auto re = Regex::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    auto subsumes = SearchSubsumes(*re, *re);
+    if (!subsumes.ok()) continue;  // state-cap blowup is acceptable
+    EXPECT_TRUE(*subsumes) << pattern;
+  }
+}
+
+TEST_P(RegexPropertyTest, ContainmentAgreesWithSampling) {
+  Rng rng(GetParam() + 4000);
+  for (int iter = 0; iter < 15; ++iter) {
+    std::string pa = RandomPattern(rng, 2);
+    std::string pb = RandomPattern(rng, 2);
+    auto ra = Regex::Compile(pa);
+    auto rb = Regex::Compile(pb);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    auto subset = LanguageSubset(*ra, *rb);
+    if (!subset.ok()) continue;
+    if (!*subset) continue;
+    // If L(a) ⊆ L(b), then every sampled full match of a must match b.
+    for (int t = 0; t < 60; ++t) {
+      std::string text = RandomText(rng, 8);
+      if (ra->FullMatch(text)) {
+        EXPECT_TRUE(rb->FullMatch(text))
+            << "a=" << pa << " b=" << pb << " text=\"" << text << "\"";
+      }
+    }
+  }
+}
+
+TEST_P(RegexPropertyTest, PrefilterIsSoundOnRandomTexts) {
+  Rng rng(GetParam() + 5000);
+  AnalysisOptions options;
+  options.min_length = 1;  // accept short literals for the tiny alphabet
+  for (int iter = 0; iter < 30; ++iter) {
+    std::string pattern = RandomPattern(rng, 3);
+    auto re = Regex::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    auto alts = RequiredAlternatives(*re, options);
+    if (!alts.ok()) continue;
+    for (int t = 0; t < 40; ++t) {
+      std::string text = RandomText(rng, 12);
+      if (!re->PartialMatch(text)) continue;
+      bool contains = false;
+      for (const auto& lit : *alts) {
+        if (text.find(lit) != std::string::npos) contains = true;
+      }
+      EXPECT_TRUE(contains) << "pattern=" << pattern << " text=\"" << text
+                            << "\"";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace rulekit::regex

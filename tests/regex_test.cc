@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include "src/regex/analysis.h"
+#include "src/regex/containment.h"
+#include "src/regex/dfa.h"
+#include "src/regex/regex.h"
+
+namespace rulekit::regex {
+namespace {
+
+Regex MustCompile(std::string_view pattern, bool folded = false) {
+  auto r = folded ? Regex::CompileCaseFolded(pattern)
+                  : Regex::Compile(pattern);
+  EXPECT_TRUE(r.ok()) << pattern << ": " << r.status().ToString();
+  return *r;
+}
+
+// --------------------------------------------------------------- Parsing --
+
+TEST(RegexParseTest, RejectsMalformedPatterns) {
+  EXPECT_FALSE(Regex::Compile("(").ok());
+  EXPECT_FALSE(Regex::Compile("a)").ok());
+  EXPECT_FALSE(Regex::Compile("[abc").ok());
+  EXPECT_FALSE(Regex::Compile("*a").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+  EXPECT_FALSE(Regex::Compile("a{3,1}").ok());
+}
+
+TEST(RegexParseTest, LiteralBraceWithoutBoundIsAccepted) {
+  Regex re = MustCompile("a{x");
+  EXPECT_TRUE(re.FullMatch("a{x"));
+}
+
+TEST(RegexParseTest, CountsCaptures) {
+  Regex re = MustCompile("(a)(?:b)(c(d))");
+  EXPECT_EQ(re.num_captures(), 3);
+}
+
+TEST(RegexParseTest, AstRoundTripsThroughToString) {
+  // ToString output must itself be a valid, equivalent pattern.
+  for (const char* pattern :
+       {"rings?", "diamond.*trio sets?", "(motor|engine) oils?",
+        "pick[ -]?up", "(\\w+) oils?", "a{2,4}b+c*",
+        "(abrasive|sand(er|ing))[ -](wheels?|discs?)", "^start.*end$"}) {
+    Regex re1 = MustCompile(pattern);
+    std::string printed = re1.ast().ToString();
+    auto re2 = Regex::Compile(printed);
+    ASSERT_TRUE(re2.ok()) << printed;
+    // Spot-check equivalence on a probe string.
+    EXPECT_EQ(re1.PartialMatch("diamond xyz trio set"),
+              re2->PartialMatch("diamond xyz trio set"))
+        << pattern;
+  }
+}
+
+// -------------------------------------------------------------- Matching --
+
+TEST(RegexMatchTest, FullMatchLiteral) {
+  Regex re = MustCompile("ring");
+  EXPECT_TRUE(re.FullMatch("ring"));
+  EXPECT_FALSE(re.FullMatch("rings"));
+  EXPECT_FALSE(re.FullMatch("rin"));
+}
+
+TEST(RegexMatchTest, OptionalSuffix) {
+  Regex re = MustCompile("rings?");
+  EXPECT_TRUE(re.FullMatch("ring"));
+  EXPECT_TRUE(re.FullMatch("rings"));
+  EXPECT_FALSE(re.FullMatch("ringss"));
+}
+
+TEST(RegexMatchTest, PartialMatchFindsSubstring) {
+  Regex re = MustCompile("rings?");
+  EXPECT_TRUE(re.PartialMatch("diamond accent ring in white gold"));
+  EXPECT_TRUE(re.PartialMatch("earrings"));  // substring, unanchored
+  EXPECT_FALSE(re.PartialMatch("necklace"));
+}
+
+TEST(RegexMatchTest, PaperWhitelistRuleExamples) {
+  // §3.3: whitelist rules for product type "rings".
+  Regex r1 = MustCompile("rings?");
+  EXPECT_TRUE(r1.PartialMatch(
+      "always & forever platinaire diamond accent ring"));
+  EXPECT_TRUE(r1.PartialMatch(
+      "1/4 carat t.w. diamond semi-eternity ring in 10kt white gold"));
+
+  Regex r2 = MustCompile("diamond.*trio sets?");
+  EXPECT_TRUE(r2.PartialMatch("diamond wedding trio set"));
+  EXPECT_FALSE(r2.PartialMatch("trio set diamond"));
+}
+
+TEST(RegexMatchTest, PaperMotorOilRule) {
+  // §5.1 Rule R2.
+  Regex re = MustCompile(
+      "(motor|engine|auto(motive)?|car|truck|suv|van|vehicle|motorcycle|"
+      "pick[ -]?up|scooter|atv|boat) (oil|lubricant)s?");
+  EXPECT_TRUE(re.PartialMatch("castrol gtx motor oil 5w-30"));
+  EXPECT_TRUE(re.PartialMatch("full synthetic engine oils for trucks"));
+  EXPECT_TRUE(re.PartialMatch("pick-up lubricant"));
+  EXPECT_TRUE(re.PartialMatch("pickup oil"));
+  EXPECT_TRUE(re.PartialMatch("automotive oil"));
+  EXPECT_FALSE(re.PartialMatch("olive oil extra virgin"));
+}
+
+TEST(RegexMatchTest, Alternation) {
+  Regex re = MustCompile("cat|dog|bird");
+  EXPECT_TRUE(re.FullMatch("dog"));
+  EXPECT_FALSE(re.FullMatch("do"));
+}
+
+TEST(RegexMatchTest, CharClasses) {
+  Regex re = MustCompile("[a-c]x[^0-9]");
+  EXPECT_TRUE(re.FullMatch("bxz"));
+  EXPECT_FALSE(re.FullMatch("dxz"));
+  EXPECT_FALSE(re.FullMatch("bx3"));
+}
+
+TEST(RegexMatchTest, EscapeClasses) {
+  Regex re = MustCompile("\\d+\\s\\w+");
+  EXPECT_TRUE(re.FullMatch("123 abc"));
+  EXPECT_FALSE(re.FullMatch("abc abc"));
+}
+
+TEST(RegexMatchTest, BoundedRepetition) {
+  Regex re = MustCompile("a{2,3}");
+  EXPECT_FALSE(re.FullMatch("a"));
+  EXPECT_TRUE(re.FullMatch("aa"));
+  EXPECT_TRUE(re.FullMatch("aaa"));
+  EXPECT_FALSE(re.FullMatch("aaaa"));
+}
+
+TEST(RegexMatchTest, ExactRepetition) {
+  Regex re = MustCompile("(ab){2}");
+  EXPECT_TRUE(re.FullMatch("abab"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_FALSE(re.FullMatch("ababab"));
+}
+
+TEST(RegexMatchTest, OpenEndedRepetition) {
+  Regex re = MustCompile("ba{2,}");
+  EXPECT_FALSE(re.FullMatch("ba"));
+  EXPECT_TRUE(re.FullMatch("baa"));
+  EXPECT_TRUE(re.FullMatch("baaaaaaa"));
+}
+
+TEST(RegexMatchTest, Anchors) {
+  Regex re = MustCompile("^abc$");
+  EXPECT_TRUE(re.PartialMatch("abc"));
+  EXPECT_FALSE(re.PartialMatch("xabc"));
+  EXPECT_FALSE(re.PartialMatch("abcx"));
+}
+
+TEST(RegexMatchTest, AnchorBeginOnly) {
+  Regex re = MustCompile("^ab");
+  EXPECT_TRUE(re.PartialMatch("abc"));
+  EXPECT_FALSE(re.PartialMatch("cab"));
+}
+
+TEST(RegexMatchTest, CaseFolding) {
+  Regex re = MustCompile("Apple iPhone", /*folded=*/true);
+  EXPECT_TRUE(re.PartialMatch("new APPLE IPHONE 6"));
+  EXPECT_TRUE(re.PartialMatch("apple iphone"));
+  Regex sensitive = MustCompile("Apple");
+  EXPECT_FALSE(sensitive.PartialMatch("apple"));
+}
+
+TEST(RegexMatchTest, CaseFoldingInClasses) {
+  Regex re = MustCompile("[a-c]+", /*folded=*/true);
+  EXPECT_TRUE(re.FullMatch("AbC"));
+}
+
+TEST(RegexMatchTest, DotDoesNotMatchNewline) {
+  Regex re = MustCompile("a.b");
+  EXPECT_TRUE(re.FullMatch("axb"));
+  EXPECT_FALSE(re.FullMatch("a\nb"));
+}
+
+TEST(RegexMatchTest, EmptyPatternMatchesEmpty) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.FullMatch(""));
+  EXPECT_FALSE(re.FullMatch("a"));
+  EXPECT_TRUE(re.PartialMatch("anything"));
+}
+
+TEST(RegexMatchTest, NestedGroups) {
+  Regex re = MustCompile("(abrasive|sand(er|ing))[ -](wheels?|discs?)");
+  EXPECT_TRUE(re.PartialMatch("4in sanding discs 10 pack"));
+  EXPECT_TRUE(re.PartialMatch("abrasive wheels"));
+  EXPECT_TRUE(re.PartialMatch("sander disc"));
+  EXPECT_FALSE(re.PartialMatch("sand paper"));
+}
+
+// -------------------------------------------------------------- Captures --
+
+TEST(RegexCaptureTest, FindReportsSpans) {
+  Regex re = MustCompile("(\\w+) oils?");
+  auto m = re.Find("quaker state motor oil 5qt");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->Text("quaker state motor oil 5qt"), "motor oil");
+  EXPECT_EQ(m->GroupText("quaker state motor oil 5qt", 0), "motor");
+}
+
+TEST(RegexCaptureTest, LeftmostMatchWins) {
+  Regex re = MustCompile("a(b+)");
+  auto m = re.Find("xxabbyyabbb");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->overall.begin, 2u);
+  EXPECT_EQ(m->GroupText("xxabbyyabbb", 0), "bb");
+}
+
+TEST(RegexCaptureTest, GreedyRepetition) {
+  Regex re = MustCompile("(a+)");
+  auto m = re.Find("aaaa");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->GroupText("aaaa", 0), "aaaa");
+}
+
+TEST(RegexCaptureTest, AlternationPrefersLeftBranch) {
+  Regex re = MustCompile("(a|ab)");
+  auto m = re.Find("ab");
+  ASSERT_TRUE(m.has_value());
+  // Leftmost-first (Perl-like) semantics: branch "a" wins.
+  EXPECT_EQ(m->GroupText("ab", 0), "a");
+}
+
+TEST(RegexCaptureTest, NonParticipatingGroupIsInvalid) {
+  Regex re = MustCompile("(a)|(b)");
+  auto m = re.Find("b");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(m->groups[0].valid());
+  EXPECT_TRUE(m->groups[1].valid());
+}
+
+TEST(RegexCaptureTest, FindAllNonOverlapping) {
+  Regex re = MustCompile("\\d+");
+  auto ms = re.FindAll("a1 bb22 ccc333");
+  ASSERT_EQ(ms.size(), 3u);
+  EXPECT_EQ(ms[0].Text("a1 bb22 ccc333"), "1");
+  EXPECT_EQ(ms[1].Text("a1 bb22 ccc333"), "22");
+  EXPECT_EQ(ms[2].Text("a1 bb22 ccc333"), "333");
+}
+
+TEST(RegexCaptureTest, FindWithStartOffset) {
+  Regex re = MustCompile("a");
+  auto m = re.Find("abca", 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->overall.begin, 3u);
+}
+
+TEST(RegexCaptureTest, FindAllHandlesEmptyMatches) {
+  Regex re = MustCompile("a*");
+  auto ms = re.FindAll("ba");
+  // Must terminate and produce finitely many matches.
+  ASSERT_FALSE(ms.empty());
+}
+
+TEST(RegexMatchTest, SearchDfaFastPathAvailability) {
+  // Typical rule patterns get the O(len) DFA fast path.
+  EXPECT_TRUE(MustCompile("rings?").has_search_dfa());
+  EXPECT_TRUE(MustCompile("(motor|engine) oils?").has_search_dfa());
+  EXPECT_TRUE(MustCompile("denim.*jeans?").has_search_dfa());
+  // Anchored patterns cannot be determinized position-obliviously.
+  EXPECT_FALSE(MustCompile("^abc$").has_search_dfa());
+  // Both paths agree (the anchored fallback still runs the Pike/Thompson
+  // machinery).
+  Regex anchored = MustCompile("^ab");
+  EXPECT_TRUE(anchored.PartialMatch("abc"));
+  EXPECT_FALSE(anchored.PartialMatch("cab"));
+}
+
+// ------------------------------------------------------------------- DFA --
+
+TEST(DfaTest, AgreesWithNfaOnFullMatch) {
+  Regex re = MustCompile("(ab|a)*c");
+  ByteClasses classes = ComputeByteClasses({&re.program()});
+  auto dfa = Dfa::Build(re.program(), classes);
+  ASSERT_TRUE(dfa.ok());
+  for (const char* s : {"c", "ac", "abc", "aababc", "", "ab", "abab"}) {
+    EXPECT_EQ(dfa->Matches(s), re.FullMatch(s)) << s;
+  }
+}
+
+TEST(DfaTest, RejectsAssertions) {
+  Regex re = MustCompile("^a");
+  ByteClasses classes = ComputeByteClasses({&re.program()});
+  auto dfa = Dfa::Build(re.program(), classes);
+  EXPECT_FALSE(dfa.ok());
+  EXPECT_EQ(dfa.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DfaTest, ByteClassesPartitionIsConsistent) {
+  Regex re = MustCompile("[a-m]x");
+  ByteClasses classes = ComputeByteClasses({&re.program()});
+  // 'a' and 'm' behave identically; 'x' differs from both.
+  EXPECT_EQ(classes.class_of['a'], classes.class_of['m']);
+  EXPECT_NE(classes.class_of['a'], classes.class_of['x']);
+  EXPECT_GE(classes.num_classes, 3);
+}
+
+// ----------------------------------------------------------- Containment --
+
+TEST(ContainmentTest, PaperSubsumptionExample) {
+  // §4: "denim.*jeans?" is subsumed by "jeans?".
+  Regex narrow = MustCompile("denim.*jeans?");
+  Regex broad = MustCompile("jeans?");
+  auto r = SearchSubsumes(narrow, broad);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+  auto rev = SearchSubsumes(broad, narrow);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(*rev);
+}
+
+TEST(ContainmentTest, PaperOverlappingWheelsRules) {
+  // §4: the two "wheels & discs" rules overlap; the (abrasive|sand...) one
+  // is subsumed by "abrasive.*(wheels?|discs?)" only partially, so neither
+  // subsumes the other.
+  Regex a = MustCompile("(abrasive|sand(er|ing))[ -](wheels?|discs?)");
+  Regex b = MustCompile("abrasive.*(wheels?|discs?)");
+  auto ab = SearchSubsumes(a, b);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_FALSE(*ab);  // "sanding discs" matches a but not b
+  auto ba = SearchSubsumes(b, a);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_FALSE(*ba);  // "abrasive grinding wheels" matches b but not a
+}
+
+TEST(ContainmentTest, IdenticalPatternsSubsumeEachOther) {
+  Regex a = MustCompile("rings?");
+  Regex b = MustCompile("rings?");
+  EXPECT_TRUE(*SearchSubsumes(a, b));
+  EXPECT_TRUE(*SearchSubsumes(b, a));
+}
+
+TEST(ContainmentTest, AnchoredLanguageSubset) {
+  Regex a = MustCompile("ab");
+  Regex b = MustCompile("a(b|c)");
+  EXPECT_TRUE(*LanguageSubset(a, b));
+  EXPECT_FALSE(*LanguageSubset(b, a));
+}
+
+TEST(ContainmentTest, LanguagesIntersect) {
+  Regex a = MustCompile("a+b");
+  Regex b = MustCompile("aab|zzz");
+  EXPECT_TRUE(*LanguagesIntersect(a, b));
+  Regex c = MustCompile("c+");
+  EXPECT_FALSE(*LanguagesIntersect(a, c));
+}
+
+// -------------------------------------------------------------- Analysis --
+
+TEST(AnalysisTest, SimpleLiteralRequired) {
+  Regex re = MustCompile("rings?");
+  auto alts = RequiredAlternatives(re);
+  ASSERT_TRUE(alts.ok()) << alts.status().ToString();
+  ASSERT_EQ(alts->size(), 1u);
+  EXPECT_EQ((*alts)[0], "ring");  // "rings" contains "ring"
+}
+
+TEST(AnalysisTest, AlternationYieldsAlternatives) {
+  Regex re = MustCompile("(motor|engine) oils?");
+  auto alts = RequiredAlternatives(re);
+  ASSERT_TRUE(alts.ok());
+  // Best candidate: the " oil" run is shared by all matches.
+  bool has_oil_run = false;
+  for (const auto& s : *alts) {
+    if (s.find("oil") != std::string::npos) has_oil_run = true;
+  }
+  EXPECT_TRUE(has_oil_run);
+}
+
+TEST(AnalysisTest, UnconstrainedPatternHasNone) {
+  Regex re = MustCompile("\\w+");
+  auto alts = RequiredAlternatives(re);
+  EXPECT_FALSE(alts.ok());
+  EXPECT_EQ(alts.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnalysisTest, PrefilterIsSound) {
+  // Every string matched by the pattern must contain >= 1 alternative.
+  const char* patterns[] = {
+      "rings?", "diamond.*trio sets?", "(motor|engine) oils?",
+      "denim.*jeans?", "(area|throw) rugs?"};
+  const char* probes[] = {
+      "platinaire diamond accent ring",  "diamond wedding trio set",
+      "engine oil 5w30",                 "mens denim blue jeans",
+      "5x7 area rug floral",             "unrelated product title"};
+  for (const char* p : patterns) {
+    Regex re = MustCompile(p);
+    auto alts = RequiredAlternatives(re);
+    ASSERT_TRUE(alts.ok()) << p;
+    for (const char* probe : probes) {
+      if (!re.PartialMatch(probe)) continue;
+      bool contains = false;
+      for (const auto& lit : *alts) {
+        if (std::string_view(probe).find(lit) != std::string_view::npos) {
+          contains = true;
+        }
+      }
+      EXPECT_TRUE(contains) << p << " on " << probe;
+    }
+  }
+}
+
+TEST(AnalysisTest, CaseFoldedPatternYieldsLowercaseLiterals) {
+  Regex re = MustCompile("Wedding Band", /*folded=*/true);
+  auto alts = RequiredAlternatives(re);
+  ASSERT_TRUE(alts.ok());
+  ASSERT_EQ(alts->size(), 1u);
+  EXPECT_EQ((*alts)[0], "wedding band");
+}
+
+TEST(AnalysisTest, TooShortLiteralsRejected) {
+  Regex re = MustCompile("a|b");
+  auto alts = RequiredAlternatives(re);
+  EXPECT_FALSE(alts.ok());
+}
+
+}  // namespace
+}  // namespace rulekit::regex

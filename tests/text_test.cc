@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "src/text/dictionary.h"
+#include "src/text/similarity.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vocabulary.h"
+
+namespace rulekit::text {
+namespace {
+
+// ------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, SplitsOnPunctuationAndSpace) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Dickies 38in. x 30in. indigo-blue jeans!");
+  std::vector<std::string> expected = {"dickies", "38in", "x",    "30in",
+                                       "indigo",  "blue", "jeans"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Apple MacBook");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "apple");
+  EXPECT_EQ(tokens[1], "macbook");
+}
+
+TEST(TokenizerTest, PreservesCaseWhenConfigured) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer tok(opts);
+  auto tokens = tok.Tokenize("Apple");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "Apple");
+}
+
+TEST(TokenizerTest, DropsStopwords) {
+  TokenizerOptions opts;
+  opts.stopwords = {"the", "of"};
+  Tokenizer tok(opts);
+  auto tokens = tok.Tokenize("the ring of power");
+  std::vector<std::string> expected = {"ring", "power"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  .,;!  ").empty());
+}
+
+// ------------------------------------------------------------ Vocabulary --
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  TokenId a = vocab.Intern("ring");
+  TokenId b = vocab.Intern("ring");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.Intern("ring");
+  EXPECT_EQ(vocab.Lookup("band"), kInvalidTokenId);
+}
+
+TEST(VocabularyTest, RoundTripTokenFor) {
+  Vocabulary vocab;
+  TokenId id = vocab.Intern("laptop");
+  EXPECT_EQ(vocab.TokenFor(id), "laptop");
+}
+
+TEST(VocabularyTest, InternAllAssignsDenseIds) {
+  Vocabulary vocab;
+  auto ids = vocab.InternAll({"a", "b", "a", "c"});
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+// ---------------------------------------------------------- SparseVector --
+
+TEST(SparseVectorTest, FromPairsMergesDuplicates) {
+  auto v = SparseVector::FromPairs({{3, 1.0}, {1, 2.0}, {3, 4.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.WeightOf(3), 5.0);
+  EXPECT_DOUBLE_EQ(v.WeightOf(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.WeightOf(2), 0.0);
+}
+
+TEST(SparseVectorTest, DotProduct) {
+  auto a = SparseVector::FromPairs({{1, 1.0}, {2, 2.0}});
+  auto b = SparseVector::FromPairs({{2, 3.0}, {4, 9.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 6.0);
+}
+
+TEST(SparseVectorTest, CosineOfIdenticalVectorsIsOne) {
+  auto a = SparseVector::FromPairs({{1, 1.0}, {2, 2.0}});
+  EXPECT_NEAR(a.Cosine(a), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineOfDisjointVectorsIsZero) {
+  auto a = SparseVector::FromPairs({{1, 1.0}});
+  auto b = SparseVector::FromPairs({{2, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.0);
+}
+
+TEST(SparseVectorTest, CosineWithEmptyIsZero) {
+  auto a = SparseVector::FromPairs({{1, 1.0}});
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(a.Cosine(empty), 0.0);
+}
+
+TEST(SparseVectorTest, AddScaledMergesEntries) {
+  auto a = SparseVector::FromPairs({{1, 1.0}, {2, 1.0}});
+  auto b = SparseVector::FromPairs({{2, 1.0}, {3, 1.0}});
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(3), 2.0);
+}
+
+TEST(SparseVectorTest, ClampNonNegativeDropsNegatives) {
+  auto a = SparseVector::FromPairs({{1, 1.0}, {2, -0.5}});
+  a.ClampNonNegative();
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(2), 0.0);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SparseVectorTest, NormalizeYieldsUnitNorm) {
+  auto a = SparseVector::FromPairs({{1, 3.0}, {2, 4.0}});
+  a.Normalize();
+  EXPECT_NEAR(a.Norm(), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ TfIdfModel --
+
+TEST(TfIdfModelTest, RareTokensGetHigherIdf) {
+  TfIdfModel model;
+  // "common" appears in every doc, "rare" in one.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<TokenId> doc = {1};
+    if (i == 0) doc.push_back(2);
+    model.AddDocument(doc);
+  }
+  EXPECT_GT(model.Idf(2), model.Idf(1));
+}
+
+TEST(TfIdfModelTest, VectorizeWeighsByTfAndIdf) {
+  TfIdfModel model;
+  model.AddDocument({1});
+  model.AddDocument({1, 2});
+  auto v = model.Vectorize({1, 1, 2});
+  // tf(1)=2, tf(2)=1; idf(2) > idf(1).
+  EXPECT_GT(v.WeightOf(1), 0.0);
+  EXPECT_GT(v.WeightOf(2), 0.0);
+}
+
+TEST(TfIdfModelTest, UnseenTokenGetsMaxIdf) {
+  TfIdfModel model;
+  model.AddDocument({1});
+  EXPECT_GT(model.Idf(99), model.Idf(1));
+}
+
+// ------------------------------------------------------------ Similarity --
+
+TEST(SimilarityTest, CharNGramsBasic) {
+  auto grams = CharNGrams("abcd", 3);
+  EXPECT_EQ(grams.size(), 2u);
+  EXPECT_TRUE(grams.count("abc"));
+  EXPECT_TRUE(grams.count("bcd"));
+}
+
+TEST(SimilarityTest, CharNGramsShortString) {
+  auto grams = CharNGrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_TRUE(grams.count("ab"));
+}
+
+TEST(SimilarityTest, JaccardIdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(JaccardNGram("the hobbit", "the hobbit", 3), 1.0);
+}
+
+TEST(SimilarityTest, JaccardDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(JaccardNGram("aaaa", "bbbb", 3), 0.0);
+}
+
+TEST(SimilarityTest, JaccardSymmetric) {
+  double ab = JaccardNGram("harry potter", "harry pottr", 3);
+  double ba = JaccardNGram("harry pottr", "harry potter", 3);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.5);
+}
+
+TEST(SimilarityTest, EditDistanceClassic) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+}
+
+TEST(SimilarityTest, EditSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("a", "b"), 0.0);
+}
+
+TEST(SimilarityTest, JaccardTokens) {
+  EXPECT_DOUBLE_EQ(JaccardTokens({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+}
+
+TEST(SimilarityTest, OverlapCoefficient) {
+  std::unordered_set<std::string> a = {"x", "y"};
+  std::unordered_set<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(a, b), 0.5);
+}
+
+// ------------------------------------------------------------ Dictionary --
+
+TEST(DictionaryTest, SingleWordMatch) {
+  Dictionary dict;
+  dict.Add("apple");
+  auto matches = dict.FindAll("new apple iphone");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].begin, 4u);
+  EXPECT_EQ(matches[0].end, 9u);
+}
+
+TEST(DictionaryTest, MatchIsCaseInsensitive) {
+  Dictionary dict;
+  dict.Add("Apple");
+  EXPECT_TRUE(dict.ContainsAny("APPLE iPhone"));
+}
+
+TEST(DictionaryTest, MultiWordPhraseLongestWins) {
+  Dictionary dict;
+  dict.Add("fisher");
+  dict.Add("fisher price");
+  auto matches = dict.FindAll("fisher price toy");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry, 1u);  // the longer phrase
+}
+
+TEST(DictionaryTest, WordBoundaryRespected) {
+  Dictionary dict;
+  dict.Add("ring");
+  // "ring" inside "earring" is a different token, so no match.
+  EXPECT_FALSE(dict.ContainsAny("earrings"));
+  EXPECT_TRUE(dict.ContainsAny("gold ring"));
+}
+
+TEST(DictionaryTest, MultipleNonOverlappingMatches) {
+  Dictionary dict;
+  dict.Add("usb cable");
+  dict.Add("hdmi");
+  auto matches = dict.FindAll("usb cable with hdmi adapter");
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(DictionaryTest, EmptyDictionaryMatchesNothing) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.ContainsAny("anything at all"));
+}
+
+}  // namespace
+}  // namespace rulekit::text
