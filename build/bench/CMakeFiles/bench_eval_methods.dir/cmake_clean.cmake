@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_methods.dir/bench_eval_methods.cpp.o"
+  "CMakeFiles/bench_eval_methods.dir/bench_eval_methods.cpp.o.d"
+  "bench_eval_methods"
+  "bench_eval_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

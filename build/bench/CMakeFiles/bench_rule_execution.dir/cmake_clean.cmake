@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_execution.dir/bench_rule_execution.cpp.o"
+  "CMakeFiles/bench_rule_execution.dir/bench_rule_execution.cpp.o.d"
+  "bench_rule_execution"
+  "bench_rule_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

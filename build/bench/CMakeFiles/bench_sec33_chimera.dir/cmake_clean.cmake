@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_chimera.dir/bench_sec33_chimera.cpp.o"
+  "CMakeFiles/bench_sec33_chimera.dir/bench_sec33_chimera.cpp.o.d"
+  "bench_sec33_chimera"
+  "bench_sec33_chimera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_chimera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

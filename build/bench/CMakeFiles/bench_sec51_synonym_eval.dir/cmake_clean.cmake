@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_synonym_eval.dir/bench_sec51_synonym_eval.cpp.o"
+  "CMakeFiles/bench_sec51_synonym_eval.dir/bench_sec51_synonym_eval.cpp.o.d"
+  "bench_sec51_synonym_eval"
+  "bench_sec51_synonym_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_synonym_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

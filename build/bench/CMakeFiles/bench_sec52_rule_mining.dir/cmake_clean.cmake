@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_rule_mining.dir/bench_sec52_rule_mining.cpp.o"
+  "CMakeFiles/bench_sec52_rule_mining.dir/bench_sec52_rule_mining.cpp.o.d"
+  "bench_sec52_rule_mining"
+  "bench_sec52_rule_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_rule_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_synonyms.dir/bench_table1_synonyms.cpp.o"
+  "CMakeFiles/bench_table1_synonyms.dir/bench_table1_synonyms.cpp.o.d"
+  "bench_table1_synonyms"
+  "bench_table1_synonyms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_synonyms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tail_and_drift.dir/bench_tail_and_drift.cpp.o"
+  "CMakeFiles/bench_tail_and_drift.dir/bench_tail_and_drift.cpp.o.d"
+  "bench_tail_and_drift"
+  "bench_tail_and_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tail_and_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brand_extraction.dir/brand_extraction.cpp.o"
+  "CMakeFiles/brand_extraction.dir/brand_extraction.cpp.o.d"
+  "brand_extraction"
+  "brand_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brand_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

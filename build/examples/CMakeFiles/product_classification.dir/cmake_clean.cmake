@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_classification.dir/product_classification.cpp.o"
+  "CMakeFiles/product_classification.dir/product_classification.cpp.o.d"
+  "product_classification"
+  "product_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_authoring.dir/rule_authoring.cpp.o"
+  "CMakeFiles/rule_authoring.dir/rule_authoring.cpp.o.d"
+  "rule_authoring"
+  "rule_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_shell.dir/rule_shell.cpp.o"
+  "CMakeFiles/rule_shell.dir/rule_shell.cpp.o.d"
+  "rule_shell"
+  "rule_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

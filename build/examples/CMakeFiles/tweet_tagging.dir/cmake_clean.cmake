@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_tagging.dir/tweet_tagging.cpp.o"
+  "CMakeFiles/tweet_tagging.dir/tweet_tagging.cpp.o.d"
+  "tweet_tagging"
+  "tweet_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

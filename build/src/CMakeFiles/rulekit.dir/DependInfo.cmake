@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chimera/analyst.cc" "src/CMakeFiles/rulekit.dir/chimera/analyst.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/analyst.cc.o.d"
+  "/root/repo/src/chimera/feedback_loop.cc" "src/CMakeFiles/rulekit.dir/chimera/feedback_loop.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/feedback_loop.cc.o.d"
+  "/root/repo/src/chimera/first_responder.cc" "src/CMakeFiles/rulekit.dir/chimera/first_responder.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/first_responder.cc.o.d"
+  "/root/repo/src/chimera/gate_keeper.cc" "src/CMakeFiles/rulekit.dir/chimera/gate_keeper.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/gate_keeper.cc.o.d"
+  "/root/repo/src/chimera/monitor.cc" "src/CMakeFiles/rulekit.dir/chimera/monitor.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/monitor.cc.o.d"
+  "/root/repo/src/chimera/pipeline.cc" "src/CMakeFiles/rulekit.dir/chimera/pipeline.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/pipeline.cc.o.d"
+  "/root/repo/src/chimera/voting.cc" "src/CMakeFiles/rulekit.dir/chimera/voting.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/chimera/voting.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rulekit.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/rulekit.dir/common/random.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rulekit.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rulekit.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/rulekit.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/crowd/crowd.cc" "src/CMakeFiles/rulekit.dir/crowd/crowd.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/crowd/crowd.cc.o.d"
+  "/root/repo/src/crowd/estimator.cc" "src/CMakeFiles/rulekit.dir/crowd/estimator.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/crowd/estimator.cc.o.d"
+  "/root/repo/src/data/catalog_generator.cc" "src/CMakeFiles/rulekit.dir/data/catalog_generator.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/data/catalog_generator.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rulekit.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/drift.cc" "src/CMakeFiles/rulekit.dir/data/drift.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/data/drift.cc.o.d"
+  "/root/repo/src/data/product.cc" "src/CMakeFiles/rulekit.dir/data/product.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/data/product.cc.o.d"
+  "/root/repo/src/data/taxonomy.cc" "src/CMakeFiles/rulekit.dir/data/taxonomy.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/data/taxonomy.cc.o.d"
+  "/root/repo/src/em/blocker.cc" "src/CMakeFiles/rulekit.dir/em/blocker.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/em/blocker.cc.o.d"
+  "/root/repo/src/em/match_rule.cc" "src/CMakeFiles/rulekit.dir/em/match_rule.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/em/match_rule.cc.o.d"
+  "/root/repo/src/em/matcher.cc" "src/CMakeFiles/rulekit.dir/em/matcher.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/em/matcher.cc.o.d"
+  "/root/repo/src/engine/data_index.cc" "src/CMakeFiles/rulekit.dir/engine/data_index.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/engine/data_index.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/rulekit.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/rule_classifier.cc" "src/CMakeFiles/rulekit.dir/engine/rule_classifier.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/engine/rule_classifier.cc.o.d"
+  "/root/repo/src/engine/rule_index.cc" "src/CMakeFiles/rulekit.dir/engine/rule_index.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/engine/rule_index.cc.o.d"
+  "/root/repo/src/eval/module_eval.cc" "src/CMakeFiles/rulekit.dir/eval/module_eval.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/eval/module_eval.cc.o.d"
+  "/root/repo/src/eval/per_rule_eval.cc" "src/CMakeFiles/rulekit.dir/eval/per_rule_eval.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/eval/per_rule_eval.cc.o.d"
+  "/root/repo/src/eval/tracker.cc" "src/CMakeFiles/rulekit.dir/eval/tracker.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/eval/tracker.cc.o.d"
+  "/root/repo/src/eval/validation_set.cc" "src/CMakeFiles/rulekit.dir/eval/validation_set.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/eval/validation_set.cc.o.d"
+  "/root/repo/src/gen/rule_miner.cc" "src/CMakeFiles/rulekit.dir/gen/rule_miner.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/gen/rule_miner.cc.o.d"
+  "/root/repo/src/gen/rule_selection.cc" "src/CMakeFiles/rulekit.dir/gen/rule_selection.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/gen/rule_selection.cc.o.d"
+  "/root/repo/src/gen/synonym_finder.cc" "src/CMakeFiles/rulekit.dir/gen/synonym_finder.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/gen/synonym_finder.cc.o.d"
+  "/root/repo/src/ie/attribute_extractor.cc" "src/CMakeFiles/rulekit.dir/ie/attribute_extractor.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ie/attribute_extractor.cc.o.d"
+  "/root/repo/src/ie/brand_extractor.cc" "src/CMakeFiles/rulekit.dir/ie/brand_extractor.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ie/brand_extractor.cc.o.d"
+  "/root/repo/src/ie/enricher.cc" "src/CMakeFiles/rulekit.dir/ie/enricher.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ie/enricher.cc.o.d"
+  "/root/repo/src/ie/normalizer.cc" "src/CMakeFiles/rulekit.dir/ie/normalizer.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ie/normalizer.cc.o.d"
+  "/root/repo/src/maint/consolidation.cc" "src/CMakeFiles/rulekit.dir/maint/consolidation.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/maint/consolidation.cc.o.d"
+  "/root/repo/src/maint/drift_monitor.cc" "src/CMakeFiles/rulekit.dir/maint/drift_monitor.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/maint/drift_monitor.cc.o.d"
+  "/root/repo/src/maint/overlap.cc" "src/CMakeFiles/rulekit.dir/maint/overlap.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/maint/overlap.cc.o.d"
+  "/root/repo/src/maint/subsumption.cc" "src/CMakeFiles/rulekit.dir/maint/subsumption.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/maint/subsumption.cc.o.d"
+  "/root/repo/src/mining/apriori_all.cc" "src/CMakeFiles/rulekit.dir/mining/apriori_all.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/mining/apriori_all.cc.o.d"
+  "/root/repo/src/ml/ensemble.cc" "src/CMakeFiles/rulekit.dir/ml/ensemble.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/ensemble.cc.o.d"
+  "/root/repo/src/ml/features.cc" "src/CMakeFiles/rulekit.dir/ml/features.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/features.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/rulekit.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/logreg.cc" "src/CMakeFiles/rulekit.dir/ml/logreg.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/logreg.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/rulekit.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/rulekit.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/CMakeFiles/rulekit.dir/ml/split.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/ml/split.cc.o.d"
+  "/root/repo/src/regex/analysis.cc" "src/CMakeFiles/rulekit.dir/regex/analysis.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/analysis.cc.o.d"
+  "/root/repo/src/regex/ast.cc" "src/CMakeFiles/rulekit.dir/regex/ast.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/ast.cc.o.d"
+  "/root/repo/src/regex/containment.cc" "src/CMakeFiles/rulekit.dir/regex/containment.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/containment.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/CMakeFiles/rulekit.dir/regex/dfa.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/dfa.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/CMakeFiles/rulekit.dir/regex/nfa.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/nfa.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/CMakeFiles/rulekit.dir/regex/parser.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/parser.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/CMakeFiles/rulekit.dir/regex/regex.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/regex/regex.cc.o.d"
+  "/root/repo/src/rules/dictionary_registry.cc" "src/CMakeFiles/rulekit.dir/rules/dictionary_registry.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/dictionary_registry.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/CMakeFiles/rulekit.dir/rules/predicate.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/predicate.cc.o.d"
+  "/root/repo/src/rules/repository.cc" "src/CMakeFiles/rulekit.dir/rules/repository.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/repository.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/rulekit.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_parser.cc" "src/CMakeFiles/rulekit.dir/rules/rule_parser.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/rule_parser.cc.o.d"
+  "/root/repo/src/rules/rule_set.cc" "src/CMakeFiles/rulekit.dir/rules/rule_set.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/rule_set.cc.o.d"
+  "/root/repo/src/rules/token_pattern.cc" "src/CMakeFiles/rulekit.dir/rules/token_pattern.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/rules/token_pattern.cc.o.d"
+  "/root/repo/src/text/aho_corasick.cc" "src/CMakeFiles/rulekit.dir/text/aho_corasick.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/aho_corasick.cc.o.d"
+  "/root/repo/src/text/dictionary.cc" "src/CMakeFiles/rulekit.dir/text/dictionary.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/dictionary.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/rulekit.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/rulekit.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/rulekit.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/rulekit.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/rulekit.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_test.dir/chimera_test.cc.o"
+  "CMakeFiles/chimera_test.dir/chimera_test.cc.o.d"
+  "chimera_test"
+  "chimera_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maint_test.dir/maint_test.cc.o"
+  "CMakeFiles/maint_test.dir/maint_test.cc.o.d"
+  "maint_test"
+  "maint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
