@@ -4,19 +4,32 @@
 
 namespace rulekit::chimera {
 
-GateDecision GateKeeper::Decide(const data::ProductItem& item) const {
+GateDecision GateKeeper::DecideWith(const GateMemo& memo,
+                                    const data::ProductItem& item) {
   if (Trim(item.title).empty()) {
     return {GateDecision::Kind::kRejected, ""};
   }
-  auto it = memo_.find(ToLowerAscii(item.title));
-  if (it != memo_.end()) {
+  auto it = memo.find(ToLowerAscii(item.title));
+  if (it != memo.end()) {
     return {GateDecision::Kind::kClassified, it->second};
   }
   return {GateDecision::Kind::kPass, ""};
 }
 
+GateDecision GateKeeper::Decide(const data::ProductItem& item) const {
+  return DecideWith(*snapshot(), item);
+}
+
 void GateKeeper::Memoize(const std::string& title, const std::string& type) {
-  memo_[ToLowerAscii(title)] = type;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<GateMemo>(*memo_);
+  (*next)[ToLowerAscii(title)] = type;
+  memo_ = std::move(next);
+}
+
+std::shared_ptr<const GateMemo> GateKeeper::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_;
 }
 
 }  // namespace rulekit::chimera

@@ -1,6 +1,8 @@
 #ifndef RULEKIT_CHIMERA_GATE_KEEPER_H_
 #define RULEKIT_CHIMERA_GATE_KEEPER_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -20,22 +22,45 @@ struct GateDecision {
   std::string type;  // kClassified only
 };
 
+/// The confirmed (lowercased title -> type) memo, published as an
+/// immutable snapshot so concurrent batch readers never race with
+/// Memoize.
+using GateMemo = std::unordered_map<std::string, std::string>;
+
 /// The first stage of Figure 2: "does preliminary processing, and under
 /// certain conditions can immediately classify an item". This
 /// implementation rejects unprocessable items and short-circuits items
 /// whose exact title was already confirmed earlier (a memo of curated
 /// results), which is how re-sent catalog items bypass the classifiers.
+///
+/// Thread-safe: the memo is copy-on-write. Memoize (the writer path)
+/// copies the current memo, inserts, and atomically publishes the new
+/// version; Decide and snapshot() read whatever version is current.
+/// Batch readers acquire one snapshot per batch so every item in a batch
+/// sees the same memo.
 class GateKeeper {
  public:
+  GateKeeper() : memo_(std::make_shared<const GateMemo>()) {}
+
+  /// Decision against the current memo version.
   GateDecision Decide(const data::ProductItem& item) const;
 
+  /// Decision against a pinned memo snapshot (the per-batch path).
+  static GateDecision DecideWith(const GateMemo& memo,
+                                 const data::ProductItem& item);
+
   /// Records a confirmed (title -> type) pair for future short-circuiting.
+  /// Publishes a fresh memo version; in-flight readers keep the old one.
   void Memoize(const std::string& title, const std::string& type);
 
-  size_t memo_size() const { return memo_.size(); }
+  /// The current immutable memo version.
+  std::shared_ptr<const GateMemo> snapshot() const;
+
+  size_t memo_size() const { return snapshot()->size(); }
 
  private:
-  std::unordered_map<std::string, std::string> memo_;
+  mutable std::mutex mu_;            // guards publication of memo_
+  std::shared_ptr<const GateMemo> memo_;
 };
 
 }  // namespace rulekit::chimera

@@ -1,137 +1,277 @@
 #include "src/chimera/pipeline.h"
 
+#include <algorithm>
+
 namespace rulekit::chimera {
 
 ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
     : config_(config), repo_(std::make_shared<rules::RuleRepository>()) {
-  // Classifiers view the repository's rule set through an aliasing
-  // shared_ptr, so repository mutations are visible after RebuildRules().
-  rules_view_ =
-      std::shared_ptr<const rules::RuleSet>(repo_, &repo_->rules());
-  rule_classifier_ =
-      std::make_shared<engine::RuleBasedClassifier>(rules_view_);
-  attr_classifier_ =
-      std::make_shared<engine::AttrValueClassifier>(rules_view_);
-  filter_ = std::make_unique<Filter>(rules_view_);
-  RebuildVoting();
+  if (config_.batch_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RepublishLocked();
 }
 
-void ChimeraPipeline::RebuildVoting() {
-  voting_ = std::make_unique<VotingMaster>(config_.voting);
+void ChimeraPipeline::RepublishLocked() {
+  auto snap = std::make_shared<PipelineSnapshot>();
+  snap->rules = repo_->snapshot();
+  snap->rule_classifier =
+      std::make_shared<engine::RuleBasedClassifier>(snap->rules);
+  snap->attr_classifier =
+      std::make_shared<engine::AttrValueClassifier>(snap->rules);
+  snap->filter = std::make_shared<Filter>(snap->rules);
+  snap->ensemble = ensemble_;
+  snap->suppressed = suppressed_;
+
+  auto voting = std::make_shared<VotingMaster>(config_.voting);
   if (config_.use_rules) {
-    voting_->AddMember(rule_classifier_, config_.rule_weight);
-    voting_->AddMember(attr_classifier_, config_.attr_weight);
+    voting->AddMember(snap->rule_classifier, config_.rule_weight);
+    voting->AddMember(snap->attr_classifier, config_.attr_weight);
   }
-  if (config_.use_learning && learning_trained_) {
-    voting_->AddMember(ensemble_, config_.learning_weight);
+  if (config_.use_learning && snap->ensemble != nullptr) {
+    voting->AddMember(snap->ensemble, config_.learning_weight);
   }
+  snap->voting = std::move(voting);
+  snap->version = ++version_;
+
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const PipelineSnapshot> ChimeraPipeline::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+uint64_t ChimeraPipeline::snapshot_version() const {
+  return CurrentSnapshot()->version;
 }
 
 Status ChimeraPipeline::AddRules(std::vector<rules::Rule> new_rules,
                                  std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = Status::OK();
   for (auto& rule : new_rules) {
-    RULEKIT_RETURN_IF_ERROR(repo_->Add(std::move(rule), author));
+    status = repo_->Add(std::move(rule), author);
+    if (!status.ok()) break;
   }
-  RebuildRules();
-  return Status::OK();
+  // Publish whatever made it in, even on failure part-way through.
+  RepublishLocked();
+  return status;
 }
 
-void ChimeraPipeline::RebuildRules() { rule_classifier_->Rebuild(); }
+void ChimeraPipeline::RebuildRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RepublishLocked();
+}
 
 void ChimeraPipeline::AddTrainingData(
     std::vector<data::LabeledItem> labeled) {
+  std::lock_guard<std::mutex> lock(mu_);
   training_data_.insert(training_data_.end(),
                         std::make_move_iterator(labeled.begin()),
                         std::make_move_iterator(labeled.end()));
 }
 
+size_t ChimeraPipeline::training_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return training_data_.size();
+}
+
 void ChimeraPipeline::RetrainLearning() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (training_data_.empty()) return;
   // Fresh extractor + learners: the simplest correct retraining story
-  // (incremental learners accumulate state across Train calls).
-  features_ = std::make_shared<ml::FeatureExtractor>();
-  auto nb = std::make_shared<ml::NaiveBayesClassifier>(features_);
+  // (incremental learners accumulate state across Train calls). Serving
+  // keeps voting with the previous ensemble until the new one is
+  // published below.
+  auto features = std::make_shared<ml::FeatureExtractor>();
+  auto nb = std::make_shared<ml::NaiveBayesClassifier>(features);
   nb->Train(training_data_);
-  auto knn = std::make_shared<ml::KnnClassifier>(features_, 7);
+  auto knn = std::make_shared<ml::KnnClassifier>(features, 7);
   knn->Train(training_data_);
-  auto logreg = std::make_shared<ml::LogRegClassifier>(features_);
+  auto logreg = std::make_shared<ml::LogRegClassifier>(features);
   logreg->Train(training_data_);
   ensemble_ = std::make_shared<ml::EnsembleClassifier>();
   ensemble_->AddMember(std::move(nb));
   ensemble_->AddMember(std::move(knn));
   ensemble_->AddMember(std::move(logreg));
-  learning_trained_ = true;
-  RebuildVoting();
+  RepublishLocked();
 }
 
 void ChimeraPipeline::ScaleDownType(const std::string& type,
                                     std::string_view author,
                                     std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
   suppressed_.insert(type);
   repo_->DisableRulesForType(type, author, reason);
-  RebuildRules();
+  RepublishLocked();
 }
 
 void ChimeraPipeline::ScaleUpType(const std::string& type) {
+  std::lock_guard<std::mutex> lock(mu_);
   suppressed_.erase(type);
-  RebuildRules();
+  RepublishLocked();
+}
+
+void ChimeraPipeline::Memoize(const std::string& title,
+                              const std::string& type) {
+  gate_.Memoize(title, type);
 }
 
 std::optional<std::string> ChimeraPipeline::Classify(
     const data::ProductItem& item) const {
-  GateDecision gate = gate_.Decide(item);
+  auto snap = CurrentSnapshot();
+  auto memo = gate_.snapshot();
+  GateDecision gate = GateKeeper::DecideWith(*memo, item);
   if (gate.kind == GateDecision::Kind::kRejected) return std::nullopt;
   if (gate.kind == GateDecision::Kind::kClassified) {
-    if (suppressed_.count(gate.type)) return std::nullopt;
+    if (snap->suppressed.count(gate.type)) return std::nullopt;
     return gate.type;
   }
-  auto vote = voting_->Vote(item);
+  auto vote = snap->voting->Vote(item);
   if (!vote.has_value()) return std::nullopt;
-  if (suppressed_.count(vote->label)) return std::nullopt;
-  if (!filter_->Admit(item, vote->label)) return std::nullopt;
+  if (snap->suppressed.count(vote->label)) return std::nullopt;
+  if (!snap->filter->Admit(item, vote->label)) return std::nullopt;
   return vote->label;
 }
 
+namespace {
+
+/// Runs fn(begin, end) over [0, n), chunked on the pool when available.
+void RunChunked(ThreadPool* pool, size_t n,
+                const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    fn(0, n);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace
+
 BatchReport ChimeraPipeline::ProcessBatch(
     const std::vector<data::ProductItem>& items) const {
+  // Pin one snapshot (and one memo version) for the whole batch: writers
+  // may publish new versions while we run, but this batch is classified
+  // entirely against the state it started with.
+  auto snap = CurrentSnapshot();
+  auto memo = gate_.snapshot();
+  ThreadPool* pool = pool_.get();
+
   BatchReport report;
   report.total = items.size();
-  report.predictions.reserve(items.size());
-  for (const auto& item : items) {
-    GateDecision gate = gate_.Decide(item);
-    if (gate.kind == GateDecision::Kind::kRejected) {
-      ++report.gate_rejected;
-      report.predictions.emplace_back(std::nullopt);
-      continue;
-    }
-    if (gate.kind == GateDecision::Kind::kClassified) {
-      if (suppressed_.count(gate.type)) {
-        ++report.suppressed;
-        report.predictions.emplace_back(std::nullopt);
-      } else {
-        ++report.gate_classified;
-        report.predictions.emplace_back(gate.type);
+  report.predictions.assign(items.size(), std::nullopt);
+  if (items.empty()) return report;
+
+  // ---- Stage 1: gate decisions (sharded; writes are index-disjoint) ------
+  enum : uint8_t { kPass = 0, kRejected, kGateClassified, kGateSuppressed };
+  std::vector<uint8_t> gate_outcome(items.size(), kPass);
+  RunChunked(pool, items.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      GateDecision d = GateKeeper::DecideWith(*memo, items[i]);
+      if (d.kind == GateDecision::Kind::kRejected) {
+        gate_outcome[i] = kRejected;
+      } else if (d.kind == GateDecision::Kind::kClassified) {
+        if (snap->suppressed.count(d.type)) {
+          gate_outcome[i] = kGateSuppressed;
+        } else {
+          gate_outcome[i] = kGateClassified;
+          report.predictions[i] = std::move(d.type);
+        }
       }
-      continue;
     }
-    auto vote = voting_->Vote(item);
-    if (!vote.has_value()) {
-      ++report.declined;
-      report.predictions.emplace_back(std::nullopt);
-      continue;
+  });
+
+  std::vector<size_t> pass_idx;
+  std::vector<const data::ProductItem*> pass_ptrs;
+  for (size_t i = 0; i < items.size(); ++i) {
+    switch (gate_outcome[i]) {
+      case kRejected: ++report.gate_rejected; break;
+      case kGateClassified: ++report.gate_classified; break;
+      case kGateSuppressed: ++report.suppressed; break;
+      default:
+        pass_idx.push_back(i);
+        pass_ptrs.push_back(&items[i]);
+        break;
     }
-    if (suppressed_.count(vote->label)) {
-      ++report.suppressed;
-      report.predictions.emplace_back(std::nullopt);
-      continue;
+  }
+  if (pass_ptrs.empty()) return report;
+
+  // ---- Stage 2: regex rule matches, once per batch (indexed executor) ----
+  engine::ExecutionResult exec =
+      snap->rule_classifier->MatchBatch(pass_ptrs, pool);
+
+  // ---- Stage 3: voting (rule member scored from the stage-2 matches) -----
+  std::vector<std::vector<ml::ScoredLabel>> rule_scored;
+  const ml::Classifier* precomputed = nullptr;
+  if (config_.use_rules) {
+    rule_scored.resize(pass_ptrs.size());
+    RunChunked(pool, pass_ptrs.size(), [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        rule_scored[j] =
+            snap->rule_classifier->ScoreMatches(exec.matches_per_item[j]);
+      }
+    });
+    precomputed = snap->rule_classifier.get();
+  }
+  auto votes =
+      snap->voting->VoteBatch(pass_ptrs, pool, precomputed, &rule_scored);
+
+  // ---- Stage 4: suppression + filter + accounting ------------------------
+  // Per-chunk partial reports, merged in chunk order: counters are sums,
+  // predictions are written by disjoint index, so the merged result is
+  // identical to the sequential path.
+  struct Partial {
+    size_t declined = 0, suppressed = 0, filtered = 0, classified = 0;
+  };
+  const size_t n_pass = pass_ptrs.size();
+  const size_t chunks =
+      pool == nullptr ? 1 : std::min(n_pass, pool->num_threads() * 4);
+  const size_t chunk_size = (n_pass + chunks - 1) / chunks;
+  std::vector<Partial> partials(chunks);
+  auto finalize = [&](Partial& p, size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      if (!votes[j].has_value()) {
+        ++p.declined;
+        continue;
+      }
+      const std::string& label = votes[j]->label;
+      if (snap->suppressed.count(label)) {
+        ++p.suppressed;
+        continue;
+      }
+      if (!snap->filter->AdmitWithMatches(*pass_ptrs[j], label,
+                                          exec.matches_per_item[j])) {
+        ++p.filtered;
+        continue;
+      }
+      ++p.classified;
+      report.predictions[pass_idx[j]] = label;
     }
-    if (!filter_->Admit(item, vote->label)) {
-      ++report.filtered;
-      report.predictions.emplace_back(std::nullopt);
-      continue;
+  };
+  if (pool == nullptr) {
+    finalize(partials[0], 0, n_pass);
+  } else {
+    TaskGroup group;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(n_pass, begin + chunk_size);
+      pool->Submit(&group,
+                   [&finalize, &partials, c, begin, end] {
+                     finalize(partials[c], begin, end);
+                   });
     }
-    ++report.classified;
-    report.predictions.emplace_back(vote->label);
+    group.Wait();
+  }
+  for (const Partial& p : partials) {
+    report.declined += p.declined;
+    report.suppressed += p.suppressed;
+    report.filtered += p.filtered;
+    report.classified += p.classified;
   }
   return report;
 }

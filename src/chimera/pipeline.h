@@ -2,6 +2,7 @@
 #define RULEKIT_CHIMERA_PIPELINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 
 #include "src/chimera/gate_keeper.h"
 #include "src/chimera/voting.h"
+#include "src/common/thread_pool.h"
 #include "src/data/product.h"
 #include "src/engine/rule_classifier.h"
 #include "src/ml/ensemble.h"
@@ -29,6 +31,9 @@ struct PipelineConfig {
   double attr_weight = 0.9;
   double learning_weight = 0.7;
   VotingOptions voting;
+  /// Worker threads for ProcessBatch (0 or 1 = sequential). The pool is
+  /// shared by concurrent batches; each batch waits only on its own work.
+  size_t batch_threads = 0;
 };
 
 /// Where each item of a batch ended up.
@@ -50,36 +55,80 @@ struct BatchReport {
   }
 };
 
+/// Everything one classification needs, bound to one immutable rule-set
+/// version: classifiers, voting master, filter, and the suppressed-type
+/// set. Writers build a fresh snapshot and swap the pipeline's pointer
+/// atomically; readers acquire the pointer once per batch (or per item)
+/// and keep the whole bundle alive via shared_ptr for as long as they
+/// need it. Rule updates therefore never block or corrupt in-flight
+/// classification — a batch finishes on the version it started with.
+struct PipelineSnapshot {
+  std::shared_ptr<const rules::RuleSet> rules;
+  std::shared_ptr<engine::RuleBasedClassifier> rule_classifier;
+  std::shared_ptr<engine::AttrValueClassifier> attr_classifier;
+  std::shared_ptr<ml::EnsembleClassifier> ensemble;  // null until trained
+  std::shared_ptr<const VotingMaster> voting;
+  std::shared_ptr<const Filter> filter;
+  std::unordered_set<std::string> suppressed;
+  uint64_t version = 0;
+};
+
 /// The Chimera system (Figure 2): Gate Keeper -> {rule-based,
 /// attribute/value, learning ensemble} classifiers -> Voting Master ->
 /// Filter -> Result, with scale-down/scale-up controls and a versioned
 /// rule repository underneath.
+///
+/// Concurrency model (snapshot-isolated serving core):
+///  - Readers (Classify, ProcessBatch) are lock-free apart from two
+///    pointer loads: they pin the current PipelineSnapshot and the gate
+///    keeper's memo version, then classify against those. They never see
+///    a half-applied rule update.
+///  - Writers (AddRules, RetrainLearning, ScaleDownType/UpType,
+///    RebuildRules, direct repository edits + RebuildRules) serialize on
+///    a writer mutex, mutate the repository/writer state, rebuild the
+///    derived classifiers against a fresh immutable rule-set copy, and
+///    publish the new snapshot with one pointer swap.
+///  - GateKeeper::Memoize is its own (copy-on-write) writer path and
+///    needs no snapshot republish.
+/// ProcessBatch additionally fans work out over a shared ThreadPool when
+/// `config.batch_threads > 1`: gate decisions, the indexed regex batch
+/// executor, member voting, and the finalize stage all run on sharded
+/// item ranges, with per-chunk partial BatchReports merged in chunk
+/// order, so parallel output is identical to the sequential path.
 class ChimeraPipeline {
  public:
   explicit ChimeraPipeline(PipelineConfig config = {});
 
   // ---- rules -------------------------------------------------------------
 
-  /// Adds rules through the repository (audited) and rebuilds the rule
-  /// index.
+  /// Adds rules through the repository (audited) and publishes a new
+  /// snapshot. In-flight batches keep classifying on the old one.
   Status AddRules(std::vector<rules::Rule> new_rules,
                   std::string_view author);
 
+  /// The underlying repository. Direct mutations (checkpoint restore,
+  /// retire, ...) must be followed by RebuildRules() to become visible to
+  /// serving.
   rules::RuleRepository& repository() { return *repo_; }
   const rules::RuleSet& rule_set() const { return repo_->rules(); }
 
-  /// Re-derives classifier state after direct rule-set mutations.
+  /// Re-derives classifier state after direct rule-set mutations and
+  /// publishes it as a new snapshot.
   void RebuildRules();
+
+  /// Version of the currently served snapshot (bumps on every publish).
+  uint64_t snapshot_version() const;
 
   // ---- learning ----------------------------------------------------------
 
   /// Accumulates labeled training data.
   void AddTrainingData(std::vector<data::LabeledItem> labeled);
 
-  /// Retrains the learning ensemble from scratch on all accumulated data.
+  /// Retrains the learning ensemble from scratch on all accumulated data
+  /// and publishes the result as a new snapshot.
   void RetrainLearning();
 
-  size_t training_size() const { return training_data_.size(); }
+  size_t training_size() const;
 
   // ---- scale down / up (§2.2 requirement 3) -------------------------------
 
@@ -91,37 +140,55 @@ class ChimeraPipeline {
   /// checkpoint restore).
   void ScaleUpType(const std::string& type);
 
+  /// Writer-side view; safe when no writer is concurrently scaling.
   const std::unordered_set<std::string>& suppressed_types() const {
     return suppressed_;
   }
 
-  // ---- classification ----------------------------------------------------
+  // ---- gate keeper -------------------------------------------------------
 
-  /// Classifies one item.
-  std::optional<std::string> Classify(const data::ProductItem& item) const;
-
-  /// Classifies a batch with full stage accounting.
-  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items) const;
+  /// Records a confirmed (title -> type) pair; visible to batches that
+  /// start after the call.
+  void Memoize(const std::string& title, const std::string& type);
 
   GateKeeper& gate_keeper() { return gate_; }
+
+  // ---- classification ----------------------------------------------------
+
+  /// Classifies one item against the current snapshot.
+  std::optional<std::string> Classify(const data::ProductItem& item) const;
+
+  /// Classifies a batch with full stage accounting. Acquires one snapshot
+  /// for the whole batch; parallel over `config.batch_threads` workers.
+  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items) const;
+
   const PipelineConfig& config() const { return config_; }
 
  private:
-  void RebuildVoting();
+  /// Builds classifiers/voting/filter for the repository's current rules
+  /// and swaps the published snapshot. Caller holds mu_.
+  void RepublishLocked();
+
+  std::shared_ptr<const PipelineSnapshot> CurrentSnapshot() const;
 
   PipelineConfig config_;
   std::shared_ptr<rules::RuleRepository> repo_;
-  std::shared_ptr<const rules::RuleSet> rules_view_;  // aliases repo_
   GateKeeper gate_;
-  std::shared_ptr<engine::RuleBasedClassifier> rule_classifier_;
-  std::shared_ptr<engine::AttrValueClassifier> attr_classifier_;
-  std::shared_ptr<ml::FeatureExtractor> features_;
-  std::shared_ptr<ml::EnsembleClassifier> ensemble_;
-  std::unique_ptr<VotingMaster> voting_;
-  std::unique_ptr<Filter> filter_;
+
+  /// Serializes writers (rule/learning/suppression mutations).
+  mutable std::mutex mu_;
+  /// Writer-side state folded into each published snapshot.
   std::unordered_set<std::string> suppressed_;
   std::vector<data::LabeledItem> training_data_;
-  bool learning_trained_ = false;
+  std::shared_ptr<ml::EnsembleClassifier> ensemble_;  // null until trained
+  uint64_t version_ = 0;
+
+  /// The published snapshot; guarded by snapshot_mu_ (pointer swap only).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const PipelineSnapshot> snapshot_;
+
+  /// Shared worker pool for batch serving (null when sequential).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace rulekit::chimera

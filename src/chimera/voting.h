@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/ml/classifier.h"
 #include "src/rules/rule_set.h"
 
@@ -22,7 +23,8 @@ struct VotingOptions {
 };
 
 /// Combines the classifiers' weighted predictions into a final type or a
-/// decline (Figure 2's Voting Master).
+/// decline (Figure 2's Voting Master). Immutable after the members are
+/// added, so a const master is safe for concurrent voting.
 class VotingMaster {
  public:
   explicit VotingMaster(VotingOptions options = {});
@@ -35,11 +37,33 @@ class VotingMaster {
   /// unclassified.
   std::optional<ml::ScoredLabel> Vote(const data::ProductItem& item) const;
 
+  /// Batch voting: asks every member for batch predictions (each member
+  /// may parallelize over `pool`), then combines per item. When the
+  /// caller already ran one member's batch prediction (the serving
+  /// pipeline precomputes the rule-based member through the indexed
+  /// executor), pass that member and its per-item scores to avoid
+  /// recomputation. Per-item results are identical to Vote().
+  std::vector<std::optional<ml::ScoredLabel>> VoteBatch(
+      const std::vector<const data::ProductItem*>& items, ThreadPool* pool,
+      const ml::Classifier* precomputed_member = nullptr,
+      const std::vector<std::vector<ml::ScoredLabel>>* precomputed_scores =
+          nullptr) const;
+
   /// The full combined ranking (for diagnostics).
   std::vector<ml::ScoredLabel> CombinedScores(
       const data::ProductItem& item) const;
 
  private:
+  /// Weighted-average combination of one scored list per member (weights
+  /// of abstaining members do not dilute the result).
+  std::vector<ml::ScoredLabel> CombineLists(
+      const std::vector<const std::vector<ml::ScoredLabel>*>& per_member)
+      const;
+
+  /// Threshold + margin decision on a combined ranking.
+  std::optional<ml::ScoredLabel> DecideFromCombined(
+      const std::vector<ml::ScoredLabel>& combined) const;
+
   VotingOptions options_;
   std::vector<std::pair<std::shared_ptr<ml::Classifier>, double>> members_;
 };
@@ -48,6 +72,10 @@ class VotingMaster {
 /// Applies active blacklist rules ("here the analysts use mostly blacklist
 /// rules") and attribute-value consistency (a Brand->candidate-set rule
 /// that fires must contain the final type).
+///
+/// The relevant active rules are gathered once at construction (veto cost
+/// scales with the number of blacklist/attrval/predicate rules, not the
+/// whole repository); build a fresh Filter per rule-set snapshot.
 class Filter {
  public:
   explicit Filter(std::shared_ptr<const rules::RuleSet> rules);
@@ -56,8 +84,22 @@ class Filter {
   bool Admit(const data::ProductItem& item,
              const std::string& predicted) const;
 
+  /// Batch-path variant: `matched_regex` holds the indices of the active
+  /// regex rules whose pattern matched this item's title (from the
+  /// executor run the rule stage already performed), so blacklist vetoes
+  /// need no further regex evaluation. Same result as Admit().
+  bool AdmitWithMatches(const data::ProductItem& item,
+                        const std::string& predicted,
+                        const std::vector<size_t>& matched_regex) const;
+
  private:
+  bool NonRegexVetoes(const data::ProductItem& item,
+                      const std::string& predicted) const;
+
   std::shared_ptr<const rules::RuleSet> rules_;
+  std::vector<size_t> blacklist_;  // active kBlacklist rules
+  std::vector<size_t> attrval_;    // active kAttributeValue rules
+  std::vector<size_t> negpred_;    // active negative kPredicate rules
 };
 
 }  // namespace rulekit::chimera

@@ -4,6 +4,21 @@
 
 namespace rulekit {
 
+void TaskGroup::Add() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_;
+}
+
+void TaskGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
@@ -30,6 +45,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
+  group->Add();
+  Submit([group, task = std::move(task)] {
+    task();
+    group->Done();
+  });
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
@@ -38,13 +61,14 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
+  TaskGroup group;
   const size_t chunks = std::min(n, threads_.size() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   for (size_t begin = 0; begin < n; begin += chunk_size) {
     const size_t end = std::min(n, begin + chunk_size);
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit(&group, [&fn, begin, end] { fn(begin, end); });
   }
-  Wait();
+  group.Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -11,9 +11,34 @@
 
 namespace rulekit {
 
-/// Fixed-size worker pool used by the parallel rule executor. Stands in for
-/// the Hadoop cluster the paper mentions for scaling rule execution; the
-/// indexing-vs-scan and parallel-speedup claims are machine-local.
+/// Tracks completion of one logical batch of tasks submitted to a
+/// ThreadPool. Several TaskGroups can be in flight on the same pool at
+/// once (e.g. concurrent ProcessBatch calls sharing the serving pool);
+/// each group's Wait() only blocks on its own tasks, unlike
+/// ThreadPool::Wait() which drains the whole pool.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until every task submitted with this group has finished.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  void Add();
+  void Done();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+/// Fixed-size worker pool used by the parallel rule executor and the
+/// Chimera batch serving path. Stands in for the Hadoop cluster the paper
+/// mentions for scaling rule execution; the indexing-vs-scan and
+/// parallel-speedup claims are machine-local.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -28,13 +53,17 @@ class ThreadPool {
   /// Enqueue a task. Tasks must not throw.
   void Submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Enqueue a task tracked by `group` (as well as by the pool itself).
+  void Submit(TaskGroup* group, std::function<void()> task);
+
+  /// Block until every submitted task has finished (all groups).
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Partition [0, n) into roughly equal chunks and run `fn(begin, end)` on
-  /// the pool, blocking until all chunks complete.
+  /// the pool, blocking until all chunks complete. Safe to call from
+  /// several threads concurrently: each call waits on its own TaskGroup.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:

@@ -21,7 +21,9 @@ RuleExecutor::RuleExecutor(const rules::RuleSet& set,
 }
 
 ExecutionResult RuleExecutor::Execute(
-    const std::vector<data::ProductItem>& items) const {
+    const std::vector<const data::ProductItem*>& items,
+    ThreadPool* pool) const {
+  if (pool == nullptr) pool = options_.pool;
   ExecutionResult result;
   result.matches_per_item.resize(items.size());
   std::atomic<size_t> evals{0};
@@ -33,7 +35,7 @@ ExecutionResult RuleExecutor::Execute(
     size_t local_evals = 0, local_matches = 0;
     std::vector<size_t> candidates;
     for (size_t i = begin; i < end; ++i) {
-      const data::ProductItem& item = items[i];
+      const data::ProductItem& item = *items[i];
       auto& out = result.matches_per_item[i];
       if (options_.use_index) {
         candidates = index_.Candidates(item.title);
@@ -52,8 +54,8 @@ ExecutionResult RuleExecutor::Execute(
     matches.fetch_add(local_matches, std::memory_order_relaxed);
   };
 
-  if (options_.pool != nullptr) {
-    options_.pool->ParallelFor(items.size(), run_range);
+  if (pool != nullptr) {
+    pool->ParallelFor(items.size(), run_range);
   } else {
     run_range(0, items.size());
   }
@@ -63,6 +65,14 @@ ExecutionResult RuleExecutor::Execute(
   result.stats.matches = matches.load();
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
+}
+
+ExecutionResult RuleExecutor::Execute(
+    const std::vector<data::ProductItem>& items) const {
+  std::vector<const data::ProductItem*> ptrs;
+  ptrs.reserve(items.size());
+  for (const auto& item : items) ptrs.push_back(&item);
+  return Execute(ptrs, options_.pool);
 }
 
 }  // namespace rulekit::engine

@@ -17,7 +17,8 @@ struct ExecutorOptions {
   bool use_index = true;
   /// Optional worker pool for parallel execution over items (the paper's
   /// "execute the rules in parallel on a cluster of machines", scaled to
-  /// one machine). Null = single-threaded.
+  /// one machine). Null = single-threaded. A per-call pool passed to
+  /// Execute() takes precedence.
   ThreadPool* pool = nullptr;
 };
 
@@ -40,12 +41,28 @@ struct ExecutionResult {
 /// Batch executor for regex (whitelist/blacklist) rules. The two strategies
 /// — full scan vs indexed — produce identical matches; benchmarks compare
 /// their cost.
+///
+/// The executor is built against one rule set and never mutates it, so a
+/// const executor over an immutable snapshot is safe to share across
+/// threads; concurrent Execute calls may share one ThreadPool (each call
+/// waits only on its own chunks).
 class RuleExecutor {
  public:
   RuleExecutor(const rules::RuleSet& set, ExecutorOptions options = {});
 
   /// Runs all active regex rules over the items.
   ExecutionResult Execute(const std::vector<data::ProductItem>& items) const;
+
+  /// Zero-copy batch path: the serving pipeline classifies a subset of a
+  /// batch (items the gate keeper passed through) without materializing a
+  /// compacted item vector. `pool` overrides options.pool for this call.
+  ExecutionResult Execute(const std::vector<const data::ProductItem*>& items,
+                          ThreadPool* pool) const;
+
+  /// The literal-prefilter index (built only when options.use_index); the
+  /// rule-based classifier shares it for per-item candidate pruning so the
+  /// index is built once per snapshot.
+  const RuleIndex& index() const { return index_; }
 
   const RuleIndexStats& index_stats() const { return index_.stats(); }
 

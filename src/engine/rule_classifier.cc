@@ -6,6 +6,17 @@
 
 namespace rulekit::engine {
 
+namespace {
+
+void SortScored(std::vector<ml::ScoredLabel>& out) {
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label < b.label;
+  });
+}
+
+}  // namespace
+
 RuleBasedClassifier::RuleBasedClassifier(
     std::shared_ptr<const rules::RuleSet> rules,
     RuleClassifierOptions options)
@@ -14,11 +25,13 @@ RuleBasedClassifier::RuleBasedClassifier(
 }
 
 void RuleBasedClassifier::Rebuild() {
-  if (options_.use_index) index_.Build(*rules_);
+  executor_ = std::make_unique<RuleExecutor>(
+      *rules_, ExecutorOptions{.use_index = options_.use_index,
+                               .pool = nullptr});
 }
 
-std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
-    const data::ProductItem& item) const {
+std::vector<ml::ScoredLabel> RuleBasedClassifier::ScoreMatches(
+    const std::vector<size_t>& matched) const {
   const auto& all = rules_->rules();
 
   // Phase 1: whitelist rules propose types (max confidence per type).
@@ -26,33 +39,21 @@ std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
   // output independent of rule ordering within each phase.
   std::unordered_map<std::string, double> proposed;
   std::unordered_set<std::string> vetoed;
-
-  auto consider = [&](const rules::Rule& rule) {
-    if (!rule.is_active()) return;
+  for (size_t i : matched) {
+    const rules::Rule& rule = all[i];
+    if (!rule.is_active()) continue;
     if (rule.kind() == rules::RuleKind::kWhitelist) {
-      if (rule.Applies(item)) {
-        double& score = proposed[rule.target_type()];
-        score = std::max(score, rule.metadata().confidence);
+      double& score = proposed[rule.target_type()];
+      score = std::max(score, rule.metadata().confidence);
+    }
+  }
+  if (!proposed.empty()) {
+    for (size_t i : matched) {
+      const rules::Rule& rule = all[i];
+      if (!rule.is_active()) continue;
+      if (rule.kind() == rules::RuleKind::kBlacklist) {
+        vetoed.insert(rule.target_type());
       }
-    }
-  };
-  auto veto = [&](const rules::Rule& rule) {
-    if (!rule.is_active()) return;
-    if (rule.kind() == rules::RuleKind::kBlacklist) {
-      if (rule.Applies(item)) vetoed.insert(rule.target_type());
-    }
-  };
-
-  if (options_.use_index) {
-    auto candidates = index_.Candidates(item.title);
-    for (size_t i : candidates) consider(all[i]);
-    if (!proposed.empty()) {
-      for (size_t i : candidates) veto(all[i]);
-    }
-  } else {
-    for (const auto& rule : all) consider(rule);
-    if (!proposed.empty()) {
-      for (const auto& rule : all) veto(rule);
     }
   }
 
@@ -61,24 +62,74 @@ std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
     if (vetoed.count(type)) continue;
     out.push_back({type, score});
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.label < b.label;
-  });
+  SortScored(out);
+  return out;
+}
+
+std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
+    const data::ProductItem& item) const {
+  std::vector<const data::ProductItem*> one{&item};
+  auto exec = executor_->Execute(one, nullptr);
+  return ScoreMatches(exec.matches_per_item[0]);
+}
+
+ExecutionResult RuleBasedClassifier::MatchBatch(
+    const std::vector<const data::ProductItem*>& items,
+    ThreadPool* pool) const {
+  return executor_->Execute(items, pool);
+}
+
+std::vector<std::vector<ml::ScoredLabel>> RuleBasedClassifier::PredictBatch(
+    const std::vector<const data::ProductItem*>& items,
+    ThreadPool* pool) const {
+  auto exec = MatchBatch(items, pool);
+  std::vector<std::vector<ml::ScoredLabel>> out(items.size());
+  auto score = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = ScoreMatches(exec.matches_per_item[i]);
+    }
+  };
+  if (pool != nullptr && items.size() > 1) {
+    pool->ParallelFor(items.size(), score);
+  } else {
+    score(0, items.size());
+  }
   return out;
 }
 
 AttrValueClassifier::AttrValueClassifier(
     std::shared_ptr<const rules::RuleSet> rules)
-    : rules_(std::move(rules)) {}
+    : rules_(std::move(rules)) {
+  Rebuild();
+}
+
+void AttrValueClassifier::Rebuild() {
+  attr_rules_.clear();
+  const auto& all = rules_->rules();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const rules::Rule& rule = all[i];
+    if (!rule.is_active()) continue;
+    switch (rule.kind()) {
+      case rules::RuleKind::kAttributeExists:
+      case rules::RuleKind::kAttributeValue:
+      case rules::RuleKind::kPredicate:
+        attr_rules_.push_back(i);
+        break;
+      case rules::RuleKind::kWhitelist:
+      case rules::RuleKind::kBlacklist:
+        break;  // handled by RuleBasedClassifier
+    }
+  }
+}
 
 std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
     const data::ProductItem& item) const {
   std::unordered_map<std::string, double> proposed;
   std::unordered_set<std::string> vetoed;
 
-  for (const auto& rule : rules_->rules()) {
-    if (!rule.is_active()) continue;
+  const auto& all = rules_->rules();
+  for (size_t i : attr_rules_) {
+    const rules::Rule& rule = all[i];
     switch (rule.kind()) {
       case rules::RuleKind::kAttributeExists: {
         if (!rule.Applies(item)) break;
@@ -110,7 +161,7 @@ std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
       }
       case rules::RuleKind::kWhitelist:
       case rules::RuleKind::kBlacklist:
-        break;  // handled by RuleBasedClassifier
+        break;
     }
   }
 
@@ -119,10 +170,7 @@ std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
     if (vetoed.count(type)) continue;
     out.push_back({type, score});
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.label < b.label;
-  });
+  SortScored(out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/executor.h"
 #include "src/engine/rule_index.h"
 #include "src/ml/classifier.h"
 #include "src/rules/rule_set.h"
@@ -22,35 +23,72 @@ struct RuleClassifierOptions {
 /// order-independence (§4 "Rule System Properties") — ALL whitelist rules
 /// run before ANY blacklist rule, so execution order within each phase
 /// cannot change the output.
+///
+/// Built against one (ideally immutable snapshot) rule set; the serving
+/// pipeline constructs a fresh classifier per published snapshot, so a
+/// const classifier is safe for concurrent Predict/PredictBatch. The
+/// regex matching itself is delegated to a RuleExecutor (one shared
+/// literal-prefilter index per snapshot; indexed batch path over items).
 class RuleBasedClassifier : public ml::Classifier {
  public:
-  /// `rules` is shared with the pipeline/analyst tooling that mutates it;
-  /// call Rebuild() after any mutation.
+  /// `rules` should be an immutable snapshot when used concurrently; if it
+  /// aliases a mutable set, call Rebuild() after any mutation.
   RuleBasedClassifier(std::shared_ptr<const rules::RuleSet> rules,
                       RuleClassifierOptions options = {});
 
-  /// Re-derives the rule index from the current rule set.
+  /// Re-derives the executor (rule index + active-rule list) from the
+  /// current rule set.
   void Rebuild();
 
   std::vector<ml::ScoredLabel> Predict(
       const data::ProductItem& item) const override;
+
+  /// Indexed batch path: one RuleExecutor run over the whole batch, then
+  /// per-item scoring from the matches. Identical output to per-item
+  /// Predict.
+  std::vector<std::vector<ml::ScoredLabel>> PredictBatch(
+      const std::vector<const data::ProductItem*>& items,
+      ThreadPool* pool) const override;
+
+  /// Raw regex matches for a batch (rule indices into the rule set). The
+  /// serving pipeline runs this once per batch and feeds the matches to
+  /// both the voting stage (via ScoreMatches) and the Filter, so blacklist
+  /// regexes are evaluated once per item per batch.
+  ExecutionResult MatchBatch(const std::vector<const data::ProductItem*>& items,
+                             ThreadPool* pool) const;
+
+  /// Converts one item's matched rule indices into the two-phase
+  /// whitelist-propose / blacklist-veto scored labels.
+  std::vector<ml::ScoredLabel> ScoreMatches(
+      const std::vector<size_t>& matched) const;
+
   std::string name() const override { return "rule_based"; }
 
-  const RuleIndexStats& index_stats() const { return index_.stats(); }
+  const RuleIndexStats& index_stats() const {
+    return executor_->index_stats();
+  }
 
  private:
   std::shared_ptr<const rules::RuleSet> rules_;
   RuleClassifierOptions options_;
-  RuleIndex index_;
+  std::unique_ptr<RuleExecutor> executor_;
 };
 
 /// Chimera's attribute/value-based classifier (§3.3): attribute-existence
 /// rules ("has ISBN => books"), attribute-value rules ("Brand apple =>
 /// phone | laptop"), and predicate rules. Positive rules propose types;
 /// negative predicate rules veto them.
+///
+/// The relevant (non-regex) active rules are gathered once at
+/// construction, so prediction cost scales with the number of attribute/
+/// predicate rules, not the whole repository. Rebuild after mutating the
+/// underlying set; snapshot-built instances never need to.
 class AttrValueClassifier : public ml::Classifier {
  public:
   explicit AttrValueClassifier(std::shared_ptr<const rules::RuleSet> rules);
+
+  /// Re-gathers the active attribute/predicate rules.
+  void Rebuild();
 
   std::vector<ml::ScoredLabel> Predict(
       const data::ProductItem& item) const override;
@@ -58,6 +96,7 @@ class AttrValueClassifier : public ml::Classifier {
 
  private:
   std::shared_ptr<const rules::RuleSet> rules_;
+  std::vector<size_t> attr_rules_;  // kAttributeExists/kAttributeValue/kPredicate
 };
 
 }  // namespace rulekit::engine

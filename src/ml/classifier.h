@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/data/product.h"
 
 namespace rulekit::ml {
@@ -19,6 +20,10 @@ struct ScoredLabel {
 
 /// Common interface of all Chimera classifiers — learning-based (this
 /// module) and rule-based (src/engine).
+///
+/// Predict/PredictBatch must be safe to call from several threads at once
+/// on a const classifier: trained/built state is immutable after
+/// construction, and implementations keep no mutable per-call caches.
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -26,6 +31,25 @@ class Classifier {
   /// Ranked candidate types for an item; empty = declines to predict.
   virtual std::vector<ScoredLabel> Predict(
       const data::ProductItem& item) const = 0;
+
+  /// Batch prediction, one ranked list per item. The default parallelizes
+  /// per-item Predict over `pool` (null = sequential); rule-based
+  /// classifiers override it with the indexed batch executor. Results are
+  /// identical to calling Predict on each item.
+  virtual std::vector<std::vector<ScoredLabel>> PredictBatch(
+      const std::vector<const data::ProductItem*>& items,
+      ThreadPool* pool) const {
+    std::vector<std::vector<ScoredLabel>> out(items.size());
+    auto run = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = Predict(*items[i]);
+    };
+    if (pool != nullptr && items.size() > 1) {
+      pool->ParallelFor(items.size(), run);
+    } else {
+      run(0, items.size());
+    }
+    return out;
+  }
 
   /// Human-readable classifier name for reports.
   virtual std::string name() const = 0;

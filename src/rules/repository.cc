@@ -44,13 +44,49 @@ RuleState StateFromName(std::string_view name) {
 
 }  // namespace
 
+RuleRepository::RuleRepository(RuleRepository&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  rules_ = std::move(other.rules_);
+  audit_ = std::move(other.audit_);
+  snapshots_ = std::move(other.snapshots_);
+  clock_ = other.clock_;
+  published_ = std::move(other.published_);
+}
+
+RuleRepository& RuleRepository::operator=(RuleRepository&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    rules_ = std::move(other.rules_);
+    audit_ = std::move(other.audit_);
+    snapshots_ = std::move(other.snapshots_);
+    clock_ = other.clock_;
+    published_ = std::move(other.published_);
+  }
+  return *this;
+}
+
 void RuleRepository::Log(AuditAction action, std::string_view rule_id,
                          std::string_view author, std::string_view detail) {
   audit_.push_back({++clock_, action, std::string(rule_id),
                     std::string(author), std::string(detail)});
+  published_.reset();  // any logged action may have touched the rule set
+}
+
+std::shared_ptr<const RuleSet> RuleRepository::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (published_ == nullptr) {
+    published_ = std::make_shared<const RuleSet>(rules_);
+  }
+  return published_;
+}
+
+uint64_t RuleRepository::clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
 }
 
 Status RuleRepository::Add(Rule rule, std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
   rule.metadata().author = std::string(author);
   rule.metadata().created_at = clock_ + 1;
   std::string id = rule.id();
@@ -59,14 +95,22 @@ Status RuleRepository::Add(Rule rule, std::string_view author) {
   return Status::OK();
 }
 
-Status RuleRepository::Disable(std::string_view id, std::string_view author,
-                               std::string_view reason) {
+Status RuleRepository::DisableLocked(std::string_view id,
+                                     std::string_view author,
+                                     std::string_view reason) {
   RULEKIT_RETURN_IF_ERROR(rules_.Disable(id));
   Log(AuditAction::kDisable, id, author, reason);
   return Status::OK();
 }
 
+Status RuleRepository::Disable(std::string_view id, std::string_view author,
+                               std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DisableLocked(id, author, reason);
+}
+
 Status RuleRepository::Enable(std::string_view id, std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
   RULEKIT_RETURN_IF_ERROR(rules_.Enable(id));
   Log(AuditAction::kEnable, id, author, "");
   return Status::OK();
@@ -74,6 +118,7 @@ Status RuleRepository::Enable(std::string_view id, std::string_view author) {
 
 Status RuleRepository::Retire(std::string_view id, std::string_view author,
                               std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
   RULEKIT_RETURN_IF_ERROR(rules_.Retire(id));
   Log(AuditAction::kRetire, id, author, reason);
   return Status::OK();
@@ -81,6 +126,7 @@ Status RuleRepository::Retire(std::string_view id, std::string_view author,
 
 Status RuleRepository::SetConfidence(std::string_view id, double confidence,
                                      std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
   Rule* rule = rules_.FindMutable(id);
   if (rule == nullptr) {
     return Status::NotFound("no such rule: " + std::string(id));
@@ -94,9 +140,10 @@ Status RuleRepository::SetConfidence(std::string_view id, double confidence,
 std::vector<std::string> RuleRepository::DisableRulesForType(
     std::string_view type, std::string_view author,
     std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> disabled;
   for (const Rule* rule : rules_.ActiveForType(type)) {
-    if (Disable(rule->id(), author, reason).ok()) {
+    if (DisableLocked(rule->id(), author, reason).ok()) {
       disabled.push_back(rule->id());
     }
   }
@@ -104,6 +151,7 @@ std::vector<std::string> RuleRepository::DisableRulesForType(
 }
 
 uint64_t RuleRepository::Checkpoint(std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   for (const Rule& rule : rules_.rules()) {
     snap.states[rule.id()] = {rule.metadata().state,
@@ -117,6 +165,7 @@ uint64_t RuleRepository::Checkpoint(std::string_view author) {
 
 Status RuleRepository::RestoreCheckpoint(uint64_t version,
                                          std::string_view author) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(version);
   if (it == snapshots_.end()) {
     return Status::NotFound(StrFormat("no checkpoint %llu",
@@ -140,6 +189,7 @@ Status RuleRepository::RestoreCheckpoint(uint64_t version,
 
 std::vector<AuditEntry> RuleRepository::HistoryOf(
     std::string_view rule_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditEntry> out;
   for (const auto& e : audit_) {
     if (e.rule_id == rule_id) out.push_back(e);
@@ -148,10 +198,11 @@ std::vector<AuditEntry> RuleRepository::HistoryOf(
 }
 
 Status RuleRepository::SaveToFile(const std::string& path) const {
+  auto snap = snapshot();
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << "# rulekit repository v1\n";
-  for (const Rule& rule : rules_.rules()) {
+  for (const Rule& rule : snap->rules()) {
     const RuleMetadata& m = rule.metadata();
     out << "#meta " << m.author << '\t' << OriginName(m.origin) << '\t'
         << m.created_at << '\t' << StrFormat("%.6f", m.confidence) << '\t'

@@ -2,6 +2,8 @@
 #define RULEKIT_RULES_REPOSITORY_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,9 +40,21 @@ struct AuditEntry {
 /// Checkpoints capture all rule states so the system can be "scaled down"
 /// (disable the bad parts) and later restored to the previous state
 /// quickly (§2.2 requirement 3).
+///
+/// Concurrency model: mutations are serialized by an internal mutex and
+/// invalidate the published snapshot. Readers that may race with writers
+/// must go through snapshot(), which hands out an immutable copy-on-write
+/// `shared_ptr<const RuleSet>`; successive calls return the same shared
+/// copy until the next mutation. The live accessors (rules(),
+/// mutable_rules(), audit_log()) alias writer-side state and are only safe
+/// when no concurrent mutation can occur (tests, single-threaded tools).
 class RuleRepository {
  public:
   RuleRepository() = default;
+
+  // Movable (for Result<RuleRepository>); not copyable.
+  RuleRepository(RuleRepository&& other) noexcept;
+  RuleRepository& operator=(RuleRepository&& other) noexcept;
 
   // ---- mutations ---------------------------------------------------------
 
@@ -62,6 +76,13 @@ class RuleRepository {
 
   // ---- snapshots ---------------------------------------------------------
 
+  /// An immutable snapshot of the current rule set. Cheap when nothing has
+  /// changed since the last call (returns the cached copy); after a
+  /// mutation the next call pays one RuleSet copy. The returned set never
+  /// changes, so classifiers and indices built against it stay coherent
+  /// while writers keep mutating the repository.
+  std::shared_ptr<const RuleSet> snapshot() const;
+
   /// Records the current state (+confidence) of every rule; returns a
   /// version handle.
   uint64_t Checkpoint(std::string_view author);
@@ -70,12 +91,12 @@ class RuleRepository {
   /// rules added after the checkpoint are disabled.
   Status RestoreCheckpoint(uint64_t version, std::string_view author);
 
-  // ---- access ------------------------------------------------------------
+  // ---- access (writer-side; see class comment) ---------------------------
 
   const RuleSet& rules() const { return rules_; }
   RuleSet& mutable_rules() { return rules_; }
   const std::vector<AuditEntry>& audit_log() const { return audit_; }
-  uint64_t clock() const { return clock_; }
+  uint64_t clock() const;
 
   /// Audit entries touching one rule, oldest first.
   std::vector<AuditEntry> HistoryOf(std::string_view rule_id) const;
@@ -94,13 +115,19 @@ class RuleRepository {
     std::map<std::string, std::pair<RuleState, double>> states;
   };
 
+  // Unlocked helpers; callers hold mu_.
   void Log(AuditAction action, std::string_view rule_id,
            std::string_view author, std::string_view detail);
+  Status DisableLocked(std::string_view id, std::string_view author,
+                       std::string_view reason);
 
+  mutable std::mutex mu_;
   RuleSet rules_;
   std::vector<AuditEntry> audit_;
   std::map<uint64_t, Snapshot> snapshots_;
   uint64_t clock_ = 0;
+  /// Cached immutable copy of rules_; null when stale.
+  mutable std::shared_ptr<const RuleSet> published_;
 };
 
 }  // namespace rulekit::rules

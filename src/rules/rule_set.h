@@ -16,6 +16,12 @@ namespace rulekit::rules {
 /// lookups the classifiers, evaluators, and maintenance tools need.
 /// Rules are never erased — maintenance retires them — so indices handed
 /// out by `rules()` stay stable.
+///
+/// RuleSet is copyable, and the serving stack relies on that: the
+/// repository publishes immutable `shared_ptr<const RuleSet>` copies
+/// (copy-on-write snapshots), and classifiers/indices/filters are built
+/// against one snapshot so concurrent repository mutations can never
+/// invalidate rule indices a reader is traversing.
 class RuleSet {
  public:
   RuleSet() = default;

@@ -1,0 +1,245 @@
+// Concurrency tests for the snapshot-isolated serving core: parallel
+// ProcessBatch must be byte-identical to the sequential path, and rule
+// maintenance (AddRules / ScaleDownType / Memoize / RetrainLearning) must
+// never block or corrupt in-flight classification. Run these under
+// -DRULEKIT_SANITIZE=thread to verify the reader/writer protocol is
+// race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::chimera {
+namespace {
+
+struct Corpus {
+  data::GeneratorConfig config;
+  std::unique_ptr<data::CatalogGenerator> gen;
+  std::unique_ptr<SimulatedAnalyst> analyst;
+  std::vector<data::ProductItem> items;
+
+  explicit Corpus(size_t num_items, uint64_t seed = 1234,
+                  size_t num_types = 24) {
+    config.seed = seed;
+    config.num_types = num_types;
+    gen = std::make_unique<data::CatalogGenerator>(config);
+    analyst = std::make_unique<SimulatedAnalyst>(*gen);
+    for (auto& li : gen->GenerateMany(num_items)) {
+      items.push_back(std::move(li.item));
+    }
+  }
+};
+
+/// Sets up rules + memo + suppression + trained learning identically on a
+/// pipeline, so two pipelines configured this way serve the same model.
+void Provision(ChimeraPipeline& pipeline, Corpus& corpus) {
+  for (const auto& spec : corpus.gen->specs()) {
+    ASSERT_TRUE(
+        pipeline.AddRules(corpus.analyst->WriteRulesForType(spec.name), "a")
+            .ok());
+  }
+  auto blacklist = rules::ParseRules(
+      "blacklist bl-toe: toe rings? => rings\n");
+  ASSERT_TRUE(blacklist.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(blacklist).value(), "a").ok());
+  pipeline.Memoize(corpus.items[0].title, "memoized type");
+  pipeline.ScaleDownType(corpus.gen->specs()[1].name, "oncall", "test");
+  data::GeneratorConfig train_config = corpus.config;
+  train_config.seed = corpus.config.seed + 1;
+  data::CatalogGenerator train_gen(train_config);
+  pipeline.AddTrainingData(train_gen.GenerateMany(1200));
+  pipeline.RetrainLearning();
+}
+
+void ExpectReportsEqual(const BatchReport& a, const BatchReport& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.gate_classified, b.gate_classified);
+  EXPECT_EQ(a.gate_rejected, b.gate_rejected);
+  EXPECT_EQ(a.classified, b.classified);
+  EXPECT_EQ(a.filtered, b.filtered);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+  EXPECT_EQ(a.declined, b.declined);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (size_t i = 0; i < a.predictions.size(); ++i) {
+    EXPECT_EQ(a.predictions[i], b.predictions[i]) << "item " << i;
+  }
+}
+
+// The headline acceptance check: a 4-worker ProcessBatch over a 10k-item
+// synthetic catalog produces predictions and counters identical to the
+// single-threaded path.
+TEST(SnapshotServingTest, ParallelBatchIdenticalToSequentialOn10k) {
+  Corpus corpus(10000);
+
+  PipelineConfig sequential_config;
+  sequential_config.batch_threads = 0;
+  ChimeraPipeline sequential(sequential_config);
+  Provision(sequential, corpus);
+
+  PipelineConfig parallel_config;
+  parallel_config.batch_threads = 4;
+  ChimeraPipeline parallel(parallel_config);
+  Provision(parallel, corpus);
+
+  BatchReport seq_report = sequential.ProcessBatch(corpus.items);
+  BatchReport par_report = parallel.ProcessBatch(corpus.items);
+
+  // Sanity: the batch exercises every stage.
+  EXPECT_GT(seq_report.classified, 0u);
+  EXPECT_GT(seq_report.gate_classified, 0u);
+  EXPECT_GT(seq_report.suppressed, 0u);
+  ExpectReportsEqual(seq_report, par_report);
+}
+
+// ProcessBatch agrees with the per-item Classify path (same snapshot).
+TEST(SnapshotServingTest, BatchAgreesWithPerItemClassify) {
+  Corpus corpus(2000);
+  PipelineConfig config;
+  config.batch_threads = 4;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  BatchReport report = pipeline.ProcessBatch(corpus.items);
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    EXPECT_EQ(report.predictions[i], pipeline.Classify(corpus.items[i]))
+        << "item " << i;
+  }
+}
+
+// Writers publish new snapshots; versions move forward and readers always
+// see a fully-built state.
+TEST(SnapshotServingTest, WritersBumpSnapshotVersion) {
+  ChimeraPipeline pipeline;
+  uint64_t v0 = pipeline.snapshot_version();
+  auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "a").ok());
+  uint64_t v1 = pipeline.snapshot_version();
+  EXPECT_GT(v1, v0);
+  pipeline.ScaleDownType("rings", "oncall", "test");
+  EXPECT_GT(pipeline.snapshot_version(), v1);
+  // Memoize is its own copy-on-write path; no snapshot republish needed,
+  // but the memo is visible to the next decision.
+  pipeline.Memoize("some known title", "books");
+  data::ProductItem item;
+  item.title = "some known title";
+  EXPECT_EQ(pipeline.Classify(item).value_or(""), "books");
+}
+
+// The stress test from the issue: N threads run ProcessBatch in a loop
+// while another thread interleaves AddRules / ScaleDownType / ScaleUpType
+// / Memoize / RetrainLearning. Every in-flight report must stay
+// internally consistent (counters partition the batch), and once writers
+// quiesce, parallel output must be byte-identical to the sequential
+// baseline. TSan-clean by construction: readers only touch immutable
+// snapshots.
+TEST(SnapshotServingTest, ConcurrentMaintenanceNeverCorruptsServing) {
+  Corpus corpus(1000, 77, 16);
+  PipelineConfig config;
+  config.batch_threads = 4;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  constexpr int kReaders = 4;
+  constexpr int kBatchesPerReader = 12;
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> batches_served{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int b = 0; b < kBatchesPerReader; ++b) {
+        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        ASSERT_EQ(report.total, corpus.items.size());
+        ASSERT_EQ(report.predictions.size(), corpus.items.size());
+        // The stage counters partition the batch exactly.
+        ASSERT_EQ(report.gate_classified + report.gate_rejected +
+                      report.classified + report.filtered +
+                      report.suppressed + report.declined,
+                  report.total);
+        batches_served.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    const auto& specs = corpus.gen->specs();
+    for (int round = 0; round < 40; ++round) {
+      switch (round % 4) {
+        case 0: {
+          auto rule = rules::Rule::Whitelist(
+              "stress-" + std::to_string(round),
+              "(zzz|stress)[a-z]*" + std::to_string(round),
+              specs[round % specs.size()].name);
+          ASSERT_TRUE(rule.ok());
+          ASSERT_TRUE(pipeline.AddRules({*rule}, "writer").ok());
+          break;
+        }
+        case 1:
+          pipeline.ScaleDownType(specs[(round / 4) % specs.size()].name,
+                                 "writer", "stress");
+          break;
+        case 2:
+          pipeline.Memoize("stress title " + std::to_string(round),
+                           specs[0].name);
+          break;
+        case 3:
+          pipeline.ScaleUpType(specs[(round / 4) % specs.size()].name);
+          break;
+      }
+      std::this_thread::yield();
+    }
+    writer_done.store(true);
+  });
+
+  for (auto& t : readers) t.join();
+  writer.join();
+  ASSERT_TRUE(writer_done.load());
+  EXPECT_EQ(batches_served.load(),
+            static_cast<size_t>(kReaders) * kBatchesPerReader);
+
+  // Quiesced: parallel serving equals a fresh sequential baseline built
+  // on the final repository state via the per-item path.
+  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    EXPECT_EQ(final_report.predictions[i],
+              pipeline.Classify(corpus.items[i]))
+        << "item " << i;
+  }
+}
+
+// Concurrent batches share the serving pool; each waits only on its own
+// task group, so batches complete even when interleaved.
+TEST(SnapshotServingTest, ConcurrentBatchesShareThePool) {
+  Corpus corpus(600, 5, 12);
+  PipelineConfig config;
+  config.batch_threads = 2;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  BatchReport expected = pipeline.ProcessBatch(corpus.items);
+  constexpr int kThreads = 6;
+  std::vector<BatchReport> reports(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { reports[t] = pipeline.ProcessBatch(corpus.items); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& report : reports) {
+    ExpectReportsEqual(expected, report);
+  }
+}
+
+}  // namespace
+}  // namespace rulekit::chimera
