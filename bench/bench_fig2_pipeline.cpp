@@ -4,6 +4,7 @@
 // restore cycle of §2.2.
 
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "src/chimera/analyst.h"
@@ -106,7 +107,7 @@ int main() {
   if (monitor.DegradationAlarm()) {
     // First responder: scale down every type misbehaving on this batch.
     auto per_class = ml::PerClass(obs);
-    uint64_t checkpoint = pipeline.repository().Checkpoint("oncall");
+    uint64_t checkpoint = pipeline.Checkpoint("oncall");
     std::vector<std::string> scaled;
     for (const auto& [type, metrics] : per_class) {
       if (metrics.predicted_count >= 20 && metrics.precision() < 0.9) {
@@ -125,10 +126,10 @@ int main() {
     for (const auto& t : scaled) std::printf("\"%s\" ", t.c_str());
     std::printf("\n  after scale-down: precision %.3f coverage %.3f\n",
                 contained.precision(), contained.coverage());
-    (void)pipeline.repository().RestoreCheckpoint(checkpoint, "oncall");
+    (void)pipeline.RestoreCheckpoint(checkpoint, "oncall");
     for (const auto& t : scaled) pipeline.ScaleUpType(t);
     std::printf("  restored to checkpoint; audit log has %zu entries\n",
-                pipeline.repository().audit_log().size());
+                std::as_const(pipeline).repository().audit_log().size());
   }
   std::printf("\nshape check: the loop converges to an accepted batch, and "
               "scale-down trades\ncoverage for precision exactly as §2.2 "

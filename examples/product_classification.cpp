@@ -6,6 +6,7 @@
 // Build & run:  ./build/examples/product_classification
 
 #include <cstdio>
+#include <utility>
 
 #include "src/chimera/analyst.h"
 #include "src/chimera/feedback_loop.h"
@@ -77,15 +78,15 @@ int main() {
               odd_result.accepted ? "yes" : "NO");
 
   // Scale down the worst-hit type, then restore after the incident.
-  uint64_t checkpoint = pipeline.repository().Checkpoint("oncall");
+  uint64_t checkpoint = pipeline.Checkpoint("oncall");
   const std::string& victim = gen.specs()[0].name;
   pipeline.ScaleDownType(victim, "oncall", "odd vendor vocabulary");
   std::printf("\nscaled down '%s': active rules now %zu\n", victim.c_str(),
               pipeline.rule_set().CountActive());
-  (void)pipeline.repository().RestoreCheckpoint(checkpoint, "oncall");
+  (void)pipeline.RestoreCheckpoint(checkpoint, "oncall");
   pipeline.ScaleUpType(victim);
   std::printf("restored checkpoint: active rules %zu, audit entries %zu\n",
               pipeline.rule_set().CountActive(),
-              pipeline.repository().audit_log().size());
+              std::as_const(pipeline).repository().audit_log().size());
   return 0;
 }

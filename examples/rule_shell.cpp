@@ -18,6 +18,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "src/chimera/pipeline.h"
 #include "src/maint/subsumption.h"
@@ -80,16 +81,15 @@ attr books1: has(ISBN) => books
       auto st = pipeline.AddRules(std::move(parsed).value(), "shell-user");
       std::printf("%s\n", st.ok() ? "added" : st.ToString().c_str());
     } else if (cmd == "disable" || cmd == "enable" || cmd == "retire") {
-      Status st = cmd == "disable"
-                      ? pipeline.repository().Disable(rest, "shell-user",
-                                                      "via shell")
-                      : cmd == "enable"
-                            ? pipeline.repository().Enable(rest,
-                                                           "shell-user")
-                            : pipeline.repository().Retire(rest,
-                                                           "shell-user",
-                                                           "via shell");
-      pipeline.RebuildRules();
+      // One transaction per command: the commit applies the edit and
+      // republishes the touched shard — no RebuildRules() to forget.
+      rules::RuleId id(rest);
+      Status st = pipeline.Mutate(
+          "shell-user", [&](rules::RuleTransaction& txn) {
+            return cmd == "disable" ? txn.Disable(id, "via shell")
+                   : cmd == "enable" ? txn.Enable(id)
+                                     : txn.Retire(id, "via shell");
+          });
       std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
     } else if (cmd == "classify") {
       data::ProductItem item;
@@ -100,7 +100,8 @@ attr books1: has(ISBN) => books
     } else if (cmd == "list") {
       std::printf("%s", pipeline.rule_set().ToDsl().c_str());
     } else if (cmd == "history") {
-      for (const auto& e : pipeline.repository().HistoryOf(rest)) {
+      const auto& repo = std::as_const(pipeline).repository();
+      for (const auto& e : repo.HistoryOf(rest)) {
         std::printf("  t=%llu %-14s by %-12s %s\n",
                     static_cast<unsigned long long>(e.timestamp),
                     ActionName(e.action), e.author.c_str(),
@@ -114,7 +115,7 @@ attr books1: has(ISBN) => books
                     f.by.c_str(), f.equivalent ? " (equivalent)" : "");
       }
     } else if (cmd == "save") {
-      auto st = pipeline.repository().SaveToFile(rest);
+      auto st = std::as_const(pipeline).repository().SaveToFile(rest);
       std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
     } else if (cmd == "load") {
       auto loaded = rules::RuleRepository::LoadFromFile(rest);

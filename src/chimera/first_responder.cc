@@ -45,7 +45,7 @@ IncidentReport FirstResponder::Triage(
   }
 
   incident.incident = true;
-  incident.checkpoint = pipeline_.repository().Checkpoint("first-responder");
+  incident.checkpoint = pipeline_.Checkpoint("first-responder");
   for (const auto& [type, counts] : per_type) {
     const auto& [yes, total] = counts;
     if (total < config_.min_type_verdicts) continue;
@@ -62,12 +62,13 @@ IncidentReport FirstResponder::Triage(
 
 Status FirstResponder::Resolve(const IncidentReport& incident) {
   if (!incident.incident) return Status::OK();
-  RULEKIT_RETURN_IF_ERROR(pipeline_.repository().RestoreCheckpoint(
-      incident.checkpoint, "first-responder"));
+  // RestoreCheckpoint republishes every shard; ScaleUpType recomposes the
+  // suppression set — no manual rebuild needed.
+  RULEKIT_RETURN_IF_ERROR(
+      pipeline_.RestoreCheckpoint(incident.checkpoint, "first-responder"));
   for (const auto& type : incident.scaled_down_types) {
     pipeline_.ScaleUpType(type);
   }
-  pipeline_.RebuildRules();
   return Status::OK();
 }
 

@@ -5,22 +5,88 @@
 namespace rulekit::chimera {
 
 ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
-    : config_(config), repo_(std::make_shared<rules::RuleRepository>()) {
+    : config_(config),
+      repo_(std::make_shared<rules::RuleRepository>(
+          config.rule_shards == 0 ? 1 : config.rule_shards)) {
   if (config_.batch_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  RepublishLocked();
+  shard_cache_.resize(repo_->shard_count());
+  RepublishAll();
 }
 
-void ChimeraPipeline::RepublishLocked() {
+void ChimeraPipeline::RepublishShards(
+    const std::vector<rules::ShardKey>& dirty) {
+  // Rebuild stale shards outside every pipeline lock: the index build is
+  // the expensive part, and two writers refreshing disjoint shards must
+  // be able to run it concurrently.
+  std::vector<std::shared_ptr<const ShardServing>> built;
+  for (rules::ShardKey key : dirty) {
+    uint64_t cached_version = 0;
+    bool have_cached = false;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      const auto& slot = shard_cache_[key.index()];
+      if (slot != nullptr) {
+        have_cached = true;
+        cached_version = slot->rule_version;
+      }
+    }
+    rules::ShardSnapshot shard_snap = repo_->ShardSnapshotOf(key);
+    if (have_cached && cached_version >= shard_snap.version) continue;
+    if (config_.publish_probe) config_.publish_probe(key.index());
+    auto serving = std::make_shared<ShardServing>();
+    serving->shard_index = key.index();
+    serving->rule_version = shard_snap.version;
+    serving->rules = shard_snap.rules;
+    serving->rule_classifier =
+        std::make_shared<engine::RuleBasedClassifier>(shard_snap.rules);
+    serving->attr_classifier =
+        std::make_shared<engine::AttrValueClassifier>(shard_snap.rules);
+    serving->filter = std::make_shared<Filter>(shard_snap.rules);
+    built.push_back(std::move(serving));
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (auto& serving : built) {
+    auto& slot = shard_cache_[serving->shard_index];
+    // A concurrent writer may have installed a newer build; never regress.
+    if (slot == nullptr || serving->rule_version > slot->rule_version) {
+      slot = std::move(serving);
+    }
+  }
+  ComposeAndSwapLocked();
+}
+
+void ChimeraPipeline::RepublishAll() {
+  std::vector<rules::ShardKey> all;
+  all.reserve(repo_->shard_count());
+  for (size_t i = 0; i < repo_->shard_count(); ++i) {
+    all.push_back(rules::ShardKey(static_cast<uint32_t>(i)));
+  }
+  RepublishShards(all);
+}
+
+void ChimeraPipeline::ComposeAndSwapLocked() {
   auto snap = std::make_shared<PipelineSnapshot>();
-  snap->rules = repo_->snapshot();
-  snap->rule_classifier =
-      std::make_shared<engine::RuleBasedClassifier>(snap->rules);
-  snap->attr_classifier =
-      std::make_shared<engine::AttrValueClassifier>(snap->rules);
-  snap->filter = std::make_shared<Filter>(snap->rules);
+  snap->shards = shard_cache_;
+  std::vector<std::shared_ptr<const engine::RuleBasedClassifier>> rule_shards;
+  std::vector<std::shared_ptr<const engine::AttrValueClassifier>> attr_shards;
+  std::vector<std::shared_ptr<const Filter>> filter_shards;
+  rule_shards.reserve(shard_cache_.size());
+  attr_shards.reserve(shard_cache_.size());
+  filter_shards.reserve(shard_cache_.size());
+  for (const auto& serving : shard_cache_) {
+    rule_shards.push_back(serving->rule_classifier);
+    attr_shards.push_back(serving->attr_classifier);
+    filter_shards.push_back(serving->filter);
+    snap->composite_rule_version += serving->rule_version;
+  }
+  snap->rule_classifier = std::make_shared<engine::ShardedRuleClassifier>(
+      std::move(rule_shards));
+  snap->attr_classifier = std::make_shared<engine::ShardedAttrValueClassifier>(
+      std::move(attr_shards));
+  snap->filter = std::make_shared<ShardedFilter>(std::move(filter_shards));
   snap->ensemble = ensemble_;
   snap->suppressed = suppressed_;
 
@@ -51,69 +117,104 @@ uint64_t ChimeraPipeline::snapshot_version() const {
 
 Status ChimeraPipeline::AddRules(std::vector<rules::Rule> new_rules,
                                  std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Status status = Status::OK();
+  rules::RuleTransaction txn = repo_->Begin(author);
   for (auto& rule : new_rules) {
-    status = repo_->Add(std::move(rule), author);
-    if (!status.ok()) break;
+    (void)txn.Add(std::move(rule));
   }
+  Status status = txn.Commit();
   // Publish whatever made it in, even on failure part-way through.
-  RepublishLocked();
+  RepublishShards(txn.touched());
   return status;
 }
 
-void ChimeraPipeline::RebuildRules() {
-  std::lock_guard<std::mutex> lock(mu_);
-  RepublishLocked();
+Status ChimeraPipeline::Mutate(
+    std::string_view author,
+    const std::function<Status(rules::RuleTransaction&)>& fn) {
+  rules::RuleTransaction txn = repo_->Begin(author);
+  Status status = fn(txn);
+  if (!status.ok()) return status;  // nothing applied, nothing published
+  status = txn.Commit();
+  RepublishShards(txn.touched());
+  return status;
+}
+
+uint64_t ChimeraPipeline::Checkpoint(std::string_view author) {
+  return repo_->Checkpoint(author);
+}
+
+Status ChimeraPipeline::RestoreCheckpoint(uint64_t version,
+                                          std::string_view author) {
+  RULEKIT_RETURN_IF_ERROR(repo_->RestoreCheckpoint(version, author));
+  RepublishAll();
+  return Status::OK();
 }
 
 void ChimeraPipeline::AddTrainingData(
     std::vector<data::LabeledItem> labeled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   training_data_.insert(training_data_.end(),
                         std::make_move_iterator(labeled.begin()),
                         std::make_move_iterator(labeled.end()));
 }
 
 size_t ChimeraPipeline::training_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   return training_data_.size();
 }
 
 void ChimeraPipeline::RetrainLearning() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (training_data_.empty()) return;
-  // Fresh extractor + learners: the simplest correct retraining story
+  // Train against a copied data snapshot, outside every pipeline lock:
+  // rule writers and readers proceed while the learners fit. Fresh
+  // extractor + learners are the simplest correct retraining story
   // (incremental learners accumulate state across Train calls). Serving
-  // keeps voting with the previous ensemble until the new one is
-  // published below.
+  // keeps voting with the previous ensemble until the publish below.
+  std::vector<data::LabeledItem> data;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (training_data_.empty()) return;
+    data = training_data_;
+  }
   auto features = std::make_shared<ml::FeatureExtractor>();
   auto nb = std::make_shared<ml::NaiveBayesClassifier>(features);
-  nb->Train(training_data_);
+  nb->Train(data);
   auto knn = std::make_shared<ml::KnnClassifier>(features, 7);
-  knn->Train(training_data_);
+  knn->Train(data);
   auto logreg = std::make_shared<ml::LogRegClassifier>(features);
-  logreg->Train(training_data_);
-  ensemble_ = std::make_shared<ml::EnsembleClassifier>();
-  ensemble_->AddMember(std::move(nb));
-  ensemble_->AddMember(std::move(knn));
-  ensemble_->AddMember(std::move(logreg));
-  RepublishLocked();
+  logreg->Train(data);
+  auto ensemble = std::make_shared<ml::EnsembleClassifier>();
+  ensemble->AddMember(std::move(nb));
+  ensemble->AddMember(std::move(knn));
+  ensemble->AddMember(std::move(logreg));
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ensemble_ = std::move(ensemble);
+  ComposeAndSwapLocked();
 }
 
 void ChimeraPipeline::ScaleDownType(const std::string& type,
                                     std::string_view author,
                                     std::string_view reason) {
-  std::lock_guard<std::mutex> lock(mu_);
-  suppressed_.insert(type);
-  repo_->DisableRulesForType(type, author, reason);
-  RepublishLocked();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    suppressed_.insert(type);
+  }
+  std::vector<rules::RuleId> disabled =
+      repo_->DisableRulesForType(type, author, reason);
+  std::vector<rules::ShardKey> touched;
+  for (const rules::RuleId& id : disabled) {
+    auto shard = repo_->ShardOfRule(id);
+    if (!shard.ok()) continue;
+    if (std::find(touched.begin(), touched.end(), *shard) == touched.end()) {
+      touched.push_back(*shard);
+    }
+  }
+  RepublishShards(touched);  // composes the suppression in even if empty
 }
 
 void ChimeraPipeline::ScaleUpType(const std::string& type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(state_mu_);
   suppressed_.erase(type);
-  RepublishLocked();
+  ComposeAndSwapLocked();
 }
 
 void ChimeraPipeline::Memoize(const std::string& title,
@@ -157,7 +258,8 @@ BatchReport ChimeraPipeline::ProcessBatch(
     const std::vector<data::ProductItem>& items) const {
   // Pin one snapshot (and one memo version) for the whole batch: writers
   // may publish new versions while we run, but this batch is classified
-  // entirely against the state it started with.
+  // entirely against the state it started with — every shard at the
+  // version the snapshot pinned.
   auto snap = CurrentSnapshot();
   auto memo = gate_.snapshot();
   ThreadPool* pool = pool_.get();
@@ -165,7 +267,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
   BatchReport report;
   report.total = items.size();
   report.predictions.assign(items.size(), std::nullopt);
-  if (items.empty()) return report;
+  if (items.empty()) return report;  // ClassifiedFraction() guards total==0
 
   // ---- Stage 1: gate decisions (sharded; writes are index-disjoint) ------
   enum : uint8_t { kPass = 0, kRejected, kGateClassified, kGateSuppressed };
@@ -201,8 +303,8 @@ BatchReport ChimeraPipeline::ProcessBatch(
   }
   if (pass_ptrs.empty()) return report;
 
-  // ---- Stage 2: regex rule matches, once per batch (indexed executor) ----
-  engine::ExecutionResult exec =
+  // ---- Stage 2: regex rule matches, once per batch per shard -------------
+  engine::ShardedExecution exec =
       snap->rule_classifier->MatchBatch(pass_ptrs, pool);
 
   // ---- Stage 3: voting (rule member scored from the stage-2 matches) -----
@@ -212,8 +314,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
     rule_scored.resize(pass_ptrs.size());
     RunChunked(pool, pass_ptrs.size(), [&](size_t begin, size_t end) {
       for (size_t j = begin; j < end; ++j) {
-        rule_scored[j] =
-            snap->rule_classifier->ScoreMatches(exec.matches_per_item[j]);
+        rule_scored[j] = snap->rule_classifier->ScoreMatches(exec, j);
       }
     });
     precomputed = snap->rule_classifier.get();
@@ -224,7 +325,9 @@ BatchReport ChimeraPipeline::ProcessBatch(
   // ---- Stage 4: suppression + filter + accounting ------------------------
   // Per-chunk partial reports, merged in chunk order: counters are sums,
   // predictions are written by disjoint index, so the merged result is
-  // identical to the sequential path.
+  // identical to the sequential path (and the counter merge never
+  // divides — ratios are computed once, by BatchReport, with the
+  // total==0 guard).
   struct Partial {
     size_t declined = 0, suppressed = 0, filtered = 0, classified = 0;
   };
@@ -244,8 +347,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
         ++p.suppressed;
         continue;
       }
-      if (!snap->filter->AdmitWithMatches(*pass_ptrs[j], label,
-                                          exec.matches_per_item[j])) {
+      if (!snap->filter->AdmitWithMatches(*pass_ptrs[j], label, exec, j)) {
         ++p.filtered;
         continue;
       }

@@ -1,6 +1,7 @@
 #ifndef RULEKIT_CHIMERA_PIPELINE_H_
 #define RULEKIT_CHIMERA_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -13,6 +14,7 @@
 #include "src/common/thread_pool.h"
 #include "src/data/product.h"
 #include "src/engine/rule_classifier.h"
+#include "src/engine/sharded_classifier.h"
 #include "src/ml/ensemble.h"
 #include "src/ml/features.h"
 #include "src/ml/knn.h"
@@ -34,6 +36,16 @@ struct PipelineConfig {
   /// Worker threads for ProcessBatch (0 or 1 = sequential). The pool is
   /// shared by concurrent batches; each batch waits only on its own work.
   size_t batch_threads = 0;
+  /// Rule repository shards. An edit republishes only the shards it
+  /// touched (index rebuild cost scales with the shard, not the rule
+  /// base), and writers to disjoint shards proceed concurrently. 1 =
+  /// historical monolithic behaviour. Output is byte-identical for any
+  /// value.
+  size_t rule_shards = 8;
+  /// Diagnostic hook, fired once per shard rebuild (with the shard index)
+  /// while the rebuild runs outside every pipeline lock. Tests use it to
+  /// prove disjoint-shard writers overlap; leave unset in production.
+  std::function<void(uint32_t)> publish_probe;
 };
 
 /// Where each item of a batch ended up.
@@ -48,73 +60,131 @@ struct BatchReport {
   /// Final prediction per item (nullopt = unclassified).
   std::vector<std::optional<std::string>> predictions;
 
-  double coverage() const {
+  /// Fraction of the batch that ended with a prediction (gate memo hits +
+  /// voting winners that survived the filter). 0 for an empty batch — the
+  /// guard matters because sparse streams legitimately deliver empty
+  /// batches and every merge path must agree on the ratio.
+  double ClassifiedFraction() const {
     return total == 0 ? 0.0
                       : static_cast<double>(gate_classified + classified) /
                             static_cast<double>(total);
   }
+
+  double coverage() const { return ClassifiedFraction(); }
 };
 
-/// Everything one classification needs, bound to one immutable rule-set
-/// version: classifiers, voting master, filter, and the suppressed-type
-/// set. Writers build a fresh snapshot and swap the pipeline's pointer
-/// atomically; readers acquire the pointer once per batch (or per item)
-/// and keep the whole bundle alive via shared_ptr for as long as they
-/// need it. Rule updates therefore never block or corrupt in-flight
+/// One shard's serving state, bound to one immutable shard snapshot: the
+/// shard's rules plus the classifiers/filter built against them (index
+/// construction included). Rebuilt only when its shard's version moves;
+/// the other shards' servings are reused pointer-for-pointer across
+/// publishes.
+struct ShardServing {
+  uint32_t shard_index = 0;
+  uint64_t rule_version = 0;
+  std::shared_ptr<const rules::RuleSet> rules;
+  std::shared_ptr<const engine::RuleBasedClassifier> rule_classifier;
+  std::shared_ptr<const engine::AttrValueClassifier> attr_classifier;
+  std::shared_ptr<const Filter> filter;
+};
+
+/// Everything one classification needs, pinned coherently: a vector of
+/// per-shard servings (each at its own shard version), the sharded
+/// classifier/filter wrappers that merge them, the learning ensemble,
+/// voting master, and the suppressed-type set. Writers compose a fresh
+/// snapshot (reusing unchanged shards' servings) and swap the pipeline's
+/// pointer atomically; readers acquire the pointer once per batch (or per
+/// item) and keep the whole bundle alive via shared_ptr for as long as
+/// they need it. Rule updates therefore never block or corrupt in-flight
 /// classification — a batch finishes on the version it started with.
 struct PipelineSnapshot {
-  std::shared_ptr<const rules::RuleSet> rules;
-  std::shared_ptr<engine::RuleBasedClassifier> rule_classifier;
-  std::shared_ptr<engine::AttrValueClassifier> attr_classifier;
+  std::vector<std::shared_ptr<const ShardServing>> shards;
+  std::shared_ptr<engine::ShardedRuleClassifier> rule_classifier;
+  std::shared_ptr<engine::ShardedAttrValueClassifier> attr_classifier;
   std::shared_ptr<ml::EnsembleClassifier> ensemble;  // null until trained
   std::shared_ptr<const VotingMaster> voting;
-  std::shared_ptr<const Filter> filter;
+  std::shared_ptr<const ShardedFilter> filter;
   std::unordered_set<std::string> suppressed;
+  /// Publish sequence number (bumps on every snapshot swap).
   uint64_t version = 0;
+  /// Sum of the pinned shard rule versions (the repository's composite
+  /// version this snapshot serves).
+  uint64_t composite_rule_version = 0;
 };
 
 /// The Chimera system (Figure 2): Gate Keeper -> {rule-based,
 /// attribute/value, learning ensemble} classifiers -> Voting Master ->
-/// Filter -> Result, with scale-down/scale-up controls and a versioned
-/// rule repository underneath.
+/// Filter -> Result, with scale-down/scale-up controls and a versioned,
+/// sharded rule repository underneath.
 ///
-/// Concurrency model (snapshot-isolated serving core):
+/// Concurrency model (sharded snapshot-isolated serving core):
 ///  - Readers (Classify, ProcessBatch) are lock-free apart from two
 ///    pointer loads: they pin the current PipelineSnapshot and the gate
 ///    keeper's memo version, then classify against those. They never see
 ///    a half-applied rule update.
-///  - Writers (AddRules, RetrainLearning, ScaleDownType/UpType,
-///    RebuildRules, direct repository edits + RebuildRules) serialize on
-///    a writer mutex, mutate the repository/writer state, rebuild the
-///    derived classifiers against a fresh immutable rule-set copy, and
-///    publish the new snapshot with one pointer swap.
+///  - Writers serialize per *shard*, not globally: a mutation locks only
+///    the repository shards it touches, then rebuilds only those shards'
+///    classifiers/indices (outside every lock) and composes a new
+///    snapshot from the refreshed cache. Edits to disjoint shards
+///    proceed concurrently end to end.
+///  - Mutations go through the transactional API (Mutate / AddRules /
+///    ScaleDownType / Checkpoint+RestoreCheckpoint), which publishes
+///    exactly once per commit. The deprecated writer accessors
+///    (repository() non-const + RebuildRules()) remain as shims.
+///  - RetrainLearning trains outside all locks against a copied data
+///    snapshot, so training no longer blocks rule writers.
 ///  - GateKeeper::Memoize is its own (copy-on-write) writer path and
 ///    needs no snapshot republish.
 /// ProcessBatch additionally fans work out over a shared ThreadPool when
-/// `config.batch_threads > 1`: gate decisions, the indexed regex batch
-/// executor, member voting, and the finalize stage all run on sharded
-/// item ranges, with per-chunk partial BatchReports merged in chunk
-/// order, so parallel output is identical to the sequential path.
+/// `config.batch_threads > 1`: gate decisions, the per-shard indexed
+/// regex batch executors, member voting, and the finalize stage all run
+/// on sharded item ranges, with per-chunk partial BatchReports merged in
+/// chunk order, so parallel output is identical to the sequential path —
+/// and identical for any shard count.
 class ChimeraPipeline {
  public:
   explicit ChimeraPipeline(PipelineConfig config = {});
 
   // ---- rules -------------------------------------------------------------
 
-  /// Adds rules through the repository (audited) and publishes a new
-  /// snapshot. In-flight batches keep classifying on the old one.
+  /// Adds rules through the repository (one audited transaction) and
+  /// publishes the touched shards once. In-flight batches keep
+  /// classifying on the old snapshot. On failure the already-applied
+  /// prefix is still published (matching the historical loop semantics).
   Status AddRules(std::vector<rules::Rule> new_rules,
                   std::string_view author);
 
-  /// The underlying repository. Direct mutations (checkpoint restore,
-  /// retire, ...) must be followed by RebuildRules() to become visible to
-  /// serving.
+  /// The transactional edit path: stages edits through `fn`, commits them
+  /// as one repository transaction, and republishes exactly the shards
+  /// the commit touched — once, regardless of how many edits rode along.
+  /// If `fn` returns an error nothing is applied or published.
+  Status Mutate(std::string_view author,
+                const std::function<Status(rules::RuleTransaction&)>& fn);
+
+  /// Checkpoints all rule states (see RuleRepository::Checkpoint); no
+  /// republish needed since rules are unchanged.
+  uint64_t Checkpoint(std::string_view author);
+
+  /// Restores a checkpoint and republishes every shard.
+  Status RestoreCheckpoint(uint64_t version, std::string_view author);
+
+  /// Read-only repository access (audit log, history, persistence).
+  const rules::RuleRepository& repository() const { return *repo_; }
+
+  /// Writer-side repository access. Deprecated: direct mutations bypass
+  /// per-commit publication and must be followed by RebuildRules() — use
+  /// Mutate() / Checkpoint() / RestoreCheckpoint() instead.
+  [[deprecated("use Mutate()/Checkpoint()/RestoreCheckpoint()")]]
   rules::RuleRepository& repository() { return *repo_; }
+
+  /// Merged view of all shards' rules (writer-side; re-fetch after edits).
   const rules::RuleSet& rule_set() const { return repo_->rules(); }
 
-  /// Re-derives classifier state after direct rule-set mutations and
-  /// publishes it as a new snapshot.
-  void RebuildRules();
+  /// Re-derives serving state for shards whose repository version moved
+  /// and publishes a new snapshot. Deprecated shim for the
+  /// edit-directly-then-rebuild pattern; the transactional API publishes
+  /// automatically.
+  [[deprecated("mutate through Mutate(); it publishes on commit")]]
+  void RebuildRules() { RepublishAll(); }
 
   /// Version of the currently served snapshot (bumps on every publish).
   uint64_t snapshot_version() const;
@@ -124,19 +194,21 @@ class ChimeraPipeline {
   /// Accumulates labeled training data.
   void AddTrainingData(std::vector<data::LabeledItem> labeled);
 
-  /// Retrains the learning ensemble from scratch on all accumulated data
-  /// and publishes the result as a new snapshot.
+  /// Retrains the learning ensemble from scratch on a copy of the
+  /// accumulated data — outside every pipeline lock, so rule writers and
+  /// readers proceed while training runs — and publishes the result.
   void RetrainLearning();
 
   size_t training_size() const;
 
   // ---- scale down / up (§2.2 requirement 3) -------------------------------
 
-  /// Suppresses all predictions of one type (and disables its rules).
+  /// Suppresses all predictions of one type (and disables its rules),
+  /// republishing only the shards that hosted them.
   void ScaleDownType(const std::string& type, std::string_view author,
                      std::string_view reason);
 
-  /// Lifts a suppression (rules must be re-enabled via the repository or a
+  /// Lifts a suppression (rules must be re-enabled via a transaction or a
   /// checkpoint restore).
   void ScaleUpType(const std::string& type);
 
@@ -165,9 +237,19 @@ class ChimeraPipeline {
   const PipelineConfig& config() const { return config_; }
 
  private:
-  /// Builds classifiers/voting/filter for the repository's current rules
-  /// and swaps the published snapshot. Caller holds mu_.
-  void RepublishLocked();
+  /// Rebuilds the serving state of the given shards if their repository
+  /// versions moved (classifier/index construction runs outside every
+  /// pipeline lock), then composes and swaps a new snapshot. Always
+  /// publishes, even when no shard changed (suppression edits and the
+  /// historical always-republish semantics rely on it).
+  void RepublishShards(const std::vector<rules::ShardKey>& dirty);
+
+  /// RepublishShards over every shard.
+  void RepublishAll();
+
+  /// Composes a snapshot from shard_cache_ + writer state and swaps it
+  /// in. Caller holds state_mu_.
+  void ComposeAndSwapLocked();
 
   std::shared_ptr<const PipelineSnapshot> CurrentSnapshot() const;
 
@@ -175,9 +257,10 @@ class ChimeraPipeline {
   std::shared_ptr<rules::RuleRepository> repo_;
   GateKeeper gate_;
 
-  /// Serializes writers (rule/learning/suppression mutations).
-  mutable std::mutex mu_;
-  /// Writer-side state folded into each published snapshot.
+  /// Guards the writer-side composition state below (NOT the repository —
+  /// shard mutations serialize inside RuleRepository per shard).
+  mutable std::mutex state_mu_;
+  std::vector<std::shared_ptr<const ShardServing>> shard_cache_;
   std::unordered_set<std::string> suppressed_;
   std::vector<data::LabeledItem> training_data_;
   std::shared_ptr<ml::EnsembleClassifier> ensemble_;  // null until trained

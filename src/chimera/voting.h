@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/engine/sharded_classifier.h"
 #include "src/ml/classifier.h"
 #include "src/rules/rule_set.h"
 
@@ -100,6 +101,45 @@ class Filter {
   std::vector<size_t> blacklist_;  // active kBlacklist rules
   std::vector<size_t> attrval_;    // active kAttributeValue rules
   std::vector<size_t> negpred_;    // active negative kPredicate rules
+};
+
+/// Filter over a sharded repository: admits only when every shard's Filter
+/// admits. A veto is a veto no matter which shard hosts the rule, so the
+/// conjunction is exactly the monolithic Filter over the union of shards.
+/// Per-shard Filters are built against the same pinned snapshots as the
+/// classifiers and reused across publishes when their shard is unchanged.
+class ShardedFilter {
+ public:
+  explicit ShardedFilter(std::vector<std::shared_ptr<const Filter>> shards)
+      : shards_(std::move(shards)) {}
+
+  bool Admit(const data::ProductItem& item,
+             const std::string& predicted) const {
+    for (const auto& shard : shards_) {
+      if (!shard->Admit(item, predicted)) return false;
+    }
+    return true;
+  }
+
+  /// Batch-path variant; each shard's Filter gets that shard's regex
+  /// matches for item `index` of `exec`.
+  bool AdmitWithMatches(const data::ProductItem& item,
+                        const std::string& predicted,
+                        const engine::ShardedExecution& exec,
+                        size_t index) const {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s]->AdmitWithMatches(
+              item, predicted, exec.per_shard[s].matches_per_item[index])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Filter>> shards_;
 };
 
 }  // namespace rulekit::chimera

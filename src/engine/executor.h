@@ -66,6 +66,10 @@ class RuleExecutor {
 
   const RuleIndexStats& index_stats() const { return index_.stats(); }
 
+  /// Number of active regex rules this executor evaluates. The sharded
+  /// serving path skips whole shards whose executors have nothing to run.
+  size_t active_rule_count() const { return active_regex_rules_.size(); }
+
  private:
   const rules::RuleSet& set_;
   ExecutorOptions options_;

@@ -17,6 +17,16 @@ void SortScored(std::vector<ml::ScoredLabel>& out) {
 
 }  // namespace
 
+std::vector<ml::ScoredLabel> TypeProposals::Finalize() const {
+  std::vector<ml::ScoredLabel> out;
+  for (const auto& [type, score] : proposed) {
+    if (vetoed.count(type)) continue;
+    out.push_back({type, score});
+  }
+  SortScored(out);
+  return out;
+}
+
 RuleBasedClassifier::RuleBasedClassifier(
     std::shared_ptr<const rules::RuleSet> rules,
     RuleClassifierOptions options)
@@ -30,40 +40,37 @@ void RuleBasedClassifier::Rebuild() {
                                .pool = nullptr});
 }
 
-std::vector<ml::ScoredLabel> RuleBasedClassifier::ScoreMatches(
-    const std::vector<size_t>& matched) const {
+void RuleBasedClassifier::AccumulateMatches(const std::vector<size_t>& matched,
+                                            TypeProposals* out) const {
   const auto& all = rules_->rules();
 
   // Phase 1: whitelist rules propose types (max confidence per type).
   // Phase 2: blacklist rules veto types. The two-phase order makes the
-  // output independent of rule ordering within each phase.
-  std::unordered_map<std::string, double> proposed;
-  std::unordered_set<std::string> vetoed;
+  // output independent of rule ordering within each phase. Vetoes are
+  // collected even when this shard proposed nothing — another shard may
+  // propose the type, and a veto must kill it regardless of which shard
+  // hosts each rule.
   for (size_t i : matched) {
     const rules::Rule& rule = all[i];
     if (!rule.is_active()) continue;
     if (rule.kind() == rules::RuleKind::kWhitelist) {
-      double& score = proposed[rule.target_type()];
-      score = std::max(score, rule.metadata().confidence);
+      out->Propose(rule.target_type(), rule.metadata().confidence);
     }
   }
-  if (!proposed.empty()) {
-    for (size_t i : matched) {
-      const rules::Rule& rule = all[i];
-      if (!rule.is_active()) continue;
-      if (rule.kind() == rules::RuleKind::kBlacklist) {
-        vetoed.insert(rule.target_type());
-      }
+  for (size_t i : matched) {
+    const rules::Rule& rule = all[i];
+    if (!rule.is_active()) continue;
+    if (rule.kind() == rules::RuleKind::kBlacklist) {
+      out->Veto(rule.target_type());
     }
   }
+}
 
-  std::vector<ml::ScoredLabel> out;
-  for (const auto& [type, score] : proposed) {
-    if (vetoed.count(type)) continue;
-    out.push_back({type, score});
-  }
-  SortScored(out);
-  return out;
+std::vector<ml::ScoredLabel> RuleBasedClassifier::ScoreMatches(
+    const std::vector<size_t>& matched) const {
+  TypeProposals proposals;
+  AccumulateMatches(matched, &proposals);
+  return proposals.Finalize();
 }
 
 std::vector<ml::ScoredLabel> RuleBasedClassifier::Predict(
@@ -122,19 +129,15 @@ void AttrValueClassifier::Rebuild() {
   }
 }
 
-std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
-    const data::ProductItem& item) const {
-  std::unordered_map<std::string, double> proposed;
-  std::unordered_set<std::string> vetoed;
-
+void AttrValueClassifier::Accumulate(const data::ProductItem& item,
+                                     TypeProposals* out) const {
   const auto& all = rules_->rules();
   for (size_t i : attr_rules_) {
     const rules::Rule& rule = all[i];
     switch (rule.kind()) {
       case rules::RuleKind::kAttributeExists: {
         if (!rule.Applies(item)) break;
-        double& score = proposed[rule.target_type()];
-        score = std::max(score, rule.metadata().confidence);
+        out->Propose(rule.target_type(), rule.metadata().confidence);
         break;
       }
       case rules::RuleKind::kAttributeValue: {
@@ -144,18 +147,16 @@ std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
         double share = rule.metadata().confidence /
                        static_cast<double>(rule.candidate_types().size());
         for (const auto& type : rule.candidate_types()) {
-          double& score = proposed[type];
-          score = std::max(score, share);
+          out->Propose(type, share);
         }
         break;
       }
       case rules::RuleKind::kPredicate: {
         if (!rule.Applies(item)) break;
         if (rule.is_positive()) {
-          double& score = proposed[rule.target_type()];
-          score = std::max(score, rule.metadata().confidence);
+          out->Propose(rule.target_type(), rule.metadata().confidence);
         } else {
-          vetoed.insert(rule.target_type());
+          out->Veto(rule.target_type());
         }
         break;
       }
@@ -164,14 +165,13 @@ std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
         break;
     }
   }
+}
 
-  std::vector<ml::ScoredLabel> out;
-  for (const auto& [type, score] : proposed) {
-    if (vetoed.count(type)) continue;
-    out.push_back({type, score});
-  }
-  SortScored(out);
-  return out;
+std::vector<ml::ScoredLabel> AttrValueClassifier::Predict(
+    const data::ProductItem& item) const {
+  TypeProposals proposals;
+  Accumulate(item, &proposals);
+  return proposals.Finalize();
 }
 
 }  // namespace rulekit::engine

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/engine/executor.h"
@@ -11,6 +13,26 @@
 #include "src/rules/rule_set.h"
 
 namespace rulekit::engine {
+
+/// Intermediate state of the two-phase propose/veto protocol, exposed so
+/// per-shard classifiers can be merged exactly: proposals max-merge per
+/// type and vetoes union, which makes scoring over S shards byte-identical
+/// to scoring over the monolithic rule set (a veto in one shard kills a
+/// proposal from any shard, just as it would in one pass).
+struct TypeProposals {
+  std::unordered_map<std::string, double> proposed;
+  std::unordered_set<std::string> vetoed;
+
+  void Propose(const std::string& type, double score) {
+    double& current = proposed[type];
+    current = std::max(current, score);
+  }
+  void Veto(const std::string& type) { vetoed.insert(type); }
+
+  /// Drops vetoed proposals and sorts (score desc, label asc — the
+  /// deterministic tie-break every scoring path shares).
+  std::vector<ml::ScoredLabel> Finalize() const;
+};
 
 /// Options for the rule-based classifier.
 struct RuleClassifierOptions {
@@ -62,11 +84,21 @@ class RuleBasedClassifier : public ml::Classifier {
   std::vector<ml::ScoredLabel> ScoreMatches(
       const std::vector<size_t>& matched) const;
 
+  /// Accumulates one item's matches into `out` without finalizing, so a
+  /// sharded classifier can merge several shards' proposals/vetoes before
+  /// the single finalize. ScoreMatches == accumulate-then-Finalize.
+  void AccumulateMatches(const std::vector<size_t>& matched,
+                         TypeProposals* out) const;
+
   std::string name() const override { return "rule_based"; }
 
   const RuleIndexStats& index_stats() const {
     return executor_->index_stats();
   }
+
+  /// Active regex rules behind this classifier (0 = MatchBatch is a no-op
+  /// and the sharded path skips it).
+  size_t active_rule_count() const { return executor_->active_rule_count(); }
 
  private:
   std::shared_ptr<const rules::RuleSet> rules_;
@@ -92,7 +124,15 @@ class AttrValueClassifier : public ml::Classifier {
 
   std::vector<ml::ScoredLabel> Predict(
       const data::ProductItem& item) const override;
+
+  /// Accumulates this shard's attribute/predicate proposals and vetoes
+  /// into `out`; Predict == accumulate-then-Finalize.
+  void Accumulate(const data::ProductItem& item, TypeProposals* out) const;
+
   std::string name() const override { return "attr_value"; }
+
+  /// Active attribute/predicate rules (0 = nothing to evaluate).
+  size_t active_rule_count() const { return attr_rules_.size(); }
 
  private:
   std::shared_ptr<const rules::RuleSet> rules_;

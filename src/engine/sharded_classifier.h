@@ -1,0 +1,95 @@
+#ifndef RULEKIT_ENGINE_SHARDED_CLASSIFIER_H_
+#define RULEKIT_ENGINE_SHARDED_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/rule_classifier.h"
+#include "src/ml/classifier.h"
+
+namespace rulekit::engine {
+
+/// Regex match results for one batch across every shard: element s holds
+/// shard s's ExecutionResult (matches indexed into that shard's RuleSet).
+/// Shards with no active regex rules carry an empty-but-sized result so
+/// per-item indexing stays uniform.
+struct ShardedExecution {
+  std::vector<ExecutionResult> per_shard;
+
+  /// Sum of regex evaluations actually performed across shards.
+  size_t total_evaluations() const {
+    size_t total = 0;
+    for (const auto& exec : per_shard) total += exec.stats.rule_evaluations;
+    return total;
+  }
+};
+
+/// The rule-based classifier over a sharded repository: one per-shard
+/// RuleBasedClassifier (each with its own index/executor built against
+/// that shard's pinned snapshot), merged through TypeProposals so the
+/// output is byte-identical to a monolithic classifier over the union of
+/// the shards — proposals max-merge per type, vetoes union, one shared
+/// finalize with the deterministic tie-break.
+///
+/// Construction is cheap when only some shards changed: the serving layer
+/// reuses the unchanged shards' classifiers (index builds and all) and
+/// rebuilds only the republished ones.
+class ShardedRuleClassifier : public ml::Classifier {
+ public:
+  explicit ShardedRuleClassifier(
+      std::vector<std::shared_ptr<const RuleBasedClassifier>> shards)
+      : shards_(std::move(shards)) {}
+
+  /// Runs each shard's batch executor over the items; shards with zero
+  /// active regex rules are skipped (their results stay empty-but-sized).
+  ShardedExecution MatchBatch(
+      const std::vector<const data::ProductItem*>& items,
+      ThreadPool* pool) const;
+
+  /// Merges every shard's proposals/vetoes for item `index` of `exec`.
+  std::vector<ml::ScoredLabel> ScoreMatches(const ShardedExecution& exec,
+                                            size_t index) const;
+
+  std::vector<ml::ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+
+  std::vector<std::vector<ml::ScoredLabel>> PredictBatch(
+      const std::vector<const data::ProductItem*>& items,
+      ThreadPool* pool) const override;
+
+  // Matches the monolithic classifier so ensemble reports are stable.
+  std::string name() const override { return "rule_based"; }
+
+  size_t shard_count() const { return shards_.size(); }
+  const RuleBasedClassifier& shard(size_t index) const {
+    return *shards_[index];
+  }
+
+ private:
+  std::vector<std::shared_ptr<const RuleBasedClassifier>> shards_;
+};
+
+/// Attribute/value classifier over a sharded repository; same merge
+/// protocol as ShardedRuleClassifier (and the same byte-identical-output
+/// guarantee versus a monolithic AttrValueClassifier).
+class ShardedAttrValueClassifier : public ml::Classifier {
+ public:
+  explicit ShardedAttrValueClassifier(
+      std::vector<std::shared_ptr<const AttrValueClassifier>> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<ml::ScoredLabel> Predict(
+      const data::ProductItem& item) const override;
+
+  std::string name() const override { return "attr_value"; }
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const AttrValueClassifier>> shards_;
+};
+
+}  // namespace rulekit::engine
+
+#endif  // RULEKIT_ENGINE_SHARDED_CLASSIFIER_H_

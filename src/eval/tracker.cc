@@ -13,13 +13,13 @@ void ImpactTracker::RecordBatch(const rules::RuleSet& rules,
   const auto& all = rules.rules();
   for (const auto& matched : result.matches_per_item) {
     for (size_t rule_idx : matched) {
-      ++matches_[all[rule_idx].id()];
+      ++matches_[rules::RuleId(all[rule_idx].id())];
     }
   }
   items_seen_ += batch.size();
 }
 
-void ImpactTracker::MarkEvaluated(const std::string& rule_id) {
+void ImpactTracker::MarkEvaluated(const rules::RuleId& rule_id) {
   evaluated_.insert(rule_id);
 }
 
@@ -38,7 +38,7 @@ std::vector<ImpactAlert> ImpactTracker::PendingAlerts() const {
   return alerts;
 }
 
-size_t ImpactTracker::MatchCount(const std::string& rule_id) const {
+size_t ImpactTracker::MatchCount(const rules::RuleId& rule_id) const {
   auto it = matches_.find(rule_id);
   return it == matches_.end() ? 0 : it->second;
 }

@@ -3,18 +3,20 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/data/product.h"
+#include "src/rules/ids.h"
 #include "src/rules/rule_set.h"
 
 namespace rulekit::eval {
 
 /// A rule that crossed the impact threshold without ever being evaluated.
 struct ImpactAlert {
-  std::string rule_id;
+  rules::RuleId rule_id;
   size_t matches = 0;
 };
 
@@ -33,24 +35,34 @@ class ImpactTracker {
                    const std::vector<data::ProductItem>& batch);
 
   /// Records that a rule has been evaluated (clears it from alerting).
-  void MarkEvaluated(const std::string& rule_id);
+  void MarkEvaluated(const rules::RuleId& rule_id);
+  void MarkEvaluated(std::string_view rule_id) {
+    MarkEvaluated(rules::RuleId(rule_id));
+  }
 
   /// Unevaluated rules at or above the impact threshold, most impactful
   /// first.
   std::vector<ImpactAlert> PendingAlerts() const;
 
-  size_t MatchCount(const std::string& rule_id) const;
+  size_t MatchCount(const rules::RuleId& rule_id) const;
+  size_t MatchCount(std::string_view rule_id) const {
+    return MatchCount(rules::RuleId(rule_id));
+  }
+
   size_t items_seen() const { return items_seen_; }
 
-  bool IsEvaluated(const std::string& rule_id) const {
+  bool IsEvaluated(const rules::RuleId& rule_id) const {
     return evaluated_.count(rule_id) > 0;
+  }
+  bool IsEvaluated(std::string_view rule_id) const {
+    return IsEvaluated(rules::RuleId(rule_id));
   }
 
  private:
   size_t threshold_;
   size_t items_seen_ = 0;
-  std::unordered_map<std::string, size_t> matches_;
-  std::unordered_set<std::string> evaluated_;
+  std::unordered_map<rules::RuleId, size_t, rules::RuleId::Hash> matches_;
+  std::unordered_set<rules::RuleId, rules::RuleId::Hash> evaluated_;
 };
 
 /// A crowd-budget-constrained evaluation plan (§5.3 "Rule Evaluation":
@@ -58,7 +70,7 @@ class ImpactTracker {
 /// impactful rules").
 struct EvaluationPlan {
   /// Rule ids to evaluate, most impactful first.
-  std::vector<std::string> to_evaluate;
+  std::vector<rules::RuleId> to_evaluate;
   size_t estimated_questions = 0;
   size_t rules_deferred = 0;  // impactful but out of budget
 };

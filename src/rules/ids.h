@@ -1,0 +1,94 @@
+#ifndef RULEKIT_RULES_IDS_H_
+#define RULEKIT_RULES_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace rulekit::rules {
+
+/// Strongly-typed rule identifier. The repository, audit log, and eval
+/// trackers used to pass bare `std::string`s around, which made it easy to
+/// hand a type name (or a shard index) where a rule id was expected; the
+/// wrapper turns that misuse into a compile error while staying cheap to
+/// construct from the untyped ids the DSL parser produces.
+class RuleId {
+ public:
+  RuleId() = default;
+  explicit RuleId(std::string value) : value_(std::move(value)) {}
+  explicit RuleId(std::string_view value) : value_(value) {}
+  // Exact match for string literals (otherwise ambiguous between the
+  // string and string_view conversions above).
+  explicit RuleId(const char* value) : value_(value) {}
+
+  const std::string& value() const { return value_; }
+  std::string_view view() const { return value_; }
+  const char* c_str() const { return value_.c_str(); }
+  bool empty() const { return value_.empty(); }
+
+  friend bool operator==(const RuleId& a, const RuleId& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator<(const RuleId& a, const RuleId& b) {
+    return a.value_ < b.value_;
+  }
+  /// Comparisons against untyped ids (test expectations, DSL round trips).
+  friend bool operator==(const RuleId& a, std::string_view b) {
+    return a.value_ == b;
+  }
+
+  struct Hash {
+    size_t operator()(const RuleId& id) const {
+      return std::hash<std::string>{}(id.value_);
+    }
+  };
+
+ private:
+  std::string value_;
+};
+
+/// Identifies one shard of a sharded RuleRepository. Shards are keyed by
+/// the hash of a rule's target type, so all rules asserting (or vetoing)
+/// one type live together and an edit to a cold type never touches the
+/// hot types' shards. The strong type keeps shard indices from being
+/// mixed up with rule counts, versions, or checkpoint handles.
+class ShardKey {
+ public:
+  ShardKey() = default;
+  constexpr explicit ShardKey(uint32_t index) : index_(index) {}
+
+  /// The shard that owns rules targeting `target_type` in a repository
+  /// with `shard_count` shards (FNV-1a; stable across runs and builds so
+  /// routing decisions are reproducible).
+  static ShardKey ForType(std::string_view target_type, size_t shard_count) {
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (char c : target_type) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;  // FNV prime
+    }
+    if (shard_count == 0) shard_count = 1;
+    return ShardKey(static_cast<uint32_t>(h % shard_count));
+  }
+
+  constexpr uint32_t index() const { return index_; }
+
+  friend constexpr bool operator==(ShardKey a, ShardKey b) {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator<(ShardKey a, ShardKey b) {
+    return a.index_ < b.index_;
+  }
+
+  struct Hash {
+    size_t operator()(ShardKey key) const { return key.index_; }
+  };
+
+ private:
+  uint32_t index_ = 0;
+};
+
+}  // namespace rulekit::rules
+
+#endif  // RULEKIT_RULES_IDS_H_

@@ -1,5 +1,6 @@
 #include "src/rules/repository.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -44,158 +45,420 @@ RuleState StateFromName(std::string_view name) {
 
 }  // namespace
 
-RuleRepository::RuleRepository(RuleRepository&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
-  rules_ = std::move(other.rules_);
-  audit_ = std::move(other.audit_);
-  snapshots_ = std::move(other.snapshots_);
-  clock_ = other.clock_;
-  published_ = std::move(other.published_);
+RuleRepository::RuleRepository(size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
+
+// Moves transfer the data and start with fresh mutexes; the contract (see
+// header) is that nothing concurrent is in flight during a move.
+RuleRepository::RuleRepository(RuleRepository&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      routing_(std::move(other.routing_)),
+      audit_(std::move(other.audit_)),
+      clock_(other.clock_),
+      checkpoints_(std::move(other.checkpoints_)),
+      merged_cache_(std::move(other.merged_cache_)),
+      merged_cache_version_(other.merged_cache_version_),
+      merged_snapshot_(std::move(other.merged_snapshot_)),
+      merged_snapshot_version_(other.merged_snapshot_version_) {}
 
 RuleRepository& RuleRepository::operator=(RuleRepository&& other) noexcept {
   if (this != &other) {
-    std::scoped_lock lock(mu_, other.mu_);
-    rules_ = std::move(other.rules_);
+    shards_ = std::move(other.shards_);
+    routing_ = std::move(other.routing_);
     audit_ = std::move(other.audit_);
-    snapshots_ = std::move(other.snapshots_);
     clock_ = other.clock_;
-    published_ = std::move(other.published_);
+    checkpoints_ = std::move(other.checkpoints_);
+    merged_cache_ = std::move(other.merged_cache_);
+    merged_cache_version_ = other.merged_cache_version_;
+    merged_snapshot_ = std::move(other.merged_snapshot_);
+    merged_snapshot_version_ = other.merged_snapshot_version_;
   }
   return *this;
 }
 
-void RuleRepository::Log(AuditAction action, std::string_view rule_id,
-                         std::string_view author, std::string_view detail) {
-  audit_.push_back({++clock_, action, std::string(rule_id),
-                    std::string(author), std::string(detail)});
-  published_.reset();  // any logged action may have touched the rule set
-}
-
-std::shared_ptr<const RuleSet> RuleRepository::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (published_ == nullptr) {
-    published_ = std::make_shared<const RuleSet>(rules_);
+Result<ShardKey> RuleRepository::ShardOfRule(const RuleId& id) const {
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  auto it = routing_.find(id.value());
+  if (it == routing_.end()) {
+    return Status::NotFound("no such rule: " + id.value());
   }
-  return published_;
+  return ShardKey(it->second);
 }
 
-uint64_t RuleRepository::clock() const {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t RuleRepository::Log(AuditAction action, const RuleId& rule_id,
+                             std::string_view author,
+                             std::string_view detail) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  audit_.push_back({++clock_, action, rule_id, std::string(author),
+                    std::string(detail)});
   return clock_;
 }
 
-Status RuleRepository::Add(Rule rule, std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  rule.metadata().author = std::string(author);
-  rule.metadata().created_at = clock_ + 1;
-  std::string id = rule.id();
-  RULEKIT_RETURN_IF_ERROR(rules_.Add(std::move(rule)));
-  Log(AuditAction::kAdd, id, author, "");
+// ---- transactions ----------------------------------------------------------
+
+RuleRepository::Transaction RuleRepository::Begin(std::string_view author) {
+  return Transaction(this, std::string(author));
+}
+
+Status RuleRepository::Transaction::Add(Rule rule) {
+  Op op{OpKind::kAdd, std::move(rule), RuleId(), "", 0.0};
+  ops_.push_back(std::move(op));
   return Status::OK();
 }
 
-Status RuleRepository::DisableLocked(std::string_view id,
-                                     std::string_view author,
-                                     std::string_view reason) {
-  RULEKIT_RETURN_IF_ERROR(rules_.Disable(id));
-  Log(AuditAction::kDisable, id, author, reason);
+Status RuleRepository::Transaction::Disable(const RuleId& id,
+                                            std::string_view reason) {
+  ops_.push_back({OpKind::kDisable, std::nullopt, id, std::string(reason),
+                  0.0});
   return Status::OK();
 }
 
-Status RuleRepository::Disable(std::string_view id, std::string_view author,
-                               std::string_view reason) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return DisableLocked(id, author, reason);
-}
-
-Status RuleRepository::Enable(std::string_view id, std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RULEKIT_RETURN_IF_ERROR(rules_.Enable(id));
-  Log(AuditAction::kEnable, id, author, "");
+Status RuleRepository::Transaction::Enable(const RuleId& id) {
+  ops_.push_back({OpKind::kEnable, std::nullopt, id, "", 0.0});
   return Status::OK();
 }
 
-Status RuleRepository::Retire(std::string_view id, std::string_view author,
-                              std::string_view reason) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RULEKIT_RETURN_IF_ERROR(rules_.Retire(id));
-  Log(AuditAction::kRetire, id, author, reason);
+Status RuleRepository::Transaction::Retire(const RuleId& id,
+                                           std::string_view reason) {
+  ops_.push_back({OpKind::kRetire, std::nullopt, id, std::string(reason),
+                  0.0});
   return Status::OK();
 }
 
-Status RuleRepository::SetConfidence(std::string_view id, double confidence,
-                                     std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Rule* rule = rules_.FindMutable(id);
-  if (rule == nullptr) {
-    return Status::NotFound("no such rule: " + std::string(id));
+Status RuleRepository::Transaction::SetConfidence(const RuleId& id,
+                                                  double confidence) {
+  ops_.push_back({OpKind::kSetConfidence, std::nullopt, id, "", confidence});
+  return Status::OK();
+}
+
+Status RuleRepository::Transaction::Commit() {
+  return repo_->CommitTransaction(*this);
+}
+
+Status RuleRepository::CommitTransaction(Transaction& txn) {
+  txn.touched_.clear();
+  if (txn.ops_.empty()) return Status::OK();
+
+  // Phase 1: resolve every op to its shard before applying anything, so an
+  // unknown rule id fails the whole commit with zero side effects. Ids
+  // staged by earlier Adds in this transaction resolve too.
+  std::vector<uint32_t> op_shard(txn.ops_.size());
+  std::unordered_map<std::string, uint32_t> staged_adds;
+  for (size_t i = 0; i < txn.ops_.size(); ++i) {
+    Transaction::Op& op = txn.ops_[i];
+    if (op.kind == Transaction::OpKind::kAdd) {
+      uint32_t shard = KeyForType(op.rule->target_type()).index();
+      op_shard[i] = shard;
+      staged_adds.emplace(op.rule->id(), shard);
+      continue;
+    }
+    auto staged = staged_adds.find(op.id.value());
+    if (staged != staged_adds.end()) {
+      op_shard[i] = staged->second;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    auto it = routing_.find(op.id.value());
+    if (it == routing_.end()) {
+      return Status::NotFound("no such rule: " + op.id.value());
+    }
+    op_shard[i] = it->second;
   }
-  rule->metadata().confidence = confidence;
-  Log(AuditAction::kSetConfidence, id, author,
-      StrFormat("%.4f", confidence));
-  return Status::OK();
+
+  // Phase 2: lock every affected shard (ascending — the global lock
+  // order), apply in staging order, and bump each modified shard's
+  // version exactly once so readers republish at most once per shard.
+  std::vector<uint32_t> affected(op_shard);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(affected.size());
+  for (uint32_t idx : affected) {
+    locks.emplace_back(shards_[idx]->mu);
+  }
+
+  Status result = Status::OK();
+  std::vector<uint32_t> modified;
+  auto mark_modified = [&](uint32_t idx) {
+    if (std::find(modified.begin(), modified.end(), idx) == modified.end()) {
+      modified.push_back(idx);
+    }
+  };
+
+  for (size_t i = 0; i < txn.ops_.size(); ++i) {
+    Transaction::Op& op = txn.ops_[i];
+    Shard& shard = *shards_[op_shard[i]];
+    switch (op.kind) {
+      case Transaction::OpKind::kAdd: {
+        std::string id = op.rule->id();
+        {
+          std::lock_guard<std::mutex> lock(routing_mu_);
+          if (routing_.count(id) != 0) {
+            result = Status::AlreadyExists("duplicate rule id: " + id);
+            break;
+          }
+        }
+        op.rule->metadata().author = txn.author_;
+        result = shard.rules.Add(std::move(*op.rule));
+        if (!result.ok()) break;
+        {
+          std::lock_guard<std::mutex> lock(routing_mu_);
+          routing_.emplace(id, op_shard[i]);
+        }
+        uint64_t ts = Log(AuditAction::kAdd, RuleId(id), txn.author_, "");
+        shard.rules.FindMutable(id)->metadata().created_at = ts;
+        mark_modified(op_shard[i]);
+        break;
+      }
+      case Transaction::OpKind::kDisable:
+        result = shard.rules.Disable(op.id.view());
+        if (!result.ok()) break;
+        Log(AuditAction::kDisable, op.id, txn.author_, op.detail);
+        mark_modified(op_shard[i]);
+        break;
+      case Transaction::OpKind::kEnable:
+        result = shard.rules.Enable(op.id.view());
+        if (!result.ok()) break;
+        Log(AuditAction::kEnable, op.id, txn.author_, "");
+        mark_modified(op_shard[i]);
+        break;
+      case Transaction::OpKind::kRetire:
+        result = shard.rules.Retire(op.id.view());
+        if (!result.ok()) break;
+        Log(AuditAction::kRetire, op.id, txn.author_, op.detail);
+        mark_modified(op_shard[i]);
+        break;
+      case Transaction::OpKind::kSetConfidence: {
+        Rule* rule = shard.rules.FindMutable(op.id.view());
+        if (rule == nullptr) {
+          result = Status::NotFound("no such rule: " + op.id.value());
+          break;
+        }
+        rule->metadata().confidence = op.confidence;
+        Log(AuditAction::kSetConfidence, op.id, txn.author_,
+            StrFormat("%.4f", op.confidence));
+        mark_modified(op_shard[i]);
+        break;
+      }
+    }
+    if (!result.ok()) break;  // applied prefix stays; see header contract
+  }
+
+  std::sort(modified.begin(), modified.end());
+  for (uint32_t idx : modified) {
+    Shard& shard = *shards_[idx];
+    shard.version.fetch_add(1, std::memory_order_release);
+    shard.published.reset();
+    txn.touched_.push_back(ShardKey(idx));
+  }
+  txn.ops_.clear();
+  return result;
 }
 
-std::vector<std::string> RuleRepository::DisableRulesForType(
-    std::string_view type, std::string_view author,
-    std::string_view reason) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> disabled;
-  for (const Rule* rule : rules_.ActiveForType(type)) {
-    if (DisableLocked(rule->id(), author, reason).ok()) {
-      disabled.push_back(rule->id());
+Status RuleRepository::Mutate(std::string_view author,
+                              const std::function<Status(Transaction&)>& fn) {
+  Transaction txn = Begin(author);
+  RULEKIT_RETURN_IF_ERROR(fn(txn));
+  return txn.Commit();
+}
+
+// ---- single mutations ------------------------------------------------------
+
+Status RuleRepository::Add(Rule rule, std::string_view author) {
+  Transaction txn = Begin(author);
+  (void)txn.Add(std::move(rule));
+  return txn.Commit();
+}
+
+Status RuleRepository::Disable(const RuleId& id, std::string_view author,
+                               std::string_view reason) {
+  Transaction txn = Begin(author);
+  (void)txn.Disable(id, reason);
+  return txn.Commit();
+}
+
+Status RuleRepository::Enable(const RuleId& id, std::string_view author) {
+  Transaction txn = Begin(author);
+  (void)txn.Enable(id);
+  return txn.Commit();
+}
+
+Status RuleRepository::Retire(const RuleId& id, std::string_view author,
+                              std::string_view reason) {
+  Transaction txn = Begin(author);
+  (void)txn.Retire(id, reason);
+  return txn.Commit();
+}
+
+Status RuleRepository::SetConfidence(const RuleId& id, double confidence,
+                                     std::string_view author) {
+  Transaction txn = Begin(author);
+  (void)txn.SetConfidence(id, confidence);
+  return txn.Commit();
+}
+
+std::vector<RuleId> RuleRepository::DisableRulesForType(
+    std::string_view type, std::string_view author, std::string_view reason) {
+  std::vector<RuleId> disabled;
+  // One shard at a time: attribute-value rules can carry `type` anywhere
+  // in their candidate list, so every shard must be scanned, but shards
+  // not hosting such rules are locked only briefly and never bumped.
+  for (size_t idx = 0; idx < shards_.size(); ++idx) {
+    Shard& shard = *shards_[idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bool changed = false;
+    for (const Rule* rule : shard.rules.ActiveForType(type)) {
+      if (shard.rules.Disable(rule->id()).ok()) {
+        Log(AuditAction::kDisable, RuleId(rule->id()), author, reason);
+        disabled.emplace_back(rule->id());
+        changed = true;
+      }
+    }
+    if (changed) {
+      shard.version.fetch_add(1, std::memory_order_release);
+      shard.published.reset();
     }
   }
   return disabled;
 }
 
-uint64_t RuleRepository::Checkpoint(std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Snapshot snap;
-  for (const Rule& rule : rules_.rules()) {
-    snap.states[rule.id()] = {rule.metadata().state,
-                              rule.metadata().confidence};
+// ---- snapshots -------------------------------------------------------------
+
+ShardSnapshot RuleRepository::ShardSnapshotOf(ShardKey key) const {
+  const Shard& shard = *shards_[key.index() % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.published == nullptr) {
+    shard.published = std::make_shared<const RuleSet>(shard.rules);
   }
-  Log(AuditAction::kCheckpoint, "", author, "");
-  uint64_t version = clock_;
-  snapshots_[version] = std::move(snap);
+  return {key, shard.version.load(std::memory_order_acquire),
+          shard.published};
+}
+
+RepositorySnapshot RuleRepository::SnapshotAll() const {
+  RepositorySnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (size_t idx = 0; idx < shards_.size(); ++idx) {
+    snap.shards.push_back(ShardSnapshotOf(ShardKey(idx)));
+    snap.composite_version += snap.shards.back().version;
+  }
+  return snap;
+}
+
+uint64_t RuleRepository::shard_version(ShardKey key) const {
+  if (key.index() >= shards_.size()) return 0;
+  return shards_[key.index()]->version.load(std::memory_order_acquire);
+}
+
+uint64_t RuleRepository::composite_version() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->version.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void RuleRepository::RefreshMergedLocked(
+    const RepositorySnapshot& pinned) const {
+  if (merged_cache_version_ == pinned.composite_version) return;
+  RuleSet merged;
+  for (const ShardSnapshot& shard : pinned.shards) {
+    for (const Rule& rule : shard.rules->rules()) {
+      (void)merged.Add(rule);  // ids are unique across shards
+    }
+  }
+  merged_cache_ = std::move(merged);
+  merged_cache_version_ = pinned.composite_version;
+}
+
+std::shared_ptr<const RuleSet> RuleRepository::snapshot() const {
+  RepositorySnapshot pinned = SnapshotAll();  // shard locks released here
+  std::lock_guard<std::mutex> lock(merged_mu_);
+  RefreshMergedLocked(pinned);
+  if (merged_snapshot_ == nullptr ||
+      merged_snapshot_version_ != pinned.composite_version) {
+    merged_snapshot_ = std::make_shared<const RuleSet>(merged_cache_);
+    merged_snapshot_version_ = pinned.composite_version;
+  }
+  return merged_snapshot_;
+}
+
+const RuleSet& RuleRepository::rules() const {
+  if (shards_.size() == 1) return shards_[0]->rules;
+  RepositorySnapshot pinned = SnapshotAll();
+  std::lock_guard<std::mutex> lock(merged_mu_);
+  RefreshMergedLocked(pinned);
+  return merged_cache_;
+}
+
+uint64_t RuleRepository::clock() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return clock_;
+}
+
+// ---- checkpoints -----------------------------------------------------------
+
+uint64_t RuleRepository::Checkpoint(std::string_view author) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  CheckpointState snap;
+  for (const auto& shard : shards_) {
+    for (const Rule& rule : shard->rules.rules()) {
+      snap.states[RuleId(rule.id())] = {rule.metadata().state,
+                                        rule.metadata().confidence};
+    }
+  }
+  uint64_t version = Log(AuditAction::kCheckpoint, RuleId(), author, "");
+  checkpoints_[version] = std::move(snap);
   return version;
 }
 
 Status RuleRepository::RestoreCheckpoint(uint64_t version,
                                          std::string_view author) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = snapshots_.find(version);
-  if (it == snapshots_.end()) {
-    return Status::NotFound(StrFormat("no checkpoint %llu",
-                                      static_cast<unsigned long long>(
-                                          version)));
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  auto it = checkpoints_.find(version);
+  if (it == checkpoints_.end()) {
+    return Status::NotFound(StrFormat(
+        "no checkpoint %llu", static_cast<unsigned long long>(version)));
   }
-  for (Rule& rule : rules_.mutable_rules()) {
-    auto state_it = it->second.states.find(rule.id());
-    if (state_it == it->second.states.end()) {
-      // Added after the checkpoint: take it out of execution.
-      rule.metadata().state = RuleState::kDisabled;
-    } else {
-      rule.metadata().state = state_it->second.first;
-      rule.metadata().confidence = state_it->second.second;
+  for (const auto& shard : shards_) {
+    for (Rule& rule : shard->rules.mutable_rules()) {
+      auto state_it = it->second.states.find(RuleId(rule.id()));
+      if (state_it == it->second.states.end()) {
+        // Added after the checkpoint: take it out of execution.
+        rule.metadata().state = RuleState::kDisabled;
+      } else {
+        rule.metadata().state = state_it->second.first;
+        rule.metadata().confidence = state_it->second.second;
+      }
     }
+    shard->version.fetch_add(1, std::memory_order_release);
+    shard->published.reset();
   }
-  Log(AuditAction::kRestore, "", author,
+  Log(AuditAction::kRestore, RuleId(), author,
       StrFormat("version %llu", static_cast<unsigned long long>(version)));
   return Status::OK();
 }
 
 std::vector<AuditEntry> RuleRepository::HistoryOf(
-    std::string_view rule_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+    const RuleId& rule_id) const {
+  std::lock_guard<std::mutex> lock(log_mu_);
   std::vector<AuditEntry> out;
   for (const auto& e : audit_) {
     if (e.rule_id == rule_id) out.push_back(e);
   }
   return out;
 }
+
+// ---- persistence -----------------------------------------------------------
 
 Status RuleRepository::SaveToFile(const std::string& path) const {
   auto snap = snapshot();
@@ -213,10 +476,11 @@ Status RuleRepository::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
-Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path) {
+Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
+                                                    size_t shard_count) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
-  RuleRepository repo;
+  RuleRepository repo(shard_count);
   std::string line;
   RuleMetadata pending;
   bool has_pending = false;
@@ -229,8 +493,7 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path) {
       auto fields = Split(trimmed.substr(6), '\t');
       if (fields.size() < 5) {
         return Status::InvalidArgument(
-            StrFormat("%s:%zu: malformed #meta line", path.c_str(),
-                      line_no));
+            StrFormat("%s:%zu: malformed #meta line", path.c_str(), line_no));
       }
       pending = RuleMetadata{};
       pending.author = fields[0];
@@ -247,12 +510,21 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path) {
     if (!rules.ok()) return rules.status();
     for (Rule& rule : *rules) {
       if (has_pending) {
-        rule.metadata() = pending;
+        rule.metadata() = pending;  // preserves the saved created_at
         has_pending = false;
       }
       std::string id = rule.id();
-      RULEKIT_RETURN_IF_ERROR(repo.rules_.Add(std::move(rule)));
-      repo.Log(AuditAction::kAdd, id, "loader", "loaded from " + path);
+      // The repository is private to this function, so shards are mutated
+      // without locks; the routing map still gets the cross-shard dup check.
+      uint32_t shard_idx = repo.KeyForType(rule.target_type()).index();
+      if (repo.routing_.count(id) != 0) {
+        return Status::AlreadyExists("duplicate rule id: " + id);
+      }
+      RULEKIT_RETURN_IF_ERROR(repo.shards_[shard_idx]->rules.Add(
+          std::move(rule)));
+      repo.routing_.emplace(id, shard_idx);
+      repo.Log(AuditAction::kAdd, RuleId(id), "loader",
+               "loaded from " + path);
     }
   }
   return repo;

@@ -1,14 +1,19 @@
 #ifndef RULEKIT_RULES_REPOSITORY_H_
 #define RULEKIT_RULES_REPOSITORY_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/rules/ids.h"
 #include "src/rules/rule_set.h"
 
 namespace rulekit::rules {
@@ -30,9 +35,26 @@ enum class AuditAction {
 struct AuditEntry {
   uint64_t timestamp = 0;  // logical clock
   AuditAction action = AuditAction::kAdd;
-  std::string rule_id;     // empty for checkpoint/restore
+  RuleId rule_id;          // empty for checkpoint/restore
   std::string author;
   std::string detail;
+};
+
+/// An immutable view of one shard, pinned at one shard version. The
+/// RuleSet never changes after publication, so indices and classifiers
+/// built against it stay coherent while writers keep mutating the shard.
+struct ShardSnapshot {
+  ShardKey key;
+  uint64_t version = 0;
+  std::shared_ptr<const RuleSet> rules;
+};
+
+/// Every shard pinned at once (each shard internally consistent; the
+/// composite version is the sum of the pinned shard versions and is
+/// strictly monotonic across mutations).
+struct RepositorySnapshot {
+  std::vector<ShardSnapshot> shards;  // ascending by shard index
+  uint64_t composite_version = 0;
 };
 
 /// The system of record for rules: every mutation goes through the
@@ -41,94 +63,253 @@ struct AuditEntry {
 /// (disable the bad parts) and later restored to the previous state
 /// quickly (§2.2 requirement 3).
 ///
-/// Concurrency model: mutations are serialized by an internal mutex and
-/// invalidate the published snapshot. Readers that may race with writers
-/// must go through snapshot(), which hands out an immutable copy-on-write
-/// `shared_ptr<const RuleSet>`; successive calls return the same shared
-/// copy until the next mutation. The live accessors (rules(),
-/// mutable_rules(), audit_log()) alias writer-side state and are only safe
-/// when no concurrent mutation can occur (tests, single-threaded tools).
+/// Sharding: rules are partitioned by hash of their target type into
+/// `shard_count` shards. Each shard has its own mutex, its own version
+/// counter, and publishes its own copy-on-write
+/// `shared_ptr<const RuleSet>` snapshot — so a writer editing one shard
+/// republishes only that shard, and writers on disjoint shards never
+/// contend. With the default `shard_count = 1` the repository behaves
+/// exactly like the historical monolithic one.
+///
+/// Concurrency model: single mutations and transactions lock only the
+/// shards they touch (ascending index order; multi-shard operations like
+/// Checkpoint/RestoreCheckpoint lock all shards the same way). Readers
+/// that may race with writers go through ShardSnapshotOf()/SnapshotAll()
+/// (or the legacy merged snapshot()); the live accessors (rules(),
+/// audit_log()) alias writer-side state and are only safe when no
+/// concurrent mutation can occur (tests, single-threaded tools).
 class RuleRepository {
  public:
-  RuleRepository() = default;
+  explicit RuleRepository(size_t shard_count = 1);
 
-  // Movable (for Result<RuleRepository>); not copyable.
+  // Movable (for Result<RuleRepository>); not copyable. Must not be moved
+  // while mutations, snapshots, or open transactions are in flight.
   RuleRepository(RuleRepository&& other) noexcept;
   RuleRepository& operator=(RuleRepository&& other) noexcept;
 
-  // ---- mutations ---------------------------------------------------------
+  size_t shard_count() const { return shards_.size(); }
+
+  /// The shard that owns rules targeting `target_type`.
+  ShardKey KeyForType(std::string_view target_type) const {
+    return ShardKey::ForType(target_type, shards_.size());
+  }
+
+  /// The shard a known rule lives in (NotFound for unknown ids).
+  Result<ShardKey> ShardOfRule(const RuleId& id) const;
+
+  // ---- transactions ------------------------------------------------------
+
+  /// A batch of staged edits that commits atomically with respect to
+  /// publication: Commit() locks every affected shard, applies the edits,
+  /// and bumps each touched shard's version exactly once — so snapshot
+  /// readers never observe a half-applied transaction and a multi-edit
+  /// maintenance session pays one republish instead of one per edit.
+  ///
+  /// Staging never locks anything; all validation happens at Commit().
+  /// Unknown rule ids fail the whole commit before any edit is applied.
+  /// Later failures (duplicate add, illegal state transition) stop the
+  /// apply at that edit: the already-applied prefix stays, the status
+  /// reports the failure, and publication is still atomic. A transaction
+  /// dropped without Commit() discards all staged edits.
+  class Transaction {
+   public:
+    Transaction(Transaction&&) = default;
+    Transaction& operator=(Transaction&&) = default;
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    /// Stage edits. Ids may refer to rules added earlier in the same
+    /// transaction.
+    Status Add(Rule rule);
+    Status Disable(const RuleId& id, std::string_view reason);
+    Status Enable(const RuleId& id);
+    Status Retire(const RuleId& id, std::string_view reason);
+    Status SetConfidence(const RuleId& id, double confidence);
+
+    /// Applies every staged edit and publishes each touched shard once.
+    Status Commit();
+
+    /// Shards modified by Commit() (empty before commit / when nothing
+    /// changed). The serving layer republishes exactly these.
+    const std::vector<ShardKey>& touched() const { return touched_; }
+
+    size_t staged() const { return ops_.size(); }
+
+   private:
+    friend class RuleRepository;
+    enum class OpKind { kAdd, kDisable, kEnable, kRetire, kSetConfidence };
+    struct Op {
+      OpKind kind;
+      std::optional<Rule> rule;  // kAdd
+      RuleId id;                 // everything else
+      std::string detail;
+      double confidence = 0.0;
+    };
+    Transaction(RuleRepository* repo, std::string author)
+        : repo_(repo), author_(std::move(author)) {}
+
+    RuleRepository* repo_;
+    std::string author_;
+    std::vector<Op> ops_;
+    std::vector<ShardKey> touched_;
+  };
+
+  /// Starts a transaction attributed to `author`.
+  Transaction Begin(std::string_view author);
+
+  /// Stages edits through `fn` and commits: the one-liner form of the
+  /// transactional API. If `fn` returns an error the transaction is
+  /// dropped without applying anything.
+  Status Mutate(std::string_view author,
+                const std::function<Status(Transaction&)>& fn);
+
+  // ---- single mutations (one-op transactions) ----------------------------
 
   Status Add(Rule rule, std::string_view author);
-  Status Disable(std::string_view id, std::string_view author,
+  Status Disable(const RuleId& id, std::string_view author,
                  std::string_view reason);
-  Status Enable(std::string_view id, std::string_view author);
-  Status Retire(std::string_view id, std::string_view author,
+  Status Enable(const RuleId& id, std::string_view author);
+  Status Retire(const RuleId& id, std::string_view author,
                 std::string_view reason);
-  Status SetConfidence(std::string_view id, double confidence,
+  Status SetConfidence(const RuleId& id, double confidence,
                        std::string_view author);
 
-  /// Disables every active rule targeting `type`; returns the ids disabled.
-  /// This is the scale-down lever: "Chimera's predictions regarding clothes
-  /// need to be temporarily disabled".
-  std::vector<std::string> DisableRulesForType(std::string_view type,
-                                               std::string_view author,
-                                               std::string_view reason);
+  // Untyped-id shims (DSL strings, shells, legacy callers).
+  Status Disable(std::string_view id, std::string_view author,
+                 std::string_view reason) {
+    return Disable(RuleId(id), author, reason);
+  }
+  Status Enable(std::string_view id, std::string_view author) {
+    return Enable(RuleId(id), author);
+  }
+  Status Retire(std::string_view id, std::string_view author,
+                std::string_view reason) {
+    return Retire(RuleId(id), author, reason);
+  }
+  Status SetConfidence(std::string_view id, double confidence,
+                       std::string_view author) {
+    return SetConfidence(RuleId(id), confidence, author);
+  }
+
+  /// Disables every active rule targeting `type` (scanning all shards —
+  /// attribute-value rules can carry a type anywhere in their candidate
+  /// list); returns the ids disabled. This is the scale-down lever:
+  /// "Chimera's predictions regarding clothes need to be temporarily
+  /// disabled".
+  std::vector<RuleId> DisableRulesForType(std::string_view type,
+                                          std::string_view author,
+                                          std::string_view reason);
 
   // ---- snapshots ---------------------------------------------------------
 
-  /// An immutable snapshot of the current rule set. Cheap when nothing has
-  /// changed since the last call (returns the cached copy); after a
-  /// mutation the next call pays one RuleSet copy. The returned set never
-  /// changes, so classifiers and indices built against it stay coherent
-  /// while writers keep mutating the repository.
+  /// One shard's immutable snapshot. Cheap when the shard is unchanged
+  /// since the last call (returns the cached copy); after a mutation the
+  /// next call pays one shard-sized RuleSet copy — never a whole-repo
+  /// copy.
+  ShardSnapshot ShardSnapshotOf(ShardKey key) const;
+
+  /// Pins every shard (brief per-shard locks, ascending order).
+  RepositorySnapshot SnapshotAll() const;
+
+  /// Current version of one shard (bumps on every mutation of it).
+  uint64_t shard_version(ShardKey key) const;
+
+  /// Sum of all shard versions; strictly increases on any mutation.
+  uint64_t composite_version() const;
+
+  /// Legacy merged snapshot: an immutable copy of ALL shards' rules in
+  /// one RuleSet. Cached until any shard changes; prefer the per-shard
+  /// snapshots in serving paths — this one pays a full-repository copy.
   std::shared_ptr<const RuleSet> snapshot() const;
 
-  /// Records the current state (+confidence) of every rule; returns a
-  /// version handle.
+  /// Records the current state (+confidence) of every rule across all
+  /// shards; returns a version handle.
   uint64_t Checkpoint(std::string_view author);
 
   /// Restores every rule present in the checkpoint to its recorded state;
-  /// rules added after the checkpoint are disabled.
+  /// rules added after the checkpoint are disabled. Touches (and bumps)
+  /// every shard.
   Status RestoreCheckpoint(uint64_t version, std::string_view author);
 
   // ---- access (writer-side; see class comment) ---------------------------
 
-  const RuleSet& rules() const { return rules_; }
-  RuleSet& mutable_rules() { return rules_; }
+  /// Merged view of all shards' rules. For a single-shard repository this
+  /// is the live rule set (historical behaviour); for a sharded one it is
+  /// a cached merge rebuilt on access after mutations — so re-fetch it
+  /// after edits rather than holding the reference across them.
+  const RuleSet& rules() const;
+
   const std::vector<AuditEntry>& audit_log() const { return audit_; }
   uint64_t clock() const;
 
   /// Audit entries touching one rule, oldest first.
-  std::vector<AuditEntry> HistoryOf(std::string_view rule_id) const;
+  std::vector<AuditEntry> HistoryOf(const RuleId& rule_id) const;
+  std::vector<AuditEntry> HistoryOf(std::string_view rule_id) const {
+    return HistoryOf(RuleId(rule_id));
+  }
 
   // ---- persistence -------------------------------------------------------
 
   /// Saves all rules (with metadata) to a text file.
   Status SaveToFile(const std::string& path) const;
 
-  /// Loads a file written by SaveToFile into a fresh repository. The audit
-  /// log is not persisted; loading yields kAdd entries.
-  static Result<RuleRepository> LoadFromFile(const std::string& path);
+  /// Loads a file written by SaveToFile into a fresh repository with
+  /// `shard_count` shards. The audit log is not persisted; loading yields
+  /// kAdd entries.
+  static Result<RuleRepository> LoadFromFile(const std::string& path,
+                                             size_t shard_count = 1);
 
  private:
-  struct Snapshot {
-    std::map<std::string, std::pair<RuleState, double>> states;
+  struct Shard {
+    mutable std::mutex mu;
+    RuleSet rules;
+    /// Bumps once per mutation batch touching this shard. Written under
+    /// mu; readable without it (composite_version(), staleness probes).
+    std::atomic<uint64_t> version{0};
+    /// Cached immutable copy of `rules`; null when stale. Guarded by mu.
+    mutable std::shared_ptr<const RuleSet> published;
   };
 
-  // Unlocked helpers; callers hold mu_.
-  void Log(AuditAction action, std::string_view rule_id,
-           std::string_view author, std::string_view detail);
-  Status DisableLocked(std::string_view id, std::string_view author,
-                       std::string_view reason);
+  struct CheckpointState {
+    std::map<RuleId, std::pair<RuleState, double>> states;
+  };
 
-  mutable std::mutex mu_;
-  RuleSet rules_;
+  // Lock order: shard mutexes (ascending index) -> routing_mu_ -> log_mu_
+  // -> merged_mu_. Never the reverse.
+
+  /// Appends an audit entry and returns its timestamp.
+  uint64_t Log(AuditAction action, const RuleId& rule_id,
+               std::string_view author, std::string_view detail);
+
+  Status CommitTransaction(Transaction& txn);
+
+  /// Rebuilds merged_cache_ from pinned shard snapshots if stale; caller
+  /// holds merged_mu_ (and no shard mutexes — the pin already happened).
+  void RefreshMergedLocked(const RepositorySnapshot& pinned) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// rule id -> owning shard index.
+  mutable std::mutex routing_mu_;
+  std::unordered_map<std::string, uint32_t> routing_;
+
+  mutable std::mutex log_mu_;
   std::vector<AuditEntry> audit_;
-  std::map<uint64_t, Snapshot> snapshots_;
   uint64_t clock_ = 0;
-  /// Cached immutable copy of rules_; null when stale.
-  mutable std::shared_ptr<const RuleSet> published_;
+
+  /// Guarded by holding ALL shard mutexes (only Checkpoint/Restore touch
+  /// it, and both lock every shard).
+  std::map<uint64_t, CheckpointState> checkpoints_;
+
+  mutable std::mutex merged_mu_;
+  mutable RuleSet merged_cache_;
+  mutable uint64_t merged_cache_version_ = ~0ull;
+  mutable std::shared_ptr<const RuleSet> merged_snapshot_;
+  mutable uint64_t merged_snapshot_version_ = ~0ull;
 };
+
+/// Convenience alias for the transactional mutation API.
+using RuleTransaction = RuleRepository::Transaction;
 
 }  // namespace rulekit::rules
 

@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/chimera/analyst.h"
@@ -238,6 +242,173 @@ TEST(SnapshotServingTest, ConcurrentBatchesShareThePool) {
   for (auto& t : threads) t.join();
   for (const auto& report : reports) {
     ExpectReportsEqual(expected, report);
+  }
+}
+
+// Output must be invariant under the shard count: a 16-shard parallel
+// pipeline and a 1-shard (historical monolithic) sequential pipeline
+// provisioned identically produce byte-identical reports. This pins the
+// propose/veto merge semantics of the sharded classifiers.
+TEST(ShardedServingTest, ShardCountDoesNotChangeOutput) {
+  Corpus corpus(4000, 99, 20);
+
+  PipelineConfig mono_config;
+  mono_config.batch_threads = 0;
+  mono_config.rule_shards = 1;
+  ChimeraPipeline monolithic(mono_config);
+  Provision(monolithic, corpus);
+
+  PipelineConfig sharded_config;
+  sharded_config.batch_threads = 4;
+  sharded_config.rule_shards = 16;
+  ChimeraPipeline sharded(sharded_config);
+  Provision(sharded, corpus);
+
+  BatchReport mono_report = monolithic.ProcessBatch(corpus.items);
+  BatchReport shard_report = sharded.ProcessBatch(corpus.items);
+  EXPECT_GT(mono_report.classified, 0u);
+  ExpectReportsEqual(mono_report, shard_report);
+}
+
+// Two writers mutating rules that live in different shards must be able
+// to rebuild their shards at the same time. We prove actual overlap with
+// a rendezvous in the publish probe (which fires while the rebuild runs
+// outside every pipeline lock): each writer waits inside the probe until
+// the other arrives. Timing-free, so it holds on a single-core box — a
+// blocked prober yields the CPU to the other writer. If shard rebuilds
+// were serialised by a shared lock, the rendezvous would never complete
+// and the 5-second grace would fail the test.
+TEST(ShardedServingTest, DisjointShardWritersOverlap) {
+  constexpr size_t kShards = 16;
+  // Two target types routed to different shards.
+  const std::string type_a = "alpha";
+  std::string type_b;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    std::string candidate = std::string("beta-") + c;
+    if (!(rules::ShardKey::ForType(candidate, kShards) ==
+          rules::ShardKey::ForType(type_a, kShards))) {
+      type_b = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(type_b.empty());
+
+  std::atomic<bool> armed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  int inside = 0;
+  bool met = false;
+
+  PipelineConfig config;
+  config.batch_threads = 0;
+  config.use_learning = false;
+  config.rule_shards = kShards;
+  config.publish_probe = [&](uint32_t) {
+    if (!armed.load()) return;  // ignore setup-phase publishes
+    std::unique_lock<std::mutex> lock(mu);
+    ++inside;
+    if (inside >= 2) {
+      met = true;
+      cv.notify_all();
+    } else {
+      cv.wait_for(lock, std::chrono::seconds(5), [&] { return met; });
+    }
+    --inside;
+  };
+  ChimeraPipeline pipeline(config);
+
+  armed.store(true);
+  auto writer = [&](const std::string& type, const std::string& id) {
+    auto rule = rules::Rule::Whitelist(id, "tok" + id + "[a-z]*", type);
+    ASSERT_TRUE(rule.ok());
+    ASSERT_TRUE(pipeline.AddRules({*rule}, "writer").ok());
+  };
+  std::thread wa(writer, type_a, "wa");
+  std::thread wb(writer, type_b, "wb");
+  wa.join();
+  wb.join();
+  armed.store(false);
+
+  EXPECT_TRUE(met) << "shard rebuilds for " << type_a << " and " << type_b
+                   << " never ran concurrently";
+}
+
+// Many writers on disjoint shards interleaved with readers: every commit
+// must land (no lost updates between concurrent per-shard publishes and
+// snapshot composition) and the final serving state must reflect all of
+// them.
+TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
+  Corpus corpus(400, 31, 12);
+  PipelineConfig config;
+  config.batch_threads = 2;
+  config.rule_shards = 16;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  constexpr int kWriters = 4;
+  constexpr int kRoundsPerWriter = 10;
+  std::atomic<bool> stop_readers{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      // Each writer owns one synthetic type => one shard; ids are
+      // namespaced per writer so commits never conflict.
+      const std::string type = "stress-type-" + std::to_string(w);
+      for (int round = 0; round < kRoundsPerWriter; ++round) {
+        const std::string id =
+            "w" + std::to_string(w) + "-r" + std::to_string(round);
+        Status status = pipeline.Mutate(
+            "writer-" + std::to_string(w),
+            [&](rules::RuleTransaction& txn) {
+              auto rule = rules::Rule::Whitelist(
+                  id, "stresstok" + id + "[a-z]*", type);
+              if (!rule.ok()) return rule.status();
+              if (auto st = txn.Add(std::move(rule).value()); !st.ok()) {
+                return st;
+              }
+              if (round > 0) {
+                return txn.Disable(
+                    rules::RuleId("w" + std::to_string(w) + "-r" +
+                                  std::to_string(round - 1)),
+                    "superseded");
+              }
+              return Status::OK();
+            });
+        ASSERT_TRUE(status.ok()) << status.ToString();
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop_readers.load()) {
+        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        ASSERT_EQ(report.total, corpus.items.size());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_readers.store(true);
+  for (auto& t : readers) t.join();
+
+  // All 40 commits landed; exactly the last rule of each writer is active.
+  const auto& repo = std::as_const(pipeline).repository();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int round = 0; round < kRoundsPerWriter; ++round) {
+      const std::string id =
+          "w" + std::to_string(w) + "-r" + std::to_string(round);
+      const rules::Rule* rule = pipeline.rule_set().Find(id);
+      ASSERT_NE(rule, nullptr) << id;
+      EXPECT_EQ(rule->is_active(), round == kRoundsPerWriter - 1) << id;
+    }
+    EXPECT_EQ(repo.HistoryOf("w" + std::to_string(w) + "-r0").size(), 2u);
+  }
+  // And the published snapshot agrees with the per-item path.
+  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+        << "item " << i;
   }
 }
 

@@ -264,14 +264,13 @@ TEST(PipelineTest, ScaleDownSuppressesType) {
   ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
   ASSERT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
 
-  uint64_t version = pipeline.repository().Checkpoint("oncall");
+  uint64_t version = pipeline.Checkpoint("oncall");
   pipeline.ScaleDownType("rings", "oncall", "bad vendor batch");
   EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value());
   EXPECT_EQ(pipeline.rule_set().CountActive(), 0u);
 
   // Scale back up: restore the checkpoint and lift the suppression.
-  ASSERT_TRUE(
-      pipeline.repository().RestoreCheckpoint(version, "oncall").ok());
+  ASSERT_TRUE(pipeline.RestoreCheckpoint(version, "oncall").ok());
   pipeline.ScaleUpType("rings");
   EXPECT_EQ(pipeline.rule_set().CountActive(), 1u);
   EXPECT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
@@ -303,6 +302,26 @@ blacklist b1: toe rings? => rings
   ASSERT_EQ(report.predictions.size(), 5u);
   EXPECT_EQ(report.predictions[0].value_or(""), "rings");
   EXPECT_EQ(report.predictions[2].value_or(""), "books");
+}
+
+// Regression: an empty batch used to make ClassifiedFraction() divide by
+// zero. It must report 0.0 on both the sequential and the parallel path
+// (the parallel path also used to hand the pool a zero-item partition).
+TEST(PipelineTest, EmptyBatchReportsZeroFraction) {
+  auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+
+  PipelineConfig parallel_config;
+  parallel_config.batch_threads = 4;
+  for (PipelineConfig config : {PipelineConfig{}, parallel_config}) {
+    ChimeraPipeline pipeline(config);
+    ASSERT_TRUE(pipeline.AddRules(parsed.value(), "test").ok());
+    BatchReport report = pipeline.ProcessBatch({});
+    EXPECT_EQ(report.total, 0u);
+    EXPECT_TRUE(report.predictions.empty());
+    EXPECT_EQ(report.ClassifiedFraction(), 0.0);
+    EXPECT_EQ(report.coverage(), 0.0);
+  }
 }
 
 TEST(PipelineTest, LearningJoinsAfterTraining) {
@@ -390,8 +409,13 @@ TEST(FirstResponderTest, IncidentScalesDownAndResolves) {
   EXPECT_TRUE(pipeline.suppressed_types().empty());
   // The restore re-activated the bad rule (snapshot semantics); retiring
   // it is the actual fix.
-  ASSERT_TRUE(pipeline.repository().Retire("bad", "dev", "misfired").ok());
-  pipeline.RebuildRules();
+  ASSERT_TRUE(pipeline
+                  .Mutate("dev",
+                          [](rules::RuleTransaction& txn) {
+                            return txn.Retire(rules::RuleId("bad"),
+                                              "misfired");
+                          })
+                  .ok());
   auto report2 = pipeline.ProcessBatch(items);
   auto incident2 = responder.Triage(batch, report2);
   EXPECT_FALSE(incident2.incident);

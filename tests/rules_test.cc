@@ -382,5 +382,169 @@ TEST(RepositoryTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ----------------------------------------------------- Sharded repository --
+
+TEST(ShardedRepositoryTest, RoutesRulesByTargetType) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "rings?", "rings"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r2", "coats?", "coats"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r3", "bands?", "rings"), "a").ok());
+
+  // Same target type -> same shard; routing agrees with the hash.
+  auto s1 = repo.ShardOfRule(RuleId("r1"));
+  auto s3 = repo.ShardOfRule(RuleId("r3"));
+  ASSERT_TRUE(s1.ok() && s3.ok());
+  EXPECT_EQ(*s1, *s3);
+  EXPECT_EQ(*s1, repo.KeyForType("rings"));
+  EXPECT_EQ(repo.ShardOfRule(RuleId("ghost")).status().code(),
+            StatusCode::kNotFound);
+
+  // The merged view spans all shards.
+  EXPECT_EQ(repo.rules().size(), 3u);
+  EXPECT_NE(repo.rules().Find("r2"), nullptr);
+}
+
+TEST(ShardedRepositoryTest, MutationBumpsOnlyItsShard) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "rings?", "rings"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r2", "coats?", "coats"), "a").ok());
+  ShardKey rings_shard = *repo.ShardOfRule(RuleId("r1"));
+  ShardKey coats_shard = *repo.ShardOfRule(RuleId("r2"));
+  ASSERT_FALSE(rings_shard == coats_shard) << "hash collision; pick types";
+
+  uint64_t rings_before = repo.shard_version(rings_shard);
+  uint64_t coats_before = repo.shard_version(coats_shard);
+  uint64_t composite_before = repo.composite_version();
+  ASSERT_TRUE(repo.Disable(RuleId("r1"), "a", "test").ok());
+  EXPECT_EQ(repo.shard_version(rings_shard), rings_before + 1);
+  EXPECT_EQ(repo.shard_version(coats_shard), coats_before);
+  EXPECT_EQ(repo.composite_version(), composite_before + 1);
+}
+
+TEST(ShardedRepositoryTest, UntouchedShardSnapshotIsPointerStable) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "rings?", "rings"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r2", "coats?", "coats"), "a").ok());
+  ShardKey rings_shard = repo.KeyForType("rings");
+  ShardKey coats_shard = repo.KeyForType("coats");
+  ASSERT_FALSE(rings_shard == coats_shard);
+
+  ShardSnapshot coats_pin = repo.ShardSnapshotOf(coats_shard);
+  ASSERT_TRUE(repo.Disable(RuleId("r1"), "a", "test").ok());
+
+  // The untouched shard republishes the same immutable RuleSet...
+  ShardSnapshot coats_again = repo.ShardSnapshotOf(coats_shard);
+  EXPECT_EQ(coats_pin.rules.get(), coats_again.rules.get());
+  EXPECT_EQ(coats_pin.version, coats_again.version);
+  // ...while the touched shard publishes a fresh copy, and the pinned old
+  // copy still shows the pre-mutation state.
+  ShardSnapshot rings_now = repo.ShardSnapshotOf(rings_shard);
+  EXPECT_FALSE(rings_now.rules->Find("r1")->is_active());
+}
+
+TEST(ShardedRepositoryTest, SnapshotAllIsCoherent) {
+  RuleRepository repo(/*shard_count=*/4);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "a+", "t1"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r2", "b+", "t2"), "a").ok());
+  RepositorySnapshot snap = repo.SnapshotAll();
+  ASSERT_EQ(snap.shards.size(), 4u);
+  size_t total = 0;
+  uint64_t version_sum = 0;
+  for (const auto& shard : snap.shards) {
+    total += shard.rules->size();
+    version_sum += shard.version;
+  }
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(snap.composite_version, version_sum);
+}
+
+TEST(ShardedRepositoryTest, SingleShardPreservesMonolithicBehaviour) {
+  RuleRepository repo;  // default shard_count = 1
+  EXPECT_EQ(repo.shard_count(), 1u);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "a+", "t1"), "a").ok());
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r2", "b+", "t2"), "a").ok());
+  EXPECT_EQ(repo.KeyForType("t1"), repo.KeyForType("t2"));
+  EXPECT_EQ(repo.rules().size(), 2u);
+  EXPECT_EQ(repo.composite_version(), 2u);
+}
+
+// ------------------------------------------------------------ Transactions --
+
+TEST(TransactionTest, CommitPublishesEachTouchedShardOnce) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("old", "x+", "rings"), "a").ok());
+  ShardKey rings_shard = repo.KeyForType("rings");
+  uint64_t rings_before = repo.shard_version(rings_shard);
+
+  auto txn = repo.Begin("alice");
+  (void)txn.Add(*Rule::Whitelist("n1", "rings?", "rings"));
+  (void)txn.Add(*Rule::Whitelist("n2", "bands?", "rings"));
+  (void)txn.Disable(RuleId("old"), "superseded");
+  (void)txn.Add(*Rule::Whitelist("n3", "coats?", "coats"));
+  ASSERT_TRUE(txn.Commit().ok());
+
+  // Three edits to the rings shard, one publish.
+  EXPECT_EQ(repo.shard_version(rings_shard), rings_before + 1);
+  ASSERT_EQ(txn.touched().size(), 2u);
+  EXPECT_EQ(repo.rules().CountActive(), 3u);  // n1 n2 n3; old disabled
+  // Audit still records every edit individually.
+  EXPECT_EQ(repo.HistoryOf("n1").size(), 1u);
+  EXPECT_EQ(repo.HistoryOf("old").size(), 2u);
+}
+
+TEST(TransactionTest, UnknownIdFailsCommitAtomically) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("r1", "a+", "t1"), "a").ok());
+  uint64_t composite_before = repo.composite_version();
+
+  auto txn = repo.Begin("alice");
+  (void)txn.Add(*Rule::Whitelist("n1", "b+", "t2"));
+  (void)txn.Disable(RuleId("ghost"), "no such rule");
+  Status status = txn.Commit();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // Nothing applied, nothing published: validation precedes application.
+  EXPECT_EQ(repo.composite_version(), composite_before);
+  EXPECT_EQ(repo.rules().Find("n1"), nullptr);
+  EXPECT_TRUE(txn.touched().empty());
+}
+
+TEST(TransactionTest, OpsMayReferenceEarlierStagedAdds) {
+  RuleRepository repo(/*shard_count=*/8);
+  auto txn = repo.Begin("alice");
+  (void)txn.Add(*Rule::Whitelist("fresh", "a+", "t1"));
+  (void)txn.SetConfidence(RuleId("fresh"), 0.42);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_DOUBLE_EQ(repo.rules().Find("fresh")->metadata().confidence, 0.42);
+}
+
+TEST(TransactionTest, DuplicateAddAcrossShardsIsRejected) {
+  RuleRepository repo(/*shard_count=*/8);
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("dup", "a+", "rings"), "a").ok());
+  // Same id, different target type -> different shard; the routing map
+  // still catches it.
+  Status status = repo.Add(*Rule::Whitelist("dup", "b+", "coats"), "a");
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(repo.rules().size(), 1u);
+}
+
+TEST(TransactionTest, MutateConvenienceCommits) {
+  RuleRepository repo(/*shard_count=*/4);
+  Status status = repo.Mutate("alice", [](RuleTransaction& txn) {
+    (void)txn.Add(*Rule::Whitelist("m1", "a+", "t1"));
+    (void)txn.Add(*Rule::Whitelist("m2", "b+", "t2"));
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(repo.rules().size(), 2u);
+
+  // An fn error drops the transaction without applying anything.
+  status = repo.Mutate("alice", [](RuleTransaction& txn) {
+    (void)txn.Add(*Rule::Whitelist("m3", "c+", "t3"));
+    return Status::InvalidArgument("changed my mind");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(repo.rules().Find("m3"), nullptr);
+}
+
 }  // namespace
 }  // namespace rulekit::rules
