@@ -129,7 +129,7 @@ int main() {
     (void)pipeline.RestoreCheckpoint(checkpoint, "oncall");
     for (const auto& t : scaled) pipeline.ScaleUpType(t);
     std::printf("  restored to checkpoint; audit log has %zu entries\n",
-                std::as_const(pipeline).repository().audit_log().size());
+                pipeline.repository().audit_log().size());
   }
   std::printf("\nshape check: the loop converges to an accepted batch, and "
               "scale-down trades\ncoverage for precision exactly as §2.2 "

@@ -87,6 +87,6 @@ int main() {
   pipeline.ScaleUpType(victim);
   std::printf("restored checkpoint: active rules %zu, audit entries %zu\n",
               pipeline.rule_set().CountActive(),
-              std::as_const(pipeline).repository().audit_log().size());
+              pipeline.repository().audit_log().size());
   return 0;
 }

@@ -8,10 +8,18 @@
 //   list                      print active rules
 //   history <id>              audit history of a rule
 //   subsumed                  run the subsumption advisor
+//   open <dir>                switch to a durable store (recovers state)
+//   status                    storage status (epoch, WAL size, recovery)
+//   compact                   force a snapshot + WAL rotation
 //   save <path> | load <path>
 //   quit
 //
 // Build & run:  echo 'classify diamond ring' | ./build/examples/rule_shell
+//
+// Persistence: `rule_shell <dir>` (or `open <dir>` at the prompt) serves
+// out of a durable store — every edit is write-ahead-logged before it is
+// published, and restarting the shell on the same directory recovers the
+// rules, the audit history, and any torn tail from a crash.
 
 #include <cstdio>
 #include <iostream>
@@ -41,11 +49,31 @@ const char* ActionName(rules::AuditAction action) {
   return "?";
 }
 
-}  // namespace
+/// Builds a pipeline, durable when `dir` is non-empty. Returns null (with
+/// a message) when the store cannot be opened — e.g. a corrupt log.
+std::unique_ptr<chimera::ChimeraPipeline> MakePipeline(
+    const std::string& dir) {
+  chimera::PipelineConfig config;
+  config.storage_dir = dir;
+  auto pipeline = std::make_unique<chimera::ChimeraPipeline>(config);
+  if (!pipeline->storage_status().ok()) {
+    std::printf("error: %s\n",
+                pipeline->storage_status().ToString().c_str());
+    return nullptr;
+  }
+  if (pipeline->storage() != nullptr) {
+    const auto& rec = pipeline->storage()->recovery_stats();
+    std::printf("opened %s: %zu rules (snapshot epoch %llu, %zu log "
+                "records%s)\n",
+                dir.c_str(), pipeline->repository().rules().size(),
+                static_cast<unsigned long long>(rec.snapshot_epoch),
+                rec.records_replayed,
+                rec.truncated_tail ? ", torn tail truncated" : "");
+  }
+  return pipeline;
+}
 
-int main() {
-  chimera::ChimeraPipeline pipeline;
-
+void SeedRules(chimera::ChimeraPipeline& pipeline) {
   // A starter rule set so `classify` works out of the box.
   auto seed = rules::ParseRules(R"(
 whitelist rings1: rings? => rings
@@ -54,11 +82,27 @@ blacklist rings2: toe rings? => rings
 attr books1: has(ISBN) => books
 )");
   if (seed.ok()) (void)pipeline.AddRules(std::move(seed).value(), "seed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<chimera::ChimeraPipeline> pipeline;
+  if (argc > 1) {
+    pipeline = MakePipeline(argv[1]);
+    if (pipeline == nullptr) return 1;
+    // Recovered stores keep their recovered rules; only a brand-new or
+    // empty store gets the demo seed.
+    if (pipeline->repository().rules().size() == 0) SeedRules(*pipeline);
+  } else {
+    pipeline = MakePipeline("");
+    SeedRules(*pipeline);
+  }
 
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
-              "enable, retire,\nclassify, list, history, subsumed, save, "
-              "load, quit\n",
-              pipeline.rule_set().CountActive());
+              "enable, retire,\nclassify, list, history, subsumed, open, "
+              "status, compact, save, load, quit\n",
+              pipeline->rule_set().CountActive());
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -78,13 +122,13 @@ attr books1: has(ISBN) => books
         std::printf("error: %s\n", parsed.status().ToString().c_str());
         continue;
       }
-      auto st = pipeline.AddRules(std::move(parsed).value(), "shell-user");
+      auto st = pipeline->AddRules(std::move(parsed).value(), "shell-user");
       std::printf("%s\n", st.ok() ? "added" : st.ToString().c_str());
     } else if (cmd == "disable" || cmd == "enable" || cmd == "retire") {
-      // One transaction per command: the commit applies the edit and
-      // republishes the touched shard — no RebuildRules() to forget.
+      // One transaction per command: the commit journals the edit to the
+      // store (when open), applies it, and republishes the touched shard.
       rules::RuleId id(rest);
-      Status st = pipeline.Mutate(
+      Status st = pipeline->Mutate(
           "shell-user", [&](rules::RuleTransaction& txn) {
             return cmd == "disable" ? txn.Disable(id, "via shell")
                    : cmd == "enable" ? txn.Enable(id)
@@ -94,28 +138,51 @@ attr books1: has(ISBN) => books
     } else if (cmd == "classify") {
       data::ProductItem item;
       item.title = rest;
-      auto result = pipeline.Classify(item);
+      auto result = pipeline->Classify(item);
       std::printf("%s -> %s\n", rest.c_str(),
                   result.has_value() ? result->c_str() : "(unclassified)");
     } else if (cmd == "list") {
-      std::printf("%s", pipeline.rule_set().ToDsl().c_str());
+      std::printf("%s", pipeline->rule_set().ToDsl().c_str());
     } else if (cmd == "history") {
-      const auto& repo = std::as_const(pipeline).repository();
-      for (const auto& e : repo.HistoryOf(rest)) {
+      for (const auto& e : pipeline->repository().HistoryOf(rest)) {
         std::printf("  t=%llu %-14s by %-12s %s\n",
                     static_cast<unsigned long long>(e.timestamp),
                     ActionName(e.action), e.author.c_str(),
                     e.detail.c_str());
       }
     } else if (cmd == "subsumed") {
-      auto report = maint::FindSubsumedRules(pipeline.rule_set());
+      auto report = maint::FindSubsumedRules(pipeline->rule_set());
       if (report.findings.empty()) std::printf("no subsumed rules\n");
       for (const auto& f : report.findings) {
         std::printf("  %s subsumed by %s%s\n", f.subsumed.c_str(),
                     f.by.c_str(), f.equivalent ? " (equivalent)" : "");
       }
+    } else if (cmd == "open") {
+      auto reopened = MakePipeline(rest);
+      if (reopened == nullptr) continue;  // keep the current pipeline
+      pipeline = std::move(reopened);
+      std::printf("%zu active rules\n",
+                  pipeline->rule_set().CountActive());
+    } else if (cmd == "status") {
+      auto* store = pipeline->storage();
+      if (store == nullptr) {
+        std::printf("in-memory (no store open)\n");
+      } else {
+        std::printf("store %s: epoch %llu, wal %llu bytes\n",
+                    store->dir().c_str(),
+                    static_cast<unsigned long long>(store->epoch()),
+                    static_cast<unsigned long long>(store->wal_bytes()));
+      }
+    } else if (cmd == "compact") {
+      auto* store = pipeline->storage();
+      if (store == nullptr) {
+        std::printf("in-memory (no store open)\n");
+      } else {
+        Status st = store->Compact();
+        std::printf("%s\n", st.ok() ? "compacted" : st.ToString().c_str());
+      }
     } else if (cmd == "save") {
-      auto st = std::as_const(pipeline).repository().SaveToFile(rest);
+      auto st = pipeline->repository().SaveToFile(rest);
       std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
     } else if (cmd == "load") {
       auto loaded = rules::RuleRepository::LoadFromFile(rest);
@@ -125,7 +192,7 @@ attr books1: has(ISBN) => books
       }
       std::vector<rules::Rule> rules_to_add(
           loaded->rules().rules().begin(), loaded->rules().rules().end());
-      auto st = pipeline.AddRules(std::move(rules_to_add), "loader");
+      auto st = pipeline->AddRules(std::move(rules_to_add), "loader");
       std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
     } else {
       std::printf("unknown command '%s'\n", cmd.c_str());

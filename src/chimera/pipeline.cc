@@ -5,9 +5,22 @@
 namespace rulekit::chimera {
 
 ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
-    : config_(config),
-      repo_(std::make_shared<rules::RuleRepository>(
-          config.rule_shards == 0 ? 1 : config.rule_shards)) {
+    : config_(std::move(config)) {
+  const size_t shards = config_.rule_shards == 0 ? 1 : config_.rule_shards;
+  if (!config_.storage_dir.empty()) {
+    storage::StoreOptions opts = config_.storage;
+    opts.shard_count = shards;
+    auto store = storage::DurableRuleStore::Open(config_.storage_dir, opts);
+    if (store.ok()) {
+      store_ = std::move(store).value();
+      repo_ = store_->repository();
+    } else {
+      storage_status_ = store.status();  // serve in-memory, surface why
+    }
+  }
+  if (repo_ == nullptr) {
+    repo_ = std::make_shared<rules::RuleRepository>(shards);
+  }
   if (config_.batch_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
   }

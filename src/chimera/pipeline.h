@@ -21,6 +21,7 @@
 #include "src/ml/logreg.h"
 #include "src/ml/naive_bayes.h"
 #include "src/rules/repository.h"
+#include "src/storage/rule_store.h"
 
 namespace rulekit::chimera {
 
@@ -46,6 +47,17 @@ struct PipelineConfig {
   /// while the rebuild runs outside every pipeline lock. Tests use it to
   /// prove disjoint-shard writers overlap; leave unset in production.
   std::function<void(uint32_t)> publish_probe;
+  /// When non-empty, the pipeline opens a durable rule store rooted here:
+  /// existing state is recovered before the first snapshot is composed,
+  /// and from then on every committed rule mutation is written ahead to
+  /// the store's log before it is published. Empty = in-memory only
+  /// (historical behaviour). Open failures do not abort construction —
+  /// the pipeline falls back to in-memory and storage_status() reports
+  /// the error.
+  std::string storage_dir;
+  /// Storage tuning (fsync policy, compaction threshold, dictionaries).
+  /// `storage.shard_count` is ignored: `rule_shards` governs.
+  storage::StoreOptions storage;
 };
 
 /// Where each item of a batch ended up.
@@ -128,8 +140,9 @@ struct PipelineSnapshot {
 ///    proceed concurrently end to end.
 ///  - Mutations go through the transactional API (Mutate / AddRules /
 ///    ScaleDownType / Checkpoint+RestoreCheckpoint), which publishes
-///    exactly once per commit. The deprecated writer accessors
-///    (repository() non-const + RebuildRules()) remain as shims.
+///    exactly once per commit — and, when `config.storage_dir` is set,
+///    write-ahead-logs every commit before publication, so any state a
+///    reader observes survives a crash.
 ///  - RetrainLearning trains outside all locks against a copied data
 ///    snapshot, so training no longer blocks rule writers.
 ///  - GateKeeper::Memoize is its own (copy-on-write) writer path and
@@ -168,26 +181,26 @@ class ChimeraPipeline {
   Status RestoreCheckpoint(uint64_t version, std::string_view author);
 
   /// Read-only repository access (audit log, history, persistence).
+  /// All mutation flows through Mutate() / AddRules() / Checkpoint() /
+  /// RestoreCheckpoint() / ScaleDownType() — the historical deprecated
+  /// writer accessors are gone.
   const rules::RuleRepository& repository() const { return *repo_; }
-
-  /// Writer-side repository access. Deprecated: direct mutations bypass
-  /// per-commit publication and must be followed by RebuildRules() — use
-  /// Mutate() / Checkpoint() / RestoreCheckpoint() instead.
-  [[deprecated("use Mutate()/Checkpoint()/RestoreCheckpoint()")]]
-  rules::RuleRepository& repository() { return *repo_; }
 
   /// Merged view of all shards' rules (writer-side; re-fetch after edits).
   const rules::RuleSet& rule_set() const { return repo_->rules(); }
 
-  /// Re-derives serving state for shards whose repository version moved
-  /// and publishes a new snapshot. Deprecated shim for the
-  /// edit-directly-then-rebuild pattern; the transactional API publishes
-  /// automatically.
-  [[deprecated("mutate through Mutate(); it publishes on commit")]]
-  void RebuildRules() { RepublishAll(); }
-
   /// Version of the currently served snapshot (bumps on every publish).
   uint64_t snapshot_version() const;
+
+  // ---- durability --------------------------------------------------------
+
+  /// The durable store backing this pipeline; null when storage_dir was
+  /// empty or the open failed (see storage_status()).
+  storage::DurableRuleStore* storage() const { return store_.get(); }
+
+  /// OK when no storage was requested or the store opened cleanly; the
+  /// open/recovery error otherwise (the pipeline then runs in-memory).
+  const Status& storage_status() const { return storage_status_; }
 
   // ---- learning ----------------------------------------------------------
 
@@ -254,6 +267,11 @@ class ChimeraPipeline {
   std::shared_ptr<const PipelineSnapshot> CurrentSnapshot() const;
 
   PipelineConfig config_;
+  /// Owns the repository when storage is enabled; its journal hook stays
+  /// installed for the repository's whole life, so it is declared before
+  /// repo_ (destroyed after it).
+  std::unique_ptr<storage::DurableRuleStore> store_;
+  Status storage_status_;
   std::shared_ptr<rules::RuleRepository> repo_;
   GateKeeper gate_;
 

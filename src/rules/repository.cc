@@ -43,6 +43,29 @@ RuleState StateFromName(std::string_view name) {
   return RuleState::kActive;
 }
 
+const char* ActionName(AuditAction action) {
+  switch (action) {
+    case AuditAction::kAdd: return "add";
+    case AuditAction::kDisable: return "disable";
+    case AuditAction::kEnable: return "enable";
+    case AuditAction::kRetire: return "retire";
+    case AuditAction::kSetConfidence: return "set_confidence";
+    case AuditAction::kCheckpoint: return "checkpoint";
+    case AuditAction::kRestore: return "restore";
+  }
+  return "add";
+}
+
+AuditAction ActionFromName(std::string_view name) {
+  if (name == "disable") return AuditAction::kDisable;
+  if (name == "enable") return AuditAction::kEnable;
+  if (name == "retire") return AuditAction::kRetire;
+  if (name == "set_confidence") return AuditAction::kSetConfidence;
+  if (name == "checkpoint") return AuditAction::kCheckpoint;
+  if (name == "restore") return AuditAction::kRestore;
+  return AuditAction::kAdd;
+}
+
 }  // namespace
 
 RuleRepository::RuleRepository(size_t shard_count) {
@@ -60,6 +83,7 @@ RuleRepository::RuleRepository(RuleRepository&& other) noexcept
       routing_(std::move(other.routing_)),
       audit_(std::move(other.audit_)),
       clock_(other.clock_),
+      journal_(std::move(other.journal_)),
       checkpoints_(std::move(other.checkpoints_)),
       merged_cache_(std::move(other.merged_cache_)),
       merged_cache_version_(other.merged_cache_version_),
@@ -72,6 +96,7 @@ RuleRepository& RuleRepository::operator=(RuleRepository&& other) noexcept {
     routing_ = std::move(other.routing_);
     audit_ = std::move(other.audit_);
     clock_ = other.clock_;
+    journal_ = std::move(other.journal_);
     checkpoints_ = std::move(other.checkpoints_);
     merged_cache_ = std::move(other.merged_cache_);
     merged_cache_version_ = other.merged_cache_version_;
@@ -190,6 +215,15 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
       modified.push_back(idx);
     }
   };
+  // What actually landed, for the durability journal (a failed commit
+  // journals its applied prefix — exactly what stays in memory).
+  CommitRecord record;
+  auto journal_op = [&](CommitRecord::Op op, uint64_t ts, AuditAction action,
+                        const RuleId& id, std::string_view detail) {
+    record.ops.push_back(std::move(op));
+    record.entries.push_back(
+        {ts, action, id, txn.author_, std::string(detail)});
+  };
 
   for (size_t i = 0; i < txn.ops_.size(); ++i) {
     Transaction::Op& op = txn.ops_[i];
@@ -212,28 +246,45 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
           routing_.emplace(id, op_shard[i]);
         }
         uint64_t ts = Log(AuditAction::kAdd, RuleId(id), txn.author_, "");
-        shard.rules.FindMutable(id)->metadata().created_at = ts;
+        Rule* stored = shard.rules.FindMutable(id);
+        stored->metadata().created_at = ts;
+        journal_op({CommitRecord::OpKind::kAdd, *stored, RuleId(), 0.0, 0},
+                   ts, AuditAction::kAdd, RuleId(id), "");
         mark_modified(op_shard[i]);
         break;
       }
-      case Transaction::OpKind::kDisable:
+      case Transaction::OpKind::kDisable: {
         result = shard.rules.Disable(op.id.view());
         if (!result.ok()) break;
-        Log(AuditAction::kDisable, op.id, txn.author_, op.detail);
+        uint64_t ts = Log(AuditAction::kDisable, op.id, txn.author_,
+                          op.detail);
+        journal_op({CommitRecord::OpKind::kDisable, std::nullopt, op.id, 0.0,
+                    0},
+                   ts, AuditAction::kDisable, op.id, op.detail);
         mark_modified(op_shard[i]);
         break;
-      case Transaction::OpKind::kEnable:
+      }
+      case Transaction::OpKind::kEnable: {
         result = shard.rules.Enable(op.id.view());
         if (!result.ok()) break;
-        Log(AuditAction::kEnable, op.id, txn.author_, "");
+        uint64_t ts = Log(AuditAction::kEnable, op.id, txn.author_, "");
+        journal_op({CommitRecord::OpKind::kEnable, std::nullopt, op.id, 0.0,
+                    0},
+                   ts, AuditAction::kEnable, op.id, "");
         mark_modified(op_shard[i]);
         break;
-      case Transaction::OpKind::kRetire:
+      }
+      case Transaction::OpKind::kRetire: {
         result = shard.rules.Retire(op.id.view());
         if (!result.ok()) break;
-        Log(AuditAction::kRetire, op.id, txn.author_, op.detail);
+        uint64_t ts = Log(AuditAction::kRetire, op.id, txn.author_,
+                          op.detail);
+        journal_op({CommitRecord::OpKind::kRetire, std::nullopt, op.id, 0.0,
+                    0},
+                   ts, AuditAction::kRetire, op.id, op.detail);
         mark_modified(op_shard[i]);
         break;
+      }
       case Transaction::OpKind::kSetConfidence: {
         Rule* rule = shard.rules.FindMutable(op.id.view());
         if (rule == nullptr) {
@@ -241,13 +292,24 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
           break;
         }
         rule->metadata().confidence = op.confidence;
-        Log(AuditAction::kSetConfidence, op.id, txn.author_,
-            StrFormat("%.4f", op.confidence));
+        std::string detail = StrFormat("%.4f", op.confidence);
+        uint64_t ts = Log(AuditAction::kSetConfidence, op.id, txn.author_,
+                          detail);
+        journal_op({CommitRecord::OpKind::kSetConfidence, std::nullopt,
+                    op.id, op.confidence, 0},
+                   ts, AuditAction::kSetConfidence, op.id, detail);
         mark_modified(op_shard[i]);
         break;
       }
     }
     if (!result.ok()) break;  // applied prefix stays; see header contract
+  }
+
+  // Journal before publication: once a shard's version bumps, readers can
+  // observe the new state, so it must already be recoverable.
+  if (journal_ && !record.ops.empty()) {
+    Status jst = journal_(record);
+    if (result.ok() && !jst.ok()) result = jst;
   }
 
   std::sort(modified.begin(), modified.end());
@@ -312,15 +374,20 @@ std::vector<RuleId> RuleRepository::DisableRulesForType(
   for (size_t idx = 0; idx < shards_.size(); ++idx) {
     Shard& shard = *shards_[idx];
     std::lock_guard<std::mutex> lock(shard.mu);
-    bool changed = false;
+    CommitRecord record;  // one journal record per published shard
     for (const Rule* rule : shard.rules.ActiveForType(type)) {
       if (shard.rules.Disable(rule->id()).ok()) {
-        Log(AuditAction::kDisable, RuleId(rule->id()), author, reason);
-        disabled.emplace_back(rule->id());
-        changed = true;
+        RuleId id(rule->id());
+        uint64_t ts = Log(AuditAction::kDisable, id, author, reason);
+        record.ops.push_back(
+            {CommitRecord::OpKind::kDisable, std::nullopt, id, 0.0, 0});
+        record.entries.push_back({ts, AuditAction::kDisable, id,
+                                  std::string(author), std::string(reason)});
+        disabled.push_back(std::move(id));
       }
     }
-    if (changed) {
+    if (!record.ops.empty()) {
+      if (journal_) (void)journal_(record);  // best effort on scale-down
       shard.version.fetch_add(1, std::memory_order_release);
       shard.published.reset();
     }
@@ -416,6 +483,14 @@ uint64_t RuleRepository::Checkpoint(std::string_view author) {
   }
   uint64_t version = Log(AuditAction::kCheckpoint, RuleId(), author, "");
   checkpoints_[version] = std::move(snap);
+  if (journal_) {
+    CommitRecord record;
+    record.ops.push_back(
+        {CommitRecord::OpKind::kCheckpoint, std::nullopt, RuleId(), 0.0, 0});
+    record.entries.push_back({version, AuditAction::kCheckpoint, RuleId(),
+                              std::string(author), ""});
+    (void)journal_(record);  // replay recomputes the same states
+  }
   return version;
 }
 
@@ -440,12 +515,24 @@ Status RuleRepository::RestoreCheckpoint(uint64_t version,
         rule.metadata().confidence = state_it->second.second;
       }
     }
+  }
+  std::string detail =
+      StrFormat("version %llu", static_cast<unsigned long long>(version));
+  uint64_t ts = Log(AuditAction::kRestore, RuleId(), author, detail);
+  Status journaled = Status::OK();
+  if (journal_) {
+    CommitRecord record;
+    record.ops.push_back({CommitRecord::OpKind::kRestoreCheckpoint,
+                          std::nullopt, RuleId(), 0.0, version});
+    record.entries.push_back(
+        {ts, AuditAction::kRestore, RuleId(), std::string(author), detail});
+    journaled = journal_(record);  // before the bumps publish the restore
+  }
+  for (const auto& shard : shards_) {
     shard->version.fetch_add(1, std::memory_order_release);
     shard->published.reset();
   }
-  Log(AuditAction::kRestore, RuleId(), author,
-      StrFormat("version %llu", static_cast<unsigned long long>(version)));
-  return Status::OK();
+  return journaled;
 }
 
 std::vector<AuditEntry> RuleRepository::HistoryOf(
@@ -458,20 +545,251 @@ std::vector<AuditEntry> RuleRepository::HistoryOf(
   return out;
 }
 
+// ---- durability ------------------------------------------------------------
+
+Status RuleRepository::Replay(const CommitRecord& record) {
+  if (record.entries.size() != record.ops.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "commit record has %zu ops but %zu audit entries", record.ops.size(),
+        record.entries.size()));
+  }
+
+  // Recovery mirrors the writer: all-shard locking (like Checkpoint), ops
+  // applied in journal order, then one version bump per shard the record
+  // modified. Replay is single-threaded in practice, but locking keeps
+  // the invariants checkable under TSan.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  std::vector<bool> modified(shards_.size(), false);
+  for (size_t i = 0; i < record.ops.size(); ++i) {
+    const CommitRecord::Op& op = record.ops[i];
+    const AuditEntry& entry = record.entries[i];
+    auto fail = [&](const Status& why) {
+      return Status::IOError(StrFormat(
+          "journal op %zu (%s at t=%llu) does not apply: %s", i,
+          ActionName(entry.action),
+          static_cast<unsigned long long>(entry.timestamp),
+          why.message().c_str()));
+    };
+    switch (op.kind) {
+      case CommitRecord::OpKind::kAdd: {
+        if (!op.rule.has_value()) {
+          return fail(Status::InvalidArgument("add op carries no rule"));
+        }
+        std::string id = op.rule->id();
+        uint32_t shard_idx = KeyForType(op.rule->target_type()).index();
+        {
+          std::lock_guard<std::mutex> lock(routing_mu_);
+          if (routing_.count(id) != 0) {
+            return fail(Status::AlreadyExists("duplicate rule id: " + id));
+          }
+        }
+        Status st = shards_[shard_idx]->rules.Add(*op.rule);
+        if (!st.ok()) return fail(st);
+        {
+          std::lock_guard<std::mutex> lock(routing_mu_);
+          routing_.emplace(std::move(id), shard_idx);
+        }
+        modified[shard_idx] = true;
+        break;
+      }
+      case CommitRecord::OpKind::kDisable:
+      case CommitRecord::OpKind::kEnable:
+      case CommitRecord::OpKind::kRetire:
+      case CommitRecord::OpKind::kSetConfidence: {
+        uint32_t shard_idx = 0;
+        {
+          std::lock_guard<std::mutex> lock(routing_mu_);
+          auto it = routing_.find(op.id.value());
+          if (it == routing_.end()) {
+            return fail(Status::NotFound("no such rule: " + op.id.value()));
+          }
+          shard_idx = it->second;
+        }
+        Shard& shard = *shards_[shard_idx];
+        Status st;
+        if (op.kind == CommitRecord::OpKind::kDisable) {
+          st = shard.rules.Disable(op.id.view());
+        } else if (op.kind == CommitRecord::OpKind::kEnable) {
+          st = shard.rules.Enable(op.id.view());
+        } else if (op.kind == CommitRecord::OpKind::kRetire) {
+          st = shard.rules.Retire(op.id.view());
+        } else {
+          Rule* rule = shard.rules.FindMutable(op.id.view());
+          if (rule == nullptr) {
+            st = Status::NotFound("no such rule: " + op.id.value());
+          } else {
+            rule->metadata().confidence = op.confidence;
+          }
+        }
+        if (!st.ok()) return fail(st);
+        modified[shard_idx] = true;
+        break;
+      }
+      case CommitRecord::OpKind::kCheckpoint: {
+        // Recompute the state map exactly as Checkpoint() did at this
+        // point in the mutation history; the entry timestamp is the
+        // checkpoint's version handle.
+        CheckpointState snap;
+        for (const auto& shard : shards_) {
+          for (const Rule& rule : shard->rules.rules()) {
+            snap.states[RuleId(rule.id())] = {rule.metadata().state,
+                                              rule.metadata().confidence};
+          }
+        }
+        checkpoints_[entry.timestamp] = std::move(snap);
+        break;  // Checkpoint() bumps no shard
+      }
+      case CommitRecord::OpKind::kRestoreCheckpoint: {
+        auto it = checkpoints_.find(op.checkpoint_version);
+        if (it == checkpoints_.end()) {
+          return fail(Status::NotFound(StrFormat(
+              "no checkpoint %llu",
+              static_cast<unsigned long long>(op.checkpoint_version))));
+        }
+        for (const auto& shard : shards_) {
+          for (Rule& rule : shard->rules.mutable_rules()) {
+            auto state_it = it->second.states.find(RuleId(rule.id()));
+            if (state_it == it->second.states.end()) {
+              rule.metadata().state = RuleState::kDisabled;
+            } else {
+              rule.metadata().state = state_it->second.first;
+              rule.metadata().confidence = state_it->second.second;
+            }
+          }
+        }
+        std::fill(modified.begin(), modified.end(), true);
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    // The writer's audit log is timestamp-ordered (Log() assigns under
+    // log_mu_), but records from disjoint-shard commits can reach the
+    // journal slightly out of that order. Merge rather than append so
+    // the recovered log is byte-identical to the writer's.
+    size_t old_size = audit_.size();
+    audit_.insert(audit_.end(), record.entries.begin(), record.entries.end());
+    if (old_size > 0 && old_size < audit_.size() &&
+        audit_[old_size].timestamp < audit_[old_size - 1].timestamp) {
+      std::inplace_merge(
+          audit_.begin(), audit_.begin() + static_cast<ptrdiff_t>(old_size),
+          audit_.end(), [](const AuditEntry& a, const AuditEntry& b) {
+            return a.timestamp < b.timestamp;
+          });
+    }
+    for (const AuditEntry& e : record.entries) {
+      clock_ = std::max(clock_, e.timestamp);
+    }
+  }
+
+  for (size_t idx = 0; idx < shards_.size(); ++idx) {
+    if (!modified[idx]) continue;
+    shards_[idx]->version.fetch_add(1, std::memory_order_release);
+    shards_[idx]->published.reset();
+  }
+  return Status::OK();
+}
+
+PersistedState RuleRepository::ExportState() const {
+  PersistedState out;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->rules.size();
+  out.rules.reserve(total);
+  out.shard_versions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    for (const Rule& rule : shard->rules.rules()) out.rules.push_back(rule);
+    out.shard_versions.push_back(
+        shard->version.load(std::memory_order_acquire));
+  }
+  out.checkpoints.reserve(checkpoints_.size());
+  for (const auto& [version, state] : checkpoints_) {
+    CheckpointRecord rec;
+    rec.version = version;
+    rec.entries.reserve(state.states.size());
+    for (const auto& [id, sc] : state.states) {
+      rec.entries.push_back({id, sc.first, sc.second});
+    }
+    out.checkpoints.push_back(std::move(rec));
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    out.audit = audit_;
+    out.clock = clock_;
+  }
+  return out;
+}
+
+Status RuleRepository::ImportState(PersistedState state) {
+  if (!routing_.empty() || !audit_.empty() || clock_ != 0) {
+    return Status::FailedPrecondition(
+        "ImportState requires a freshly constructed repository");
+  }
+  for (Rule& rule : state.rules) {
+    std::string id = rule.id();
+    uint32_t shard_idx = KeyForType(rule.target_type()).index();
+    if (routing_.count(id) != 0) {
+      return Status::AlreadyExists("duplicate rule id in persisted state: " +
+                                   id);
+    }
+    RULEKIT_RETURN_IF_ERROR(shards_[shard_idx]->rules.Add(std::move(rule)));
+    routing_.emplace(std::move(id), shard_idx);
+  }
+  if (state.shard_versions.size() == shards_.size()) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->version.store(state.shard_versions[i],
+                                std::memory_order_release);
+    }
+  } else {
+    // Shard count changed between export and import: the per-shard split
+    // is meaningless, but the composite total must stay monotonic for
+    // staleness probes, so it lands on shard 0.
+    uint64_t total = 0;
+    for (uint64_t v : state.shard_versions) total += v;
+    shards_[0]->version.store(total, std::memory_order_release);
+  }
+  for (const CheckpointRecord& rec : state.checkpoints) {
+    CheckpointState cs;
+    for (const CheckpointRecord::Entry& e : rec.entries) {
+      cs.states[e.id] = {e.state, e.confidence};
+    }
+    checkpoints_[rec.version] = std::move(cs);
+  }
+  audit_ = std::move(state.audit);
+  clock_ = state.clock;
+  for (const AuditEntry& e : audit_) clock_ = std::max(clock_, e.timestamp);
+  return Status::OK();
+}
+
 // ---- persistence -----------------------------------------------------------
 
 Status RuleRepository::SaveToFile(const std::string& path) const {
-  auto snap = snapshot();
+  PersistedState state = ExportState();
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << "# rulekit repository v1\n";
-  for (const Rule& rule : snap->rules()) {
+  out << "# rulekit repository v2\n";
+  for (const Rule& rule : state.rules) {
     const RuleMetadata& m = rule.metadata();
     out << "#meta " << m.author << '\t' << OriginName(m.origin) << '\t'
         << m.created_at << '\t' << StrFormat("%.6f", m.confidence) << '\t'
         << StateName(m.state) << '\t' << EscapeControl(m.note) << '\n';
     out << rule.ToDsl() << '\n';
   }
+  // The audit section makes HistoryOf() survive a save/load round trip;
+  // v1 readers ignore these lines (leading '#').
+  for (const AuditEntry& e : state.audit) {
+    out << "#audit " << e.timestamp << '\t' << ActionName(e.action) << '\t'
+        << e.rule_id.value() << '\t' << e.author << '\t'
+        << EscapeControl(e.detail) << '\n';
+  }
+  out << "#clock " << state.clock << '\n';
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -485,6 +803,10 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
   RuleMetadata pending;
   bool has_pending = false;
   size_t line_no = 0;
+  std::vector<RuleId> loaded_order;  // for the v1 synthetic-audit fallback
+  std::vector<AuditEntry> loaded_audit;
+  uint64_t loaded_clock = 0;
+  bool has_audit = false;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
@@ -505,6 +827,29 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
       has_pending = true;
       continue;
     }
+    if (StartsWith(trimmed, "#audit ")) {
+      auto fields = Split(trimmed.substr(7), '\t');
+      if (fields.size() < 4) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: malformed #audit line", path.c_str(),
+                      line_no));
+      }
+      AuditEntry entry;
+      entry.timestamp = std::strtoull(fields[0].c_str(), nullptr, 10);
+      entry.action = ActionFromName(fields[1]);
+      entry.rule_id = RuleId(fields[2]);
+      entry.author = fields[3];
+      if (fields.size() > 4) entry.detail = UnescapeControl(fields[4]);
+      loaded_audit.push_back(std::move(entry));
+      has_audit = true;
+      continue;
+    }
+    if (StartsWith(trimmed, "#clock ")) {
+      loaded_clock = std::strtoull(
+          std::string(trimmed.substr(7)).c_str(), nullptr, 10);
+      has_audit = true;
+      continue;
+    }
     if (trimmed.front() == '#') continue;
     auto rules = ParseRules(trimmed);
     if (!rules.ok()) return rules.status();
@@ -518,13 +863,28 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
       // without locks; the routing map still gets the cross-shard dup check.
       uint32_t shard_idx = repo.KeyForType(rule.target_type()).index();
       if (repo.routing_.count(id) != 0) {
-        return Status::AlreadyExists("duplicate rule id: " + id);
+        return Status::AlreadyExists(
+            StrFormat("%s:%zu: duplicate rule id: %s", path.c_str(), line_no,
+                      id.c_str()));
       }
       RULEKIT_RETURN_IF_ERROR(repo.shards_[shard_idx]->rules.Add(
           std::move(rule)));
       repo.routing_.emplace(id, shard_idx);
-      repo.Log(AuditAction::kAdd, RuleId(id), "loader",
-               "loaded from " + path);
+      loaded_order.emplace_back(id);
+    }
+  }
+  if (has_audit) {
+    // Format v2: the file carries the real history — install it verbatim
+    // so HistoryOf() and the logical clock survive the round trip.
+    for (const AuditEntry& e : loaded_audit) {
+      loaded_clock = std::max(loaded_clock, e.timestamp);
+    }
+    repo.audit_ = std::move(loaded_audit);
+    repo.clock_ = loaded_clock;
+  } else {
+    // Format v1: no history was saved; synthesize one kAdd per rule.
+    for (const RuleId& id : loaded_order) {
+      repo.Log(AuditAction::kAdd, id, "loader", "loaded from " + path);
     }
   }
   return repo;

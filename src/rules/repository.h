@@ -40,6 +40,70 @@ struct AuditEntry {
   std::string detail;
 };
 
+/// One applied mutation batch, as observed by the durability journal
+/// (the storage WAL): the ops that actually landed — a commit that
+/// failed part-way journals its applied prefix — plus the audit entries
+/// they produced, aligned 1:1 in op order. Replaying journaled records
+/// in order onto a fresh repository rebuilds the rules, the audit log,
+/// the logical clock, and every shard version exactly (see Replay()).
+struct CommitRecord {
+  enum class OpKind : uint8_t {
+    kAdd = 0,
+    kDisable = 1,
+    kEnable = 2,
+    kRetire = 3,
+    kSetConfidence = 4,
+    kCheckpoint = 5,
+    kRestoreCheckpoint = 6,
+  };
+  struct Op {
+    OpKind kind = OpKind::kAdd;
+    /// kAdd: the rule exactly as stored (metadata finalized: author and
+    /// created_at already assigned).
+    std::optional<Rule> rule;
+    RuleId id;                        // the state edits
+    double confidence = 0.0;          // kSetConfidence
+    uint64_t checkpoint_version = 0;  // kRestoreCheckpoint
+  };
+  std::vector<Op> ops;
+  std::vector<AuditEntry> entries;  // 1:1 with ops
+};
+
+/// Durability hook, fired once per successful mutation batch *after* its
+/// ops are applied but *before* the touched shards republish — so a
+/// crash can lose an unjournaled commit, but can never publish state
+/// that would not survive recovery. Invoked while the affected shard
+/// locks are held: keep it lean (an append + optional fsync). A non-OK
+/// return is surfaced to the mutating caller; the in-memory commit is
+/// not rolled back.
+using CommitJournal = std::function<Status(const CommitRecord&)>;
+
+/// One in-memory checkpoint (version handle + per-rule state), exported
+/// for persistence so RestoreCheckpoint() still works after recovery.
+struct CheckpointRecord {
+  uint64_t version = 0;
+  struct Entry {
+    RuleId id;
+    RuleState state = RuleState::kActive;
+    double confidence = 1.0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// The complete persistent state of a repository — what a compacted
+/// snapshot stores and crash recovery restores.
+struct PersistedState {
+  /// Shard-ascending, insertion order within a shard (deterministic for
+  /// a given mutation history, so export → import → export is stable).
+  std::vector<Rule> rules;
+  std::vector<AuditEntry> audit;
+  uint64_t clock = 0;
+  /// Per-shard version counters at export time (restored exactly when
+  /// the importing repository has the same shard count).
+  std::vector<uint64_t> shard_versions;
+  std::vector<CheckpointRecord> checkpoints;
+};
+
 /// An immutable view of one shard, pinned at one shard version. The
 /// RuleSet never changes after publication, so indices and classifiers
 /// built against it stay coherent while writers keep mutating the shard.
@@ -248,14 +312,44 @@ class RuleRepository {
     return HistoryOf(RuleId(rule_id));
   }
 
-  // ---- persistence -------------------------------------------------------
+  // ---- durability (see src/storage/) -------------------------------------
 
-  /// Saves all rules (with metadata) to a text file.
+  /// Installs (or clears, with nullptr) the commit journal. Must be set
+  /// before concurrent mutations begin (the storage layer installs it at
+  /// store-open time, before the repository is shared).
+  void SetJournal(CommitJournal journal) { journal_ = std::move(journal); }
+
+  /// Re-applies one journaled commit during recovery: ops land with
+  /// their recorded audit entries and timestamps, no new entries are
+  /// logged, and the installed journal (if any) does not fire. Touched
+  /// shards bump exactly as the original commit bumped them, so the
+  /// composite version converges to the writer's. Fails (with the
+  /// offending op) on a record inconsistent with the current state —
+  /// the storage layer turns that into a corrupt-log error.
+  Status Replay(const CommitRecord& record);
+
+  /// Snapshot of everything persistence needs (locks all shards
+  /// briefly, then the log).
+  PersistedState ExportState() const;
+
+  /// Restores an exported state into this repository, which must be
+  /// freshly constructed (no rules, no audit entries). Shard versions
+  /// restore exactly when the shard count matches the exported vector;
+  /// otherwise the composite total lands on shard 0 so
+  /// composite_version() is still preserved. Single-threaded recovery
+  /// context: takes no locks.
+  Status ImportState(PersistedState state);
+
+  // ---- persistence (human-editable text format) --------------------------
+
+  /// Saves all rules (with metadata) and the audit log to a text file.
   Status SaveToFile(const std::string& path) const;
 
   /// Loads a file written by SaveToFile into a fresh repository with
-  /// `shard_count` shards. The audit log is not persisted; loading yields
-  /// kAdd entries.
+  /// `shard_count` shards. Files that carry an audit section (format v2)
+  /// restore the real history and logical clock; older files degrade to
+  /// synthetic kAdd entries. Duplicate rule ids are rejected with the
+  /// offending line number.
   static Result<RuleRepository> LoadFromFile(const std::string& path,
                                              size_t shard_count = 1);
 
@@ -296,6 +390,10 @@ class RuleRepository {
   mutable std::mutex log_mu_;
   std::vector<AuditEntry> audit_;
   uint64_t clock_ = 0;
+
+  /// Durability hook (see CommitJournal). Installed once before
+  /// concurrent use; called under the affected shard locks.
+  CommitJournal journal_;
 
   /// Guarded by holding ALL shard mutexes (only Checkpoint/Restore touch
   /// it, and both lock every shard).

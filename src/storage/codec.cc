@@ -1,0 +1,424 @@
+#include "src/storage/codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/string_util.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::storage {
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char b : data) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---- Encoder ---------------------------------------------------------------
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  out_.append(s.data(), s.size());
+}
+
+// ---- Decoder ---------------------------------------------------------------
+
+bool Decoder::Ensure(size_t n) {
+  if (!ok_) return false;
+  if (data_.size() - pos_ < n) {
+    ok_ = false;
+    error_ = StrFormat("short read at offset %zu (need %zu bytes, have %zu)",
+                       pos_, n, data_.size() - pos_);
+    return false;
+  }
+  return true;
+}
+
+void Decoder::Fail(std::string reason) {
+  if (!ok_) return;
+  ok_ = false;
+  error_ = StrFormat("at offset %zu: %s", pos_, reason.c_str());
+}
+
+Status Decoder::status() const {
+  if (ok_) return Status::OK();
+  return Status::InvalidArgument("decode failed " + error_);
+}
+
+uint8_t Decoder::U8() {
+  if (!Ensure(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t Decoder::U32() {
+  if (!Ensure(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::U64() {
+  if (!Ensure(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+uint64_t Decoder::Varint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (!Ensure(1)) return 0;
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+  }
+  Fail("varint longer than 64 bits");
+  return 0;
+}
+
+double Decoder::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::String() {
+  uint64_t len = Varint();
+  if (!ok_) return "";
+  if (!Ensure(len)) return "";
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+// ---- rules -----------------------------------------------------------------
+
+namespace {
+
+using rules::AuditAction;
+using rules::AuditEntry;
+using rules::CheckpointRecord;
+using rules::CommitRecord;
+using rules::PersistedState;
+using rules::Rule;
+using rules::RuleKind;
+using rules::RuleMetadata;
+using rules::RuleOrigin;
+using rules::RuleState;
+
+constexpr uint8_t kMaxRuleKind = static_cast<uint8_t>(RuleKind::kPredicate);
+constexpr uint8_t kMaxRuleState = static_cast<uint8_t>(RuleState::kRetired);
+constexpr uint8_t kMaxOrigin = static_cast<uint8_t>(RuleOrigin::kImported);
+constexpr uint8_t kMaxAuditAction =
+    static_cast<uint8_t>(AuditAction::kRestore);
+constexpr uint8_t kMaxOpKind =
+    static_cast<uint8_t>(CommitRecord::OpKind::kRestoreCheckpoint);
+
+}  // namespace
+
+void EncodeRule(const Rule& rule, Encoder& enc) {
+  enc.PutU8(static_cast<uint8_t>(rule.kind()));
+  enc.PutString(rule.id());
+  enc.PutVarint(rule.candidate_types().size());
+  for (const std::string& type : rule.candidate_types()) {
+    enc.PutString(type);
+  }
+  enc.PutU8(rule.is_positive() ? 1 : 0);
+  enc.PutString(rule.pattern_text());
+  enc.PutString(rule.attribute());
+  enc.PutString(rule.attribute_value());
+  enc.PutString(rule.predicate() ? rule.predicate()->ToString() : "");
+  const RuleMetadata& m = rule.metadata();
+  enc.PutString(m.author);
+  enc.PutU8(static_cast<uint8_t>(m.origin));
+  enc.PutU64(m.created_at);
+  enc.PutDouble(m.confidence);
+  enc.PutU8(static_cast<uint8_t>(m.state));
+  enc.PutString(m.note);
+}
+
+Result<Rule> DecodeRule(Decoder& dec,
+                        const rules::DictionaryRegistry* dictionaries) {
+  uint8_t kind_byte = dec.U8();
+  std::string id = dec.String();
+  uint64_t num_types = dec.Varint();
+  if (dec.ok() && (num_types == 0 || num_types > (1u << 20))) {
+    dec.Fail(StrFormat("rule '%s': implausible type count", id.c_str()));
+  }
+  std::vector<std::string> types;
+  for (uint64_t i = 0; dec.ok() && i < num_types; ++i) {
+    types.push_back(dec.String());
+  }
+  bool positive = dec.U8() != 0;
+  std::string pattern = dec.String();
+  std::string attribute = dec.String();
+  std::string attribute_value = dec.String();
+  std::string predicate_dsl = dec.String();
+  RuleMetadata meta;
+  meta.author = dec.String();
+  uint8_t origin_byte = dec.U8();
+  meta.created_at = dec.U64();
+  meta.confidence = dec.F64();
+  uint8_t state_byte = dec.U8();
+  meta.note = dec.String();
+  if (dec.ok() && kind_byte > kMaxRuleKind) {
+    dec.Fail(StrFormat("rule '%s': bad kind %u", id.c_str(), kind_byte));
+  }
+  if (dec.ok() && origin_byte > kMaxOrigin) {
+    dec.Fail(StrFormat("rule '%s': bad origin %u", id.c_str(), origin_byte));
+  }
+  if (dec.ok() && state_byte > kMaxRuleState) {
+    dec.Fail(StrFormat("rule '%s': bad state %u", id.c_str(), state_byte));
+  }
+  RULEKIT_RETURN_IF_ERROR(dec.status());
+  meta.origin = static_cast<RuleOrigin>(origin_byte);
+  meta.state = static_cast<RuleState>(state_byte);
+
+  Result<Rule> rebuilt = Status::Internal("unreachable");
+  switch (static_cast<RuleKind>(kind_byte)) {
+    case RuleKind::kWhitelist:
+      rebuilt = Rule::Whitelist(std::move(id), pattern, std::move(types[0]));
+      break;
+    case RuleKind::kBlacklist:
+      rebuilt = Rule::Blacklist(std::move(id), pattern, std::move(types[0]));
+      break;
+    case RuleKind::kAttributeExists:
+      rebuilt = Rule::AttributeExists(std::move(id), std::move(attribute),
+                                      std::move(types[0]));
+      break;
+    case RuleKind::kAttributeValue:
+      rebuilt = Rule::AttributeValue(std::move(id), std::move(attribute),
+                                     std::move(attribute_value),
+                                     std::move(types));
+      break;
+    case RuleKind::kPredicate: {
+      auto pred = rules::ParsePredicate(predicate_dsl, dictionaries);
+      if (!pred.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("rule '%s': cannot rebuild predicate \"%s\": %s",
+                      id.c_str(), predicate_dsl.c_str(),
+                      pred.status().message().c_str()));
+      }
+      rebuilt = Rule::FromPredicate(std::move(id), std::move(pred).value(),
+                                    std::move(types[0]), positive);
+      break;
+    }
+  }
+  if (!rebuilt.ok()) return rebuilt.status();
+  rebuilt->metadata() = std::move(meta);
+  return rebuilt;
+}
+
+void EncodeAuditEntry(const AuditEntry& entry, Encoder& enc) {
+  enc.PutU64(entry.timestamp);
+  enc.PutU8(static_cast<uint8_t>(entry.action));
+  enc.PutString(entry.rule_id.value());
+  enc.PutString(entry.author);
+  enc.PutString(entry.detail);
+}
+
+Result<AuditEntry> DecodeAuditEntry(Decoder& dec) {
+  AuditEntry entry;
+  entry.timestamp = dec.U64();
+  uint8_t action = dec.U8();
+  entry.rule_id = rules::RuleId(dec.String());
+  entry.author = dec.String();
+  entry.detail = dec.String();
+  if (dec.ok() && action > kMaxAuditAction) {
+    dec.Fail(StrFormat("bad audit action %u", action));
+  }
+  RULEKIT_RETURN_IF_ERROR(dec.status());
+  entry.action = static_cast<AuditAction>(action);
+  return entry;
+}
+
+void EncodeCommitRecord(const CommitRecord& record, Encoder& enc) {
+  enc.PutVarint(record.ops.size());
+  for (const CommitRecord::Op& op : record.ops) {
+    enc.PutU8(static_cast<uint8_t>(op.kind));
+    switch (op.kind) {
+      case CommitRecord::OpKind::kAdd:
+        EncodeRule(*op.rule, enc);
+        break;
+      case CommitRecord::OpKind::kDisable:
+      case CommitRecord::OpKind::kEnable:
+      case CommitRecord::OpKind::kRetire:
+        enc.PutString(op.id.value());
+        break;
+      case CommitRecord::OpKind::kSetConfidence:
+        enc.PutString(op.id.value());
+        enc.PutDouble(op.confidence);
+        break;
+      case CommitRecord::OpKind::kCheckpoint:
+        break;
+      case CommitRecord::OpKind::kRestoreCheckpoint:
+        enc.PutU64(op.checkpoint_version);
+        break;
+    }
+  }
+  enc.PutVarint(record.entries.size());
+  for (const AuditEntry& entry : record.entries) {
+    EncodeAuditEntry(entry, enc);
+  }
+}
+
+Result<CommitRecord> DecodeCommitRecord(
+    Decoder& dec, const rules::DictionaryRegistry* dictionaries) {
+  CommitRecord record;
+  uint64_t num_ops = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_ops; ++i) {
+    uint8_t kind = dec.U8();
+    if (dec.ok() && kind > kMaxOpKind) {
+      dec.Fail(StrFormat("bad commit op kind %u", kind));
+    }
+    if (!dec.ok()) break;
+    CommitRecord::Op op;
+    op.kind = static_cast<CommitRecord::OpKind>(kind);
+    switch (op.kind) {
+      case CommitRecord::OpKind::kAdd: {
+        auto rule = DecodeRule(dec, dictionaries);
+        if (!rule.ok()) return rule.status();
+        op.rule = std::move(rule).value();
+        break;
+      }
+      case CommitRecord::OpKind::kDisable:
+      case CommitRecord::OpKind::kEnable:
+      case CommitRecord::OpKind::kRetire:
+        op.id = rules::RuleId(dec.String());
+        break;
+      case CommitRecord::OpKind::kSetConfidence:
+        op.id = rules::RuleId(dec.String());
+        op.confidence = dec.F64();
+        break;
+      case CommitRecord::OpKind::kCheckpoint:
+        break;
+      case CommitRecord::OpKind::kRestoreCheckpoint:
+        op.checkpoint_version = dec.U64();
+        break;
+    }
+    record.ops.push_back(std::move(op));
+  }
+  uint64_t num_entries = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_entries; ++i) {
+    auto entry = DecodeAuditEntry(dec);
+    if (!entry.ok()) return entry.status();
+    record.entries.push_back(std::move(entry).value());
+  }
+  RULEKIT_RETURN_IF_ERROR(dec.status());
+  if (record.entries.size() != record.ops.size()) {
+    return Status::InvalidArgument(
+        StrFormat("commit record: %zu ops but %zu audit entries",
+                  record.ops.size(), record.entries.size()));
+  }
+  return record;
+}
+
+void EncodePersistedState(const PersistedState& state, Encoder& enc) {
+  enc.PutVarint(state.rules.size());
+  for (const Rule& rule : state.rules) EncodeRule(rule, enc);
+  enc.PutVarint(state.audit.size());
+  for (const AuditEntry& entry : state.audit) EncodeAuditEntry(entry, enc);
+  enc.PutU64(state.clock);
+  enc.PutVarint(state.shard_versions.size());
+  for (uint64_t v : state.shard_versions) enc.PutU64(v);
+  enc.PutVarint(state.checkpoints.size());
+  for (const CheckpointRecord& cp : state.checkpoints) {
+    enc.PutU64(cp.version);
+    enc.PutVarint(cp.entries.size());
+    for (const CheckpointRecord::Entry& e : cp.entries) {
+      enc.PutString(e.id.value());
+      enc.PutU8(static_cast<uint8_t>(e.state));
+      enc.PutDouble(e.confidence);
+    }
+  }
+}
+
+Result<PersistedState> DecodePersistedState(
+    Decoder& dec, const rules::DictionaryRegistry* dictionaries) {
+  PersistedState state;
+  uint64_t num_rules = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_rules; ++i) {
+    auto rule = DecodeRule(dec, dictionaries);
+    if (!rule.ok()) return rule.status();
+    state.rules.push_back(std::move(rule).value());
+  }
+  uint64_t num_audit = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_audit; ++i) {
+    auto entry = DecodeAuditEntry(dec);
+    if (!entry.ok()) return entry.status();
+    state.audit.push_back(std::move(entry).value());
+  }
+  state.clock = dec.U64();
+  uint64_t num_shards = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_shards; ++i) {
+    state.shard_versions.push_back(dec.U64());
+  }
+  uint64_t num_checkpoints = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_checkpoints; ++i) {
+    CheckpointRecord cp;
+    cp.version = dec.U64();
+    uint64_t num_entries = dec.Varint();
+    for (uint64_t j = 0; dec.ok() && j < num_entries; ++j) {
+      CheckpointRecord::Entry e;
+      e.id = rules::RuleId(dec.String());
+      uint8_t st = dec.U8();
+      e.confidence = dec.F64();
+      if (dec.ok() && st > kMaxRuleState) {
+        dec.Fail(StrFormat("checkpoint: bad rule state %u", st));
+      }
+      if (!dec.ok()) break;
+      e.state = static_cast<RuleState>(st);
+      cp.entries.push_back(std::move(e));
+    }
+    state.checkpoints.push_back(std::move(cp));
+  }
+  RULEKIT_RETURN_IF_ERROR(dec.status());
+  return state;
+}
+
+}  // namespace rulekit::storage

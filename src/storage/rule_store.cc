@@ -1,0 +1,272 @@
+#include "src/storage/rule_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/storage/codec.h"
+#include "src/storage/snapshot.h"
+
+namespace rulekit::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kSnapshotPrefix[] = "snapshot-";
+
+/// Epoch-numbered files of one kind present in the store directory,
+/// ascending. Files whose suffix is not a plain decimal are ignored
+/// (e.g. leftover `snapshot-7.tmp` from an interrupted compaction).
+std::vector<uint64_t> ScanEpochs(const fs::path& dir, std::string_view prefix) {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix)) {
+      continue;
+    }
+    std::string_view digits = std::string_view(name).substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string_view::npos) {
+      continue;
+    }
+    epochs.push_back(std::strtoull(std::string(digits).c_str(), nullptr, 10));
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status ReplayWalInto(const std::string& path, rules::RuleRepository& repo,
+                     const rules::DictionaryRegistry* dictionaries,
+                     bool truncate_torn_tail, WalReplayStats* stats) {
+  return WriteAheadLog::Replay(
+      path,
+      [&](std::string_view payload) -> Status {
+        Decoder dec(payload);
+        auto record = DecodeCommitRecord(dec, dictionaries);
+        if (!record.ok()) {
+          return Status::IOError(StrFormat(
+              "%s: undecodable commit record: %s", path.c_str(),
+              record.status().message().c_str()));
+        }
+        RULEKIT_RETURN_IF_ERROR(repo.Replay(*record));
+        return Status::OK();
+      },
+      stats, truncate_torn_tail);
+}
+
+}  // namespace
+
+std::string DurableRuleStore::SnapshotPath(uint64_t epoch) const {
+  return (fs::path(dir_) / (kSnapshotPrefix + std::to_string(epoch))).string();
+}
+
+std::string DurableRuleStore::WalPath(uint64_t epoch) const {
+  return (fs::path(dir_) / (kWalPrefix + std::to_string(epoch))).string();
+}
+
+Result<std::unique_ptr<DurableRuleStore>> DurableRuleStore::Open(
+    const std::string& dir, StoreOptions options) {
+  if (options.shard_count == 0) options.shard_count = 1;
+  {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError(
+          StrFormat("cannot create store directory %s: %s", dir.c_str(),
+                    ec.message().c_str()));
+    }
+  }
+  // unique_ptr: the journal hook captures `this`, so the store's address
+  // must be stable for the repository's lifetime.
+  std::unique_ptr<DurableRuleStore> store(new DurableRuleStore(dir, options));
+
+  std::vector<uint64_t> snapshots = ScanEpochs(dir, kSnapshotPrefix);
+  std::vector<uint64_t> wals = ScanEpochs(dir, kWalPrefix);
+
+  // Seed from the newest readable snapshot; an unreadable newest one
+  // falls back to the previous generation (which is retained for exactly
+  // this case) as long as the WAL chain covering the gap still exists.
+  auto repo =
+      std::make_shared<rules::RuleRepository>(options.shard_count);
+  uint64_t base = 0;
+  bool from_snapshot = false;
+  Status snapshot_error;
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    auto state = ReadSnapshotFile(store->SnapshotPath(*it),
+                                  options.dictionaries);
+    Status st = state.ok()
+                    ? repo->ImportState(*std::move(state))
+                    : state.status();
+    if (st.ok()) {
+      base = *it;
+      from_snapshot = true;
+      break;
+    }
+    if (snapshot_error.ok()) snapshot_error = st;  // report the newest
+    bool chain_intact =
+        std::find(wals.begin(), wals.end(),
+                  it + 1 == snapshots.rend() ? 0 : *(it + 1)) != wals.end();
+    if (!chain_intact && it + 1 != snapshots.rend()) {
+      // The older snapshot's WAL suffix was already compacted away;
+      // falling back would silently lose the gap.
+      return snapshot_error;
+    }
+  }
+  if (!from_snapshot && !snapshots.empty()) {
+    // Every snapshot unreadable: only recoverable if wal-0 onward still
+    // exists (never the case after a compaction has pruned).
+    if (wals.empty() || wals.front() != 0) return snapshot_error;
+  }
+
+  // Replay the WAL suffix in epoch order. Only the newest log may carry
+  // a torn tail (older ones were synced and closed before rotation).
+  size_t segments = 0;
+  size_t records = 0;
+  bool truncated = false;
+  for (size_t i = 0; i < wals.size(); ++i) {
+    if (wals[i] < base) continue;
+    if (segments == 0 && from_snapshot && wals[i] != base) {
+      return Status::IOError(StrFormat(
+          "%s: snapshot epoch %llu has no matching WAL; oldest remaining "
+          "log is epoch %llu",
+          dir.c_str(), static_cast<unsigned long long>(base),
+          static_cast<unsigned long long>(wals[i])));
+    }
+    if (segments > 0 && wals[i] != wals[i - 1] + 1) {
+      return Status::IOError(StrFormat(
+          "%s: WAL epoch gap: %llu is followed by %llu", dir.c_str(),
+          static_cast<unsigned long long>(wals[i - 1]),
+          static_cast<unsigned long long>(wals[i])));
+    }
+    WalReplayStats stats;
+    bool is_last = (i + 1 == wals.size());
+    RULEKIT_RETURN_IF_ERROR(ReplayWalInto(store->WalPath(wals[i]), *repo,
+                                          options.dictionaries, is_last,
+                                          &stats));
+    ++segments;
+    records += stats.records;
+    truncated = truncated || stats.truncated_tail;
+  }
+
+  // Normally the newest log's epoch; `base` wins only when a crash
+  // landed between writing snapshot-<base> and opening its fresh log.
+  uint64_t epoch = wals.empty() ? base : std::max(base, wals.back());
+  RULEKIT_ASSIGN_OR_RETURN(
+      store->wal_, WriteAheadLog::Open(store->WalPath(epoch),
+                                       options.fsync_policy,
+                                       options.fsync_interval_commits));
+  store->epoch_ = epoch;
+  store->base_epoch_ = base;
+  store->has_snapshot_ = from_snapshot;
+  store->repo_ = std::move(repo);
+  store->recovery_ = {from_snapshot, base, segments, records, truncated};
+
+  DurableRuleStore* raw = store.get();
+  store->repo_->SetJournal([raw](const rules::CommitRecord& record) {
+    return raw->OnCommit(record);
+  });
+  return store;
+}
+
+DurableRuleStore::~DurableRuleStore() {
+  if (repo_ != nullptr) repo_->SetJournal(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.Close();  // syncs
+}
+
+Status DurableRuleStore::OnCommit(const rules::CommitRecord& record) {
+  Encoder enc;
+  EncodeCommitRecord(record, enc);
+  std::lock_guard<std::mutex> lock(mu_);
+  RULEKIT_RETURN_IF_ERROR(wal_.Append(enc.data()));
+  if (options_.compact_wal_bytes > 0 &&
+      wal_.bytes() >= options_.compact_wal_bytes) {
+    // The append above already made this commit durable; a compaction
+    // failure must not turn a durable commit into a reported failure.
+    compaction_error_ = CompactLocked();
+  }
+  return Status::OK();
+}
+
+Status DurableRuleStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status DurableRuleStore::CompactLocked() {
+  // Offline scratch replay: the hook that calls this runs under the live
+  // repository's shard locks, so rebuilding state from the closed files
+  // (rather than ExportState() on repo_) is not just cleaner — it is the
+  // only deadlock-free option.
+  RULEKIT_RETURN_IF_ERROR(wal_.Sync());
+  wal_.Close();
+
+  rules::RuleRepository scratch(options_.shard_count);
+  if (has_snapshot_) {
+    auto state =
+        ReadSnapshotFile(SnapshotPath(base_epoch_), options_.dictionaries);
+    if (!state.ok()) return state.status();
+    RULEKIT_RETURN_IF_ERROR(scratch.ImportState(*std::move(state)));
+  }
+  for (uint64_t e = base_epoch_; e <= epoch_; ++e) {
+    // All inputs are synced, closed logs: a torn record here is real
+    // damage, not an in-flight write, so never truncate.
+    RULEKIT_RETURN_IF_ERROR(ReplayWalInto(WalPath(e), scratch,
+                                          options_.dictionaries,
+                                          /*truncate_torn_tail=*/false,
+                                          nullptr));
+  }
+
+  uint64_t next = epoch_ + 1;
+  RULEKIT_RETURN_IF_ERROR(
+      WriteSnapshotFile(SnapshotPath(next), scratch.ExportState()));
+
+  RULEKIT_ASSIGN_OR_RETURN(
+      wal_, WriteAheadLog::Open(WalPath(next), options_.fsync_policy,
+                                options_.fsync_interval_commits));
+  uint64_t previous_base = has_snapshot_ ? base_epoch_ : 0;
+  epoch_ = next;
+  base_epoch_ = next;
+  has_snapshot_ = true;
+
+  // Retention: the new snapshot, the previous generation (fallback if
+  // the new one proves unreadable), and the WAL chain from the previous
+  // generation forward. Everything older is garbage.
+  std::error_code ec;
+  for (uint64_t e : ScanEpochs(dir_, kSnapshotPrefix)) {
+    if (e < previous_base) fs::remove(SnapshotPath(e), ec);
+  }
+  for (uint64_t e : ScanEpochs(dir_, kWalPrefix)) {
+    if (e < previous_base) fs::remove(WalPath(e), ec);
+  }
+  return Status::OK();
+}
+
+Status DurableRuleStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.Sync();
+}
+
+uint64_t DurableRuleStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t DurableRuleStore::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.bytes();
+}
+
+Status DurableRuleStore::last_compaction_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compaction_error_;
+}
+
+}  // namespace rulekit::storage

@@ -1,0 +1,129 @@
+#ifndef RULEKIT_STORAGE_RULE_STORE_H_
+#define RULEKIT_STORAGE_RULE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/rules/dictionary_registry.h"
+#include "src/rules/repository.h"
+#include "src/storage/wal.h"
+
+namespace rulekit::storage {
+
+/// Tuning for one durable store directory.
+struct StoreOptions {
+  /// Shard count of the recovered repository. Must match across reopens
+  /// of the same directory for per-shard versions to restore exactly
+  /// (a mismatch still recovers; the composite version is preserved).
+  size_t shard_count = 1;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryCommit;
+  size_t fsync_interval_commits = 64;
+  /// WAL size that triggers a compaction (snapshot + log rotation) on
+  /// the next commit. 0 disables automatic compaction.
+  uint64_t compact_wal_bytes = 8ull << 20;
+  /// Resolves `anyof dict(Name)` predicates during recovery; may be null
+  /// when no persisted rule references a dictionary.
+  const rules::DictionaryRegistry* dictionaries = nullptr;
+};
+
+/// What recovery found when the store was opened.
+struct RecoveryStats {
+  bool from_snapshot = false;   // a snapshot seeded the state
+  uint64_t snapshot_epoch = 0;  // its epoch, when from_snapshot
+  size_t wal_segments = 0;      // log files replayed on top
+  size_t records_replayed = 0;  // commit records re-applied
+  bool truncated_tail = false;  // a torn final record was cut off
+};
+
+/// The durable rule store: a directory of epoch-numbered files
+///
+///   wal-<N>       append-only commit log for epoch N
+///   snapshot-<N>  full repository state covering every epoch < N
+///
+/// layered under the repository's transactional API via the commit
+/// journal. Every successful transaction commit (and checkpoint/restore)
+/// appends its ops and audit entries to the current WAL *before* the
+/// touched shards republish, so any state a reader can observe is
+/// already recoverable. When the WAL outgrows
+/// `StoreOptions::compact_wal_bytes`, the store writes a compacted
+/// snapshot (atomically: temp file, fsync, rename) and rotates to a
+/// fresh log; the previous snapshot generation is retained so a corrupt
+/// newest snapshot still recovers.
+///
+/// Open() recovers: newest readable snapshot + replay of every WAL
+/// epoch at or after it. A torn final record (crash mid-append) is
+/// truncated and recovery succeeds; a corrupt record with valid history
+/// after it fails recovery with the exact offset.
+///
+/// Thread safety: the journal hook runs under the repository's shard
+/// locks and serializes on an internal mutex, so concurrent committers
+/// append in publication order. Compact() and Sync() take the same
+/// mutex. The store must outlive no one — it owns the repository; clear
+/// ownership is `store->repository()`.
+class DurableRuleStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir` and recovers
+  /// the repository state persisted there.
+  static Result<std::unique_ptr<DurableRuleStore>> Open(
+      const std::string& dir, StoreOptions options = {});
+
+  ~DurableRuleStore();
+
+  DurableRuleStore(const DurableRuleStore&) = delete;
+  DurableRuleStore& operator=(const DurableRuleStore&) = delete;
+
+  /// The recovered repository; mutations through it are journaled here.
+  const std::shared_ptr<rules::RuleRepository>& repository() const {
+    return repo_;
+  }
+
+  /// Forces a compaction now (snapshot + WAL rotation), regardless of
+  /// the size threshold.
+  Status Compact();
+
+  /// Flushes any unsynced WAL appends (meaningful under kInterval).
+  Status Sync();
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t epoch() const;
+  uint64_t wal_bytes() const;
+  /// Last automatic-compaction failure, if any (a failed compaction
+  /// never fails the commit that triggered it — the append already
+  /// made the commit durable).
+  Status last_compaction_error() const;
+
+ private:
+  DurableRuleStore(std::string dir, StoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// The CommitJournal hook. Runs under the affected shard locks.
+  Status OnCommit(const rules::CommitRecord& record);
+
+  /// Snapshot + rotate. Caller holds mu_. Never touches repo_ (the
+  /// journal hook runs under its shard locks): the snapshot state is
+  /// rebuilt offline from the base snapshot plus the closed logs.
+  Status CompactLocked();
+
+  std::string SnapshotPath(uint64_t epoch) const;
+  std::string WalPath(uint64_t epoch) const;
+
+  const std::string dir_;
+  const StoreOptions options_;
+  std::shared_ptr<rules::RuleRepository> repo_;
+  RecoveryStats recovery_;
+
+  mutable std::mutex mu_;
+  WriteAheadLog wal_;          // guarded by mu_
+  uint64_t epoch_ = 0;         // current WAL epoch, guarded by mu_
+  uint64_t base_epoch_ = 0;    // newest snapshot epoch, guarded by mu_
+  bool has_snapshot_ = false;  // guarded by mu_
+  Status compaction_error_;    // guarded by mu_
+};
+
+}  // namespace rulekit::storage
+
+#endif  // RULEKIT_STORAGE_RULE_STORE_H_

@@ -1,0 +1,140 @@
+#include "src/storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/storage/codec.h"
+
+namespace rulekit::storage {
+
+namespace {
+
+// "RKSN" + format version 1.
+constexpr char kMagic[8] = {'R', 'K', 'S', 'N', 1, 0, 0, 0};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 8 + 4;  // magic, len, crc
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(StrFormat("%s: %s: %s", path.c_str(), what.c_str(),
+                                   std::strerror(errno)));
+}
+
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);  // best effort: the rename itself is already atomic
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path,
+                         const rules::PersistedState& state) {
+  Encoder enc;
+  EncodePersistedState(state, enc);
+  const std::string& payload = enc.data();
+
+  std::string header(kMagic, sizeof(kMagic));
+  uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) header.push_back(static_cast<char>(len >> (8 * i)));
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>(crc >> (8 * i)));
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create snapshot temp file", tmp);
+  Status st;
+  for (const std::string* part :
+       std::initializer_list<const std::string*>{&header, &payload}) {
+    const char* data = part->data();
+    size_t size = part->size();
+    while (st.ok() && size > 0) {
+      ssize_t n = ::write(fd, data, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        st = Errno("write failed", tmp);
+        break;
+      }
+      data += n;
+      size -= static_cast<size_t>(n);
+    }
+  }
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync failed", tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status rename_st = Errno("rename failed", path);
+    ::unlink(tmp.c_str());
+    return rename_st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<rules::PersistedState> ReadSnapshotFile(
+    const std::string& path, const rules::DictionaryRegistry* dictionaries) {
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open snapshot: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    data = std::move(buf).str();
+  }
+  if (data.size() < kHeaderBytes) {
+    return Status::IOError(
+        StrFormat("%s: truncated snapshot header (%zu bytes)", path.c_str(),
+                  data.size()));
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::IOError("not a rulekit snapshot file: " + path);
+  }
+  uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data[sizeof(kMagic) + i]))
+           << (8 * i);
+  }
+  uint32_t want_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    want_crc |= static_cast<uint32_t>(
+                    static_cast<unsigned char>(data[sizeof(kMagic) + 8 + i]))
+                << (8 * i);
+  }
+  if (data.size() - kHeaderBytes != len) {
+    return Status::IOError(
+        StrFormat("%s: snapshot payload truncated (header says %llu bytes, "
+                  "file has %zu)",
+                  path.c_str(), static_cast<unsigned long long>(len),
+                  data.size() - kHeaderBytes));
+  }
+  std::string_view payload(data.data() + kHeaderBytes, len);
+  if (Crc32(payload) != want_crc) {
+    return Status::IOError(
+        StrFormat("%s: snapshot payload corrupt (CRC mismatch over %llu "
+                  "bytes)",
+                  path.c_str(), static_cast<unsigned long long>(len)));
+  }
+  Decoder dec(payload);
+  auto state = DecodePersistedState(dec, dictionaries);
+  if (!state.ok()) {
+    return Status::IOError(StrFormat("%s: snapshot decode failed: %s",
+                                     path.c_str(),
+                                     state.status().message().c_str()));
+  }
+  return state;
+}
+
+}  // namespace rulekit::storage

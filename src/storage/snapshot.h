@@ -1,0 +1,31 @@
+#ifndef RULEKIT_STORAGE_SNAPSHOT_H_
+#define RULEKIT_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/rules/dictionary_registry.h"
+#include "src/rules/repository.h"
+
+namespace rulekit::storage {
+
+/// Writes a compacted snapshot — the full repository state: rules with
+/// metadata, the audit log, the logical clock, per-shard versions, and
+/// in-memory checkpoints — to `path` atomically: the bytes land in
+/// `path + ".tmp"`, are fsync'd, and are then renamed over `path` (with a
+/// best-effort fsync of the parent directory). A crash at any point
+/// leaves either the previous snapshot or the complete new one, never a
+/// half-written file.
+Status WriteSnapshotFile(const std::string& path,
+                         const rules::PersistedState& state);
+
+/// Reads a snapshot written by WriteSnapshotFile, verifying magic, length
+/// framing, and the payload CRC before decoding. Errors are precise
+/// enough to distinguish "not a snapshot", "truncated", and "corrupted".
+Result<rules::PersistedState> ReadSnapshotFile(
+    const std::string& path,
+    const rules::DictionaryRegistry* dictionaries = nullptr);
+
+}  // namespace rulekit::storage
+
+#endif  // RULEKIT_STORAGE_SNAPSHOT_H_

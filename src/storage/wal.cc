@@ -1,0 +1,206 @@
+#include "src/storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/storage/codec.h"
+
+namespace rulekit::storage {
+
+namespace {
+
+// "RKWL" + format version 1, little-endian padded to 8 bytes.
+constexpr char kMagic[8] = {'R', 'K', 'W', 'L', 1, 0, 0, 0};
+constexpr size_t kHeaderBytes = sizeof(kMagic);
+constexpr size_t kFrameBytes = 8;  // u32 length + u32 crc
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(
+      StrFormat("%s: %s: %s", path.c_str(), what.c_str(),
+                std::strerror(errno)));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    bytes_ = other.bytes_;
+    policy_ = other.policy_;
+    fsync_interval_commits_ = other.fsync_interval_commits_;
+    appends_since_sync_ = other.appends_since_sync_;
+    other.fd_ = -1;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          FsyncPolicy policy,
+                                          size_t fsync_interval_commits) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("cannot open WAL", path);
+
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Errno("cannot seek WAL", path);
+  }
+  WriteAheadLog wal;
+  wal.fd_ = fd;
+  wal.path_ = path;
+  wal.policy_ = policy;
+  wal.fsync_interval_commits_ =
+      fsync_interval_commits == 0 ? 1 : fsync_interval_commits;
+  if (size == 0) {
+    Status st = WriteFully(fd, kMagic, kHeaderBytes, path);
+    if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync failed", path);
+    if (!st.ok()) return st;
+    wal.bytes_ = kHeaderBytes;
+  } else {
+    wal.bytes_ = static_cast<uint64_t>(size);
+  }
+  return wal;
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL is closed: " + path_);
+  }
+  if (payload.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(len >> (8 * i)));
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(crc >> (8 * i)));
+  frame.append(payload.data(), payload.size());
+  RULEKIT_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), frame.size(), path_));
+  bytes_ += frame.size();
+  ++appends_since_sync_;
+  if (policy_ == FsyncPolicy::kEveryCommit ||
+      appends_since_sync_ >= fsync_interval_commits_) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (fd_ < 0) return Status::OK();
+  appends_since_sync_ = 0;
+  if (::fsync(fd_) != 0) return Errno("fsync failed", path_);
+  return Status::OK();
+}
+
+void WriteAheadLog::Close() {
+  if (fd_ < 0) return;
+  (void)Sync();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(std::string_view)>& fn, WalReplayStats* stats,
+    bool truncate_torn_tail) {
+  WalReplayStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = WalReplayStats{};
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open WAL for replay: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    data = std::move(buf).str();
+  }
+
+  auto torn = [&](size_t good_offset, const char* what) -> Status {
+    if (!truncate_torn_tail) {
+      return Status::IOError(
+          StrFormat("%s: torn record at offset %zu (%s) is not at the log "
+                    "tail — refusing to truncate history",
+                    path.c_str(), good_offset, what));
+    }
+    if (::truncate(path.c_str(), static_cast<off_t>(good_offset)) != 0) {
+      return Errno("cannot truncate torn tail", path);
+    }
+    stats->truncated_tail = true;
+    stats->valid_bytes = good_offset;
+    return Status::OK();
+  };
+
+  if (data.size() < kHeaderBytes) {
+    // A crash while writing the very first header: nothing was ever
+    // committed, so an empty log is the correct recovered state.
+    return torn(0, "incomplete file header");
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::IOError("not a rulekit WAL file: " + path);
+  }
+
+  size_t pos = kHeaderBytes;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameBytes) {
+      return torn(pos, "incomplete record header");
+    }
+    uint32_t len = ReadU32(data.data() + pos);
+    uint32_t want_crc = ReadU32(data.data() + pos + 4);
+    if (data.size() - pos - kFrameBytes < len) {
+      return torn(pos, "record payload extends past end of file");
+    }
+    std::string_view payload(data.data() + pos + kFrameBytes, len);
+    if (Crc32(payload) != want_crc) {
+      bool is_last = pos + kFrameBytes + len == data.size();
+      if (is_last) {
+        // The bytes of the final record exist but do not checksum: a
+        // crash mid-write persisted a partial/garbled tail. Cut it off.
+        return torn(pos, "final record failed its checksum");
+      }
+      return Status::IOError(
+          StrFormat("%s: corrupt WAL record at offset %zu (CRC mismatch, "
+                    "%u bytes) with valid records after it",
+                    path.c_str(), pos, len));
+    }
+    RULEKIT_RETURN_IF_ERROR(fn(payload));
+    ++stats->records;
+    pos += kFrameBytes + len;
+  }
+  stats->valid_bytes = pos;
+  return Status::OK();
+}
+
+}  // namespace rulekit::storage

@@ -1,0 +1,101 @@
+#ifndef RULEKIT_STORAGE_WAL_H_
+#define RULEKIT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace rulekit::storage {
+
+/// When appended records reach the disk platter. The paper's maintenance
+/// story (years of analyst edits) wants every commit durable; bulk
+/// loaders and migration jobs can trade the fsync-per-commit for a
+/// bounded window of re-doable work.
+enum class FsyncPolicy {
+  kEveryCommit,  // fsync after every Append — a committed edit survives
+                 // any crash
+  kInterval,     // fsync every `fsync_interval_commits` appends — commits
+                 // in the unsynced window may be lost (never corrupted)
+};
+
+/// What replay found in one log file.
+struct WalReplayStats {
+  size_t records = 0;        // complete, CRC-valid records delivered
+  bool truncated_tail = false;  // a torn final record was cut off
+  uint64_t valid_bytes = 0;  // file size after any truncation
+};
+
+/// An append-only record log. Framing per record:
+///
+///   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+///
+/// preceded by one 8-byte file header (magic + format version). The
+/// length field bounds the read; the CRC decides whether the bytes that
+/// arrived are the bytes that were written. A record is the unit of
+/// atomicity: recovery either replays all of it or none of it.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog() { Close(); }
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens `path` for appending, creating it (with a fresh header) if
+  /// missing. An existing file is appended to as-is; run Replay() first
+  /// if it may end in a torn record.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    FsyncPolicy policy,
+                                    size_t fsync_interval_commits = 64);
+
+  /// Appends one framed record and applies the fsync policy. The write
+  /// is a single write(2) call, so concurrent appends through one log
+  /// object must be externally serialized (DurableRuleStore holds a
+  /// mutex across Append).
+  Status Append(std::string_view payload);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// Closes the file (syncing first); further Appends fail.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads `path` and invokes `fn` with each record's payload in order.
+  ///
+  /// Recovery semantics (the §4 maintenance log must survive crashes):
+  ///  - a final record cut short by a crash — the header or payload
+  ///    extends past end-of-file, or the last complete record fails its
+  ///    CRC — is a *torn tail*: when `truncate_torn_tail` is true the
+  ///    file is truncated back to the last good record and replay
+  ///    succeeds; when false, replay fails (a torn record anywhere but
+  ///    the newest log segment means lost history).
+  ///  - a CRC mismatch on any record that is *not* the last is
+  ///    corruption, not a torn write: replay fails with the byte offset
+  ///    so the operator knows exactly what is damaged.
+  ///  - an error returned by `fn` aborts replay with that error.
+  static Status Replay(const std::string& path,
+                       const std::function<Status(std::string_view)>& fn,
+                       WalReplayStats* stats = nullptr,
+                       bool truncate_torn_tail = true);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_ = 0;
+  FsyncPolicy policy_ = FsyncPolicy::kEveryCommit;
+  size_t fsync_interval_commits_ = 64;
+  size_t appends_since_sync_ = 0;
+};
+
+}  // namespace rulekit::storage
+
+#endif  // RULEKIT_STORAGE_WAL_H_

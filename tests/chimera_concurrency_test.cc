@@ -393,7 +393,7 @@ TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
   for (auto& t : readers) t.join();
 
   // All 40 commits landed; exactly the last rule of each writer is active.
-  const auto& repo = std::as_const(pipeline).repository();
+  const auto& repo = pipeline.repository();
   for (int w = 0; w < kWriters; ++w) {
     for (int round = 0; round < kRoundsPerWriter; ++round) {
       const std::string id =

@@ -20,6 +20,7 @@
 #include "src/mining/apriori_all.h"
 #include "src/rules/dictionary_registry.h"
 #include "src/rules/rule_parser.h"
+#include "src/storage/codec.h"
 #include "src/text/aho_corasick.h"
 
 namespace rulekit {
@@ -475,6 +476,77 @@ TEST_P(SeededTest, FindAllSpansWellFormed) {
         first = false;
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage codec: encode/decode is the identity on randomized rules.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededTest, CodecRoundTripsMinedRules) {
+  data::GeneratorConfig config;
+  config.seed = GetParam() + 1200;
+  config.num_types = 8;
+  data::CatalogGenerator gen(config);
+  auto labeled = gen.GenerateMany(800);
+  gen::RuleMinerConfig miner_config;
+  miner_config.min_support = 0.05;
+  auto outcome = gen::MineRules(labeled, miner_config);
+  ASSERT_GT(outcome.selected.size(), 0u);
+
+  Rng rng(GetParam() + 1300);
+  size_t checked = 0;
+  for (const auto& mined : outcome.selected) {
+    auto rule = mined.ToRule("mined-" + std::to_string(checked));
+    ASSERT_TRUE(rule.ok());
+    // Randomized metadata so every field crosses the codec.
+    rule->metadata().author = "miner-" + std::to_string(rng.Uniform(100));
+    rule->metadata().origin = rules::RuleOrigin::kMined;
+    rule->metadata().created_at = rng.Uniform(1 << 20);
+    rule->metadata().confidence = rng.NextDouble();
+    rule->metadata().state = rng.Uniform(2) == 0 ? rules::RuleState::kActive
+                                                 : rules::RuleState::kDisabled;
+    rule->metadata().note = rng.Uniform(2) == 0 ? "" : "note\twith tab";
+
+    storage::Encoder enc;
+    storage::EncodeRule(*rule, enc);
+    storage::Decoder dec(enc.data());
+    auto decoded = storage::DecodeRule(dec);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(dec.AtEnd());
+
+    // Re-encoding the decoded rule must reproduce the exact bytes: the
+    // codec is a fixed point, so byte equality is full field equality.
+    storage::Encoder enc2;
+    storage::EncodeRule(*decoded, enc2);
+    EXPECT_EQ(enc2.data(), enc.data()) << rule->ToDsl();
+    EXPECT_EQ(decoded->ToDsl(), rule->ToDsl());
+    if (++checked >= 40) break;  // bound test cost
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(SeededTest, CodecRoundTripsParsedDsl) {
+  // Rules arriving through the text parser (the analyst path) round-trip
+  // through the binary codec with their DSL form intact.
+  auto parsed = rules::ParseRules(R"(
+whitelist w1: (diamond|gold) rings? => rings
+blacklist b1: toe rings? => rings
+attr a1: has(ISBN) => books
+attrval v1: Brand = "acme" => tools | hardware
+pred p1: title ~ "wrench(es)?" and not has(ISBN) => tools
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const auto& rule : *parsed) {
+    storage::Encoder enc;
+    storage::EncodeRule(rule, enc);
+    storage::Decoder dec(enc.data());
+    auto decoded = storage::DecodeRule(dec);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->ToDsl(), rule.ToDsl());
+    storage::Encoder enc2;
+    storage::EncodeRule(*decoded, enc2);
+    EXPECT_EQ(enc2.data(), enc.data()) << rule.ToDsl();
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "src/rules/dictionary_registry.h"
 #include "src/rules/predicate.h"
@@ -379,6 +380,56 @@ TEST(RepositoryTest, SaveLoadRoundTrip) {
   const Rule* a1 = loaded->rules().Find("a1");
   ASSERT_NE(a1, nullptr);
   EXPECT_EQ(a1->metadata().state, RuleState::kDisabled);
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryTest, AuditLogSurvivesSaveLoad) {
+  RuleRepository repo;
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "rings?", "rings"),
+                       "alice").ok());
+  ASSERT_TRUE(repo.Disable("w1", "bob", "precision\tdip").ok());
+  ASSERT_TRUE(repo.Enable("w1", "alice").ok());
+  ASSERT_TRUE(repo.SetConfidence("w1", 0.625, "carol").ok());
+  auto before = repo.HistoryOf("w1");
+  ASSERT_EQ(before.size(), 4u);
+
+  std::string path = ::testing::TempDir() + "/rulekit_audit_test.rules";
+  ASSERT_TRUE(repo.SaveToFile(path).ok());
+  auto loaded = RuleRepository::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The real history survives the reload — timestamps, authors and
+  // details included (not a synthetic "loader" add).
+  auto after = loaded->HistoryOf("w1");
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].timestamp, before[i].timestamp);
+    EXPECT_EQ(after[i].action, before[i].action);
+    EXPECT_EQ(after[i].rule_id, before[i].rule_id);
+    EXPECT_EQ(after[i].author, before[i].author);
+    EXPECT_EQ(after[i].detail, before[i].detail);  // tab was escaped
+  }
+  // The logical clock resumes past every loaded timestamp, so new edits
+  // never reuse an old timestamp.
+  EXPECT_EQ(loaded->clock(), repo.clock());
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryTest, LoadFromFileRejectsDuplicateIds) {
+  std::string path = ::testing::TempDir() + "/rulekit_dup_test.rules";
+  {
+    std::ofstream out(path);
+    out << "whitelist dup1: rings? => rings\n"
+        << "whitelist other: oils? => motor oil\n"
+        << "whitelist dup1: bands? => rings\n";
+  }
+  auto loaded = RuleRepository::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kAlreadyExists);
+  // The error pinpoints the offending file and line.
+  EXPECT_NE(loaded.status().message().find(":3: duplicate rule id: dup1"),
+            std::string::npos)
+      << loaded.status().ToString();
   std::remove(path.c_str());
 }
 

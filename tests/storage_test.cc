@@ -1,0 +1,687 @@
+// Durable rule store: binary codec round trips, WAL framing/recovery
+// semantics (torn tail vs mid-log corruption), snapshot atomicity,
+// kill-and-recover equivalence (byte-identical persisted state), and the
+// pipeline's storage_dir wiring.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chimera/pipeline.h"
+#include "src/rules/rule_parser.h"
+#include "src/storage/codec.h"
+#include "src/storage/rule_store.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/wal.h"
+
+namespace rulekit {
+namespace {
+
+namespace fs = std::filesystem;
+
+using rules::AuditAction;
+using rules::CommitRecord;
+using rules::Rule;
+using rules::RuleId;
+using rules::RuleRepository;
+using storage::Crc32;
+using storage::Decoder;
+using storage::DurableRuleStore;
+using storage::Encoder;
+using storage::FsyncPolicy;
+using storage::StoreOptions;
+using storage::WalReplayStats;
+using storage::WriteAheadLog;
+
+/// A fresh, empty scratch directory unique to the running test.
+std::string ScratchDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 (std::string("rulekit_storage_") + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// The canonical byte form of a repository's complete persisted state —
+/// equality of these strings is the "byte-identical recovery" check.
+std::string StateBytes(const RuleRepository& repo) {
+  Encoder enc;
+  storage::EncodePersistedState(repo.ExportState(), enc);
+  return enc.Release();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+void AppendFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << data;
+}
+
+// ---------------------------------------------------------------------------
+// CRC and codec primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  Encoder enc;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  ~0ull >> 1, ~0ull};
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.data());
+  for (uint64_t v : values) EXPECT_EQ(dec.Varint(), v);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, DecoderErrorsAreSticky) {
+  Encoder enc;
+  enc.PutU8(7);
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec.U8(), 7);
+  EXPECT_EQ(dec.U64(), 0u);  // short read
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.String(), "");  // still failed, still zero values
+  EXPECT_FALSE(dec.status().ok());
+}
+
+std::vector<Rule> SampleRules() {
+  std::vector<Rule> out;
+  out.push_back(*Rule::Whitelist("w1", "(motor | engine) oils?", "motor oil"));
+  out.push_back(*Rule::Blacklist("b1", "toe rings?", "rings"));
+  out.push_back(Rule::AttributeExists("a1", "ISBN", "books"));
+  out.push_back(Rule::AttributeValue("v1", "Brand", "apple",
+                                     {"phones", "laptops", "tablets"}));
+  auto pred = rules::ParsePredicate(
+      "title ~ \"gold\" and not title ~ \"plated\"");
+  out.push_back(Rule::FromPredicate("p1", std::move(pred).value(), "jewelry",
+                                    /*positive=*/false));
+  out[0].metadata().author = "analyst-7";
+  out[0].metadata().created_at = 41;
+  out[0].metadata().confidence = 0.875;
+  out[1].metadata().state = rules::RuleState::kDisabled;
+  out[1].metadata().origin = rules::RuleOrigin::kMined;
+  out[2].metadata().note = "from the \t catalog import";
+  return out;
+}
+
+TEST(CodecTest, RuleRoundTripAllKinds) {
+  for (const Rule& rule : SampleRules()) {
+    Encoder enc;
+    storage::EncodeRule(rule, enc);
+    Decoder dec(enc.data());
+    auto decoded = storage::DecodeRule(dec);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(dec.AtEnd());
+
+    EXPECT_EQ(decoded->id(), rule.id());
+    EXPECT_EQ(decoded->kind(), rule.kind());
+    EXPECT_EQ(decoded->candidate_types(), rule.candidate_types());
+    EXPECT_EQ(decoded->is_positive(), rule.is_positive());
+    EXPECT_EQ(decoded->pattern_text(), rule.pattern_text());
+    EXPECT_EQ(decoded->attribute(), rule.attribute());
+    EXPECT_EQ(decoded->attribute_value(), rule.attribute_value());
+    EXPECT_EQ(decoded->ToDsl(), rule.ToDsl());
+    EXPECT_EQ(decoded->metadata().author, rule.metadata().author);
+    EXPECT_EQ(decoded->metadata().origin, rule.metadata().origin);
+    EXPECT_EQ(decoded->metadata().created_at, rule.metadata().created_at);
+    EXPECT_EQ(decoded->metadata().confidence, rule.metadata().confidence);
+    EXPECT_EQ(decoded->metadata().state, rule.metadata().state);
+    EXPECT_EQ(decoded->metadata().note, rule.metadata().note);
+
+    // Re-encoding the decoded rule is byte-identical: the codec is a
+    // fixed point, which is what makes state comparisons meaningful.
+    Encoder enc2;
+    storage::EncodeRule(*decoded, enc2);
+    EXPECT_EQ(enc2.data(), enc.data());
+  }
+}
+
+TEST(CodecTest, RuleRejectsCorruptEnums) {
+  Encoder enc;
+  storage::EncodeRule(*Rule::Whitelist("w", "rings?", "rings"), enc);
+  std::string bytes = enc.Release();
+  bytes[0] = 99;  // kind byte
+  Decoder dec(bytes);
+  auto decoded = storage::DecodeRule(dec);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("bad kind"), std::string::npos);
+}
+
+TEST(CodecTest, CommitRecordRoundTrip) {
+  CommitRecord record;
+  record.ops.push_back({CommitRecord::OpKind::kAdd,
+                        *Rule::Whitelist("w1", "rings?", "rings"), RuleId(),
+                        0.0, 0});
+  record.ops.push_back(
+      {CommitRecord::OpKind::kDisable, std::nullopt, RuleId("w1"), 0.0, 0});
+  record.ops.push_back({CommitRecord::OpKind::kSetConfidence, std::nullopt,
+                        RuleId("w1"), 0.25, 0});
+  record.ops.push_back(
+      {CommitRecord::OpKind::kCheckpoint, std::nullopt, RuleId(), 0.0, 0});
+  record.ops.push_back({CommitRecord::OpKind::kRestoreCheckpoint,
+                        std::nullopt, RuleId(), 0.0, 4});
+  record.entries = {
+      {1, AuditAction::kAdd, RuleId("w1"), "alice", ""},
+      {2, AuditAction::kDisable, RuleId("w1"), "alice", "drift"},
+      {3, AuditAction::kSetConfidence, RuleId("w1"), "alice", "0.2500"},
+      {4, AuditAction::kCheckpoint, RuleId(), "bob", ""},
+      {5, AuditAction::kRestore, RuleId(), "bob", "version 4"},
+  };
+
+  Encoder enc;
+  storage::EncodeCommitRecord(record, enc);
+  Decoder dec(enc.data());
+  auto decoded = storage::DecodeCommitRecord(dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->ops.size(), record.ops.size());
+  ASSERT_EQ(decoded->entries.size(), record.entries.size());
+  EXPECT_EQ(decoded->ops[0].rule->id(), "w1");
+  EXPECT_EQ(decoded->ops[2].confidence, 0.25);
+  EXPECT_EQ(decoded->ops[4].checkpoint_version, 4u);
+  for (size_t i = 0; i < record.entries.size(); ++i) {
+    EXPECT_EQ(decoded->entries[i].timestamp, record.entries[i].timestamp);
+    EXPECT_EQ(decoded->entries[i].action, record.entries[i].action);
+    EXPECT_EQ(decoded->entries[i].rule_id, record.entries[i].rule_id);
+    EXPECT_EQ(decoded->entries[i].author, record.entries[i].author);
+    EXPECT_EQ(decoded->entries[i].detail, record.entries[i].detail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL: framing, torn tails, corruption.
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, AppendThenReplay) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  std::vector<std::string> payloads = {"alpha", "", "gamma gamma gamma"};
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (const auto& p : payloads) ASSERT_TRUE(wal->Append(p).ok());
+  }
+  std::vector<std::string> seen;
+  WalReplayStats stats;
+  Status st = WriteAheadLog::Replay(
+      path,
+      [&](std::string_view p) {
+        seen.emplace_back(p);
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(seen, payloads);
+  EXPECT_EQ(stats.records, payloads.size());
+  EXPECT_FALSE(stats.truncated_tail);
+}
+
+TEST(WalTest, ReopenAppendsAfterExistingRecords) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal->Append("one").ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal->Append("two").ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](std::string_view) {
+                ++count;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(WalTest, TornTailIsTruncatedNotFatal) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal->Append("good record one").ok());
+    ASSERT_TRUE(wal->Append("good record two").ok());
+  }
+  uint64_t good_size = fs::file_size(path);
+  // A crash mid-append: the frame header promises more bytes than exist.
+  AppendFile(path, std::string("\xFF\x00\x00\x00garbage", 11));
+
+  size_t count = 0;
+  WalReplayStats stats;
+  Status st = WriteAheadLog::Replay(
+      path,
+      [&](std::string_view) {
+        ++count;
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(stats.truncated_tail);
+  EXPECT_EQ(stats.valid_bytes, good_size);
+  EXPECT_EQ(fs::file_size(path), good_size);  // tail physically removed
+
+  // After truncation the log replays clean — the torn bytes are gone.
+  WalReplayStats again;
+  ASSERT_TRUE(WriteAheadLog::Replay(
+                  path, [](std::string_view) { return Status::OK(); }, &again)
+                  .ok());
+  EXPECT_FALSE(again.truncated_tail);
+  EXPECT_EQ(again.records, 2u);
+}
+
+TEST(WalTest, FinalRecordFailingCrcIsTorn) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal->Append("first").ok());
+    ASSERT_TRUE(wal->Append("second").ok());
+  }
+  // Garble the last byte of the final record's payload.
+  std::string data = ReadFile(path);
+  data.back() ^= 0x40;
+  WriteFile(path, data);
+
+  std::vector<std::string> seen;
+  WalReplayStats stats;
+  Status st = WriteAheadLog::Replay(
+      path,
+      [&](std::string_view p) {
+        seen.emplace_back(p);
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(seen, std::vector<std::string>{"first"});
+  EXPECT_TRUE(stats.truncated_tail);
+}
+
+TEST(WalTest, MidLogCorruptionIsRejectedWithOffset) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal->Append("first record payload").ok());
+    ASSERT_TRUE(wal->Append("second record payload").ok());
+  }
+  // Flip a payload byte of the FIRST record: valid history follows it,
+  // so this is damage, not a torn write — replay must refuse.
+  std::string data = ReadFile(path);
+  data[8 + 8 + 2] ^= 0x01;  // file header + frame header + 2
+  WriteFile(path, data);
+
+  Status st = WriteAheadLog::Replay(
+      path, [](std::string_view) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("corrupt WAL record at offset 8"),
+            std::string::npos)
+      << st.ToString();
+  // The file was not modified: refusing must not destroy evidence.
+  EXPECT_EQ(ReadFile(path), data);
+}
+
+TEST(WalTest, RejectsForeignFile) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  WriteFile(path, "definitely not a WAL header");
+  Status st = WriteAheadLog::Replay(
+      path, [](std::string_view) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not a rulekit WAL"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripAndCorruptionDetection) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/snapshot-1";
+
+  RuleRepository repo(4);
+  for (Rule& rule : SampleRules()) {
+    ASSERT_TRUE(repo.Add(std::move(rule), "seeder").ok());
+  }
+  auto state = repo.ExportState();
+  ASSERT_TRUE(storage::WriteSnapshotFile(path, state).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // temp file renamed away
+
+  auto loaded = storage::ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Encoder a, b;
+  storage::EncodePersistedState(state, a);
+  storage::EncodePersistedState(*loaded, b);
+  EXPECT_EQ(a.data(), b.data());
+
+  // One flipped payload byte must be caught by the CRC.
+  std::string data = ReadFile(path);
+  data[data.size() / 2] ^= 0x10;
+  WriteFile(path, data);
+  auto corrupt = storage::ReadSnapshotFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("CRC"), std::string::npos);
+
+  // A truncated snapshot reports truncation, not a decode mystery.
+  WriteFile(path, ReadFile(path).substr(0, 25));
+  auto truncated = storage::ReadSnapshotFile(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DurableRuleStore: kill-and-recover equivalence.
+// ---------------------------------------------------------------------------
+
+/// A representative mutation history: adds across shards, state edits,
+/// a failed commit (journals its applied prefix), scale-down, checkpoint
+/// and restore.
+void RunMutationHistory(RuleRepository& repo) {
+  for (Rule& rule : SampleRules()) {
+    ASSERT_TRUE(repo.Add(std::move(rule), "alice").ok());
+  }
+  ASSERT_TRUE(repo.Disable(RuleId("w1"), "bob", "precision drop").ok());
+  ASSERT_TRUE(repo.SetConfidence(RuleId("b1"), 0.375, "bob").ok());
+  uint64_t cp = repo.Checkpoint("carol");
+  ASSERT_TRUE(repo.Enable(RuleId("w1"), "bob").ok());
+  ASSERT_TRUE(repo.Retire(RuleId("a1"), "carol", "taxonomy split").ok());
+  // Multi-op transaction, one commit record.
+  ASSERT_TRUE(repo.Mutate("dave",
+                          [](rules::RuleTransaction& txn) {
+                            (void)txn.Add(*Rule::Whitelist(
+                                "w2", "necklaces?", "necklaces"));
+                            (void)txn.SetConfidence(RuleId("w2"), 0.5);
+                            return Status::OK();
+                          })
+                  .ok());
+  // Failed commit: the duplicate add aborts, but the disable that landed
+  // first stays — and must be journaled.
+  Status dup = repo.Mutate("eve", [](rules::RuleTransaction& txn) {
+    (void)txn.Disable(RuleId("v1"), "pause");
+    (void)txn.Add(*Rule::Whitelist("w2", "necklaces?", "necklaces"));
+    return Status::OK();
+  });
+  ASSERT_FALSE(dup.ok());
+  repo.DisableRulesForType("books", "ops", "scale down books");
+  ASSERT_TRUE(repo.RestoreCheckpoint(cp, "carol").ok());
+}
+
+TEST(DurableRuleStoreTest, KillAndRecoverIsByteIdentical) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    RuleRepository& repo = *(*store)->repository();
+    RunMutationHistory(repo);
+    expected = StateBytes(repo);
+    // "Kill": drop the store without any graceful shutdown beyond what
+    // the journal already guaranteed (every commit was fsynced ahead of
+    // publication under kEveryCommit).
+  }
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+  EXPECT_GT((*recovered)->recovery_stats().records_replayed, 0u);
+  EXPECT_FALSE((*recovered)->recovery_stats().from_snapshot);
+}
+
+TEST(DurableRuleStoreTest, RecoversAcrossTornTail) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+    ASSERT_TRUE(store.ok());
+    RunMutationHistory(*(*store)->repository());
+    expected = StateBytes(*(*store)->repository());
+  }
+  // Crash mid-append: half a record lands after the last good one.
+  AppendFile(dir + "/wal-0", std::string("\x60\x01\x00\x00\x11\x22", 6));
+
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->recovery_stats().truncated_tail);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+
+  // And the truncated log reopens clean a second time.
+  auto again = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)->recovery_stats().truncated_tail);
+  EXPECT_EQ(StateBytes(*(*again)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, RejectsMidLogCorruption) {
+  std::string dir = ScratchDir();
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+    ASSERT_TRUE(store.ok());
+    RunMutationHistory(*(*store)->repository());
+  }
+  // Damage an early record's payload — many valid records follow, so
+  // recovery must fail loudly rather than truncate years of history.
+  std::string path = dir + "/wal-0";
+  std::string data = ReadFile(path);
+  data[8 + 8 + 3] ^= 0x08;
+  WriteFile(path, data);
+
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("corrupt WAL record"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(DurableRuleStoreTest, CheckpointRestoreWorksAfterRecovery) {
+  std::string dir = ScratchDir();
+  uint64_t cp = 0;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+    ASSERT_TRUE(store.ok());
+    RuleRepository& repo = *(*store)->repository();
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "rings?", "rings"), "a").ok());
+    cp = repo.Checkpoint("a");
+    ASSERT_TRUE(repo.Disable(RuleId("w1"), "a", "pause").ok());
+  }
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RuleRepository& repo = *(*recovered)->repository();
+  EXPECT_FALSE(repo.rules().Find("w1")->is_active());
+  // The checkpoint was journaled, so restoring it works post-crash.
+  ASSERT_TRUE(repo.RestoreCheckpoint(cp, "a").ok());
+  EXPECT_TRUE(repo.rules().Find("w1")->is_active());
+}
+
+TEST(DurableRuleStoreTest, CompactionSnapshotsAndPrunes) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    // A tiny threshold so compaction fires repeatedly mid-history.
+    StoreOptions opts{.shard_count = 4, .compact_wal_bytes = 512};
+    auto store = DurableRuleStore::Open(dir, opts);
+    ASSERT_TRUE(store.ok());
+    RuleRepository& repo = *(*store)->repository();
+    for (int i = 0; i < 40; ++i) {
+      std::string id = "bulk-" + std::to_string(i);
+      ASSERT_TRUE(
+          repo.Add(*Rule::Whitelist(id, "tok" + std::to_string(i),
+                                    "type-" + std::to_string(i % 7)),
+                   "loader")
+              .ok());
+    }
+    ASSERT_TRUE((*store)->last_compaction_error().ok())
+        << (*store)->last_compaction_error().ToString();
+    EXPECT_GT((*store)->epoch(), 0u);
+    expected = StateBytes(repo);
+  }
+  // Only a bounded set of files remains: two snapshot generations and
+  // the WAL chain from the older one forward.
+  size_t snapshots = 0, wals = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0) ++snapshots;
+    if (name.rfind("wal-", 0) == 0) ++wals;
+  }
+  EXPECT_LE(snapshots, 2u);
+  EXPECT_GE(snapshots, 1u);
+
+  auto recovered = DurableRuleStore::Open(
+      dir, StoreOptions{.shard_count = 4, .compact_wal_bytes = 512});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->recovery_stats().from_snapshot);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, ExplicitCompactionPreservesState) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+    ASSERT_TRUE(store.ok());
+    RunMutationHistory(*(*store)->repository());
+    expected = StateBytes(*(*store)->repository());
+    ASSERT_TRUE((*store)->Compact().ok());
+    EXPECT_EQ((*store)->epoch(), 1u);
+    // Post-compaction commits land in the fresh epoch.
+    ASSERT_TRUE((*store)
+                    ->repository()
+                    ->Add(*Rule::Whitelist("post", "after?", "misc"), "z")
+                    .ok());
+    expected = StateBytes(*(*store)->repository());
+  }
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 4});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE((*recovered)->recovery_stats().from_snapshot);
+  EXPECT_EQ((*recovered)->recovery_stats().snapshot_epoch, 1u);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, FallsBackToPreviousSnapshotGeneration) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+    ASSERT_TRUE(store.ok());
+    RuleRepository& repo = *(*store)->repository();
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "one", "t1"), "a").ok());
+    ASSERT_TRUE((*store)->Compact().ok());  // snapshot-1
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w2", "two", "t2"), "a").ok());
+    ASSERT_TRUE((*store)->Compact().ok());  // snapshot-2
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w3", "three", "t3"), "a").ok());
+    expected = StateBytes(repo);
+  }
+  // The newest snapshot rots; the previous generation + its WAL chain
+  // must still recover the exact same state.
+  std::string newest = dir + "/snapshot-2";
+  std::string data = ReadFile(newest);
+  data[data.size() - 3] ^= 0x01;
+  WriteFile(newest, data);
+
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->recovery_stats().snapshot_epoch, 1u);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, IntervalFsyncPolicyStillRecoversOnCleanClose) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    StoreOptions opts{.shard_count = 2,
+                      .fsync_policy = FsyncPolicy::kInterval,
+                      .fsync_interval_commits = 16};
+    auto store = DurableRuleStore::Open(dir, opts);
+    ASSERT_TRUE(store.ok());
+    RunMutationHistory(*(*store)->repository());
+    ASSERT_TRUE((*store)->Sync().ok());
+    expected = StateBytes(*(*store)->repository());
+  }
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline wiring.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineStorageTest, StorageDirSurvivesPipelineRestart) {
+  std::string dir = ScratchDir();
+  {
+    chimera::PipelineConfig config;
+    config.use_learning = false;
+    config.storage_dir = dir;
+    chimera::ChimeraPipeline pipeline(config);
+    ASSERT_TRUE(pipeline.storage_status().ok())
+        << pipeline.storage_status().ToString();
+    ASSERT_NE(pipeline.storage(), nullptr);
+    auto parsed = rules::ParseRules(
+        "whitelist rings1: rings? => rings\n"
+        "whitelist oil1: (motor | engine) oils? => motor oil\n");
+    ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "analyst").ok());
+    ASSERT_TRUE(pipeline
+                    .Mutate("analyst",
+                            [](rules::RuleTransaction& txn) {
+                              return txn.Disable(RuleId("oil1"), "pause");
+                            })
+                    .ok());
+  }
+  chimera::PipelineConfig config;
+  config.use_learning = false;
+  config.storage_dir = dir;
+  chimera::ChimeraPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.storage_status().ok());
+
+  // Recovered rules serve immediately...
+  data::ProductItem item;
+  item.title = "diamond ring";
+  auto result = pipeline.Classify(item);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, "rings");
+  // ...the disable stuck...
+  EXPECT_FALSE(pipeline.repository().rules().Find("oil1")->is_active());
+  // ...and so did the audit history.
+  auto history = pipeline.repository().HistoryOf("oil1");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[1].action, AuditAction::kDisable);
+  EXPECT_EQ(history[1].detail, "pause");
+}
+
+TEST(PipelineStorageTest, OpenFailureFallsBackToInMemory) {
+  std::string dir = ScratchDir();
+  // A plain file where the store directory should be.
+  std::string blocker = dir + "/not-a-dir";
+  WriteFile(blocker, "occupied");
+  chimera::PipelineConfig config;
+  config.use_learning = false;
+  config.storage_dir = blocker;
+  chimera::ChimeraPipeline pipeline(config);
+  EXPECT_FALSE(pipeline.storage_status().ok());
+  EXPECT_EQ(pipeline.storage(), nullptr);
+  // Still a functioning (in-memory) pipeline.
+  auto parsed = rules::ParseRules("whitelist r: rings? => rings");
+  EXPECT_TRUE(pipeline.AddRules(std::move(parsed).value(), "a").ok());
+}
+
+}  // namespace
+}  // namespace rulekit
