@@ -107,11 +107,11 @@ int main() {
   if (monitor.DegradationAlarm()) {
     // First responder: scale down every type misbehaving on this batch.
     auto per_class = ml::PerClass(obs);
-    uint64_t checkpoint = pipeline.Checkpoint("oncall");
+    uint64_t checkpoint = *pipeline.Checkpoint("oncall");
     std::vector<std::string> scaled;
     for (const auto& [type, metrics] : per_class) {
       if (metrics.predicted_count >= 20 && metrics.precision() < 0.9) {
-        pipeline.ScaleDownType(type, "oncall", "odd vendor incident");
+        (void)pipeline.ScaleDownType(type, "oncall", "odd vendor incident");
         scaled.push_back(type);
       }
     }

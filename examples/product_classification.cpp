@@ -78,9 +78,9 @@ int main() {
               odd_result.accepted ? "yes" : "NO");
 
   // Scale down the worst-hit type, then restore after the incident.
-  uint64_t checkpoint = pipeline.Checkpoint("oncall");
+  uint64_t checkpoint = *pipeline.Checkpoint("oncall");
   const std::string& victim = gen.specs()[0].name;
-  pipeline.ScaleDownType(victim, "oncall", "odd vendor vocabulary");
+  (void)pipeline.ScaleDownType(victim, "oncall", "odd vendor vocabulary");
   std::printf("\nscaled down '%s': active rules now %zu\n", victim.c_str(),
               pipeline.rule_set().CountActive());
   (void)pipeline.RestoreCheckpoint(checkpoint, "oncall");

@@ -45,15 +45,25 @@ IncidentReport FirstResponder::Triage(
   }
 
   incident.incident = true;
-  incident.checkpoint = pipeline_.Checkpoint("first-responder");
+  auto checkpoint = pipeline_.Checkpoint("first-responder");
+  if (!checkpoint.ok()) {
+    // The checkpoint could not be journaled, so no restorable
+    // pre-intervention state exists. Scaling down anyway would strand
+    // the rules in the disabled state; report the incident and leave
+    // them alone (checkpoint stays 0 — Resolve has nothing to undo).
+    return incident;
+  }
+  incident.checkpoint = *checkpoint;
   for (const auto& [type, counts] : per_type) {
     const auto& [yes, total] = counts;
     if (total < config_.min_type_verdicts) continue;
     double precision = static_cast<double>(yes) /
                        static_cast<double>(total);
     if (precision < config_.type_precision_floor) {
-      pipeline_.ScaleDownType(type, "first-responder",
-                              "triage: sampled precision below floor");
+      // A journal failure here still scales the type down in memory
+      // (emergency lever); record it so Resolve lifts the suppression.
+      (void)pipeline_.ScaleDownType(type, "first-responder",
+                                    "triage: sampled precision below floor");
       incident.scaled_down_types.push_back(type);
     }
   }
@@ -62,6 +72,9 @@ IncidentReport FirstResponder::Triage(
 
 Status FirstResponder::Resolve(const IncidentReport& incident) {
   if (!incident.incident) return Status::OK();
+  // checkpoint == 0: Triage raised the incident but could not take a
+  // restorable checkpoint, so it intervened in nothing — no restore due.
+  if (incident.checkpoint == 0) return Status::OK();
   // RestoreCheckpoint republishes every shard; ScaleUpType recomposes the
   // suppression set — no manual rebuild needed.
   RULEKIT_RETURN_IF_ERROR(

@@ -28,7 +28,10 @@ struct FirstResponderConfig {
 struct IncidentReport {
   bool incident = false;
   crowd::PrecisionEstimate batch_precision;
-  uint64_t checkpoint = 0;  // valid when incident
+  /// Pre-intervention restore handle. 0 when no incident was raised —
+  /// or when the checkpoint could not be journaled, in which case no
+  /// intervention was attempted either.
+  uint64_t checkpoint = 0;
   std::vector<std::string> scaled_down_types;
   size_t crowd_questions = 0;
 };

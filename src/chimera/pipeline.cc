@@ -151,7 +151,7 @@ Status ChimeraPipeline::Mutate(
   return status;
 }
 
-uint64_t ChimeraPipeline::Checkpoint(std::string_view author) {
+Result<uint64_t> ChimeraPipeline::Checkpoint(std::string_view author) {
   return repo_->Checkpoint(author);
 }
 
@@ -204,17 +204,23 @@ void ChimeraPipeline::RetrainLearning() {
   ComposeAndSwapLocked();
 }
 
-void ChimeraPipeline::ScaleDownType(const std::string& type,
-                                    std::string_view author,
-                                    std::string_view reason) {
+Status ChimeraPipeline::ScaleDownType(const std::string& type,
+                                      std::string_view author,
+                                      std::string_view reason) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     suppressed_.insert(type);
   }
-  std::vector<rules::RuleId> disabled =
-      repo_->DisableRulesForType(type, author, reason);
+  auto disabled = repo_->DisableRulesForType(type, author, reason);
+  if (!disabled.ok()) {
+    // The disables applied and bumped their shards but (some) could not
+    // be journaled; the touched set is unknown, so republish everything
+    // and surface the durability failure to the operator.
+    RepublishAll();
+    return disabled.status();
+  }
   std::vector<rules::ShardKey> touched;
-  for (const rules::RuleId& id : disabled) {
+  for (const rules::RuleId& id : *disabled) {
     auto shard = repo_->ShardOfRule(id);
     if (!shard.ok()) continue;
     if (std::find(touched.begin(), touched.end(), *shard) == touched.end()) {
@@ -222,6 +228,7 @@ void ChimeraPipeline::ScaleDownType(const std::string& type,
     }
   }
   RepublishShards(touched);  // composes the suppression in even if empty
+  return Status::OK();
 }
 
 void ChimeraPipeline::ScaleUpType(const std::string& type) {

@@ -174,8 +174,9 @@ class ChimeraPipeline {
                 const std::function<Status(rules::RuleTransaction&)>& fn);
 
   /// Checkpoints all rule states (see RuleRepository::Checkpoint); no
-  /// republish needed since rules are unchanged.
-  uint64_t Checkpoint(std::string_view author);
+  /// republish needed since rules are unchanged. Fails — with no
+  /// checkpoint registered — when the durable journal rejects the append.
+  Result<uint64_t> Checkpoint(std::string_view author);
 
   /// Restores a checkpoint and republishes every shard.
   Status RestoreCheckpoint(uint64_t version, std::string_view author);
@@ -217,9 +218,11 @@ class ChimeraPipeline {
   // ---- scale down / up (§2.2 requirement 3) -------------------------------
 
   /// Suppresses all predictions of one type (and disables its rules),
-  /// republishing only the shards that hosted them.
-  void ScaleDownType(const std::string& type, std::string_view author,
-                     std::string_view reason);
+  /// republishing only the shards that hosted them. A non-OK status means
+  /// the scale-down took effect in memory but could not be journaled
+  /// (the suppression and disables are still live and published).
+  Status ScaleDownType(const std::string& type, std::string_view author,
+                       std::string_view reason);
 
   /// Lifts a suppression (rules must be re-enabled via a transaction or a
   /// checkpoint restore).

@@ -305,8 +305,11 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
     if (!result.ok()) break;  // applied prefix stays; see header contract
   }
 
-  // Journal before publication: once a shard's version bumps, readers can
-  // observe the new state, so it must already be recoverable.
+  // Journal before publication: when the append succeeds, readers never
+  // observe state recovery could not rebuild. When it fails, the applied
+  // ops still publish below — they cannot be rolled back — and the error
+  // is surfaced to the caller, whose in-memory state is then ahead of
+  // the durable log until journaling recovers (see CommitJournal).
   if (journal_ && !record.ops.empty()) {
     Status jst = journal_(record);
     if (result.ok() && !jst.ok()) result = jst;
@@ -365,9 +368,10 @@ Status RuleRepository::SetConfidence(const RuleId& id, double confidence,
   return txn.Commit();
 }
 
-std::vector<RuleId> RuleRepository::DisableRulesForType(
+Result<std::vector<RuleId>> RuleRepository::DisableRulesForType(
     std::string_view type, std::string_view author, std::string_view reason) {
   std::vector<RuleId> disabled;
+  Status journal_status;
   // One shard at a time: attribute-value rules can carry `type` anywhere
   // in their candidate list, so every shard must be scanned, but shards
   // not hosting such rules are locked only briefly and never bumped.
@@ -387,11 +391,19 @@ std::vector<RuleId> RuleRepository::DisableRulesForType(
       }
     }
     if (!record.ops.empty()) {
-      if (journal_) (void)journal_(record);  // best effort on scale-down
+      // Scale-down is an emergency lever: a journal failure must not stop
+      // the remaining shards from being disabled, but it is surfaced
+      // below — same semantics as CommitTransaction (applied state
+      // publishes, the caller learns recovery cannot reproduce it).
+      if (journal_) {
+        Status jst = journal_(record);
+        if (journal_status.ok() && !jst.ok()) journal_status = jst;
+      }
       shard.version.fetch_add(1, std::memory_order_release);
       shard.published.reset();
     }
   }
+  if (!journal_status.ok()) return journal_status;
   return disabled;
 }
 
@@ -470,7 +482,7 @@ uint64_t RuleRepository::clock() const {
 
 // ---- checkpoints -----------------------------------------------------------
 
-uint64_t RuleRepository::Checkpoint(std::string_view author) {
+Result<uint64_t> RuleRepository::Checkpoint(std::string_view author) {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mu);
@@ -482,15 +494,19 @@ uint64_t RuleRepository::Checkpoint(std::string_view author) {
     }
   }
   uint64_t version = Log(AuditAction::kCheckpoint, RuleId(), author, "");
-  checkpoints_[version] = std::move(snap);
   if (journal_) {
     CommitRecord record;
     record.ops.push_back(
         {CommitRecord::OpKind::kCheckpoint, std::nullopt, RuleId(), 0.0, 0});
     record.entries.push_back({version, AuditAction::kCheckpoint, RuleId(),
                               std::string(author), ""});
-    (void)journal_(record);  // replay recomputes the same states
+    // Journal before registering: an unjournaled checkpoint must not be
+    // restorable, or a later journaled kRestoreCheckpoint could reference
+    // a version Replay() has never seen and abort recovery outright. The
+    // audit entry stays, like a failed commit's applied prefix.
+    RULEKIT_RETURN_IF_ERROR(journal_(record));
   }
+  checkpoints_[version] = std::move(snap);
   return version;
 }
 

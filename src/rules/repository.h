@@ -259,10 +259,13 @@ class RuleRepository {
   /// attribute-value rules can carry a type anywhere in their candidate
   /// list); returns the ids disabled. This is the scale-down lever:
   /// "Chimera's predictions regarding clothes need to be temporarily
-  /// disabled".
-  std::vector<RuleId> DisableRulesForType(std::string_view type,
-                                          std::string_view author,
-                                          std::string_view reason);
+  /// disabled". If the journal rejects an append the error is returned
+  /// instead of the ids — the disables still applied and published
+  /// (scale-down is an emergency action), but the caller learns that
+  /// recovery cannot reproduce them.
+  Result<std::vector<RuleId>> DisableRulesForType(std::string_view type,
+                                                  std::string_view author,
+                                                  std::string_view reason);
 
   // ---- snapshots ---------------------------------------------------------
 
@@ -287,8 +290,12 @@ class RuleRepository {
   std::shared_ptr<const RuleSet> snapshot() const;
 
   /// Records the current state (+confidence) of every rule across all
-  /// shards; returns a version handle.
-  uint64_t Checkpoint(std::string_view author);
+  /// shards; returns a version handle. When a journal is installed the
+  /// checkpoint is appended before it is registered: if the append fails
+  /// the error is returned and the checkpoint does not exist — otherwise
+  /// a later journaled restore could reference a checkpoint recovery has
+  /// never heard of, turning one dropped record into a replay failure.
+  Result<uint64_t> Checkpoint(std::string_view author);
 
   /// Restores every rule present in the checkpoint to its recorded state;
   /// rules added after the checkpoint are disabled. Touches (and bumps)

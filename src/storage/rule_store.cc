@@ -201,13 +201,35 @@ Status DurableRuleStore::Compact() {
 }
 
 Status DurableRuleStore::CompactLocked() {
+  RULEKIT_RETURN_IF_ERROR(wal_.Sync());
+  wal_.Close();
+  Status st = CompactClosedLocked();
+  if (!st.ok() && !wal_.is_open()) {
+    // The failure left no live log (auto-compaction runs inside OnCommit,
+    // so a closed WAL would fail every later commit's append while the
+    // in-memory repository keeps applying and publishing). Reopen the old
+    // epoch's log so one transient error — ENOSPC, say — costs only this
+    // compaction, not all journaling until restart.
+    auto reopened =
+        WriteAheadLog::Open(WalPath(epoch_), options_.fsync_policy,
+                            options_.fsync_interval_commits);
+    if (reopened.ok()) {
+      wal_ = std::move(reopened).value();
+    } else {
+      st = Status::IOError(StrFormat(
+          "%s; additionally failed to reopen WAL epoch %llu: %s",
+          st.message().c_str(), static_cast<unsigned long long>(epoch_),
+          reopened.status().message().c_str()));
+    }
+  }
+  return st;
+}
+
+Status DurableRuleStore::CompactClosedLocked() {
   // Offline scratch replay: the hook that calls this runs under the live
   // repository's shard locks, so rebuilding state from the closed files
   // (rather than ExportState() on repo_) is not just cleaner — it is the
   // only deadlock-free option.
-  RULEKIT_RETURN_IF_ERROR(wal_.Sync());
-  wal_.Close();
-
   rules::RuleRepository scratch(options_.shard_count);
   if (has_snapshot_) {
     auto state =
@@ -228,9 +250,18 @@ Status DurableRuleStore::CompactLocked() {
   RULEKIT_RETURN_IF_ERROR(
       WriteSnapshotFile(SnapshotPath(next), scratch.ExportState()));
 
-  RULEKIT_ASSIGN_OR_RETURN(
-      wal_, WriteAheadLog::Open(WalPath(next), options_.fsync_policy,
-                                options_.fsync_interval_commits));
+  auto fresh = WriteAheadLog::Open(WalPath(next), options_.fsync_policy,
+                                   options_.fsync_interval_commits);
+  if (!fresh.ok()) {
+    // The new snapshot landed but its log could not be opened. Later
+    // commits will go to the reopened old-epoch log, which recovery
+    // would skip if it seeded from snapshot-<next> — so take the new
+    // snapshot back out before failing.
+    std::error_code ec;
+    fs::remove(SnapshotPath(next), ec);
+    return fresh.status();
+  }
+  wal_ = std::move(fresh).value();
   uint64_t previous_base = has_snapshot_ ? base_epoch_ : 0;
   epoch_ = next;
   base_epoch_ = next;

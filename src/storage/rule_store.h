@@ -105,8 +105,13 @@ class DurableRuleStore {
 
   /// Snapshot + rotate. Caller holds mu_. Never touches repo_ (the
   /// journal hook runs under its shard locks): the snapshot state is
-  /// rebuilt offline from the base snapshot plus the closed logs.
+  /// rebuilt offline from the base snapshot plus the closed logs. On
+  /// failure the old epoch's WAL is reopened so journaling continues.
   Status CompactLocked();
+
+  /// The body of CompactLocked, entered with wal_ synced and closed.
+  /// May return with wal_ closed; CompactLocked handles reopening.
+  Status CompactClosedLocked();
 
   std::string SnapshotPath(uint64_t epoch) const;
   std::string WalPath(uint64_t epoch) const;

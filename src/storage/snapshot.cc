@@ -101,6 +101,14 @@ Result<rules::PersistedState> ReadSnapshotFile(
   if (std::memcmp(data.data(), kMagic, 4) != 0) {
     return Status::IOError("not a rulekit snapshot file: " + path);
   }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(StrFormat(
+        "%s: unsupported snapshot format version %u (this build reads "
+        "version %u)",
+        path.c_str(),
+        static_cast<unsigned>(static_cast<unsigned char>(data[4])),
+        static_cast<unsigned>(kMagic[4])));
+  }
   uint64_t len = 0;
   for (int i = 0; i < 8; ++i) {
     len |= static_cast<uint64_t>(

@@ -171,6 +171,14 @@ Status WriteAheadLog::Replay(
   if (std::memcmp(data.data(), kMagic, 4) != 0) {
     return Status::IOError("not a rulekit WAL file: " + path);
   }
+  if (std::memcmp(data.data(), kMagic, kHeaderBytes) != 0) {
+    return Status::IOError(StrFormat(
+        "%s: unsupported WAL format version %u (this build reads "
+        "version %u)",
+        path.c_str(),
+        static_cast<unsigned>(static_cast<unsigned char>(data[4])),
+        static_cast<unsigned>(kMagic[4])));
+  }
 
   size_t pos = kHeaderBytes;
   while (pos < data.size()) {

@@ -264,8 +264,9 @@ TEST(PipelineTest, ScaleDownSuppressesType) {
   ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
   ASSERT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
 
-  uint64_t version = pipeline.Checkpoint("oncall");
-  pipeline.ScaleDownType("rings", "oncall", "bad vendor batch");
+  uint64_t version = *pipeline.Checkpoint("oncall");
+  ASSERT_TRUE(pipeline.ScaleDownType("rings", "oncall",
+                                     "bad vendor batch").ok());
   EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value());
   EXPECT_EQ(pipeline.rule_set().CountActive(), 0u);
 

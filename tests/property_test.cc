@@ -296,7 +296,7 @@ TEST_P(SeededTest, CheckpointRestoreFaithful) {
     expected[rule.id()] = {rule.metadata().state,
                            rule.metadata().confidence};
   }
-  uint64_t version = repo.Checkpoint("fuzz");
+  uint64_t version = *repo.Checkpoint("fuzz");
   for (int i = 0; i < 20; ++i) mutate();
   ASSERT_TRUE(repo.RestoreCheckpoint(version, "fuzz").ok());
   for (const auto& rule : repo.rules().rules()) {

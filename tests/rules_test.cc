@@ -335,7 +335,8 @@ TEST(RepositoryTest, DisableRulesForTypeScalesDown) {
   ASSERT_TRUE(repo.Add(*Rule::Whitelist("w3", "rings?", "rings"), "a").ok());
   auto disabled = repo.DisableRulesForType("winter coats", "oncall",
                                            "bad vendor batch");
-  EXPECT_EQ(disabled.size(), 2u);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(disabled->size(), 2u);
   EXPECT_EQ(repo.rules().CountActive(), 1u);
 }
 
@@ -343,7 +344,7 @@ TEST(RepositoryTest, CheckpointRestore) {
   RuleRepository repo;
   ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "a", "t"), "a").ok());
   ASSERT_TRUE(repo.Add(*Rule::Whitelist("w2", "b", "t"), "a").ok());
-  uint64_t version = repo.Checkpoint("oncall");
+  uint64_t version = *repo.Checkpoint("oncall");
 
   // Scale down, patch with a new rule...
   ASSERT_TRUE(repo.Disable("w1", "oncall", "incident").ok());

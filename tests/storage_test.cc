@@ -351,6 +351,27 @@ TEST(WalTest, RejectsForeignFile) {
   EXPECT_NE(st.message().find("not a rulekit WAL"), std::string::npos);
 }
 
+TEST(WalTest, RejectsUnsupportedFormatVersion) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/wal-0";
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("payload").ok());
+  }
+  // A future format must be refused with a version error, not parsed
+  // with v1 framing.
+  std::string data = ReadFile(path);
+  data[4] = 2;
+  WriteFile(path, data);
+  Status st = WriteAheadLog::Replay(
+      path, [](std::string_view) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unsupported WAL format version"),
+            std::string::npos)
+      << st.ToString();
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot files.
 // ---------------------------------------------------------------------------
@@ -390,6 +411,24 @@ TEST(SnapshotTest, RoundTripAndCorruptionDetection) {
             std::string::npos);
 }
 
+TEST(SnapshotTest, RejectsUnsupportedFormatVersion) {
+  std::string dir = ScratchDir();
+  std::string path = dir + "/snapshot-1";
+  RuleRepository repo;
+  ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "rings?", "rings"), "a").ok());
+  ASSERT_TRUE(storage::WriteSnapshotFile(path, repo.ExportState()).ok());
+
+  std::string data = ReadFile(path);
+  data[4] = 2;  // bump the format-version byte
+  WriteFile(path, data);
+  auto loaded = storage::ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(
+      loaded.status().message().find("unsupported snapshot format version"),
+      std::string::npos)
+      << loaded.status().ToString();
+}
+
 // ---------------------------------------------------------------------------
 // DurableRuleStore: kill-and-recover equivalence.
 // ---------------------------------------------------------------------------
@@ -403,7 +442,9 @@ void RunMutationHistory(RuleRepository& repo) {
   }
   ASSERT_TRUE(repo.Disable(RuleId("w1"), "bob", "precision drop").ok());
   ASSERT_TRUE(repo.SetConfidence(RuleId("b1"), 0.375, "bob").ok());
-  uint64_t cp = repo.Checkpoint("carol");
+  auto cp_result = repo.Checkpoint("carol");
+  ASSERT_TRUE(cp_result.ok());
+  uint64_t cp = *cp_result;
   ASSERT_TRUE(repo.Enable(RuleId("w1"), "bob").ok());
   ASSERT_TRUE(repo.Retire(RuleId("a1"), "carol", "taxonomy split").ok());
   // Multi-op transaction, one commit record.
@@ -423,7 +464,8 @@ void RunMutationHistory(RuleRepository& repo) {
     return Status::OK();
   });
   ASSERT_FALSE(dup.ok());
-  repo.DisableRulesForType("books", "ops", "scale down books");
+  ASSERT_TRUE(repo.DisableRulesForType("books", "ops",
+                                       "scale down books").ok());
   ASSERT_TRUE(repo.RestoreCheckpoint(cp, "carol").ok());
 }
 
@@ -500,7 +542,9 @@ TEST(DurableRuleStoreTest, CheckpointRestoreWorksAfterRecovery) {
     ASSERT_TRUE(store.ok());
     RuleRepository& repo = *(*store)->repository();
     ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "rings?", "rings"), "a").ok());
-    cp = repo.Checkpoint("a");
+    auto cp_result = repo.Checkpoint("a");
+    ASSERT_TRUE(cp_result.ok());
+    cp = *cp_result;
     ASSERT_TRUE(repo.Disable(RuleId("w1"), "a", "pause").ok());
   }
   auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
@@ -573,6 +617,58 @@ TEST(DurableRuleStoreTest, ExplicitCompactionPreservesState) {
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_TRUE((*recovered)->recovery_stats().from_snapshot);
   EXPECT_EQ((*recovered)->recovery_stats().snapshot_epoch, 1u);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, FailedCompactionKeepsJournaling) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    auto store = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+    ASSERT_TRUE(store.ok());
+    RuleRepository& repo = *(*store)->repository();
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w1", "one", "t1"), "a").ok());
+    // Sabotage the snapshot write: a directory squats on the temp path.
+    fs::create_directories(dir + "/snapshot-1.tmp");
+    ASSERT_FALSE((*store)->Compact().ok());
+    EXPECT_EQ((*store)->epoch(), 0u);
+    // The failed compaction must reopen the epoch-0 log: later commits
+    // keep journaling (one transient error must not sever durability).
+    ASSERT_TRUE(repo.Add(*Rule::Whitelist("w2", "two", "t2"), "a").ok());
+    expected = StateBytes(repo);
+  }
+  // Recovery ignores the leftover sabotage directory and replays both
+  // commits — including the one made after the failed compaction.
+  auto recovered = DurableRuleStore::Open(dir, StoreOptions{.shard_count = 2});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->recovery_stats().records_replayed, 2u);
+  EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
+}
+
+TEST(DurableRuleStoreTest, FailedAutoCompactionDoesNotFailCommits) {
+  std::string dir = ScratchDir();
+  std::string expected;
+  {
+    // Tiny threshold: compaction triggers (and fails) inside OnCommit.
+    StoreOptions opts{.shard_count = 2, .compact_wal_bytes = 256};
+    auto store = DurableRuleStore::Open(dir, opts);
+    ASSERT_TRUE(store.ok());
+    RuleRepository& repo = *(*store)->repository();
+    fs::create_directories(dir + "/snapshot-1.tmp");
+    for (int i = 0; i < 12; ++i) {
+      std::string id = "bulk-" + std::to_string(i);
+      ASSERT_TRUE(repo.Add(*Rule::Whitelist(id, "tok" + std::to_string(i),
+                                            "type-" + std::to_string(i % 3)),
+                           "loader")
+                      .ok());
+    }
+    EXPECT_FALSE((*store)->last_compaction_error().ok());
+    EXPECT_EQ((*store)->epoch(), 0u);
+    expected = StateBytes(repo);
+  }
+  auto recovered = DurableRuleStore::Open(
+      dir, StoreOptions{.shard_count = 2, .compact_wal_bytes = 256});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_EQ(StateBytes(*(*recovered)->repository()), expected);
 }
 
