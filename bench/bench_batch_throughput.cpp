@@ -1,14 +1,18 @@
 // Snapshot-isolated serving core: end-to-end ProcessBatch throughput.
 // Measures (a) items/sec of the parallel batch path at 1/2/4/8 worker
 // threads, (b) the pre-refactor sequential baseline (a per-item Classify
-// loop over the same snapshot), and (c) batch latency while a writer
+// loop over the same snapshot), (c) batch latency while a writer
 // thread concurrently publishes rule updates — demonstrating that
-// AddRules/ScaleDownType never block in-flight classification.
+// AddRules/ScaleDownType never block in-flight classification — and
+// (d) the hot-title result cache on a Zipf-skewed repeated-title replay
+// (real catalog feeds re-send their head titles constantly), emitting
+// BENCH_hot_cache.json with throughput and cache counters.
 // (google-benchmark binary; JSON via --benchmark_format=json.)
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +20,8 @@
 
 #include "src/chimera/analyst.h"
 #include "src/chimera/pipeline.h"
+#include "src/common/random.h"
+#include "src/common/stopwatch.h"
 #include "src/data/catalog_generator.h"
 
 namespace {
@@ -53,11 +59,17 @@ Fixture& GetFixture() {
 }
 
 std::unique_ptr<chimera::ChimeraPipeline> BuildPipeline(
-    size_t batch_threads, bool with_learning = true) {
+    size_t batch_threads, bool with_learning = true,
+    bool with_cache = false) {
   Fixture& f = GetFixture();
   chimera::PipelineConfig config;
   config.batch_threads = batch_threads;
   config.use_learning = with_learning;
+  if (with_cache) {
+    config.hot_cache.enabled = true;
+    config.hot_cache.capacity = 1 << 16;
+    config.hot_cache.admit_after = 2;
+  }
   auto pipeline = std::make_unique<chimera::ChimeraPipeline>(config);
   for (const auto& rules : f.per_type_rules) {
     (void)pipeline->AddRules(rules, "bench");
@@ -167,7 +179,154 @@ void BM_ProcessBatchWithConcurrentUpdates(benchmark::State& state) {
       static_cast<double>(versions_seen);
 }
 
+// The hot-cache steady state: the same batch replayed, so after the
+// warm-up iteration nearly every gate-passed item is a cache hit. Arg 0
+// toggles the cache (0 = off baseline, 1 = on).
+void BM_ProcessBatchRepeatedTitles(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  auto pipeline = BuildPipeline(/*batch_threads=*/0, /*with_learning=*/true,
+                                /*with_cache=*/state.range(0) != 0);
+  // Two warm-up passes: the first feeds the admission sketch, the second
+  // clears admit_after=2 and actually populates the cache.
+  (void)pipeline->ProcessBatch(f.items);
+  (void)pipeline->ProcessBatch(f.items);
+  for (auto _ : state) {
+    chimera::BatchReport report = pipeline->ProcessBatch(f.items);
+    benchmark::DoNotOptimize(report.classified);
+  }
+  state.counters["items/s"] = benchmark::Counter(
+      static_cast<double>(f.items.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  if (pipeline->hot_cache() != nullptr) {
+    auto counters = pipeline->hot_cache()->TotalCounters();
+    state.counters["hit_rate"] =
+        counters.lookups == 0
+            ? 0.0
+            : static_cast<double>(counters.hits) / counters.lookups;
+  }
+}
+
+// ---- Zipf-skewed repeated-title replay (BENCH_hot_cache.json) ----------
+//
+// Streams kBatches batches whose titles are drawn Zipf(s) from the 10k
+// fixture pool — the head of the distribution repeats across batches,
+// like re-sent items from large merchants. The identical stream runs
+// through a cache-off and a cache-on pipeline; predictions must be
+// byte-identical, and the cache-on run should clear 2x throughput once
+// the hot head is admitted.
+struct ReplayResult {
+  double seconds = 0.0;
+  size_t classified = 0;
+  engine::HotCacheCounters counters;
+  std::vector<std::optional<std::string>> predictions;
+};
+
+ReplayResult RunReplay(chimera::ChimeraPipeline& pipeline,
+                       const std::vector<std::vector<data::ProductItem>>&
+                           batches) {
+  ReplayResult result;
+  Stopwatch timer;
+  for (const auto& batch : batches) {
+    chimera::BatchReport report = pipeline.ProcessBatch(batch);
+    result.classified += report.classified;
+    result.predictions.insert(result.predictions.end(),
+                              report.predictions.begin(),
+                              report.predictions.end());
+  }
+  result.seconds = timer.ElapsedSeconds();
+  if (pipeline.hot_cache() != nullptr) {
+    result.counters = pipeline.hot_cache()->TotalCounters();
+  }
+  return result;
+}
+
+void RunHotCacheReplay() {
+  Fixture& f = GetFixture();
+  constexpr size_t kBatches = 6;
+  constexpr size_t kBatchSize = 10000;
+  constexpr double kZipfS = 1.2;
+
+  Rng rng(777);
+  std::vector<std::vector<data::ProductItem>> batches(kBatches);
+  std::vector<bool> seen(f.items.size(), false);
+  size_t unique_titles = 0;
+  for (auto& batch : batches) {
+    batch.reserve(kBatchSize);
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      size_t idx = static_cast<size_t>(rng.Zipf(f.items.size(), kZipfS));
+      if (!seen[idx]) {
+        seen[idx] = true;
+        ++unique_titles;
+      }
+      batch.push_back(f.items[idx]);
+    }
+  }
+  const size_t stream_size = kBatches * kBatchSize;
+  const double repeat_fraction =
+      1.0 - static_cast<double>(unique_titles) / stream_size;
+
+  auto off = BuildPipeline(0, true, false);
+  auto on = BuildPipeline(0, true, true);
+  ReplayResult off_result = RunReplay(*off, batches);
+  ReplayResult on_result = RunReplay(*on, batches);
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < off_result.predictions.size(); ++i) {
+    if (off_result.predictions[i] != on_result.predictions[i]) ++mismatches;
+  }
+  const double off_rate = stream_size / off_result.seconds;
+  const double on_rate = stream_size / on_result.seconds;
+  const double speedup = off_result.seconds / on_result.seconds;
+  const auto& c = on_result.counters;
+  const double hit_rate =
+      c.lookups == 0 ? 0.0 : static_cast<double>(c.hits) / c.lookups;
+
+  std::printf("\nZipf replay (s=%.2f, %zu batches x %zu items, "
+              "%.0f%% repeated titles):\n",
+              kZipfS, kBatches, kBatchSize, 100.0 * repeat_fraction);
+  std::printf("  cache off: %10.0f items/s\n", off_rate);
+  std::printf("  cache on:  %10.0f items/s  (%.2fx, hit rate %.2f)\n",
+              on_rate, speedup, hit_rate);
+  std::printf("  counters: hits=%llu misses=%llu stale_drops=%llu "
+              "promotions=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(c.hits),
+              static_cast<unsigned long long>(c.misses),
+              static_cast<unsigned long long>(c.stale_drops),
+              static_cast<unsigned long long>(c.promotions),
+              static_cast<unsigned long long>(c.evictions));
+  std::printf("  prediction mismatches (cache on vs off): %zu\n",
+              mismatches);
+
+  std::ofstream json("BENCH_hot_cache.json");
+  json << "{\n"
+       << "  \"benchmark\": \"bench_batch_throughput/hot_cache_replay\",\n"
+       << "  \"zipf_s\": " << kZipfS << ",\n"
+       << "  \"batches\": " << kBatches << ",\n"
+       << "  \"batch_size\": " << kBatchSize << ",\n"
+       << "  \"stream_size\": " << stream_size << ",\n"
+       << "  \"unique_titles\": " << unique_titles << ",\n"
+       << "  \"repeat_fraction\": " << repeat_fraction << ",\n"
+       << "  \"cache_off_items_per_s\": " << off_rate << ",\n"
+       << "  \"cache_on_items_per_s\": " << on_rate << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"hit_rate\": " << hit_rate << ",\n"
+       << "  \"hits\": " << c.hits << ",\n"
+       << "  \"misses\": " << c.misses << ",\n"
+       << "  \"stale_drops\": " << c.stale_drops << ",\n"
+       << "  \"promotions\": " << c.promotions << ",\n"
+       << "  \"evictions\": " << c.evictions << ",\n"
+       << "  \"classified_off\": " << off_result.classified << ",\n"
+       << "  \"classified_on\": " << on_result.classified << ",\n"
+       << "  \"prediction_mismatches\": " << mismatches << "\n"
+       << "}\n";
+  std::printf("  wrote BENCH_hot_cache.json\n\n");
+}
+
 BENCHMARK(BM_PerItemClassifyBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProcessBatchRepeatedTitles)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProcessBatch)
     ->Arg(0)
     ->Arg(1)
@@ -201,5 +360,6 @@ int main(int argc, char** argv) {
   std::printf("=========================================================\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  RunHotCacheReplay();
   return 0;
 }

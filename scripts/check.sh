@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command verification gauntlet: configure, build, and ctest the
+# plain tree, the ASan+UBSan tree, and the TSan tree.
+#
+#   scripts/check.sh                 # all three trees
+#   scripts/check.sh plain           # just one (plain | asan | tsan)
+#   CHECK_JOBS=4 scripts/check.sh    # override parallelism
+#
+# Build dirs: build/ (plain), build-asan/, build-tsan/ — the same trees
+# the README documents, so incremental rebuilds stay warm.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_tree() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [${name}] configure ${dir} ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+want="${1:-all}"
+case "${want}" in
+  all)
+    run_tree plain build
+    run_tree asan build-asan -DRULEKIT_SANITIZE=address
+    run_tree tsan build-tsan -DRULEKIT_SANITIZE=thread
+    ;;
+  plain) run_tree plain build ;;
+  asan)  run_tree asan build-asan -DRULEKIT_SANITIZE=address ;;
+  tsan)  run_tree tsan build-tsan -DRULEKIT_SANITIZE=thread ;;
+  *)
+    echo "usage: $0 [all|plain|asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all requested trees passed ==="

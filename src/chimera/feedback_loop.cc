@@ -44,6 +44,7 @@ FeedbackLoopResult FeedbackLoop::RunBatch(
       if (report.predictions[i].has_value()) classified_idx.push_back(i);
     }
     std::vector<size_t> flagged;  // crowd says the prediction is wrong
+    std::vector<std::pair<std::string, std::string>> confirmed;
     size_t sample_positives = 0, sample_size = 0;
     {
       auto sample = rng_.SampleWithoutReplacement(
@@ -56,11 +57,16 @@ FeedbackLoopResult FeedbackLoop::RunBatch(
         ++sample_size;
         if (verdict) {
           ++sample_positives;
+          confirmed.emplace_back(batch[i].item.title,
+                                 *report.predictions[i]);
         } else {
           flagged.push_back(i);
         }
       }
     }
+    // Crowd-confirmed pairs become Gate Keeper memo entries: one memo
+    // clone for the whole batch, and re-sent titles skip the classifiers.
+    pipeline_.MemoizeAll(confirmed);
     trace.sampled_precision =
         crowd::WilsonEstimate(sample_positives, sample_size);
     trace.crowd_questions = crowd_.num_tasks() - questions_before;

@@ -24,6 +24,7 @@ IncidentReport FirstResponder::Triage(
 
   size_t positives = 0;
   std::map<std::string, std::pair<size_t, size_t>> per_type;  // yes, total
+  std::vector<std::pair<std::string, std::string>> confirmed;
   for (size_t si : sample) {
     size_t i = classified[si];
     const std::string& predicted = *report.predictions[i];
@@ -33,8 +34,11 @@ IncidentReport FirstResponder::Triage(
     if (verdict) {
       ++yes;
       ++positives;
+      confirmed.emplace_back(batch[i].item.title, predicted);
     }
   }
+  // One memo publish for every crowd-confirmed pair in the sample.
+  pipeline_.MemoizeAll(confirmed);
   incident.batch_precision = crowd::WilsonEstimate(positives, sample.size());
   incident.crowd_questions = crowd_.num_tasks() - questions_before;
 

@@ -4,16 +4,22 @@
 
 namespace rulekit::chimera {
 
-GateDecision GateKeeper::DecideWith(const GateMemo& memo,
-                                    const data::ProductItem& item) {
+GateDecision GateKeeper::DecideLowered(const GateMemo& memo,
+                                       const data::ProductItem& item,
+                                       const std::string& lowered_title) {
   if (Trim(item.title).empty()) {
     return {GateDecision::Kind::kRejected, ""};
   }
-  auto it = memo.find(ToLowerAscii(item.title));
+  auto it = memo.find(lowered_title);
   if (it != memo.end()) {
     return {GateDecision::Kind::kClassified, it->second};
   }
   return {GateDecision::Kind::kPass, ""};
+}
+
+GateDecision GateKeeper::DecideWith(const GateMemo& memo,
+                                    const data::ProductItem& item) {
+  return DecideLowered(memo, item, ToLowerAscii(item.title));
 }
 
 GateDecision GateKeeper::Decide(const data::ProductItem& item) const {
@@ -21,9 +27,18 @@ GateDecision GateKeeper::Decide(const data::ProductItem& item) const {
 }
 
 void GateKeeper::Memoize(const std::string& title, const std::string& type) {
+  const std::pair<std::string, std::string> one[] = {{title, type}};
+  MemoizeAll(one);
+}
+
+void GateKeeper::MemoizeAll(
+    std::span<const std::pair<std::string, std::string>> pairs) {
+  if (pairs.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto next = std::make_shared<GateMemo>(*memo_);
-  (*next)[ToLowerAscii(title)] = type;
+  for (const auto& [title, type] : pairs) {
+    (*next)[ToLowerAscii(title)] = type;
+  }
   memo_ = std::move(next);
 }
 

@@ -4,8 +4,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/data/product.h"
 
@@ -33,8 +35,8 @@ using GateMemo = std::unordered_map<std::string, std::string>;
 /// whose exact title was already confirmed earlier (a memo of curated
 /// results), which is how re-sent catalog items bypass the classifiers.
 ///
-/// Thread-safe: the memo is copy-on-write. Memoize (the writer path)
-/// copies the current memo, inserts, and atomically publishes the new
+/// Thread-safe: the memo is copy-on-write. Memoize/MemoizeAll (the writer
+/// paths) copy the current memo, insert, and atomically publish the new
 /// version; Decide and snapshot() read whatever version is current.
 /// Batch readers acquire one snapshot per batch so every item in a batch
 /// sees the same memo.
@@ -49,9 +51,22 @@ class GateKeeper {
   static GateDecision DecideWith(const GateMemo& memo,
                                  const data::ProductItem& item);
 
+  /// DecideWith when the caller already lowercased the title (the batch
+  /// path computes it once and reuses it for the hot-result cache key).
+  /// `lowered_title` must be ToLowerAscii(item.title).
+  static GateDecision DecideLowered(const GateMemo& memo,
+                                    const data::ProductItem& item,
+                                    const std::string& lowered_title);
+
   /// Records a confirmed (title -> type) pair for future short-circuiting.
   /// Publishes a fresh memo version; in-flight readers keep the old one.
   void Memoize(const std::string& title, const std::string& type);
+
+  /// Batched Memoize: clones the memo once for the whole span instead of
+  /// once per pair, then publishes one new version. The bulk feedback
+  /// paths (crowd-confirmed batches) go through here — memoizing n pairs
+  /// costs one copy of the memo, not n.
+  void MemoizeAll(std::span<const std::pair<std::string, std::string>> pairs);
 
   /// The current immutable memo version.
   std::shared_ptr<const GateMemo> snapshot() const;

@@ -6,6 +6,23 @@ void QualityMonitor::Record(const BatchQuality& quality) {
   history_.push_back(quality);
 }
 
+void QualityMonitor::RecordCache(const CacheActivity& activity) {
+  cache_history_.push_back(activity);
+}
+
+double QualityMonitor::CacheHitRate(size_t window) const {
+  size_t begin = 0;
+  if (window != 0 && window < cache_history_.size()) {
+    begin = cache_history_.size() - window;
+  }
+  size_t lookups = 0, hits = 0;
+  for (size_t i = begin; i < cache_history_.size(); ++i) {
+    lookups += cache_history_[i].lookups;
+    hits += cache_history_[i].hits;
+  }
+  return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+}
+
 bool QualityMonitor::DegradationAlarm() const {
   if (history_.empty()) return false;
   return history_.back().precision.estimate < threshold_;

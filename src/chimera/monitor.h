@@ -17,6 +17,18 @@ struct BatchQuality {
   double coverage = 0.0;   // classified / batch size
 };
 
+/// One batch's hot-result-cache activity (from BatchReport counters).
+/// lookups = hits + misses; stale_drops are the subset of misses caused
+/// by a version-tag mismatch (an invalidation observed on read).
+struct CacheActivity {
+  size_t batch_index = 0;
+  size_t lookups = 0;
+  size_t hits = 0;
+  size_t stale_drops = 0;
+  size_t promotions = 0;
+  size_t evictions = 0;
+};
+
 /// Tracks batch-level precision and raises a degradation alarm when the
 /// estimate falls below the business threshold (§2.2 requirement 3:
 /// "detect such quality problems quickly").
@@ -27,7 +39,18 @@ class QualityMonitor {
 
   void Record(const BatchQuality& quality);
 
+  /// Folds one batch's cache counters into the cache history.
+  void RecordCache(const CacheActivity& activity);
+
   const std::vector<BatchQuality>& history() const { return history_; }
+
+  const std::vector<CacheActivity>& cache_history() const {
+    return cache_history_;
+  }
+
+  /// Hit rate over the last `window` recorded batches (all of them when
+  /// window == 0). 0.0 when no lookups were recorded.
+  double CacheHitRate(size_t window = 0) const;
 
   /// True if the most recent batch's precision point estimate is below
   /// threshold.
@@ -42,6 +65,7 @@ class QualityMonitor {
  private:
   double threshold_;
   std::vector<BatchQuality> history_;
+  std::vector<CacheActivity> cache_history_;
 };
 
 }  // namespace rulekit::chimera

@@ -1,12 +1,19 @@
 #include "src/chimera/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "src/common/hash.h"
+#include "src/common/string_util.h"
 
 namespace rulekit::chimera {
 
 ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
     : config_(std::move(config)) {
   const size_t shards = config_.rule_shards == 0 ? 1 : config_.rule_shards;
+  if (config_.hot_cache.enabled && config_.hot_cache.capacity > 0) {
+    hot_cache_ = std::make_unique<engine::HotResultCache>(config_.hot_cache);
+  }
   if (!config_.storage_dir.empty()) {
     storage::StoreOptions opts = config_.storage;
     opts.shard_count = shards;
@@ -94,7 +101,12 @@ void ChimeraPipeline::ComposeAndSwapLocked() {
     attr_shards.push_back(serving->attr_classifier);
     filter_shards.push_back(serving->filter);
     snap->composite_rule_version += serving->rule_version;
+    // Order-sensitive: shard index is implicit in iteration order, so
+    // distinct per-shard version vectors get distinct fingerprints.
+    snap->rule_state_fingerprint =
+        HashCombine(snap->rule_state_fingerprint, serving->rule_version);
   }
+  snap->semantic_generation = semantic_gen_;
   snap->rule_classifier = std::make_shared<engine::ShardedRuleClassifier>(
       std::move(rule_shards));
   snap->attr_classifier = std::make_shared<engine::ShardedAttrValueClassifier>(
@@ -201,6 +213,7 @@ void ChimeraPipeline::RetrainLearning() {
 
   std::lock_guard<std::mutex> lock(state_mu_);
   ensemble_ = std::move(ensemble);
+  ++semantic_gen_;  // new ensemble => cached voting winners are stale
   ComposeAndSwapLocked();
 }
 
@@ -210,6 +223,9 @@ Status ChimeraPipeline::ScaleDownType(const std::string& type,
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     suppressed_.insert(type);
+    // Even a scale-down that disables no rules (so no shard version
+    // moves) must invalidate cached winners of the suppressed type.
+    ++semantic_gen_;
   }
   auto disabled = repo_->DisableRulesForType(type, author, reason);
   if (!disabled.ok()) {
@@ -234,6 +250,7 @@ Status ChimeraPipeline::ScaleDownType(const std::string& type,
 void ChimeraPipeline::ScaleUpType(const std::string& type) {
   std::lock_guard<std::mutex> lock(state_mu_);
   suppressed_.erase(type);
+  ++semantic_gen_;
   ComposeAndSwapLocked();
 }
 
@@ -242,20 +259,36 @@ void ChimeraPipeline::Memoize(const std::string& title,
   gate_.Memoize(title, type);
 }
 
+void ChimeraPipeline::MemoizeAll(
+    std::span<const std::pair<std::string, std::string>> pairs) {
+  gate_.MemoizeAll(pairs);
+}
+
 std::optional<std::string> ChimeraPipeline::Classify(
     const data::ProductItem& item) const {
   auto snap = CurrentSnapshot();
   auto memo = gate_.snapshot();
-  GateDecision gate = GateKeeper::DecideWith(*memo, item);
+  std::string lowered = ToLowerAscii(item.title);
+  GateDecision gate = GateKeeper::DecideLowered(*memo, item, lowered);
   if (gate.kind == GateDecision::Kind::kRejected) return std::nullopt;
   if (gate.kind == GateDecision::Kind::kClassified) {
     if (snap->suppressed.count(gate.type)) return std::nullopt;
     return gate.type;
   }
+  const engine::VersionTag tag = snap->result_tag();
+  if (hot_cache_ != nullptr) {
+    engine::CacheLookup cached = hot_cache_->Lookup(lowered, tag);
+    if (cached.hit) return std::move(cached.type);
+  }
   auto vote = snap->voting->Vote(item);
   if (!vote.has_value()) return std::nullopt;
   if (snap->suppressed.count(vote->label)) return std::nullopt;
   if (!snap->filter->Admit(item, vote->label)) return std::nullopt;
+  // Only a confident, unsuppressed, filter-admitted winner is offered to
+  // the cache — declines and vetoes always re-run the stack.
+  if (hot_cache_ != nullptr) {
+    (void)hot_cache_->Record(lowered, vote->label, tag);
+  }
   return vote->label;
 }
 
@@ -283,41 +316,80 @@ BatchReport ChimeraPipeline::ProcessBatch(
   auto snap = CurrentSnapshot();
   auto memo = gate_.snapshot();
   ThreadPool* pool = pool_.get();
+  engine::HotResultCache* cache = hot_cache_.get();
+  const engine::VersionTag tag = snap->result_tag();
 
   BatchReport report;
   report.total = items.size();
   report.predictions.assign(items.size(), std::nullopt);
   if (items.empty()) return report;  // ClassifiedFraction() guards total==0
 
-  // ---- Stage 1: gate decisions (sharded; writes are index-disjoint) ------
-  enum : uint8_t { kPass = 0, kRejected, kGateClassified, kGateSuppressed };
+  // ---- Stage 1: gate decisions + hot-cache probes (sharded) --------------
+  // The lowered title is computed once per item and reused as the cache
+  // key (and later, for classified winners, as the Record key). Cache
+  // lookups happen only for items the gate passed; a hit is a voting
+  // winner from an earlier batch under the *same* version tag, so it is
+  // served exactly as stage 4 would have served it.
+  enum : uint8_t {
+    kPass = 0, kRejected, kGateClassified, kGateSuppressed, kCacheHit
+  };
   std::vector<uint8_t> gate_outcome(items.size(), kPass);
+  std::vector<std::string> lowered(items.size());
+  std::atomic<size_t> cache_hits{0}, cache_misses{0}, cache_stale{0};
   RunChunked(pool, items.size(), [&](size_t begin, size_t end) {
+    size_t hits = 0, misses = 0, stale = 0;
     for (size_t i = begin; i < end; ++i) {
-      GateDecision d = GateKeeper::DecideWith(*memo, items[i]);
+      std::string low = ToLowerAscii(items[i].title);
+      GateDecision d = GateKeeper::DecideLowered(*memo, items[i], low);
       if (d.kind == GateDecision::Kind::kRejected) {
         gate_outcome[i] = kRejected;
-      } else if (d.kind == GateDecision::Kind::kClassified) {
+        continue;
+      }
+      if (d.kind == GateDecision::Kind::kClassified) {
         if (snap->suppressed.count(d.type)) {
           gate_outcome[i] = kGateSuppressed;
         } else {
           gate_outcome[i] = kGateClassified;
           report.predictions[i] = std::move(d.type);
         }
+        continue;
       }
+      if (cache != nullptr) {
+        engine::CacheLookup cached = cache->Lookup(low, tag);
+        if (cached.hit) {
+          gate_outcome[i] = kCacheHit;
+          report.predictions[i] = std::move(cached.type);
+          ++hits;
+          continue;
+        }
+        ++misses;
+        if (cached.stale_dropped) ++stale;
+      }
+      lowered[i] = std::move(low);
+    }
+    if (cache != nullptr) {
+      cache_hits.fetch_add(hits, std::memory_order_relaxed);
+      cache_misses.fetch_add(misses, std::memory_order_relaxed);
+      cache_stale.fetch_add(stale, std::memory_order_relaxed);
     }
   });
+  report.cache_hits = cache_hits.load();
+  report.cache_misses = cache_misses.load();
+  report.cache_stale_drops = cache_stale.load();
 
   std::vector<size_t> pass_idx;
   std::vector<const data::ProductItem*> pass_ptrs;
+  std::vector<std::string> pass_lowered;
   for (size_t i = 0; i < items.size(); ++i) {
     switch (gate_outcome[i]) {
       case kRejected: ++report.gate_rejected; break;
       case kGateClassified: ++report.gate_classified; break;
       case kGateSuppressed: ++report.suppressed; break;
+      case kCacheHit: ++report.classified; break;
       default:
         pass_idx.push_back(i);
         pass_ptrs.push_back(&items[i]);
+        if (cache != nullptr) pass_lowered.push_back(std::move(lowered[i]));
         break;
     }
   }
@@ -350,6 +422,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
   // total==0 guard).
   struct Partial {
     size_t declined = 0, suppressed = 0, filtered = 0, classified = 0;
+    size_t promotions = 0, evictions = 0;
   };
   const size_t n_pass = pass_ptrs.size();
   const size_t chunks =
@@ -373,6 +446,14 @@ BatchReport ChimeraPipeline::ProcessBatch(
       }
       ++p.classified;
       report.predictions[pass_idx[j]] = label;
+      // Offer the confident winner to the cache. Every stage-1 lookup
+      // already completed (stage barriers), so records never change what
+      // this batch serves — only future batches.
+      if (cache != nullptr) {
+        engine::CacheRecord rec = cache->Record(pass_lowered[j], label, tag);
+        p.promotions += rec.admitted;
+        p.evictions += rec.evicted;
+      }
     }
   };
   if (pool == nullptr) {
@@ -394,6 +475,8 @@ BatchReport ChimeraPipeline::ProcessBatch(
     report.suppressed += p.suppressed;
     report.filtered += p.filtered;
     report.classified += p.classified;
+    report.cache_promotions += p.promotions;
+    report.cache_evictions += p.evictions;
   }
   return report;
 }

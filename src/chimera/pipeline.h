@@ -13,6 +13,7 @@
 #include "src/chimera/voting.h"
 #include "src/common/thread_pool.h"
 #include "src/data/product.h"
+#include "src/engine/hot_cache.h"
 #include "src/engine/rule_classifier.h"
 #include "src/engine/sharded_classifier.h"
 #include "src/ml/ensemble.h"
@@ -58,6 +59,15 @@ struct PipelineConfig {
   /// Storage tuning (fsync policy, compaction threshold, dictionaries).
   /// `storage.shard_count` is ignored: `rule_shards` governs.
   storage::StoreOptions storage;
+  /// Hot-title result cache: automatic cross-batch memoization of
+  /// confident voting winners (admitted after `hot_cache.admit_after`
+  /// sightings, striped LRU eviction, version-tag invalidation — see
+  /// DESIGN.md §6). Off by default, like `batch_threads`: enabling it
+  /// serves repeats of a hot title from the cached winner, so items that
+  /// share a title but differ in attributes collapse to one result
+  /// (exactly the Gate Keeper memo semantics). First-sight output is
+  /// byte-identical with the cache on or off.
+  engine::HotCacheConfig hot_cache;
 };
 
 /// Where each item of a batch ended up.
@@ -65,10 +75,22 @@ struct BatchReport {
   size_t total = 0;
   size_t gate_classified = 0;  // classified by the Gate Keeper memo
   size_t gate_rejected = 0;    // unprocessable -> manual queue
-  size_t classified = 0;       // classified by voting (net of filtering)
+  size_t classified = 0;       // classified by voting (net of filtering),
+                               // including repeats served from the hot
+                               // result cache (see cache_hits)
   size_t filtered = 0;         // voting winner vetoed by the Filter
   size_t suppressed = 0;       // type currently scaled down
   size_t declined = 0;         // low confidence -> manual queue
+
+  // Hot-result-cache activity for this batch (all zero when the cache is
+  // disabled). cache_hits is a subset of `classified`; a stale drop also
+  // counts as a miss (the item then runs the full stack).
+  size_t cache_hits = 0;        // repeats served from the cache
+  size_t cache_misses = 0;      // looked up, not served (incl. stale drops)
+  size_t cache_stale_drops = 0; // entries invalidated on read (tag mismatch)
+  size_t cache_promotions = 0;  // winners admitted into the cache
+  size_t cache_evictions = 0;   // entries evicted to admit new winners
+
   /// Final prediction per item (nullopt = unclassified).
   std::vector<std::optional<std::string>> predictions;
 
@@ -121,6 +143,24 @@ struct PipelineSnapshot {
   /// Sum of the pinned shard rule versions (the repository's composite
   /// version this snapshot serves).
   uint64_t composite_rule_version = 0;
+  /// Order-sensitive hash of every shard's pinned rule version. Unlike
+  /// the sum above, two different shard-version vectors cannot (in
+  /// practice) fingerprint alike — concurrent writers to disjoint shards
+  /// can publish {A=2,B=1} and {A=1,B=2}, which sum identically but must
+  /// not validate each other's cache entries.
+  uint64_t rule_state_fingerprint = 0;
+  /// Generation of the non-rule serving inputs: bumps on every ensemble
+  /// install (RetrainLearning) and every suppressed-type edit
+  /// (ScaleDownType / ScaleUpType), which change classification without
+  /// necessarily committing a rule mutation.
+  uint64_t semantic_generation = 0;
+
+  /// The tag hot-result-cache entries computed against this snapshot are
+  /// stored (and validated) under: any rule commit, retrain, or
+  /// suppression edit changes it, so stale entries drop on read.
+  engine::VersionTag result_tag() const {
+    return {rule_state_fingerprint, semantic_generation};
+  }
 };
 
 /// The Chimera system (Figure 2): Gate Keeper -> {rule-based,
@@ -239,7 +279,19 @@ class ChimeraPipeline {
   /// start after the call.
   void Memoize(const std::string& title, const std::string& type);
 
+  /// Bulk Memoize: one memo clone + one publish for the whole span (the
+  /// feedback-loop / first-responder confirmation paths).
+  void MemoizeAll(
+      std::span<const std::pair<std::string, std::string>> pairs);
+
   GateKeeper& gate_keeper() { return gate_; }
+
+  // ---- hot result cache --------------------------------------------------
+
+  /// The automatic hot-title result cache; null when
+  /// `config.hot_cache.enabled` is false. Counters aggregate across
+  /// batches (per-batch numbers live in BatchReport).
+  engine::HotResultCache* hot_cache() const { return hot_cache_.get(); }
 
   // ---- classification ----------------------------------------------------
 
@@ -277,6 +329,10 @@ class ChimeraPipeline {
   Status storage_status_;
   std::shared_ptr<rules::RuleRepository> repo_;
   GateKeeper gate_;
+  /// Null when disabled. Internally synchronized (striped mutexes);
+  /// entries self-invalidate against the snapshot tag, so no writer path
+  /// ever touches it.
+  std::unique_ptr<engine::HotResultCache> hot_cache_;
 
   /// Guards the writer-side composition state below (NOT the repository —
   /// shard mutations serialize inside RuleRepository per shard).
@@ -286,6 +342,9 @@ class ChimeraPipeline {
   std::vector<data::LabeledItem> training_data_;
   std::shared_ptr<ml::EnsembleClassifier> ensemble_;  // null until trained
   uint64_t version_ = 0;
+  /// Bumped (under state_mu_) on every suppression edit and ensemble
+  /// install; composed into the snapshot's semantic_generation.
+  uint64_t semantic_gen_ = 0;
 
   /// The published snapshot; guarded by snapshot_mu_ (pointer swap only).
   mutable std::mutex snapshot_mu_;

@@ -1,0 +1,85 @@
+#ifndef RULEKIT_COMMON_FREQUENCY_SKETCH_H_
+#define RULEKIT_COMMON_FREQUENCY_SKETCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace rulekit {
+
+/// Compact approximate frequency counter (count-min sketch with periodic
+/// aging, the TinyLFU admission idea). The hot-result cache asks it "how
+/// often has this key been seen lately?" to decide whether a title has
+/// earned a cache slot, without storing the keys themselves.
+///
+/// Counters saturate at 255 and are halved every `width * 8` increments,
+/// so the estimate tracks recent popularity rather than all-time counts.
+/// Estimates can only over-count (hash collisions), never under-count
+/// relative to the aged true frequency — exactly the safe direction for
+/// an admission policy. Not thread-safe; callers stripe and lock.
+class FrequencySketch {
+ public:
+  /// `capacity_hint` is the number of distinct hot keys the caller cares
+  /// about (the owning cache stripe's capacity); the sketch sizes itself
+  /// ~4x wider to keep collision noise low.
+  explicit FrequencySketch(size_t capacity_hint) {
+    size_t width = 64;
+    while (width < capacity_hint * 4) width <<= 1;
+    mask_ = width - 1;
+    table_.assign(width * kDepth, 0);
+    sample_period_ = width * 8;
+  }
+
+  /// Bumps the frequency of `hash` and returns the new estimate.
+  uint32_t IncrementAndEstimate(uint64_t hash) {
+    if (++ops_ >= sample_period_) Age();
+    uint32_t estimate = 255;
+    for (size_t d = 0; d < kDepth; ++d) {
+      uint8_t& counter = table_[d * (mask_ + 1) + Index(hash, d)];
+      if (counter < 255) ++counter;
+      estimate = std::min<uint32_t>(estimate, counter);
+    }
+    return estimate;
+  }
+
+  /// Read-only estimate (no increment, no aging tick).
+  uint32_t Estimate(uint64_t hash) const {
+    uint32_t estimate = 255;
+    for (size_t d = 0; d < kDepth; ++d) {
+      estimate = std::min<uint32_t>(
+          estimate, table_[d * (mask_ + 1) + Index(hash, d)]);
+    }
+    return estimate;
+  }
+
+  void Clear() {
+    std::fill(table_.begin(), table_.end(), 0);
+    ops_ = 0;
+  }
+
+ private:
+  static constexpr size_t kDepth = 4;
+
+  size_t Index(uint64_t hash, size_t depth) const {
+    // Derive kDepth independent row hashes from the one key hash.
+    return static_cast<size_t>(Mix64(hash + depth * 0x9e3779b97f4a7c15ULL)) &
+           mask_;
+  }
+
+  void Age() {
+    for (uint8_t& counter : table_) counter = static_cast<uint8_t>(counter >> 1);
+    ops_ = 0;
+  }
+
+  std::vector<uint8_t> table_;  // kDepth rows of (mask_ + 1) counters
+  size_t mask_ = 0;
+  size_t ops_ = 0;
+  size_t sample_period_ = 0;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_FREQUENCY_SKETCH_H_

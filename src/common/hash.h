@@ -1,0 +1,45 @@
+#ifndef RULEKIT_COMMON_HASH_H_
+#define RULEKIT_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rulekit {
+
+/// 64-bit finalizer (splitmix64). Turns a weakly-mixed value into one
+/// whose low bits are usable as a table index; also the base step for
+/// deriving several independent hashes from one (seed ^ Mix64 chains).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over the bytes, finalized through Mix64. Deterministic across
+/// runs and platforms (unlike std::hash), which version fingerprints and
+/// the hot-cache stripe/sketch partitioning rely on.
+inline uint64_t HashBytes(std::string_view bytes,
+                          uint64_t seed = 1469598103934665603ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+/// Order-sensitive combination of a running hash with the next value.
+/// HashCombine(HashCombine(0, a), b) differs from the (b, a) order, so a
+/// sequence of per-shard versions fingerprints to a value that (unlike a
+/// sum) cannot collide between different version vectors in practice.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_HASH_H_

@@ -33,12 +33,15 @@ ExecutionResult RuleExecutor::Execute(
   Stopwatch timer;
   auto run_range = [&](size_t begin, size_t end) {
     size_t local_evals = 0, local_matches = 0;
+    // One scratch + candidate vector per worker: the indexed path reuses
+    // their capacity across every item in the range.
+    RuleIndex::Scratch scratch;
     std::vector<size_t> candidates;
     for (size_t i = begin; i < end; ++i) {
       const data::ProductItem& item = *items[i];
       auto& out = result.matches_per_item[i];
       if (options_.use_index) {
-        candidates = index_.Candidates(item.title);
+        index_.Candidates(item.title, scratch, candidates);
       }
       const std::vector<size_t>& to_try =
           options_.use_index ? candidates : active_regex_rules_;

@@ -1,0 +1,165 @@
+#include "src/engine/hot_cache.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace rulekit::engine {
+
+size_t HotResultCache::KeyHash::operator()(std::string_view key) const {
+  return static_cast<size_t>(HashBytes(key));
+}
+
+HotResultCache::HotResultCache(HotCacheConfig config)
+    : config_(config) {
+  size_t stripes = 1;
+  while (stripes < std::max<size_t>(config_.stripes, 1)) stripes <<= 1;
+  stripe_mask_ = stripes - 1;
+  const size_t capacity = std::max<size_t>(config_.capacity, 1);
+  stripe_capacity_ = (capacity + stripes - 1) / stripes;
+  protected_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(stripe_capacity_) *
+                             std::clamp(config_.protected_fraction, 0.0,
+                                        1.0)));
+  if (protected_capacity_ >= stripe_capacity_ && stripe_capacity_ > 1) {
+    protected_capacity_ = stripe_capacity_ - 1;  // keep probation non-empty
+  }
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(stripe_capacity_));
+  }
+}
+
+CacheLookup HotResultCache::Lookup(std::string_view key,
+                                   const VersionTag& tag) {
+  const uint64_t hash = HashBytes(key);
+  Stripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ++stripe.counters.lookups;
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    ++stripe.counters.misses;
+    return {};
+  }
+  Entry& entry = it->second;
+  if (!(entry.tag == tag)) {
+    // Drop on read: the world moved under this entry (rule edit, retrain,
+    // or suppression change since it was recorded). The full stack will
+    // recompute and re-record under the current tag.
+    (entry.in_protected ? stripe.protected_ : stripe.probation)
+        .erase(entry.pos);
+    stripe.map.erase(it);
+    ++stripe.counters.stale_drops;
+    ++stripe.counters.misses;
+    CacheLookup result;
+    result.stale_dropped = true;
+    return result;
+  }
+  Touch(stripe, entry);
+  ++stripe.counters.hits;
+  CacheLookup result;
+  result.hit = true;
+  result.type = entry.type;
+  return result;
+}
+
+CacheRecord HotResultCache::Record(std::string_view key,
+                                   std::string_view type,
+                                   const VersionTag& tag) {
+  const uint64_t hash = HashBytes(key);
+  Stripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  CacheRecord result;
+  auto it = stripe.map.find(key);
+  if (it != stripe.map.end()) {
+    Entry& entry = it->second;
+    entry.type.assign(type);
+    entry.tag = tag;
+    Touch(stripe, entry);
+    result.refreshed = true;
+    return result;
+  }
+  if (stripe.sketch.IncrementAndEstimate(hash) < config_.admit_after) {
+    return result;  // not hot enough yet; the sketch remembers the sighting
+  }
+  auto [inserted, ok] = stripe.map.emplace(std::string(key), Entry{});
+  (void)ok;
+  Entry& entry = inserted->second;
+  entry.type.assign(type);
+  entry.tag = tag;
+  stripe.probation.push_front(&inserted->first);
+  entry.pos = stripe.probation.begin();
+  entry.in_protected = false;
+  ++stripe.counters.promotions;
+  result.admitted = true;
+  while (stripe.map.size() > stripe_capacity_) {
+    EvictOne(stripe);
+    ++stripe.counters.evictions;
+    ++result.evicted;
+  }
+  return result;
+}
+
+void HotResultCache::Touch(Stripe& stripe, Entry& entry) {
+  if (entry.in_protected) {
+    stripe.protected_.splice(stripe.protected_.begin(), stripe.protected_,
+                             entry.pos);
+    return;
+  }
+  // First hit since admission: promote out of probation. When the
+  // protected segment is full its LRU is demoted (not evicted), so a
+  // hit never shrinks the cache.
+  stripe.protected_.splice(stripe.protected_.begin(), stripe.probation,
+                           entry.pos);
+  entry.in_protected = true;
+  if (stripe.protected_.size() > protected_capacity_) {
+    auto lru = std::prev(stripe.protected_.end());
+    auto demoted = stripe.map.find(**lru);
+    stripe.probation.splice(stripe.probation.begin(), stripe.protected_,
+                            lru);
+    demoted->second.in_protected = false;
+  }
+}
+
+void HotResultCache::EvictOne(Stripe& stripe) {
+  LruList& victims =
+      stripe.probation.empty() ? stripe.protected_ : stripe.probation;
+  auto lru = std::prev(victims.end());
+  stripe.map.erase(stripe.map.find(**lru));
+  victims.erase(lru);
+}
+
+HotCacheCounters HotResultCache::TotalCounters() const {
+  HotCacheCounters total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total.lookups += stripe->counters.lookups;
+    total.hits += stripe->counters.hits;
+    total.misses += stripe->counters.misses;
+    total.stale_drops += stripe->counters.stale_drops;
+    total.promotions += stripe->counters.promotions;
+    total.evictions += stripe->counters.evictions;
+  }
+  return total;
+}
+
+size_t HotResultCache::size() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->map.size();
+  }
+  return total;
+}
+
+void HotResultCache::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->map.clear();
+    stripe->probation.clear();
+    stripe->protected_.clear();
+    stripe->sketch.Clear();
+  }
+}
+
+}  // namespace rulekit::engine

@@ -38,9 +38,19 @@ void RuleIndex::Build(const rules::RuleSet& set,
 }
 
 std::vector<size_t> RuleIndex::Candidates(std::string_view title) const {
-  std::string lowered = ToLowerAscii(title);
-  std::vector<uint32_t> hits = automaton_.CollectUnique(lowered);
+  Scratch scratch;
   std::vector<size_t> out;
+  Candidates(title, scratch, out);
+  return out;
+}
+
+void RuleIndex::Candidates(std::string_view title, Scratch& scratch,
+                           std::vector<size_t>& out) const {
+  scratch.lowered.assign(title);
+  ToLowerAsciiInPlace(scratch.lowered);
+  automaton_.CollectUnique(scratch.lowered, scratch.hits);
+  const std::vector<uint32_t>& hits = scratch.hits;
+  out.clear();
   out.reserve(hits.size() + always_check_.size());
   // Merge the sorted hit list with the sorted always-check list.
   size_t i = 0, j = 0;
@@ -55,7 +65,6 @@ std::vector<size_t> RuleIndex::Candidates(std::string_view title) const {
       ++j;
     }
   }
-  return out;
 }
 
 }  // namespace rulekit::engine

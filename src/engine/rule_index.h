@@ -2,6 +2,8 @@
 #define RULEKIT_ENGINE_RULE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -33,10 +35,23 @@ class RuleIndex {
   void Build(const rules::RuleSet& set,
              const regex::AnalysisOptions& options = {});
 
+  /// Reusable per-caller buffers for the allocation-free Candidates
+  /// overload. One Scratch per thread; it must not be shared.
+  struct Scratch {
+    std::string lowered;
+    std::vector<uint32_t> hits;
+  };
+
   /// Indices (into the RuleSet passed to Build) of rules whose prefilter
   /// fires on `title`, plus all always-check rules. `title` is lowercased
   /// internally. Sorted ascending.
   std::vector<size_t> Candidates(std::string_view title) const;
+
+  /// Candidates into a caller-owned vector (cleared first), reusing the
+  /// caller's Scratch so a loop over many titles performs no per-title
+  /// allocations once the buffers reach steady-state capacity.
+  void Candidates(std::string_view title, Scratch& scratch,
+                  std::vector<size_t>& out) const;
 
   const RuleIndexStats& stats() const { return stats_; }
 

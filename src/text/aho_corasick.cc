@@ -87,10 +87,16 @@ void AhoCorasick::Collect(std::string_view text,
 std::vector<uint32_t> AhoCorasick::CollectUnique(
     std::string_view text) const {
   std::vector<uint32_t> out;
+  CollectUnique(text, out);
+  return out;
+}
+
+void AhoCorasick::CollectUnique(std::string_view text,
+                                std::vector<uint32_t>& out) const {
+  out.clear();
   Collect(text, out);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 bool AhoCorasick::AnyMatch(std::string_view text) const {

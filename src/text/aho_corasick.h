@@ -36,6 +36,10 @@ class AhoCorasick {
   /// Distinct payloads of patterns occurring in `text` (sorted).
   std::vector<uint32_t> CollectUnique(std::string_view text) const;
 
+  /// CollectUnique into a caller-owned vector (cleared first). Hot loops
+  /// reuse one vector across calls instead of allocating per title.
+  void CollectUnique(std::string_view text, std::vector<uint32_t>& out) const;
+
   /// True if any registered pattern occurs in `text`.
   bool AnyMatch(std::string_view text) const;
 

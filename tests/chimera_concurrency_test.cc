@@ -412,5 +412,122 @@ TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
   }
 }
 
+// The hot-result cache under fire: readers hammer ProcessBatch (warming
+// and hitting the cache) while writers interleave every invalidation
+// source — AddRules, ScaleDownType/ScaleUpType, RetrainLearning, Memoize.
+// Every report must keep the counter partition (cache hits count as
+// classified), and no batch may serve a type that was suppressed in the
+// snapshot it pinned. Run under -DRULEKIT_SANITIZE=thread: the striped
+// cache is the only shared mutable state on the read path.
+TEST(HotCacheConcurrencyTest, CachedServingSurvivesConcurrentMaintenance) {
+  Corpus corpus(800, 21, 12);
+  PipelineConfig config;
+  config.batch_threads = 4;
+  config.hot_cache.enabled = true;
+  config.hot_cache.capacity = 2048;
+  config.hot_cache.stripes = 8;
+  config.hot_cache.admit_after = 1;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+  ASSERT_NE(pipeline.hot_cache(), nullptr);
+
+  constexpr int kReaders = 4;
+  constexpr int kBatchesPerReader = 10;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int b = 0; b < kBatchesPerReader; ++b) {
+        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        ASSERT_EQ(report.total, corpus.items.size());
+        ASSERT_EQ(report.gate_classified + report.gate_rejected +
+                      report.classified + report.filtered +
+                      report.suppressed + report.declined,
+                  report.total);
+        ASSERT_LE(report.cache_hits, report.classified);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    const auto& specs = corpus.gen->specs();
+    for (int round = 0; round < 30; ++round) {
+      switch (round % 5) {
+        case 0: {
+          auto rule = rules::Rule::Whitelist(
+              "cache-stress-" + std::to_string(round),
+              "(qqq|cachestress)[a-z]*" + std::to_string(round),
+              specs[round % specs.size()].name);
+          ASSERT_TRUE(rule.ok());
+          ASSERT_TRUE(pipeline.AddRules({*rule}, "writer").ok());
+          break;
+        }
+        case 1:
+          pipeline.ScaleDownType(specs[(round / 5) % specs.size()].name,
+                                 "writer", "stress");
+          break;
+        case 2:
+          pipeline.ScaleUpType(specs[(round / 5) % specs.size()].name);
+          break;
+        case 3:
+          pipeline.Memoize("cache stress title " + std::to_string(round),
+                           specs[0].name);
+          break;
+        case 4:
+          pipeline.RetrainLearning();
+          break;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : readers) t.join();
+  writer.join();
+
+  // Quiesced: the cache may hold winners from any superseded snapshot,
+  // but every one of them is dropped on read — batch output equals the
+  // per-item path against the final state.
+  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  BatchReport again = pipeline.ProcessBatch(corpus.items);
+  EXPECT_GT(again.cache_hits, 0u);
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    ASSERT_EQ(final_report.predictions[i], again.predictions[i])
+        << "item " << i;
+    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+        << "item " << i;
+  }
+}
+
+// MemoizeAll publishes one memo version for a whole confirmed batch, and
+// concurrent bulk memoizers never lose each other's entries.
+TEST(HotCacheConcurrencyTest, ConcurrentMemoizeAllLosesNothing) {
+  ChimeraPipeline pipeline;
+  constexpr int kWriters = 4;
+  constexpr int kPairsPerWriter = 50;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::vector<std::pair<std::string, std::string>> pairs;
+      pairs.reserve(kPairsPerWriter);
+      for (int i = 0; i < kPairsPerWriter; ++i) {
+        pairs.emplace_back(
+            "bulk title " + std::to_string(w) + "-" + std::to_string(i),
+            "type-" + std::to_string(w));
+      }
+      pipeline.MemoizeAll(pairs);
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPairsPerWriter; ++i) {
+      data::ProductItem item;
+      item.title = "Bulk Title " + std::to_string(w) + "-" + std::to_string(i);
+      ASSERT_EQ(pipeline.Classify(item).value_or(""),
+                "type-" + std::to_string(w));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rulekit::chimera

@@ -1,0 +1,303 @@
+// Tests for the hot-title result cache: admission, segmented eviction,
+// version-tag staleness (drop-on-read), and the pipeline integration —
+// first-sight output byte-identical with the cache on, and no stale type
+// ever served after AddRules / RetrainLearning / ScaleDownType.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/engine/hot_cache.h"
+#include "src/rules/rule_parser.h"
+
+namespace rulekit::engine {
+namespace {
+
+constexpr VersionTag kTagA{1, 1};
+constexpr VersionTag kTagB{2, 1};
+
+HotCacheConfig SmallConfig(uint32_t admit_after = 1) {
+  HotCacheConfig config;
+  config.enabled = true;
+  config.capacity = 8;
+  config.stripes = 1;  // deterministic eviction order
+  config.admit_after = admit_after;
+  return config;
+}
+
+TEST(HotResultCacheTest, AdmitsOnlyAfterKSightings) {
+  HotResultCache cache(SmallConfig(/*admit_after=*/3));
+  EXPECT_FALSE(cache.Record("gold ring", "rings", kTagA).admitted);
+  EXPECT_FALSE(cache.Record("gold ring", "rings", kTagA).admitted);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("gold ring", kTagA).hit);
+
+  CacheRecord third = cache.Record("gold ring", "rings", kTagA);
+  EXPECT_TRUE(third.admitted);
+  EXPECT_EQ(cache.size(), 1u);
+  CacheLookup hit = cache.Lookup("gold ring", kTagA);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.type, "rings");
+}
+
+TEST(HotResultCacheTest, StaleEntryDroppedOnRead) {
+  HotResultCache cache(SmallConfig());
+  ASSERT_TRUE(cache.Record("gold ring", "rings", kTagA).admitted);
+
+  CacheLookup stale = cache.Lookup("gold ring", kTagB);
+  EXPECT_FALSE(stale.hit);
+  EXPECT_TRUE(stale.stale_dropped);
+  EXPECT_EQ(cache.size(), 0u);  // erased, not just skipped
+  // Even re-reading under the original tag misses now.
+  EXPECT_FALSE(cache.Lookup("gold ring", kTagA).hit);
+
+  HotCacheCounters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.stale_drops, 1u);
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST(HotResultCacheTest, RecordRefreshesExistingEntryInPlace) {
+  HotResultCache cache(SmallConfig());
+  ASSERT_TRUE(cache.Record("gold ring", "rings", kTagA).admitted);
+  CacheRecord again = cache.Record("gold ring", "jewelry", kTagB);
+  EXPECT_FALSE(again.admitted);
+  EXPECT_TRUE(again.refreshed);
+  EXPECT_EQ(cache.size(), 1u);
+  CacheLookup hit = cache.Lookup("gold ring", kTagB);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.type, "jewelry");
+}
+
+TEST(HotResultCacheTest, BoundedByCapacityWithEvictions) {
+  HotResultCache cache(SmallConfig());
+  ASSERT_EQ(cache.capacity(), 8u);
+  for (int i = 0; i < 40; ++i) {
+    cache.Record("title " + std::to_string(i), "t", kTagA);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  HotCacheCounters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.promotions, 40u);
+  EXPECT_EQ(counters.evictions, 40u - cache.size());
+}
+
+TEST(HotResultCacheTest, HitEntriesSurviveAProbationFlood) {
+  HotResultCache cache(SmallConfig());
+  ASSERT_TRUE(cache.Record("hot title", "rings", kTagA).admitted);
+  // A hit moves the entry into the protected segment.
+  ASSERT_TRUE(cache.Lookup("hot title", kTagA).hit);
+  // Flood: one-shot admissions churn through probation only.
+  for (int i = 0; i < 100; ++i) {
+    cache.Record("cold " + std::to_string(i), "t", kTagA);
+  }
+  EXPECT_TRUE(cache.Lookup("hot title", kTagA).hit)
+      << "a hit-promoted entry was flushed by a scan of one-shot inserts";
+}
+
+TEST(HotResultCacheTest, ClearDropsEntriesButKeepsCounters) {
+  HotResultCache cache(SmallConfig());
+  cache.Record("gold ring", "rings", kTagA);
+  ASSERT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("gold ring", kTagA).hit);
+  EXPECT_EQ(cache.TotalCounters().promotions, 1u);
+}
+
+TEST(HotResultCacheTest, StripesRoundedUpAndKeysPartitioned) {
+  HotCacheConfig config;
+  config.capacity = 64;
+  config.stripes = 5;  // rounds up to 8
+  config.admit_after = 1;
+  HotResultCache cache(config);
+  EXPECT_EQ(cache.stripe_count(), 8u);
+  EXPECT_GE(cache.capacity(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    cache.Record("key " + std::to_string(i), "t", kTagA);
+  }
+  size_t hits = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (cache.Lookup("key " + std::to_string(i), kTagA).hit) ++hits;
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+}  // namespace
+}  // namespace rulekit::engine
+
+namespace rulekit::chimera {
+namespace {
+
+data::ProductItem MakeItem(std::string title) {
+  data::ProductItem item;
+  item.title = std::move(title);
+  return item;
+}
+
+/// A pipeline with one whitelist rule (rings) and the hot cache on with
+/// first-sight admission, so every confident winner is cached at once.
+PipelineConfig CachedConfig() {
+  PipelineConfig config;
+  config.batch_threads = 0;
+  config.use_learning = false;
+  config.hot_cache.enabled = true;
+  config.hot_cache.capacity = 1024;
+  config.hot_cache.admit_after = 1;
+  return config;
+}
+
+void AddRingRule(ChimeraPipeline& pipeline) {
+  auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "a").ok());
+}
+
+TEST(HotCachePipelineTest, RepeatLookupServedFromCache) {
+  ChimeraPipeline pipeline(CachedConfig());
+  AddRingRule(pipeline);
+  ASSERT_NE(pipeline.hot_cache(), nullptr);
+
+  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  engine::HotCacheCounters counters = pipeline.hot_cache()->TotalCounters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.promotions, 1u);
+}
+
+TEST(HotCachePipelineTest, CacheOffByDefault) {
+  ChimeraPipeline pipeline;
+  EXPECT_EQ(pipeline.hot_cache(), nullptr);
+}
+
+TEST(HotCachePipelineTest, AddRulesInvalidatesCachedWinner) {
+  ChimeraPipeline pipeline(CachedConfig());
+  AddRingRule(pipeline);
+  ASSERT_EQ(pipeline.Classify(MakeItem("silver toe ring")).value_or(""),
+            "rings");
+  ASSERT_EQ(pipeline.Classify(MakeItem("silver toe ring")).value_or(""),
+            "rings");  // cached
+  ASSERT_EQ(pipeline.hot_cache()->TotalCounters().hits, 1u);
+
+  // The analyst blacklists toe rings; the cached "rings" winner for this
+  // title must not survive the rule edit.
+  auto blacklist = rules::ParseRules("blacklist b1: toe rings? => rings\n");
+  ASSERT_TRUE(blacklist.ok());
+  ASSERT_TRUE(pipeline.AddRules(std::move(blacklist).value(), "a").ok());
+
+  EXPECT_FALSE(pipeline.Classify(MakeItem("silver toe ring")).has_value());
+  EXPECT_GE(pipeline.hot_cache()->TotalCounters().stale_drops, 1u);
+}
+
+TEST(HotCachePipelineTest, ScaleDownInvalidatesCachedWinner) {
+  ChimeraPipeline pipeline(CachedConfig());
+  AddRingRule(pipeline);
+  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+
+  // Scale-down both suppresses the type and disables its rules; the
+  // cached "rings" winner must not survive either effect.
+  ASSERT_TRUE(pipeline.ScaleDownType("rings", "oncall", "test").ok());
+  EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value())
+      << "a suppressed type was served from the hot cache";
+}
+
+TEST(HotCachePipelineTest, RetrainLearningInvalidatesCachedWinner) {
+  PipelineConfig config = CachedConfig();
+  config.use_learning = true;
+  ChimeraPipeline pipeline(config);
+  AddRingRule(pipeline);
+  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  const uint64_t hits_before = pipeline.hot_cache()->TotalCounters().hits;
+
+  data::GeneratorConfig gen_config;
+  gen_config.seed = 7;
+  gen_config.num_types = 8;
+  data::CatalogGenerator gen(gen_config);
+  pipeline.AddTrainingData(gen.GenerateMany(300));
+  pipeline.RetrainLearning();
+
+  // The ensemble changed, so the next read of the cached title must
+  // recompute (stale drop), not serve the pre-retrain winner.
+  (void)pipeline.Classify(MakeItem("gold ring"));
+  engine::HotCacheCounters counters = pipeline.hot_cache()->TotalCounters();
+  EXPECT_GE(counters.stale_drops, 1u);
+  EXPECT_EQ(counters.hits, hits_before);
+}
+
+// The headline first-sight guarantee: over a fresh (never-seen) catalog,
+// a cache-on pipeline produces byte-identical predictions and counters to
+// a cache-off pipeline — and stays byte-identical on a repeat of the same
+// batch, when the hits actually flow.
+TEST(HotCachePipelineTest, BatchOutputByteIdenticalCacheOnVsOff) {
+  data::GeneratorConfig gen_config;
+  gen_config.seed = 42;
+  gen_config.num_types = 16;
+  data::CatalogGenerator gen(gen_config);
+  SimulatedAnalyst analyst(gen);
+  std::vector<data::ProductItem> items;
+  for (auto& li : gen.GenerateMany(3000)) items.push_back(std::move(li.item));
+
+  auto provision = [&](ChimeraPipeline& pipeline) {
+    for (const auto& spec : gen.specs()) {
+      ASSERT_TRUE(
+          pipeline.AddRules(analyst.WriteRulesForType(spec.name), "a").ok());
+    }
+  };
+  PipelineConfig off_config;
+  off_config.batch_threads = 0;
+  off_config.use_learning = false;
+  ChimeraPipeline off(off_config);
+  provision(off);
+
+  PipelineConfig on_config = CachedConfig();
+  on_config.batch_threads = 2;  // cache + pool together
+  on_config.hot_cache.capacity = 4096;
+  ChimeraPipeline on(on_config);
+  provision(on);
+
+  BatchReport off_first = off.ProcessBatch(items);
+  BatchReport on_first = on.ProcessBatch(items);
+  BatchReport off_second = off.ProcessBatch(items);
+  BatchReport on_second = on.ProcessBatch(items);
+
+  EXPECT_GT(on_first.classified, 0u);
+  EXPECT_EQ(on_first.cache_hits, 0u);  // first sight: nothing cached yet
+  EXPECT_GT(on_second.cache_hits, 0u);
+  for (const BatchReport* report :
+       {&off_first, &on_first, &off_second, &on_second}) {
+    ASSERT_EQ(report->predictions.size(), items.size());
+    EXPECT_EQ(report->gate_classified + report->gate_rejected +
+                  report->classified + report->filtered +
+                  report->suppressed + report->declined,
+              report->total);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(off_first.predictions[i], on_first.predictions[i])
+        << "first-sight item " << i;
+    EXPECT_EQ(off_second.predictions[i], on_second.predictions[i])
+        << "repeat item " << i;
+  }
+  EXPECT_EQ(off_first.classified, on_first.classified);
+  EXPECT_EQ(off_second.classified, on_second.classified);
+}
+
+TEST(QualityMonitorTest, CacheHitRateOverWindow) {
+  QualityMonitor monitor;
+  EXPECT_EQ(monitor.CacheHitRate(), 0.0);
+  monitor.RecordCache({.batch_index = 0, .lookups = 100, .hits = 10});
+  monitor.RecordCache({.batch_index = 1, .lookups = 100, .hits = 90});
+  EXPECT_DOUBLE_EQ(monitor.CacheHitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(monitor.CacheHitRate(1), 0.9);
+  ASSERT_EQ(monitor.cache_history().size(), 2u);
+  EXPECT_EQ(monitor.cache_history()[1].hits, 90u);
+}
+
+}  // namespace
+}  // namespace rulekit::chimera
