@@ -2,9 +2,18 @@
 # One-command verification gauntlet: configure, build, and ctest the
 # plain tree, the ASan+UBSan tree, and the TSan tree.
 #
-#   scripts/check.sh                 # all three trees
-#   scripts/check.sh plain           # just one (plain | asan | tsan)
-#   CHECK_JOBS=4 scripts/check.sh    # override parallelism
+#   scripts/check.sh                     # all three trees
+#   scripts/check.sh plain               # just one (plain | asan | tsan)
+#   scripts/check.sh --labels stress     # only tests with a matching ctest
+#                                        # label (unit | stress | storage)
+#   scripts/check.sh tsan --labels 'stress|storage'
+#   scripts/check.sh --timeout 120      # per-test seconds, overriding the
+#                                        # TIMEOUT each test registers
+#   CHECK_JOBS=4 scripts/check.sh        # override parallelism
+#
+# Every test carries a cmake-registered TIMEOUT (tests/CMakeLists.txt),
+# so a deadlocked stress test fails its own entry instead of hanging the
+# whole run; --timeout tightens or loosens that per invocation.
 #
 # Build dirs: build/ (plain), build-asan/, build-tsan/ — the same trees
 # the README documents, so incremental rebuilds stay warm.
@@ -14,6 +23,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
+labels=""
+timeout=""
+want=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --labels)   labels="${2:?--labels needs a ctest -L regex}"; shift 2 ;;
+    --labels=*) labels="${1#*=}"; shift ;;
+    --timeout)   timeout="${2:?--timeout needs seconds}"; shift 2 ;;
+    --timeout=*) timeout="${1#*=}"; shift ;;
+    all|plain|asan|tsan)
+      if [[ -n "${want}" ]]; then
+        echo "error: more than one tree selected ('${want}', '$1')" >&2
+        exit 2
+      fi
+      want="$1"; shift ;;
+    *)
+      echo "usage: $0 [all|plain|asan|tsan] [--labels <regex>] [--timeout <sec>]" >&2
+      exit 2 ;;
+  esac
+done
+want="${want:-all}"
+
+ctest_flags=(--output-on-failure -j "${jobs}")
+if [[ -n "${labels}" ]]; then
+  ctest_flags+=(-L "${labels}")
+fi
+if [[ -n "${timeout}" ]]; then
+  ctest_flags+=(--timeout "${timeout}")
+fi
+
 run_tree() {
   local name="$1" dir="$2"
   shift 2
@@ -22,10 +61,9 @@ run_tree() {
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${jobs}"
   echo "=== [${name}] ctest ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  ctest --test-dir "${dir}" "${ctest_flags[@]}"
 }
 
-want="${1:-all}"
 case "${want}" in
   all)
     run_tree plain build
@@ -35,10 +73,6 @@ case "${want}" in
   plain) run_tree plain build ;;
   asan)  run_tree asan build-asan -DRULEKIT_SANITIZE=address ;;
   tsan)  run_tree tsan build-tsan -DRULEKIT_SANITIZE=thread ;;
-  *)
-    echo "usage: $0 [all|plain|asan|tsan]" >&2
-    exit 2
-    ;;
 esac
 
 echo "=== all requested trees passed ==="

@@ -143,7 +143,8 @@ FeedbackLoopResult FeedbackLoop::RunBatch(
     size_t labels_added = relabeled.size() + declined_labeled.size();
     pipeline_.AddTrainingData(std::move(relabeled));
     pipeline_.AddTrainingData(std::move(declined_labeled));
-    pipeline_.RetrainLearning();
+    last_retrain_ = pipeline_.RequestRetrain();
+    if (config_.wait_for_retrain) last_retrain_.wait();
 
     trace.rules_added = rules_added;
     trace.labels_added = labels_added;

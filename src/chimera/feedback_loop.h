@@ -21,6 +21,13 @@ struct FeedbackLoopConfig {
   /// How many declined items the analyst labels per iteration (they become
   /// training data AND drive new whitelist rules for uncovered types).
   size_t max_declined_labeled = 200;
+  /// When true (default), each iteration waits for its retrain to publish
+  /// before re-running the batch — the historical behaviour, and what the
+  /// loop's convergence story assumes. False = fire-and-forget: the
+  /// request is issued (coalescing with any in-flight run under the
+  /// pipeline's retrain policy) and the loop proceeds on the ensemble it
+  /// has; `last_retrain()` exposes the pending future.
+  bool wait_for_retrain = true;
 };
 
 /// One loop iteration's record (the Figure 2 cycle).
@@ -55,12 +62,20 @@ class FeedbackLoop {
   /// and for the true-quality trace).
   FeedbackLoopResult RunBatch(const std::vector<data::LabeledItem>& batch);
 
+  /// The most recent retrain request's future (invalid before the first
+  /// request). With `wait_for_retrain` false this is how callers join the
+  /// in-flight training, e.g. at end of stream.
+  std::shared_future<RetrainReport> last_retrain() const {
+    return last_retrain_;
+  }
+
  private:
   ChimeraPipeline& pipeline_;
   SimulatedAnalyst& analyst_;
   crowd::CrowdSimulator& crowd_;
   FeedbackLoopConfig config_;
   Rng rng_{991};
+  std::shared_future<RetrainReport> last_retrain_;
 };
 
 }  // namespace rulekit::chimera

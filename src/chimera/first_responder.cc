@@ -86,6 +86,11 @@ Status FirstResponder::Resolve(const IncidentReport& incident) {
   for (const auto& type : incident.scaled_down_types) {
     pipeline_.ScaleUpType(type);
   }
+  if (config_.retrain_on_resolve) {
+    // Fire-and-forget: the responder's job is done once serving is
+    // restored; the ensemble refresh coalesces behind any in-flight run.
+    last_retrain_ = pipeline_.RequestRetrain();
+  }
   return Status::OK();
 }
 

@@ -22,6 +22,12 @@ struct FirstResponderConfig {
   /// verdicts) get scaled down.
   double type_precision_floor = 0.85;
   size_t min_type_verdicts = 10;
+  /// When true, Resolve() fires a fire-and-forget retrain after restoring
+  /// the checkpoint: the incident's crowd-confirmed labels are already in
+  /// the training pool, and the post-incident ensemble should reflect
+  /// them without blocking the responder. Off by default (historical
+  /// behaviour); gate the frequency via PipelineConfig::retrain.
+  bool retrain_on_resolve = false;
 };
 
 /// What the responder did about one batch.
@@ -52,13 +58,21 @@ class FirstResponder {
                         const BatchReport& report);
 
   /// Restores the checkpoint taken by Triage and lifts its suppressions.
+  /// With `retrain_on_resolve` set, also requests a background retrain
+  /// (non-blocking; see last_retrain()).
   Status Resolve(const IncidentReport& incident);
+
+  /// Future of the retrain Resolve() last requested (invalid until then).
+  std::shared_future<RetrainReport> last_retrain() const {
+    return last_retrain_;
+  }
 
  private:
   ChimeraPipeline& pipeline_;
   crowd::CrowdSimulator& crowd_;
   FirstResponderConfig config_;
   Rng rng_;
+  std::shared_future<RetrainReport> last_retrain_;
 };
 
 }  // namespace rulekit::chimera

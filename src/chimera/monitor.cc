@@ -10,6 +10,25 @@ void QualityMonitor::RecordCache(const CacheActivity& activity) {
   cache_history_.push_back(activity);
 }
 
+void QualityMonitor::RecordRetrain(const RetrainReport& report) {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  retrain_history_.push_back(report);
+}
+
+std::vector<RetrainReport> QualityMonitor::retrain_history() const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  return retrain_history_;
+}
+
+size_t QualityMonitor::retrains_published() const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  size_t published = 0;
+  for (const RetrainReport& r : retrain_history_) {
+    if (r.published) ++published;
+  }
+  return published;
+}
+
 double QualityMonitor::CacheHitRate(size_t window) const {
   size_t begin = 0;
   if (window != 0 && window < cache_history_.size()) {

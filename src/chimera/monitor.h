@@ -2,9 +2,11 @@
 #define RULEKIT_CHIMERA_MONITOR_H_
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/chimera/trainer.h"
 #include "src/crowd/estimator.h"
 
 namespace rulekit::chimera {
@@ -42,11 +44,24 @@ class QualityMonitor {
   /// Folds one batch's cache counters into the cache history.
   void RecordCache(const CacheActivity& activity);
 
+  /// Records one background-retrain report (published, skipped, or
+  /// abandoned). Unlike the other Record* methods this one is
+  /// thread-safe: it is the natural `RetrainPolicy::report_sink` target
+  /// and thus runs on the trainer thread.
+  void RecordRetrain(const RetrainReport& report);
+
   const std::vector<BatchQuality>& history() const { return history_; }
 
   const std::vector<CacheActivity>& cache_history() const {
     return cache_history_;
   }
+
+  /// Copy of the retrain history (a copy because the trainer thread may
+  /// append concurrently).
+  std::vector<RetrainReport> retrain_history() const;
+
+  /// How many recorded retrain runs actually published an ensemble.
+  size_t retrains_published() const;
 
   /// Hit rate over the last `window` recorded batches (all of them when
   /// window == 0). 0.0 when no lookups were recorded.
@@ -66,6 +81,10 @@ class QualityMonitor {
   double threshold_;
   std::vector<BatchQuality> history_;
   std::vector<CacheActivity> cache_history_;
+  /// Guards retrain_history_ only — the one history fed from another
+  /// thread.
+  mutable std::mutex retrain_mu_;
+  std::vector<RetrainReport> retrain_history_;
 };
 
 }  // namespace rulekit::chimera

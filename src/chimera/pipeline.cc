@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "src/common/hash.h"
 #include "src/common/string_util.h"
@@ -33,6 +34,17 @@ ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
   }
   shard_cache_.resize(repo_->shard_count());
   RepublishAll();
+  // Started last: the thread's run function touches the members above.
+  trainer_ = std::make_unique<BackgroundTrainer>(
+      config_.retrain, [this](size_t) { return RetrainNow(); });
+}
+
+ChimeraPipeline::~ChimeraPipeline() {
+  // Explicit for emphasis (member order already guarantees it): stop the
+  // trainer before any other member dies. An in-flight run completes its
+  // publish; a queued run is abandoned — nothing trains or publishes
+  // after this line.
+  trainer_.reset();
 }
 
 void ChimeraPipeline::RepublishShards(
@@ -176,10 +188,17 @@ Status ChimeraPipeline::RestoreCheckpoint(uint64_t version,
 
 void ChimeraPipeline::AddTrainingData(
     std::vector<data::LabeledItem> labeled) {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  training_data_.insert(training_data_.end(),
-                        std::make_move_iterator(labeled.begin()),
-                        std::make_move_iterator(labeled.end()));
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    training_data_.insert(training_data_.end(),
+                          std::make_move_iterator(labeled.begin()),
+                          std::make_move_iterator(labeled.end()));
+    total = training_data_.size();
+  }
+  // Outside state_mu_: the trainer's and the pipeline's lock domains
+  // never nest (see trainer.h). Null only during construction.
+  if (trainer_ != nullptr) trainer_->NotifyDataSize(total);
 }
 
 size_t ChimeraPipeline::training_size() const {
@@ -187,18 +206,31 @@ size_t ChimeraPipeline::training_size() const {
   return training_data_.size();
 }
 
-void ChimeraPipeline::RetrainLearning() {
+std::shared_future<RetrainReport> ChimeraPipeline::RequestRetrain() {
+  return trainer_->Request();
+}
+
+void ChimeraPipeline::RetrainLearning() { RequestRetrain().wait(); }
+
+RetrainReport ChimeraPipeline::RetrainNow() {
   // Train against a copied data snapshot, outside every pipeline lock:
   // rule writers and readers proceed while the learners fit. Fresh
   // extractor + learners are the simplest correct retraining story
   // (incremental learners accumulate state across Train calls). Serving
   // keeps voting with the previous ensemble until the publish below.
+  RetrainReport report;
+  const auto started = std::chrono::steady_clock::now();
   std::vector<data::LabeledItem> data;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    if (training_data_.empty()) return;
     data = training_data_;
   }
+  if (data.empty()) {
+    report.outcome = RetrainReport::Outcome::kNoTrainingData;
+    return report;
+  }
+  report.trained_on = data.size();
+  if (config_.retrain.train_probe) config_.retrain.train_probe();
   auto features = std::make_shared<ml::FeatureExtractor>();
   auto nb = std::make_shared<ml::NaiveBayesClassifier>(features);
   nb->Train(data);
@@ -211,10 +243,32 @@ void ChimeraPipeline::RetrainLearning() {
   ensemble->AddMember(std::move(knn));
   ensemble->AddMember(std::move(logreg));
 
-  std::lock_guard<std::mutex> lock(state_mu_);
-  ensemble_ = std::move(ensemble);
-  ++semantic_gen_;  // new ensemble => cached voting winners are stale
-  ComposeAndSwapLocked();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ensemble_ = std::move(ensemble);
+    ++semantic_gen_;  // new ensemble => cached voting winners are stale
+    ComposeAndSwapLocked();
+    report.publish_generation = semantic_gen_;
+  }
+  report.published = true;
+  report.outcome = RetrainReport::Outcome::kPublished;
+  if (store_ != nullptr) {
+    // The new ensemble was trained against the rule state the journal
+    // should already hold; flush the WAL so a severed or failing journal
+    // is surfaced in the report rather than swallowed. The publish above
+    // stands either way (in-memory serving is the emergency lever — same
+    // semantics as ScaleDownType's journal failures).
+    report.status = store_->Sync();
+  }
+  report.duration_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  return report;
+}
+
+uint64_t ChimeraPipeline::semantic_generation() const {
+  return CurrentSnapshot()->semantic_generation;
 }
 
 Status ChimeraPipeline::ScaleDownType(const std::string& type,

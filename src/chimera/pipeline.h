@@ -2,6 +2,7 @@
 #define RULEKIT_CHIMERA_PIPELINE_H_
 
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "src/chimera/gate_keeper.h"
+#include "src/chimera/trainer.h"
 #include "src/chimera/voting.h"
 #include "src/common/thread_pool.h"
 #include "src/data/product.h"
@@ -59,6 +61,13 @@ struct PipelineConfig {
   /// Storage tuning (fsync policy, compaction threshold, dictionaries).
   /// `storage.shard_count` is ignored: `rule_shards` governs.
   storage::StoreOptions storage;
+  /// When the background trainer runs a requested retrain (min-interval /
+  /// min-new-examples gates, max-queue-age deferral — see trainer.h). The
+  /// default gates nothing, so every request trains: that is what keeps
+  /// the synchronous RetrainLearning() wrapper byte-identical to the
+  /// historical blocking call. FeedbackLoop / FirstResponder callers that
+  /// fire-and-forget set real gates here.
+  RetrainPolicy retrain;
   /// Hot-title result cache: automatic cross-batch memoization of
   /// confident voting winners (admitted after `hot_cache.admit_after`
   /// sightings, striped LRU eviction, version-tag invalidation — see
@@ -183,8 +192,12 @@ struct PipelineSnapshot {
 ///    exactly once per commit — and, when `config.storage_dir` is set,
 ///    write-ahead-logs every commit before publication, so any state a
 ///    reader observes survives a crash.
-///  - RetrainLearning trains outside all locks against a copied data
-///    snapshot, so training no longer blocks rule writers.
+///  - Retraining runs on a dedicated background trainer thread:
+///    RequestRetrain() returns a future immediately, bursts coalesce
+///    into at most one pending run (latest data wins), and the run
+///    trains outside all locks against a copied data snapshot — so
+///    training blocks neither the caller nor rule writers. The
+///    synchronous RetrainLearning() wrapper just requests and waits.
 ///  - GateKeeper::Memoize is its own (copy-on-write) writer path and
 ///    needs no snapshot republish.
 /// ProcessBatch additionally fans work out over a shared ThreadPool when
@@ -196,6 +209,11 @@ struct PipelineSnapshot {
 class ChimeraPipeline {
  public:
   explicit ChimeraPipeline(PipelineConfig config = {});
+
+  /// Stops the background trainer first (drains an in-flight run,
+  /// abandons a queued one — its futures resolve as kAbandoned), so no
+  /// training publish can touch the pipeline during member teardown.
+  ~ChimeraPipeline();
 
   // ---- rules -------------------------------------------------------------
 
@@ -248,12 +266,28 @@ class ChimeraPipeline {
   /// Accumulates labeled training data.
   void AddTrainingData(std::vector<data::LabeledItem> labeled);
 
-  /// Retrains the learning ensemble from scratch on a copy of the
-  /// accumulated data — outside every pipeline lock, so rule writers and
-  /// readers proceed while training runs — and publishes the result.
+  /// Asks the background trainer to retrain the ensemble and returns
+  /// immediately — the future resolves when the request's run (or skip,
+  /// per `config.retrain`) completes. Requests arriving while a run is in
+  /// flight coalesce into at most one pending run that snapshots its data
+  /// when it *starts* (latest data wins); the run trains outside every
+  /// pipeline lock, then installs the ensemble, bumps
+  /// semantic_generation, and publishes exactly as the historical
+  /// synchronous path did.
+  std::shared_future<RetrainReport> RequestRetrain();
+
+  /// Synchronous wrapper: request + wait. With the default (ungated)
+  /// retrain policy this is observably identical to the historical
+  /// blocking RetrainLearning — same data, same deterministic learners,
+  /// same publish — just executed on the trainer thread.
   void RetrainLearning();
 
   size_t training_size() const;
+
+  /// Generation of the non-rule serving inputs currently published
+  /// (bumps on ensemble installs and suppression edits). Monotone
+  /// non-decreasing across snapshot swaps.
+  uint64_t semantic_generation() const;
 
   // ---- scale down / up (§2.2 requirement 3) -------------------------------
 
@@ -321,6 +355,13 @@ class ChimeraPipeline {
 
   std::shared_ptr<const PipelineSnapshot> CurrentSnapshot() const;
 
+  /// One full train-and-publish cycle (the historical RetrainLearning
+  /// body), executed on the trainer thread. Copies the data under
+  /// state_mu_, trains outside all locks, installs + publishes under
+  /// state_mu_, then syncs the durable store so a journaling failure is
+  /// surfaced in the report instead of swallowed.
+  RetrainReport RetrainNow();
+
   PipelineConfig config_;
   /// Owns the repository when storage is enabled; its journal hook stays
   /// installed for the repository's whole life, so it is declared before
@@ -352,6 +393,12 @@ class ChimeraPipeline {
 
   /// Shared worker pool for batch serving (null when sequential).
   std::unique_ptr<ThreadPool> pool_;
+
+  /// The background trainer. Declared LAST so it is destroyed FIRST:
+  /// its destructor drains/abandons all training work while every other
+  /// member (repo, store, caches, pool) is still alive, and nothing can
+  /// publish once it returns.
+  std::unique_ptr<BackgroundTrainer> trainer_;
 };
 
 }  // namespace rulekit::chimera

@@ -1,0 +1,144 @@
+#include "src/chimera/trainer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rulekit::chimera {
+
+BackgroundTrainer::BackgroundTrainer(RetrainPolicy policy, RunFn run_fn)
+    : policy_(std::move(policy)),
+      run_fn_(std::move(run_fn)),
+      thread_([this] { ThreadMain(); }) {}
+
+BackgroundTrainer::~BackgroundTrainer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();  // drains the in-flight run; pending abandoned inside
+}
+
+std::shared_future<RetrainReport> BackgroundTrainer::Request() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    // Shutdown already began: resolve immediately instead of handing out
+    // a future no thread will ever fulfil.
+    lock.unlock();
+    std::promise<RetrainReport> promise;
+    std::shared_future<RetrainReport> future = promise.get_future().share();
+    RetrainReport report;
+    report.outcome = RetrainReport::Outcome::kAbandoned;
+    report.status =
+        Status::FailedPrecondition("trainer is shut down; retrain abandoned");
+    report.coalesced_requests = 1;
+    promise.set_value(std::move(report));
+    return future;
+  }
+  if (!pending_.has_value()) {
+    pending_.emplace();
+    pending_->future = pending_->promise.get_future().share();
+    pending_->enqueued = Clock::now();
+  }
+  ++pending_->coalesced;
+  std::shared_future<RetrainReport> future = pending_->future;
+  lock.unlock();
+  cv_.notify_all();
+  return future;
+}
+
+void BackgroundTrainer::NotifyDataSize(size_t total_examples) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_size_ = std::max(data_size_, total_examples);
+  }
+  cv_.notify_all();  // a deferring min_new_examples gate may now pass
+}
+
+size_t BackgroundTrainer::runs_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_started_;
+}
+
+void BackgroundTrainer::Deliver(Pending& batch, RetrainReport report) {
+  if (policy_.report_sink) policy_.report_sink(report);
+  batch.promise.set_value(std::move(report));
+}
+
+void BackgroundTrainer::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || pending_.has_value(); });
+    if (stop_) break;
+
+    // Policy gates. A forced batch (oldest request older than
+    // max_queue_age) bypasses them entirely.
+    const Clock::time_point now = Clock::now();
+    const bool defer_mode = policy_.max_queue_age.count() > 0;
+    const Clock::time_point hard_at = pending_->enqueued + policy_.max_queue_age;
+    std::optional<RetrainReport::Outcome> gated;
+    Clock::time_point gate_opens_at = hard_at;
+    if (!(defer_mode && now >= hard_at)) {
+      if (policy_.min_interval.count() > 0 && has_last_run_ &&
+          now < last_run_done_ + policy_.min_interval) {
+        gated = RetrainReport::Outcome::kSkippedMinInterval;
+        gate_opens_at = last_run_done_ + policy_.min_interval;
+      } else if (policy_.min_new_examples > 0 &&
+                 data_size_ < last_trained_on_ + policy_.min_new_examples) {
+        // No timed reopening for this gate — only new data (which
+        // notifies) or the hard age can unblock it.
+        gated = RetrainReport::Outcome::kSkippedMinNewExamples;
+        gate_opens_at = hard_at;
+      }
+    }
+    if (gated.has_value()) {
+      if (defer_mode) {
+        // Keep the batch armed (still coalescing new requests) and
+        // re-evaluate when the gate may have opened, new data arrives,
+        // or shutdown begins.
+        cv_.wait_until(lock, std::min(gate_opens_at, hard_at));
+        continue;
+      }
+      Pending batch = std::move(*pending_);
+      pending_.reset();
+      lock.unlock();
+      RetrainReport report;
+      report.outcome = *gated;
+      report.coalesced_requests = batch.coalesced;
+      Deliver(batch, std::move(report));
+      lock.lock();
+      continue;
+    }
+
+    Pending batch = std::move(*pending_);
+    pending_.reset();
+    ++runs_started_;
+    lock.unlock();
+    RetrainReport report = run_fn_(batch.coalesced);
+    report.coalesced_requests = batch.coalesced;
+    lock.lock();
+    has_last_run_ = true;
+    last_run_done_ = Clock::now();
+    if (report.published) last_trained_on_ = report.trained_on;
+    lock.unlock();
+    Deliver(batch, std::move(report));
+    lock.lock();
+  }
+
+  // Shutdown: the in-flight run (if any) already completed above; a batch
+  // that never started is abandoned, never run — no late publishes.
+  if (pending_.has_value()) {
+    Pending batch = std::move(*pending_);
+    pending_.reset();
+    lock.unlock();
+    RetrainReport report;
+    report.outcome = RetrainReport::Outcome::kAbandoned;
+    report.status = Status::FailedPrecondition(
+        "trainer shut down before the queued retrain started");
+    report.coalesced_requests = batch.coalesced;
+    Deliver(batch, std::move(report));
+    lock.lock();
+  }
+}
+
+}  // namespace rulekit::chimera

@@ -1,0 +1,156 @@
+#ifndef RULEKIT_CHIMERA_TRAINER_H_
+#define RULEKIT_CHIMERA_TRAINER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace rulekit::chimera {
+
+/// What one retrain request (or the run it coalesced into) came to.
+/// Every future handed out by BackgroundTrainer::Request resolves with
+/// one of these — including skipped, abandoned, and empty-data requests,
+/// so callers never hang on a request that will not run.
+struct RetrainReport {
+  enum class Outcome {
+    kPublished,            // trained and swapped in a new ensemble
+    kNoTrainingData,       // ran, but there was nothing to train on
+    kSkippedMinInterval,   // gated: last run finished too recently
+    kSkippedMinNewExamples,// gated: not enough new labels since last run
+    kAbandoned,            // trainer shut down before the run started
+  };
+  Outcome outcome = Outcome::kPublished;
+  /// OK unless publishing hit a durability error (the in-memory ensemble
+  /// is still live — see DESIGN.md on journal-failure semantics) or the
+  /// request was abandoned at shutdown.
+  Status status;
+  bool published = false;
+  /// Labeled examples the run trained on (0 when it never ran).
+  size_t trained_on = 0;
+  /// Requests folded into this run (>= 1 for anything that ran; a burst
+  /// of N requests during one in-flight run yields one follow-up run
+  /// with coalesced_requests == N).
+  size_t coalesced_requests = 0;
+  /// The pipeline's semantic_generation after the publish (0 otherwise).
+  uint64_t publish_generation = 0;
+  double duration_ms = 0.0;
+};
+
+/// When the trainer actually runs a requested retrain. All gates default
+/// to off, so the default policy runs every request — which is what keeps
+/// the synchronous RetrainLearning() wrapper byte-identical to the
+/// historical blocking call.
+struct RetrainPolicy {
+  /// Minimum time between the *end* of one training run and the start of
+  /// the next. 0 = no throttle. The first run is never interval-gated.
+  std::chrono::milliseconds min_interval{0};
+  /// Minimum labeled examples accumulated beyond the last published
+  /// run's training-set size before another run is worthwhile. 0 = off.
+  size_t min_new_examples = 0;
+  /// What happens to a gated request. 0 (default): it resolves
+  /// immediately as skipped — fire-and-forget callers get cheap
+  /// throttling. > 0: the request *defers* (still coalescing later
+  /// requests) until the gates pass, but is force-run once the oldest
+  /// coalesced request has waited this long, so no request waits
+  /// unboundedly for a gate that data drift may never satisfy.
+  std::chrono::milliseconds max_queue_age{0};
+  /// Test hook, fired on the trainer thread at the start of every
+  /// training run (after the data snapshot is copied, before fitting).
+  /// Tests block in it to hold a run in flight; leave unset in
+  /// production.
+  std::function<void()> train_probe;
+  /// Fired on the trainer thread with every delivered report — published,
+  /// skipped, or abandoned — *before* the request's future resolves, so a
+  /// waiter observes its own report already sunk. Typically bound to
+  /// QualityMonitor::RecordRetrain. Must be thread-safe.
+  std::function<void(const RetrainReport&)> report_sink;
+};
+
+/// A dedicated training thread with a one-slot coalescing request queue.
+///
+/// Queue states: idle (no pending request), armed (one pending request
+/// batch, trainer about to pick it up or deferring on a policy gate), and
+/// running (a training run in flight). Request() in idle arms the slot;
+/// Request() while armed or running folds into the existing pending batch
+/// (same future, coalesced count + 1) — so any burst collapses to at most
+/// one in-flight run plus one pending run, and the pending run copies its
+/// data snapshot only when it starts: latest data wins.
+///
+/// Shutdown (destructor) drains the in-flight run to completion — its
+/// publish happens-before the destructor returns — and abandons the armed
+/// batch, resolving its future with kAbandoned instead of running it.
+/// Nothing is ever published after shutdown returns.
+///
+/// Lock discipline: the trainer's mutex is never held while `run_fn`
+/// executes (it takes pipeline locks), and pipeline locks are never held
+/// while calling into the trainer (ChimeraPipeline notifies after
+/// unlocking), so the two lock domains never nest in either order.
+class BackgroundTrainer {
+ public:
+  using RunFn = std::function<RetrainReport(size_t coalesced_requests)>;
+
+  /// `run_fn` performs one full train-and-publish cycle; it runs on the
+  /// trainer thread with no trainer lock held.
+  BackgroundTrainer(RetrainPolicy policy, RunFn run_fn);
+
+  /// Drains the in-flight run (if any), abandons the pending batch (if
+  /// any), and joins the thread. Safe to call with requests outstanding.
+  ~BackgroundTrainer();
+
+  BackgroundTrainer(const BackgroundTrainer&) = delete;
+  BackgroundTrainer& operator=(const BackgroundTrainer&) = delete;
+
+  /// Enqueue-or-coalesce; returns immediately (a mutex-protected pointer
+  /// update — never waits on training). After shutdown began, resolves
+  /// immediately as kAbandoned.
+  std::shared_future<RetrainReport> Request();
+
+  /// Informs the policy gates of the current labeled-example count.
+  /// Called by the pipeline after releasing its own locks; wakes a
+  /// deferring trainer so a min_new_examples gate re-evaluates.
+  void NotifyDataSize(size_t total_examples);
+
+  /// Training runs started since construction (skips and abandons do not
+  /// count). Test observability for the coalescing guarantees.
+  size_t runs_started() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::promise<RetrainReport> promise;
+    std::shared_future<RetrainReport> future;
+    Clock::time_point enqueued;  // oldest coalesced request's arrival
+    size_t coalesced = 0;
+  };
+
+  void ThreadMain();
+  /// Sinks the report and resolves the batch's future. No locks held.
+  void Deliver(Pending& batch, RetrainReport report);
+
+  const RetrainPolicy policy_;
+  const RunFn run_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::optional<Pending> pending_;
+  size_t data_size_ = 0;        // latest NotifyDataSize value
+  size_t last_trained_on_ = 0;  // size of the last *published* run's data
+  bool has_last_run_ = false;
+  Clock::time_point last_run_done_{};
+  size_t runs_started_ = 0;
+
+  std::thread thread_;  // last: started after all state above exists
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_TRAINER_H_

@@ -201,8 +201,13 @@ Status DurableRuleStore::Compact() {
 }
 
 Status DurableRuleStore::CompactLocked() {
-  RULEKIT_RETURN_IF_ERROR(wal_.Sync());
-  wal_.Close();
+  // The WAL may already be closed (a previous compaction failed AND its
+  // old-epoch reopen failed); a retry must still attempt the compaction
+  // below — succeeding re-establishes journaling on a fresh epoch.
+  if (wal_.is_open()) {
+    RULEKIT_RETURN_IF_ERROR(wal_.Sync());
+    wal_.Close();
+  }
   Status st = CompactClosedLocked();
   if (!st.ok() && !wal_.is_open()) {
     // The failure left no live log (auto-compaction runs inside OnCommit,

@@ -118,7 +118,12 @@ Status WriteAheadLog::Append(std::string_view payload) {
 }
 
 Status WriteAheadLog::Sync() {
-  if (fd_ < 0) return Status::OK();
+  // A closed log cannot make anything durable — callers that reach here
+  // (e.g. DurableRuleStore::Sync after a doubly-failed compaction severed
+  // journaling) must hear about it, not get a silent OK.
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL is closed: " + path_);
+  }
   appends_since_sync_ = 0;
   if (::fsync(fd_) != 0) return Errno("fsync failed", path_);
   return Status::OK();

@@ -498,6 +498,99 @@ TEST(HotCacheConcurrencyTest, CachedServingSurvivesConcurrentMaintenance) {
   }
 }
 
+// Background retraining under fire: readers batch-classify (with the hot
+// cache on) while one writer commits rules/labels and another fires
+// RequestRetrain continuously. Every reader asserts the published
+// semantic_generation never moves backwards, every retrain future must
+// resolve, and — because retrains bump the generation — no reader may be
+// served a hot-cache winner computed under a superseded ensemble (the
+// quiesced byte-identity check at the end would catch a stale serve).
+TEST(BackgroundRetrainTest, RetrainUnderFireKeepsServingCoherent) {
+  Corpus corpus(600, 97, 12);
+  PipelineConfig config;
+  config.batch_threads = 2;
+  config.hot_cache.enabled = true;
+  config.hot_cache.capacity = 2048;
+  config.hot_cache.admit_after = 1;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  constexpr int kReaders = 2;
+  constexpr int kBatchesPerReader = 12;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_gen = 0;
+      for (int b = 0; b < kBatchesPerReader; ++b) {
+        const uint64_t gen = pipeline.semantic_generation();
+        ASSERT_GE(gen, last_gen) << "semantic_generation went backwards";
+        last_gen = gen;
+        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        ASSERT_EQ(report.total, corpus.items.size());
+        ASSERT_EQ(report.gate_classified + report.gate_rejected +
+                      report.classified + report.filtered +
+                      report.suppressed + report.declined,
+                  report.total);
+      }
+    });
+  }
+
+  std::thread rule_writer([&] {
+    const auto& specs = corpus.gen->specs();
+    data::GeneratorConfig label_config = corpus.config;
+    label_config.seed = corpus.config.seed + 7;
+    data::CatalogGenerator label_gen(label_config);
+    for (int round = 0; round < 20; ++round) {
+      if (round % 2 == 0) {
+        auto rule = rules::Rule::Whitelist(
+            "retrain-fire-" + std::to_string(round),
+            "(zzz|retrainfire)[a-z]*" + std::to_string(round),
+            specs[round % specs.size()].name);
+        ASSERT_TRUE(rule.ok());
+        ASSERT_TRUE(pipeline.AddRules({*rule}, "writer").ok());
+      } else {
+        pipeline.AddTrainingData(label_gen.GenerateMany(40));
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::shared_future<RetrainReport>> retrains;
+  std::thread retrainer([&] {
+    for (int i = 0; i < 15; ++i) {
+      retrains.push_back(pipeline.RequestRetrain());
+      std::this_thread::yield();
+    }
+  });
+
+  rule_writer.join();
+  retrainer.join();
+  size_t published = 0;
+  for (auto& f : retrains) {
+    RetrainReport report = f.get();  // every future must resolve
+    if (report.published) {
+      ++published;
+      EXPECT_GT(report.publish_generation, 0u);
+      EXPECT_GT(report.trained_on, 0u);
+    }
+  }
+  EXPECT_GE(published, 1u);
+  for (auto& t : readers) t.join();
+
+  // Quiesced: repeats now hit the cache, and everything served — cached
+  // or computed — matches the per-item path against the final snapshot,
+  // so no stale entry survived the retrain generation bumps.
+  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  BatchReport again = pipeline.ProcessBatch(corpus.items);
+  EXPECT_GT(again.cache_hits, 0u);
+  for (size_t i = 0; i < corpus.items.size(); ++i) {
+    ASSERT_EQ(final_report.predictions[i], again.predictions[i])
+        << "item " << i;
+    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+        << "item " << i;
+  }
+}
+
 // MemoizeAll publishes one memo version for a whole confirmed batch, and
 // concurrent bulk memoizers never lose each other's entries.
 TEST(HotCacheConcurrencyTest, ConcurrentMemoizeAllLosesNothing) {

@@ -22,11 +22,12 @@
 #include "src/rules/rule_parser.h"
 #include "src/storage/codec.h"
 #include "src/text/aho_corasick.h"
+#include "tests/seeded_test.h"
 
 namespace rulekit {
 namespace {
 
-class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+class SeededTest : public SeedAwareTest {};
 
 // ---------------------------------------------------------------------------
 // Greedy selection invariants.
@@ -550,8 +551,9 @@ pred p1: title ~ "wrench(es)?" and not has(ISBN) => tools
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
-                         ::testing::Values(11u, 22u, 33u, 44u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SeededTest,
+    ::testing::ValuesIn(SeedsOrOverride({11u, 22u, 33u, 44u})));
 
 }  // namespace
 }  // namespace rulekit

@@ -11,6 +11,7 @@
 #include "src/regex/containment.h"
 #include "src/regex/dfa.h"
 #include "src/regex/regex.h"
+#include "tests/seeded_test.h"
 
 namespace rulekit::regex {
 namespace {
@@ -53,7 +54,7 @@ std::string RandomText(Rng& rng, size_t max_len) {
   return out;
 }
 
-class RegexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+class RegexPropertyTest : public ::rulekit::SeedAwareTest {};
 
 TEST_P(RegexPropertyTest, DfaAgreesWithNfaFullMatch) {
   Rng rng(GetParam());
@@ -167,8 +168,10 @@ TEST_P(RegexPropertyTest, PrefilterIsSoundOnRandomTexts) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RegexPropertyTest,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RegexPropertyTest,
+    ::testing::ValuesIn(
+        ::rulekit::SeedsOrOverride({1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u})));
 
 }  // namespace
 }  // namespace rulekit::regex

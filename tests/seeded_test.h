@@ -1,0 +1,56 @@
+#ifndef RULEKIT_TESTS_SEEDED_TEST_H_
+#define RULEKIT_TESTS_SEEDED_TEST_H_
+
+// Seed plumbing for the randomized property suites: every assertion that
+// fails inside a seeded test names the RNG seed that produced it, and
+// setting RULEKIT_SEED=<n> reruns the suite on exactly that seed — so any
+// CI failure replays locally with one command, e.g.
+//
+//   RULEKIT_SEED=1234 ./property_test
+//
+// (gtest already dedups the parameterized test names, so the override
+// simply swaps the default seed list for the single requested one.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rulekit {
+
+/// The suite's default seeds, unless RULEKIT_SEED overrides them with a
+/// single seed. A non-numeric override is ignored (defaults run).
+inline std::vector<uint64_t> SeedsOrOverride(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("RULEKIT_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return {static_cast<uint64_t>(v)};
+  }
+  return defaults;
+}
+
+/// Fixture for seed-parameterized property tests: the seed (and the
+/// replay command) is pushed onto the gtest trace stack for the whole
+/// test body, so it prints with any failure message.
+class SeedAwareTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    trace_ = std::make_unique<::testing::ScopedTrace>(
+        __FILE__, __LINE__,
+        "RNG seed " + std::to_string(GetParam()) +
+            " (replay: RULEKIT_SEED=" + std::to_string(GetParam()) + ")");
+  }
+
+  void TearDown() override { trace_.reset(); }
+
+ private:
+  std::unique_ptr<::testing::ScopedTrace> trace_;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_TESTS_SEEDED_TEST_H_

@@ -763,6 +763,59 @@ TEST(PipelineStorageTest, StorageDirSurvivesPipelineRestart) {
   EXPECT_EQ(history[1].detail, "pause");
 }
 
+// A journal failure during an async-retrain publish is surfaced in the
+// RetrainReport instead of swallowed: sever journaling completely (a
+// compaction that fails AND cannot reopen its old-epoch log — the WAL
+// stays closed), then let the background trainer publish. The in-memory
+// ensemble must still go live (the emergency-lever semantics every other
+// journal failure follows), but report.status must carry the WAL error.
+// Before this regression test, WriteAheadLog::Sync() returned OK on a
+// closed log, so the trainer's durability flush reported success while
+// nothing was journaled.
+TEST(PipelineStorageTest, RetrainReportSurfacesSeveredJournal) {
+  std::string dir = ScratchDir();
+  chimera::PipelineConfig config;
+  config.storage_dir = dir;
+  config.rule_shards = 2;
+  chimera::ChimeraPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.storage_status().ok())
+      << pipeline.storage_status().ToString();
+  auto parsed = rules::ParseRules("whitelist rings1: rings? => rings\n");
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "analyst").ok());
+  std::vector<data::LabeledItem> labeled;
+  for (int i = 0; i < 8; ++i) {
+    data::LabeledItem li;
+    li.item.title = "gold ring model " + std::to_string(i);
+    li.label = "rings";
+    labeled.push_back(std::move(li));
+  }
+  pipeline.AddTrainingData(labeled);
+
+  // Healthy journal: the publish's durability flush reports OK.
+  chimera::RetrainReport healthy = pipeline.RequestRetrain().get();
+  ASSERT_TRUE(healthy.published);
+  EXPECT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+
+  // Sabotage: the snapshot temp path is squatted (compaction fails) and
+  // the epoch-0 WAL is replaced by a directory (the failure-path reopen
+  // fails too) — journaling is now severed, the WAL closed.
+  fs::create_directories(dir + "/snapshot-1.tmp");
+  fs::remove(dir + "/wal-0");
+  fs::create_directories(dir + "/wal-0");
+  ASSERT_FALSE(pipeline.storage()->Compact().ok());
+
+  chimera::RetrainReport severed = pipeline.RequestRetrain().get();
+  EXPECT_TRUE(severed.published);  // in-memory serving still updated
+  ASSERT_FALSE(severed.status.ok());
+  EXPECT_NE(severed.status.message().find("WAL is closed"),
+            std::string::npos)
+      << severed.status.ToString();
+  // The degraded ensemble really is live: the pipeline still classifies.
+  data::ProductItem item;
+  item.title = "diamond ring";
+  EXPECT_EQ(pipeline.Classify(item).value_or(""), "rings");
+}
+
 TEST(PipelineStorageTest, OpenFailureFallsBackToInMemory) {
   std::string dir = ScratchDir();
   // A plain file where the store directory should be.
