@@ -6,11 +6,15 @@
 // AddRules/ScaleDownType never block in-flight classification — and
 // (d) the hot-title result cache on a Zipf-skewed repeated-title replay
 // (real catalog feeds re-send their head titles constantly), emitting
-// BENCH_hot_cache.json with throughput and cache counters.
+// BENCH_hot_cache.json with throughput and cache counters, and (e) a
+// multi-tenant interleaved replay — a quiet Zipf tenant sharing the
+// pipeline with a noisy high-churn neighbour, solo vs shared-pool vs
+// isolated per-tenant partitions — emitting BENCH_multi_tenant.json.
 // (google-benchmark binary; JSON via --benchmark_format=json.)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <memory>
@@ -322,6 +326,140 @@ void RunHotCacheReplay() {
   std::printf("  wrote BENCH_hot_cache.json\n\n");
 }
 
+// ---- Multi-tenant interleaved replay (BENCH_multi_tenant.json) ---------
+//
+// A quiet tenant replays a Zipf-skewed stream (a stable hot head, the
+// cache's best case) while a noisy neighbour interleaves batches of
+// never-repeating titles AND commits a rule every step. Three scenarios,
+// identical quiet stream:
+//   solo      — the quiet tenant alone (its ceiling hit rate)
+//   shared    — one shared cache pool + shared rule namespace (the
+//               pre-tenancy world): the flood evicts the quiet head and
+//               every churn commit stale-drops what survives
+//   isolated  — per-tenant partitions and tenant-scoped commits: the
+//               noisy tenant can only hurt itself
+// The acceptance bar is the quiet tenant's isolated hit rate landing
+// within 5% of solo.
+void RunMultiTenantReplay() {
+  Fixture& f = GetFixture();
+  constexpr size_t kSteps = 20;
+  constexpr size_t kQuietBatch = 2500;
+  constexpr size_t kNoisyBatch = 2000;
+  constexpr double kZipfS = 1.2;
+
+  Rng rng(778);
+  std::vector<std::vector<data::ProductItem>> quiet(kSteps);
+  for (auto& batch : quiet) {
+    batch.reserve(kQuietBatch);
+    for (size_t i = 0; i < kQuietBatch; ++i) {
+      batch.push_back(
+          f.items[static_cast<size_t>(rng.Zipf(f.items.size(), kZipfS))]);
+    }
+  }
+  std::vector<std::vector<data::ProductItem>> noisy(kSteps);
+  size_t serial = 0;
+  for (auto& batch : noisy) {
+    batch.reserve(kNoisyBatch);
+    for (size_t i = 0; i < kNoisyBatch; ++i, ++serial) {
+      // A fixture title with a unique suffix: a fresh cache key every
+      // time (nothing ever repeats), but still classifiable by the same
+      // rules — the pure-flood worst case for a shared pool.
+      data::ProductItem item = f.items[serial % f.items.size()];
+      item.title += " lot " + std::to_string(serial);
+      batch.push_back(std::move(item));
+    }
+  }
+
+  struct Scenario {
+    double hit_rate = 0.0;
+    double p95_ms = 0.0;
+    size_t stale_drops = 0;
+    size_t classified = 0;
+  };
+  auto run_scenario = [&](bool with_noisy, bool isolated) {
+    chimera::PipelineConfig config;
+    config.use_learning = false;
+    config.hot_cache.enabled = true;
+    config.hot_cache.capacity = 1 << 13;  // << the noisy unique count
+    config.hot_cache.admit_after = 1;
+    chimera::ChimeraPipeline pipeline(config);
+    for (const auto& rules : f.per_type_rules) {
+      (void)pipeline.AddRules(rules, "bench");
+    }
+    const rules::TenantId quiet_id(isolated ? "quiet" : "");
+    const rules::TenantId noisy_id(isolated ? "noisy" : "");
+    const auto& specs = f.gen->specs();
+    Scenario out;
+    std::vector<double> latencies;
+    size_t hits = 0, lookups = 0;
+    for (size_t step = 0; step < kSteps; ++step) {
+      if (with_noisy) {
+        (void)pipeline.ProcessBatch(noisy[step], noisy_id);
+        auto rule = rules::Rule::Whitelist(
+            "churn-" + std::to_string(step),
+            "(qqq|noisychurn)[a-z]*" + std::to_string(step),
+            specs[step % specs.size()].name);
+        if (rule.ok()) (void)pipeline.AddRules({*rule}, "noisy", noisy_id);
+      }
+      Stopwatch timer;
+      chimera::BatchReport report =
+          pipeline.ProcessBatch(quiet[step], quiet_id);
+      latencies.push_back(timer.ElapsedSeconds() * 1000.0);
+      hits += report.cache_hits;
+      lookups += report.cache_hits + report.cache_misses;
+      out.stale_drops += report.cache_stale_drops;
+      out.classified += report.classified;
+    }
+    out.hit_rate =
+        lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+    std::sort(latencies.begin(), latencies.end());
+    out.p95_ms =
+        latencies[static_cast<size_t>(0.95 * (latencies.size() - 1))];
+    return out;
+  };
+
+  Scenario solo = run_scenario(false, false);
+  Scenario shared = run_scenario(true, false);
+  Scenario isolated = run_scenario(true, true);
+  const double delta = solo.hit_rate - isolated.hit_rate;
+
+  std::printf("Multi-tenant replay (quiet Zipf s=%.2f, %zu steps x %zu "
+              "items vs noisy %zu-item flood + 1 rule commit/step):\n",
+              kZipfS, kSteps, kQuietBatch, kNoisyBatch);
+  std::printf("  quiet solo:     hit rate %.3f, p95 %7.2f ms\n",
+              solo.hit_rate, solo.p95_ms);
+  std::printf("  shared pool:    hit rate %.3f, p95 %7.2f ms, "
+              "stale drops %zu\n",
+              shared.hit_rate, shared.p95_ms, shared.stale_drops);
+  std::printf("  isolated:       hit rate %.3f, p95 %7.2f ms, "
+              "stale drops %zu\n",
+              isolated.hit_rate, isolated.p95_ms, isolated.stale_drops);
+  std::printf("  isolation delta vs solo: %.3f (acceptance: < 0.05 of "
+              "solo)\n",
+              delta);
+
+  std::ofstream json("BENCH_multi_tenant.json");
+  json << "{\n"
+       << "  \"benchmark\": \"bench_batch_throughput/multi_tenant_replay\",\n"
+       << "  \"zipf_s\": " << kZipfS << ",\n"
+       << "  \"steps\": " << kSteps << ",\n"
+       << "  \"quiet_batch_size\": " << kQuietBatch << ",\n"
+       << "  \"noisy_batch_size\": " << kNoisyBatch << ",\n"
+       << "  \"solo_hit_rate\": " << solo.hit_rate << ",\n"
+       << "  \"solo_p95_ms\": " << solo.p95_ms << ",\n"
+       << "  \"shared_hit_rate\": " << shared.hit_rate << ",\n"
+       << "  \"shared_p95_ms\": " << shared.p95_ms << ",\n"
+       << "  \"shared_stale_drops\": " << shared.stale_drops << ",\n"
+       << "  \"isolated_hit_rate\": " << isolated.hit_rate << ",\n"
+       << "  \"isolated_p95_ms\": " << isolated.p95_ms << ",\n"
+       << "  \"isolated_stale_drops\": " << isolated.stale_drops << ",\n"
+       << "  \"isolated_delta_vs_solo\": " << delta << ",\n"
+       << "  \"quiet_classified_solo\": " << solo.classified << ",\n"
+       << "  \"quiet_classified_isolated\": " << isolated.classified << "\n"
+       << "}\n";
+  std::printf("  wrote BENCH_multi_tenant.json\n\n");
+}
+
 BENCHMARK(BM_PerItemClassifyBaseline)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProcessBatchRepeatedTitles)
     ->Arg(0)
@@ -361,5 +499,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   RunHotCacheReplay();
+  RunMultiTenantReplay();
   return 0;
 }

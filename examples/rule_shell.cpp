@@ -5,6 +5,9 @@
 //   add <dsl line>            add a rule (audited)
 //   disable <id> | enable <id> | retire <id>
 //   classify <title>          classify a title with the current rules
+//   tenant [<id>]             scope the session to a tenant ("" = default):
+//                             add/disable/classify act through its view
+//   tenants                   list tenants known to any layer
 //   list                      print active rules
 //   history <id>              audit history of a rule
 //   subsumed                  run the subsumption advisor
@@ -100,9 +103,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
-              "enable, retire,\nclassify, list, history, subsumed, open, "
-              "status, compact, save, load, quit\n",
+              "enable, retire,\nclassify, tenant, tenants, list, history, "
+              "subsumed, open, status, compact,\nsave, load, quit\n",
               pipeline->rule_set().CountActive());
+
+  // The session's tenant scope: edits and classifications run through
+  // this tenant's view until the next `tenant` command.
+  rules::TenantId scope;
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -122,25 +129,38 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", parsed.status().ToString().c_str());
         continue;
       }
-      auto st = pipeline->AddRules(std::move(parsed).value(), "shell-user");
+      auto st =
+          pipeline->AddRules(std::move(parsed).value(), "shell-user", scope);
       std::printf("%s\n", st.ok() ? "added" : st.ToString().c_str());
     } else if (cmd == "disable" || cmd == "enable" || cmd == "retire") {
       // One transaction per command: the commit journals the edit to the
       // store (when open), applies it, and republishes the touched shard.
+      // A tenant-scoped session may only edit its own rules.
       rules::RuleId id(rest);
       Status st = pipeline->Mutate(
-          "shell-user", [&](rules::RuleTransaction& txn) {
+          "shell-user",
+          [&](rules::RuleTransaction& txn) {
             return cmd == "disable" ? txn.Disable(id, "via shell")
                    : cmd == "enable" ? txn.Enable(id)
                                      : txn.Retire(id, "via shell");
-          });
+          },
+          scope);
       std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
     } else if (cmd == "classify") {
       data::ProductItem item;
       item.title = rest;
-      auto result = pipeline->Classify(item);
+      auto result = pipeline->Classify(item, scope);
       std::printf("%s -> %s\n", rest.c_str(),
                   result.has_value() ? result->c_str() : "(unclassified)");
+    } else if (cmd == "tenant") {
+      scope = rules::TenantId(rest);
+      std::printf("scoped to tenant %s\n", scope.display().c_str());
+    } else if (cmd == "tenants") {
+      for (const std::string& tenant : pipeline->Tenants()) {
+        const rules::TenantId id(tenant);
+        std::printf("  %s%s\n", id.display().c_str(),
+                    id == scope ? "  (current)" : "");
+      }
     } else if (cmd == "list") {
       std::printf("%s", pipeline->rule_set().ToDsl().c_str());
     } else if (cmd == "history") {

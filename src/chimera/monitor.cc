@@ -1,13 +1,40 @@
 #include "src/chimera/monitor.h"
 
+#include <algorithm>
+
 namespace rulekit::chimera {
 
-void QualityMonitor::Record(const BatchQuality& quality) {
-  history_.push_back(quality);
+namespace {
+
+/// A shared empty buffer so tenant accessors can return a reference for
+/// tenants that were never recorded against.
+template <typename T>
+const RingBuffer<T>& EmptyBuffer() {
+  static const RingBuffer<T> kEmpty(1);
+  return kEmpty;
 }
 
-void QualityMonitor::RecordCache(const CacheActivity& activity) {
-  cache_history_.push_back(activity);
+}  // namespace
+
+void QualityMonitor::Record(const BatchQuality& quality,
+                            const std::string& tenant) {
+  auto it = history_.find(tenant);
+  if (it == history_.end()) {
+    it = history_.emplace(tenant, RingBuffer<BatchQuality>(max_history_))
+             .first;
+  }
+  it->second.push_back(quality);
+}
+
+void QualityMonitor::RecordCache(const CacheActivity& activity,
+                                 const std::string& tenant) {
+  auto it = cache_history_.find(tenant);
+  if (it == cache_history_.end()) {
+    it = cache_history_
+             .emplace(tenant, RingBuffer<CacheActivity>(max_history_))
+             .first;
+  }
+  it->second.push_back(activity);
 }
 
 void QualityMonitor::RecordRetrain(const RetrainReport& report) {
@@ -15,41 +42,112 @@ void QualityMonitor::RecordRetrain(const RetrainReport& report) {
   retrain_history_.push_back(report);
 }
 
+const RingBuffer<BatchQuality>& QualityMonitor::history(
+    const std::string& tenant) const {
+  auto it = history_.find(tenant);
+  return it == history_.end() ? EmptyBuffer<BatchQuality>() : it->second;
+}
+
+const RingBuffer<CacheActivity>& QualityMonitor::cache_history(
+    const std::string& tenant) const {
+  auto it = cache_history_.find(tenant);
+  return it == cache_history_.end() ? EmptyBuffer<CacheActivity>()
+                                    : it->second;
+}
+
 std::vector<RetrainReport> QualityMonitor::retrain_history() const {
   std::lock_guard<std::mutex> lock(retrain_mu_);
-  return retrain_history_;
+  std::vector<RetrainReport> out;
+  out.reserve(retrain_history_.size());
+  for (size_t i = 0; i < retrain_history_.size(); ++i) {
+    out.push_back(retrain_history_[i]);
+  }
+  return out;
+}
+
+std::vector<RetrainReport> QualityMonitor::retrain_history(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  std::vector<RetrainReport> out;
+  for (size_t i = 0; i < retrain_history_.size(); ++i) {
+    if (retrain_history_[i].tenant == tenant) {
+      out.push_back(retrain_history_[i]);
+    }
+  }
+  return out;
 }
 
 size_t QualityMonitor::retrains_published() const {
   std::lock_guard<std::mutex> lock(retrain_mu_);
   size_t published = 0;
-  for (const RetrainReport& r : retrain_history_) {
-    if (r.published) ++published;
+  for (size_t i = 0; i < retrain_history_.size(); ++i) {
+    if (retrain_history_[i].published) ++published;
   }
   return published;
 }
 
-double QualityMonitor::CacheHitRate(size_t window) const {
+size_t QualityMonitor::retrains_published(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  size_t published = 0;
+  for (size_t i = 0; i < retrain_history_.size(); ++i) {
+    if (retrain_history_[i].published &&
+        retrain_history_[i].tenant == tenant) {
+      ++published;
+    }
+  }
+  return published;
+}
+
+double QualityMonitor::CacheHitRate(const std::string& tenant,
+                                    size_t window) const {
+  const RingBuffer<CacheActivity>& buffer = cache_history(tenant);
   size_t begin = 0;
-  if (window != 0 && window < cache_history_.size()) {
-    begin = cache_history_.size() - window;
+  if (window != 0 && window < buffer.size()) {
+    begin = buffer.size() - window;
   }
   size_t lookups = 0, hits = 0;
-  for (size_t i = begin; i < cache_history_.size(); ++i) {
-    lookups += cache_history_[i].lookups;
-    hits += cache_history_[i].hits;
+  for (size_t i = begin; i < buffer.size(); ++i) {
+    lookups += buffer[i].lookups;
+    hits += buffer[i].hits;
   }
   return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
 }
 
-bool QualityMonitor::DegradationAlarm() const {
-  if (history_.empty()) return false;
-  return history_.back().precision.estimate < threshold_;
+bool QualityMonitor::DegradationAlarm(const std::string& tenant) const {
+  const RingBuffer<BatchQuality>& buffer = history(tenant);
+  if (buffer.empty()) return false;
+  return buffer.back().precision.estimate < threshold_;
 }
 
-bool QualityMonitor::SevereDegradationAlarm() const {
-  if (history_.empty()) return false;
-  return history_.back().precision.upper < threshold_;
+bool QualityMonitor::SevereDegradationAlarm(
+    const std::string& tenant) const {
+  const RingBuffer<BatchQuality>& buffer = history(tenant);
+  if (buffer.empty()) return false;
+  return buffer.back().precision.upper < threshold_;
+}
+
+std::vector<std::string> QualityMonitor::Tenants() const {
+  std::vector<std::string> out;
+  for (const auto& [tenant, buffer] : history_) {
+    if (!buffer.empty() || tenant.empty()) out.push_back(tenant);
+  }
+  for (const auto& [tenant, buffer] : cache_history_) {
+    if (buffer.empty() && !tenant.empty()) continue;
+    if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+      out.push_back(tenant);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(retrain_mu_);
+    for (size_t i = 0; i < retrain_history_.size(); ++i) {
+      const std::string& tenant = retrain_history_[i].tenant;
+      if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+        out.push_back(tenant);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());  // "" sorts first: default leads
+  return out;
 }
 
 }  // namespace rulekit::chimera

@@ -1,12 +1,13 @@
 #ifndef RULEKIT_CHIMERA_MONITOR_H_
 #define RULEKIT_CHIMERA_MONITOR_H_
 
-#include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/chimera/trainer.h"
+#include "src/common/ring_buffer.h"
 #include "src/crowd/estimator.h"
 
 namespace rulekit::chimera {
@@ -34,57 +35,100 @@ struct CacheActivity {
 /// Tracks batch-level precision and raises a degradation alarm when the
 /// estimate falls below the business threshold (§2.2 requirement 3:
 /// "detect such quality problems quickly").
+///
+/// All histories are partitioned by tenant (tenant "" is the default and
+/// always exists) and capped at `max_history` entries each — a ring
+/// buffer overwrites the oldest observation, so a monitor embedded in a
+/// long-running pipeline has bounded memory no matter how many batches
+/// flow through. Degradation alarms and cache hit rates evaluate one
+/// tenant's window in isolation: a degraded tenant alarms without its
+/// neighbours' healthy batches diluting the signal.
 class QualityMonitor {
  public:
-  explicit QualityMonitor(double precision_threshold = 0.92)
-      : threshold_(precision_threshold) {}
-
-  void Record(const BatchQuality& quality);
-
-  /// Folds one batch's cache counters into the cache history.
-  void RecordCache(const CacheActivity& activity);
-
-  /// Records one background-retrain report (published, skipped, or
-  /// abandoned). Unlike the other Record* methods this one is
-  /// thread-safe: it is the natural `RetrainPolicy::report_sink` target
-  /// and thus runs on the trainer thread.
-  void RecordRetrain(const RetrainReport& report);
-
-  const std::vector<BatchQuality>& history() const { return history_; }
-
-  const std::vector<CacheActivity>& cache_history() const {
-    return cache_history_;
+  explicit QualityMonitor(double precision_threshold = 0.92,
+                          size_t max_history = 4096)
+      : threshold_(precision_threshold),
+        max_history_(max_history == 0 ? 1 : max_history),
+        retrain_history_(max_history_) {
+    // The default tenant's buffers exist from construction so the
+    // reference-returning accessors below are always valid.
+    history_.emplace(std::string(), RingBuffer<BatchQuality>(max_history_));
+    cache_history_.emplace(std::string(),
+                           RingBuffer<CacheActivity>(max_history_));
   }
 
-  /// Copy of the retrain history (a copy because the trainer thread may
-  /// append concurrently).
+  void Record(const BatchQuality& quality, const std::string& tenant = {});
+
+  /// Folds one batch's cache counters into the cache history.
+  void RecordCache(const CacheActivity& activity,
+                   const std::string& tenant = {});
+
+  /// Records one background-retrain report (published, skipped, or
+  /// abandoned), filed under `report.tenant`. Unlike the other Record*
+  /// methods this one is thread-safe: it is the natural
+  /// `RetrainPolicy::report_sink` target and thus runs on the trainer
+  /// thread.
+  void RecordRetrain(const RetrainReport& report);
+
+  /// The default tenant's quality history (capped; oldest first).
+  const RingBuffer<BatchQuality>& history() const {
+    return history_.at(std::string());
+  }
+  /// `tenant`'s quality history (empty buffer if never recorded for).
+  const RingBuffer<BatchQuality>& history(const std::string& tenant) const;
+
+  const RingBuffer<CacheActivity>& cache_history() const {
+    return cache_history_.at(std::string());
+  }
+  const RingBuffer<CacheActivity>& cache_history(
+      const std::string& tenant) const;
+
+  /// Copy of the retrain history, all tenants in delivery order (a copy
+  /// because the trainer thread may append concurrently).
   std::vector<RetrainReport> retrain_history() const;
+  /// Copy of one tenant's retrain reports, in delivery order.
+  std::vector<RetrainReport> retrain_history(const std::string& tenant) const;
 
-  /// How many recorded retrain runs actually published an ensemble.
+  /// How many recorded retrain runs actually published an ensemble
+  /// (across all tenants).
   size_t retrains_published() const;
+  size_t retrains_published(const std::string& tenant) const;
 
-  /// Hit rate over the last `window` recorded batches (all of them when
-  /// window == 0). 0.0 when no lookups were recorded.
-  double CacheHitRate(size_t window = 0) const;
+  /// Hit rate over the default tenant's last `window` recorded batches
+  /// (all of them when window == 0). 0.0 when no lookups were recorded.
+  double CacheHitRate(size_t window = 0) const {
+    return CacheHitRate(std::string(), window);
+  }
+  double CacheHitRate(const std::string& tenant, size_t window) const;
 
-  /// True if the most recent batch's precision point estimate is below
-  /// threshold.
-  bool DegradationAlarm() const;
+  /// True if the default tenant's most recent batch precision point
+  /// estimate is below threshold.
+  bool DegradationAlarm() const { return DegradationAlarm(std::string()); }
+  bool DegradationAlarm(const std::string& tenant) const;
 
   /// True if even the Wilson upper bound is below threshold — i.e. the
   /// degradation is statistically unambiguous.
-  bool SevereDegradationAlarm() const;
+  bool SevereDegradationAlarm() const {
+    return SevereDegradationAlarm(std::string());
+  }
+  bool SevereDegradationAlarm(const std::string& tenant) const;
+
+  /// Tenants with any recorded observation, default ("") first, the rest
+  /// sorted.
+  std::vector<std::string> Tenants() const;
 
   double threshold() const { return threshold_; }
+  size_t max_history() const { return max_history_; }
 
  private:
   double threshold_;
-  std::vector<BatchQuality> history_;
-  std::vector<CacheActivity> cache_history_;
+  size_t max_history_;
+  std::map<std::string, RingBuffer<BatchQuality>> history_;
+  std::map<std::string, RingBuffer<CacheActivity>> cache_history_;
   /// Guards retrain_history_ only — the one history fed from another
   /// thread.
   mutable std::mutex retrain_mu_;
-  std::vector<RetrainReport> retrain_history_;
+  RingBuffer<RetrainReport> retrain_history_;
 };
 
 }  // namespace rulekit::chimera

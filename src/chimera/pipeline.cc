@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <set>
 
 #include "src/common/hash.h"
 #include "src/common/string_util.h"
@@ -13,7 +14,12 @@ ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
     : config_(std::move(config)) {
   const size_t shards = config_.rule_shards == 0 ? 1 : config_.rule_shards;
   if (config_.hot_cache.enabled && config_.hot_cache.capacity > 0) {
-    hot_cache_ = std::make_unique<engine::HotResultCache>(config_.hot_cache);
+    caches_ = std::make_unique<engine::TenantCacheSet>(config_.hot_cache);
+    for (const auto& [tenant, overrides] : config_.tenants) {
+      if (overrides.hot_cache.has_value()) {
+        caches_->SetConfig(tenant, *overrides.hot_cache);
+      }
+    }
   }
   if (!config_.storage_dir.empty()) {
     storage::StoreOptions opts = config_.storage;
@@ -35,8 +41,16 @@ ChimeraPipeline::ChimeraPipeline(PipelineConfig config)
   shard_cache_.resize(repo_->shard_count());
   RepublishAll();
   // Started last: the thread's run function touches the members above.
+  std::map<std::string, RetrainPolicy> tenant_policies;
+  for (const auto& [tenant, overrides] : config_.tenants) {
+    if (overrides.retrain.has_value()) {
+      tenant_policies[tenant] = *overrides.retrain;
+    }
+  }
   trainer_ = std::make_unique<BackgroundTrainer>(
-      config_.retrain, [this](size_t) { return RetrainNow(); });
+      config_.retrain,
+      [this](const std::string& tenant, size_t) { return RetrainNow(tenant); },
+      std::move(tenant_policies));
 }
 
 ChimeraPipeline::~ChimeraPipeline() {
@@ -70,12 +84,49 @@ void ChimeraPipeline::RepublishShards(
     auto serving = std::make_shared<ShardServing>();
     serving->shard_index = key.index();
     serving->rule_version = shard_snap.version;
+    serving->tenant_versions = shard_snap.tenant_versions;
     serving->rules = shard_snap.rules;
+    // Partition the shard's rules by owning tenant. The common case — no
+    // foreign-tenant rules — reuses the pinned set wholesale, so
+    // single-tenant serving builds exactly what it always built.
+    bool has_foreign = false;
+    for (const rules::Rule& rule : shard_snap.rules->rules()) {
+      if (!rule.metadata().tenant.empty()) {
+        has_foreign = true;
+        break;
+      }
+    }
+    std::shared_ptr<const rules::RuleSet> shared_rules = shard_snap.rules;
+    if (has_foreign) {
+      auto defaults = std::make_shared<rules::RuleSet>();
+      std::map<std::string, std::shared_ptr<rules::RuleSet>> tenant_sets;
+      for (const rules::Rule& rule : shard_snap.rules->rules()) {
+        const std::string& owner = rule.metadata().tenant;
+        if (owner.empty()) {
+          (void)defaults->Add(rule);
+          continue;
+        }
+        auto& set = tenant_sets[owner];
+        if (set == nullptr) set = std::make_shared<rules::RuleSet>();
+        (void)set->Add(rule);
+      }
+      shared_rules = std::move(defaults);
+      for (auto& [tenant, set] : tenant_sets) {
+        ShardServing::TenantPartition partition;
+        partition.rules = set;
+        partition.rule_classifier =
+            std::make_shared<engine::RuleBasedClassifier>(set);
+        partition.attr_classifier =
+            std::make_shared<engine::AttrValueClassifier>(set);
+        partition.filter = std::make_shared<Filter>(set);
+        serving->tenants.emplace(tenant, std::move(partition));
+      }
+    }
     serving->rule_classifier =
-        std::make_shared<engine::RuleBasedClassifier>(shard_snap.rules);
+        std::make_shared<engine::RuleBasedClassifier>(shared_rules);
     serving->attr_classifier =
-        std::make_shared<engine::AttrValueClassifier>(shard_snap.rules);
-    serving->filter = std::make_shared<Filter>(shard_snap.rules);
+        std::make_shared<engine::AttrValueClassifier>(shared_rules);
+    serving->filter = std::make_shared<Filter>(shared_rules);
     built.push_back(std::move(serving));
   }
 
@@ -100,6 +151,12 @@ void ChimeraPipeline::RepublishAll() {
 }
 
 void ChimeraPipeline::ComposeAndSwapLocked() {
+  const auto tenant_version_of = [](const ShardServing& serving,
+                                    const std::string& tenant) -> uint64_t {
+    auto it = serving.tenant_versions.find(tenant);
+    return it == serving.tenant_versions.end() ? 0 : it->second;
+  };
+
   auto snap = std::make_shared<PipelineSnapshot>();
   snap->shards = shard_cache_;
   std::vector<std::shared_ptr<const engine::RuleBasedClassifier>> rule_shards;
@@ -114,9 +171,13 @@ void ChimeraPipeline::ComposeAndSwapLocked() {
     filter_shards.push_back(serving->filter);
     snap->composite_rule_version += serving->rule_version;
     // Order-sensitive: shard index is implicit in iteration order, so
-    // distinct per-shard version vectors get distinct fingerprints.
-    snap->rule_state_fingerprint =
-        HashCombine(snap->rule_state_fingerprint, serving->rule_version);
+    // distinct per-shard version vectors get distinct fingerprints. The
+    // default tag hashes the default tenant's counters — identical to
+    // the shard versions in single-tenant histories, but insensitive to
+    // foreign tenants' commits, so a noisy tenant's edits never
+    // stale-drop the default partition's cache entries.
+    snap->rule_state_fingerprint = HashCombine(
+        snap->rule_state_fingerprint, tenant_version_of(*serving, {}));
   }
   snap->semantic_generation = semantic_gen_;
   snap->rule_classifier = std::make_shared<engine::ShardedRuleClassifier>(
@@ -138,6 +199,72 @@ void ChimeraPipeline::ComposeAndSwapLocked() {
   snap->voting = std::move(voting);
   snap->version = ++version_;
 
+  // Tenant views: one per tenant with rules or runtime state. Each view
+  // stacks the tenant's shard partitions after every shard's default
+  // build; classifier and filter share one positional order, so the
+  // batch executors' per-shard results line up.
+  std::set<std::string> view_tenants;
+  for (const auto& [tenant, runtime] : tenant_runtime_) {
+    view_tenants.insert(tenant);
+  }
+  for (const auto& serving : shard_cache_) {
+    for (const auto& [tenant, partition] : serving->tenants) {
+      view_tenants.insert(tenant);
+    }
+  }
+  for (const std::string& tenant : view_tenants) {
+    PipelineSnapshot::TenantView view;
+    std::vector<std::shared_ptr<const engine::RuleBasedClassifier>> rules_v;
+    std::vector<std::shared_ptr<const engine::AttrValueClassifier>> attrs_v;
+    std::vector<std::shared_ptr<const Filter>> filters_v;
+    uint64_t fingerprint = 0;
+    for (const auto& serving : shard_cache_) {
+      rules_v.push_back(serving->rule_classifier);
+      attrs_v.push_back(serving->attr_classifier);
+      filters_v.push_back(serving->filter);
+      // Pair the shared counter with the tenant's own, in shard order:
+      // a shared-rule commit re-tags every tenant's view, a tenant-rule
+      // commit re-tags only that tenant's.
+      fingerprint = HashCombine(fingerprint, tenant_version_of(*serving, {}));
+      fingerprint =
+          HashCombine(fingerprint, tenant_version_of(*serving, tenant));
+    }
+    for (const auto& serving : shard_cache_) {
+      auto it = serving->tenants.find(tenant);
+      if (it == serving->tenants.end()) continue;
+      rules_v.push_back(it->second.rule_classifier);
+      attrs_v.push_back(it->second.attr_classifier);
+      filters_v.push_back(it->second.filter);
+    }
+    view.rule_classifier =
+        std::make_shared<engine::ShardedRuleClassifier>(std::move(rules_v));
+    view.attr_classifier =
+        std::make_shared<engine::ShardedAttrValueClassifier>(
+            std::move(attrs_v));
+    view.filter = std::make_shared<ShardedFilter>(std::move(filters_v));
+    view.suppressed = suppressed_;
+    uint64_t tenant_gen = 0;
+    auto rt = tenant_runtime_.find(tenant);
+    if (rt != tenant_runtime_.end()) {
+      view.ensemble = rt->second.ensemble;
+      view.suppressed.insert(rt->second.suppressed.begin(),
+                             rt->second.suppressed.end());
+      tenant_gen = rt->second.semantic_gen;
+    }
+    if (view.ensemble == nullptr) view.ensemble = ensemble_;
+    view.tag = {fingerprint, HashCombine(semantic_gen_, tenant_gen)};
+    auto tenant_voting = std::make_shared<VotingMaster>(config_.voting);
+    if (config_.use_rules) {
+      tenant_voting->AddMember(view.rule_classifier, config_.rule_weight);
+      tenant_voting->AddMember(view.attr_classifier, config_.attr_weight);
+    }
+    if (config_.use_learning && view.ensemble != nullptr) {
+      tenant_voting->AddMember(view.ensemble, config_.learning_weight);
+    }
+    view.voting = std::move(tenant_voting);
+    snap->tenant_views.emplace(tenant, std::move(view));
+  }
+
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(snap);
 }
@@ -153,8 +280,9 @@ uint64_t ChimeraPipeline::snapshot_version() const {
 }
 
 Status ChimeraPipeline::AddRules(std::vector<rules::Rule> new_rules,
-                                 std::string_view author) {
-  rules::RuleTransaction txn = repo_->Begin(author);
+                                 std::string_view author,
+                                 const rules::TenantId& tenant) {
+  rules::RuleTransaction txn = repo_->Begin(author, tenant);
   for (auto& rule : new_rules) {
     (void)txn.Add(std::move(rule));
   }
@@ -166,8 +294,9 @@ Status ChimeraPipeline::AddRules(std::vector<rules::Rule> new_rules,
 
 Status ChimeraPipeline::Mutate(
     std::string_view author,
-    const std::function<Status(rules::RuleTransaction&)>& fn) {
-  rules::RuleTransaction txn = repo_->Begin(author);
+    const std::function<Status(rules::RuleTransaction&)>& fn,
+    const rules::TenantId& tenant) {
+  rules::RuleTransaction txn = repo_->Begin(author, tenant);
   Status status = fn(txn);
   if (!status.ok()) return status;  // nothing applied, nothing published
   status = txn.Commit();
@@ -186,33 +315,40 @@ Status ChimeraPipeline::RestoreCheckpoint(uint64_t version,
   return Status::OK();
 }
 
-void ChimeraPipeline::AddTrainingData(
-    std::vector<data::LabeledItem> labeled) {
+void ChimeraPipeline::AddTrainingData(std::vector<data::LabeledItem> labeled,
+                                      const rules::TenantId& tenant) {
   size_t total = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    training_data_.insert(training_data_.end(),
-                          std::make_move_iterator(labeled.begin()),
-                          std::make_move_iterator(labeled.end()));
-    total = training_data_.size();
+    std::vector<data::LabeledItem>& pool =
+        tenant.is_default() ? training_data_
+                            : tenant_runtime_[tenant.value()].training_data;
+    pool.insert(pool.end(), std::make_move_iterator(labeled.begin()),
+                std::make_move_iterator(labeled.end()));
+    total = pool.size();
   }
   // Outside state_mu_: the trainer's and the pipeline's lock domains
   // never nest (see trainer.h). Null only during construction.
-  if (trainer_ != nullptr) trainer_->NotifyDataSize(total);
+  if (trainer_ != nullptr) trainer_->NotifyDataSize(tenant.value(), total);
 }
 
-size_t ChimeraPipeline::training_size() const {
+size_t ChimeraPipeline::training_size(const rules::TenantId& tenant) const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return training_data_.size();
+  if (tenant.is_default()) return training_data_.size();
+  auto it = tenant_runtime_.find(tenant.value());
+  return it == tenant_runtime_.end() ? 0 : it->second.training_data.size();
 }
 
-std::shared_future<RetrainReport> ChimeraPipeline::RequestRetrain() {
-  return trainer_->Request();
+std::shared_future<RetrainReport> ChimeraPipeline::RequestRetrain(
+    const rules::TenantId& tenant) {
+  return trainer_->Request(tenant.value());
 }
 
-void ChimeraPipeline::RetrainLearning() { RequestRetrain().wait(); }
+void ChimeraPipeline::RetrainLearning(const rules::TenantId& tenant) {
+  RequestRetrain(tenant).wait();
+}
 
-RetrainReport ChimeraPipeline::RetrainNow() {
+RetrainReport ChimeraPipeline::RetrainNow(const std::string& tenant) {
   // Train against a copied data snapshot, outside every pipeline lock:
   // rule writers and readers proceed while the learners fit. Fresh
   // extractor + learners are the simplest correct retraining story
@@ -223,7 +359,12 @@ RetrainReport ChimeraPipeline::RetrainNow() {
   std::vector<data::LabeledItem> data;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    data = training_data_;
+    if (tenant.empty()) {
+      data = training_data_;
+    } else {
+      auto it = tenant_runtime_.find(tenant);
+      if (it != tenant_runtime_.end()) data = it->second.training_data;
+    }
   }
   if (data.empty()) {
     report.outcome = RetrainReport::Outcome::kNoTrainingData;
@@ -245,10 +386,17 @@ RetrainReport ChimeraPipeline::RetrainNow() {
 
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    ensemble_ = std::move(ensemble);
-    ++semantic_gen_;  // new ensemble => cached voting winners are stale
+    if (tenant.empty()) {
+      ensemble_ = std::move(ensemble);
+      ++semantic_gen_;  // new ensemble => cached voting winners are stale
+      report.publish_generation = semantic_gen_;
+    } else {
+      TenantRuntime& runtime = tenant_runtime_[tenant];
+      runtime.ensemble = std::move(ensemble);
+      ++runtime.semantic_gen;  // re-tags only this tenant's cached winners
+      report.publish_generation = runtime.semantic_gen;
+    }
     ComposeAndSwapLocked();
-    report.publish_generation = semantic_gen_;
   }
   report.published = true;
   report.outcome = RetrainReport::Outcome::kPublished;
@@ -273,15 +421,24 @@ uint64_t ChimeraPipeline::semantic_generation() const {
 
 Status ChimeraPipeline::ScaleDownType(const std::string& type,
                                       std::string_view author,
-                                      std::string_view reason) {
+                                      std::string_view reason,
+                                      const rules::TenantId& tenant) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    suppressed_.insert(type);
     // Even a scale-down that disables no rules (so no shard version
-    // moves) must invalidate cached winners of the suppressed type.
-    ++semantic_gen_;
+    // moves) must invalidate cached winners of the suppressed type. The
+    // default tenant's suppression applies to every view (emergency
+    // lever); a tenant's applies to its own view only.
+    if (tenant.is_default()) {
+      suppressed_.insert(type);
+      ++semantic_gen_;
+    } else {
+      TenantRuntime& runtime = tenant_runtime_[tenant.value()];
+      runtime.suppressed.insert(type);
+      ++runtime.semantic_gen;
+    }
   }
-  auto disabled = repo_->DisableRulesForType(type, author, reason);
+  auto disabled = repo_->DisableRulesForType(type, author, reason, tenant);
   if (!disabled.ok()) {
     // The disables applied and bumped their shards but (some) could not
     // be journaled; the touched set is unknown, so republish everything
@@ -301,10 +458,17 @@ Status ChimeraPipeline::ScaleDownType(const std::string& type,
   return Status::OK();
 }
 
-void ChimeraPipeline::ScaleUpType(const std::string& type) {
+void ChimeraPipeline::ScaleUpType(const std::string& type,
+                                  const rules::TenantId& tenant) {
   std::lock_guard<std::mutex> lock(state_mu_);
-  suppressed_.erase(type);
-  ++semantic_gen_;
+  if (tenant.is_default()) {
+    suppressed_.erase(type);
+    ++semantic_gen_;
+  } else {
+    TenantRuntime& runtime = tenant_runtime_[tenant.value()];
+    runtime.suppressed.erase(type);
+    ++runtime.semantic_gen;
+  }
   ComposeAndSwapLocked();
 }
 
@@ -318,30 +482,63 @@ void ChimeraPipeline::MemoizeAll(
   gate_.MemoizeAll(pairs);
 }
 
+std::vector<std::string> ChimeraPipeline::Tenants() const {
+  std::set<std::string> all;
+  all.insert(std::string());  // the default tenant always exists
+  for (const rules::TenantId& tenant : repo_->Tenants()) {
+    all.insert(tenant.value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const auto& [tenant, runtime] : tenant_runtime_) all.insert(tenant);
+  }
+  if (caches_ != nullptr) {
+    for (const std::string& tenant : caches_->ActiveTenants()) {
+      all.insert(tenant);
+    }
+  }
+  return {all.begin(), all.end()};  // std::set order: "" sorts first
+}
+
 std::optional<std::string> ChimeraPipeline::Classify(
-    const data::ProductItem& item) const {
+    const data::ProductItem& item, const rules::TenantId& tenant) const {
   auto snap = CurrentSnapshot();
   auto memo = gate_.snapshot();
+  // Resolve the tenant's serving view: its composed view when it has
+  // tenant-specific state, the default view otherwise (still with its
+  // own cache partition, so isolation holds either way).
+  const PipelineSnapshot::TenantView* view = nullptr;
+  if (!tenant.is_default()) {
+    auto it = snap->tenant_views.find(tenant.value());
+    if (it != snap->tenant_views.end()) view = &it->second;
+  }
+  const auto& suppressed = view != nullptr ? view->suppressed : snap->suppressed;
+  const VotingMaster& voting = view != nullptr ? *view->voting : *snap->voting;
+  const ShardedFilter& filter = view != nullptr ? *view->filter : *snap->filter;
+  const engine::VersionTag tag =
+      view != nullptr ? view->tag : snap->result_tag();
+  engine::HotResultCache* cache =
+      caches_ == nullptr ? nullptr : &caches_->For(tenant.value());
+
   std::string lowered = ToLowerAscii(item.title);
   GateDecision gate = GateKeeper::DecideLowered(*memo, item, lowered);
   if (gate.kind == GateDecision::Kind::kRejected) return std::nullopt;
   if (gate.kind == GateDecision::Kind::kClassified) {
-    if (snap->suppressed.count(gate.type)) return std::nullopt;
+    if (suppressed.count(gate.type)) return std::nullopt;
     return gate.type;
   }
-  const engine::VersionTag tag = snap->result_tag();
-  if (hot_cache_ != nullptr) {
-    engine::CacheLookup cached = hot_cache_->Lookup(lowered, tag);
+  if (cache != nullptr) {
+    engine::CacheLookup cached = cache->Lookup(lowered, tag);
     if (cached.hit) return std::move(cached.type);
   }
-  auto vote = snap->voting->Vote(item);
+  auto vote = voting.Vote(item);
   if (!vote.has_value()) return std::nullopt;
-  if (snap->suppressed.count(vote->label)) return std::nullopt;
-  if (!snap->filter->Admit(item, vote->label)) return std::nullopt;
+  if (suppressed.count(vote->label)) return std::nullopt;
+  if (!filter.Admit(item, vote->label)) return std::nullopt;
   // Only a confident, unsuppressed, filter-admitted winner is offered to
   // the cache — declines and vetoes always re-run the stack.
-  if (hot_cache_ != nullptr) {
-    (void)hot_cache_->Record(lowered, vote->label, tag);
+  if (cache != nullptr) {
+    (void)cache->Record(lowered, vote->label, tag);
   }
   return vote->label;
 }
@@ -362,7 +559,8 @@ void RunChunked(ThreadPool* pool, size_t n,
 }  // namespace
 
 BatchReport ChimeraPipeline::ProcessBatch(
-    const std::vector<data::ProductItem>& items) const {
+    const std::vector<data::ProductItem>& items,
+    const rules::TenantId& tenant) const {
   // Pin one snapshot (and one memo version) for the whole batch: writers
   // may publish new versions while we run, but this batch is classified
   // entirely against the state it started with — every shard at the
@@ -370,8 +568,24 @@ BatchReport ChimeraPipeline::ProcessBatch(
   auto snap = CurrentSnapshot();
   auto memo = gate_.snapshot();
   ThreadPool* pool = pool_.get();
-  engine::HotResultCache* cache = hot_cache_.get();
-  const engine::VersionTag tag = snap->result_tag();
+  // Resolve the tenant's serving view once for the whole batch (see
+  // Classify). The default tenant resolves to the snapshot's own fields
+  // and the default cache partition — the historical path exactly.
+  const PipelineSnapshot::TenantView* view = nullptr;
+  if (!tenant.is_default()) {
+    auto it = snap->tenant_views.find(tenant.value());
+    if (it != snap->tenant_views.end()) view = &it->second;
+  }
+  const auto& suppressed = view != nullptr ? view->suppressed : snap->suppressed;
+  const VotingMaster& voting = view != nullptr ? *view->voting : *snap->voting;
+  const ShardedFilter& filter = view != nullptr ? *view->filter : *snap->filter;
+  const engine::ShardedRuleClassifier* rule_classifier =
+      view != nullptr ? view->rule_classifier.get()
+                      : snap->rule_classifier.get();
+  engine::HotResultCache* cache =
+      caches_ == nullptr ? nullptr : &caches_->For(tenant.value());
+  const engine::VersionTag tag =
+      view != nullptr ? view->tag : snap->result_tag();
 
   BatchReport report;
   report.total = items.size();
@@ -400,7 +614,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
         continue;
       }
       if (d.kind == GateDecision::Kind::kClassified) {
-        if (snap->suppressed.count(d.type)) {
+        if (suppressed.count(d.type)) {
           gate_outcome[i] = kGateSuppressed;
         } else {
           gate_outcome[i] = kGateClassified;
@@ -450,8 +664,7 @@ BatchReport ChimeraPipeline::ProcessBatch(
   if (pass_ptrs.empty()) return report;
 
   // ---- Stage 2: regex rule matches, once per batch per shard -------------
-  engine::ShardedExecution exec =
-      snap->rule_classifier->MatchBatch(pass_ptrs, pool);
+  engine::ShardedExecution exec = rule_classifier->MatchBatch(pass_ptrs, pool);
 
   // ---- Stage 3: voting (rule member scored from the stage-2 matches) -----
   std::vector<std::vector<ml::ScoredLabel>> rule_scored;
@@ -460,13 +673,12 @@ BatchReport ChimeraPipeline::ProcessBatch(
     rule_scored.resize(pass_ptrs.size());
     RunChunked(pool, pass_ptrs.size(), [&](size_t begin, size_t end) {
       for (size_t j = begin; j < end; ++j) {
-        rule_scored[j] = snap->rule_classifier->ScoreMatches(exec, j);
+        rule_scored[j] = rule_classifier->ScoreMatches(exec, j);
       }
     });
-    precomputed = snap->rule_classifier.get();
+    precomputed = rule_classifier;
   }
-  auto votes =
-      snap->voting->VoteBatch(pass_ptrs, pool, precomputed, &rule_scored);
+  auto votes = voting.VoteBatch(pass_ptrs, pool, precomputed, &rule_scored);
 
   // ---- Stage 4: suppression + filter + accounting ------------------------
   // Per-chunk partial reports, merged in chunk order: counters are sums,
@@ -490,11 +702,11 @@ BatchReport ChimeraPipeline::ProcessBatch(
         continue;
       }
       const std::string& label = votes[j]->label;
-      if (snap->suppressed.count(label)) {
+      if (suppressed.count(label)) {
         ++p.suppressed;
         continue;
       }
-      if (!snap->filter->AdmitWithMatches(*pass_ptrs[j], label, exec, j)) {
+      if (!filter.AdmitWithMatches(*pass_ptrs[j], label, exec, j)) {
         ++p.filtered;
         continue;
       }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -75,8 +76,21 @@ struct PipelineConfig {
   /// serves repeats of a hot title from the cached winner, so items that
   /// share a title but differ in attributes collapse to one result
   /// (exactly the Gate Keeper memo semantics). First-sight output is
-  /// byte-identical with the cache on or off.
+  /// byte-identical with the cache on or off. When enabled, each tenant
+  /// gets its own independently-bounded cache partition built from this
+  /// config (or its override below).
   engine::HotCacheConfig hot_cache;
+  /// Per-tenant knobs (see DESIGN.md "Multi-tenancy"). A tenant listed
+  /// here gets its own hot-cache bounds/TTL and/or retrain gates; absent
+  /// fields (and absent tenants) inherit the pipeline-wide `hot_cache` /
+  /// `retrain` above. Keys are tenant ids ("" = the default tenant).
+  struct TenantOverrides {
+    std::optional<engine::HotCacheConfig> hot_cache;
+    /// Only the gate knobs (min_interval, min_new_examples,
+    /// max_queue_age) are honored; the hooks always come from `retrain`.
+    std::optional<RetrainPolicy> retrain;
+  };
+  std::map<std::string, TenantOverrides> tenants;
 };
 
 /// Where each item of a batch ended up.
@@ -124,10 +138,32 @@ struct BatchReport {
 struct ShardServing {
   uint32_t shard_index = 0;
   uint64_t rule_version = 0;
+  /// Per-tenant version counters pinned with the rules (key "" is the
+  /// default tenant). Tenant-scoped cache tags hash these instead of
+  /// `rule_version`, so one tenant's edits never invalidate another's
+  /// cached results.
+  std::map<std::string, uint64_t> tenant_versions;
+  /// The full pinned shard rule set, all tenants mixed (audit/diagnostic
+  /// view; serving goes through the partitions below).
   std::shared_ptr<const rules::RuleSet> rules;
+  /// Default-tenant build: classifiers/filter over the shard's shared
+  /// ("" tenant) rules only. When the shard hosts no foreign-tenant
+  /// rules these are built over `rules` itself — no extra copy, and
+  /// byte-identical single-tenant serving.
   std::shared_ptr<const engine::RuleBasedClassifier> rule_classifier;
   std::shared_ptr<const engine::AttrValueClassifier> attr_classifier;
   std::shared_ptr<const Filter> filter;
+  /// One partition per non-default tenant owning rules in this shard.
+  /// A tenant's serving view stacks its partitions after every shard's
+  /// default build (shared rules serve everyone; a tenant's own rules
+  /// serve only it).
+  struct TenantPartition {
+    std::shared_ptr<const rules::RuleSet> rules;
+    std::shared_ptr<const engine::RuleBasedClassifier> rule_classifier;
+    std::shared_ptr<const engine::AttrValueClassifier> attr_classifier;
+    std::shared_ptr<const Filter> filter;
+  };
+  std::map<std::string, TenantPartition> tenants;
 };
 
 /// Everything one classification needs, pinned coherently: a vector of
@@ -170,6 +206,28 @@ struct PipelineSnapshot {
   engine::VersionTag result_tag() const {
     return {rule_state_fingerprint, semantic_generation};
   }
+
+  /// One non-default tenant's composed serving view: every shard's
+  /// default build (shared rules) plus the tenant's own partitions,
+  /// positionally aligned across classifier/filter so the batch
+  /// executors line up, with the tenant's ensemble (falling back to the
+  /// shared one), merged suppression set, and a tenant-scoped version
+  /// tag hashed from per-shard ("" , tenant) version-counter pairs — so
+  /// a foreign tenant's commits never stale-drop this tenant's cache
+  /// entries, while shared-rule commits invalidate everyone's.
+  struct TenantView {
+    std::shared_ptr<engine::ShardedRuleClassifier> rule_classifier;
+    std::shared_ptr<engine::ShardedAttrValueClassifier> attr_classifier;
+    std::shared_ptr<const ShardedFilter> filter;
+    std::shared_ptr<const VotingMaster> voting;
+    std::shared_ptr<ml::EnsembleClassifier> ensemble;  // may equal shared
+    std::unordered_set<std::string> suppressed;  // platform-wide ∪ own
+    engine::VersionTag tag;
+  };
+  /// Views for every tenant with rules, training state, or suppressions.
+  /// A tenant absent here serves the default view (plus its own cache
+  /// partition) — correct, since it has no tenant-specific state yet.
+  std::map<std::string, TenantView> tenant_views;
 };
 
 /// The Chimera system (Figure 2): Gate Keeper -> {rule-based,
@@ -217,19 +275,23 @@ class ChimeraPipeline {
 
   // ---- rules -------------------------------------------------------------
 
-  /// Adds rules through the repository (one audited transaction) and
-  /// publishes the touched shards once. In-flight batches keep
-  /// classifying on the old snapshot. On failure the already-applied
-  /// prefix is still published (matching the historical loop semantics).
-  Status AddRules(std::vector<rules::Rule> new_rules,
-                  std::string_view author);
+  /// Adds rules through the repository (one audited transaction, scoped
+  /// to `tenant` — added rules are stamped as that tenant's and serve
+  /// only its view unless `tenant` is the default) and publishes the
+  /// touched shards once. In-flight batches keep classifying on the old
+  /// snapshot. On failure the already-applied prefix is still published
+  /// (matching the historical loop semantics).
+  Status AddRules(std::vector<rules::Rule> new_rules, std::string_view author,
+                  const rules::TenantId& tenant = {});
 
   /// The transactional edit path: stages edits through `fn`, commits them
-  /// as one repository transaction, and republishes exactly the shards
-  /// the commit touched — once, regardless of how many edits rode along.
-  /// If `fn` returns an error nothing is applied or published.
+  /// as one repository transaction (scoped to `tenant`: a non-default
+  /// tenant may only touch its own rules), and republishes exactly the
+  /// shards the commit touched — once, regardless of how many edits rode
+  /// along. If `fn` returns an error nothing is applied or published.
   Status Mutate(std::string_view author,
-                const std::function<Status(rules::RuleTransaction&)>& fn);
+                const std::function<Status(rules::RuleTransaction&)>& fn,
+                const rules::TenantId& tenant = {});
 
   /// Checkpoints all rule states (see RuleRepository::Checkpoint); no
   /// republish needed since rules are unchanged. Fails — with no
@@ -263,26 +325,31 @@ class ChimeraPipeline {
 
   // ---- learning ----------------------------------------------------------
 
-  /// Accumulates labeled training data.
-  void AddTrainingData(std::vector<data::LabeledItem> labeled);
+  /// Accumulates labeled training data into `tenant`'s pool. A
+  /// non-default tenant's pool trains that tenant's own ensemble; until
+  /// it has trained one, its view votes with the shared ensemble.
+  void AddTrainingData(std::vector<data::LabeledItem> labeled,
+                       const rules::TenantId& tenant = {});
 
-  /// Asks the background trainer to retrain the ensemble and returns
-  /// immediately — the future resolves when the request's run (or skip,
-  /// per `config.retrain`) completes. Requests arriving while a run is in
-  /// flight coalesce into at most one pending run that snapshots its data
-  /// when it *starts* (latest data wins); the run trains outside every
-  /// pipeline lock, then installs the ensemble, bumps
-  /// semantic_generation, and publishes exactly as the historical
-  /// synchronous path did.
-  std::shared_future<RetrainReport> RequestRetrain();
+  /// Asks the background trainer to retrain `tenant`'s ensemble and
+  /// returns immediately — the future resolves when the request's run
+  /// (or skip, per `config.retrain` / the tenant's override) completes.
+  /// Requests arriving while a run is in flight coalesce per tenant into
+  /// at most one pending run that snapshots its data when it *starts*
+  /// (latest data wins); tenants drain round-robin, each gated only by
+  /// its own history. The run trains outside every pipeline lock, then
+  /// installs the ensemble, bumps the tenant's semantic generation, and
+  /// publishes exactly as the historical synchronous path did.
+  std::shared_future<RetrainReport> RequestRetrain(
+      const rules::TenantId& tenant = {});
 
   /// Synchronous wrapper: request + wait. With the default (ungated)
   /// retrain policy this is observably identical to the historical
   /// blocking RetrainLearning — same data, same deterministic learners,
   /// same publish — just executed on the trainer thread.
-  void RetrainLearning();
+  void RetrainLearning(const rules::TenantId& tenant = {});
 
-  size_t training_size() const;
+  size_t training_size(const rules::TenantId& tenant = {}) const;
 
   /// Generation of the non-rule serving inputs currently published
   /// (bumps on ensemble installs and suppression edits). Monotone
@@ -292,15 +359,22 @@ class ChimeraPipeline {
   // ---- scale down / up (§2.2 requirement 3) -------------------------------
 
   /// Suppresses all predictions of one type (and disables its rules),
-  /// republishing only the shards that hosted them. A non-OK status means
-  /// the scale-down took effect in memory but could not be journaled
-  /// (the suppression and disables are still live and published).
+  /// republishing only the shards that hosted them. Scoped to `tenant`:
+  /// the default tenant's scale-down is the platform-wide emergency
+  /// lever (suppresses the type for every tenant and disables every
+  /// tenant's rules, the historical behaviour); a non-default tenant's
+  /// suppresses the type in its own view only and disables only its own
+  /// rules. A non-OK status means the scale-down took effect in memory
+  /// but could not be journaled (the suppression and disables are still
+  /// live and published).
   Status ScaleDownType(const std::string& type, std::string_view author,
-                       std::string_view reason);
+                       std::string_view reason,
+                       const rules::TenantId& tenant = {});
 
-  /// Lifts a suppression (rules must be re-enabled via a transaction or a
-  /// checkpoint restore).
-  void ScaleUpType(const std::string& type);
+  /// Lifts a suppression in `tenant`'s scope (rules must be re-enabled
+  /// via a transaction or a checkpoint restore).
+  void ScaleUpType(const std::string& type,
+                   const rules::TenantId& tenant = {});
 
   /// Writer-side view; safe when no writer is concurrently scaling.
   const std::unordered_set<std::string>& suppressed_types() const {
@@ -322,19 +396,35 @@ class ChimeraPipeline {
 
   // ---- hot result cache --------------------------------------------------
 
-  /// The automatic hot-title result cache; null when
+  /// The default tenant's hot-title result cache; null when
   /// `config.hot_cache.enabled` is false. Counters aggregate across
   /// batches (per-batch numbers live in BatchReport).
-  engine::HotResultCache* hot_cache() const { return hot_cache_.get(); }
+  engine::HotResultCache* hot_cache() const {
+    return caches_ == nullptr ? nullptr : &caches_->defaults();
+  }
+
+  /// All tenants' cache partitions; null when the cache is disabled.
+  engine::TenantCacheSet* tenant_caches() const { return caches_.get(); }
 
   // ---- classification ----------------------------------------------------
 
-  /// Classifies one item against the current snapshot.
-  std::optional<std::string> Classify(const data::ProductItem& item) const;
+  /// Classifies one item against the current snapshot, through `tenant`'s
+  /// serving view (shared rules + the tenant's own rules/ensemble/
+  /// suppressions) and its cache partition. The default tenant's path is
+  /// byte-identical to the historical single-tenant pipeline.
+  std::optional<std::string> Classify(const data::ProductItem& item,
+                                      const rules::TenantId& tenant = {}) const;
 
-  /// Classifies a batch with full stage accounting. Acquires one snapshot
-  /// for the whole batch; parallel over `config.batch_threads` workers.
-  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items) const;
+  /// Classifies a batch with full stage accounting through `tenant`'s
+  /// view. Acquires one snapshot for the whole batch; parallel over
+  /// `config.batch_threads` workers.
+  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items,
+                           const rules::TenantId& tenant = {}) const;
+
+  /// Every tenant known to any layer — rule ownership, training/serving
+  /// runtime, or a live cache partition. Default ("") first, the rest
+  /// sorted.
+  std::vector<std::string> Tenants() const;
 
   const PipelineConfig& config() const { return config_; }
 
@@ -356,11 +446,11 @@ class ChimeraPipeline {
   std::shared_ptr<const PipelineSnapshot> CurrentSnapshot() const;
 
   /// One full train-and-publish cycle (the historical RetrainLearning
-  /// body), executed on the trainer thread. Copies the data under
-  /// state_mu_, trains outside all locks, installs + publishes under
-  /// state_mu_, then syncs the durable store so a journaling failure is
-  /// surfaced in the report instead of swallowed.
-  RetrainReport RetrainNow();
+  /// body) for one tenant, executed on the trainer thread. Copies the
+  /// tenant's data under state_mu_, trains outside all locks, installs +
+  /// publishes under state_mu_, then syncs the durable store so a
+  /// journaling failure is surfaced in the report instead of swallowed.
+  RetrainReport RetrainNow(const std::string& tenant);
 
   PipelineConfig config_;
   /// Owns the repository when storage is enabled; its journal hook stays
@@ -370,15 +460,27 @@ class ChimeraPipeline {
   Status storage_status_;
   std::shared_ptr<rules::RuleRepository> repo_;
   GateKeeper gate_;
-  /// Null when disabled. Internally synchronized (striped mutexes);
-  /// entries self-invalidate against the snapshot tag, so no writer path
-  /// ever touches it.
-  std::unique_ptr<engine::HotResultCache> hot_cache_;
+  /// Null when disabled. Per-tenant partitions, each internally
+  /// synchronized (striped mutexes); entries self-invalidate against the
+  /// serving view's tag, so no writer path ever touches them.
+  std::unique_ptr<engine::TenantCacheSet> caches_;
+
+  /// One non-default tenant's writer-side learning/suppression state
+  /// (guarded by state_mu_ with the rest). The default tenant's lives in
+  /// the historical members below — unchanged layout, unchanged
+  /// single-tenant behaviour.
+  struct TenantRuntime {
+    std::vector<data::LabeledItem> training_data;
+    std::shared_ptr<ml::EnsembleClassifier> ensemble;  // null until trained
+    std::unordered_set<std::string> suppressed;
+    uint64_t semantic_gen = 0;
+  };
 
   /// Guards the writer-side composition state below (NOT the repository —
   /// shard mutations serialize inside RuleRepository per shard).
   mutable std::mutex state_mu_;
   std::vector<std::shared_ptr<const ShardServing>> shard_cache_;
+  std::map<std::string, TenantRuntime> tenant_runtime_;  // non-default only
   std::unordered_set<std::string> suppressed_;
   std::vector<data::LabeledItem> training_data_;
   std::shared_ptr<ml::EnsembleClassifier> ensemble_;  // null until trained

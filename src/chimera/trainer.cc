@@ -5,9 +5,12 @@
 
 namespace rulekit::chimera {
 
-BackgroundTrainer::BackgroundTrainer(RetrainPolicy policy, RunFn run_fn)
+BackgroundTrainer::BackgroundTrainer(
+    RetrainPolicy policy, RunFn run_fn,
+    std::map<std::string, RetrainPolicy> tenant_policies)
     : policy_(std::move(policy)),
       run_fn_(std::move(run_fn)),
+      tenant_policies_(std::move(tenant_policies)),
       thread_([this] { ThreadMain(); }) {}
 
 BackgroundTrainer::~BackgroundTrainer() {
@@ -16,10 +19,17 @@ BackgroundTrainer::~BackgroundTrainer() {
     stop_ = true;
   }
   cv_.notify_all();
-  thread_.join();  // drains the in-flight run; pending abandoned inside
+  thread_.join();  // drains the in-flight run; pendings abandoned inside
 }
 
-std::shared_future<RetrainReport> BackgroundTrainer::Request() {
+const RetrainPolicy& BackgroundTrainer::PolicyFor(
+    const std::string& tenant) const {
+  auto it = tenant_policies_.find(tenant);
+  return it == tenant_policies_.end() ? policy_ : it->second;
+}
+
+std::shared_future<RetrainReport> BackgroundTrainer::Request(
+    const std::string& tenant) {
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) {
     // Shutdown already began: resolve immediately instead of handing out
@@ -32,25 +42,29 @@ std::shared_future<RetrainReport> BackgroundTrainer::Request() {
     report.status =
         Status::FailedPrecondition("trainer is shut down; retrain abandoned");
     report.coalesced_requests = 1;
+    report.tenant = tenant;
     promise.set_value(std::move(report));
     return future;
   }
-  if (!pending_.has_value()) {
-    pending_.emplace();
-    pending_->future = pending_->promise.get_future().share();
-    pending_->enqueued = Clock::now();
+  TenantSlot& slot = slots_[tenant];
+  if (!slot.pending.has_value()) {
+    slot.pending.emplace();
+    slot.pending->future = slot.pending->promise.get_future().share();
+    slot.pending->enqueued = Clock::now();
   }
-  ++pending_->coalesced;
-  std::shared_future<RetrainReport> future = pending_->future;
+  ++slot.pending->coalesced;
+  std::shared_future<RetrainReport> future = slot.pending->future;
   lock.unlock();
   cv_.notify_all();
   return future;
 }
 
-void BackgroundTrainer::NotifyDataSize(size_t total_examples) {
+void BackgroundTrainer::NotifyDataSize(const std::string& tenant,
+                                       size_t total_examples) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    data_size_ = std::max(data_size_, total_examples);
+    TenantSlot& slot = slots_[tenant];
+    slot.data_size = std::max(slot.data_size, total_examples);
   }
   cv_.notify_all();  // a deferring min_new_examples gate may now pass
 }
@@ -67,75 +81,132 @@ void BackgroundTrainer::Deliver(Pending& batch, RetrainReport report) {
 
 void BackgroundTrainer::ThreadMain() {
   std::unique_lock<std::mutex> lock(mu_);
+  const auto any_pending = [this] {
+    for (const auto& [tenant, slot] : slots_) {
+      if (slot.pending.has_value()) return true;
+    }
+    return false;
+  };
   while (true) {
-    cv_.wait(lock, [&] { return stop_ || pending_.has_value(); });
+    cv_.wait(lock, [&] { return stop_ || any_pending(); });
     if (stop_) break;
 
-    // Policy gates. A forced batch (oldest request older than
-    // max_queue_age) bypasses them entirely.
+    // Round-robin scan over armed slots, resuming just past the tenant
+    // served last, so one chatty tenant cannot starve the others. The
+    // first actionable slot wins: runnable (gates pass or forced by
+    // max_queue_age) or immediately skippable (gated, non-defer). Slots
+    // whose gates defer contribute their earliest reopening time instead.
     const Clock::time_point now = Clock::now();
-    const bool defer_mode = policy_.max_queue_age.count() > 0;
-    const Clock::time_point hard_at = pending_->enqueued + policy_.max_queue_age;
-    std::optional<RetrainReport::Outcome> gated;
-    Clock::time_point gate_opens_at = hard_at;
-    if (!(defer_mode && now >= hard_at)) {
-      if (policy_.min_interval.count() > 0 && has_last_run_ &&
-          now < last_run_done_ + policy_.min_interval) {
-        gated = RetrainReport::Outcome::kSkippedMinInterval;
-        gate_opens_at = last_run_done_ + policy_.min_interval;
-      } else if (policy_.min_new_examples > 0 &&
-                 data_size_ < last_trained_on_ + policy_.min_new_examples) {
-        // No timed reopening for this gate — only new data (which
-        // notifies) or the hard age can unblock it.
-        gated = RetrainReport::Outcome::kSkippedMinNewExamples;
-        gate_opens_at = hard_at;
+    std::string serve_tenant;
+    bool serve_is_run = false;
+    RetrainReport::Outcome skip_outcome = RetrainReport::Outcome::kPublished;
+    bool found = false;
+    bool any_deferred = false;
+    Clock::time_point earliest_wake = now + std::chrono::hours(24);
+
+    auto scan_at = slots_.upper_bound(cursor_);
+    for (size_t visited = 0; visited < slots_.size(); ++visited, ++scan_at) {
+      if (scan_at == slots_.end()) scan_at = slots_.begin();
+      const std::string& tenant = scan_at->first;
+      TenantSlot& slot = scan_at->second;
+      if (!slot.pending.has_value()) continue;
+
+      // Policy gates, evaluated against this tenant's own history. A
+      // forced batch (oldest request older than max_queue_age) bypasses
+      // them entirely.
+      const RetrainPolicy& policy = PolicyFor(tenant);
+      const bool defer_mode = policy.max_queue_age.count() > 0;
+      const Clock::time_point hard_at =
+          slot.pending->enqueued + policy.max_queue_age;
+      std::optional<RetrainReport::Outcome> gated;
+      Clock::time_point gate_opens_at = hard_at;
+      if (!(defer_mode && now >= hard_at)) {
+        if (policy.min_interval.count() > 0 && slot.has_last_run &&
+            now < slot.last_run_done + policy.min_interval) {
+          gated = RetrainReport::Outcome::kSkippedMinInterval;
+          gate_opens_at = slot.last_run_done + policy.min_interval;
+        } else if (policy.min_new_examples > 0 &&
+                   slot.data_size <
+                       slot.last_trained_on + policy.min_new_examples) {
+          // No timed reopening for this gate — only new data (which
+          // notifies) or the hard age can unblock it.
+          gated = RetrainReport::Outcome::kSkippedMinNewExamples;
+          gate_opens_at = hard_at;
+        }
       }
+      if (!gated.has_value()) {
+        serve_tenant = tenant;
+        serve_is_run = true;
+        found = true;
+        break;
+      }
+      if (!defer_mode) {
+        serve_tenant = tenant;
+        serve_is_run = false;
+        skip_outcome = *gated;
+        found = true;
+        break;
+      }
+      // Deferring: leave the batch armed (still coalescing) and note when
+      // this slot may become actionable.
+      any_deferred = true;
+      earliest_wake =
+          std::min(earliest_wake, std::min(gate_opens_at, hard_at));
     }
-    if (gated.has_value()) {
-      if (defer_mode) {
-        // Keep the batch armed (still coalescing new requests) and
-        // re-evaluate when the gate may have opened, new data arrives,
-        // or shutdown begins.
-        cv_.wait_until(lock, std::min(gate_opens_at, hard_at));
-        continue;
+
+    if (!found) {
+      if (any_deferred) {
+        // Every armed slot is deferring: sleep until the earliest gate
+        // may open, new data arrives, a new request lands, or shutdown.
+        cv_.wait_until(lock, earliest_wake);
       }
-      Pending batch = std::move(*pending_);
-      pending_.reset();
+      continue;
+    }
+
+    cursor_ = serve_tenant;
+    TenantSlot& slot = slots_[serve_tenant];
+    Pending batch = std::move(*slot.pending);
+    slot.pending.reset();
+
+    if (!serve_is_run) {
       lock.unlock();
       RetrainReport report;
-      report.outcome = *gated;
+      report.outcome = skip_outcome;
       report.coalesced_requests = batch.coalesced;
+      report.tenant = serve_tenant;
       Deliver(batch, std::move(report));
       lock.lock();
       continue;
     }
 
-    Pending batch = std::move(*pending_);
-    pending_.reset();
     ++runs_started_;
     lock.unlock();
-    RetrainReport report = run_fn_(batch.coalesced);
+    RetrainReport report = run_fn_(serve_tenant, batch.coalesced);
     report.coalesced_requests = batch.coalesced;
+    report.tenant = serve_tenant;
     lock.lock();
-    has_last_run_ = true;
-    last_run_done_ = Clock::now();
-    if (report.published) last_trained_on_ = report.trained_on;
+    TenantSlot& done_slot = slots_[serve_tenant];
+    done_slot.has_last_run = true;
+    done_slot.last_run_done = Clock::now();
+    if (report.published) done_slot.last_trained_on = report.trained_on;
     lock.unlock();
     Deliver(batch, std::move(report));
     lock.lock();
   }
 
-  // Shutdown: the in-flight run (if any) already completed above; a batch
-  // that never started is abandoned, never run — no late publishes.
-  if (pending_.has_value()) {
-    Pending batch = std::move(*pending_);
-    pending_.reset();
+  // Shutdown: the in-flight run (if any) already completed above; batches
+  // that never started are abandoned, never run — no late publishes.
+  for (auto& [tenant, slot] : slots_) {
+    if (!slot.pending.has_value()) continue;
+    Pending batch = std::move(*slot.pending);
+    slot.pending.reset();
     lock.unlock();
     RetrainReport report;
     report.outcome = RetrainReport::Outcome::kAbandoned;
     report.status = Status::FailedPrecondition(
         "trainer shut down before the queued retrain started");
     report.coalesced_requests = batch.coalesced;
+    report.tenant = tenant;
     Deliver(batch, std::move(report));
     lock.lock();
   }

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "src/common/status.h"
@@ -41,6 +43,8 @@ struct RetrainReport {
   /// The pipeline's semantic_generation after the publish (0 otherwise).
   uint64_t publish_generation = 0;
   double duration_ms = 0.0;
+  /// Tenant the run (or skip) was for; empty = the default tenant.
+  std::string tenant;
 };
 
 /// When the trainer actually runs a requested retrain. All gates default
@@ -73,20 +77,30 @@ struct RetrainPolicy {
   std::function<void(const RetrainReport&)> report_sink;
 };
 
-/// A dedicated training thread with a one-slot coalescing request queue.
+/// A dedicated training thread with per-tenant one-slot coalescing
+/// request queues, drained fairly.
 ///
-/// Queue states: idle (no pending request), armed (one pending request
-/// batch, trainer about to pick it up or deferring on a policy gate), and
-/// running (a training run in flight). Request() in idle arms the slot;
-/// Request() while armed or running folds into the existing pending batch
-/// (same future, coalesced count + 1) — so any burst collapses to at most
-/// one in-flight run plus one pending run, and the pending run copies its
-/// data snapshot only when it starts: latest data wins.
+/// Each tenant has its own slot with the historical states: idle (no
+/// pending request), armed (one pending batch, about to be picked up or
+/// deferring on a policy gate), and running. Request(tenant) in idle
+/// arms that tenant's slot; Request(tenant) while armed or running folds
+/// into the existing pending batch (same future, coalesced count + 1) —
+/// so any one tenant's burst collapses to at most one in-flight run plus
+/// one pending run, and the pending run copies its data snapshot only
+/// when it starts: latest data wins.
+///
+/// Fairness: the single training thread serves armed slots round-robin
+/// (a cursor remembers the last tenant served), and every policy gate —
+/// min_interval, min_new_examples, max_queue_age — evaluates against the
+/// requesting tenant's own history. A bursty feed therefore queues
+/// behind its own slot, never ahead of another tenant's, and a tenant
+/// rate-limited by its min_interval cannot block a different tenant from
+/// being admitted.
 ///
 /// Shutdown (destructor) drains the in-flight run to completion — its
-/// publish happens-before the destructor returns — and abandons the armed
-/// batch, resolving its future with kAbandoned instead of running it.
-/// Nothing is ever published after shutdown returns.
+/// publish happens-before the destructor returns — and abandons every
+/// armed batch, resolving their futures with kAbandoned instead of
+/// running them. Nothing is ever published after shutdown returns.
 ///
 /// Lock discipline: the trainer's mutex is never held while `run_fn`
 /// executes (it takes pipeline locks), and pipeline locks are never held
@@ -94,31 +108,39 @@ struct RetrainPolicy {
 /// unlocking), so the two lock domains never nest in either order.
 class BackgroundTrainer {
  public:
-  using RunFn = std::function<RetrainReport(size_t coalesced_requests)>;
+  using RunFn = std::function<RetrainReport(const std::string& tenant,
+                                            size_t coalesced_requests)>;
 
-  /// `run_fn` performs one full train-and-publish cycle; it runs on the
-  /// trainer thread with no trainer lock held.
-  BackgroundTrainer(RetrainPolicy policy, RunFn run_fn);
+  /// `run_fn` performs one full train-and-publish cycle for one tenant;
+  /// it runs on the trainer thread with no trainer lock held.
+  /// `tenant_policies` overrides the gate knobs (min_interval,
+  /// min_new_examples, max_queue_age) per tenant; the hooks
+  /// (train_probe, report_sink) always come from the base `policy`.
+  BackgroundTrainer(RetrainPolicy policy, RunFn run_fn,
+                    std::map<std::string, RetrainPolicy> tenant_policies = {});
 
-  /// Drains the in-flight run (if any), abandons the pending batch (if
-  /// any), and joins the thread. Safe to call with requests outstanding.
+  /// Drains the in-flight run (if any), abandons every pending batch,
+  /// and joins the thread. Safe to call with requests outstanding.
   ~BackgroundTrainer();
 
   BackgroundTrainer(const BackgroundTrainer&) = delete;
   BackgroundTrainer& operator=(const BackgroundTrainer&) = delete;
 
-  /// Enqueue-or-coalesce; returns immediately (a mutex-protected pointer
-  /// update — never waits on training). After shutdown began, resolves
-  /// immediately as kAbandoned.
-  std::shared_future<RetrainReport> Request();
+  /// Enqueue-or-coalesce into `tenant`'s slot; returns immediately (a
+  /// mutex-protected pointer update — never waits on training). After
+  /// shutdown began, resolves immediately as kAbandoned.
+  std::shared_future<RetrainReport> Request(const std::string& tenant = {});
 
-  /// Informs the policy gates of the current labeled-example count.
-  /// Called by the pipeline after releasing its own locks; wakes a
-  /// deferring trainer so a min_new_examples gate re-evaluates.
-  void NotifyDataSize(size_t total_examples);
+  /// Informs `tenant`'s policy gates of its current labeled-example
+  /// count. Called by the pipeline after releasing its own locks; wakes
+  /// a deferring trainer so a min_new_examples gate re-evaluates.
+  void NotifyDataSize(size_t total_examples) {
+    NotifyDataSize(std::string(), total_examples);
+  }
+  void NotifyDataSize(const std::string& tenant, size_t total_examples);
 
-  /// Training runs started since construction (skips and abandons do not
-  /// count). Test observability for the coalescing guarantees.
+  /// Training runs started since construction, all tenants (skips and
+  /// abandons do not count). Test observability for coalescing.
   size_t runs_started() const;
 
  private:
@@ -131,21 +153,31 @@ class BackgroundTrainer {
     size_t coalesced = 0;
   };
 
+  /// One tenant's queue slot plus its private gate history.
+  struct TenantSlot {
+    std::optional<Pending> pending;
+    size_t data_size = 0;        // latest NotifyDataSize value
+    size_t last_trained_on = 0;  // last *published* run's data size
+    bool has_last_run = false;
+    Clock::time_point last_run_done{};
+  };
+
   void ThreadMain();
   /// Sinks the report and resolves the batch's future. No locks held.
   void Deliver(Pending& batch, RetrainReport report);
+  /// The gate knobs for one tenant (override or base). The returned
+  /// reference is stable (maps never mutate after construction).
+  const RetrainPolicy& PolicyFor(const std::string& tenant) const;
 
   const RetrainPolicy policy_;
   const RunFn run_fn_;
+  const std::map<std::string, RetrainPolicy> tenant_policies_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
-  std::optional<Pending> pending_;
-  size_t data_size_ = 0;        // latest NotifyDataSize value
-  size_t last_trained_on_ = 0;  // size of the last *published* run's data
-  bool has_last_run_ = false;
-  Clock::time_point last_run_done_{};
+  std::map<std::string, TenantSlot> slots_;  // keyed by tenant ("" = default)
+  std::string cursor_;  // last tenant served; round-robin resumes after it
   size_t runs_started_ = 0;
 
   std::thread thread_;  // last: started after all state above exists

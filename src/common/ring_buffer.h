@@ -1,0 +1,62 @@
+#ifndef RULEKIT_COMMON_RING_BUFFER_H_
+#define RULEKIT_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rulekit {
+
+/// A bounded append-only history: the last `capacity` pushed values in
+/// push order, oldest first. Once full, each push overwrites the oldest
+/// element in place — no allocation, no shifting — so a long-running
+/// pipeline can record per-batch observations forever without leaking.
+/// Indexing is logical: [0] is the oldest retained element, back() the
+/// newest. `dropped()` counts overwritten elements, so callers can tell
+/// a short history from a truncated one.
+///
+/// Not thread-safe; guard externally where writers race readers.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push_back(T value) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+      return;
+    }
+    items_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+  /// Elements overwritten since construction (0 until the buffer fills).
+  uint64_t dropped() const { return dropped_; }
+
+  const T& operator[](size_t i) const {
+    return items_[(head_ + i) % items_.size()];
+  }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[items_.size() - 1]; }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // physical index of the oldest element once full
+  std::vector<T> items_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_RING_BUFFER_H_

@@ -55,6 +55,17 @@ CacheLookup HotResultCache::Lookup(std::string_view key,
     result.stale_dropped = true;
     return result;
   }
+  if (config_.ttl.count() > 0 &&
+      std::chrono::steady_clock::now() - entry.recorded_at > config_.ttl) {
+    // Expired: same drop-on-read discipline, separate counter — the tag
+    // still matched, the entry just outlived the feed's trust window.
+    (entry.in_protected ? stripe.protected_ : stripe.probation)
+        .erase(entry.pos);
+    stripe.map.erase(it);
+    ++stripe.counters.ttl_drops;
+    ++stripe.counters.misses;
+    return {};
+  }
   Touch(stripe, entry);
   ++stripe.counters.hits;
   CacheLookup result;
@@ -75,6 +86,9 @@ CacheRecord HotResultCache::Record(std::string_view key,
     Entry& entry = it->second;
     entry.type.assign(type);
     entry.tag = tag;
+    if (config_.ttl.count() > 0) {
+      entry.recorded_at = std::chrono::steady_clock::now();
+    }
     Touch(stripe, entry);
     result.refreshed = true;
     return result;
@@ -87,6 +101,9 @@ CacheRecord HotResultCache::Record(std::string_view key,
   Entry& entry = inserted->second;
   entry.type.assign(type);
   entry.tag = tag;
+  if (config_.ttl.count() > 0) {
+    entry.recorded_at = std::chrono::steady_clock::now();
+  }
   stripe.probation.push_front(&inserted->first);
   entry.pos = stripe.probation.begin();
   entry.in_protected = false;
@@ -137,6 +154,7 @@ HotCacheCounters HotResultCache::TotalCounters() const {
     total.hits += stripe->counters.hits;
     total.misses += stripe->counters.misses;
     total.stale_drops += stripe->counters.stale_drops;
+    total.ttl_drops += stripe->counters.ttl_drops;
     total.promotions += stripe->counters.promotions;
     total.evictions += stripe->counters.evictions;
   }
@@ -160,6 +178,68 @@ void HotResultCache::Clear() {
     stripe->protected_.clear();
     stripe->sketch.Clear();
   }
+}
+
+// ---- TenantCacheSet --------------------------------------------------------
+
+TenantCacheSet::TenantCacheSet(HotCacheConfig default_config)
+    : default_config_(default_config) {
+  auto cache = std::make_unique<HotResultCache>(default_config_);
+  default_cache_ = cache.get();
+  caches_.emplace(std::string(), std::move(cache));
+}
+
+void TenantCacheSet::SetConfig(const std::string& tenant,
+                               HotCacheConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overrides_[tenant] = config;
+}
+
+HotResultCache& TenantCacheSet::For(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = caches_.find(tenant);
+  if (it == caches_.end()) {
+    auto cfg_it = overrides_.find(tenant);
+    const HotCacheConfig& cfg =
+        cfg_it == overrides_.end() ? default_config_ : cfg_it->second;
+    it = caches_.emplace(tenant, std::make_unique<HotResultCache>(cfg))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> TenantCacheSet::ActiveTenants() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(caches_.size());
+    for (const auto& [tenant, cache] : caches_) out.push_back(tenant);
+  }
+  std::sort(out.begin(), out.end());  // "" sorts first: default leads
+  return out;
+}
+
+HotCacheCounters TenantCacheSet::TotalCounters() const {
+  std::vector<HotResultCache*> partitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions.reserve(caches_.size());
+    for (const auto& [tenant, cache] : caches_) {
+      partitions.push_back(cache.get());
+    }
+  }
+  HotCacheCounters total;
+  for (const HotResultCache* cache : partitions) {
+    HotCacheCounters c = cache->TotalCounters();
+    total.lookups += c.lookups;
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.stale_drops += c.stale_drops;
+    total.ttl_drops += c.ttl_drops;
+    total.promotions += c.promotions;
+    total.evictions += c.evictions;
+  }
+  return total;
 }
 
 }  // namespace rulekit::engine

@@ -1,6 +1,7 @@
 #ifndef RULEKIT_ENGINE_HOT_CACHE_H_
 #define RULEKIT_ENGINE_HOT_CACHE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -49,6 +50,11 @@ struct HotCacheConfig {
   /// are evicted first, so a burst of new titles cannot flush the
   /// established hot set).
   double protected_fraction = 0.8;
+  /// Maximum age of an entry before it is dropped on read (zero = never
+  /// expires, the historical behaviour). A drifting feed — one whose
+  /// winning types change without a rule or model edit bumping the
+  /// version tag — gets a finite TTL so its memoized winners age out.
+  std::chrono::milliseconds ttl{0};
 };
 
 /// Aggregate counters since construction (monotonic; read via
@@ -59,6 +65,7 @@ struct HotCacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t stale_drops = 0;  // entries dropped on read (tag mismatch)
+  uint64_t ttl_drops = 0;    // entries dropped on read (older than ttl)
   uint64_t promotions = 0;   // admissions into the cache
   uint64_t evictions = 0;    // entries evicted for capacity
 };
@@ -142,6 +149,8 @@ class HotResultCache {
     VersionTag tag;
     LruList::iterator pos;
     bool in_protected = false;
+    /// Set at admission and refresh; compared against `ttl` on read.
+    std::chrono::steady_clock::time_point recorded_at;
   };
   struct Stripe {
     std::mutex mu;
@@ -168,6 +177,47 @@ class HotResultCache {
   size_t protected_capacity_ = 0;
   uint64_t stripe_mask_ = 0;
   std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// Per-tenant cache partitioning: one independently-bounded
+/// HotResultCache per tenant, created lazily on first touch (tenant key
+/// "" is the default tenant and exists from construction). Each tenant
+/// draws its bounds/TTL from a registered override, falling back to the
+/// default config — so a noisy feed can only churn its own pool, and a
+/// drifting feed can be given a short TTL without slowing anyone else.
+///
+/// Thread-safe: the tenant map is guarded by one mutex taken once per
+/// batch (to resolve tenant -> cache); all per-item traffic then goes
+/// through the resolved cache's own stripes. Cache pointers are stable
+/// for the lifetime of the set.
+class TenantCacheSet {
+ public:
+  explicit TenantCacheSet(HotCacheConfig default_config = {});
+
+  /// Registers (or replaces) the config used when `tenant`'s cache is
+  /// first created. No effect on an already-created cache — partitions
+  /// are never resized in place.
+  void SetConfig(const std::string& tenant, HotCacheConfig config);
+
+  /// The tenant's cache, created on first use.
+  HotResultCache& For(const std::string& tenant);
+
+  /// The default tenant's cache (always exists).
+  HotResultCache& defaults() { return *default_cache_; }
+
+  /// Tenants with a live cache partition, default ("") first, the rest
+  /// sorted.
+  std::vector<std::string> ActiveTenants() const;
+
+  /// Sum of every partition's counters.
+  HotCacheCounters TotalCounters() const;
+
+ private:
+  HotCacheConfig default_config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, HotCacheConfig> overrides_;
+  std::unordered_map<std::string, std::unique_ptr<HotResultCache>> caches_;
+  HotResultCache* default_cache_ = nullptr;  // owned by caches_[""]
 };
 
 }  // namespace rulekit::engine

@@ -49,11 +49,59 @@ class RuleId {
   std::string value_;
 };
 
+/// Identifies one tenant (vendor feed) of the multi-tenant pipeline.
+/// Chimera's update stream arrives as per-vendor batches; the tenant is
+/// the unit of state partitioning — repository placement, hot-cache
+/// stripes, quality windows, and retrain slots are all keyed by it. The
+/// default tenant (empty value) is the shared pool: it owns every rule
+/// and batch of a pre-tenancy deployment, and its rules are visible to
+/// every other tenant as the shared baseline rule set.
+class TenantId {
+ public:
+  TenantId() = default;  // the default (shared) tenant
+  explicit TenantId(std::string value) : value_(std::move(value)) {}
+  explicit TenantId(std::string_view value) : value_(value) {}
+  explicit TenantId(const char* value) : value_(value) {}
+
+  /// The default tenant — what every pre-tenancy call site implies.
+  static const TenantId& Default() {
+    static const TenantId kDefault;
+    return kDefault;
+  }
+
+  bool is_default() const { return value_.empty(); }
+  const std::string& value() const { return value_; }
+  /// Human-readable form ("default" for the default tenant).
+  std::string display() const {
+    return value_.empty() ? std::string("default") : value_;
+  }
+
+  friend bool operator==(const TenantId& a, const TenantId& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const TenantId& a, const TenantId& b) {
+    return a.value_ != b.value_;
+  }
+  friend bool operator<(const TenantId& a, const TenantId& b) {
+    return a.value_ < b.value_;
+  }
+
+  struct Hash {
+    size_t operator()(const TenantId& id) const {
+      return std::hash<std::string>{}(id.value_);
+    }
+  };
+
+ private:
+  std::string value_;
+};
+
 /// Identifies one shard of a sharded RuleRepository. Shards are keyed by
-/// the hash of a rule's target type, so all rules asserting (or vetoing)
-/// one type live together and an edit to a cold type never touches the
-/// hot types' shards. The strong type keeps shard indices from being
-/// mixed up with rule counts, versions, or checkpoint handles.
+/// the hash of a rule's (tenant, target type), so all rules asserting
+/// (or vetoing) one type for one tenant live together and an edit to a
+/// cold type never touches the hot types' shards. The strong type keeps
+/// shard indices from being mixed up with rule counts, versions, or
+/// checkpoint handles.
 class ShardKey {
  public:
   ShardKey() = default;
@@ -67,6 +115,32 @@ class ShardKey {
     for (char c : target_type) {
       h ^= static_cast<unsigned char>(c);
       h *= 1099511628211ull;  // FNV prime
+    }
+    if (shard_count == 0) shard_count = 1;
+    return ShardKey(static_cast<uint32_t>(h % shard_count));
+  }
+
+  /// The shard that owns `tenant`'s rules targeting `target_type`. For
+  /// the default tenant this is exactly ForType — a single-tenant
+  /// repository places (and versions) every rule precisely as the
+  /// pre-tenancy code did, which is what keeps recovery and serving
+  /// byte-identical for existing deployments. Non-default tenants fold
+  /// the tenant bytes (plus a separator that cannot appear in either
+  /// string's hash run) into the same FNV-1a stream.
+  static ShardKey ForTenantType(const TenantId& tenant,
+                                std::string_view target_type,
+                                size_t shard_count) {
+    if (tenant.is_default()) return ForType(target_type, shard_count);
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (char c : tenant.value()) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;  // FNV prime
+    }
+    h ^= 0x1f;  // unit separator: "ab"+"c" routes unlike "a"+"bc"
+    h *= 1099511628211ull;
+    for (char c : target_type) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
     }
     if (shard_count == 0) shard_count = 1;
     return ShardKey(static_cast<uint32_t>(h % shard_count));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/common/string_util.h"
@@ -112,7 +113,7 @@ Result<ShardKey> RuleRepository::ShardOfRule(const RuleId& id) const {
   if (it == routing_.end()) {
     return Status::NotFound("no such rule: " + id.value());
   }
-  return ShardKey(it->second);
+  return ShardKey(it->second.shard);
 }
 
 uint64_t RuleRepository::Log(AuditAction action, const RuleId& rule_id,
@@ -126,8 +127,9 @@ uint64_t RuleRepository::Log(AuditAction action, const RuleId& rule_id,
 
 // ---- transactions ----------------------------------------------------------
 
-RuleRepository::Transaction RuleRepository::Begin(std::string_view author) {
-  return Transaction(this, std::string(author));
+RuleRepository::Transaction RuleRepository::Begin(std::string_view author,
+                                                  const TenantId& tenant) {
+  return Transaction(this, std::string(author), tenant);
 }
 
 Status RuleRepository::Transaction::Add(Rule rule) {
@@ -169,22 +171,27 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
   txn.touched_.clear();
   if (txn.ops_.empty()) return Status::OK();
 
-  // Phase 1: resolve every op to its shard before applying anything, so an
-  // unknown rule id fails the whole commit with zero side effects. Ids
-  // staged by earlier Adds in this transaction resolve too.
+  // Phase 1: resolve every op to its shard (and its rule's owning
+  // tenant) before applying anything, so an unknown rule id — or a
+  // cross-tenant edit — fails the whole commit with zero side effects.
+  // Ids staged by earlier Adds in this transaction resolve too.
   std::vector<uint32_t> op_shard(txn.ops_.size());
+  std::vector<std::string> op_tenant(txn.ops_.size());
   std::unordered_map<std::string, uint32_t> staged_adds;
   for (size_t i = 0; i < txn.ops_.size(); ++i) {
     Transaction::Op& op = txn.ops_[i];
     if (op.kind == Transaction::OpKind::kAdd) {
-      uint32_t shard = KeyForType(op.rule->target_type()).index();
+      uint32_t shard =
+          KeyForTenantType(txn.tenant_, op.rule->target_type()).index();
       op_shard[i] = shard;
+      op_tenant[i] = txn.tenant_.value();
       staged_adds.emplace(op.rule->id(), shard);
       continue;
     }
     auto staged = staged_adds.find(op.id.value());
     if (staged != staged_adds.end()) {
       op_shard[i] = staged->second;
+      op_tenant[i] = txn.tenant_.value();
       continue;
     }
     std::lock_guard<std::mutex> lock(routing_mu_);
@@ -192,7 +199,17 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
     if (it == routing_.end()) {
       return Status::NotFound("no such rule: " + op.id.value());
     }
-    op_shard[i] = it->second;
+    // A tenant-scoped transaction edits only its own rules; the default
+    // tenant is the administrative scope and may edit everything.
+    if (!txn.tenant_.is_default() &&
+        it->second.tenant != txn.tenant_.value()) {
+      return Status::FailedPrecondition(
+          "tenant '" + txn.tenant_.value() + "' may not edit rule '" +
+          op.id.value() + "' owned by tenant '" +
+          TenantId(it->second.tenant).display() + "'");
+    }
+    op_shard[i] = it->second.shard;
+    op_tenant[i] = it->second.tenant;
   }
 
   // Phase 2: lock every affected shard (ascending — the global lock
@@ -210,14 +227,21 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
 
   Status result = Status::OK();
   std::vector<uint32_t> modified;
+  // Which tenants' rules each modified shard saw touched — those (and
+  // only those) per-tenant counters bump below, so an edit to tenant A's
+  // rules never advances tenant B's (or the shared pool's) versions.
+  std::map<uint32_t, std::set<std::string>> modified_tenants;
+  size_t current_op = 0;
   auto mark_modified = [&](uint32_t idx) {
     if (std::find(modified.begin(), modified.end(), idx) == modified.end()) {
       modified.push_back(idx);
     }
+    modified_tenants[idx].insert(op_tenant[current_op]);
   };
   // What actually landed, for the durability journal (a failed commit
   // journals its applied prefix — exactly what stays in memory).
   CommitRecord record;
+  record.tenant = txn.tenant_.value();
   auto journal_op = [&](CommitRecord::Op op, uint64_t ts, AuditAction action,
                         const RuleId& id, std::string_view detail) {
     record.ops.push_back(std::move(op));
@@ -226,6 +250,7 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
   };
 
   for (size_t i = 0; i < txn.ops_.size(); ++i) {
+    current_op = i;
     Transaction::Op& op = txn.ops_[i];
     Shard& shard = *shards_[op_shard[i]];
     switch (op.kind) {
@@ -239,11 +264,13 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
           }
         }
         op.rule->metadata().author = txn.author_;
+        op.rule->metadata().tenant = txn.tenant_.value();
         result = shard.rules.Add(std::move(*op.rule));
         if (!result.ok()) break;
         {
           std::lock_guard<std::mutex> lock(routing_mu_);
-          routing_.emplace(id, op_shard[i]);
+          routing_.emplace(id,
+                           RouteEntry{op_shard[i], txn.tenant_.value()});
         }
         uint64_t ts = Log(AuditAction::kAdd, RuleId(id), txn.author_, "");
         Rule* stored = shard.rules.FindMutable(id);
@@ -319,6 +346,9 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
   for (uint32_t idx : modified) {
     Shard& shard = *shards_[idx];
     shard.version.fetch_add(1, std::memory_order_release);
+    for (const std::string& tenant : modified_tenants[idx]) {
+      ++shard.tenant_versions[tenant];
+    }
     shard.published.reset();
     txn.touched_.push_back(ShardKey(idx));
   }
@@ -328,7 +358,12 @@ Status RuleRepository::CommitTransaction(Transaction& txn) {
 
 Status RuleRepository::Mutate(std::string_view author,
                               const std::function<Status(Transaction&)>& fn) {
-  Transaction txn = Begin(author);
+  return Mutate(author, TenantId(), fn);
+}
+
+Status RuleRepository::Mutate(std::string_view author, const TenantId& tenant,
+                              const std::function<Status(Transaction&)>& fn) {
+  Transaction txn = Begin(author, tenant);
   RULEKIT_RETURN_IF_ERROR(fn(txn));
   return txn.Commit();
 }
@@ -369,17 +404,28 @@ Status RuleRepository::SetConfidence(const RuleId& id, double confidence,
 }
 
 Result<std::vector<RuleId>> RuleRepository::DisableRulesForType(
-    std::string_view type, std::string_view author, std::string_view reason) {
+    std::string_view type, std::string_view author, std::string_view reason,
+    const TenantId& tenant) {
   std::vector<RuleId> disabled;
   Status journal_status;
   // One shard at a time: attribute-value rules can carry `type` anywhere
   // in their candidate list, so every shard must be scanned, but shards
   // not hosting such rules are locked only briefly and never bumped.
+  // A non-default tenant scales down only its own rules; the default
+  // tenant is the administrative scope and disables every tenant's rules
+  // for the type — exactly the pre-tenancy emergency lever.
   for (size_t idx = 0; idx < shards_.size(); ++idx) {
     Shard& shard = *shards_[idx];
     std::lock_guard<std::mutex> lock(shard.mu);
     CommitRecord record;  // one journal record per published shard
+    record.tenant = tenant.value();
+    std::set<std::string> touched_tenants;
     for (const Rule* rule : shard.rules.ActiveForType(type)) {
+      if (!tenant.is_default() &&
+          rule->metadata().tenant != tenant.value()) {
+        continue;
+      }
+      std::string owner = rule->metadata().tenant;
       if (shard.rules.Disable(rule->id()).ok()) {
         RuleId id(rule->id());
         uint64_t ts = Log(AuditAction::kDisable, id, author, reason);
@@ -388,6 +434,7 @@ Result<std::vector<RuleId>> RuleRepository::DisableRulesForType(
         record.entries.push_back({ts, AuditAction::kDisable, id,
                                   std::string(author), std::string(reason)});
         disabled.push_back(std::move(id));
+        touched_tenants.insert(std::move(owner));
       }
     }
     if (!record.ops.empty()) {
@@ -400,6 +447,9 @@ Result<std::vector<RuleId>> RuleRepository::DisableRulesForType(
         if (journal_status.ok() && !jst.ok()) journal_status = jst;
       }
       shard.version.fetch_add(1, std::memory_order_release);
+      for (const std::string& owner : touched_tenants) {
+        ++shard.tenant_versions[owner];
+      }
       shard.published.reset();
     }
   }
@@ -416,7 +466,7 @@ ShardSnapshot RuleRepository::ShardSnapshotOf(ShardKey key) const {
     shard.published = std::make_shared<const RuleSet>(shard.rules);
   }
   return {key, shard.version.load(std::memory_order_acquire),
-          shard.published};
+          shard.tenant_versions, shard.published};
 }
 
 RepositorySnapshot RuleRepository::SnapshotAll() const {
@@ -432,6 +482,28 @@ RepositorySnapshot RuleRepository::SnapshotAll() const {
 uint64_t RuleRepository::shard_version(ShardKey key) const {
   if (key.index() >= shards_.size()) return 0;
   return shards_[key.index()]->version.load(std::memory_order_acquire);
+}
+
+uint64_t RuleRepository::tenant_shard_version(ShardKey key,
+                                              const TenantId& tenant) const {
+  if (key.index() >= shards_.size()) return 0;
+  const Shard& shard = *shards_[key.index()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tenant_versions.find(tenant.value());
+  return it == shard.tenant_versions.end() ? 0 : it->second;
+}
+
+std::vector<TenantId> RuleRepository::Tenants() const {
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    for (const auto& [id, route] : routing_) names.insert(route.tenant);
+  }
+  names.insert("");  // the shared pool always exists
+  std::vector<TenantId> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) out.emplace_back(name);
+  return out;  // "" sorts first: default tenant leads
 }
 
 uint64_t RuleRepository::composite_version() const {
@@ -546,6 +618,13 @@ Status RuleRepository::RestoreCheckpoint(uint64_t version,
   }
   for (const auto& shard : shards_) {
     shard->version.fetch_add(1, std::memory_order_release);
+    // A restore rewrites every rule's state regardless of owner, so every
+    // tenant's view of every shard changes: bump the default counter and
+    // every tenant counter the shard has ever seen.
+    ++shard->tenant_versions[""];
+    for (auto& [tenant, version] : shard->tenant_versions) {
+      if (!tenant.empty()) ++version;
+    }
     shard->published.reset();
   }
   return journaled;
@@ -579,6 +658,11 @@ Status RuleRepository::Replay(const CommitRecord& record) {
   for (const auto& shard : shards_) locks.emplace_back(shard->mu);
 
   std::vector<bool> modified(shards_.size(), false);
+  // Owner tenants touched per shard — mirrored from the writer so the
+  // per-tenant counters converge exactly (the acceptance bar for
+  // recovery). Restores bump everything, flagged separately.
+  std::vector<std::set<std::string>> modified_tenants(shards_.size());
+  bool restored = false;
   for (size_t i = 0; i < record.ops.size(); ++i) {
     const CommitRecord::Op& op = record.ops[i];
     const AuditEntry& entry = record.entries[i];
@@ -595,7 +679,12 @@ Status RuleRepository::Replay(const CommitRecord& record) {
           return fail(Status::InvalidArgument("add op carries no rule"));
         }
         std::string id = op.rule->id();
-        uint32_t shard_idx = KeyForType(op.rule->target_type()).index();
+        // The stored rule carries its owner; routing mirrors the writer's
+        // tenant-aware placement.
+        const std::string& owner = op.rule->metadata().tenant;
+        uint32_t shard_idx =
+            KeyForTenantType(TenantId(owner), op.rule->target_type())
+                .index();
         {
           std::lock_guard<std::mutex> lock(routing_mu_);
           if (routing_.count(id) != 0) {
@@ -604,9 +693,10 @@ Status RuleRepository::Replay(const CommitRecord& record) {
         }
         Status st = shards_[shard_idx]->rules.Add(*op.rule);
         if (!st.ok()) return fail(st);
+        modified_tenants[shard_idx].insert(owner);
         {
           std::lock_guard<std::mutex> lock(routing_mu_);
-          routing_.emplace(std::move(id), shard_idx);
+          routing_.emplace(std::move(id), RouteEntry{shard_idx, owner});
         }
         modified[shard_idx] = true;
         break;
@@ -622,7 +712,8 @@ Status RuleRepository::Replay(const CommitRecord& record) {
           if (it == routing_.end()) {
             return fail(Status::NotFound("no such rule: " + op.id.value()));
           }
-          shard_idx = it->second;
+          shard_idx = it->second.shard;
+          modified_tenants[shard_idx].insert(it->second.tenant);
         }
         Shard& shard = *shards_[shard_idx];
         Status st;
@@ -677,6 +768,7 @@ Status RuleRepository::Replay(const CommitRecord& record) {
           }
         }
         std::fill(modified.begin(), modified.end(), true);
+        restored = true;
         break;
       }
     }
@@ -705,8 +797,21 @@ Status RuleRepository::Replay(const CommitRecord& record) {
 
   for (size_t idx = 0; idx < shards_.size(); ++idx) {
     if (!modified[idx]) continue;
-    shards_[idx]->version.fetch_add(1, std::memory_order_release);
-    shards_[idx]->published.reset();
+    Shard& shard = *shards_[idx];
+    shard.version.fetch_add(1, std::memory_order_release);
+    if (restored) {
+      // Mirror RestoreCheckpoint: default counter plus every tenant
+      // counter the shard has seen.
+      ++shard.tenant_versions[""];
+      for (auto& [tenant, version] : shard.tenant_versions) {
+        if (!tenant.empty()) ++version;
+      }
+    } else {
+      for (const std::string& tenant : modified_tenants[idx]) {
+        ++shard.tenant_versions[tenant];
+      }
+    }
+    shard.published.reset();
   }
   return Status::OK();
 }
@@ -720,10 +825,12 @@ PersistedState RuleRepository::ExportState() const {
   for (const auto& shard : shards_) total += shard->rules.size();
   out.rules.reserve(total);
   out.shard_versions.reserve(shards_.size());
+  out.tenant_versions.reserve(shards_.size());
   for (const auto& shard : shards_) {
     for (const Rule& rule : shard->rules.rules()) out.rules.push_back(rule);
     out.shard_versions.push_back(
         shard->version.load(std::memory_order_acquire));
+    out.tenant_versions.push_back(shard->tenant_versions);
   }
   out.checkpoints.reserve(checkpoints_.size());
   for (const auto& [version, state] : checkpoints_) {
@@ -750,13 +857,15 @@ Status RuleRepository::ImportState(PersistedState state) {
   }
   for (Rule& rule : state.rules) {
     std::string id = rule.id();
-    uint32_t shard_idx = KeyForType(rule.target_type()).index();
+    std::string owner = rule.metadata().tenant;
+    uint32_t shard_idx =
+        KeyForTenantType(TenantId(owner), rule.target_type()).index();
     if (routing_.count(id) != 0) {
       return Status::AlreadyExists("duplicate rule id in persisted state: " +
                                    id);
     }
     RULEKIT_RETURN_IF_ERROR(shards_[shard_idx]->rules.Add(std::move(rule)));
-    routing_.emplace(std::move(id), shard_idx);
+    routing_.emplace(std::move(id), RouteEntry{shard_idx, std::move(owner)});
   }
   if (state.shard_versions.size() == shards_.size()) {
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -770,6 +879,19 @@ Status RuleRepository::ImportState(PersistedState state) {
     uint64_t total = 0;
     for (uint64_t v : state.shard_versions) total += v;
     shards_[0]->version.store(total, std::memory_order_release);
+  }
+  if (state.tenant_versions.size() == shards_.size()) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->tenant_versions = std::move(state.tenant_versions[i]);
+    }
+  } else {
+    // Same monotonicity fallback per tenant: each tenant's total lands
+    // in shard 0's map.
+    for (const auto& per_shard : state.tenant_versions) {
+      for (const auto& [tenant, version] : per_shard) {
+        shards_[0]->tenant_versions[tenant] += version;
+      }
+    }
   }
   for (const CheckpointRecord& rec : state.checkpoints) {
     CheckpointState cs;
@@ -790,12 +912,13 @@ Status RuleRepository::SaveToFile(const std::string& path) const {
   PersistedState state = ExportState();
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << "# rulekit repository v2\n";
+  out << "# rulekit repository v3\n";
   for (const Rule& rule : state.rules) {
     const RuleMetadata& m = rule.metadata();
     out << "#meta " << m.author << '\t' << OriginName(m.origin) << '\t'
         << m.created_at << '\t' << StrFormat("%.6f", m.confidence) << '\t'
-        << StateName(m.state) << '\t' << EscapeControl(m.note) << '\n';
+        << StateName(m.state) << '\t' << EscapeControl(m.note) << '\t'
+        << EscapeControl(m.tenant) << '\n';
     out << rule.ToDsl() << '\n';
   }
   // The audit section makes HistoryOf() survive a save/load round trip;
@@ -840,6 +963,7 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
       pending.confidence = std::strtod(fields[3].c_str(), nullptr);
       pending.state = StateFromName(fields[4]);
       if (fields.size() > 5) pending.note = UnescapeControl(fields[5]);
+      if (fields.size() > 6) pending.tenant = UnescapeControl(fields[6]);
       has_pending = true;
       continue;
     }
@@ -875,9 +999,11 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
         has_pending = false;
       }
       std::string id = rule.id();
+      std::string owner = rule.metadata().tenant;
       // The repository is private to this function, so shards are mutated
       // without locks; the routing map still gets the cross-shard dup check.
-      uint32_t shard_idx = repo.KeyForType(rule.target_type()).index();
+      uint32_t shard_idx =
+          repo.KeyForTenantType(TenantId(owner), rule.target_type()).index();
       if (repo.routing_.count(id) != 0) {
         return Status::AlreadyExists(
             StrFormat("%s:%zu: duplicate rule id: %s", path.c_str(), line_no,
@@ -885,7 +1011,7 @@ Result<RuleRepository> RuleRepository::LoadFromFile(const std::string& path,
       }
       RULEKIT_RETURN_IF_ERROR(repo.shards_[shard_idx]->rules.Add(
           std::move(rule)));
-      repo.routing_.emplace(id, shard_idx);
+      repo.routing_.emplace(id, RouteEntry{shard_idx, std::move(owner)});
       loaded_order.emplace_back(id);
     }
   }

@@ -67,6 +67,12 @@ struct CommitRecord {
   };
   std::vector<Op> ops;
   std::vector<AuditEntry> entries;  // 1:1 with ops
+  /// Tenant the mutation batch was issued for (empty = default). Adds
+  /// also carry the tenant inside the rule's metadata; edits derive the
+  /// owning tenant from the routing map on both the write and the replay
+  /// path, so this field is attribution — which feed asked — while the
+  /// per-tenant shard version bumps follow rule ownership.
+  std::string tenant;
 };
 
 /// Durability hook, fired once per successful mutation batch *after* its
@@ -101,6 +107,11 @@ struct PersistedState {
   /// Per-shard version counters at export time (restored exactly when
   /// the importing repository has the same shard count).
   std::vector<uint64_t> shard_versions;
+  /// Per-shard per-tenant version counters, parallel to shard_versions
+  /// (key "" is the default tenant). Restored exactly under the same
+  /// shard-count-match rule; on a mismatch each tenant's total lands in
+  /// shard 0's map so tenant staleness probes stay monotonic.
+  std::vector<std::map<std::string, uint64_t>> tenant_versions;
   std::vector<CheckpointRecord> checkpoints;
 };
 
@@ -110,6 +121,12 @@ struct PersistedState {
 struct ShardSnapshot {
   ShardKey key;
   uint64_t version = 0;
+  /// Per-tenant version counters pinned with the rules (key "" is the
+  /// default tenant; bumps once per mutation batch touching that
+  /// tenant's rules in this shard). Tenant-scoped cache tags hash these
+  /// instead of `version` so one tenant's edits never invalidate
+  /// another's cached results.
+  std::map<std::string, uint64_t> tenant_versions;
   std::shared_ptr<const RuleSet> rules;
 };
 
@@ -153,9 +170,17 @@ class RuleRepository {
 
   size_t shard_count() const { return shards_.size(); }
 
-  /// The shard that owns rules targeting `target_type`.
+  /// The shard that owns the default tenant's rules targeting
+  /// `target_type`.
   ShardKey KeyForType(std::string_view target_type) const {
     return ShardKey::ForType(target_type, shards_.size());
+  }
+
+  /// The shard that owns `tenant`'s rules targeting `target_type`
+  /// (identical to KeyForType for the default tenant).
+  ShardKey KeyForTenantType(const TenantId& tenant,
+                            std::string_view target_type) const {
+    return ShardKey::ForTenantType(tenant, target_type, shards_.size());
   }
 
   /// The shard a known rule lives in (NotFound for unknown ids).
@@ -209,22 +234,33 @@ class RuleRepository {
       std::string detail;
       double confidence = 0.0;
     };
-    Transaction(RuleRepository* repo, std::string author)
-        : repo_(repo), author_(std::move(author)) {}
+    Transaction(RuleRepository* repo, std::string author, TenantId tenant)
+        : repo_(repo), author_(std::move(author)),
+          tenant_(std::move(tenant)) {}
 
     RuleRepository* repo_;
     std::string author_;
+    TenantId tenant_;
     std::vector<Op> ops_;
     std::vector<ShardKey> touched_;
   };
 
-  /// Starts a transaction attributed to `author`.
-  Transaction Begin(std::string_view author);
+  /// Starts a transaction attributed to `author`, scoped to `tenant`.
+  /// Added rules are stamped with (and routed by) the tenant. A
+  /// non-default tenant's transaction may edit only its own rules —
+  /// Commit() fails with FailedPrecondition, before applying anything,
+  /// if an op targets a rule owned by another tenant (including the
+  /// shared default pool). The default tenant is the administrative
+  /// scope and may edit everything.
+  Transaction Begin(std::string_view author,
+                    const TenantId& tenant = TenantId());
 
   /// Stages edits through `fn` and commits: the one-liner form of the
   /// transactional API. If `fn` returns an error the transaction is
   /// dropped without applying anything.
   Status Mutate(std::string_view author,
+                const std::function<Status(Transaction&)>& fn);
+  Status Mutate(std::string_view author, const TenantId& tenant,
                 const std::function<Status(Transaction&)>& fn);
 
   // ---- single mutations (one-op transactions) ----------------------------
@@ -263,9 +299,9 @@ class RuleRepository {
   /// instead of the ids — the disables still applied and published
   /// (scale-down is an emergency action), but the caller learns that
   /// recovery cannot reproduce them.
-  Result<std::vector<RuleId>> DisableRulesForType(std::string_view type,
-                                                  std::string_view author,
-                                                  std::string_view reason);
+  Result<std::vector<RuleId>> DisableRulesForType(
+      std::string_view type, std::string_view author,
+      std::string_view reason, const TenantId& tenant = TenantId());
 
   // ---- snapshots ---------------------------------------------------------
 
@@ -280,6 +316,17 @@ class RuleRepository {
 
   /// Current version of one shard (bumps on every mutation of it).
   uint64_t shard_version(ShardKey key) const;
+
+  /// `tenant`'s version counter in one shard: bumps once per mutation
+  /// batch that touched that tenant's rules there (0 if never touched).
+  /// In a single-default-tenant repository the default tenant's counter
+  /// tracks shard_version() exactly.
+  uint64_t tenant_shard_version(ShardKey key, const TenantId& tenant) const;
+
+  /// Every tenant owning at least one rule, default tenant first, the
+  /// rest sorted. The default tenant is always listed (it owns the
+  /// shared pool even when empty).
+  std::vector<TenantId> Tenants() const;
 
   /// Sum of all shard versions; strictly increases on any mutation.
   uint64_t composite_version() const;
@@ -367,6 +414,12 @@ class RuleRepository {
     /// Bumps once per mutation batch touching this shard. Written under
     /// mu; readable without it (composite_version(), staleness probes).
     std::atomic<uint64_t> version{0};
+    /// Per-tenant version counters (key "" = default tenant); a batch
+    /// bumps exactly the counters of the tenants whose rules it touched
+    /// here. Guarded by mu; pinned into ShardSnapshot under the same
+    /// critical section as `rules`, so tenant-scoped cache tags are
+    /// coherent with the rule set they describe.
+    std::map<std::string, uint64_t> tenant_versions;
     /// Cached immutable copy of `rules`; null when stale. Guarded by mu.
     mutable std::shared_ptr<const RuleSet> published;
   };
@@ -390,9 +443,13 @@ class RuleRepository {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// rule id -> owning shard index.
+  /// rule id -> owning shard index and owning tenant ("" = default).
+  struct RouteEntry {
+    uint32_t shard = 0;
+    std::string tenant;
+  };
   mutable std::mutex routing_mu_;
-  std::unordered_map<std::string, uint32_t> routing_;
+  std::unordered_map<std::string, RouteEntry> routing_;
 
   mutable std::mutex log_mu_;
   std::vector<AuditEntry> audit_;

@@ -41,6 +41,10 @@ struct RuleMetadata {
   double confidence = 1.0;  // [0,1]; mined rules carry their score
   RuleState state = RuleState::kActive;
   std::string note;
+  /// Owning tenant (vendor feed). Empty = the default/shared tenant:
+  /// such rules are visible to every tenant's serving view, while a
+  /// non-default tenant's rules are visible only to that tenant.
+  std::string tenant;
 };
 
 /// An immutable-condition classification rule with mutable metadata.

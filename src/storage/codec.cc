@@ -180,6 +180,7 @@ void EncodeRule(const Rule& rule, Encoder& enc) {
   enc.PutDouble(m.confidence);
   enc.PutU8(static_cast<uint8_t>(m.state));
   enc.PutString(m.note);
+  enc.PutString(m.tenant);
 }
 
 Result<Rule> DecodeRule(Decoder& dec,
@@ -206,6 +207,7 @@ Result<Rule> DecodeRule(Decoder& dec,
   meta.confidence = dec.F64();
   uint8_t state_byte = dec.U8();
   meta.note = dec.String();
+  meta.tenant = dec.String();
   if (dec.ok() && kind_byte > kMaxRuleKind) {
     dec.Fail(StrFormat("rule '%s': bad kind %u", id.c_str(), kind_byte));
   }
@@ -305,6 +307,7 @@ void EncodeCommitRecord(const CommitRecord& record, Encoder& enc) {
   for (const AuditEntry& entry : record.entries) {
     EncodeAuditEntry(entry, enc);
   }
+  enc.PutString(record.tenant);
 }
 
 Result<CommitRecord> DecodeCommitRecord(
@@ -349,6 +352,7 @@ Result<CommitRecord> DecodeCommitRecord(
     if (!entry.ok()) return entry.status();
     record.entries.push_back(std::move(entry).value());
   }
+  record.tenant = dec.String();
   RULEKIT_RETURN_IF_ERROR(dec.status());
   if (record.entries.size() != record.ops.size()) {
     return Status::InvalidArgument(
@@ -366,6 +370,14 @@ void EncodePersistedState(const PersistedState& state, Encoder& enc) {
   enc.PutU64(state.clock);
   enc.PutVarint(state.shard_versions.size());
   for (uint64_t v : state.shard_versions) enc.PutU64(v);
+  enc.PutVarint(state.tenant_versions.size());
+  for (const auto& per_shard : state.tenant_versions) {
+    enc.PutVarint(per_shard.size());
+    for (const auto& [tenant, version] : per_shard) {
+      enc.PutString(tenant);
+      enc.PutU64(version);
+    }
+  }
   enc.PutVarint(state.checkpoints.size());
   for (const CheckpointRecord& cp : state.checkpoints) {
     enc.PutU64(cp.version);
@@ -397,6 +409,17 @@ Result<PersistedState> DecodePersistedState(
   uint64_t num_shards = dec.Varint();
   for (uint64_t i = 0; dec.ok() && i < num_shards; ++i) {
     state.shard_versions.push_back(dec.U64());
+  }
+  uint64_t num_tenant_shards = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_tenant_shards; ++i) {
+    std::map<std::string, uint64_t> per_shard;
+    uint64_t num_tenants = dec.Varint();
+    for (uint64_t j = 0; dec.ok() && j < num_tenants; ++j) {
+      std::string tenant = dec.String();
+      uint64_t version = dec.U64();
+      per_shard.emplace(std::move(tenant), version);
+    }
+    state.tenant_versions.push_back(std::move(per_shard));
   }
   uint64_t num_checkpoints = dec.Varint();
   for (uint64_t i = 0; dec.ok() && i < num_checkpoints; ++i) {

@@ -16,8 +16,9 @@ namespace rulekit::storage {
 
 namespace {
 
-// "RKSN" + format version 1.
-constexpr char kMagic[8] = {'R', 'K', 'S', 'N', 1, 0, 0, 0};
+// "RKSN" + format version. Version 2 added per-rule tenants and
+// per-shard tenant version counters (multi-tenant partitioning).
+constexpr char kMagic[8] = {'R', 'K', 'S', 'N', 2, 0, 0, 0};
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 8 + 4;  // magic, len, crc
 
 Status Errno(const std::string& what, const std::string& path) {

@@ -15,8 +15,11 @@ namespace rulekit::storage {
 
 namespace {
 
-// "RKWL" + format version 1, little-endian padded to 8 bytes.
-constexpr char kMagic[8] = {'R', 'K', 'W', 'L', 1, 0, 0, 0};
+// "RKWL" + format version, little-endian padded to 8 bytes. Version 2
+// added the tenant to every rule and commit record (multi-tenant
+// partitioning); v1 logs predate tenancy and need a text-format
+// re-export to migrate.
+constexpr char kMagic[8] = {'R', 'K', 'W', 'L', 2, 0, 0, 0};
 constexpr size_t kHeaderBytes = sizeof(kMagic);
 constexpr size_t kFrameBytes = 8;  // u32 length + u32 crc
 

@@ -360,9 +360,9 @@ TEST(WalTest, RejectsUnsupportedFormatVersion) {
     ASSERT_TRUE(wal->Append("payload").ok());
   }
   // A future format must be refused with a version error, not parsed
-  // with v1 framing.
+  // with current framing.
   std::string data = ReadFile(path);
-  data[4] = 2;
+  data[4] = 9;
   WriteFile(path, data);
   Status st = WriteAheadLog::Replay(
       path, [](std::string_view) { return Status::OK(); });
@@ -419,7 +419,7 @@ TEST(SnapshotTest, RejectsUnsupportedFormatVersion) {
   ASSERT_TRUE(storage::WriteSnapshotFile(path, repo.ExportState()).ok());
 
   std::string data = ReadFile(path);
-  data[4] = 2;  // bump the format-version byte
+  data[4] = 9;  // bump the format-version byte
   WriteFile(path, data);
   auto loaded = storage::ReadSnapshotFile(path);
   ASSERT_FALSE(loaded.ok());
