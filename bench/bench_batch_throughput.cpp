@@ -27,6 +27,7 @@
 #include "src/common/random.h"
 #include "src/common/stopwatch.h"
 #include "src/data/catalog_generator.h"
+#include "bench/bench_util.h"
 
 namespace {
 
@@ -94,7 +95,7 @@ void BM_PerItemClassifyBaseline(benchmark::State& state) {
   for (auto _ : state) {
     size_t classified = 0;
     for (const auto& item : f.items) {
-      if (pipeline->Classify(item).has_value()) ++classified;
+      if (bench::ClassifyOne(*pipeline, item).has_value()) ++classified;
     }
     benchmark::DoNotOptimize(classified);
   }
@@ -109,7 +110,7 @@ void BM_ProcessBatch(benchmark::State& state) {
   Fixture& f = GetFixture();
   auto pipeline = BuildPipeline(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
-    chimera::BatchReport report = pipeline->ProcessBatch(f.items);
+    chimera::BatchReport report = bench::RunBatch(*pipeline, f.items);
     benchmark::DoNotOptimize(report.classified);
   }
   state.counters["items/s"] = benchmark::Counter(
@@ -124,7 +125,7 @@ void BM_ProcessBatchRulesOnly(benchmark::State& state) {
   auto pipeline =
       BuildPipeline(static_cast<size_t>(state.range(0)), false);
   for (auto _ : state) {
-    chimera::BatchReport report = pipeline->ProcessBatch(f.items);
+    chimera::BatchReport report = bench::RunBatch(*pipeline, f.items);
     benchmark::DoNotOptimize(report.classified);
   }
   state.counters["items/s"] = benchmark::Counter(
@@ -168,7 +169,7 @@ void BM_ProcessBatchWithConcurrentUpdates(benchmark::State& state) {
   size_t versions_seen = 0;
   for (auto _ : state) {
     uint64_t before = pipeline->snapshot_version();
-    chimera::BatchReport report = pipeline->ProcessBatch(f.items);
+    chimera::BatchReport report = bench::RunBatch(*pipeline, f.items);
     benchmark::DoNotOptimize(report.classified);
     versions_seen += pipeline->snapshot_version() - before;
   }
@@ -192,10 +193,10 @@ void BM_ProcessBatchRepeatedTitles(benchmark::State& state) {
                                 /*with_cache=*/state.range(0) != 0);
   // Two warm-up passes: the first feeds the admission sketch, the second
   // clears admit_after=2 and actually populates the cache.
-  (void)pipeline->ProcessBatch(f.items);
-  (void)pipeline->ProcessBatch(f.items);
+  (void)bench::RunBatch(*pipeline, f.items);
+  (void)bench::RunBatch(*pipeline, f.items);
   for (auto _ : state) {
-    chimera::BatchReport report = pipeline->ProcessBatch(f.items);
+    chimera::BatchReport report = bench::RunBatch(*pipeline, f.items);
     benchmark::DoNotOptimize(report.classified);
   }
   state.counters["items/s"] = benchmark::Counter(
@@ -231,7 +232,7 @@ ReplayResult RunReplay(chimera::ChimeraPipeline& pipeline,
   ReplayResult result;
   Stopwatch timer;
   for (const auto& batch : batches) {
-    chimera::BatchReport report = pipeline.ProcessBatch(batch);
+    chimera::BatchReport report = bench::RunBatch(pipeline, batch);
     result.classified += report.classified;
     result.predictions.insert(result.predictions.end(),
                               report.predictions.begin(),
@@ -394,7 +395,7 @@ void RunMultiTenantReplay() {
     size_t hits = 0, lookups = 0;
     for (size_t step = 0; step < kSteps; ++step) {
       if (with_noisy) {
-        (void)pipeline.ProcessBatch(noisy[step], noisy_id);
+        (void)bench::RunBatch(pipeline, noisy[step], noisy_id);
         auto rule = rules::Rule::Whitelist(
             "churn-" + std::to_string(step),
             "(qqq|noisychurn)[a-z]*" + std::to_string(step),
@@ -403,7 +404,7 @@ void RunMultiTenantReplay() {
       }
       Stopwatch timer;
       chimera::BatchReport report =
-          pipeline.ProcessBatch(quiet[step], quiet_id);
+          bench::RunBatch(pipeline, quiet[step], quiet_id);
       latencies.push_back(timer.ElapsedSeconds() * 1000.0);
       hits += report.cache_hits;
       lookups += report.cache_hits + report.cache_misses;

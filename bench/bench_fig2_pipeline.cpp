@@ -52,7 +52,7 @@ int main() {
   }
   std::vector<data::ProductItem> items;
   for (const auto& li : warm_batch) items.push_back(li.item);
-  auto report = pipeline.ProcessBatch(items);
+  auto report = bench::RunBatch(pipeline, items);
   std::printf("  total               %zu\n", report.total);
   std::printf("  gate: memo-classified %zu, rejected %zu\n",
               report.gate_classified, report.gate_rejected);
@@ -87,7 +87,7 @@ int main() {
   auto odd = gen.GenerateVendorBatch(3000, vendor);
   std::vector<data::ProductItem> odd_items;
   for (const auto& li : odd) odd_items.push_back(li.item);
-  auto odd_report = pipeline.ProcessBatch(odd_items);
+  auto odd_report = bench::RunBatch(pipeline, odd_items);
   std::vector<ml::Observation> obs;
   for (size_t i = 0; i < odd.size(); ++i) {
     obs.push_back({odd[i].label, odd_report.predictions[i]});
@@ -115,7 +115,7 @@ int main() {
         scaled.push_back(type);
       }
     }
-    auto contained_report = pipeline.ProcessBatch(odd_items);
+    auto contained_report = bench::RunBatch(pipeline, odd_items);
     std::vector<ml::Observation> contained_obs;
     for (size_t i = 0; i < odd.size(); ++i) {
       contained_obs.push_back({odd[i].label,

@@ -228,9 +228,9 @@ whitelist j9: jeans? => jeans
   par_config.batch_threads = 4;
   chimera::ChimeraPipeline parallel(par_config);
   (void)parallel.AddRules(SyntheticRuleBase(kRules, kTypes), "seed");
-  auto mono_report = monolithic.ProcessBatch(probe_items);
-  auto shard_report = sharded.ProcessBatch(probe_items);
-  auto par_report = parallel.ProcessBatch(probe_items);
+  auto mono_report = bench::RunBatch(monolithic, probe_items);
+  auto shard_report = bench::RunBatch(sharded, probe_items);
+  auto par_report = bench::RunBatch(parallel, probe_items);
   size_t mismatches = 0;
   for (size_t i = 0; i < probe_items.size(); ++i) {
     if (mono_report.predictions[i] != shard_report.predictions[i] ||

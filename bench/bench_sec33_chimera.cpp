@@ -31,7 +31,7 @@ ml::EvalSummary Evaluate(const chimera::ChimeraPipeline& pipeline,
                          const std::vector<data::LabeledItem>& batch) {
   std::vector<data::ProductItem> items;
   for (const auto& li : batch) items.push_back(li.item);
-  auto report = pipeline.ProcessBatch(items);
+  auto report = bench::RunBatch(pipeline, items);
   std::vector<ml::Observation> obs;
   for (size_t i = 0; i < batch.size(); ++i) {
     obs.push_back({batch[i].label, report.predictions[i]});
@@ -98,7 +98,7 @@ int main() {
       auto tune = gen.GenerateMany(2000);
       std::vector<data::ProductItem> items;
       for (const auto& li : tune) items.push_back(li.item);
-      auto report = pipeline.ProcessBatch(items);
+      auto report = bench::RunBatch(pipeline, items);
       std::vector<chimera::Misclassification> errors;
       for (size_t i = 0; i < tune.size(); ++i) {
         if (report.predictions[i].has_value() &&

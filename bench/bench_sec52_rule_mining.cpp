@@ -122,7 +122,7 @@ int main() {
 
   std::vector<data::ProductItem> batch;
   for (const auto& li : fresh) batch.push_back(li.item);
-  auto before = pipeline.ProcessBatch(batch);
+  auto before = bench::RunBatch(pipeline, batch);
   std::vector<ml::Observation> obs_before;
   for (size_t i = 0; i < fresh.size(); ++i) {
     obs_before.push_back({fresh[i].label, before.predictions[i]});
@@ -146,7 +146,7 @@ int main() {
   }
   (void)pipeline.AddRules(std::move(mined_rules), "rule-miner");
 
-  auto after = pipeline.ProcessBatch(batch);
+  auto after = bench::RunBatch(pipeline, batch);
   std::vector<ml::Observation> obs_after;
   for (size_t i = 0; i < fresh.size(); ++i) {
     obs_after.push_back({fresh[i].label, after.predictions[i]});

@@ -26,7 +26,7 @@ ml::EvalSummary Evaluate(const chimera::ChimeraPipeline& pipeline,
                          const std::vector<data::LabeledItem>& batch) {
   std::vector<data::ProductItem> items;
   for (const auto& li : batch) items.push_back(li.item);
-  auto report = pipeline.ProcessBatch(items);
+  auto report = bench::RunBatch(pipeline, items);
   std::vector<ml::Observation> obs;
   for (size_t i = 0; i < batch.size(); ++i) {
     obs.push_back({batch[i].label, report.predictions[i]});

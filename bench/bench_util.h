@@ -8,9 +8,39 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
+
+#include "src/chimera/pipeline.h"
+#include "src/chimera/request.h"
 
 namespace rulekit::bench {
+
+/// Bench-side conveniences over ChimeraPipeline::Classify(ClassifyRequest)
+/// mirroring the deprecated ProcessBatch / per-item Classify shapes, so
+/// the experiment binaries measure the one real entry point without
+/// request-building noise at every call site.
+
+inline chimera::BatchReport RunBatch(
+    const chimera::ChimeraPipeline& pipeline,
+    const std::vector<data::ProductItem>& items,
+    const rules::TenantId& tenant = {}) {
+  chimera::ClassifyRequest request;
+  request.tenant = tenant;
+  request.items = items;
+  return pipeline.Classify(request).report;
+}
+
+inline std::optional<std::string> ClassifyOne(
+    const chimera::ChimeraPipeline& pipeline, const data::ProductItem& item,
+    const rules::TenantId& tenant = {}) {
+  chimera::ClassifyRequest request;
+  request.tenant = tenant;
+  request.items = std::span<const data::ProductItem>(&item, 1);
+  return pipeline.Classify(request).report.predictions[0];
+}
 
 inline void Header(const char* experiment, const char* paper_artifact) {
   std::printf("==============================================================="

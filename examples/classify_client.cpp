@@ -1,0 +1,61 @@
+// A minimal client for the serving front-end: connects to a RuleServer
+// (start one with `rule_shell` -> `serve <port>`), sends each command-line
+// title as a single-item ClassifyRequest, and prints the prediction.
+//
+//   terminal 1:  ./build/examples/rule_shell
+//                > serve 7070
+//   terminal 2:  ./build/examples/classify_client 7070 "diamond ring"
+//                    "motor oil 5w30"
+//
+// Concurrent single-title clients like this one are exactly what the
+// server's request coalescing merges into shared pipeline batches.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/serving/client.h"
+
+using namespace rulekit;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <port> <title> [<title> ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(argv[1], nullptr, 10));
+  auto client = serving::RuleClient::Connect(port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    serving::WireClassifyRequest request;
+    request.request_id = static_cast<uint64_t>(i);
+    data::ProductItem item;
+    item.title = argv[i];
+    request.items.push_back(std::move(item));
+
+    auto response = client->Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (response->code != serving::WireCode::kOk) {
+      std::printf("%s -> error %u: %s\n", argv[i],
+                  static_cast<unsigned>(response->code),
+                  response->message.c_str());
+      continue;
+    }
+    const auto& prediction = response->predictions[0];
+    std::printf("%s -> %s\n", argv[i],
+                prediction.has_value() ? prediction->c_str()
+                                       : "(unclassified)");
+  }
+  return 0;
+}

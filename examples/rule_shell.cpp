@@ -5,6 +5,8 @@
 //   add <dsl line>            add a rule (audited)
 //   disable <id> | enable <id> | retire <id>
 //   classify <title>          classify a title with the current rules
+//   serve [<port>]            serve ClassifyRequest frames over TCP until
+//                             'stop' / EOF (port 0 or absent = ephemeral)
 //   tenant [<id>]             scope the session to a tenant ("" = default):
 //                             add/disable/classify act through its view
 //   tenants                   list tenants known to any layer
@@ -25,6 +27,8 @@
 // rules, the audit history, and any torn tail from a crash.
 
 #include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -32,6 +36,7 @@
 #include <utility>
 
 #include "src/chimera/pipeline.h"
+#include "src/serving/server.h"
 #include "src/maint/subsumption.h"
 #include "src/rules/rule_parser.h"
 
@@ -103,8 +108,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
-              "enable, retire,\nclassify, tenant, tenants, list, history, "
-              "subsumed, open, status, compact,\nsave, load, quit\n",
+              "enable, retire,\nclassify, serve, tenant, tenants, list, "
+              "history, subsumed, open, status,\ncompact, save, load, quit\n",
               pipeline->rule_set().CountActive());
 
   // The session's tenant scope: edits and classifications run through
@@ -149,9 +154,43 @@ int main(int argc, char** argv) {
     } else if (cmd == "classify") {
       data::ProductItem item;
       item.title = rest;
-      auto result = pipeline->Classify(item, scope);
+      chimera::ClassifyRequest request;
+      request.tenant = scope;
+      request.items = std::span<const data::ProductItem>(&item, 1);
+      auto response = pipeline->Classify(request);
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status.ToString().c_str());
+        continue;
+      }
+      const auto& result = response.report.predictions[0];
       std::printf("%s -> %s\n", rest.c_str(),
                   result.has_value() ? result->c_str() : "(unclassified)");
+    } else if (cmd == "serve") {
+      // Expose the current pipeline over the framed-TCP front-end and
+      // block until stdin closes or `stop` arrives. Try it with the
+      // classify_client example in another terminal.
+      serving::ServerConfig server_config;
+      server_config.port =
+          static_cast<uint16_t>(std::strtoul(rest.c_str(), nullptr, 10));
+      serving::RuleServer server(*pipeline, server_config);
+      Status st = server.Start();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("serving on 127.0.0.1:%u — 'stop' (or EOF) to stop\n",
+                  server.port());
+      std::string serve_line;
+      while (std::getline(std::cin, serve_line) && serve_line != "stop") {
+      }
+      server.Stop();
+      serving::ServerStats stats = server.stats();
+      std::printf("served %llu requests in %llu batches (p50 %llu us, "
+                  "p99 %llu us)\n",
+                  static_cast<unsigned long long>(stats.requests_admitted),
+                  static_cast<unsigned long long>(stats.batches_dispatched),
+                  static_cast<unsigned long long>(stats.latency_us.P50()),
+                  static_cast<unsigned long long>(stats.latency_us.P99()));
     } else if (cmd == "tenant") {
       scope = rules::TenantId(rest);
       std::printf("scoped to tenant %s\n", scope.display().c_str());

@@ -6,7 +6,7 @@
 #   scripts/check.sh plain               # just one (plain | asan | tsan)
 #   scripts/check.sh --labels stress     # only tests with a matching ctest
 #                                        # label (unit | stress | storage |
-#                                        # tenant)
+#                                        # tenant | serving)
 #   scripts/check.sh tsan --labels 'stress|storage'
 #   scripts/check.sh --timeout 120      # per-test seconds, overriding the
 #                                        # TIMEOUT each test registers

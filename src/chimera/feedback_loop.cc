@@ -26,7 +26,9 @@ FeedbackLoopResult FeedbackLoop::RunBatch(
     trace.iteration = iteration;
     const size_t questions_before = crowd_.num_tasks();
 
-    BatchReport report = pipeline_.ProcessBatch(items);
+    ClassifyRequest classify_request;
+    classify_request.items = items;
+    BatchReport report = pipeline_.Classify(classify_request).report;
 
     // True quality for the trace (ground truth is available here because
     // the generator produced the batch; the production system never sees

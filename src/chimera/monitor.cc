@@ -42,6 +42,31 @@ void QualityMonitor::RecordRetrain(const RetrainReport& report) {
   retrain_history_.push_back(report);
 }
 
+void QualityMonitor::RecordServing(const ServingActivity& activity,
+                                   const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  auto it = serving_history_.find(tenant);
+  if (it == serving_history_.end()) {
+    it = serving_history_
+             .emplace(tenant, RingBuffer<ServingActivity>(max_history_))
+             .first;
+  }
+  it->second.push_back(activity);
+}
+
+std::vector<ServingActivity> QualityMonitor::serving_history(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  std::vector<ServingActivity> out;
+  auto it = serving_history_.find(tenant);
+  if (it == serving_history_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    out.push_back(it->second[i]);
+  }
+  return out;
+}
+
 const RingBuffer<BatchQuality>& QualityMonitor::history(
     const std::string& tenant) const {
   auto it = history_.find(tenant);
@@ -141,6 +166,15 @@ std::vector<std::string> QualityMonitor::Tenants() const {
     std::lock_guard<std::mutex> lock(retrain_mu_);
     for (size_t i = 0; i < retrain_history_.size(); ++i) {
       const std::string& tenant = retrain_history_[i].tenant;
+      if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+        out.push_back(tenant);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    for (const auto& [tenant, buffer] : serving_history_) {
+      if (buffer.empty() && !tenant.empty()) continue;
       if (std::find(out.begin(), out.end(), tenant) == out.end()) {
         out.push_back(tenant);
       }

@@ -32,6 +32,22 @@ struct CacheActivity {
   size_t evictions = 0;
 };
 
+/// One dispatched serving batch's admission and latency accounting, as
+/// reported by serving::RuleServer. `requests` is how many wire requests
+/// were folded into this dispatch (> 1 when coalescing merged concurrent
+/// single-item requests); reject/shed counters are the admission failures
+/// observed since the previous dispatch, so summing a tenant's history
+/// reproduces the server totals.
+struct ServingActivity {
+  size_t batch_index = 0;
+  size_t requests = 0;         // wire requests folded into this dispatch
+  size_t batch_size = 0;       // items handed to the pipeline
+  size_t overload_rejects = 0; // kOverloaded since the previous dispatch
+  size_t deadline_sheds = 0;   // kDeadlineExceeded sheds since previous
+  double queue_wait_ms = 0.0;  // oldest request's admission->dispatch wait
+  double service_ms = 0.0;     // pipeline execution time
+};
+
 /// Tracks batch-level precision and raises a degradation alarm when the
 /// estimate falls below the business threshold (§2.2 requirement 3:
 /// "detect such quality problems quickly").
@@ -63,6 +79,12 @@ class QualityMonitor {
   void RecordCache(const CacheActivity& activity,
                    const std::string& tenant = {});
 
+  /// Records one serving dispatch, filed under `tenant`. Thread-safe for
+  /// the same reason as RecordRetrain: the natural caller is the serving
+  /// front-end's dispatcher thread.
+  void RecordServing(const ServingActivity& activity,
+                     const std::string& tenant = {});
+
   /// Records one background-retrain report (published, skipped, or
   /// abandoned), filed under `report.tenant`. Unlike the other Record*
   /// methods this one is thread-safe: it is the natural
@@ -81,6 +103,15 @@ class QualityMonitor {
     return cache_history_.at(std::string());
   }
   const RingBuffer<CacheActivity>& cache_history(
+      const std::string& tenant) const;
+
+  /// Copy of the default tenant's serving history, oldest first (a copy
+  /// because the server's dispatcher thread may append concurrently).
+  std::vector<ServingActivity> serving_history() const {
+    return serving_history(std::string());
+  }
+  /// Copy of one tenant's serving history, oldest first.
+  std::vector<ServingActivity> serving_history(
       const std::string& tenant) const;
 
   /// Copy of the retrain history, all tenants in delivery order (a copy
@@ -125,10 +156,12 @@ class QualityMonitor {
   size_t max_history_;
   std::map<std::string, RingBuffer<BatchQuality>> history_;
   std::map<std::string, RingBuffer<CacheActivity>> cache_history_;
-  /// Guards retrain_history_ only — the one history fed from another
-  /// thread.
+  /// Guards retrain_history_ only — a history fed from another thread.
   mutable std::mutex retrain_mu_;
   RingBuffer<RetrainReport> retrain_history_;
+  /// Guards serving_history_ — fed from the server's dispatcher thread.
+  mutable std::mutex serving_mu_;
+  std::map<std::string, RingBuffer<ServingActivity>> serving_history_;
 };
 
 }  // namespace rulekit::chimera

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <span>
 
 #include "src/common/hash.h"
 #include "src/common/string_util.h"
@@ -500,47 +501,37 @@ std::vector<std::string> ChimeraPipeline::Tenants() const {
   return {all.begin(), all.end()};  // std::set order: "" sorts first
 }
 
+ClassifyResponse ChimeraPipeline::Classify(
+    const ClassifyRequest& request) const {
+  ClassifyResponse response;
+  response.report.total = request.items.size();
+  response.report.predictions.assign(request.items.size(), std::nullopt);
+  if (request.options.require_durable && !durable()) {
+    response.status = Status::Unavailable(
+        config_.storage_dir.empty()
+            ? "require_durable on an in-memory pipeline (no storage_dir)"
+            : "durable journal severed; serving in-memory only");
+    return response;
+  }
+  if (request.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    response.status =
+        Status::DeadlineExceeded("deadline passed before classification");
+    return response;
+  }
+  response.report = RunBatch(request.items, request.tenant);
+  return response;
+}
+
 std::optional<std::string> ChimeraPipeline::Classify(
     const data::ProductItem& item, const rules::TenantId& tenant) const {
-  auto snap = CurrentSnapshot();
-  auto memo = gate_.snapshot();
-  // Resolve the tenant's serving view: its composed view when it has
-  // tenant-specific state, the default view otherwise (still with its
-  // own cache partition, so isolation holds either way).
-  const PipelineSnapshot::TenantView* view = nullptr;
-  if (!tenant.is_default()) {
-    auto it = snap->tenant_views.find(tenant.value());
-    if (it != snap->tenant_views.end()) view = &it->second;
-  }
-  const auto& suppressed = view != nullptr ? view->suppressed : snap->suppressed;
-  const VotingMaster& voting = view != nullptr ? *view->voting : *snap->voting;
-  const ShardedFilter& filter = view != nullptr ? *view->filter : *snap->filter;
-  const engine::VersionTag tag =
-      view != nullptr ? view->tag : snap->result_tag();
-  engine::HotResultCache* cache =
-      caches_ == nullptr ? nullptr : &caches_->For(tenant.value());
+  return RunBatch(std::span(&item, 1), tenant).predictions[0];
+}
 
-  std::string lowered = ToLowerAscii(item.title);
-  GateDecision gate = GateKeeper::DecideLowered(*memo, item, lowered);
-  if (gate.kind == GateDecision::Kind::kRejected) return std::nullopt;
-  if (gate.kind == GateDecision::Kind::kClassified) {
-    if (suppressed.count(gate.type)) return std::nullopt;
-    return gate.type;
-  }
-  if (cache != nullptr) {
-    engine::CacheLookup cached = cache->Lookup(lowered, tag);
-    if (cached.hit) return std::move(cached.type);
-  }
-  auto vote = voting.Vote(item);
-  if (!vote.has_value()) return std::nullopt;
-  if (suppressed.count(vote->label)) return std::nullopt;
-  if (!filter.Admit(item, vote->label)) return std::nullopt;
-  // Only a confident, unsuppressed, filter-admitted winner is offered to
-  // the cache — declines and vetoes always re-run the stack.
-  if (cache != nullptr) {
-    (void)cache->Record(lowered, vote->label, tag);
-  }
-  return vote->label;
+BatchReport ChimeraPipeline::ProcessBatch(
+    const std::vector<data::ProductItem>& items,
+    const rules::TenantId& tenant) const {
+  return RunBatch(items, tenant);
 }
 
 namespace {
@@ -558,8 +549,8 @@ void RunChunked(ThreadPool* pool, size_t n,
 
 }  // namespace
 
-BatchReport ChimeraPipeline::ProcessBatch(
-    const std::vector<data::ProductItem>& items,
+BatchReport ChimeraPipeline::RunBatch(
+    std::span<const data::ProductItem> items,
     const rules::TenantId& tenant) const {
   // Pin one snapshot (and one memo version) for the whole batch: writers
   // may publish new versions while we run, but this batch is classified

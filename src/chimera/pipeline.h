@@ -7,11 +7,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "src/chimera/gate_keeper.h"
+#include "src/chimera/request.h"
 #include "src/chimera/trainer.h"
 #include "src/chimera/voting.h"
 #include "src/common/thread_pool.h"
@@ -91,43 +93,6 @@ struct PipelineConfig {
     std::optional<RetrainPolicy> retrain;
   };
   std::map<std::string, TenantOverrides> tenants;
-};
-
-/// Where each item of a batch ended up.
-struct BatchReport {
-  size_t total = 0;
-  size_t gate_classified = 0;  // classified by the Gate Keeper memo
-  size_t gate_rejected = 0;    // unprocessable -> manual queue
-  size_t classified = 0;       // classified by voting (net of filtering),
-                               // including repeats served from the hot
-                               // result cache (see cache_hits)
-  size_t filtered = 0;         // voting winner vetoed by the Filter
-  size_t suppressed = 0;       // type currently scaled down
-  size_t declined = 0;         // low confidence -> manual queue
-
-  // Hot-result-cache activity for this batch (all zero when the cache is
-  // disabled). cache_hits is a subset of `classified`; a stale drop also
-  // counts as a miss (the item then runs the full stack).
-  size_t cache_hits = 0;        // repeats served from the cache
-  size_t cache_misses = 0;      // looked up, not served (incl. stale drops)
-  size_t cache_stale_drops = 0; // entries invalidated on read (tag mismatch)
-  size_t cache_promotions = 0;  // winners admitted into the cache
-  size_t cache_evictions = 0;   // entries evicted to admit new winners
-
-  /// Final prediction per item (nullopt = unclassified).
-  std::vector<std::optional<std::string>> predictions;
-
-  /// Fraction of the batch that ended with a prediction (gate memo hits +
-  /// voting winners that survived the filter). 0 for an empty batch — the
-  /// guard matters because sparse streams legitimately deliver empty
-  /// batches and every merge path must agree on the ratio.
-  double ClassifiedFraction() const {
-    return total == 0 ? 0.0
-                      : static_cast<double>(gate_classified + classified) /
-                            static_cast<double>(total);
-  }
-
-  double coverage() const { return ClassifiedFraction(); }
 };
 
 /// One shard's serving state, bound to one immutable shard snapshot: the
@@ -323,6 +288,13 @@ class ChimeraPipeline {
   /// open/recovery error otherwise (the pipeline then runs in-memory).
   const Status& storage_status() const { return storage_status_; }
 
+  /// True when every committed mutation is currently journaled: storage
+  /// was requested, opened cleanly, and its WAL is still alive. The
+  /// admission check behind ClassifyOptions::require_durable.
+  bool durable() const {
+    return store_ != nullptr && storage_status_.ok() && store_->journal_live();
+  }
+
   // ---- learning ----------------------------------------------------------
 
   /// Accumulates labeled training data into `tenant`'s pool. A
@@ -408,16 +380,30 @@ class ChimeraPipeline {
 
   // ---- classification ----------------------------------------------------
 
-  /// Classifies one item against the current snapshot, through `tenant`'s
+  /// THE classification entry point: every path into the pipeline — the
+  /// serving front-end's wire requests, in-process batches, and the
+  /// deprecated convenience wrappers below — funnels through this one
+  /// method, so local and remote callers are byte-identical by
+  /// construction. Classifies `request.items` through `request.tenant`'s
   /// serving view (shared rules + the tenant's own rules/ensemble/
-  /// suppressions) and its cache partition. The default tenant's path is
-  /// byte-identical to the historical single-tenant pipeline.
+  /// suppressions) and its cache partition, against one pinned snapshot;
+  /// parallel over `config.batch_threads` workers.
+  ///
+  /// Status codes (the serving wire format pins their mapping):
+  ///   OK                — classified; see report
+  ///   kDeadlineExceeded — request.deadline passed before we started
+  ///   kUnavailable      — options.require_durable and the journal is
+  ///                       severed (open failure or a dead WAL)
+  /// On any non-OK status the report carries total + empty predictions.
+  ClassifyResponse Classify(const ClassifyRequest& request) const;
+
+  /// Classifies one item. Thin wrapper over Classify(ClassifyRequest).
+  [[deprecated("build a ClassifyRequest and call Classify(request)")]]
   std::optional<std::string> Classify(const data::ProductItem& item,
                                       const rules::TenantId& tenant = {}) const;
 
-  /// Classifies a batch with full stage accounting through `tenant`'s
-  /// view. Acquires one snapshot for the whole batch; parallel over
-  /// `config.batch_threads` workers.
+  /// Classifies a batch. Thin wrapper over Classify(ClassifyRequest).
+  [[deprecated("build a ClassifyRequest and call Classify(request)")]]
   BatchReport ProcessBatch(const std::vector<data::ProductItem>& items,
                            const rules::TenantId& tenant = {}) const;
 
@@ -438,6 +424,13 @@ class ChimeraPipeline {
 
   /// RepublishShards over every shard.
   void RepublishAll();
+
+  /// The classification engine behind Classify(ClassifyRequest): one
+  /// pinned snapshot, staged batch execution, full accounting. Factored
+  /// out so the public entry point is exactly admission (deadline /
+  /// durability checks) + this.
+  BatchReport RunBatch(std::span<const data::ProductItem> items,
+                       const rules::TenantId& tenant) const;
 
   /// Composes a snapshot from shard_cache_ + writer state and swaps it
   /// in. Caller holds state_mu_.

@@ -1,0 +1,138 @@
+#include "src/common/binary_codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace rulekit {
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char b : data) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---- Encoder ---------------------------------------------------------------
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  out_.append(s.data(), s.size());
+}
+
+// ---- Decoder ---------------------------------------------------------------
+
+bool Decoder::Ensure(size_t n) {
+  if (!ok_) return false;
+  if (data_.size() - pos_ < n) {
+    ok_ = false;
+    error_ = StrFormat("short read at offset %zu (need %zu bytes, have %zu)",
+                       pos_, n, data_.size() - pos_);
+    return false;
+  }
+  return true;
+}
+
+void Decoder::Fail(std::string reason) {
+  if (!ok_) return;
+  ok_ = false;
+  error_ = StrFormat("at offset %zu: %s", pos_, reason.c_str());
+}
+
+Status Decoder::status() const {
+  if (ok_) return Status::OK();
+  return Status::InvalidArgument("decode failed " + error_);
+}
+
+uint8_t Decoder::U8() {
+  if (!Ensure(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t Decoder::U32() {
+  if (!Ensure(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::U64() {
+  if (!Ensure(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+uint64_t Decoder::Varint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (!Ensure(1)) return 0;
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+  }
+  Fail("varint longer than 64 bits");
+  return 0;
+}
+
+double Decoder::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::String() {
+  uint64_t len = Varint();
+  if (!ok_) return "";
+  if (!Ensure(len)) return "";
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace rulekit

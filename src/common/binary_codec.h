@@ -1,0 +1,73 @@
+#ifndef RULEKIT_COMMON_BINARY_CODEC_H_
+#define RULEKIT_COMMON_BINARY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace rulekit {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over a byte span. Every WAL
+/// record, snapshot payload, and wire frame carries one so a reader can
+/// tell a torn write from a corrupted one.
+uint32_t Crc32(std::string_view data);
+
+/// Append-only binary encoder. Integers are little-endian; variable-length
+/// quantities use LEB128 varints; strings are varint-length-prefixed bytes.
+/// Shared by the durable store's record formats (src/storage) and the
+/// serving wire protocol (src/serving).
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutDouble(double v);  // IEEE-754 bits, little-endian
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return out_; }
+  std::string Release() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked decoder over one encoded buffer. Errors are sticky:
+/// after the first short read every accessor returns a zero value and
+/// ok() stays false, so call sites read a whole struct and check once.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  uint64_t Varint();
+  double F64();
+  std::string String();
+
+  bool ok() const { return ok_; }
+  /// InvalidArgument naming the failing byte offset; OK while ok().
+  Status status() const;
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+  /// Marks the decode failed with a caller-detected inconsistency (bad
+  /// enum value, impossible count); subsequent reads return zero values.
+  void Fail(std::string reason);
+
+ private:
+  bool Ensure(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace rulekit
+
+#endif  // RULEKIT_COMMON_BINARY_CODEC_H_

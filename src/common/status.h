@@ -18,6 +18,8 @@ enum class StatusCode {
   kResourceExhausted, // a budget or cap was hit (e.g. DFA state cap)
   kInternal,          // invariant violation inside the library
   kIOError,           // filesystem problem
+  kDeadlineExceeded,  // the caller's deadline passed before completion
+  kUnavailable,       // the service cannot take the request right now
 };
 
 /// Value-semantic success/error carrier, used instead of exceptions across
@@ -50,6 +52,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,68 @@
+#ifndef RULEKIT_SERVING_CLIENT_H_
+#define RULEKIT_SERVING_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/serving/wire.h"
+
+namespace rulekit::serving {
+
+/// A blocking framed-TCP client for one RuleServer connection.
+///
+/// Two usage shapes:
+///  - Call(): send one request, wait for its response (the simple RPC
+///    shape; asserts the echoed request_id matches).
+///  - Send() + Receive(): decoupled, for open-loop load generation —
+///    fire requests at an offered rate on one thread while another
+///    drains responses and matches them up by request_id.
+///
+/// Not thread-safe per side: at most one thread may Send (or Call) and
+/// one may Receive at a time.
+class RuleClient {
+ public:
+  /// Connects to 127.0.0.1:<port>.
+  static Result<RuleClient> Connect(uint16_t port);
+
+  RuleClient(RuleClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  RuleClient& operator=(RuleClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  RuleClient(const RuleClient&) = delete;
+  RuleClient& operator=(const RuleClient&) = delete;
+  ~RuleClient() { Close(); }
+
+  /// Send + Receive, with the response matched to this request.
+  Result<WireClassifyResponse> Call(const WireClassifyRequest& request);
+
+  /// Writes one request frame (returns as soon as it is on the wire).
+  Status Send(const WireClassifyRequest& request);
+
+  /// Blocks for the next response frame (any request_id).
+  Result<WireClassifyResponse> Receive();
+
+  /// Half-closes the write side: the server's reader sees EOF and the
+  /// connection winds down after in-flight responses drain.
+  void FinishSending();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit RuleClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace rulekit::serving
+
+#endif  // RULEKIT_SERVING_CLIENT_H_

@@ -1,0 +1,86 @@
+#ifndef RULEKIT_SERVING_RATE_LIMITER_H_
+#define RULEKIT_SERVING_RATE_LIMITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rulekit::serving {
+
+/// A token bucket: `rate_per_sec` tokens accrue continuously up to
+/// `burst`; each admitted request spends one. A zero/negative rate
+/// disables limiting (every TryAcquire succeeds). Not thread-safe —
+/// RateLimiter below provides the locking.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst,
+              std::chrono::steady_clock::time_point now)
+      : rate_(rate_per_sec), burst_(burst < 1.0 ? 1.0 : burst),
+        tokens_(burst_), last_(now) {}
+
+  /// Spends one token if available; false = over limit right now.
+  bool TryAcquire(std::chrono::steady_clock::time_point now) {
+    if (rate_ <= 0.0) return true;
+    Refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(std::chrono::steady_clock::time_point now) {
+    Refill(now);
+    return tokens_;
+  }
+
+ private:
+  void Refill(std::chrono::steady_clock::time_point now) {
+    if (now <= last_) return;
+    double elapsed = std::chrono::duration<double>(now - last_).count();
+    tokens_ = tokens_ + elapsed * rate_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// Per-client admission limiter: one token bucket per client key (the
+/// serving front-end keys by tenant, so "client" and "tenant" coincide
+/// on the wire — a noisy tenant exhausts its own bucket, never a quiet
+/// neighbour's). Buckets are created on first sight with the shared
+/// rate/burst. Thread-safe.
+class RateLimiter {
+ public:
+  /// rate_per_sec <= 0 disables limiting entirely.
+  RateLimiter(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst) {}
+
+  /// True if `client`'s bucket admits one more request at `now`.
+  bool Admit(const std::string& client,
+             std::chrono::steady_clock::time_point now) {
+    if (rate_ <= 0.0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(client);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(client, TokenBucket(rate_, burst_, now)).first;
+    }
+    return it->second.TryAcquire(now);
+  }
+
+  bool enabled() const { return rate_ > 0.0; }
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace rulekit::serving
+
+#endif  // RULEKIT_SERVING_RATE_LIMITER_H_

@@ -290,6 +290,11 @@ Status DurableRuleStore::Sync() {
   return wal_.Sync();
 }
 
+bool DurableRuleStore::journal_live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.is_open();
+}
+
 uint64_t DurableRuleStore::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return epoch_;

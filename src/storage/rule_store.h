@@ -87,6 +87,13 @@ class DurableRuleStore {
   /// Flushes any unsynced WAL appends (meaningful under kInterval).
   Status Sync();
 
+  /// True while the commit journal is alive (the current epoch's WAL is
+  /// open for appends). False once an I/O error severed it: serving
+  /// continues in memory, but new commits are no longer durable until a
+  /// successful Compact() re-establishes the log. Cheap enough for
+  /// request admission (one mutex acquire, no I/O).
+  bool journal_live() const;
+
   const RecoveryStats& recovery_stats() const { return recovery_; }
   const std::string& dir() const { return dir_; }
   uint64_t epoch() const;

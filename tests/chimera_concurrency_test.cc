@@ -21,6 +21,11 @@
 #include "src/chimera/pipeline.h"
 #include "src/data/catalog_generator.h"
 #include "src/rules/rule_parser.h"
+#include "src/serving/client.h"
+#include "src/serving/server.h"
+#include "src/serving/wire.h"
+
+#include "tests/classify_shims.h"
 
 namespace rulekit::chimera {
 namespace {
@@ -94,8 +99,8 @@ TEST(SnapshotServingTest, ParallelBatchIdenticalToSequentialOn10k) {
   ChimeraPipeline parallel(parallel_config);
   Provision(parallel, corpus);
 
-  BatchReport seq_report = sequential.ProcessBatch(corpus.items);
-  BatchReport par_report = parallel.ProcessBatch(corpus.items);
+  BatchReport seq_report = RunBatch(sequential, corpus.items);
+  BatchReport par_report = RunBatch(parallel, corpus.items);
 
   // Sanity: the batch exercises every stage.
   EXPECT_GT(seq_report.classified, 0u);
@@ -112,9 +117,9 @@ TEST(SnapshotServingTest, BatchAgreesWithPerItemClassify) {
   ChimeraPipeline pipeline(config);
   Provision(pipeline, corpus);
 
-  BatchReport report = pipeline.ProcessBatch(corpus.items);
+  BatchReport report = RunBatch(pipeline, corpus.items);
   for (size_t i = 0; i < corpus.items.size(); ++i) {
-    EXPECT_EQ(report.predictions[i], pipeline.Classify(corpus.items[i]))
+    EXPECT_EQ(report.predictions[i], ClassifyOne(pipeline, corpus.items[i]))
         << "item " << i;
   }
 }
@@ -136,7 +141,7 @@ TEST(SnapshotServingTest, WritersBumpSnapshotVersion) {
   pipeline.Memoize("some known title", "books");
   data::ProductItem item;
   item.title = "some known title";
-  EXPECT_EQ(pipeline.Classify(item).value_or(""), "books");
+  EXPECT_EQ(ClassifyOne(pipeline, item).value_or(""), "books");
 }
 
 // The stress test from the issue: N threads run ProcessBatch in a loop
@@ -163,7 +168,7 @@ TEST(SnapshotServingTest, ConcurrentMaintenanceNeverCorruptsServing) {
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
       for (int b = 0; b < kBatchesPerReader; ++b) {
-        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        BatchReport report = RunBatch(pipeline, corpus.items);
         ASSERT_EQ(report.total, corpus.items.size());
         ASSERT_EQ(report.predictions.size(), corpus.items.size());
         // The stage counters partition the batch exactly.
@@ -214,10 +219,10 @@ TEST(SnapshotServingTest, ConcurrentMaintenanceNeverCorruptsServing) {
 
   // Quiesced: parallel serving equals a fresh sequential baseline built
   // on the final repository state via the per-item path.
-  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  BatchReport final_report = RunBatch(pipeline, corpus.items);
   for (size_t i = 0; i < corpus.items.size(); ++i) {
     EXPECT_EQ(final_report.predictions[i],
-              pipeline.Classify(corpus.items[i]))
+              ClassifyOne(pipeline, corpus.items[i]))
         << "item " << i;
   }
 }
@@ -231,13 +236,13 @@ TEST(SnapshotServingTest, ConcurrentBatchesShareThePool) {
   ChimeraPipeline pipeline(config);
   Provision(pipeline, corpus);
 
-  BatchReport expected = pipeline.ProcessBatch(corpus.items);
+  BatchReport expected = RunBatch(pipeline, corpus.items);
   constexpr int kThreads = 6;
   std::vector<BatchReport> reports(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back(
-        [&, t] { reports[t] = pipeline.ProcessBatch(corpus.items); });
+        [&, t] { reports[t] = RunBatch(pipeline, corpus.items); });
   }
   for (auto& t : threads) t.join();
   for (const auto& report : reports) {
@@ -264,8 +269,8 @@ TEST(ShardedServingTest, ShardCountDoesNotChangeOutput) {
   ChimeraPipeline sharded(sharded_config);
   Provision(sharded, corpus);
 
-  BatchReport mono_report = monolithic.ProcessBatch(corpus.items);
-  BatchReport shard_report = sharded.ProcessBatch(corpus.items);
+  BatchReport mono_report = RunBatch(monolithic, corpus.items);
+  BatchReport shard_report = RunBatch(sharded, corpus.items);
   EXPECT_GT(mono_report.classified, 0u);
   ExpectReportsEqual(mono_report, shard_report);
 }
@@ -383,7 +388,7 @@ TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&] {
       while (!stop_readers.load()) {
-        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        BatchReport report = RunBatch(pipeline, corpus.items);
         ASSERT_EQ(report.total, corpus.items.size());
       }
     });
@@ -405,9 +410,9 @@ TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
     EXPECT_EQ(repo.HistoryOf("w" + std::to_string(w) + "-r0").size(), 2u);
   }
   // And the published snapshot agrees with the per-item path.
-  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
+  BatchReport final_report = RunBatch(pipeline, corpus.items);
   for (size_t i = 0; i < corpus.items.size(); ++i) {
-    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+    ASSERT_EQ(final_report.predictions[i], ClassifyOne(pipeline, corpus.items[i]))
         << "item " << i;
   }
 }
@@ -438,7 +443,7 @@ TEST(HotCacheConcurrencyTest, CachedServingSurvivesConcurrentMaintenance) {
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
       for (int b = 0; b < kBatchesPerReader; ++b) {
-        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        BatchReport report = RunBatch(pipeline, corpus.items);
         ASSERT_EQ(report.total, corpus.items.size());
         ASSERT_EQ(report.gate_classified + report.gate_rejected +
                       report.classified + report.filtered +
@@ -487,13 +492,13 @@ TEST(HotCacheConcurrencyTest, CachedServingSurvivesConcurrentMaintenance) {
   // Quiesced: the cache may hold winners from any superseded snapshot,
   // but every one of them is dropped on read — batch output equals the
   // per-item path against the final state.
-  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
-  BatchReport again = pipeline.ProcessBatch(corpus.items);
+  BatchReport final_report = RunBatch(pipeline, corpus.items);
+  BatchReport again = RunBatch(pipeline, corpus.items);
   EXPECT_GT(again.cache_hits, 0u);
   for (size_t i = 0; i < corpus.items.size(); ++i) {
     ASSERT_EQ(final_report.predictions[i], again.predictions[i])
         << "item " << i;
-    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+    ASSERT_EQ(final_report.predictions[i], ClassifyOne(pipeline, corpus.items[i]))
         << "item " << i;
   }
 }
@@ -525,7 +530,7 @@ TEST(BackgroundRetrainTest, RetrainUnderFireKeepsServingCoherent) {
         const uint64_t gen = pipeline.semantic_generation();
         ASSERT_GE(gen, last_gen) << "semantic_generation went backwards";
         last_gen = gen;
-        BatchReport report = pipeline.ProcessBatch(corpus.items);
+        BatchReport report = RunBatch(pipeline, corpus.items);
         ASSERT_EQ(report.total, corpus.items.size());
         ASSERT_EQ(report.gate_classified + report.gate_rejected +
                       report.classified + report.filtered +
@@ -580,13 +585,13 @@ TEST(BackgroundRetrainTest, RetrainUnderFireKeepsServingCoherent) {
   // Quiesced: repeats now hit the cache, and everything served — cached
   // or computed — matches the per-item path against the final snapshot,
   // so no stale entry survived the retrain generation bumps.
-  BatchReport final_report = pipeline.ProcessBatch(corpus.items);
-  BatchReport again = pipeline.ProcessBatch(corpus.items);
+  BatchReport final_report = RunBatch(pipeline, corpus.items);
+  BatchReport again = RunBatch(pipeline, corpus.items);
   EXPECT_GT(again.cache_hits, 0u);
   for (size_t i = 0; i < corpus.items.size(); ++i) {
     ASSERT_EQ(final_report.predictions[i], again.predictions[i])
         << "item " << i;
-    ASSERT_EQ(final_report.predictions[i], pipeline.Classify(corpus.items[i]))
+    ASSERT_EQ(final_report.predictions[i], ClassifyOne(pipeline, corpus.items[i]))
         << "item " << i;
   }
 }
@@ -616,7 +621,7 @@ TEST(HotCacheConcurrencyTest, ConcurrentMemoizeAllLosesNothing) {
     for (int i = 0; i < kPairsPerWriter; ++i) {
       data::ProductItem item;
       item.title = "Bulk Title " + std::to_string(w) + "-" + std::to_string(i);
-      ASSERT_EQ(pipeline.Classify(item).value_or(""),
+      ASSERT_EQ(ClassifyOne(pipeline, item).value_or(""),
                 "type-" + std::to_string(w));
     }
   }
@@ -659,7 +664,7 @@ TEST(MultiTenantConcurrencyTest, TenantViewsStayIsolatedUnderMaintenance) {
     readers.emplace_back([&, tenant] {
       const rules::TenantId id(tenant);
       for (int b = 0; b < 8; ++b) {
-        BatchReport report = pipeline.ProcessBatch(corpus.items, id);
+        BatchReport report = RunBatch(pipeline, corpus.items, id);
         ASSERT_EQ(report.total, corpus.items.size());
         ASSERT_EQ(report.gate_classified + report.gate_rejected +
                       report.classified + report.filtered +
@@ -672,7 +677,7 @@ TEST(MultiTenantConcurrencyTest, TenantViewsStayIsolatedUnderMaintenance) {
   // The default view serves concurrently with every tenant's.
   readers.emplace_back([&] {
     for (int b = 0; b < 8; ++b) {
-      BatchReport report = pipeline.ProcessBatch(corpus.items);
+      BatchReport report = RunBatch(pipeline, corpus.items);
       ASSERT_EQ(report.total, corpus.items.size());
     }
   });
@@ -726,17 +731,147 @@ TEST(MultiTenantConcurrencyTest, TenantViewsStayIsolatedUnderMaintenance) {
     const rules::TenantId id(tenant);
     data::ProductItem probe;
     probe.title = tenant + "sentinel probe";
-    EXPECT_EQ(pipeline.Classify(probe, id).value_or(""),
+    EXPECT_EQ(ClassifyOne(pipeline, probe, id).value_or(""),
               "sentinel of " + tenant);
-    EXPECT_NE(pipeline.Classify(probe).value_or(""),
+    EXPECT_NE(ClassifyOne(pipeline, probe).value_or(""),
               "sentinel of " + tenant);
-    BatchReport report = pipeline.ProcessBatch(corpus.items, id);
+    BatchReport report = RunBatch(pipeline, corpus.items, id);
     for (size_t i = 0; i < corpus.items.size(); ++i) {
       ASSERT_EQ(report.predictions[i],
-                pipeline.Classify(corpus.items[i], id))
+                ClassifyOne(pipeline, corpus.items[i], id))
           << tenant << " item " << i;
     }
   }
+}
+
+// The network front-end under fire: concurrent clients stream requests
+// over loopback while one thread churns rules and another runs
+// background retrains. Exercises every cross-thread edge at once —
+// reader tasks decoding and admitting, the dispatcher coalescing and
+// running the pipeline against snapshots that are being republished
+// beneath it, and the monitor absorbing ServingActivity records — so a
+// TSan build proves the server shares the pipeline's reader/writer
+// protocol. Every admitted request must be answered kOk (admission is
+// disabled: no rate limit, roomy queue), and Stop() must drain cleanly
+// with clients still connected.
+TEST(ServingConcurrencyTest, ServerUnderRuleChurnAndRetrainStaysCoherent) {
+  Corpus corpus(200, 4242, 8);
+  PipelineConfig config;
+  config.hot_cache.enabled = true;
+  config.hot_cache.capacity = 1024;
+  config.hot_cache.admit_after = 1;
+  ChimeraPipeline pipeline(config);
+  Provision(pipeline, corpus);
+
+  QualityMonitor monitor;
+  serving::ServerConfig server_config;
+  server_config.io_threads = 4;
+  server_config.coalesce_window = std::chrono::microseconds(1000);
+  server_config.monitor = &monitor;
+  serving::RuleServer server(pipeline, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 15;
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = serving::RuleClient::Connect(server.port());
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        serving::WireClassifyRequest request;
+        request.request_id = static_cast<uint64_t>(c * 1000 + r);
+        if (r % 5 == 4) {
+          // An occasional multi-item batch rides the no-coalesce path.
+          for (int i = 0; i < 3; ++i) {
+            request.items.push_back(
+                corpus.items[(c + r + i) % corpus.items.size()]);
+          }
+        } else {
+          request.items.push_back(
+              corpus.items[(c * 37 + r) % corpus.items.size()]);
+        }
+        auto response = client->Call(request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        ASSERT_EQ(response->code, serving::WireCode::kOk)
+            << response->message;
+        ASSERT_EQ(response->predictions.size(), request.items.size());
+        ASSERT_EQ(response->total, request.items.size());
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread rule_writer([&] {
+    const auto& specs = corpus.gen->specs();
+    for (int round = 0; round < 12; ++round) {
+      auto rule = rules::Rule::Whitelist(
+          "serve-churn-" + std::to_string(round),
+          "(yyy|servechurn)[a-z]*" + std::to_string(round),
+          specs[round % specs.size()].name);
+      ASSERT_TRUE(rule.ok());
+      ASSERT_TRUE(pipeline.AddRules({*rule}, "writer").ok());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::shared_future<RetrainReport>> retrains;
+  std::thread retrainer([&] {
+    data::GeneratorConfig label_config = corpus.config;
+    label_config.seed = corpus.config.seed + 11;
+    data::CatalogGenerator label_gen(label_config);
+    for (int i = 0; i < 6; ++i) {
+      pipeline.AddTrainingData(label_gen.GenerateMany(30));
+      retrains.push_back(pipeline.RequestRetrain());
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : clients) t.join();
+  rule_writer.join();
+  retrainer.join();
+  for (auto& f : retrains) (void)f.get();  // every future must resolve
+
+  // Stop with the clients' connections still open: the drain must not
+  // lose or double-answer anything.
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(answered.load(), kClients * kRequestsPerClient);
+
+  serving::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_admitted,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.overload_rejects(), 0u);
+  EXPECT_EQ(stats.invalid_requests, 0u);
+  EXPECT_EQ(stats.latency_us.count(), stats.requests_admitted);
+
+  // The monitor saw every dispatch: summing its per-dispatch request
+  // counts reproduces the server's admitted total exactly.
+  uint64_t monitored = 0;
+  for (const auto& activity : monitor.serving_history()) {
+    monitored += activity.requests;
+  }
+  EXPECT_EQ(monitored, stats.requests_admitted);
+
+  // Quiesced, the served results must match the in-process entry point.
+  auto client = serving::RuleClient::Connect(server.port());
+  EXPECT_FALSE(client.ok());  // and the socket is really gone
+  ASSERT_TRUE(server.Start().ok());
+  auto verify = serving::RuleClient::Connect(server.port());
+  ASSERT_TRUE(verify.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const auto& item = corpus.items[i * 7 % corpus.items.size()];
+    serving::WireClassifyRequest request;
+    request.request_id = i;
+    request.items.push_back(item);
+    auto response = verify->Call(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->code, serving::WireCode::kOk);
+    EXPECT_EQ(response->predictions[0], ClassifyOne(pipeline, item))
+        << "item " << i;
+  }
+  server.Stop();
 }
 
 }  // namespace

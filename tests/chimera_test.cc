@@ -13,6 +13,8 @@
 #include "src/ml/metrics.h"
 #include "src/rules/rule_parser.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit::chimera {
 namespace {
 
@@ -252,9 +254,9 @@ whitelist r2: rugs? => area rugs
   ASSERT_TRUE(parsed.ok());
   ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
 
-  EXPECT_EQ(pipeline.Classify(MakeItem("diamond ring")).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("diamond ring")).value_or(""),
             "rings");
-  EXPECT_FALSE(pipeline.Classify(MakeItem("mystery novel")).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("mystery novel")).has_value());
 }
 
 TEST(PipelineTest, ScaleDownSuppressesType) {
@@ -262,19 +264,19 @@ TEST(PipelineTest, ScaleDownSuppressesType) {
   auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
   ASSERT_TRUE(parsed.ok());
   ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
-  ASSERT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
+  ASSERT_TRUE(ClassifyOne(pipeline, MakeItem("gold ring")).has_value());
 
   uint64_t version = *pipeline.Checkpoint("oncall");
   ASSERT_TRUE(pipeline.ScaleDownType("rings", "oncall",
                                      "bad vendor batch").ok());
-  EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("gold ring")).has_value());
   EXPECT_EQ(pipeline.rule_set().CountActive(), 0u);
 
   // Scale back up: restore the checkpoint and lift the suppression.
   ASSERT_TRUE(pipeline.RestoreCheckpoint(version, "oncall").ok());
   pipeline.ScaleUpType("rings");
   EXPECT_EQ(pipeline.rule_set().CountActive(), 1u);
-  EXPECT_TRUE(pipeline.Classify(MakeItem("gold ring")).has_value());
+  EXPECT_TRUE(ClassifyOne(pipeline, MakeItem("gold ring")).has_value());
 }
 
 TEST(PipelineTest, BatchReportAccounting) {
@@ -294,7 +296,7 @@ blacklist b1: toe rings? => rings
       MakeItem(""),               // rejected
       MakeItem("mystery novel"),  // declined
   };
-  auto report = pipeline.ProcessBatch(batch);
+  auto report = RunBatch(pipeline, batch);
   EXPECT_EQ(report.total, 5u);
   EXPECT_EQ(report.classified, 1u);
   EXPECT_EQ(report.gate_classified, 1u);
@@ -317,7 +319,7 @@ TEST(PipelineTest, EmptyBatchReportsZeroFraction) {
   for (PipelineConfig config : {PipelineConfig{}, parallel_config}) {
     ChimeraPipeline pipeline(config);
     ASSERT_TRUE(pipeline.AddRules(parsed.value(), "test").ok());
-    BatchReport report = pipeline.ProcessBatch({});
+    BatchReport report = RunBatch(pipeline, {});
     EXPECT_EQ(report.total, 0u);
     EXPECT_TRUE(report.predictions.empty());
     EXPECT_EQ(report.ClassifiedFraction(), 0.0);
@@ -333,7 +335,7 @@ TEST(PipelineTest, LearningJoinsAfterTraining) {
 
   ChimeraPipeline pipeline;
   EXPECT_FALSE(
-      pipeline.Classify(gen.GenerateOfType(0).item).has_value());
+      ClassifyOne(pipeline, gen.GenerateOfType(0).item).has_value());
 
   pipeline.AddTrainingData(gen.GenerateMany(1500));
   pipeline.RetrainLearning();
@@ -341,7 +343,7 @@ TEST(PipelineTest, LearningJoinsAfterTraining) {
   size_t classified = 0;
   auto test_items = gen.GenerateMany(200);
   for (const auto& li : test_items) {
-    if (pipeline.Classify(li.item).has_value()) ++classified;
+    if (ClassifyOne(pipeline, li.item).has_value()) ++classified;
   }
   EXPECT_GT(classified, 100u);
 }
@@ -365,7 +367,7 @@ TEST(FirstResponderTest, HealthyBatchNoIncident) {
   auto batch = gen.GenerateMany(800);
   std::vector<data::ProductItem> items;
   for (const auto& li : batch) items.push_back(li.item);
-  auto report = pipeline.ProcessBatch(items);
+  auto report = RunBatch(pipeline, items);
   auto incident = responder.Triage(batch, report);
   EXPECT_FALSE(incident.incident);
   EXPECT_GT(incident.batch_precision.estimate, 0.92);
@@ -397,7 +399,7 @@ TEST(FirstResponderTest, IncidentScalesDownAndResolves) {
   auto batch = gen.GenerateMany(1200);
   std::vector<data::ProductItem> items;
   for (const auto& li : batch) items.push_back(li.item);
-  auto report = pipeline.ProcessBatch(items);
+  auto report = RunBatch(pipeline, items);
   auto incident = responder.Triage(batch, report);
   ASSERT_TRUE(incident.incident);
   // "rings" is the misbehaving predicted type.
@@ -417,7 +419,7 @@ TEST(FirstResponderTest, IncidentScalesDownAndResolves) {
                                               "misfired");
                           })
                   .ok());
-  auto report2 = pipeline.ProcessBatch(items);
+  auto report2 = RunBatch(pipeline, items);
   auto incident2 = responder.Triage(batch, report2);
   EXPECT_FALSE(incident2.incident);
 }

@@ -1,0 +1,44 @@
+#ifndef RULEKIT_TESTS_CLASSIFY_SHIMS_H_
+#define RULEKIT_TESTS_CLASSIFY_SHIMS_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/chimera/pipeline.h"
+#include "src/chimera/request.h"
+#include "src/data/product.h"
+#include "src/rules/ids.h"
+
+namespace rulekit::chimera {
+
+/// Test-side conveniences over the one classification entry point,
+/// ChimeraPipeline::Classify(ClassifyRequest). They intentionally mirror
+/// the deprecated ProcessBatch / single-item Classify shapes so the
+/// hundreds of existing assertions migrate mechanically — but they build
+/// a ClassifyRequest like any modern caller, so the deprecated wrappers
+/// themselves have zero callers left in the tree. Found by ADL from any
+/// test namespace (the pipeline argument lives in rulekit::chimera).
+
+inline BatchReport RunBatch(const ChimeraPipeline& pipeline,
+                            const std::vector<data::ProductItem>& items,
+                            const rules::TenantId& tenant = {}) {
+  ClassifyRequest request;
+  request.tenant = tenant;
+  request.items = items;
+  return pipeline.Classify(request).report;
+}
+
+inline std::optional<std::string> ClassifyOne(
+    const ChimeraPipeline& pipeline, const data::ProductItem& item,
+    const rules::TenantId& tenant = {}) {
+  ClassifyRequest request;
+  request.tenant = tenant;
+  request.items = std::span<const data::ProductItem>(&item, 1);
+  return pipeline.Classify(request).report.predictions[0];
+}
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_TESTS_CLASSIFY_SHIMS_H_

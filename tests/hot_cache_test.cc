@@ -16,6 +16,8 @@
 #include "src/engine/hot_cache.h"
 #include "src/rules/rule_parser.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit::engine {
 namespace {
 
@@ -163,8 +165,8 @@ TEST(HotCachePipelineTest, RepeatLookupServedFromCache) {
   AddRingRule(pipeline);
   ASSERT_NE(pipeline.hot_cache(), nullptr);
 
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
   engine::HotCacheCounters counters = pipeline.hot_cache()->TotalCounters();
   EXPECT_EQ(counters.hits, 1u);
   EXPECT_EQ(counters.promotions, 1u);
@@ -178,9 +180,9 @@ TEST(HotCachePipelineTest, CacheOffByDefault) {
 TEST(HotCachePipelineTest, AddRulesInvalidatesCachedWinner) {
   ChimeraPipeline pipeline(CachedConfig());
   AddRingRule(pipeline);
-  ASSERT_EQ(pipeline.Classify(MakeItem("silver toe ring")).value_or(""),
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("silver toe ring")).value_or(""),
             "rings");
-  ASSERT_EQ(pipeline.Classify(MakeItem("silver toe ring")).value_or(""),
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("silver toe ring")).value_or(""),
             "rings");  // cached
   ASSERT_EQ(pipeline.hot_cache()->TotalCounters().hits, 1u);
 
@@ -190,20 +192,20 @@ TEST(HotCachePipelineTest, AddRulesInvalidatesCachedWinner) {
   ASSERT_TRUE(blacklist.ok());
   ASSERT_TRUE(pipeline.AddRules(std::move(blacklist).value(), "a").ok());
 
-  EXPECT_FALSE(pipeline.Classify(MakeItem("silver toe ring")).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("silver toe ring")).has_value());
   EXPECT_GE(pipeline.hot_cache()->TotalCounters().stale_drops, 1u);
 }
 
 TEST(HotCachePipelineTest, ScaleDownInvalidatesCachedWinner) {
   ChimeraPipeline pipeline(CachedConfig());
   AddRingRule(pipeline);
-  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
-  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
 
   // Scale-down both suppresses the type and disables its rules; the
   // cached "rings" winner must not survive either effect.
   ASSERT_TRUE(pipeline.ScaleDownType("rings", "oncall", "test").ok());
-  EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring")).has_value())
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("gold ring")).has_value())
       << "a suppressed type was served from the hot cache";
 }
 
@@ -212,8 +214,8 @@ TEST(HotCachePipelineTest, RetrainLearningInvalidatesCachedWinner) {
   config.use_learning = true;
   ChimeraPipeline pipeline(config);
   AddRingRule(pipeline);
-  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
-  ASSERT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
+  ASSERT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
   const uint64_t hits_before = pipeline.hot_cache()->TotalCounters().hits;
 
   data::GeneratorConfig gen_config;
@@ -225,7 +227,7 @@ TEST(HotCachePipelineTest, RetrainLearningInvalidatesCachedWinner) {
 
   // The ensemble changed, so the next read of the cached title must
   // recompute (stale drop), not serve the pre-retrain winner.
-  (void)pipeline.Classify(MakeItem("gold ring"));
+  (void)ClassifyOne(pipeline, MakeItem("gold ring"));
   engine::HotCacheCounters counters = pipeline.hot_cache()->TotalCounters();
   EXPECT_GE(counters.stale_drops, 1u);
   EXPECT_EQ(counters.hits, hits_before);
@@ -262,10 +264,10 @@ TEST(HotCachePipelineTest, BatchOutputByteIdenticalCacheOnVsOff) {
   ChimeraPipeline on(on_config);
   provision(on);
 
-  BatchReport off_first = off.ProcessBatch(items);
-  BatchReport on_first = on.ProcessBatch(items);
-  BatchReport off_second = off.ProcessBatch(items);
-  BatchReport on_second = on.ProcessBatch(items);
+  BatchReport off_first = RunBatch(off, items);
+  BatchReport on_first = RunBatch(on, items);
+  BatchReport off_second = RunBatch(off, items);
+  BatchReport on_second = RunBatch(on, items);
 
   EXPECT_GT(on_first.classified, 0u);
   EXPECT_EQ(on_first.cache_hits, 0u);  // first sight: nothing cached yet

@@ -24,6 +24,8 @@
 #include "src/text/aho_corasick.h"
 #include "tests/seeded_test.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit {
 namespace {
 
@@ -226,7 +228,7 @@ TEST_P(SeededTest, PipelinePredictionsInvariantUnderRuleOrder) {
     auto parsed = rules::ParseRules(dsl);
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "t").ok());
-    auto report = pipeline.ProcessBatch(items);
+    auto report = RunBatch(pipeline, items);
     if (perm == 0) {
       reference = report.predictions;
     } else {

@@ -18,6 +18,8 @@
 #include "src/storage/snapshot.h"
 #include "src/storage/wal.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit {
 namespace {
 
@@ -751,7 +753,7 @@ TEST(PipelineStorageTest, StorageDirSurvivesPipelineRestart) {
   // Recovered rules serve immediately...
   data::ProductItem item;
   item.title = "diamond ring";
-  auto result = pipeline.Classify(item);
+  auto result = ClassifyOne(pipeline, item);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result, "rings");
   // ...the disable stuck...
@@ -813,7 +815,7 @@ TEST(PipelineStorageTest, RetrainReportSurfacesSeveredJournal) {
   // The degraded ensemble really is live: the pipeline still classifies.
   data::ProductItem item;
   item.title = "diamond ring";
-  EXPECT_EQ(pipeline.Classify(item).value_or(""), "rings");
+  EXPECT_EQ(ClassifyOne(pipeline, item).value_or(""), "rings");
 }
 
 TEST(PipelineStorageTest, OpenFailureFallsBackToInMemory) {

@@ -24,6 +24,8 @@
 #include "src/rules/rule_parser.h"
 #include "src/storage/codec.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit::chimera {
 namespace {
 
@@ -154,17 +156,17 @@ TEST(TenantPipelineTest, QuietTenantHitsSurviveNoisyNeighbourFlood) {
   const TenantId noisy("noisy");
   const std::vector<data::ProductItem> hot = Repeated("gold ring", 4);
 
-  ASSERT_GT(pipeline.ProcessBatch(hot, quiet).cache_promotions, 0u);
-  ASSERT_GT(pipeline.ProcessBatch(hot, quiet).cache_hits, 0u);
+  ASSERT_GT(RunBatch(pipeline, hot, quiet).cache_promotions, 0u);
+  ASSERT_GT(RunBatch(pipeline, hot, quiet).cache_hits, 0u);
 
   std::vector<data::ProductItem> flood;
   for (int i = 0; i < 300; ++i) {
     flood.push_back(MakeItem("ring " + std::to_string(i)));
   }
-  BatchReport noise = pipeline.ProcessBatch(flood, noisy);
+  BatchReport noise = RunBatch(pipeline, flood, noisy);
   EXPECT_GT(noise.cache_evictions, 0u);  // the flood overflows *its* bound
 
-  BatchReport after = pipeline.ProcessBatch(hot, quiet);
+  BatchReport after = RunBatch(pipeline, hot, quiet);
   EXPECT_EQ(after.cache_hits, hot.size());
   EXPECT_EQ(after.cache_stale_drops, 0u);
 }
@@ -180,24 +182,24 @@ TEST(TenantPipelineTest, ForeignTenantCommitDoesNotStaleDropCachedWinners) {
   const TenantId b("b");
   const std::vector<data::ProductItem> hot = Repeated("gold ring", 4);
 
-  ASSERT_GT(pipeline.ProcessBatch(hot, a).cache_promotions, 0u);
-  ASSERT_GT(pipeline.ProcessBatch(hot).cache_promotions, 0u);
+  ASSERT_GT(RunBatch(pipeline, hot, a).cache_promotions, 0u);
+  ASSERT_GT(RunBatch(pipeline, hot).cache_promotions, 0u);
 
   // Tenant b commits a rule of its own: only b's tag moves.
   AddRules(pipeline, "whitelist b1: widgets? => widget\n", b);
 
-  BatchReport for_a = pipeline.ProcessBatch(hot, a);
+  BatchReport for_a = RunBatch(pipeline, hot, a);
   EXPECT_EQ(for_a.cache_hits, hot.size());
   EXPECT_EQ(for_a.cache_stale_drops, 0u);
-  BatchReport for_default = pipeline.ProcessBatch(hot);
+  BatchReport for_default = RunBatch(pipeline, hot);
   EXPECT_EQ(for_default.cache_hits, hot.size());
   EXPECT_EQ(for_default.cache_stale_drops, 0u);
 
   // A shared (default-tenant) commit changes the rules every view serves,
   // so every tenant's cached winners must drop on next read.
   AddRules(pipeline, "whitelist r2: necklaces? => necklaces\n");
-  EXPECT_GT(pipeline.ProcessBatch(hot, a).cache_stale_drops, 0u);
-  EXPECT_GT(pipeline.ProcessBatch(hot).cache_stale_drops, 0u);
+  EXPECT_GT(RunBatch(pipeline, hot, a).cache_stale_drops, 0u);
+  EXPECT_GT(RunBatch(pipeline, hot).cache_stale_drops, 0u);
 }
 
 // ------------------------------------------------------- rule scoping --
@@ -214,16 +216,16 @@ TEST(TenantPipelineTest, TenantRulesServeOnlyTheirOwnView) {
   AddRules(pipeline, "whitelist s1: rings? => rings\n");  // shared
   AddRules(pipeline, "whitelist a1: gizmos? => gizmo\n", a);
 
-  EXPECT_EQ(pipeline.Classify(MakeItem("brass gizmo"), a).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("brass gizmo"), a).value_or(""),
             "gizmo");
-  EXPECT_FALSE(pipeline.Classify(MakeItem("brass gizmo")).has_value());
-  EXPECT_FALSE(pipeline.Classify(MakeItem("brass gizmo"), b).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("brass gizmo")).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("brass gizmo"), b).has_value());
 
   // The shared rule serves everyone, including tenants with no rules.
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring"), a).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring"), a).value_or(""),
             "rings");
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring"), b).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring"), b).value_or(""),
             "rings");
 }
 
@@ -248,11 +250,11 @@ TEST(TenantPipelineTest, CrossTenantEditsAreRejected) {
   };
 
   EXPECT_FALSE(disable(b).ok());  // b may not touch a's rule
-  EXPECT_EQ(pipeline.Classify(MakeItem("brass gizmo"), a).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("brass gizmo"), a).value_or(""),
             "gizmo");  // probe had no effect
 
   EXPECT_TRUE(disable(a).ok());  // a edits its own rule
-  EXPECT_FALSE(pipeline.Classify(MakeItem("brass gizmo"), a).has_value());
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("brass gizmo"), a).has_value());
 }
 
 // Tenant-scoped scale-down suppresses the type in that tenant's view
@@ -266,13 +268,13 @@ TEST(TenantPipelineTest, TenantScaleDownSuppressesOnlyItsOwnView) {
   AddRules(pipeline, "whitelist s1: rings? => rings\n");
 
   ASSERT_TRUE(pipeline.ScaleDownType("rings", "oncall", "a only", a).ok());
-  EXPECT_FALSE(pipeline.Classify(MakeItem("gold ring"), a).has_value());
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_FALSE(ClassifyOne(pipeline, MakeItem("gold ring"), a).has_value());
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring")).value_or(""), "rings");
 
   // A tenant scale-down disables only the tenant's own rules (a owns
   // none), so lifting the suppression fully restores a's view.
   pipeline.ScaleUpType("rings", a);
-  EXPECT_EQ(pipeline.Classify(MakeItem("gold ring"), a).value_or(""),
+  EXPECT_EQ(ClassifyOne(pipeline, MakeItem("gold ring"), a).value_or(""),
             "rings");
 }
 
@@ -359,8 +361,8 @@ TEST(TenantPipelineTest, SingleDefaultTenantRunIsByteIdentical) {
   std::vector<data::ProductItem> items = {
       MakeItem("gold ring"), MakeItem("silver toe ring"),
       MakeItem("synthetic motor oil"), MakeItem("unknown widget")};
-  BatchReport a = implicit.ProcessBatch(items);
-  BatchReport b = explicit_default.ProcessBatch(items, TenantId());
+  BatchReport a = RunBatch(implicit, items);
+  BatchReport b = RunBatch(explicit_default, items, TenantId());
   EXPECT_EQ(a.predictions, b.predictions);
   EXPECT_EQ(a.classified, b.classified);
   EXPECT_EQ(a.filtered, b.filtered);
@@ -433,12 +435,12 @@ TEST(TenantPipelineTest, RecoveryReproducesPerTenantShardVersionsExactly) {
 
   // The recovered store serves the same tenant views: a1 stayed
   // disabled, a2 and the other tenants' rules still classify.
-  EXPECT_FALSE(recovered.Classify(MakeItem("brass gizmo"), acme).has_value());
-  EXPECT_EQ(recovered.Classify(MakeItem("steel sprocket"), acme).value_or(""),
+  EXPECT_FALSE(ClassifyOne(recovered, MakeItem("brass gizmo"), acme).has_value());
+  EXPECT_EQ(ClassifyOne(recovered, MakeItem("steel sprocket"), acme).value_or(""),
             "sprocket");
-  EXPECT_EQ(recovered.Classify(MakeItem("odd widget"), beta).value_or(""),
+  EXPECT_EQ(ClassifyOne(recovered, MakeItem("odd widget"), beta).value_or(""),
             "widget");
-  EXPECT_EQ(recovered.Classify(MakeItem("gold ring")).value_or(""), "rings");
+  EXPECT_EQ(ClassifyOne(recovered, MakeItem("gold ring")).value_or(""), "rings");
 }
 
 // ---------------------------------------------------- quality monitor --

@@ -21,6 +21,8 @@
 #include "src/chimera/trainer.h"
 #include "src/data/catalog_generator.h"
 
+#include "tests/classify_shims.h"
+
 namespace rulekit::chimera {
 namespace {
 
@@ -307,7 +309,7 @@ TEST(BackgroundTrainerTest, AsyncAndSyncPublishIdenticalEnsembles) {
   EXPECT_GT(report.publish_generation, 0u);
 
   for (const auto& item : probe_items) {
-    EXPECT_EQ(sync_pipeline.Classify(item), async_pipeline.Classify(item))
+    EXPECT_EQ(ClassifyOne(sync_pipeline, item), ClassifyOne(async_pipeline, item))
         << "item: " << item.title;
   }
 }
