@@ -1,0 +1,247 @@
+// Replication subsystem benchmarks (DESIGN.md "Replication"):
+//
+//   1. Group commit: commits/s through the WAL at 8 concurrent writers
+//      under each fsync policy. The claim under test: kGroup delivers
+//      >= 3x the throughput of kEveryCommit while keeping per-commit
+//      durability (every Append returns only after its bytes are synced
+//      — as part of a leader's batch rather than its own fsync).
+//   2. Follower replay lag: a primary commits rule edits at a steady
+//      rate while a follower streams and applies them; the follower's
+//      ship->apply wall-clock lag is sampled throughout.
+//   3. Post-quiesce byte-identity: after the stream drains, the
+//      follower's exported repository state must be byte-identical to
+//      the primary's.
+//
+// Writes BENCH_replication.json next to the binary. Loads are sized for
+// a small CI box; the shape (the group-commit ratio, lag in single-digit
+// milliseconds, identity == true), not the magnitude, is the result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chimera/pipeline.h"
+#include "src/replication/follower.h"
+#include "src/replication/shipper.h"
+#include "src/rules/rule.h"
+#include "src/storage/codec.h"
+#include "src/storage/rule_store.h"
+#include "src/storage/wal.h"
+
+namespace {
+
+using namespace rulekit;
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+constexpr size_t kWriters = 8;
+constexpr size_t kCommitsPerWriter = 250;
+constexpr size_t kReplicationRounds = 150;
+
+fs::path ScratchDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("rulekit_bench_repl_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+struct WalRun {
+  const char* policy = "";
+  double commits_per_s = 0;
+  uint64_t syncs = 0;
+  uint64_t group_batches = 0;
+  uint64_t max_group_batch = 0;
+};
+
+WalRun BenchWalPolicy(const char* label, storage::FsyncPolicy policy) {
+  const fs::path dir = ScratchDir(std::string("wal_") + label);
+  auto wal = storage::WriteAheadLog::Open((dir / "bench.wal").string(),
+                                          policy);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 wal.status().ToString().c_str());
+    std::exit(1);
+  }
+  // A realistic commit-record payload size (one rule add, ~200 bytes).
+  const std::string payload(200, 'r');
+  std::atomic<size_t> failures{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (size_t i = 0; i < kCommitsPerWriter; ++i) {
+        if (!wal->Append(payload).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const double elapsed = Seconds(start, Clock::now());
+  wal->Close();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%zu appends failed\n", failures.load());
+    std::exit(1);
+  }
+  WalRun run;
+  run.policy = label;
+  run.commits_per_s =
+      static_cast<double>(kWriters * kCommitsPerWriter) / elapsed;
+  run.syncs = wal->sync_count();
+  run.group_batches = wal->group_batches();
+  run.max_group_batch = wal->max_group_batch();
+  std::printf("  %-12s %10.0f commits/s   %6llu fsyncs", label,
+              run.commits_per_s, static_cast<unsigned long long>(run.syncs));
+  if (policy == storage::FsyncPolicy::kGroup) {
+    std::printf("   (max batch %llu)",
+                static_cast<unsigned long long>(run.max_group_batch));
+  }
+  std::printf("\n");
+  return run;
+}
+
+std::string StateBytes(const rules::RuleRepository& repo) {
+  Encoder enc;
+  storage::EncodePersistedState(repo.ExportState(), enc);
+  return enc.Release();
+}
+
+struct ReplicationRun {
+  double commit_rate_per_s = 0;
+  double mean_lag_ms = 0;
+  double max_lag_ms = 0;
+  uint64_t records_applied = 0;
+  double quiesce_s = 0;
+  bool byte_identical = false;
+};
+
+ReplicationRun BenchFollowerLag() {
+  const fs::path dir = ScratchDir("primary");
+  chimera::PipelineConfig config;
+  config.use_learning = false;
+  config.storage_dir = dir.string();
+  chimera::ChimeraPipeline primary(config);
+  if (!primary.storage_status().ok()) {
+    std::fprintf(stderr, "primary storage failed: %s\n",
+                 primary.storage_status().ToString().c_str());
+    std::exit(1);
+  }
+
+  replication::LogShipper shipper(*primary.storage(), {});
+  if (!shipper.Start().ok()) {
+    std::fprintf(stderr, "shipper start failed\n");
+    std::exit(1);
+  }
+  replication::FollowerConfig follower_config;
+  follower_config.primary_port = shipper.port();
+  follower_config.pipeline.use_learning = false;
+  auto follower = replication::ReplicaFollower::Open(follower_config);
+  if (!follower.ok()) {
+    std::fprintf(stderr, "follower open failed: %s\n",
+                 follower.status().ToString().c_str());
+    std::exit(1);
+  }
+  (*follower)->Start();
+
+  // Steady commit stream: one rule add per round, paced so the follower
+  // is continuously streaming rather than bursting.
+  std::vector<double> lag_samples;
+  const auto start = Clock::now();
+  for (size_t round = 0; round < kReplicationRounds; ++round) {
+    auto rule = rules::Rule::Whitelist(
+        "bench-repl-" + std::to_string(round),
+        "(benchrepl)[a-z]*" + std::to_string(round), "bench type");
+    if (!rule.ok() || !primary.AddRules({*rule}, "bench").ok()) {
+      std::fprintf(stderr, "AddRules failed at round %zu\n", round);
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    lag_samples.push_back((*follower)->stats().last_lag_ms);
+  }
+  const double commit_elapsed = Seconds(start, Clock::now());
+
+  const auto quiesce_start = Clock::now();
+  const bool caught_up = (*follower)->WaitForPosition(
+      primary.storage()->position(), std::chrono::seconds(30));
+  const double quiesce_s = Seconds(quiesce_start, Clock::now());
+  (*follower)->Stop();
+  shipper.Stop();
+
+  ReplicationRun run;
+  run.commit_rate_per_s =
+      static_cast<double>(kReplicationRounds) / commit_elapsed;
+  double sum = 0;
+  for (double lag : lag_samples) {
+    sum += lag;
+    if (lag > run.max_lag_ms) run.max_lag_ms = lag;
+  }
+  run.mean_lag_ms = lag_samples.empty() ? 0 : sum / lag_samples.size();
+  run.records_applied = (*follower)->stats().records_applied;
+  run.quiesce_s = quiesce_s;
+  run.byte_identical =
+      caught_up && StateBytes(primary.repository()) ==
+                       StateBytes((*follower)->pipeline().repository());
+  std::printf("  commit rate      %10.0f commits/s\n", run.commit_rate_per_s);
+  std::printf("  replay lag       mean %.2f ms, max %.2f ms\n",
+              run.mean_lag_ms, run.max_lag_ms);
+  std::printf("  records applied  %llu\n",
+              static_cast<unsigned long long>(run.records_applied));
+  std::printf("  quiesce          %.3f s\n", run.quiesce_s);
+  std::printf("  byte-identical   %s\n", run.byte_identical ? "yes" : "NO");
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Replication: group commit, log shipping, follower replay lag",
+      "the maintenance-layer scale-out story (rules served from "
+      "read-only replicas)");
+
+  bench::Section("group commit: 8 writers through one WAL");
+  WalRun every = BenchWalPolicy("every", storage::FsyncPolicy::kEveryCommit);
+  WalRun interval = BenchWalPolicy("interval", storage::FsyncPolicy::kInterval);
+  WalRun group = BenchWalPolicy("group", storage::FsyncPolicy::kGroup);
+  const double speedup =
+      every.commits_per_s > 0 ? group.commits_per_s / every.commits_per_s : 0;
+  std::printf("  group vs every   %.1fx  (target >= 3x)\n", speedup);
+
+  bench::Section("follower replay lag (streaming primary -> follower)");
+  ReplicationRun repl = BenchFollowerLag();
+
+  std::ofstream json("BENCH_replication.json");
+  json << "{\n  \"group_commit\": {\n";
+  const WalRun* runs[] = {&every, &interval, &group};
+  for (size_t i = 0; i < 3; ++i) {
+    json << "    \"" << runs[i]->policy << "\": {\"commits_per_s\": "
+         << runs[i]->commits_per_s << ", \"fsyncs\": " << runs[i]->syncs
+         << ", \"group_batches\": " << runs[i]->group_batches
+         << ", \"max_group_batch\": " << runs[i]->max_group_batch << "}"
+         << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  },\n"
+       << "  \"group_vs_every_speedup\": " << speedup << ",\n"
+       << "  \"group_speedup_target\": 3.0,\n"
+       << "  \"follower\": {\n"
+       << "    \"commit_rate_per_s\": " << repl.commit_rate_per_s << ",\n"
+       << "    \"mean_lag_ms\": " << repl.mean_lag_ms << ",\n"
+       << "    \"max_lag_ms\": " << repl.max_lag_ms << ",\n"
+       << "    \"records_applied\": " << repl.records_applied << ",\n"
+       << "    \"quiesce_s\": " << repl.quiesce_s << ",\n"
+       << "    \"byte_identical\": "
+       << (repl.byte_identical ? "true" : "false") << "\n"
+       << "  }\n"
+       << "}\n";
+  std::printf("\nwrote BENCH_replication.json\n");
+  return repl.byte_identical ? 0 : 1;
+}

@@ -7,6 +7,11 @@
 //   classify <title>          classify a title with the current rules
 //   serve [<port>]            serve ClassifyRequest frames over TCP until
 //                             'stop' / EOF (port 0 or absent = ephemeral)
+//   replicate [<port>]        ship this store's commit log to followers
+//                             (needs a durable store — `open <dir>` first)
+//   follow <port>             become a read-only replica of the shipper at
+//                             127.0.0.1:<port>; classify against the
+//                             replica until 'stop' / EOF
 //   tenant [<id>]             scope the session to a tenant ("" = default):
 //                             add/disable/classify act through its view
 //   tenants                   list tenants known to any layer
@@ -36,6 +41,8 @@
 #include <utility>
 
 #include "src/chimera/pipeline.h"
+#include "src/replication/follower.h"
+#include "src/replication/shipper.h"
 #include "src/serving/server.h"
 #include "src/maint/subsumption.h"
 #include "src/rules/rule_parser.h"
@@ -108,8 +115,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
-              "enable, retire,\nclassify, serve, tenant, tenants, list, "
-              "history, subsumed, open, status,\ncompact, save, load, quit\n",
+              "enable, retire,\nclassify, serve, replicate, follow, tenant, "
+              "tenants, list, history, subsumed,\nopen, status, compact, "
+              "save, load, quit\n",
               pipeline->rule_set().CountActive());
 
   // The session's tenant scope: edits and classifications run through
@@ -191,6 +199,90 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.batches_dispatched),
                   static_cast<unsigned long long>(stats.latency_us.P50()),
                   static_cast<unsigned long long>(stats.latency_us.P99()));
+    } else if (cmd == "replicate") {
+      // Ship this store's commit log to any follower that subscribes.
+      // Blocks like `serve`: 'stop' or EOF shuts the shipper down.
+      auto* store = pipeline->storage();
+      if (store == nullptr) {
+        std::printf("replication needs a durable store — `open <dir>` "
+                    "first\n");
+        continue;
+      }
+      replication::ShipperConfig shipper_config;
+      shipper_config.port =
+          static_cast<uint16_t>(std::strtoul(rest.c_str(), nullptr, 10));
+      replication::LogShipper shipper(*store, shipper_config);
+      Status st = shipper.Start();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("shipping on 127.0.0.1:%u — `follow %u` in another "
+                  "shell; 'stop' (or EOF) to stop\n",
+                  shipper.port(), shipper.port());
+      std::string ship_line;
+      while (std::getline(std::cin, ship_line) && ship_line != "stop") {
+      }
+      shipper.Stop();
+      replication::ShipperStats stats = shipper.stats();
+      std::printf("shipped %llu records (%llu filtered) to %llu "
+                  "connections\n",
+                  static_cast<unsigned long long>(stats.records_shipped),
+                  static_cast<unsigned long long>(stats.records_filtered),
+                  static_cast<unsigned long long>(
+                      stats.connections_accepted));
+    } else if (cmd == "follow") {
+      // Become a read-only replica: stream the primary's log into a
+      // fresh in-memory pipeline and classify against it until 'stop'.
+      replication::FollowerConfig follower_config;
+      follower_config.primary_port =
+          static_cast<uint16_t>(std::strtoul(rest.c_str(), nullptr, 10));
+      if (follower_config.primary_port == 0) {
+        std::printf("usage: follow <port>\n");
+        continue;
+      }
+      auto follower = replication::ReplicaFollower::Open(follower_config);
+      if (!follower.ok()) {
+        std::printf("error: %s\n", follower.status().ToString().c_str());
+        continue;
+      }
+      (*follower)->Start();
+      std::printf("following 127.0.0.1:%u — `classify <title>` runs "
+                  "against the replica; 'stop' (or EOF) detaches\n",
+                  follower_config.primary_port);
+      std::string follow_line;
+      while (std::getline(std::cin, follow_line) && follow_line != "stop") {
+        std::istringstream follow_in(follow_line);
+        std::string follow_cmd;
+        follow_in >> follow_cmd;
+        if (follow_cmd == "classify") {
+          std::string title;
+          std::getline(follow_in >> std::ws, title);
+          data::ProductItem item{"shell", title, {}};
+          chimera::ClassifyRequest request;
+          request.items = std::span<const data::ProductItem>(&item, 1);
+          auto response = (*follower)->pipeline().Classify(request);
+          if (!response.ok()) {
+            std::printf("error: %s\n", response.status.ToString().c_str());
+            continue;
+          }
+          const auto& result = response.report.predictions[0];
+          std::printf("%s -> %s\n", title.c_str(),
+                      result.has_value() ? result->c_str()
+                                         : "(unclassified)");
+        } else if (!follow_cmd.empty()) {
+          std::printf("replica is read-only — 'classify <title>' or "
+                      "'stop'\n");
+        }
+      }
+      (*follower)->Stop();
+      replication::FollowerStats stats = (*follower)->stats();
+      std::printf("applied %llu records; position %llu:%llu%s%s\n",
+                  static_cast<unsigned long long>(stats.records_applied),
+                  static_cast<unsigned long long>(stats.position.epoch),
+                  static_cast<unsigned long long>(stats.position.offset),
+                  stats.halt_error.empty() ? "" : "; halted: ",
+                  stats.halt_error.c_str());
     } else if (cmd == "tenant") {
       scope = rules::TenantId(rest);
       std::printf("scoped to tenant %s\n", scope.display().c_str());

@@ -6,8 +6,11 @@
 #   scripts/check.sh plain               # just one (plain | asan | tsan)
 #   scripts/check.sh --labels stress     # only tests with a matching ctest
 #                                        # label (unit | stress | storage |
-#                                        # tenant | serving)
+#                                        # tenant | serving | replication)
 #   scripts/check.sh tsan --labels 'stress|storage'
+#   scripts/check.sh tsan --labels 'replication|stress'  # the replication
+#                                        # stream + concurrency tiers under
+#                                        # TSan (the races that matter most)
 #   scripts/check.sh --timeout 120      # per-test seconds, overriding the
 #                                        # TIMEOUT each test registers
 #   CHECK_JOBS=4 scripts/check.sh        # override parallelism

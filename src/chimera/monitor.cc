@@ -67,6 +67,31 @@ std::vector<ServingActivity> QualityMonitor::serving_history(
   return out;
 }
 
+void QualityMonitor::RecordReplication(const ReplicationActivity& activity,
+                                       const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(replication_mu_);
+  auto it = replication_history_.find(tenant);
+  if (it == replication_history_.end()) {
+    it = replication_history_
+             .emplace(tenant, RingBuffer<ReplicationActivity>(max_history_))
+             .first;
+  }
+  it->second.push_back(activity);
+}
+
+std::vector<ReplicationActivity> QualityMonitor::replication_history(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(replication_mu_);
+  std::vector<ReplicationActivity> out;
+  auto it = replication_history_.find(tenant);
+  if (it == replication_history_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    out.push_back(it->second[i]);
+  }
+  return out;
+}
+
 const RingBuffer<BatchQuality>& QualityMonitor::history(
     const std::string& tenant) const {
   auto it = history_.find(tenant);
@@ -174,6 +199,15 @@ std::vector<std::string> QualityMonitor::Tenants() const {
   {
     std::lock_guard<std::mutex> lock(serving_mu_);
     for (const auto& [tenant, buffer] : serving_history_) {
+      if (buffer.empty() && !tenant.empty()) continue;
+      if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+        out.push_back(tenant);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(replication_mu_);
+    for (const auto& [tenant, buffer] : replication_history_) {
       if (buffer.empty() && !tenant.empty()) continue;
       if (std::find(out.begin(), out.end(), tenant) == out.end()) {
         out.push_back(tenant);

@@ -48,6 +48,19 @@ struct ServingActivity {
   double service_ms = 0.0;     // pipeline execution time
 };
 
+/// One follower replay observation, as reported by the replication
+/// follower after applying a batch of shipped records (or on a
+/// heartbeat at an idle tail). Lag has two axes: how many records the
+/// follower has received but not yet applied, and how far behind the
+/// primary's wall clock the most recent apply ran (ship -> apply).
+struct ReplicationActivity {
+  size_t records_applied = 0;   // records applied in this observation
+  size_t records_pending = 0;   // received, not yet applied
+  double lag_ms = 0.0;          // ship-time -> apply-time, wall clock
+  uint64_t epoch = 0;           // applied-through position
+  uint64_t offset = 0;
+};
+
 /// Tracks batch-level precision and raises a degradation alarm when the
 /// estimate falls below the business threshold (§2.2 requirement 3:
 /// "detect such quality problems quickly").
@@ -85,6 +98,12 @@ class QualityMonitor {
   void RecordServing(const ServingActivity& activity,
                      const std::string& tenant = {});
 
+  /// Records one follower replay observation. Thread-safe like
+  /// RecordServing: the natural caller is the follower's replication
+  /// thread.
+  void RecordReplication(const ReplicationActivity& activity,
+                         const std::string& tenant = {});
+
   /// Records one background-retrain report (published, skipped, or
   /// abandoned), filed under `report.tenant`. Unlike the other Record*
   /// methods this one is thread-safe: it is the natural
@@ -112,6 +131,14 @@ class QualityMonitor {
   }
   /// Copy of one tenant's serving history, oldest first.
   std::vector<ServingActivity> serving_history(
+      const std::string& tenant) const;
+
+  /// Copy of the default tenant's replication history, oldest first.
+  std::vector<ReplicationActivity> replication_history() const {
+    return replication_history(std::string());
+  }
+  /// Copy of one tenant's replication history, oldest first.
+  std::vector<ReplicationActivity> replication_history(
       const std::string& tenant) const;
 
   /// Copy of the retrain history, all tenants in delivery order (a copy
@@ -162,6 +189,10 @@ class QualityMonitor {
   /// Guards serving_history_ — fed from the server's dispatcher thread.
   mutable std::mutex serving_mu_;
   std::map<std::string, RingBuffer<ServingActivity>> serving_history_;
+  /// Guards replication_history_ — fed from the follower's replication
+  /// thread.
+  mutable std::mutex replication_mu_;
+  std::map<std::string, RingBuffer<ReplicationActivity>> replication_history_;
 };
 
 }  // namespace rulekit::chimera

@@ -523,15 +523,24 @@ ClassifyResponse ChimeraPipeline::Classify(
   return response;
 }
 
-std::optional<std::string> ChimeraPipeline::Classify(
-    const data::ProductItem& item, const rules::TenantId& tenant) const {
-  return RunBatch(std::span(&item, 1), tenant).predictions[0];
+Status ChimeraPipeline::ApplyReplicated(const rules::CommitRecord& record) {
+  return ApplyReplicated(std::span(&record, 1));
 }
 
-BatchReport ChimeraPipeline::ProcessBatch(
-    const std::vector<data::ProductItem>& items,
-    const rules::TenantId& tenant) const {
-  return RunBatch(items, tenant);
+Status ChimeraPipeline::ApplyReplicated(
+    std::span<const rules::CommitRecord> records) {
+  if (records.empty()) return Status::OK();
+  // Like Mutate, the repository is internally synchronized — no pipeline
+  // lock wraps the applies. Replay never fires the journal hook, so a
+  // follower with its own mirror WAL never double-writes what the
+  // primary already made durable.
+  for (const rules::CommitRecord& record : records) {
+    RULEKIT_RETURN_IF_ERROR(repo_->Replay(record));
+  }
+  // One publish for the whole batch: a follower catching up applies at
+  // shipping speed, not at snapshot-composition speed.
+  RepublishAll();
+  return Status::OK();
 }
 
 namespace {

@@ -40,7 +40,7 @@ struct PipelineConfig {
   double attr_weight = 0.9;
   double learning_weight = 0.7;
   VotingOptions voting;
-  /// Worker threads for ProcessBatch (0 or 1 = sequential). The pool is
+  /// Worker threads for batch classification (0 or 1 = sequential). The pool is
   /// shared by concurrent batches; each batch waits only on its own work.
   size_t batch_threads = 0;
   /// Rule repository shards. An edit republishes only the shards it
@@ -201,7 +201,7 @@ struct PipelineSnapshot {
 /// sharded rule repository underneath.
 ///
 /// Concurrency model (sharded snapshot-isolated serving core):
-///  - Readers (Classify, ProcessBatch) are lock-free apart from two
+///  - Readers (Classify) are lock-free apart from two
 ///    pointer loads: they pin the current PipelineSnapshot and the gate
 ///    keeper's memo version, then classify against those. They never see
 ///    a half-applied rule update.
@@ -223,7 +223,7 @@ struct PipelineSnapshot {
 ///    synchronous RetrainLearning() wrapper just requests and waits.
 ///  - GateKeeper::Memoize is its own (copy-on-write) writer path and
 ///    needs no snapshot republish.
-/// ProcessBatch additionally fans work out over a shared ThreadPool when
+/// Batch classification additionally fans work out over a shared ThreadPool when
 /// `config.batch_threads > 1`: gate decisions, the per-shard indexed
 /// regex batch executors, member voting, and the finalize stage all run
 /// on sharded item ranges, with per-chunk partial BatchReports merged in
@@ -381,10 +381,10 @@ class ChimeraPipeline {
   // ---- classification ----------------------------------------------------
 
   /// THE classification entry point: every path into the pipeline — the
-  /// serving front-end's wire requests, in-process batches, and the
-  /// deprecated convenience wrappers below — funnels through this one
-  /// method, so local and remote callers are byte-identical by
-  /// construction. Classifies `request.items` through `request.tenant`'s
+  /// serving front-end's wire requests and in-process batches alike —
+  /// funnels through this one method, so local and remote callers are
+  /// byte-identical by construction. Classifies `request.items` through
+  /// `request.tenant`'s
   /// serving view (shared rules + the tenant's own rules/ensemble/
   /// suppressions) and its cache partition, against one pinned snapshot;
   /// parallel over `config.batch_threads` workers.
@@ -397,15 +397,19 @@ class ChimeraPipeline {
   /// On any non-OK status the report carries total + empty predictions.
   ClassifyResponse Classify(const ClassifyRequest& request) const;
 
-  /// Classifies one item. Thin wrapper over Classify(ClassifyRequest).
-  [[deprecated("build a ClassifyRequest and call Classify(request)")]]
-  std::optional<std::string> Classify(const data::ProductItem& item,
-                                      const rules::TenantId& tenant = {}) const;
+  // ---- replication ------------------------------------------------------
 
-  /// Classifies a batch. Thin wrapper over Classify(ClassifyRequest).
-  [[deprecated("build a ClassifyRequest and call Classify(request)")]]
-  BatchReport ProcessBatch(const std::vector<data::ProductItem>& items,
-                           const rules::TenantId& tenant = {}) const;
+  /// Applies commit records shipped from a primary's log, in order, and
+  /// publishes one fresh snapshot for the whole batch. The follower-side
+  /// apply path: each record goes through RuleRepository::Replay (which
+  /// never fires the journal hook — a follower's own mirror WAL, when it
+  /// keeps one, is written by the replication layer, not here), so a
+  /// follower that replays the primary's full log converges to the exact
+  /// rule state, audit log, logical clock, and shard versions. Fails on
+  /// the first inconsistent record; earlier records in the span stay
+  /// applied (mirroring recovery semantics).
+  Status ApplyReplicated(const rules::CommitRecord& record);
+  Status ApplyReplicated(std::span<const rules::CommitRecord> records);
 
   /// Every tenant known to any layer — rule ownership, training/serving
   /// runtime, or a live cache partition. Default ("") first, the rest

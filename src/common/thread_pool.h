@@ -13,7 +13,7 @@ namespace rulekit {
 
 /// Tracks completion of one logical batch of tasks submitted to a
 /// ThreadPool. Several TaskGroups can be in flight on the same pool at
-/// once (e.g. concurrent ProcessBatch calls sharing the serving pool);
+/// once (e.g. concurrent batch Classify calls sharing the serving pool);
 /// each group's Wait() only blocks on its own tasks, unlike
 /// ThreadPool::Wait() which drains the whole pool.
 class TaskGroup {

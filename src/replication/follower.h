@@ -1,0 +1,171 @@
+#ifndef RULEKIT_REPLICATION_FOLLOWER_H_
+#define RULEKIT_REPLICATION_FOLLOWER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/common/result.h"
+#include "src/storage/log_cursor.h"
+#include "src/storage/wal.h"
+
+namespace rulekit::replication {
+
+/// ReplicaFollower tuning.
+struct FollowerConfig {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Tenant subscription (empty = everything). A scoped follower
+  /// receives its tenants' and the shared ("") tenant's records only.
+  std::vector<std::string> tenants;
+  /// When non-empty, every applied record is also appended to a local
+  /// mirror log (mirror_dir/mirror.wal) so a restarted follower resumes
+  /// from its applied-through position instead of re-streaming the
+  /// primary's whole log. The mirror syncs on an interval, not per
+  /// record: a crash may lose the unsynced tail, which is harmless —
+  /// those records are simply re-fetched from the primary (apply is
+  /// idempotent from a resume position). Empty = memory-only follower
+  /// that resubscribes from zero on every restart.
+  std::string mirror_dir;
+  /// Mirror fsync cadence (records between fsyncs).
+  size_t mirror_sync_interval = 64;
+  /// The embedded pipeline's configuration. `storage_dir` MUST be empty:
+  /// a follower's durability is the mirror log above — the repository
+  /// must never journal replayed records a second time. Open() rejects a
+  /// non-empty storage_dir. `storage.dictionaries` is still honored as
+  /// the decode-side dictionary registry.
+  chimera::PipelineConfig pipeline;
+  /// Reconnect backoff: starts at `reconnect_backoff`, doubles per
+  /// consecutive failure up to `max_reconnect_backoff`.
+  std::chrono::milliseconds reconnect_backoff{50};
+  std::chrono::milliseconds max_reconnect_backoff{1000};
+  /// Ack cadence: an ack goes back at least every `ack_every` applied
+  /// records (and always when the apply loop reaches a quiet tail).
+  size_t ack_every = 32;
+  /// Lag observations (ReplicationActivity) land here when set. The
+  /// monitor must outlive the follower.
+  chimera::QualityMonitor* monitor = nullptr;
+};
+
+/// A point-in-time copy of the follower's counters.
+struct FollowerStats {
+  bool connected = false;
+  storage::LogPosition position;    // applied-through
+  uint64_t records_applied = 0;
+  uint64_t records_mirrored = 0;
+  uint64_t batches_applied = 0;     // ApplyReplicated calls (>=1 record)
+  uint64_t crc_mismatches = 0;      // wire records that failed re-verify
+  uint64_t heartbeats = 0;
+  uint64_t connects = 0;            // successful subscriptions
+  uint64_t connect_failures = 0;
+  double last_lag_ms = 0.0;         // most recent ship -> apply lag
+  /// Set (and the replication thread halted) when a shipped record
+  /// failed to decode or apply — a poison record would otherwise loop
+  /// forever through reconnects. Empty while healthy.
+  std::string halt_error;
+};
+
+/// A read-only replica: dials the primary's log shipper, subscribes
+/// (optionally tenant-scoped, optionally resuming from a local mirror
+/// log), and replays every shipped commit record into its own embedded
+/// ChimeraPipeline — which then serves Classify traffic from its own
+/// snapshots, byte-identical to the primary for the subscribed rule
+/// state. Writes never go through a follower: its pipeline is only
+/// mutated by ApplyReplicated, and a serving::RuleServer fronting it
+/// refuses rule-edit frames with kReadOnly (see server.h).
+///
+/// Integrity: every wire record's CRC-32 is recomputed before it is
+/// applied or mirrored; a mismatch (torn or corrupted in flight) drops
+/// the connection and resumes from the last good position — a damaged
+/// frame can never reach Replay.
+///
+/// Threading: Start() runs one replication thread; Stop() joins it.
+/// position()/stats()/WaitForPosition are safe from any thread.
+class ReplicaFollower {
+ public:
+  /// Builds the embedded pipeline, recovers the mirror log (when
+  /// configured) by replaying it into the pipeline, and returns the
+  /// follower stopped — call Start() to begin streaming. Fails on a
+  /// non-empty pipeline.storage_dir or an unrecoverable mirror log.
+  static Result<std::unique_ptr<ReplicaFollower>> Open(FollowerConfig config);
+
+  ~ReplicaFollower();
+
+  ReplicaFollower(const ReplicaFollower&) = delete;
+  ReplicaFollower& operator=(const ReplicaFollower&) = delete;
+
+  /// Starts the replication thread (idempotent).
+  void Start();
+
+  /// Stops streaming and joins the thread (idempotent). The pipeline
+  /// keeps serving whatever was applied.
+  void Stop();
+
+  /// The embedded read-only pipeline (serve Classify through this; do
+  /// not mutate it directly).
+  chimera::ChimeraPipeline& pipeline() { return *pipeline_; }
+  const chimera::ChimeraPipeline& pipeline() const { return *pipeline_; }
+
+  /// Applied-through position on the primary's log.
+  storage::LogPosition position() const;
+
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+  FollowerStats stats() const;
+
+  /// Blocks until the applied-through position reaches `target` (true)
+  /// or `timeout` elapses (false). The quiesce primitive for tests and
+  /// benchmarks: ship everything, WaitForPosition(primary.position()),
+  /// then compare states.
+  bool WaitForPosition(storage::LogPosition target,
+                       std::chrono::milliseconds timeout);
+
+ private:
+  explicit ReplicaFollower(FollowerConfig config);
+
+  Status RecoverMirror();
+  void ReplicationLoop();
+  /// One connect -> subscribe -> stream session. Returns when the
+  /// connection drops or Stop() is called.
+  void RunSession();
+  /// Applies a batch of decoded records and advances position_/lag.
+  Status ApplyBatch(std::vector<rules::CommitRecord>& batch,
+                    storage::LogPosition end, uint64_t ship_unix_ms);
+  void AdvancePosition(storage::LogPosition end);
+
+  const FollowerConfig config_;
+  std::unique_ptr<chimera::ChimeraPipeline> pipeline_;
+  storage::WriteAheadLog mirror_;  // open only when mirror_dir set
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<int> session_fd_{-1};  // for Stop() to sever a blocked read
+  std::thread thread_;
+
+  mutable std::mutex position_mu_;
+  std::condition_variable position_cv_;
+  storage::LogPosition position_;  // applied-through, guarded by position_mu_
+  std::string halt_error_;         // guarded by position_mu_
+
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> records_mirrored_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> crc_mismatches_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<uint64_t> connect_failures_{0};
+  std::atomic<uint64_t> last_lag_ms_x1000_{0};
+};
+
+}  // namespace rulekit::replication
+
+#endif  // RULEKIT_REPLICATION_FOLLOWER_H_

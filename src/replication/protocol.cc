@@ -1,0 +1,130 @@
+#include "src/replication/protocol.h"
+
+#include "src/common/string_util.h"
+
+namespace rulekit::replication {
+
+namespace {
+
+Status TrailingBytes(const char* what, std::string_view payload, size_t pos) {
+  return Status::InvalidArgument(
+      StrFormat("%zu trailing bytes after %s payload", payload.size() - pos,
+                what));
+}
+
+}  // namespace
+
+void EncodeSubscribe(const ReplicaSubscribe& msg, Encoder& enc) {
+  enc.PutVarint(msg.protocol_version);
+  enc.PutVarint(msg.position.epoch);
+  enc.PutVarint(msg.position.offset);
+  enc.PutVarint(msg.tenants.size());
+  for (const std::string& tenant : msg.tenants) enc.PutString(tenant);
+}
+
+Result<ReplicaSubscribe> DecodeSubscribe(std::string_view payload) {
+  Decoder dec(payload);
+  ReplicaSubscribe msg;
+  msg.protocol_version = static_cast<uint32_t>(dec.Varint());
+  msg.position.epoch = dec.Varint();
+  msg.position.offset = dec.Varint();
+  uint64_t count = dec.Varint();
+  if (dec.ok() && count > payload.size()) {
+    dec.Fail(StrFormat("tenant count %llu exceeds payload size",
+                       static_cast<unsigned long long>(count)));
+  }
+  for (uint64_t i = 0; dec.ok() && i < count; ++i) {
+    msg.tenants.push_back(dec.String());
+  }
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return TrailingBytes("ReplicaSubscribe", payload, dec.position());
+  }
+  return msg;
+}
+
+void EncodeSubscribeAck(const ReplicaSubscribeAck& msg, Encoder& enc) {
+  enc.PutU8(static_cast<uint8_t>(msg.code));
+  enc.PutString(msg.message);
+  enc.PutVarint(msg.position.epoch);
+  enc.PutVarint(msg.position.offset);
+}
+
+Result<ReplicaSubscribeAck> DecodeSubscribeAck(std::string_view payload) {
+  Decoder dec(payload);
+  ReplicaSubscribeAck msg;
+  uint8_t code = dec.U8();
+  if (dec.ok() && code > serving::kMaxWireCode) {
+    dec.Fail(StrFormat("unknown wire code %u", code));
+  }
+  msg.code = static_cast<serving::WireCode>(code);
+  msg.message = dec.String();
+  msg.position.epoch = dec.Varint();
+  msg.position.offset = dec.Varint();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return TrailingBytes("ReplicaSubscribeAck", payload, dec.position());
+  }
+  return msg;
+}
+
+void EncodeRecord(const ReplicaRecord& msg, Encoder& enc) {
+  enc.PutVarint(msg.end.epoch);
+  enc.PutVarint(msg.end.offset);
+  enc.PutVarint(msg.ship_unix_ms);
+  enc.PutU32(msg.crc);
+  enc.PutString(msg.payload);
+}
+
+Result<ReplicaRecord> DecodeRecord(std::string_view payload) {
+  Decoder dec(payload);
+  ReplicaRecord msg;
+  msg.end.epoch = dec.Varint();
+  msg.end.offset = dec.Varint();
+  msg.ship_unix_ms = dec.Varint();
+  msg.crc = dec.U32();
+  msg.payload = dec.String();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return TrailingBytes("ReplicaRecord", payload, dec.position());
+  }
+  return msg;
+}
+
+void EncodeHeartbeat(const ReplicaHeartbeat& msg, Encoder& enc) {
+  enc.PutVarint(msg.end.epoch);
+  enc.PutVarint(msg.end.offset);
+  enc.PutVarint(msg.ship_unix_ms);
+}
+
+Result<ReplicaHeartbeat> DecodeHeartbeat(std::string_view payload) {
+  Decoder dec(payload);
+  ReplicaHeartbeat msg;
+  msg.end.epoch = dec.Varint();
+  msg.end.offset = dec.Varint();
+  msg.ship_unix_ms = dec.Varint();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return TrailingBytes("ReplicaHeartbeat", payload, dec.position());
+  }
+  return msg;
+}
+
+void EncodeAck(const ReplicaAck& msg, Encoder& enc) {
+  enc.PutVarint(msg.position.epoch);
+  enc.PutVarint(msg.position.offset);
+}
+
+Result<ReplicaAck> DecodeAck(std::string_view payload) {
+  Decoder dec(payload);
+  ReplicaAck msg;
+  msg.position.epoch = dec.Varint();
+  msg.position.offset = dec.Varint();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return TrailingBytes("ReplicaAck", payload, dec.position());
+  }
+  return msg;
+}
+
+}  // namespace rulekit::replication

@@ -1,0 +1,108 @@
+#ifndef RULEKIT_REPLICATION_PROTOCOL_H_
+#define RULEKIT_REPLICATION_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/binary_codec.h"
+#include "src/common/result.h"
+#include "src/serving/wire.h"
+#include "src/storage/log_cursor.h"
+
+namespace rulekit::replication {
+
+/// Log-shipping payload codecs for the replica frame types pinned in
+/// serving/wire.h (kReplicaSubscribe..kReplicaAck). Transport is the
+/// same framed TCP as classification traffic — one connection can in
+/// principle carry both, but in practice a follower dials a dedicated
+/// replication connection to the primary's shipper port.
+///
+/// Protocol (DESIGN.md §10): the follower opens with a Subscribe naming
+/// its tenant filter and resume position; the shipper answers with a
+/// SubscribeAck (accepted, or refused with a reason — e.g. the position
+/// was compacted away); then Records and Heartbeats flow primary ->
+/// follower while Acks flow back. Every Record carries the primary's
+/// CRC for end-to-end re-verification and the position *after* the
+/// record, which is what the follower acks once applied.
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Follower -> primary: open a subscription.
+///
+///   varint protocol_version | varint epoch | varint offset
+///   | varint tenant_count | tenant_count x string
+///
+/// An empty tenant list subscribes to everything. A non-empty list
+/// ships records whose tenant is in the list *plus* default-tenant ("")
+/// records — shared rules serve every tenant, so every follower needs
+/// them.
+struct ReplicaSubscribe {
+  uint32_t protocol_version = kProtocolVersion;
+  storage::LogPosition position;
+  std::vector<std::string> tenants;
+};
+
+/// Primary -> follower: subscription verdict.
+///
+///   u8 code | string message | varint epoch | varint offset
+///
+/// `position` echoes where the stream will start (the follower's resume
+/// point, normalized). code kOk accepts; anything else refuses and the
+/// primary closes the connection.
+struct ReplicaSubscribeAck {
+  serving::WireCode code = serving::WireCode::kOk;
+  std::string message;
+  storage::LogPosition position;
+};
+
+/// Primary -> follower: one shipped commit record.
+///
+///   varint epoch | varint end_offset | varint ship_unix_ms
+///   | u32 crc | string payload
+///
+/// (epoch, end_offset) is the log position immediately *after* this
+/// record on the primary — the follower's position once it applies it.
+/// `crc` is the primary's stored CRC-32 of the payload; the follower
+/// recomputes and must disconnect on mismatch (a torn or corrupted
+/// frame must never reach Replay). `ship_unix_ms` timestamps the send
+/// for wall-clock lag measurement.
+struct ReplicaRecord {
+  storage::LogPosition end;
+  uint64_t ship_unix_ms = 0;
+  uint32_t crc = 0;
+  std::string payload;
+};
+
+/// Primary -> follower: the stream position advanced without shippable
+/// data (records filtered out by the tenant subscription, or an idle
+/// keep-alive at the tail).
+///
+///   varint epoch | varint end_offset | varint ship_unix_ms
+struct ReplicaHeartbeat {
+  storage::LogPosition end;
+  uint64_t ship_unix_ms = 0;
+};
+
+/// Follower -> primary: everything up to `position` is applied (and, if
+/// the follower mirrors to local disk, durable).
+///
+///   varint epoch | varint offset
+struct ReplicaAck {
+  storage::LogPosition position;
+};
+
+void EncodeSubscribe(const ReplicaSubscribe& msg, Encoder& enc);
+Result<ReplicaSubscribe> DecodeSubscribe(std::string_view payload);
+void EncodeSubscribeAck(const ReplicaSubscribeAck& msg, Encoder& enc);
+Result<ReplicaSubscribeAck> DecodeSubscribeAck(std::string_view payload);
+void EncodeRecord(const ReplicaRecord& msg, Encoder& enc);
+Result<ReplicaRecord> DecodeRecord(std::string_view payload);
+void EncodeHeartbeat(const ReplicaHeartbeat& msg, Encoder& enc);
+Result<ReplicaHeartbeat> DecodeHeartbeat(std::string_view payload);
+void EncodeAck(const ReplicaAck& msg, Encoder& enc);
+Result<ReplicaAck> DecodeAck(std::string_view payload);
+
+}  // namespace rulekit::replication
+
+#endif  // RULEKIT_REPLICATION_PROTOCOL_H_

@@ -1,0 +1,146 @@
+#ifndef RULEKIT_REPLICATION_SHIPPER_H_
+#define RULEKIT_REPLICATION_SHIPPER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/log_cursor.h"
+#include "src/storage/rule_store.h"
+
+namespace rulekit::replication {
+
+/// LogShipper tuning.
+struct ShipperConfig {
+  /// TCP port to bind on loopback; 0 = ephemeral (read back via port()).
+  uint16_t port = 0;
+  /// Concurrent follower connections; arrivals beyond this are closed.
+  size_t max_followers = 8;
+  /// Tail-poll pacing when a follower is caught up (also bounds how long
+  /// an incoming ack waits before it is drained).
+  std::chrono::milliseconds poll_interval{20};
+  /// Idle keep-alive cadence: a heartbeat goes out at least this often
+  /// so the follower's lag measurement stays live at a quiet tail.
+  std::chrono::milliseconds heartbeat_interval{500};
+};
+
+/// One live follower's shipping state (diagnostic copy).
+struct ShipperFollowerInfo {
+  uint64_t id = 0;
+  std::vector<std::string> tenants;       // empty = full subscription
+  storage::LogPosition shipped;           // streamed through (incl. filtered)
+  storage::LogPosition acked;             // follower confirmed applied
+  uint64_t records_shipped = 0;
+  uint64_t records_filtered = 0;
+};
+
+/// A point-in-time copy of the shipper's counters.
+struct ShipperStats {
+  uint64_t connections_accepted = 0;
+  uint64_t subscriptions_refused = 0;
+  uint64_t records_shipped = 0;
+  uint64_t records_filtered = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t heartbeats = 0;
+  std::vector<ShipperFollowerInfo> followers;  // live connections only
+};
+
+/// The primary-side log shipper: listens on loopback, accepts follower
+/// subscriptions, and streams the durable store's commit log to each —
+/// one thread and one StoreLogCursor per follower, reading the same
+/// `wal-<epoch>` files the store appends to (no writer-side coupling:
+/// shipping an old offset never blocks a commit).
+///
+/// Tenant-scoped subscriptions filter at the source: records whose
+/// tenant is outside the follower's subscription are skipped (their
+/// position advance travels as a heartbeat), so a single-tenant follower
+/// receives only its tenant's and the shared ("") tenant's history.
+///
+/// Resume: the subscription carries the follower's applied-through
+/// position; shipping restarts exactly there. A position that retention
+/// has compacted away is refused in the SubscribeAck — the follower must
+/// re-seed (fresh directory) and resubscribe from zero.
+class LogShipper {
+ public:
+  /// The store must outlive the shipper.
+  LogShipper(const storage::DurableRuleStore& store, ShipperConfig config);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Binds 127.0.0.1:<config.port> and starts the acceptor. Fails
+  /// without side effects if the bind/listen does.
+  Status Start();
+
+  /// Idempotent: stops accepting, severs every follower connection, and
+  /// joins all threads. Followers reconnect-and-resume when the shipper
+  /// (or its successor) comes back.
+  void Stop();
+
+  /// The bound port (resolves config.port == 0 to the kernel's pick).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ShipperStats stats() const;
+
+  /// Smallest applied-through position acked by any live follower, or
+  /// nullopt with no followers. The placement layer's retention signal.
+  std::optional<storage::LogPosition> min_acked() const;
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    std::thread thread;
+    mutable std::mutex mu;  // guards the fields below
+    std::vector<std::string> tenants;
+    storage::LogPosition shipped;
+    storage::LogPosition acked;
+    uint64_t records_shipped = 0;
+    uint64_t records_filtered = 0;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ServeFollower(const std::shared_ptr<Session>& session);
+  /// Reads the subscribe frame, validates it, sends the ack. Returns the
+  /// accepted start position or an error (already reported to the peer).
+  Result<storage::LogPosition> Handshake(Session& session);
+  /// Drains any acks queued on the socket without blocking; `wait` > 0
+  /// blocks up to that long for the first byte (tail pacing).
+  Status DrainAcks(Session& session, std::chrono::milliseconds wait);
+  void ReapFinishedSessions();
+
+  const storage::DurableRuleStore& store_;
+  const ShipperConfig config_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+
+  mutable std::mutex sessions_mu_;
+  uint64_t next_session_id_ = 0;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> subscriptions_refused_{0};
+  std::atomic<uint64_t> records_shipped_{0};
+  std::atomic<uint64_t> records_filtered_{0};
+  std::atomic<uint64_t> bytes_shipped_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+};
+
+}  // namespace rulekit::replication
+
+#endif  // RULEKIT_REPLICATION_SHIPPER_H_

@@ -69,6 +69,28 @@ Result<WireClassifyResponse> RuleClient::Call(
   return response;
 }
 
+Result<WireRuleEditResponse> RuleClient::CallEdit(
+    const WireRuleEditRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Encoder enc;
+  EncodeEditRequestPayload(request, enc);
+  RULEKIT_RETURN_IF_ERROR(
+      WriteFrame(fd_, FrameType::kRuleEditRequest, enc.data()));
+  RULEKIT_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  if (frame.type != FrameType::kRuleEditResponse) {
+    return Status::IOError("expected a RuleEditResponse frame");
+  }
+  RULEKIT_ASSIGN_OR_RETURN(WireRuleEditResponse response,
+                           DecodeEditResponsePayload(frame.payload));
+  if (response.request_id != request.request_id) {
+    return Status::Internal(StrFormat(
+        "edit response id %llu does not match request id %llu",
+        static_cast<unsigned long long>(response.request_id),
+        static_cast<unsigned long long>(request.request_id)));
+  }
+  return response;
+}
+
 void RuleClient::FinishSending() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }

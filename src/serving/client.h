@@ -45,6 +45,11 @@ class RuleClient {
   /// Send + Receive, with the response matched to this request.
   Result<WireClassifyResponse> Call(const WireClassifyRequest& request);
 
+  /// One rule-edit round trip. A read-only replica answers kReadOnly
+  /// (as a decoded response, not an error); the primary applies the edit
+  /// and reports the outcome.
+  Result<WireRuleEditResponse> CallEdit(const WireRuleEditRequest& request);
+
   /// Writes one request frame (returns as soon as it is on the wire).
   Status Send(const WireClassifyRequest& request);
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/string_util.h"
+#include "src/rules/rule_parser.h"
 
 namespace rulekit::serving {
 
@@ -173,6 +174,19 @@ void RuleServer::ReadLoop(const std::shared_ptr<Connection>& conn) {
       // frame or socket error. Either way this connection is done.
       conn->alive.store(false, std::memory_order_release);
       return;
+    }
+    if (frame->type == FrameType::kRuleEditRequest) {
+      auto edit = DecodeEditRequestPayload(frame->payload);
+      if (!edit.ok()) {
+        invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+        WireRuleEditResponse response;
+        response.code = WireCode::kInvalidArgument;
+        response.message = edit.status().message();
+        RespondEdit(*conn, response);
+        continue;
+      }
+      HandleEdit(*conn, std::move(*edit));
+      continue;
     }
     if (frame->type != FrameType::kClassifyRequest) {
       invalid_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -428,6 +442,91 @@ void RuleServer::Respond(Connection& conn,
   }
 }
 
+void RuleServer::RespondEdit(Connection& conn,
+                             const WireRuleEditResponse& response) {
+  Encoder enc;
+  EncodeEditResponsePayload(response, enc);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  Status st = WriteFrame(conn.fd, FrameType::kRuleEditResponse, enc.data());
+  if (!st.ok()) {
+    conn.alive.store(false, std::memory_order_release);
+    ::shutdown(conn.fd, SHUT_RDWR);
+  }
+}
+
+void RuleServer::HandleEdit(Connection& conn, WireRuleEditRequest request) {
+  WireRuleEditResponse response;
+  response.request_id = request.request_id;
+  if (config_.writer == nullptr) {
+    edits_refused_readonly_.fetch_add(1, std::memory_order_relaxed);
+    response.code = WireCode::kReadOnly;
+    response.message =
+        "this server is a read-only replica; send rule edits to the primary";
+    RespondEdit(conn, response);
+    return;
+  }
+  chimera::ChimeraPipeline& writer = *config_.writer;
+  const rules::TenantId tenant{request.tenant};
+  Status status;
+  uint64_t rules_added = 0;
+  switch (request.op) {
+    case EditOp::kAddRules: {
+      auto parsed = rules::ParseRules(request.rule_dsl,
+                                      writer.config().storage.dictionaries);
+      if (!parsed.ok()) {
+        status = parsed.status();
+        break;
+      }
+      rules_added = parsed->size();
+      status = writer.AddRules(std::move(*parsed), request.author, tenant);
+      break;
+    }
+    case EditOp::kDisable:
+      status = writer.Mutate(
+          request.author,
+          [&](rules::RuleTransaction& txn) {
+            return txn.Disable(rules::RuleId(request.rule_id),
+                               request.detail);
+          },
+          tenant);
+      break;
+    case EditOp::kEnable:
+      status = writer.Mutate(
+          request.author,
+          [&](rules::RuleTransaction& txn) {
+            return txn.Enable(rules::RuleId(request.rule_id));
+          },
+          tenant);
+      break;
+    case EditOp::kRetire:
+      status = writer.Mutate(
+          request.author,
+          [&](rules::RuleTransaction& txn) {
+            return txn.Retire(rules::RuleId(request.rule_id), request.detail);
+          },
+          tenant);
+      break;
+    case EditOp::kSetConfidence:
+      status = writer.Mutate(
+          request.author,
+          [&](rules::RuleTransaction& txn) {
+            return txn.SetConfidence(rules::RuleId(request.rule_id),
+                                     request.confidence);
+          },
+          tenant);
+      break;
+  }
+  if (status.ok()) {
+    edits_applied_.fetch_add(1, std::memory_order_relaxed);
+    response.rules_added = rules_added;
+  } else {
+    edit_failures_.fetch_add(1, std::memory_order_relaxed);
+    response.code = CodeFor(status);
+    response.message = status.message();
+  }
+  RespondEdit(conn, response);
+}
+
 void RuleServer::RespondAdmitted(const Pending& pending,
                                  const WireClassifyResponse& response) {
   queue_wait_us_.Record(ElapsedUs(pending.admitted, Clock::now()));
@@ -446,6 +545,9 @@ ServerStats RuleServer::stats() const {
   stats.unavailable_rejects = unavailable_rejects_.load();
   stats.batches_dispatched = batches_dispatched_.load();
   stats.coalesced_requests = coalesced_requests_.load();
+  stats.edits_applied = edits_applied_.load();
+  stats.edits_refused_readonly = edits_refused_readonly_.load();
+  stats.edit_failures = edit_failures_.load();
   stats.latency_us = latency_us_.TakeSnapshot();
   stats.queue_wait_us = queue_wait_us_.TakeSnapshot();
   stats.batch_size = batch_size_.TakeSnapshot();

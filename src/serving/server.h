@@ -48,6 +48,14 @@ struct ServerConfig {
   /// When set, every dispatched batch is recorded as a ServingActivity
   /// under its tenant (admission counters attached as deltas).
   chimera::QualityMonitor* monitor = nullptr;
+  /// Writer-mode switch. When set (normally to the same pipeline the
+  /// server serves), RuleEditRequest frames are applied through it as
+  /// ordinary transactional mutations — journaled ahead of publication,
+  /// so a wire edit ships to followers exactly like a local one. When
+  /// null (the default, and always on a replica fronting a follower
+  /// pipeline), every edit frame is refused with kReadOnly and nothing
+  /// is applied. Classify traffic is unaffected either way.
+  chimera::ChimeraPipeline* writer = nullptr;
 };
 
 /// A point-in-time copy of the server's counters and distributions.
@@ -63,6 +71,9 @@ struct ServerStats {
   /// Requests that shared their dispatched batch with at least one other
   /// request (i.e. coalescing actually merged them).
   uint64_t coalesced_requests = 0;
+  uint64_t edits_applied = 0;           // rule-edit frames applied (writer)
+  uint64_t edits_refused_readonly = 0;  // kReadOnly refusals (no writer)
+  uint64_t edit_failures = 0;           // writer present but the edit failed
   /// Admission -> response-written latency per request, microseconds.
   LogHistogram::Snapshot latency_us;
   /// Admission -> dispatch wait per request, microseconds.
@@ -147,6 +158,11 @@ class RuleServer {
   /// Encodes and writes one response frame; tears the connection down
   /// on a write error.
   void Respond(Connection& conn, const WireClassifyResponse& response);
+  /// Applies (writer mode) or refuses (read-only) one rule-edit frame
+  /// and writes the RuleEditResponse. Runs on the reader thread — the
+  /// pipeline's transactional API is internally synchronized.
+  void HandleEdit(Connection& conn, WireRuleEditRequest request);
+  void RespondEdit(Connection& conn, const WireRuleEditResponse& response);
   /// Respond + per-request latency accounting for an admitted request.
   void RespondAdmitted(const Pending& pending,
                        const WireClassifyResponse& response);
@@ -183,6 +199,9 @@ class RuleServer {
   std::atomic<uint64_t> unavailable_rejects_{0};
   std::atomic<uint64_t> batches_dispatched_{0};
   std::atomic<uint64_t> coalesced_requests_{0};
+  std::atomic<uint64_t> edits_applied_{0};
+  std::atomic<uint64_t> edits_refused_readonly_{0};
+  std::atomic<uint64_t> edit_failures_{0};
   LogHistogram latency_us_;
   LogHistogram queue_wait_us_;
   LogHistogram batch_size_;

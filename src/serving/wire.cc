@@ -40,6 +40,8 @@ Status StatusFor(WireCode code, const std::string& message) {
       return Status::Unavailable(message);
     case WireCode::kInternal:
       return Status::Internal(message);
+    case WireCode::kReadOnly:
+      return Status::FailedPrecondition(message);
   }
   return Status::Internal(message);  // unreachable for pinned codes
 }
@@ -137,7 +139,7 @@ Result<WireClassifyResponse> DecodeResponsePayload(
   WireClassifyResponse response;
   response.request_id = dec.Varint();
   uint8_t code = dec.U8();
-  if (dec.ok() && code > static_cast<uint8_t>(WireCode::kInternal)) {
+  if (dec.ok() && code > kMaxWireCode) {
     dec.Fail(StrFormat("unknown response code %u", code));
   }
   response.code = static_cast<WireCode>(code);
@@ -172,6 +174,72 @@ Result<WireClassifyResponse> DecodeResponsePayload(
   if (!dec.AtEnd()) {
     return Status::InvalidArgument(StrFormat(
         "%zu trailing bytes after ClassifyResponse payload",
+        payload.size() - dec.position()));
+  }
+  return response;
+}
+
+void EncodeEditRequestPayload(const WireRuleEditRequest& request,
+                              Encoder& enc) {
+  enc.PutVarint(request.request_id);
+  enc.PutString(request.tenant);
+  enc.PutString(request.author);
+  enc.PutU8(static_cast<uint8_t>(request.op));
+  enc.PutString(request.rule_dsl);
+  enc.PutString(request.rule_id);
+  enc.PutDouble(request.confidence);
+  enc.PutString(request.detail);
+}
+
+Result<WireRuleEditRequest> DecodeEditRequestPayload(
+    std::string_view payload) {
+  Decoder dec(payload);
+  WireRuleEditRequest request;
+  request.request_id = dec.Varint();
+  request.tenant = dec.String();
+  request.author = dec.String();
+  uint8_t op = dec.U8();
+  if (dec.ok() && op > static_cast<uint8_t>(EditOp::kSetConfidence)) {
+    dec.Fail(StrFormat("unknown edit op %u", op));
+  }
+  request.op = static_cast<EditOp>(op);
+  request.rule_dsl = dec.String();
+  request.rule_id = dec.String();
+  request.confidence = dec.F64();
+  request.detail = dec.String();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu trailing bytes after RuleEditRequest payload",
+        payload.size() - dec.position()));
+  }
+  return request;
+}
+
+void EncodeEditResponsePayload(const WireRuleEditResponse& response,
+                               Encoder& enc) {
+  enc.PutVarint(response.request_id);
+  enc.PutU8(static_cast<uint8_t>(response.code));
+  enc.PutString(response.message);
+  enc.PutVarint(response.rules_added);
+}
+
+Result<WireRuleEditResponse> DecodeEditResponsePayload(
+    std::string_view payload) {
+  Decoder dec(payload);
+  WireRuleEditResponse response;
+  response.request_id = dec.Varint();
+  uint8_t code = dec.U8();
+  if (dec.ok() && code > kMaxWireCode) {
+    dec.Fail(StrFormat("unknown response code %u", code));
+  }
+  response.code = static_cast<WireCode>(code);
+  response.message = dec.String();
+  response.rules_added = dec.Varint();
+  if (!dec.ok()) return dec.status();
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu trailing bytes after RuleEditResponse payload",
         payload.size() - dec.position()));
   }
   return response;
@@ -263,8 +331,8 @@ Result<Frame> ReadFrame(int fd) {
         "frame payload %u exceeds the %u-byte limit", length,
         kMaxFramePayload));
   }
-  if (type != static_cast<uint8_t>(FrameType::kClassifyRequest) &&
-      type != static_cast<uint8_t>(FrameType::kClassifyResponse)) {
+  if (type < static_cast<uint8_t>(FrameType::kClassifyRequest) ||
+      type > kMaxFrameType) {
     return Status::IOError(StrFormat("unknown frame type %u", type));
   }
   Frame frame;

@@ -25,11 +25,27 @@ namespace rulekit::serving {
 /// exact conventions of the durable store's record formats, implemented
 /// by the shared rulekit::Encoder/Decoder.
 
-/// Frame type bytes. Pinned: these are the wire format.
+/// Frame type bytes. Pinned: these are the wire format — never renumber;
+/// add new types at the end. Types 3+ arrived with the replication
+/// subsystem (DESIGN.md §10): rule edits over the wire (so a primary's
+/// server can accept writes and a follower's can refuse them with
+/// kReadOnly), and the log-shipping stream frames (payload codecs in
+/// src/replication/protocol.h).
 enum class FrameType : uint8_t {
   kClassifyRequest = 1,
   kClassifyResponse = 2,
+  kRuleEditRequest = 3,
+  kRuleEditResponse = 4,
+  kReplicaSubscribe = 5,     // follower -> primary: tenants + resume position
+  kReplicaSubscribeAck = 6,  // primary -> follower: accepted / refused
+  kReplicaRecord = 7,        // primary -> follower: one commit record
+  kReplicaHeartbeat = 8,     // primary -> follower: position advance, no data
+  kReplicaAck = 9,           // follower -> primary: applied-through position
 };
+
+/// The highest assigned frame type (transport-level validation bound).
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kReplicaAck);
 
 /// Response status codes on the wire. Pinned: clients in other languages
 /// hard-code these values, so they must never be renumbered — add new
@@ -51,7 +67,13 @@ enum class WireCode : uint8_t {
   /// Anything else — a pipeline-side failure the codes above don't
   /// describe.
   kInternal = 5,
+  /// The server is a read-only replica: it serves Classify traffic but
+  /// refuses every rule-edit frame. Write to the primary instead.
+  kReadOnly = 6,
 };
+
+/// The highest assigned wire code (decode-side validation bound).
+inline constexpr uint8_t kMaxWireCode = static_cast<uint8_t>(WireCode::kReadOnly);
 
 /// The wire code a pipeline/server Status maps to. Stable: kOk for OK,
 /// kResourceExhausted -> kOverloaded, kDeadlineExceeded and kUnavailable
@@ -116,12 +138,61 @@ struct WireClassifyResponse {
   std::vector<std::optional<std::string>> predictions;
 };
 
+/// Rule-edit operations a client can request over the wire. Pinned
+/// byte values, append-only like the frame types.
+enum class EditOp : uint8_t {
+  kAddRules = 0,       // rule_dsl holds one or more rules in DSL text
+  kDisable = 1,
+  kEnable = 2,
+  kRetire = 3,
+  kSetConfidence = 4,
+};
+
+/// A decoded RuleEditRequest frame payload:
+///
+///   varint request_id | string tenant | string author | u8 op
+///   | string rule_dsl (kAddRules; else empty)
+///   | string rule_id (ops on an existing rule; else empty)
+///   | double confidence (kSetConfidence; else 0)
+///   | string detail (audit note)
+///
+/// The edit runs as one pipeline transaction scoped to `tenant`; the
+/// server journals it ahead of publication like any local mutation, so a
+/// wire edit ships to followers exactly like an in-process one.
+struct WireRuleEditRequest {
+  uint64_t request_id = 0;
+  std::string tenant;
+  std::string author;
+  EditOp op = EditOp::kAddRules;
+  std::string rule_dsl;
+  std::string rule_id;
+  double confidence = 0.0;
+  std::string detail;
+};
+
+/// A decoded RuleEditResponse frame payload:
+///
+///   varint request_id | u8 code | string message | varint rules_added
+struct WireRuleEditResponse {
+  uint64_t request_id = 0;
+  WireCode code = WireCode::kOk;
+  std::string message;
+  uint64_t rules_added = 0;
+};
+
 /// Payload codecs (frame header excluded — the transport adds it).
 void EncodeRequestPayload(const WireClassifyRequest& request, Encoder& enc);
 Result<WireClassifyRequest> DecodeRequestPayload(std::string_view payload);
 void EncodeResponsePayload(const WireClassifyResponse& response,
                            Encoder& enc);
 Result<WireClassifyResponse> DecodeResponsePayload(std::string_view payload);
+void EncodeEditRequestPayload(const WireRuleEditRequest& request,
+                              Encoder& enc);
+Result<WireRuleEditRequest> DecodeEditRequestPayload(std::string_view payload);
+void EncodeEditResponsePayload(const WireRuleEditResponse& response,
+                               Encoder& enc);
+Result<WireRuleEditResponse> DecodeEditResponsePayload(
+    std::string_view payload);
 
 /// Builds a response payload from a pipeline result (request_id echoed,
 /// Status mapped through CodeFor, report counters copied).

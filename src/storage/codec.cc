@@ -234,6 +234,79 @@ Result<CommitRecord> DecodeCommitRecord(
   return record;
 }
 
+namespace {
+
+// Structural skip of one encoded rule — field-for-field mirror of
+// DecodeRule minus validation and reconstruction.
+void SkipRule(Decoder& dec) {
+  dec.U8();                        // kind
+  dec.String();                    // id
+  uint64_t num_types = dec.Varint();
+  if (dec.ok() && num_types > (1u << 20)) {
+    dec.Fail("implausible type count while skipping rule");
+    return;
+  }
+  for (uint64_t i = 0; dec.ok() && i < num_types; ++i) dec.String();
+  dec.U8();                        // positive
+  dec.String();                    // pattern
+  dec.String();                    // attribute
+  dec.String();                    // attribute value
+  dec.String();                    // predicate DSL
+  dec.String();                    // author
+  dec.U8();                        // origin
+  dec.U64();                       // created_at
+  dec.F64();                       // confidence
+  dec.U8();                        // state
+  dec.String();                    // note
+  dec.String();                    // tenant
+}
+
+void SkipAuditEntry(Decoder& dec) {
+  dec.U64();                       // timestamp
+  dec.U8();                        // action
+  dec.String();                    // rule id
+  dec.String();                    // author
+  dec.String();                    // detail
+}
+
+}  // namespace
+
+Result<std::string> PeekCommitTenant(std::string_view payload) {
+  Decoder dec(payload);
+  uint64_t num_ops = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_ops; ++i) {
+    uint8_t kind = dec.U8();
+    if (dec.ok() && kind > kMaxOpKind) {
+      dec.Fail(StrFormat("bad commit op kind %u", kind));
+    }
+    if (!dec.ok()) break;
+    switch (static_cast<CommitRecord::OpKind>(kind)) {
+      case CommitRecord::OpKind::kAdd:
+        SkipRule(dec);
+        break;
+      case CommitRecord::OpKind::kDisable:
+      case CommitRecord::OpKind::kEnable:
+      case CommitRecord::OpKind::kRetire:
+        dec.String();
+        break;
+      case CommitRecord::OpKind::kSetConfidence:
+        dec.String();
+        dec.F64();
+        break;
+      case CommitRecord::OpKind::kCheckpoint:
+        break;
+      case CommitRecord::OpKind::kRestoreCheckpoint:
+        dec.U64();
+        break;
+    }
+  }
+  uint64_t num_entries = dec.Varint();
+  for (uint64_t i = 0; dec.ok() && i < num_entries; ++i) SkipAuditEntry(dec);
+  std::string tenant = dec.String();
+  RULEKIT_RETURN_IF_ERROR(dec.status());
+  return tenant;
+}
+
 void EncodePersistedState(const PersistedState& state, Encoder& enc) {
   enc.PutVarint(state.rules.size());
   for (const Rule& rule : state.rules) EncodeRule(rule, enc);

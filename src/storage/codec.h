@@ -42,6 +42,13 @@ void EncodeCommitRecord(const rules::CommitRecord& record, Encoder& enc);
 Result<rules::CommitRecord> DecodeCommitRecord(
     Decoder& dec, const rules::DictionaryRegistry* dictionaries = nullptr);
 
+/// Reads only the tenant tag out of an encoded commit record, skipping
+/// every other field structurally — no predicate re-parse, no dictionary
+/// lookup, no rule construction. The log shipper filters tenant-scoped
+/// subscriptions with this on the hot shipping path, where fully decoding
+/// (and then discarding) each record would dominate.
+Result<std::string> PeekCommitTenant(std::string_view payload);
+
 /// A snapshot payload: the full repository state.
 void EncodePersistedState(const rules::PersistedState& state, Encoder& enc);
 Result<rules::PersistedState> DecodePersistedState(

@@ -1,0 +1,205 @@
+#include "src/storage/log_cursor.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/string_util.h"
+#include "src/storage/codec.h"
+#include "src/storage/wal.h"
+
+namespace rulekit::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using wal_format::kFrameBytes;
+using wal_format::kHeaderBytes;
+using wal_format::kMagic;
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// pread the full span or report how much was there. Returns bytes read
+/// (short at EOF), or -1 with errno set.
+ssize_t PreadFully(int fd, char* buf, size_t size, uint64_t offset) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::pread(fd, buf + got, size - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+StoreLogCursor::StoreLogCursor(std::string dir, LogPosition start)
+    : dir_(std::move(dir)), pos_(start) {
+  if (pos_.offset < kHeaderBytes) pos_.offset = kHeaderBytes;
+}
+
+StoreLogCursor::~StoreLogCursor() { CloseSegment(); }
+
+std::string StoreLogCursor::WalPath(uint64_t epoch) const {
+  return (fs::path(dir_) / ("wal-" + std::to_string(epoch))).string();
+}
+
+bool StoreLogCursor::SegmentExists(uint64_t epoch) const {
+  std::error_code ec;
+  return fs::exists(WalPath(epoch), ec);
+}
+
+void StoreLogCursor::CloseSegment() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status StoreLogCursor::EnsureSegmentOpen() {
+  if (fd_ >= 0) return Status::OK();
+  const std::string path = WalPath(pos_.epoch);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("%s: cannot open log segment: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  char hdr[kHeaderBytes];
+  ssize_t got = PreadFully(fd, hdr, kHeaderBytes, 0);
+  if (got != static_cast<ssize_t>(kHeaderBytes) ||
+      std::memcmp(hdr, kMagic, 4) != 0) {
+    ::close(fd);
+    return Status::IOError("not a rulekit WAL file: " + path);
+  }
+  if (std::memcmp(hdr, kMagic, kHeaderBytes) != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat(
+        "%s: unsupported WAL format version %u (this build reads version %u)",
+        path.c_str(), static_cast<unsigned>(static_cast<unsigned char>(hdr[4])),
+        static_cast<unsigned>(kMagic[4])));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<std::optional<LogRecord>> StoreLogCursor::Next() {
+  for (;;) {
+    if (fd_ < 0) {
+      if (!SegmentExists(pos_.epoch)) {
+        if (SegmentExists(pos_.epoch + 1)) {
+          // Retention pruned our segment out from under the position:
+          // history from here is only available via a snapshot re-seed.
+          return Status::NotFound(StrFormat(
+              "log position (epoch %llu, offset %llu) was compacted away",
+              static_cast<unsigned long long>(pos_.epoch),
+              static_cast<unsigned long long>(pos_.offset)));
+        }
+        // Segment not created yet (rotation in flight, or a subscriber
+        // parked exactly at the next epoch boundary): caught up.
+        return std::optional<LogRecord>{};
+      }
+      Status st = EnsureSegmentOpen();
+      // The open can still race the writer laying down the file header;
+      // only a *sealed* unreadable segment is real damage.
+      if (!st.ok()) {
+        if (!SegmentExists(pos_.epoch + 1)) return std::optional<LogRecord>{};
+        return st;
+      }
+    }
+
+    // Order matters: observe the seal *before* sizing the file. Once
+    // wal-<epoch+1> exists no more bytes land in wal-<epoch>, so a size
+    // read after the seal check is final when sealed is true; the other
+    // order could miss records appended between the two observations.
+    bool sealed = SegmentExists(pos_.epoch + 1);
+    struct stat st_buf;
+    if (::fstat(fd_, &st_buf) != 0) {
+      return Status::IOError(StrFormat("%s: fstat: %s",
+                                       WalPath(pos_.epoch).c_str(),
+                                       std::strerror(errno)));
+    }
+    uint64_t size = static_cast<uint64_t>(st_buf.st_size);
+
+    if (size <= pos_.offset) {
+      if (sealed) {
+        CloseSegment();
+        pos_ = LogPosition{pos_.epoch + 1, kHeaderBytes};
+        continue;
+      }
+      return std::optional<LogRecord>{};  // caught up with the live tail
+    }
+    if (size < pos_.offset + kFrameBytes) {
+      if (sealed) {
+        return Status::IOError(StrFormat(
+            "%s: torn record frame at offset %llu in a sealed segment",
+            WalPath(pos_.epoch).c_str(),
+            static_cast<unsigned long long>(pos_.offset)));
+      }
+      return std::optional<LogRecord>{};  // frame header still landing
+    }
+
+    char frame[kFrameBytes];
+    if (PreadFully(fd_, frame, kFrameBytes, pos_.offset) !=
+        static_cast<ssize_t>(kFrameBytes)) {
+      return Status::IOError(StrFormat("%s: pread: %s",
+                                       WalPath(pos_.epoch).c_str(),
+                                       std::strerror(errno)));
+    }
+    uint32_t len = ReadU32(frame);
+    uint32_t want_crc = ReadU32(frame + 4);
+    if (size < pos_.offset + kFrameBytes + len) {
+      if (sealed) {
+        return Status::IOError(StrFormat(
+            "%s: record at offset %llu extends past the end of a sealed "
+            "segment",
+            WalPath(pos_.epoch).c_str(),
+            static_cast<unsigned long long>(pos_.offset)));
+      }
+      return std::optional<LogRecord>{};  // payload still landing
+    }
+
+    LogRecord rec;
+    rec.payload.resize(len);
+    if (len > 0 && PreadFully(fd_, rec.payload.data(), len,
+                              pos_.offset + kFrameBytes) !=
+                       static_cast<ssize_t>(len)) {
+      return Status::IOError(StrFormat("%s: pread payload: %s",
+                                       WalPath(pos_.epoch).c_str(),
+                                       std::strerror(errno)));
+    }
+    if (Crc32(rec.payload) != want_crc) {
+      if (sealed) {
+        return Status::IOError(StrFormat(
+            "%s: corrupt record at offset %llu (CRC mismatch) in a sealed "
+            "segment",
+            WalPath(pos_.epoch).c_str(),
+            static_cast<unsigned long long>(pos_.offset)));
+      }
+      // A reader can observe a concurrent write(2) part-done: length
+      // words present, payload bytes still in flight. Not yet a record.
+      return std::optional<LogRecord>{};
+    }
+    rec.crc = want_crc;
+    pos_.offset += kFrameBytes + len;
+    rec.end = pos_;
+    return std::optional<LogRecord>(std::move(rec));
+  }
+}
+
+}  // namespace rulekit::storage

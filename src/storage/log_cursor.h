@@ -1,0 +1,91 @@
+#ifndef RULEKIT_STORAGE_LOG_CURSOR_H_
+#define RULEKIT_STORAGE_LOG_CURSOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "src/common/result.h"
+
+namespace rulekit::storage {
+
+/// A durable position in a store's commit log: byte `offset` inside the
+/// `wal-<epoch>` segment. Offsets point at record-frame boundaries; the
+/// smallest valid offset in any segment is the 8-byte file header.
+/// Positions order lexicographically — (epoch, offset) — which is also
+/// commit order, because the store rotates to epoch N+1 only after
+/// sealing epoch N.
+struct LogPosition {
+  uint64_t epoch = 0;
+  uint64_t offset = 0;
+
+  friend bool operator==(const LogPosition& a, const LogPosition& b) {
+    return a.epoch == b.epoch && a.offset == b.offset;
+  }
+  friend bool operator!=(const LogPosition& a, const LogPosition& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const LogPosition& a, const LogPosition& b) {
+    return std::tie(a.epoch, a.offset) < std::tie(b.epoch, b.offset);
+  }
+  friend bool operator<=(const LogPosition& a, const LogPosition& b) {
+    return !(b < a);
+  }
+};
+
+/// One commit record read off the log, with the position *after* it (the
+/// resume point once this record has been applied) and the CRC the
+/// primary wrote — shipped alongside the payload so a follower can
+/// re-verify end-to-end without trusting the TCP checksum.
+struct LogRecord {
+  std::string payload;
+  LogPosition end;
+  uint32_t crc = 0;
+};
+
+/// Incremental reader over a store directory's WAL chain. Unlike
+/// WriteAheadLog::Replay (whole-file, recovery-time), the cursor tails a
+/// *live* log: it reads complete CRC-valid records as they appear,
+/// reports "caught up" at a growing tail, and follows the epoch rotation
+/// a compaction performs. The shipper runs one cursor per follower.
+///
+/// Tail semantics: a record at the newest segment's tail that is still
+/// incomplete — short frame, short payload, or CRC mismatch (a reader
+/// can observe a concurrent write(2) part-done) — is "not yet", not
+/// corruption. The same bytes in a *sealed* segment (one whose successor
+/// exists; the store syncs and closes a log before rotating past it) are
+/// permanent damage and fail the read.
+///
+/// Not thread-safe; one cursor per consumer.
+class StoreLogCursor {
+ public:
+  /// `start.offset` of 0 is normalized to the first record of `start.epoch`.
+  StoreLogCursor(std::string dir, LogPosition start);
+  ~StoreLogCursor();
+
+  StoreLogCursor(const StoreLogCursor&) = delete;
+  StoreLogCursor& operator=(const StoreLogCursor&) = delete;
+
+  /// Next complete record at the cursor, or nullopt when caught up with
+  /// the live tail. NotFound means the position was compacted away
+  /// (retention deleted the segment) — the consumer must re-seed from a
+  /// snapshot; IOError means a sealed segment is damaged.
+  Result<std::optional<LogRecord>> Next();
+
+  LogPosition position() const { return pos_; }
+
+ private:
+  Status EnsureSegmentOpen();
+  bool SegmentExists(uint64_t epoch) const;
+  std::string WalPath(uint64_t epoch) const;
+  void CloseSegment();
+
+  std::string dir_;
+  LogPosition pos_;
+  int fd_ = -1;  // open read fd for wal-<pos_.epoch>, or -1
+};
+
+}  // namespace rulekit::storage
+
+#endif  // RULEKIT_STORAGE_LOG_CURSOR_H_

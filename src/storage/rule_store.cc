@@ -177,17 +177,28 @@ Result<std::unique_ptr<DurableRuleStore>> DurableRuleStore::Open(
 
 DurableRuleStore::~DurableRuleStore() {
   if (repo_ != nullptr) repo_->SetJournal(nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   wal_.Close();  // syncs
 }
 
 Status DurableRuleStore::OnCommit(const rules::CommitRecord& record) {
   Encoder enc;
   EncodeCommitRecord(record, enc);
-  std::lock_guard<std::mutex> lock(mu_);
-  RULEKIT_RETURN_IF_ERROR(wal_.Append(enc.data()));
-  if (options_.compact_wal_bytes > 0 &&
-      wal_.bytes() >= options_.compact_wal_bytes) {
+  {
+    // Shared: commits on disjoint shards run this hook concurrently, and
+    // the WAL coalesces them (one write+fsync per batch under kGroup).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    RULEKIT_RETURN_IF_ERROR(wal_.Append(enc.data()));
+    if (options_.compact_wal_bytes == 0 ||
+        wal_.bytes() < options_.compact_wal_bytes) {
+      return Status::OK();
+    }
+  }
+  // Compaction rotates the log and needs the store exclusively. Re-check
+  // the threshold once we hold it: a racing committer may have already
+  // compacted while we waited.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (wal_.bytes() >= options_.compact_wal_bytes) {
     // The append above already made this commit durable; a compaction
     // failure must not turn a durable commit into a reported failure.
     compaction_error_ = CompactLocked();
@@ -196,7 +207,7 @@ Status DurableRuleStore::OnCommit(const rules::CommitRecord& record) {
 }
 
 Status DurableRuleStore::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return CompactLocked();
 }
 
@@ -286,27 +297,32 @@ Status DurableRuleStore::CompactClosedLocked() {
 }
 
 Status DurableRuleStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return wal_.Sync();
 }
 
 bool DurableRuleStore::journal_live() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return wal_.is_open();
 }
 
 uint64_t DurableRuleStore::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return epoch_;
 }
 
 uint64_t DurableRuleStore::wal_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return wal_.bytes();
 }
 
+LogPosition DurableRuleStore::position() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return LogPosition{epoch_, wal_.bytes()};
+}
+
 Status DurableRuleStore::last_compaction_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return compaction_error_;
 }
 

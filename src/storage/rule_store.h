@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/result.h"
 #include "src/rules/dictionary_registry.h"
 #include "src/rules/repository.h"
+#include "src/storage/log_cursor.h"
 #include "src/storage/wal.h"
 
 namespace rulekit::storage {
@@ -59,10 +60,13 @@ struct RecoveryStats {
 /// after it fails recovery with the exact offset.
 ///
 /// Thread safety: the journal hook runs under the repository's shard
-/// locks and serializes on an internal mutex, so concurrent committers
-/// append in publication order. Compact() and Sync() take the same
-/// mutex. The store must outlive no one — it owns the repository; clear
-/// ownership is `store->repository()`.
+/// locks and takes a *shared* lock on the store, so committers touching
+/// disjoint shards reach the WAL concurrently — under
+/// FsyncPolicy::kGroup they batch into a single write+fsync (the WAL is
+/// internally synchronized). Compaction, Sync-after-severed-journal
+/// recovery, and Close take the lock exclusively. The store must outlive
+/// no one — it owns the repository; clear ownership is
+/// `store->repository()`.
 class DurableRuleStore {
  public:
   /// Opens (creating if needed) the store rooted at `dir` and recovers
@@ -96,8 +100,13 @@ class DurableRuleStore {
 
   const RecoveryStats& recovery_stats() const { return recovery_; }
   const std::string& dir() const { return dir_; }
+  const StoreOptions& options() const { return options_; }
   uint64_t epoch() const;
   uint64_t wal_bytes() const;
+  /// The current end of the commit log — every record committed so far
+  /// lies strictly before this position. A log shipper that has streamed
+  /// up to here has streamed everything.
+  LogPosition position() const;
   /// Last automatic-compaction failure, if any (a failed compaction
   /// never fails the commit that triggered it — the append already
   /// made the commit durable).
@@ -128,7 +137,9 @@ class DurableRuleStore {
   std::shared_ptr<rules::RuleRepository> repo_;
   RecoveryStats recovery_;
 
-  mutable std::mutex mu_;
+  // Shared: append path (the WAL serializes internally). Exclusive:
+  // compaction/rotation (wal_ is replaced), close, and epoch_ writes.
+  mutable std::shared_mutex mu_;
   WriteAheadLog wal_;          // guarded by mu_
   uint64_t epoch_ = 0;         // current WAL epoch, guarded by mu_
   uint64_t base_epoch_ = 0;    // newest snapshot epoch, guarded by mu_

@@ -4,9 +4,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "src/common/string_util.h"
 #include "src/storage/codec.h"
@@ -15,13 +18,9 @@ namespace rulekit::storage {
 
 namespace {
 
-// "RKWL" + format version, little-endian padded to 8 bytes. Version 2
-// added the tenant to every rule and commit record (multi-tenant
-// partitioning); v1 logs predate tenancy and need a text-format
-// re-export to migrate.
-constexpr char kMagic[8] = {'R', 'K', 'W', 'L', 2, 0, 0, 0};
-constexpr size_t kHeaderBytes = sizeof(kMagic);
-constexpr size_t kFrameBytes = 8;  // u32 length + u32 crc
+using wal_format::kFrameBytes;
+using wal_format::kHeaderBytes;
+using wal_format::kMagic;
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::IOError(
@@ -51,19 +50,58 @@ Status WriteFully(int fd, const char* data, size_t size,
   return Status::OK();
 }
 
+void AppendFrame(std::string& buf, std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>(len >> (8 * i)));
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>(crc >> (8 * i)));
+  buf.append(payload.data(), payload.size());
+}
+
 }  // namespace
+
+// One mutex serializes the file descriptor; under kGroup the leader
+// releases it for the write+fsync so arriving appenders can queue their
+// payloads instead of blocking behind the disk.
+struct WriteAheadLog::SyncState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  struct Waiter {
+    std::string_view payload;  // caller's buffer — alive while it waits
+    bool done = false;
+    Status status;
+  };
+  std::vector<Waiter*> queue;  // appenders waiting for the next batch
+  bool leader_active = false;  // a leader is writing outside the lock
+
+  // Stats (guarded by mu).
+  uint64_t syncs = 0;
+  uint64_t group_batches = 0;
+  uint64_t max_batch = 0;
+};
+
+WriteAheadLog::WriteAheadLog() = default;
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept {
+  *this = std::move(other);
+}
 
 WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
     path_ = std::move(other.path_);
-    bytes_ = other.bytes_;
+    bytes_.store(other.bytes_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     policy_ = other.policy_;
     fsync_interval_commits_ = other.fsync_interval_commits_;
     appends_since_sync_ = other.appends_since_sync_;
+    sync_ = std::move(other.sync_);
     other.fd_ = -1;
-    other.bytes_ = 0;
+    other.bytes_.store(0, std::memory_order_relaxed);
   }
   return *this;
 }
@@ -85,58 +123,168 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
   wal.policy_ = policy;
   wal.fsync_interval_commits_ =
       fsync_interval_commits == 0 ? 1 : fsync_interval_commits;
+  wal.sync_ = std::make_unique<SyncState>();
   if (size == 0) {
     Status st = WriteFully(fd, kMagic, kHeaderBytes, path);
     if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync failed", path);
     if (!st.ok()) return st;
-    wal.bytes_ = kHeaderBytes;
+    wal.bytes_.store(kHeaderBytes, std::memory_order_relaxed);
   } else {
-    wal.bytes_ = static_cast<uint64_t>(size);
+    wal.bytes_.store(static_cast<uint64_t>(size), std::memory_order_relaxed);
   }
   return wal;
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
-  if (fd_ < 0) {
+  if (fd_ < 0 || !sync_) {
     return Status::FailedPrecondition("WAL is closed: " + path_);
   }
   if (payload.size() > 0xFFFFFFFFull) {
     return Status::InvalidArgument("WAL record too large");
   }
+  if (policy_ == FsyncPolicy::kGroup) return AppendGroup(payload);
+  std::lock_guard<std::mutex> lk(sync_->mu);
+  return AppendLocked(payload);
+}
+
+Status WriteAheadLog::AppendLocked(std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL is closed: " + path_);
+  }
   std::string frame;
   frame.reserve(kFrameBytes + payload.size());
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  uint32_t crc = Crc32(payload);
-  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(len >> (8 * i)));
-  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(crc >> (8 * i)));
-  frame.append(payload.data(), payload.size());
+  AppendFrame(frame, payload);
   RULEKIT_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), frame.size(), path_));
-  bytes_ += frame.size();
+  bytes_.fetch_add(frame.size(), std::memory_order_acq_rel);
   ++appends_since_sync_;
   if (policy_ == FsyncPolicy::kEveryCommit ||
       appends_since_sync_ >= fsync_interval_commits_) {
-    return Sync();
+    return SyncLocked();
   }
   return Status::OK();
+}
+
+Status WriteAheadLog::AppendGroup(std::string_view payload) {
+  SyncState& s = *sync_;
+  std::unique_lock<std::mutex> lk(s.mu);
+  for (;;) {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("WAL is closed: " + path_);
+    }
+    if (!s.leader_active) {
+      // Lead: take everything queued so far plus our own payload, write
+      // it as one contiguous buffer, fsync once, and resolve the batch.
+      s.leader_active = true;
+      std::vector<SyncState::Waiter*> batch;
+      batch.swap(s.queue);
+      int fd = fd_;
+      const std::string path = path_;
+      lk.unlock();
+
+      std::string buf;
+      size_t total = kFrameBytes + payload.size();
+      for (const auto* w : batch) total += kFrameBytes + w->payload.size();
+      buf.reserve(total);
+      AppendFrame(buf, payload);
+      for (const auto* w : batch) AppendFrame(buf, w->payload);
+
+      Status st = WriteFully(fd, buf.data(), buf.size(), path);
+      if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync failed", path);
+
+      lk.lock();
+      if (st.ok()) {
+        bytes_.fetch_add(buf.size(), std::memory_order_acq_rel);
+      }
+      ++s.syncs;
+      ++s.group_batches;
+      uint64_t n = batch.size() + 1;
+      if (n > s.max_batch) s.max_batch = n;
+      for (auto* w : batch) {
+        w->done = true;
+        w->status = st;
+      }
+      s.leader_active = false;
+      s.cv.notify_all();
+      return st;
+    }
+    // A leader is writing: queue our payload for its successor (or for
+    // ourselves if we wake first and take the lead).
+    SyncState::Waiter w;
+    w.payload = payload;
+    s.queue.push_back(&w);
+    s.cv.wait(lk, [&] { return w.done || !s.leader_active; });
+    if (w.done) return w.status;
+    // The leader retired without taking us (we raced in after its
+    // snapshot). Remove ourselves and loop to lead the next batch —
+    // another waker may have already taken the queue, including us, in
+    // which case `done` would be set and we'd have returned above.
+    for (auto it = s.queue.begin(); it != s.queue.end(); ++it) {
+      if (*it == &w) {
+        s.queue.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 Status WriteAheadLog::Sync() {
   // A closed log cannot make anything durable — callers that reach here
   // (e.g. DurableRuleStore::Sync after a doubly-failed compaction severed
   // journaling) must hear about it, not get a silent OK.
+  if (fd_ < 0 || !sync_) {
+    return Status::FailedPrecondition("WAL is closed: " + path_);
+  }
+  std::unique_lock<std::mutex> lk(sync_->mu);
+  // Let any in-flight group batch land before syncing, so "Sync returned
+  // OK" covers every Append that returned before Sync was called.
+  sync_->cv.wait(lk, [&] { return !sync_->leader_active; });
+  return SyncLocked();
+}
+
+Status WriteAheadLog::SyncLocked() {
   if (fd_ < 0) {
     return Status::FailedPrecondition("WAL is closed: " + path_);
   }
-  appends_since_sync_ = 0;
   if (::fsync(fd_) != 0) return Errno("fsync failed", path_);
+  // Reset only after a *successful* fsync: a failed sync leaves the
+  // counter high so the next interval boundary retries instead of
+  // silently starting a fresh window over unsynced records.
+  appends_since_sync_ = 0;
+  ++sync_->syncs;
   return Status::OK();
 }
 
 void WriteAheadLog::Close() {
   if (fd_ < 0) return;
-  (void)Sync();
+  if (sync_) {
+    std::unique_lock<std::mutex> lk(sync_->mu);
+    sync_->cv.wait(lk, [&] { return !sync_->leader_active; });
+    (void)SyncLocked();
+    ::close(fd_);
+    fd_ = -1;
+    sync_->cv.notify_all();
+    return;
+  }
   ::close(fd_);
   fd_ = -1;
+}
+
+uint64_t WriteAheadLog::sync_count() const {
+  if (!sync_) return 0;
+  std::lock_guard<std::mutex> lk(sync_->mu);
+  return sync_->syncs;
+}
+
+uint64_t WriteAheadLog::group_batches() const {
+  if (!sync_) return 0;
+  std::lock_guard<std::mutex> lk(sync_->mu);
+  return sync_->group_batches;
+}
+
+uint64_t WriteAheadLog::max_group_batch() const {
+  if (!sync_) return 0;
+  std::lock_guard<std::mutex> lk(sync_->mu);
+  return sync_->max_batch;
 }
 
 Status WriteAheadLog::Replay(

@@ -1,8 +1,10 @@
 #ifndef RULEKIT_STORAGE_WAL_H_
 #define RULEKIT_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -19,7 +21,23 @@ enum class FsyncPolicy {
                  // any crash
   kInterval,     // fsync every `fsync_interval_commits` appends — commits
                  // in the unsynced window may be lost (never corrupted)
+  kGroup,        // group commit: concurrent appenders batch into a single
+                 // write+fsync (one thread leads, the rest resolve on the
+                 // shared sync) — per-commit durability at a fraction of
+                 // the per-commit fsync cost under multi-writer load
 };
+
+/// WAL file-format constants, shared between the writer (wal.cc), the
+/// recovery replayer, and the incremental segment cursor
+/// (log_cursor.cc). "RKWL" + format version, little-endian padded to 8
+/// bytes. Version 2 added the tenant to every rule and commit record
+/// (multi-tenant partitioning); v1 logs predate tenancy and need a
+/// text-format re-export to migrate.
+namespace wal_format {
+inline constexpr char kMagic[8] = {'R', 'K', 'W', 'L', 2, 0, 0, 0};
+inline constexpr size_t kHeaderBytes = sizeof(kMagic);
+inline constexpr size_t kFrameBytes = 8;  // u32 length + u32 crc
+}  // namespace wal_format
 
 /// What replay found in one log file.
 struct WalReplayStats {
@@ -36,12 +54,20 @@ struct WalReplayStats {
 /// length field bounds the read; the CRC decides whether the bytes that
 /// arrived are the bytes that were written. A record is the unit of
 /// atomicity: recovery either replays all of it or none of it.
+///
+/// Append/Sync are internally synchronized: concurrent appenders may
+/// call Append on one log object without external locking. Under
+/// FsyncPolicy::kGroup the first appender to arrive becomes the batch
+/// leader, queued appenders hand it their payloads, and the leader
+/// writes the whole batch with one write(2) + one fsync; everyone's
+/// Append resolves with the shared sync status. Close() and move
+/// assignment must still be externally quiesced (no in-flight Appends).
 class WriteAheadLog {
  public:
-  WriteAheadLog() = default;
-  ~WriteAheadLog() { Close(); }
+  WriteAheadLog();
+  ~WriteAheadLog();  // closes (SyncState is complete only in wal.cc)
 
-  WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
   WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
@@ -53,21 +79,30 @@ class WriteAheadLog {
                                     FsyncPolicy policy,
                                     size_t fsync_interval_commits = 64);
 
-  /// Appends one framed record and applies the fsync policy. The write
-  /// is a single write(2) call, so concurrent appends through one log
-  /// object must be externally serialized (DurableRuleStore holds a
-  /// mutex across Append).
+  /// Appends one framed record and applies the fsync policy. Safe to
+  /// call from multiple threads; under kGroup concurrent calls coalesce
+  /// into one write+fsync.
   Status Append(std::string_view payload);
 
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
-  /// Closes the file (syncing first); further Appends fail.
+  /// Closes the file (syncing any unsynced tail first — interval-mode
+  /// records appended since the last boundary are flushed, not lost);
+  /// further Appends fail.
   void Close();
 
   bool is_open() const { return fd_ >= 0; }
-  uint64_t bytes() const { return bytes_; }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_acquire); }
   const std::string& path() const { return path_; }
+
+  /// Observability for the group-commit path: total fsync(2) calls,
+  /// total leader-led batches, and the largest batch so far. In kGroup
+  /// mode `records appended / sync_count()` is the effective batching
+  /// factor.
+  uint64_t sync_count() const;
+  uint64_t group_batches() const;
+  uint64_t max_group_batch() const;
 
   /// Reads `path` and invokes `fn` with each record's payload in order.
   ///
@@ -88,12 +123,20 @@ class WriteAheadLog {
                        bool truncate_torn_tail = true);
 
  private:
+  struct SyncState;  // mutex/cv + group-commit queue, heap-allocated so
+                     // the log object stays movable
+
+  Status AppendLocked(std::string_view payload);
+  Status AppendGroup(std::string_view payload);
+  Status SyncLocked();
+
   int fd_ = -1;
   std::string path_;
-  uint64_t bytes_ = 0;
+  std::atomic<uint64_t> bytes_{0};
   FsyncPolicy policy_ = FsyncPolicy::kEveryCommit;
   size_t fsync_interval_commits_ = 64;
   size_t appends_since_sync_ = 0;
+  std::unique_ptr<SyncState> sync_;
 };
 
 }  // namespace rulekit::storage

@@ -1,5 +1,5 @@
 // Concurrency tests for the snapshot-isolated serving core: parallel
-// ProcessBatch must be byte-identical to the sequential path, and rule
+// batch classification must be byte-identical to the sequential path, and rule
 // maintenance (AddRules / ScaleDownType / Memoize / RetrainLearning) must
 // never block or corrupt in-flight classification. Run these under
 // -DRULEKIT_SANITIZE=thread to verify the reader/writer protocol is
@@ -17,13 +17,19 @@
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
 #include "src/chimera/analyst.h"
 #include "src/chimera/pipeline.h"
 #include "src/data/catalog_generator.h"
+#include "src/replication/follower.h"
+#include "src/replication/shipper.h"
 #include "src/rules/rule_parser.h"
 #include "src/serving/client.h"
 #include "src/serving/server.h"
 #include "src/serving/wire.h"
+#include "src/storage/codec.h"
+#include "src/storage/rule_store.h"
 
 #include "tests/classify_shims.h"
 
@@ -83,7 +89,7 @@ void ExpectReportsEqual(const BatchReport& a, const BatchReport& b) {
   }
 }
 
-// The headline acceptance check: a 4-worker ProcessBatch over a 10k-item
+// The headline acceptance check: a 4-worker batch Classify over a 10k-item
 // synthetic catalog produces predictions and counters identical to the
 // single-threaded path.
 TEST(SnapshotServingTest, ParallelBatchIdenticalToSequentialOn10k) {
@@ -109,7 +115,7 @@ TEST(SnapshotServingTest, ParallelBatchIdenticalToSequentialOn10k) {
   ExpectReportsEqual(seq_report, par_report);
 }
 
-// ProcessBatch agrees with the per-item Classify path (same snapshot).
+// Batch classification agrees with the per-item path (same snapshot).
 TEST(SnapshotServingTest, BatchAgreesWithPerItemClassify) {
   Corpus corpus(2000);
   PipelineConfig config;
@@ -144,7 +150,7 @@ TEST(SnapshotServingTest, WritersBumpSnapshotVersion) {
   EXPECT_EQ(ClassifyOne(pipeline, item).value_or(""), "books");
 }
 
-// The stress test from the issue: N threads run ProcessBatch in a loop
+// The stress test from the issue: N threads run batch Classify in a loop
 // while another thread interleaves AddRules / ScaleDownType / ScaleUpType
 // / Memoize / RetrainLearning. Every in-flight report must stay
 // internally consistent (counters partition the batch), and once writers
@@ -417,7 +423,7 @@ TEST(ShardedServingTest, MultiWriterDisjointShardsStress) {
   }
 }
 
-// The hot-result cache under fire: readers hammer ProcessBatch (warming
+// The hot-result cache under fire: readers hammer batch Classify (warming
 // and hitting the cache) while writers interleave every invalidation
 // source — AddRules, ScaleDownType/ScaleUpType, RetrainLearning, Memoize.
 // Every report must keep the counter partition (cache hits count as
@@ -872,6 +878,101 @@ TEST(ServingConcurrencyTest, ServerUnderRuleChurnAndRetrainStaysCoherent) {
         << "item " << i;
   }
   server.Stop();
+}
+
+// A follower streams the primary's commit log while writers churn rules
+// and background retrains publish — the apply path (ApplyReplicated ->
+// Replay -> RepublishAll) races the follower's own serving reads, and
+// the shipper's per-follower cursor races the primary's journal
+// appends. TSan runs this tier; the invariant checked after quiesce is
+// byte-identical rule state.
+TEST(ReplicationConcurrencyTest, StreamingUnderChurnConvergesByteIdentically) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "rulekit_replication_churn";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Corpus corpus(400, 31, 12);
+  PipelineConfig primary_config;
+  primary_config.storage_dir = dir.string();
+  ChimeraPipeline primary(primary_config);
+  ASSERT_TRUE(primary.storage_status().ok());
+  Provision(primary, corpus);
+
+  replication::LogShipper shipper(*primary.storage(), {});
+  ASSERT_TRUE(shipper.Start().ok());
+
+  replication::FollowerConfig follower_config;
+  follower_config.primary_port = shipper.port();
+  follower_config.pipeline.use_learning = false;
+  auto follower = replication::ReplicaFollower::Open(follower_config);
+  ASSERT_TRUE(follower.ok()) << follower.status().message();
+  (*follower)->Start();
+
+  // Writers churn the primary's rules while the stream is live.
+  constexpr int kWriters = 2;
+  constexpr int kRoundsPerWriter = 25;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const auto& specs = corpus.gen->specs();
+      for (int round = 0; round < kRoundsPerWriter; ++round) {
+        auto rule = rules::Rule::Whitelist(
+            "churn-" + std::to_string(w) + "-" + std::to_string(round),
+            "(qqq|replchurn)[a-z]*" + std::to_string(w * 100 + round),
+            specs[(w + round) % specs.size()].name);
+        ASSERT_TRUE(rule.ok());
+        ASSERT_TRUE(primary.AddRules({*rule}, "writer").ok());
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Retrains run on the primary concurrently (learned state does not
+  // replicate; the race under test is retrain commits vs the journal
+  // tail the shipper's cursor is reading).
+  std::thread retrainer([&] {
+    for (int i = 0; i < 6; ++i) {
+      primary.RequestRetrain().wait();
+      std::this_thread::yield();
+    }
+  });
+
+  // The follower serves reads the whole time — racing ApplyReplicated's
+  // snapshot republishes.
+  std::atomic<bool> stop_reading{false};
+  std::thread follower_reader([&] {
+    while (!stop_reading.load(std::memory_order_acquire)) {
+      BatchReport report = RunBatch((*follower)->pipeline(), corpus.items);
+      ASSERT_EQ(report.total, corpus.items.size());
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  retrainer.join();
+
+  // Quiesce: everything committed on the primary must arrive.
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.storage()->position(),
+                                           std::chrono::seconds(60)));
+  stop_reading.store(true, std::memory_order_release);
+  follower_reader.join();
+  (*follower)->Stop();
+  shipper.Stop();
+
+  auto state_bytes = [](const rules::RuleRepository& repo) {
+    Encoder enc;
+    storage::EncodePersistedState(repo.ExportState(), enc);
+    return enc.Release();
+  };
+  EXPECT_EQ(state_bytes(primary.repository()),
+            state_bytes((*follower)->pipeline().repository()));
+  EXPECT_TRUE((*follower)->stats().halt_error.empty());
+
+  // And the served answers agree.
+  BatchReport primary_rules_only = RunBatch(primary, corpus.items);
+  BatchReport follower_report = RunBatch((*follower)->pipeline(), corpus.items);
+  ASSERT_EQ(follower_report.total, primary_rules_only.total);
 }
 
 }  // namespace

@@ -1,0 +1,713 @@
+// Replication subsystem: group-commit WAL batching, interval-mode
+// close durability, the incremental segment cursor, the tenant peek,
+// wire-protocol round trips, and the end-to-end primary -> shipper ->
+// follower pipeline path — including tenant-scoped subscriptions,
+// CRC-mismatch (torn-on-the-wire) rejection, follower crash/restart
+// resume from the mirror log, read-only edit refusal, and replay-lag
+// monitoring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/replication/follower.h"
+#include "src/replication/protocol.h"
+#include "src/replication/shipper.h"
+#include "src/rules/rule_parser.h"
+#include "src/serving/client.h"
+#include "src/serving/server.h"
+#include "src/serving/wire.h"
+#include "src/storage/codec.h"
+#include "src/storage/log_cursor.h"
+#include "src/storage/rule_store.h"
+#include "src/storage/wal.h"
+
+#include "tests/classify_shims.h"
+
+namespace rulekit {
+namespace {
+
+namespace fs = std::filesystem;
+
+using chimera::ChimeraPipeline;
+using chimera::PipelineConfig;
+using replication::FollowerConfig;
+using replication::LogShipper;
+using replication::ReplicaFollower;
+using replication::ShipperConfig;
+using rules::CommitRecord;
+using rules::RuleRepository;
+using storage::Crc32;
+using storage::Decoder;
+using storage::DurableRuleStore;
+using storage::Encoder;
+using storage::FsyncPolicy;
+using storage::LogPosition;
+using storage::StoreLogCursor;
+using storage::WriteAheadLog;
+
+constexpr auto kWait = std::chrono::seconds(10);
+
+std::string ScratchDir(const std::string& suffix = {}) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 (std::string("rulekit_replication_") + info->name() + suffix);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string StateBytes(const RuleRepository& repo) {
+  Encoder enc;
+  storage::EncodePersistedState(repo.ExportState(), enc);
+  return enc.Release();
+}
+
+void AddRules(ChimeraPipeline& pipeline, const std::string& dsl,
+              const rules::TenantId& tenant = {}) {
+  auto parsed = rules::ParseRules(dsl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "replication-test",
+                                tenant)
+                  .ok());
+}
+
+/// A primary pipeline journaling to `dir` with rule-only serving (no
+/// learning ensemble: learned state does not replicate, so byte-identity
+/// checks compare rule state only — by design).
+PipelineConfig PrimaryConfig(const std::string& dir) {
+  PipelineConfig config;
+  config.use_learning = false;
+  config.storage_dir = dir;
+  return config;
+}
+
+PipelineConfig FollowerPipelineConfig() {
+  PipelineConfig config;
+  config.use_learning = false;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit WAL.
+// ---------------------------------------------------------------------------
+
+TEST(GroupCommitTest, ConcurrentAppendersBatchIntoFewerSyncs) {
+  const std::string dir = ScratchDir();
+  const std::string path = (fs::path(dir) / "group.wal").string();
+  auto wal = WriteAheadLog::Open(path, FsyncPolicy::kGroup);
+  ASSERT_TRUE(wal.ok());
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> failures{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::string payload =
+            "rec-" + std::to_string(t) + "-" + std::to_string(i);
+        if (!wal->Append(payload).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0u);
+
+  // Every record survives, exactly once.
+  size_t records = 0;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](std::string_view) {
+                records++;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(records, kThreads * kPerThread);
+
+  // The whole point: fewer fsyncs than appends (leaders batched), and
+  // at least one multi-record batch under 8-way contention.
+  EXPECT_LE(wal->sync_count(), kThreads * kPerThread);
+  EXPECT_GT(wal->group_batches(), 0u);
+  wal->Close();
+}
+
+TEST(GroupCommitTest, SingleAppenderStillDurablePerCommit) {
+  const std::string dir = ScratchDir();
+  const std::string path = (fs::path(dir) / "solo.wal").string();
+  auto wal = WriteAheadLog::Open(path, FsyncPolicy::kGroup);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append("one").ok());
+  ASSERT_TRUE(wal->Append("two").ok());
+  // No batching partner: each append led its own batch and synced.
+  EXPECT_GE(wal->sync_count(), 2u);
+  wal->Close();
+  std::vector<std::string> seen;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](std::string_view p) {
+                seen.emplace_back(p);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two"}));
+}
+
+// The satellite-2 durability pin: interval-mode records appended since
+// the last sync boundary are flushed by Close(), not lost.
+TEST(WalIntervalTest, CloseFlushesUnsyncedTail) {
+  const std::string dir = ScratchDir();
+  const std::string path = (fs::path(dir) / "interval.wal").string();
+  {
+    auto wal = WriteAheadLog::Open(path, FsyncPolicy::kInterval,
+                                   /*fsync_interval_commits=*/1000);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->Append("tail-" + std::to_string(i)).ok());
+    }
+    // Well under the interval: nothing has hit an fsync boundary yet.
+    wal->Close();
+  }
+  size_t records = 0;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](std::string_view) {
+                records++;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(records, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Segment cursor.
+// ---------------------------------------------------------------------------
+
+TEST(LogCursorTest, IteratesAcrossSealedSegments) {
+  const std::string dir = ScratchDir();
+  {
+    auto w0 = WriteAheadLog::Open((fs::path(dir) / "wal-0").string(),
+                                  FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(w0.ok());
+    ASSERT_TRUE(w0->Append("a").ok());
+    ASSERT_TRUE(w0->Append("b").ok());
+    w0->Close();
+    auto w1 = WriteAheadLog::Open((fs::path(dir) / "wal-1").string(),
+                                  FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(w1.ok());
+    ASSERT_TRUE(w1->Append("c").ok());
+    w1->Close();
+  }
+  StoreLogCursor cursor(dir, LogPosition{0, 0});  // offset normalized to 8
+  std::vector<std::string> seen;
+  for (;;) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok()) << next.status().message();
+    if (!next->has_value()) break;
+    seen.push_back((**next).payload);
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b", "c"}));
+  // Caught up at the live tail of the newest segment.
+  EXPECT_EQ(cursor.position().epoch, 1u);
+
+  // New appends to the live segment become visible without re-opening.
+  {
+    auto w1 = WriteAheadLog::Open((fs::path(dir) / "wal-1").string(),
+                                  FsyncPolicy::kEveryCommit);
+    ASSERT_TRUE(w1.ok());
+    ASSERT_TRUE(w1->Append("d").ok());
+    w1->Close();
+  }
+  auto next = cursor.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((**next).payload, "d");
+}
+
+TEST(LogCursorTest, CompactedEpochIsNotFound) {
+  const std::string dir = ScratchDir();
+  auto w1 = WriteAheadLog::Open((fs::path(dir) / "wal-1").string(),
+                                FsyncPolicy::kEveryCommit);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w1->Append("x").ok());
+  w1->Close();
+  // Epoch 0 no longer exists while epoch 1 does: the position was
+  // compacted away and the reader must re-seed, not silently skip.
+  StoreLogCursor cursor(dir, LogPosition{0, 8});
+  auto next = cursor.Next();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(LogCursorTest, TornLiveTailMeansNotYet) {
+  const std::string dir = ScratchDir();
+  const std::string path = (fs::path(dir) / "wal-0").string();
+  auto wal = WriteAheadLog::Open(path, FsyncPolicy::kEveryCommit);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append("whole").ok());
+  wal->Close();
+  // Simulate a torn in-progress append: half a frame header at the tail.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "\x0b\x00";
+  }
+  StoreLogCursor cursor(dir, LogPosition{0, 8});
+  auto first = cursor.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((**first).payload, "whole");
+  // The torn tail of the LIVE segment is "not yet", not corruption —
+  // a concurrent write(2) may be mid-flight.
+  auto tail = cursor.Next();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_FALSE(tail->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Tenant peek + protocol codecs.
+// ---------------------------------------------------------------------------
+
+TEST(PeekTenantTest, ReadsTenantWithoutFullDecode) {
+  auto parsed = rules::ParseRules("whitelist r1: rings? => rings\n");
+  ASSERT_TRUE(parsed.ok());
+  CommitRecord record;
+  CommitRecord::Op op;
+  op.kind = CommitRecord::OpKind::kAdd;
+  op.rule = parsed->front();
+  record.ops.push_back(std::move(op));
+  record.entries.push_back(rules::AuditEntry{});
+  record.tenant = "acme";
+  Encoder enc;
+  storage::EncodeCommitRecord(record, enc);
+  auto tenant = storage::PeekCommitTenant(enc.data());
+  ASSERT_TRUE(tenant.ok()) << tenant.status().message();
+  EXPECT_EQ(*tenant, "acme");
+
+  record.tenant.clear();
+  Encoder enc2;
+  storage::EncodeCommitRecord(record, enc2);
+  auto shared = storage::PeekCommitTenant(enc2.data());
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(*shared, "");
+}
+
+TEST(ProtocolTest, MessagesRoundTrip) {
+  replication::ReplicaSubscribe sub;
+  sub.position = LogPosition{3, 4096};
+  sub.tenants = {"a", "b"};
+  Encoder enc;
+  EncodeSubscribe(sub, enc);
+  auto sub2 = replication::DecodeSubscribe(enc.data());
+  ASSERT_TRUE(sub2.ok());
+  EXPECT_EQ(sub2->protocol_version, replication::kProtocolVersion);
+  EXPECT_EQ(sub2->position, sub.position);
+  EXPECT_EQ(sub2->tenants, sub.tenants);
+
+  replication::ReplicaSubscribeAck ack;
+  ack.code = serving::WireCode::kInvalidArgument;
+  ack.message = "nope";
+  ack.position = LogPosition{1, 8};
+  Encoder enc2;
+  EncodeSubscribeAck(ack, enc2);
+  auto ack2 = replication::DecodeSubscribeAck(enc2.data());
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_EQ(ack2->code, ack.code);
+  EXPECT_EQ(ack2->message, "nope");
+  EXPECT_EQ(ack2->position, ack.position);
+
+  replication::ReplicaRecord rec;
+  rec.end = LogPosition{2, 96};
+  rec.ship_unix_ms = 1234567;
+  rec.payload = "payload-bytes";
+  rec.crc = Crc32(rec.payload);
+  Encoder enc3;
+  EncodeRecord(rec, enc3);
+  auto rec2 = replication::DecodeRecord(enc3.data());
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec2->end, rec.end);
+  EXPECT_EQ(rec2->ship_unix_ms, rec.ship_unix_ms);
+  EXPECT_EQ(rec2->crc, rec.crc);
+  EXPECT_EQ(rec2->payload, rec.payload);
+
+  replication::ReplicaHeartbeat hb;
+  hb.end = LogPosition{5, 800};
+  hb.ship_unix_ms = 42;
+  Encoder enc4;
+  EncodeHeartbeat(hb, enc4);
+  auto hb2 = replication::DecodeHeartbeat(enc4.data());
+  ASSERT_TRUE(hb2.ok());
+  EXPECT_EQ(hb2->end, hb.end);
+
+  replication::ReplicaAck rack;
+  rack.position = LogPosition{5, 800};
+  Encoder enc5;
+  EncodeAck(rack, enc5);
+  auto rack2 = replication::DecodeAck(enc5.data());
+  ASSERT_TRUE(rack2.ok());
+  EXPECT_EQ(rack2->position, rack.position);
+}
+
+TEST(ProtocolTest, TrailingBytesRejected) {
+  replication::ReplicaAck ack;
+  ack.position = LogPosition{1, 8};
+  Encoder enc;
+  EncodeAck(ack, enc);
+  std::string bytes(enc.data());
+  bytes.push_back('x');
+  EXPECT_FALSE(replication::DecodeAck(bytes).ok());
+}
+
+TEST(ProtocolTest, EditFramesRoundTrip) {
+  serving::WireRuleEditRequest request;
+  request.request_id = 7;
+  request.tenant = "acme";
+  request.author = "analyst";
+  request.op = serving::EditOp::kSetConfidence;
+  request.rule_id = "r1";
+  request.confidence = 0.75;
+  request.detail = "tuning";
+  Encoder enc;
+  EncodeEditRequestPayload(request, enc);
+  auto decoded = serving::DecodeEditRequestPayload(enc.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_EQ(decoded->tenant, "acme");
+  EXPECT_EQ(decoded->op, serving::EditOp::kSetConfidence);
+  EXPECT_EQ(decoded->rule_id, "r1");
+  EXPECT_DOUBLE_EQ(decoded->confidence, 0.75);
+
+  serving::WireRuleEditResponse response;
+  response.request_id = 7;
+  response.code = serving::WireCode::kReadOnly;
+  response.message = "replica";
+  Encoder enc2;
+  EncodeEditResponsePayload(response, enc2);
+  auto decoded2 = serving::DecodeEditResponsePayload(enc2.data());
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2->code, serving::WireCode::kReadOnly);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: primary -> shipper -> follower.
+// ---------------------------------------------------------------------------
+
+struct PrimaryHarness {
+  explicit PrimaryHarness(const std::string& dir,
+                          ShipperConfig shipper_config = {})
+      : pipeline(PrimaryConfig(dir)) {
+    EXPECT_TRUE(pipeline.storage_status().ok());
+    shipper = std::make_unique<LogShipper>(*pipeline.storage(),
+                                           shipper_config);
+    EXPECT_TRUE(shipper->Start().ok());
+  }
+  ~PrimaryHarness() { shipper->Stop(); }
+
+  LogPosition position() const { return pipeline.storage()->position(); }
+
+  ChimeraPipeline pipeline;
+  std::unique_ptr<LogShipper> shipper;
+};
+
+TEST(ReplicationEndToEndTest, FollowerConvergesByteIdentically) {
+  PrimaryHarness primary(ScratchDir());
+  AddRules(primary.pipeline,
+           "whitelist r1: rings? => rings\n"
+           "blacklist b1: toe rings? => rings\n");
+
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.pipeline = FollowerPipelineConfig();
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok()) << follower.status().message();
+  (*follower)->Start();
+
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+
+  // More commits after the follower attached stream incrementally.
+  AddRules(primary.pipeline, "whitelist r2: necklaces? => necklaces\n");
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+
+  EXPECT_EQ(StateBytes(primary.pipeline.repository()),
+            StateBytes((*follower)->pipeline().repository()));
+
+  // And the served answers agree byte for byte.
+  std::vector<data::ProductItem> items = {
+      data::ProductItem{"1", "gold rings", {}},
+      data::ProductItem{"2", "toe rings", {}},
+      data::ProductItem{"3", "silver necklaces", {}},
+      data::ProductItem{"4", "unrelated widget", {}},
+  };
+  auto primary_report = chimera::RunBatch(primary.pipeline, items);
+  auto follower_report = chimera::RunBatch((*follower)->pipeline(), items);
+  EXPECT_EQ(primary_report.predictions, follower_report.predictions);
+
+  auto stats = (*follower)->stats();
+  EXPECT_TRUE(stats.connected);
+  EXPECT_GE(stats.records_applied, 2u);
+  EXPECT_TRUE(stats.halt_error.empty());
+  (*follower)->Stop();
+}
+
+TEST(ReplicationEndToEndTest, TenantScopedSubscriptionFilters) {
+  PrimaryHarness primary(ScratchDir());
+  AddRules(primary.pipeline, "whitelist shared1: rings? => rings\n");
+  AddRules(primary.pipeline, "whitelist a1: gizmos? => gizmo\n",
+           rules::TenantId("a"));
+  AddRules(primary.pipeline, "whitelist b1: widgets? => widget\n",
+           rules::TenantId("b"));
+
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.tenants = {"a"};
+  config.pipeline = FollowerPipelineConfig();
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok());
+  (*follower)->Start();
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+
+  const auto& rules = (*follower)->pipeline().rule_set();
+  EXPECT_NE(rules.Find("shared1"), nullptr);  // "" ships to everyone
+  EXPECT_NE(rules.Find("a1"), nullptr);       // subscribed tenant
+  EXPECT_EQ(rules.Find("b1"), nullptr);       // filtered at the source
+
+  auto shipper_stats = primary.shipper->stats();
+  EXPECT_GE(shipper_stats.records_filtered, 1u);
+  (*follower)->Stop();
+}
+
+TEST(ReplicationEndToEndTest, FollowerCrashRestartResumesFromMirror) {
+  const std::string primary_dir = ScratchDir("_p");
+  const std::string mirror_dir = ScratchDir("_m");
+  PrimaryHarness primary(primary_dir);
+  AddRules(primary.pipeline, "whitelist r1: rings? => rings\n");
+
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.mirror_dir = mirror_dir;
+  config.pipeline = FollowerPipelineConfig();
+  {
+    auto follower = ReplicaFollower::Open(config);
+    ASSERT_TRUE(follower.ok());
+    (*follower)->Start();
+    ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+    // "Kill" mid-stream: Stop() + destruction. The mirror retains the
+    // applied records.
+    (*follower)->Stop();
+  }
+
+  // The primary moves on while the follower is down.
+  AddRules(primary.pipeline, "whitelist r2: necklaces? => necklaces\n");
+
+  auto restarted = ReplicaFollower::Open(config);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().message();
+  // Mirror recovery alone restored the pre-crash state (r1 but not r2).
+  EXPECT_NE((*restarted)->pipeline().rule_set().Find("r1"), nullptr);
+  EXPECT_EQ((*restarted)->pipeline().rule_set().Find("r2"), nullptr);
+  EXPECT_GT((*restarted)->position().offset, storage::wal_format::kHeaderBytes);
+
+  (*restarted)->Start();
+  ASSERT_TRUE((*restarted)->WaitForPosition(primary.position(), kWait));
+  EXPECT_EQ(StateBytes(primary.pipeline.repository()),
+            StateBytes((*restarted)->pipeline().repository()));
+  // Resume was incremental: the restarted session did not re-apply r1's
+  // record (it was recovered from the mirror, then streaming continued
+  // from that position).
+  EXPECT_LE((*restarted)->stats().records_applied, 1u);
+  (*restarted)->Stop();
+}
+
+// A fake primary that serves the handshake, then ships one record whose
+// CRC does not match its bytes — the follower must reject it (count a
+// mismatch, apply nothing) rather than let a torn frame reach Replay.
+TEST(ReplicationEndToEndTest, CorruptRecordOnWireIsRejected) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread fake_primary([listen_fd] {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    auto frame = serving::ReadFrame(fd);
+    if (!frame.ok()) {
+      ::close(fd);
+      return;
+    }
+    replication::ReplicaSubscribeAck ack;
+    ack.code = serving::WireCode::kOk;
+    ack.position = LogPosition{0, 8};
+    Encoder enc;
+    EncodeSubscribeAck(ack, enc);
+    (void)serving::WriteFrame(fd, serving::FrameType::kReplicaSubscribeAck,
+                              enc.data());
+    replication::ReplicaRecord rec;
+    rec.end = LogPosition{0, 100};
+    rec.payload = "these bytes were torn in flight";
+    rec.crc = Crc32("the bytes the primary meant to send");
+    Encoder enc2;
+    EncodeRecord(rec, enc2);
+    (void)serving::WriteFrame(fd, serving::FrameType::kReplicaRecord,
+                              enc2.data());
+    // Leave the socket open; the follower disconnects on the mismatch.
+    char buf[16];
+    (void)::read(fd, buf, sizeof(buf));
+    ::close(fd);
+  });
+
+  FollowerConfig config;
+  config.primary_port = port;
+  config.pipeline = FollowerPipelineConfig();
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok());
+  (*follower)->Start();
+
+  auto deadline = std::chrono::steady_clock::now() + kWait;
+  while ((*follower)->stats().crc_mismatches == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto stats = (*follower)->stats();
+  EXPECT_GE(stats.crc_mismatches, 1u);
+  EXPECT_EQ(stats.records_applied, 0u);  // the torn record never applied
+  EXPECT_EQ(stats.position.offset, 8u);  // position did not advance past it
+  (*follower)->Stop();
+  ::shutdown(listen_fd, SHUT_RDWR);
+  fake_primary.join();
+  ::close(listen_fd);
+}
+
+TEST(ReplicationEndToEndTest, ReadOnlyServerRefusesEditsPrimaryApplies) {
+  PrimaryHarness primary(ScratchDir());
+
+  serving::ServerConfig primary_server_config;
+  primary_server_config.writer = &primary.pipeline;
+  serving::RuleServer primary_server(primary.pipeline, primary_server_config);
+  ASSERT_TRUE(primary_server.Start().ok());
+
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.pipeline = FollowerPipelineConfig();
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok());
+  (*follower)->Start();
+
+  // Follower front-end: no writer — a read-only replica.
+  serving::RuleServer replica_server((*follower)->pipeline(), {});
+  ASSERT_TRUE(replica_server.Start().ok());
+
+  serving::WireRuleEditRequest edit;
+  edit.request_id = 1;
+  edit.author = "analyst";
+  edit.op = serving::EditOp::kAddRules;
+  edit.rule_dsl = "whitelist wire1: rings? => rings\n";
+
+  // The replica refuses with the typed kReadOnly code.
+  {
+    auto client = serving::RuleClient::Connect(replica_server.port());
+    ASSERT_TRUE(client.ok());
+    auto response = client->CallEdit(edit);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_EQ(response->code, serving::WireCode::kReadOnly);
+  }
+  EXPECT_EQ((*follower)->pipeline().rule_set().Find("wire1"), nullptr);
+  EXPECT_EQ(replica_server.stats().edits_refused_readonly, 1u);
+
+  // The primary applies the same edit — and it replicates to the
+  // follower like any local mutation.
+  {
+    auto client = serving::RuleClient::Connect(primary_server.port());
+    ASSERT_TRUE(client.ok());
+    auto response = client->CallEdit(edit);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, serving::WireCode::kOk);
+    EXPECT_EQ(response->rules_added, 1u);
+  }
+  EXPECT_NE(primary.pipeline.rule_set().Find("wire1"), nullptr);
+  EXPECT_EQ(primary_server.stats().edits_applied, 1u);
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+  EXPECT_NE((*follower)->pipeline().rule_set().Find("wire1"), nullptr);
+
+  replica_server.Stop();
+  primary_server.Stop();
+  (*follower)->Stop();
+}
+
+TEST(ReplicationEndToEndTest, ReplayLagRecordedInMonitor) {
+  chimera::QualityMonitor monitor;
+  PrimaryHarness primary(ScratchDir());
+  AddRules(primary.pipeline, "whitelist r1: rings? => rings\n");
+
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.pipeline = FollowerPipelineConfig();
+  config.monitor = &monitor;
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok());
+  (*follower)->Start();
+  ASSERT_TRUE((*follower)->WaitForPosition(primary.position(), kWait));
+  (*follower)->Stop();
+
+  auto history = monitor.replication_history();
+  ASSERT_FALSE(history.empty());
+  size_t applied = 0;
+  for (const auto& activity : history) applied += activity.records_applied;
+  EXPECT_GE(applied, 1u);
+  // Applied-through position landed in the last observation.
+  EXPECT_GT(history.back().offset, 0u);
+  EXPECT_GE((*follower)->stats().last_lag_ms, 0.0);
+}
+
+TEST(ReplicationEndToEndTest, CompactedResumePositionIsRefused) {
+  const std::string dir = ScratchDir();
+  PrimaryHarness primary(dir);
+  AddRules(primary.pipeline, "whitelist r1: rings? => rings\n");
+  // Compact twice: epoch 0's log is gone, history now starts at the
+  // snapshot.
+  ASSERT_TRUE(primary.pipeline.storage()->Compact().ok());
+  AddRules(primary.pipeline, "whitelist r2: necklaces? => necklaces\n");
+  ASSERT_TRUE(primary.pipeline.storage()->Compact().ok());
+  ASSERT_FALSE(fs::exists(fs::path(dir) / "wal-0"));
+
+  // A follower resuming from epoch 0 is refused (it must re-seed) —
+  // the subscription fails rather than silently skipping history.
+  FollowerConfig config;
+  config.primary_port = primary.shipper->port();
+  config.pipeline = FollowerPipelineConfig();
+  auto follower = ReplicaFollower::Open(config);
+  ASSERT_TRUE(follower.ok());
+  (*follower)->Start();
+  auto deadline = std::chrono::steady_clock::now() + kWait;
+  while ((*follower)->stats().connect_failures == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE((*follower)->stats().connect_failures, 1u);
+  EXPECT_EQ((*follower)->stats().records_applied, 0u);
+  EXPECT_GE(primary.shipper->stats().subscriptions_refused, 1u);
+  (*follower)->Stop();
+}
+
+TEST(ReplicationEndToEndTest, FollowerRejectsOwnStorageDir) {
+  FollowerConfig config;
+  config.pipeline = FollowerPipelineConfig();
+  config.pipeline.storage_dir = ScratchDir();
+  auto follower = ReplicaFollower::Open(config);
+  EXPECT_FALSE(follower.ok());
+}
+
+}  // namespace
+}  // namespace rulekit

@@ -146,7 +146,7 @@ TEST(TenantPipelineTest, PerTenantCacheConfigOverride) {
 }
 
 // End-to-end eviction isolation: a noisy tenant streams hundreds of
-// distinct admitted titles through ProcessBatch — far past the shared
+// distinct admitted titles through batch Classify — far past the shared
 // capacity — and the quiet tenant's repeats still serve from its cache.
 TEST(TenantPipelineTest, QuietTenantHitsSurviveNoisyNeighbourFlood) {
   ChimeraPipeline pipeline(CachedConfig(/*capacity=*/64));
