@@ -18,6 +18,10 @@
 //   list                      print active rules
 //   history <id>              audit history of a rule
 //   subsumed                  run the subsumption advisor
+//   optimize [--dry-run]      plan (and, without --dry-run, apply) the
+//                             rule-set optimizer for the current tenant:
+//                             subsumption drops through one audited,
+//                             WAL-journaled transaction
 //   open <dir>                switch to a durable store (recovers state)
 //   status                    storage status (epoch, WAL size, recovery)
 //   compact                   force a snapshot + WAL rotation
@@ -44,6 +48,7 @@
 #include "src/replication/follower.h"
 #include "src/replication/shipper.h"
 #include "src/serving/server.h"
+#include "src/maint/optimizer.h"
 #include "src/maint/subsumption.h"
 #include "src/rules/rule_parser.h"
 
@@ -116,8 +121,8 @@ int main(int argc, char** argv) {
 
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
               "enable, retire,\nclassify, serve, replicate, follow, tenant, "
-              "tenants, list, history, subsumed,\nopen, status, compact, "
-              "save, load, quit\n",
+              "tenants, list, history, subsumed,\noptimize [--dry-run], open, "
+              "status, compact, save, load, quit\n",
               pipeline->rule_set().CountActive());
 
   // The session's tenant scope: edits and classifications run through
@@ -308,6 +313,38 @@ int main(int argc, char** argv) {
         std::printf("  %s subsumed by %s%s\n", f.subsumed.c_str(),
                     f.by.c_str(), f.equivalent ? " (equivalent)" : "");
       }
+    } else if (cmd == "optimize") {
+      // Plan against the session tenant's rules. The shell holds no
+      // reference corpus, so the corpus-dependent steps (merge, prune,
+      // re-bucket) stay idle here: this plans subsumption drops and
+      // applies them through the normal transactional commit path.
+      const bool dry_run = rest == "--dry-run";
+      if (!dry_run && !rest.empty()) {
+        std::printf("usage: optimize [--dry-run]\n");
+        continue;
+      }
+      maint::OptimizerOptions opt_options;
+      opt_options.tenant = scope;
+      auto plan = maint::PlanOptimization(pipeline->rule_set(), {},
+                                          opt_options);
+      std::printf("%s\n", plan.Summary().c_str());
+      for (const auto& d : plan.drops) {
+        std::printf("  retire %s (%s %s)\n", d.id.c_str(),
+                    d.equivalent ? "equivalent to" : "subsumed by",
+                    d.by.c_str());
+      }
+      if (dry_run || plan.empty()) {
+        std::printf(plan.empty() ? "nothing to do\n"
+                                 : "dry run — nothing applied\n");
+        continue;
+      }
+      Status st = pipeline->Mutate(
+          "shell-optimizer",
+          [&](rules::RuleTransaction& txn) {
+            return maint::StageOptimizationPlan(txn, plan);
+          },
+          scope);
+      std::printf("%s\n", st.ok() ? "applied" : st.ToString().c_str());
     } else if (cmd == "open") {
       auto reopened = MakePipeline(rest);
       if (reopened == nullptr) continue;  // keep the current pipeline

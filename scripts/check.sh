@@ -6,11 +6,15 @@
 #   scripts/check.sh plain               # just one (plain | asan | tsan)
 #   scripts/check.sh --labels stress     # only tests with a matching ctest
 #                                        # label (unit | stress | storage |
-#                                        # tenant | serving | replication)
+#                                        # tenant | serving | replication |
+#                                        # optimizer)
 #   scripts/check.sh tsan --labels 'stress|storage'
 #   scripts/check.sh tsan --labels 'replication|stress'  # the replication
 #                                        # stream + concurrency tiers under
 #                                        # TSan (the races that matter most)
+#   scripts/check.sh tsan --labels optimizer  # optimize-while-serving race
+#                                        # check (the concurrency test is
+#                                        # dual-labeled optimizer+stress)
 #   scripts/check.sh --timeout 120      # per-test seconds, overriding the
 #                                        # TIMEOUT each test registers
 #   CHECK_JOBS=4 scripts/check.sh        # override parallelism

@@ -163,6 +163,24 @@ double QualityMonitor::CacheHitRate(const std::string& tenant,
   return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
 }
 
+double QualityMonitor::ExecutedRulesPerItem(const std::string& tenant,
+                                            size_t window) const {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  auto it = serving_history_.find(tenant);
+  if (it == serving_history_.end()) return 0.0;
+  const RingBuffer<ServingActivity>& buffer = it->second;
+  size_t begin = 0;
+  if (window != 0 && window < buffer.size()) {
+    begin = buffer.size() - window;
+  }
+  size_t executed = 0, items = 0;
+  for (size_t i = begin; i < buffer.size(); ++i) {
+    executed += buffer[i].rules_executed;
+    items += buffer[i].rule_items;
+  }
+  return items == 0 ? 0.0 : static_cast<double>(executed) / items;
+}
+
 bool QualityMonitor::DegradationAlarm(const std::string& tenant) const {
   const RingBuffer<BatchQuality>& buffer = history(tenant);
   if (buffer.empty()) return false;

@@ -46,6 +46,12 @@ struct ServingActivity {
   size_t deadline_sheds = 0;   // kDeadlineExceeded sheds since previous
   double queue_wait_ms = 0.0;  // oldest request's admission->dispatch wait
   double service_ms = 0.0;     // pipeline execution time
+  // Rule-execution cost of the dispatch (BatchReport::rules_executed /
+  // rule_items): regex evaluations performed over items that reached the
+  // rule executors. The serving-visible executed-rules-per-item signal
+  // the offline rule-set optimizer is judged by.
+  size_t rules_executed = 0;
+  size_t rule_items = 0;
 };
 
 /// One follower replay observation, as reported by the replication
@@ -158,6 +164,15 @@ class QualityMonitor {
     return CacheHitRate(std::string(), window);
   }
   double CacheHitRate(const std::string& tenant, size_t window) const;
+
+  /// Average regex evaluations per rule-executed item over the default
+  /// tenant's last `window` serving dispatches (all of them when
+  /// window == 0). 0.0 when no rule items were recorded.
+  double ExecutedRulesPerItem(size_t window = 0) const {
+    return ExecutedRulesPerItem(std::string(), window);
+  }
+  double ExecutedRulesPerItem(const std::string& tenant,
+                              size_t window) const;
 
   /// True if the default tenant's most recent batch precision point
   /// estimate is below threshold.

@@ -115,16 +115,19 @@ void ChimeraPipeline::RepublishShards(
       for (auto& [tenant, set] : tenant_sets) {
         ShardServing::TenantPartition partition;
         partition.rules = set;
-        partition.rule_classifier =
-            std::make_shared<engine::RuleBasedClassifier>(set);
+        partition.rule_classifier = std::make_shared<
+            engine::RuleBasedClassifier>(
+            set, engine::RuleClassifierOptions{
+                     .index_sample = config_.index_sample_titles});
         partition.attr_classifier =
             std::make_shared<engine::AttrValueClassifier>(set);
         partition.filter = std::make_shared<Filter>(set);
         serving->tenants.emplace(tenant, std::move(partition));
       }
     }
-    serving->rule_classifier =
-        std::make_shared<engine::RuleBasedClassifier>(shared_rules);
+    serving->rule_classifier = std::make_shared<engine::RuleBasedClassifier>(
+        shared_rules, engine::RuleClassifierOptions{
+                          .index_sample = config_.index_sample_titles});
     serving->attr_classifier =
         std::make_shared<engine::AttrValueClassifier>(shared_rules);
     serving->filter = std::make_shared<Filter>(shared_rules);
@@ -665,6 +668,8 @@ BatchReport ChimeraPipeline::RunBatch(
 
   // ---- Stage 2: regex rule matches, once per batch per shard -------------
   engine::ShardedExecution exec = rule_classifier->MatchBatch(pass_ptrs, pool);
+  report.rules_executed = exec.total_evaluations();
+  report.rule_items = pass_ptrs.size();
 
   // ---- Stage 3: voting (rule member scored from the stage-2 matches) -----
   std::vector<std::vector<ml::ScoredLabel>> rule_scored;

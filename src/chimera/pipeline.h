@@ -93,6 +93,13 @@ struct PipelineConfig {
     std::optional<RetrainPolicy> retrain;
   };
   std::map<std::string, TenantOverrides> tenants;
+  /// Optional title sample for corpus-aware rule-index builds, typically
+  /// the offline optimizer's `OptimizationPlan::index_sample`: every shard
+  /// republish re-buckets rules onto the required-literal set that is
+  /// rarest on these titles (see RuleIndex's corpus-aware Build).
+  /// Classification output is identical with or without it — only the
+  /// per-item candidate sets shrink. Null = structural index build.
+  std::shared_ptr<const std::vector<std::string>> index_sample_titles;
 };
 
 /// One shard's serving state, bound to one immutable shard snapshot: the

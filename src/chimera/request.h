@@ -35,6 +35,14 @@ struct BatchReport {
   size_t cache_promotions = 0;  // winners admitted into the cache
   size_t cache_evictions = 0;   // entries evicted to admit new winners
 
+  // Rule-execution cost for this batch: how many regex evaluations the
+  // rule executors actually performed (post-index pruning) over how many
+  // items reached them (items the gate keeper and hot cache did not
+  // absorb). The ratio is the §4 executed-rules-per-item optimization
+  // target; the offline rule-set optimizer exists to shrink it.
+  size_t rules_executed = 0;
+  size_t rule_items = 0;
+
   /// Final prediction per item (nullopt = unclassified).
   std::vector<std::optional<std::string>> predictions;
 
@@ -49,6 +57,14 @@ struct BatchReport {
   }
 
   double coverage() const { return ClassifiedFraction(); }
+
+  /// Average regex evaluations per item that reached the rule executors.
+  /// 0 when the whole batch was absorbed before rule execution.
+  double ExecutedRulesPerItem() const {
+    return rule_items == 0 ? 0.0
+                           : static_cast<double>(rules_executed) /
+                                 static_cast<double>(rule_items);
+  }
 };
 
 /// Per-request knobs, honored identically by the in-process entry point

@@ -1,6 +1,7 @@
 #include "src/engine/executor.h"
 
 #include <atomic>
+#include <utility>
 
 #include "src/common/stopwatch.h"
 
@@ -8,8 +9,14 @@ namespace rulekit::engine {
 
 RuleExecutor::RuleExecutor(const rules::RuleSet& set,
                            ExecutorOptions options)
-    : set_(set), options_(options) {
-  if (options_.use_index) index_.Build(set_);
+    : set_(set), options_(std::move(options)) {
+  if (options_.use_index) {
+    if (options_.index_sample != nullptr && !options_.index_sample->empty()) {
+      index_.Build(set_, {}, *options_.index_sample);
+    } else {
+      index_.Build(set_);
+    }
+  }
   const auto& all = set_.rules();
   for (size_t i = 0; i < all.size(); ++i) {
     const rules::Rule& r = all[i];

@@ -1,6 +1,8 @@
 #ifndef RULEKIT_ENGINE_EXECUTOR_H_
 #define RULEKIT_ENGINE_EXECUTOR_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -20,6 +22,11 @@ struct ExecutorOptions {
   /// one machine). Null = single-threaded. A per-call pool passed to
   /// Execute() takes precedence.
   ThreadPool* pool = nullptr;
+  /// Optional title sample for the corpus-aware index build (see
+  /// RuleIndex::Build's three-arg overload): rules are re-bucketed onto
+  /// their rarest required-literal set. Null/empty = structural build.
+  /// Shared so snapshot republishes don't copy the sample per shard.
+  std::shared_ptr<const std::vector<std::string>> index_sample;
 };
 
 /// Aggregate counters from one execution.

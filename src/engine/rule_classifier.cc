@@ -37,7 +37,8 @@ RuleBasedClassifier::RuleBasedClassifier(
 void RuleBasedClassifier::Rebuild() {
   executor_ = std::make_unique<RuleExecutor>(
       *rules_, ExecutorOptions{.use_index = options_.use_index,
-                               .pool = nullptr});
+                               .pool = nullptr,
+                               .index_sample = options_.index_sample});
 }
 
 void RuleBasedClassifier::AccumulateMatches(const std::vector<size_t>& matched,

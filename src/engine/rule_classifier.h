@@ -38,6 +38,10 @@ struct TypeProposals {
 struct RuleClassifierOptions {
   /// Prune candidate rules with the literal prefilter index.
   bool use_index = true;
+  /// Optional title sample for the corpus-aware index build (forwarded to
+  /// ExecutorOptions::index_sample). Output is identical either way; only
+  /// candidate-list sizes change.
+  std::shared_ptr<const std::vector<std::string>> index_sample;
 };
 
 /// Chimera's rule-based classifier (§3.3): whitelist rules propose types,

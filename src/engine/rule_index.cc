@@ -1,6 +1,8 @@
 #include "src/engine/rule_index.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "src/common/string_util.h"
 
@@ -29,6 +31,90 @@ void RuleIndex::Build(const rules::RuleSet& set,
     }
     for (const auto& lit : *literals) {
       automaton_.Add(lit, static_cast<uint32_t>(i));
+      ++stats_.literals;
+    }
+    ++stats_.indexed_rules;
+  }
+  automaton_.Build();
+  std::sort(always_check_.begin(), always_check_.end());
+}
+
+void RuleIndex::Build(const rules::RuleSet& set,
+                      const regex::AnalysisOptions& options,
+                      const std::vector<std::string>& sample_titles) {
+  if (sample_titles.empty()) {
+    Build(set, options);
+    return;
+  }
+  automaton_ = text::AhoCorasick();
+  always_check_.clear();
+  stats_ = RuleIndexStats{};
+
+  const auto& all = set.rules();
+  // Candidate literal sets per eligible rule, plus a probe id per distinct
+  // literal so one automaton pass over the sample prices all of them.
+  std::vector<std::pair<size_t, std::vector<std::vector<std::string>>>>
+      eligible;
+  std::map<std::string, uint32_t> literal_ids;
+  for (size_t i = 0; i < all.size(); ++i) {
+    const rules::Rule& rule = all[i];
+    if (!rule.is_active()) continue;
+    if (rule.kind() != rules::RuleKind::kWhitelist &&
+        rule.kind() != rules::RuleKind::kBlacklist) {
+      continue;
+    }
+    auto sets = regex::CandidateAlternativeSets(rule.pattern_regex()->ast(),
+                                                options);
+    if (!sets.ok()) {
+      always_check_.push_back(i);
+      ++stats_.unindexed_rules;
+      continue;
+    }
+    for (const auto& candidate : *sets) {
+      for (const auto& lit : candidate) {
+        literal_ids.emplace(lit, static_cast<uint32_t>(literal_ids.size()));
+      }
+    }
+    eligible.emplace_back(i, std::move(*sets));
+  }
+
+  // One pass over the sample: how many titles contain each literal.
+  text::AhoCorasick probe;
+  for (const auto& [lit, id] : literal_ids) probe.Add(lit, id);
+  probe.Build();
+  std::vector<size_t> title_hits(literal_ids.size(), 0);
+  std::string lowered;
+  std::vector<uint32_t> hits;
+  for (const auto& title : sample_titles) {
+    lowered = title;
+    ToLowerAsciiInPlace(lowered);
+    probe.CollectUnique(lowered, hits);
+    for (uint32_t id : hits) ++title_hits[id];
+  }
+
+  // Register, per rule, the candidate set that fires on the fewest sampled
+  // titles (summed per-literal counts — exact for disjoint literals, an
+  // upper bound otherwise). Set 0 is the structural default; ties keep it.
+  for (auto& [pos, sets] : eligible) {
+    auto cost = [&](const std::vector<std::string>& candidate) {
+      size_t total = 0;
+      for (const auto& lit : candidate) {
+        total += title_hits[literal_ids.at(lit)];
+      }
+      return total;
+    };
+    size_t best = 0;
+    size_t best_cost = cost(sets[0]);
+    for (size_t k = 1; k < sets.size(); ++k) {
+      size_t c = cost(sets[k]);
+      if (c < best_cost) {
+        best = k;
+        best_cost = c;
+      }
+    }
+    if (best != 0) ++stats_.rebucketed_rules;
+    for (const auto& lit : sets[best]) {
+      automaton_.Add(lit, static_cast<uint32_t>(pos));
       ++stats_.literals;
     }
     ++stats_.indexed_rules;

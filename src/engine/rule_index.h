@@ -18,6 +18,9 @@ struct RuleIndexStats {
   size_t indexed_rules = 0;    // rules reachable via literal prefilter
   size_t unindexed_rules = 0;  // rules that must always be evaluated
   size_t literals = 0;         // total prefilter literals registered
+  /// Corpus-aware builds only: rules whose chosen literal set differs from
+  /// the structural default because it is rarer on the sampled titles.
+  size_t rebucketed_rules = 0;
 };
 
 /// Maps a product title to the subset of regex rules that can possibly
@@ -34,6 +37,18 @@ class RuleIndex {
   /// whenever rules are added or their states change.
   void Build(const rules::RuleSet& set,
              const regex::AnalysisOptions& options = {});
+
+  /// Corpus-aware build (§4 "Rule Execution and Optimization", the
+  /// re-bucketing half): for each rule, enumerates every valid required-
+  /// literal set (regex::CandidateAlternativeSets — "usb.*cable" admits
+  /// both {"usb"} and {"cable"}) and registers the set whose literals are
+  /// rarest on `sample_titles`, so the rule lands in the bucket that
+  /// prunes best on real traffic. Matching behavior is identical to the
+  /// structural build — every candidate set is individually sound — only
+  /// the candidate-list sizes change. Falls back to the structural choice
+  /// on ties and when the sample is empty.
+  void Build(const rules::RuleSet& set, const regex::AnalysisOptions& options,
+             const std::vector<std::string>& sample_titles);
 
   /// Reusable per-caller buffers for the allocation-free Candidates
   /// overload. One Scratch per thread; it must not be shared.

@@ -1,0 +1,264 @@
+#include "src/maint/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/engine/executor.h"
+#include "src/engine/rule_index.h"
+#include "src/maint/consolidation.h"
+#include "src/maint/overlap.h"
+
+namespace rulekit::maint {
+
+namespace {
+
+bool IsRegexRule(const rules::Rule& rule) {
+  return rule.kind() == rules::RuleKind::kWhitelist ||
+         rule.kind() == rules::RuleKind::kBlacklist;
+}
+
+// Per-rule-id corpus coverage: one indexed executor run over the corpus.
+std::map<std::string, size_t> CorpusCoverage(
+    const rules::RuleSet& set, const std::vector<data::ProductItem>& corpus) {
+  std::map<std::string, size_t> coverage;
+  if (corpus.empty()) return coverage;
+  engine::RuleExecutor executor(set);
+  auto result = executor.Execute(corpus);
+  const auto& all = set.rules();
+  for (const auto& matched : result.matches_per_item) {
+    for (size_t idx : matched) coverage[all[idx].id()] += 1;
+  }
+  return coverage;
+}
+
+double MeanCandidates(const engine::RuleIndex& index,
+                      const std::vector<std::string>& titles) {
+  if (titles.empty()) return 0.0;
+  engine::RuleIndex::Scratch scratch;
+  std::vector<size_t> candidates;
+  size_t total = 0;
+  for (const auto& title : titles) {
+    index.Candidates(title, scratch, candidates);
+    total += candidates.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(titles.size());
+}
+
+std::string FormatScore(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string OptimizationPlan::Summary() const {
+  std::ostringstream out;
+  out << "optimization plan over " << rules_considered << " rules, "
+      << corpus_items << " corpus items: " << drops.size()
+      << " subsumption drops, " << merges.size() << " merges, "
+      << prunes.size() << " prunes";
+  if (prune_affected_items > 0) {
+    out << " (WARNING: prunes touch " << prune_affected_items
+        << " corpus items)";
+  }
+  out << "; scan checked " << subsumption.pairs_checked << " pairs ("
+      << subsumption.fast_path_hits << " fast-path, "
+      << subsumption.prefilter_refutations << " prefilter-refuted, "
+      << subsumption.skipped_pairs << " skipped of which "
+      << subsumption.anchored_pairs << " anchored)";
+  if (rebucket.sample_titles > 0) {
+    out << "; re-bucketing over " << rebucket.sample_titles
+        << " sampled titles moves " << rebucket.rebucketed_rules
+        << " rules, candidates/item " << rebucket.candidates_per_item_before
+        << " -> " << rebucket.candidates_per_item_after;
+  }
+  return out.str();
+}
+
+OptimizationPlan PlanOptimization(const rules::RuleSet& rules,
+                                  const std::vector<data::ProductItem>& corpus,
+                                  const OptimizerOptions& options) {
+  OptimizationPlan plan;
+  plan.corpus_items = corpus.size();
+
+  // Planning scope: the rules owned by options.tenant. Indices into
+  // `scoped` drive every analyzer below so one executor pass prices them
+  // all.
+  rules::RuleSet scoped;
+  for (const auto& rule : rules.rules()) {
+    if (rule.metadata().tenant != options.tenant.value()) continue;
+    (void)scoped.Add(rule);
+  }
+  for (const auto& rule : scoped.rules()) {
+    if (rule.is_active() && IsRegexRule(rule)) ++plan.rules_considered;
+  }
+
+  // ---- (a) subsumption drops --------------------------------------------
+  std::set<std::string> dropped;
+  if (options.drop_subsumed) {
+    plan.subsumption = FindSubsumedRules(scoped, options.subsumption);
+    for (const auto& finding : plan.subsumption.findings) {
+      std::string drop_id = finding.subsumed;
+      std::string keep_id = finding.by;
+      // Equivalent pair: deterministic tie-break, the lexicographically
+      // lowest id survives no matter which orientation the finding came
+      // in — so A == B can never schedule both for removal.
+      if (finding.equivalent && drop_id < keep_id) std::swap(drop_id, keep_id);
+      if (dropped.count(drop_id) != 0) continue;
+      // The keeper must itself survive the plan: a finding whose `by` is
+      // already scheduled for removal is skipped (safe — transitive
+      // subsumption re-finds it against the surviving cover next run).
+      if (dropped.count(keep_id) != 0) continue;
+      dropped.insert(drop_id);
+      plan.drops.push_back({drop_id, keep_id, finding.equivalent});
+    }
+  }
+
+  auto coverage = CorpusCoverage(scoped, corpus);
+  auto coverage_of = [&](const std::string& id) -> size_t {
+    auto it = coverage.find(id);
+    return it == coverage.end() ? 0 : it->second;
+  };
+
+  // ---- (b) merge overlapping pairs --------------------------------------
+  std::set<std::string> merge_used;
+  if (options.merge_overlapping && !corpus.empty()) {
+    auto overlaps =
+        FindOverlappingRules(scoped, corpus, options.merge_min_jaccard);
+    std::stable_sort(overlaps.begin(), overlaps.end(),
+                     [](const OverlapFinding& a, const OverlapFinding& b) {
+                       return a.jaccard > b.jaccard;
+                     });
+    for (const auto& finding : overlaps) {
+      if (dropped.count(finding.rule_a) || dropped.count(finding.rule_b)) {
+        continue;
+      }
+      if (merge_used.count(finding.rule_a) ||
+          merge_used.count(finding.rule_b)) {
+        continue;
+      }
+      const rules::Rule* a = scoped.Find(finding.rule_a);
+      const rules::Rule* b = scoped.Find(finding.rule_b);
+      if (a == nullptr || b == nullptr) continue;
+      double delta = a->metadata().confidence - b->metadata().confidence;
+      if (delta < 0) delta = -delta;
+      if (delta > options.merge_max_confidence_delta) continue;
+      std::string merged_id = finding.rule_a + "+" + finding.rule_b;
+      if (rules.Find(merged_id) != nullptr) continue;
+      auto merged = ConsolidateRules(*a, *b, merged_id);
+      if (!merged.ok()) continue;
+      merged->metadata().origin = rules::RuleOrigin::kCurated;
+      merged->metadata().tenant = options.tenant.value();
+      merge_used.insert(finding.rule_a);
+      merge_used.insert(finding.rule_b);
+      plan.merges.push_back({finding.rule_a, finding.rule_b,
+                             std::move(merged).value(), finding.jaccard,
+                             finding.coverage_a, finding.coverage_b,
+                             finding.intersection});
+    }
+  }
+
+  // ---- (c) prune low-value survivors (§5.2 scoring) ---------------------
+  if (options.prune_low_value && !corpus.empty()) {
+    for (const auto& rule : scoped.rules()) {
+      if (!rule.is_active() || !IsRegexRule(rule)) continue;
+      if (dropped.count(rule.id()) || merge_used.count(rule.id())) continue;
+      double confidence = rule.metadata().confidence;
+      if (confidence >= options.prune_confidence_ceiling) continue;
+      size_t cov = coverage_of(rule.id());
+      double score = (static_cast<double>(cov) /
+                      static_cast<double>(corpus.size())) *
+                     confidence;
+      if (score > options.prune_score_threshold) continue;
+      plan.prunes.push_back({rule.id(), confidence, cov, score});
+      plan.prune_affected_items += cov;
+    }
+  }
+
+  // ---- (d) corpus-aware re-bucketing ------------------------------------
+  if (options.rebucket && !corpus.empty()) {
+    auto sample = std::make_shared<std::vector<std::string>>();
+    const size_t take = std::min(options.rebucket_sample, corpus.size());
+    sample->reserve(take);
+    for (size_t i = 0; i < take; ++i) sample->push_back(corpus[i].title);
+
+    engine::RuleIndex before;
+    before.Build(scoped, options.analysis);
+    rules::RuleSet planned = PlannedRuleSet(scoped, plan);
+    engine::RuleIndex after;
+    after.Build(planned, options.analysis, *sample);
+
+    plan.rebucket.sample_titles = sample->size();
+    plan.rebucket.rebucketed_rules = after.stats().rebucketed_rules;
+    plan.rebucket.candidates_per_item_before = MeanCandidates(before, *sample);
+    plan.rebucket.candidates_per_item_after = MeanCandidates(after, *sample);
+    plan.index_sample = std::move(sample);
+  }
+
+  return plan;
+}
+
+Status StageOptimizationPlan(rules::RuleTransaction& txn,
+                             const OptimizationPlan& plan) {
+  for (const auto& drop : plan.drops) {
+    Status st = txn.Retire(
+        rules::RuleId(drop.id),
+        (drop.equivalent ? "optimizer: equivalent to " : "optimizer: subsumed by ") +
+            drop.by);
+    if (!st.ok()) return st;
+  }
+  for (const auto& merge : plan.merges) {
+    const std::string reason = "optimizer: merged into " + merge.merged.id();
+    Status st = txn.Retire(rules::RuleId(merge.id_a), reason);
+    if (!st.ok()) return st;
+    st = txn.Retire(rules::RuleId(merge.id_b), reason);
+    if (!st.ok()) return st;
+    st = txn.Add(merge.merged);
+    if (!st.ok()) return st;
+  }
+  for (const auto& prune : plan.prunes) {
+    Status st = txn.Disable(
+        rules::RuleId(prune.id),
+        "optimizer: low value (score " + FormatScore(prune.score) + ")");
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Result<OptimizeStats> ApplyOptimizationPlan(rules::RuleRepository& repository,
+                                            const OptimizationPlan& plan,
+                                            std::string_view author,
+                                            const rules::TenantId& tenant,
+                                            bool dry_run) {
+  OptimizeStats stats;
+  stats.retired = plan.drops.size() + 2 * plan.merges.size();
+  stats.merged = plan.merges.size();
+  stats.pruned = plan.prunes.size();
+  if (dry_run || plan.empty()) return stats;
+  Status st =
+      repository.Mutate(author, tenant, [&](rules::RuleTransaction& txn) {
+        return StageOptimizationPlan(txn, plan);
+      });
+  if (!st.ok()) return st;
+  stats.applied = true;
+  return stats;
+}
+
+rules::RuleSet PlannedRuleSet(const rules::RuleSet& rules,
+                              const OptimizationPlan& plan) {
+  rules::RuleSet out = rules;
+  for (const auto& drop : plan.drops) (void)out.Retire(drop.id);
+  for (const auto& merge : plan.merges) {
+    (void)out.Retire(merge.id_a);
+    (void)out.Retire(merge.id_b);
+    (void)out.Add(merge.merged);
+  }
+  for (const auto& prune : plan.prunes) (void)out.Disable(prune.id);
+  return out;
+}
+
+}  // namespace rulekit::maint

@@ -1,0 +1,166 @@
+#ifndef RULEKIT_MAINT_OPTIMIZER_H_
+#define RULEKIT_MAINT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/product.h"
+#include "src/maint/subsumption.h"
+#include "src/rules/ids.h"
+#include "src/rules/repository.h"
+#include "src/rules/rule.h"
+#include "src/rules/rule_set.h"
+
+namespace rulekit::maint {
+
+/// Knobs for the offline rule-set optimization pass (see DESIGN.md
+/// "Rule-set optimization"). The defaults are deliberately conservative:
+/// every enabled step preserves classification output on the reference
+/// corpus — subsumption drops are language-level proofs, merges require
+/// equal confidence, prunes require zero corpus coverage — so an operator
+/// can apply a default plan without a behavioral review.
+struct OptimizerOptions {
+  /// Subsumption-scan knobs (literal prefilter on by default: only pairs
+  /// the buckets cannot separate pay for a product DFA).
+  SubsumptionOptions subsumption;
+  /// Step (a): retire rules whose language is contained in another
+  /// same-kind same-type rule.
+  bool drop_subsumed = true;
+  /// Step (b): consolidate high-Jaccard overlapping pairs into one
+  /// disjunction rule.
+  bool merge_overlapping = true;
+  double merge_min_jaccard = 0.98;
+  /// Maximum confidence difference between merge partners. The merged
+  /// rule carries min(conf_a, conf_b) (ConsolidateRules), so 0.0 —
+  /// equal-confidence pairs only — is what keeps voting output
+  /// byte-identical after the merge.
+  double merge_max_confidence_delta = 0.0;
+  /// Step (c): disable low-value rules by the §5.2 scoring model,
+  /// score = coverage_fraction x confidence over the reference corpus.
+  bool prune_low_value = true;
+  /// Prune when score <= this. The default 0.0 prunes only rules with
+  /// zero corpus coverage (or zero confidence) — provably no output
+  /// change on the corpus.
+  double prune_score_threshold = 0.0;
+  /// Never prune a rule at/above this confidence, whatever its score: a
+  /// high-confidence analyst rule with no coverage in today's corpus is
+  /// dormant, not worthless.
+  double prune_confidence_ceiling = 0.9;
+  /// Step (d): compute a corpus-aware re-bucketing sample so survivors
+  /// land on their rarest required-literal set (RuleIndex's corpus-aware
+  /// Build).
+  bool rebucket = true;
+  size_t rebucket_sample = 2048;
+  /// Plan only this tenant's rules (default = the shared pool). The plan
+  /// is applied through a transaction scoped to the same tenant, so the
+  /// ownership rules of RuleRepository::Begin hold end to end.
+  rules::TenantId tenant;
+  /// Literal-extraction knobs shared by the scan and the re-bucketing.
+  regex::AnalysisOptions analysis;
+};
+
+/// The output of PlanOptimization: every action the pass wants to take,
+/// with the evidence that justifies it. A plan is inert data — nothing
+/// changes until ApplyOptimizationPlan commits it (or a caller stages it
+/// into a transaction of its own).
+struct OptimizationPlan {
+  struct Drop {
+    std::string id;            // rule to retire
+    std::string by;            // the rule whose language covers it
+    bool equivalent = false;   // languages equal (tie-break kept `by`)
+  };
+  struct Merge {
+    std::string id_a;
+    std::string id_b;
+    rules::Rule merged;        // replacement rule (id "id_a+id_b")
+    double jaccard = 0.0;
+    size_t coverage_a = 0;
+    size_t coverage_b = 0;
+    size_t intersection = 0;
+  };
+  struct Prune {
+    std::string id;
+    double confidence = 0.0;
+    size_t coverage = 0;       // corpus items the rule fired on
+    double score = 0.0;        // coverage_fraction x confidence (§5.2)
+  };
+
+  std::vector<Drop> drops;
+  std::vector<Merge> merges;
+  std::vector<Prune> prunes;
+
+  /// The subsumption scan's accounting (prefilter refutations, anchored
+  /// skips, fast-path hits).
+  SubsumptionReport subsumption;
+  size_t rules_considered = 0;  // active regex rules in planning scope
+  size_t corpus_items = 0;
+  /// Corpus items matched by pruned rules, summed. 0 means the prunes
+  /// provably cannot change any corpus prediction; a nonzero value is the
+  /// confidence-pruning delta an operator must sign off on.
+  size_t prune_affected_items = 0;
+
+  struct RebucketStats {
+    size_t sample_titles = 0;
+    size_t rebucketed_rules = 0;  // rules moved off their structural set
+    double candidates_per_item_before = 0.0;  // structural index, pre-plan
+    double candidates_per_item_after = 0.0;   // corpus-aware, post-plan
+  };
+  RebucketStats rebucket;
+
+  /// The title sample behind `rebucket` — install as
+  /// PipelineConfig::index_sample_titles so serving republishes build the
+  /// same corpus-aware index the plan measured. Null when rebucketing was
+  /// disabled or the corpus was empty.
+  std::shared_ptr<const std::vector<std::string>> index_sample;
+
+  bool empty() const {
+    return drops.empty() && merges.empty() && prunes.empty();
+  }
+  /// One human-readable paragraph for shells and logs.
+  std::string Summary() const;
+};
+
+/// Builds an optimization plan for the rules owned by `options.tenant`
+/// within `rules`, scored against `corpus`. Pure analysis: mutates
+/// nothing. An empty corpus skips the corpus-dependent steps (merge,
+/// prune, re-bucket) and plans subsumption drops only.
+OptimizationPlan PlanOptimization(const rules::RuleSet& rules,
+                                  const std::vector<data::ProductItem>& corpus,
+                                  const OptimizerOptions& options = {});
+
+/// Stages every plan action into an open transaction: drops and merge
+/// parts retire (audited with the reason), merged replacements add,
+/// prunes disable (reversible — a pruned rule can be re-enabled when its
+/// segment returns). Composes with other staged edits; commit is the
+/// caller's.
+Status StageOptimizationPlan(rules::RuleTransaction& txn,
+                             const OptimizationPlan& plan);
+
+struct OptimizeStats {
+  size_t retired = 0;  // drops + 2 per merge
+  size_t merged = 0;   // replacement rules added
+  size_t pruned = 0;   // rules disabled
+  bool applied = false;
+};
+
+/// Applies the plan through one repository transaction attributed to
+/// `author` and scoped to `tenant` (WAL-journaled and republished like
+/// any other commit). `dry_run` (and an empty plan) reports the stats
+/// without opening a transaction.
+Result<OptimizeStats> ApplyOptimizationPlan(
+    rules::RuleRepository& repository, const OptimizationPlan& plan,
+    std::string_view author, const rules::TenantId& tenant = {},
+    bool dry_run = false);
+
+/// The rule set as it would look after the plan applies: drops and merge
+/// parts retired, merged rules added, prunes disabled. Lets tests and
+/// benchmarks classify "after" without touching a repository.
+rules::RuleSet PlannedRuleSet(const rules::RuleSet& rules,
+                              const OptimizationPlan& plan);
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_OPTIMIZER_H_

@@ -1,12 +1,15 @@
 #include "src/maint/subsumption.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <optional>
 
 #include "src/common/string_util.h"
 #include "src/regex/containment.h"
 #include "src/rules/token_pattern.h"
+#include "src/text/aho_corasick.h"
 
 namespace rulekit::maint {
 
@@ -92,6 +95,63 @@ int TokenFastPath(const TokenShape& narrow, const TokenShape& broad,
   return -1;
 }
 
+// Per-group literal buckets: every rule contributes its required literals
+// (regex/analysis.h) to one Aho-Corasick automaton plus a verified
+// shortest-match witness. A direction narrow ⊆ broad is then refuted
+// without a DFA whenever the narrow witness — a string in L(narrow) —
+// triggers none of broad's literals: the prefilter invariant guarantees
+// broad misses it. Only pairs the buckets cannot separate hit the DFA.
+struct GroupPrefilter {
+  std::vector<bool> anchored;     // pattern contains ^ or $
+  std::vector<bool> refutable;    // rule has required literals
+  std::vector<bool> witness_ok;   // witness verified against the rule
+  std::vector<std::vector<uint32_t>> witness_hits;  // sorted group positions
+
+  GroupPrefilter(const std::vector<const rules::Rule*>& group,
+                 const SubsumptionOptions& options) {
+    const size_t n = group.size();
+    anchored.resize(n);
+    refutable.resize(n);
+    witness_ok.resize(n);
+    witness_hits.resize(n);
+    text::AhoCorasick automaton;
+    std::vector<std::string> witnesses(n);
+    for (size_t i = 0; i < n; ++i) {
+      const regex::AstNode& ast = group[i]->pattern_regex()->ast();
+      anchored[i] = regex::ContainsAnchor(ast);
+      if (!options.use_literal_prefilter) continue;
+      auto literals = regex::RequiredAlternativesOf(ast, options.analysis);
+      if (literals.ok()) {
+        refutable[i] = true;
+        for (const auto& lit : *literals) {
+          automaton.Add(lit, static_cast<uint32_t>(i));
+        }
+      }
+      // Belt and braces: a witness is only trusted once the rule's own
+      // regex accepts it (mid-pattern anchors can defeat SampleWitness).
+      witnesses[i] = regex::SampleWitness(ast);
+      witness_ok[i] = group[i]->pattern_regex()->PartialMatch(witnesses[i]);
+    }
+    if (!options.use_literal_prefilter) return;
+    automaton.Build();
+    std::string lowered;
+    for (size_t i = 0; i < n; ++i) {
+      if (!witness_ok[i]) continue;
+      lowered = witnesses[i];
+      ToLowerAsciiInPlace(lowered);
+      automaton.CollectUnique(lowered, witness_hits[i]);
+    }
+  }
+
+  // True when narrow ⊆ broad is disproved by the narrow witness.
+  bool Refutes(size_t narrow, size_t broad) const {
+    if (!witness_ok[narrow] || !refutable[broad]) return false;
+    const auto& hits = witness_hits[narrow];
+    return !std::binary_search(hits.begin(), hits.end(),
+                               static_cast<uint32_t>(broad));
+  }
+};
+
 }  // namespace
 
 bool IsDotStarTokenPattern(const std::string& pattern,
@@ -156,6 +216,7 @@ SubsumptionReport FindSubsumedRules(const rules::RuleSet& rules,
   containment_options.max_dfa_states = options.max_dfa_states;
 
   for (const auto& [key, group] : groups) {
+    GroupPrefilter prefilter(group, options);
     for (size_t i = 0; i < group.size(); ++i) {
       for (size_t j = i + 1; j < group.size(); ++j) {
         const rules::Rule* a = group[i];
@@ -174,23 +235,36 @@ SubsumptionReport FindSubsumedRules(const rules::RuleSet& rules,
             if (a_in_b_tv >= 0 && b_in_a_tv >= 0) ++report.fast_path_hits;
           }
         }
-        auto decide = [&](int tv, const rules::Rule* narrow,
-                          const rules::Rule* broad, bool& out) -> bool {
+        auto decide = [&](int tv, size_t narrow, size_t broad,
+                          bool& out) -> bool {
           if (tv >= 0) {
             out = tv == 1;
             return true;
           }
-          auto r = regex::SearchSubsumes(*narrow->pattern_regex(),
-                                         *broad->pattern_regex(),
+          if (prefilter.Refutes(narrow, broad)) {
+            ++report.prefilter_refutations;
+            out = false;
+            return true;
+          }
+          if (prefilter.anchored[narrow] || prefilter.anchored[broad]) {
+            // The DFA refuses anchors with FailedPrecondition; classify
+            // the pair as skipped without paying for a doomed build.
+            return false;
+          }
+          auto r = regex::SearchSubsumes(*group[narrow]->pattern_regex(),
+                                         *group[broad]->pattern_regex(),
                                          containment_options);
           if (!r.ok()) return false;
           out = *r;
           return true;
         };
         bool a_in_b = false, b_in_a = false;
-        if (!decide(a_in_b_tv, a, b, a_in_b) ||
-            !decide(b_in_a_tv, b, a, b_in_a)) {
+        if (!decide(a_in_b_tv, i, j, a_in_b) ||
+            !decide(b_in_a_tv, j, i, b_in_a)) {
           ++report.skipped_pairs;
+          if (prefilter.anchored[i] || prefilter.anchored[j]) {
+            ++report.anchored_pairs;
+          }
           continue;
         }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/regex/analysis.h"
 #include "src/rules/repository.h"
 #include "src/rules/rule_set.h"
 
@@ -26,6 +27,14 @@ struct SubsumptionOptions {
   /// Try the cheap token-subsequence test for mined-style "a.*b.*c"
   /// patterns before the automata-based decision.
   bool use_token_fast_path = true;
+  /// Bucket rules by their required literals (regex/analysis.h) and refute
+  /// non-containing pairs before the automata decision: when a verified
+  /// sample witness of the narrow side contains none of the broad side's
+  /// required literals, the broad side provably misses that witness and
+  /// the pair is decided "not subsumed" without building a product DFA.
+  bool use_literal_prefilter = true;
+  /// Literal-extraction knobs for the prefilter buckets.
+  regex::AnalysisOptions analysis;
 };
 
 /// Report of a full scan.
@@ -34,6 +43,12 @@ struct SubsumptionReport {
   size_t pairs_checked = 0;
   size_t fast_path_hits = 0;  // decided by the token subsequence test
   size_t skipped_pairs = 0;   // containment undecidable within limits
+  /// Directions refuted by the literal prefilter (each saved a DFA build).
+  size_t prefilter_refutations = 0;
+  /// Subset of skipped_pairs where an anchored pattern (`^`/`$`) made the
+  /// automata decision impossible. These are skipped-not-failed: anchors
+  /// are outside the containment checker's language, not an error.
+  size_t anchored_pairs = 0;
 };
 
 /// Finds subsumed rules among same-kind, same-type active regex rules

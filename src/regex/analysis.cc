@@ -162,17 +162,17 @@ struct Analyzer {
     return kept;
   }
 
-  Alternatives Required(const AstNode& node) const {
-    // An exact set with no empty string is itself a (best possible)
-    // required-alternatives set.
-    auto AsAlternatives = [&](const ExactSet& es) -> Alternatives {
-      if (!es) return std::nullopt;
-      for (const auto& s : *es) {
-        if (s.empty()) return std::nullopt;
-      }
-      return *es;
-    };
+  // An exact set with no empty string is itself a (best possible)
+  // required-alternatives set.
+  static Alternatives AsAlternatives(const ExactSet& es) {
+    if (!es) return std::nullopt;
+    for (const auto& s : *es) {
+      if (s.empty()) return std::nullopt;
+    }
+    return *es;
+  }
 
+  Alternatives Required(const AstNode& node) const {
     switch (node.kind) {
       case AstKind::kEmpty:
       case AstKind::kAny:
@@ -245,6 +245,63 @@ struct Analyzer {
     }
     return std::nullopt;
   }
+
+  // Collects every valid required-alternatives set instead of just the
+  // best-scoring one. Mirrors Required(): for a concatenation, every
+  // closed literal run is a candidate and every non-extending child's
+  // candidates are candidates of the whole.
+  void CollectCandidates(const AstNode& node,
+                         std::vector<std::vector<std::string>>& out) const {
+    switch (node.kind) {
+      case AstKind::kGroup:
+        CollectCandidates(*node.child, out);
+        return;
+      case AstKind::kRepeat:
+        if (node.min >= 1) CollectCandidates(*node.child, out);
+        return;
+      case AstKind::kConcat: {
+        std::vector<std::string> run{""};
+        auto close_run = [&]() {
+          if (!(run.size() == 1 && run[0].empty())) {
+            if (auto alts = AsAlternatives(run)) out.push_back(*alts);
+          }
+          run = {""};
+        };
+        for (const auto& c : node.children) {
+          auto part = Exact(*c);
+          bool extended = false;
+          if (part) {
+            std::vector<std::string> next;
+            bool ok = true;
+            for (const auto& a : run) {
+              for (const auto& p : *part) {
+                if (a.size() + p.size() > options.max_literal_length ||
+                    next.size() >= options.max_alternatives) {
+                  ok = false;
+                  break;
+                }
+                next.push_back(a + p);
+              }
+              if (!ok) break;
+            }
+            if (ok) {
+              run = std::move(next);
+              extended = true;
+            }
+          }
+          if (!extended) {
+            close_run();
+            CollectCandidates(*c, out);
+          }
+        }
+        close_run();
+        return;
+      }
+      default:
+        if (auto alts = Required(node)) out.push_back(*alts);
+        return;
+    }
+  }
 };
 
 }  // namespace
@@ -268,6 +325,100 @@ Result<std::vector<std::string>> RequiredAlternativesOf(
 Result<std::vector<std::string>> RequiredAlternatives(
     const Regex& re, const AnalysisOptions& options) {
   return RequiredAlternativesOf(re.ast(), options);
+}
+
+Result<std::vector<std::vector<std::string>>> CandidateAlternativeSets(
+    const AstNode& root, const AnalysisOptions& options) {
+  Analyzer analyzer{options};
+  std::vector<std::vector<std::string>> raw;
+  analyzer.CollectCandidates(root, raw);
+  std::vector<std::vector<std::string>> sets;
+  for (auto& candidate : raw) {
+    auto minimized = Analyzer::Minimize(std::move(candidate));
+    if (minimized.empty()) continue;
+    auto [min_len, neg_count] = Analyzer::Score(minimized);
+    (void)neg_count;
+    if (min_len < options.min_length) continue;
+    if (std::find(sets.begin(), sets.end(), minimized) != sets.end()) continue;
+    sets.push_back(std::move(minimized));
+  }
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const auto& a, const auto& b) {
+                     return Analyzer::Score(a) > Analyzer::Score(b);
+                   });
+  if (sets.empty()) {
+    return Status::NotFound("no required literal set exists");
+  }
+  return sets;
+}
+
+bool ContainsAnchor(const AstNode& root) {
+  switch (root.kind) {
+    case AstKind::kAnchorBegin:
+    case AstKind::kAnchorEnd:
+      return true;
+    case AstKind::kGroup:
+    case AstKind::kRepeat:
+      return ContainsAnchor(*root.child);
+    case AstKind::kConcat:
+    case AstKind::kAlternate:
+      for (const auto& c : root.children) {
+        if (ContainsAnchor(*c)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+std::string SampleWitness(const AstNode& root) {
+  switch (root.kind) {
+    case AstKind::kEmpty:
+    case AstKind::kAnchorBegin:
+    case AstKind::kAnchorEnd:
+      return "";
+    case AstKind::kLiteral:
+      return std::string(1, root.literal);
+    case AstKind::kClass: {
+      int first = -1;
+      for (int b = 0; b < 256; ++b) {
+        if (!root.char_class.test(static_cast<size_t>(b))) continue;
+        if (first < 0) first = b;
+        if (std::isalnum(b)) return std::string(1, static_cast<char>(b));
+      }
+      // An empty class matches nothing; "" is as good a non-witness as any.
+      return first < 0 ? std::string()
+                       : std::string(1, static_cast<char>(first));
+    }
+    case AstKind::kAny:
+      return "a";
+    case AstKind::kGroup:
+      return SampleWitness(*root.child);
+    case AstKind::kRepeat: {
+      std::string part = SampleWitness(*root.child);
+      std::string out;
+      for (int k = 0; k < root.min; ++k) out += part;
+      return out;
+    }
+    case AstKind::kConcat: {
+      std::string out;
+      for (const auto& c : root.children) out += SampleWitness(*c);
+      return out;
+    }
+    case AstKind::kAlternate: {
+      std::string best;
+      bool have = false;
+      for (const auto& c : root.children) {
+        std::string w = SampleWitness(*c);
+        if (!have || w.size() < best.size()) {
+          best = std::move(w);
+          have = true;
+        }
+      }
+      return best;
+    }
+  }
+  return "";
 }
 
 }  // namespace rulekit::regex

@@ -37,6 +37,32 @@ Result<std::vector<std::string>> RequiredAlternatives(
 Result<std::vector<std::string>> RequiredAlternativesOf(
     const AstNode& root, const AnalysisOptions& options = {});
 
+/// Every valid required-literal set the analyzer considered for `root`,
+/// each minimized and min_length-filtered, ordered best-first by the same
+/// structural score RequiredAlternatives uses (longest minimum literal,
+/// then fewest alternatives). For a concatenation like "usb.*cable" this
+/// yields both {"cable"} and {"usb"} — every set is individually sound,
+/// so an index may pick whichever prunes best on its traffic (see
+/// RuleIndex's corpus-aware build). Fails with NotFound when no usable
+/// set exists, exactly when RequiredAlternativesOf does.
+Result<std::vector<std::vector<std::string>>> CandidateAlternativeSets(
+    const AstNode& root, const AnalysisOptions& options = {});
+
+/// True when the pattern contains a positional anchor (`^`/`$`) anywhere.
+/// The position-oblivious subset-construction DFA — and therefore the
+/// containment checker — refuses anchored patterns with
+/// FailedPrecondition; callers use this to classify such patterns as
+/// skipped up front instead of paying a doomed DFA build per pair.
+bool ContainsAnchor(const AstNode& root);
+
+/// A shortest-ish string the pattern matches: minimum repeat counts, the
+/// shortest alternation branch, one representative byte per class. Anchors
+/// contribute nothing, so a pattern with an unsatisfiable mid-pattern
+/// anchor (e.g. "a$b") yields a string that does NOT match — callers must
+/// verify with PartialMatch before treating the witness as a member of
+/// the language.
+std::string SampleWitness(const AstNode& root);
+
 }  // namespace rulekit::regex
 
 #endif  // RULEKIT_REGEX_ANALYSIS_H_

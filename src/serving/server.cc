@@ -423,6 +423,8 @@ void RuleServer::DispatchBatch(std::vector<Pending> batch) {
         1000.0;
     activity.service_ms =
         static_cast<double>(ElapsedUs(dispatch_start, done)) / 1000.0;
+    activity.rules_executed = result.report.rules_executed;
+    activity.rule_items = result.report.rule_items;
     reported_overload_ = overload;
     reported_sheds_ = sheds;
     config_.monitor->RecordServing(activity, live.front().request.tenant);

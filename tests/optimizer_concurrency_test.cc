@@ -1,0 +1,101 @@
+// Optimizer/serving race test: applying an offline optimization plan
+// through the pipeline's transactional Mutate while classification traffic
+// is in flight must be race-free (snapshot isolation) and must never
+// change any item's prediction. Run under -DRULEKIT_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/maint/optimizer.h"
+#include "src/rules/rule_parser.h"
+
+#include "tests/classify_shims.h"
+
+namespace rulekit::maint {
+namespace {
+
+TEST(OptimizerConcurrencyTest, OptimizeWhileServingIsRaceFree) {
+  auto parsed = rules::ParseRules(R"(
+whitelist narrow: denim.*jeans? => jeans
+whitelist broad: jeans? => jeans
+whitelist ring_a: rings? => rings
+whitelist ring_b: ring|rings => rings
+whitelist w1: (abrasive|sand(er|ing))[ -](wheels?|discs?) => abrasive wheels & discs
+whitelist w2: abrasive.*(wheels?|discs?) => abrasive wheels & discs
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  chimera::ChimeraPipeline pipeline;
+  ASSERT_TRUE(pipeline.AddRules(std::move(parsed).value(), "test").ok());
+
+  data::GeneratorConfig config;
+  config.seed = 23;
+  data::CatalogGenerator gen(config);
+  size_t wheels = gen.SpecIndexOf("abrasive wheels & discs");
+  ASSERT_NE(wheels, data::CatalogGenerator::kNpos);
+  std::vector<data::ProductItem> corpus;
+  for (auto& li : gen.GenerateManyOfType(wheels, 200)) {
+    corpus.push_back(li.item);
+  }
+  for (auto& li : gen.GenerateMany(200)) corpus.push_back(li.item);
+
+  // The expected per-item answers, frozen before any concurrency: the
+  // optimizer's conservative defaults guarantee they never change.
+  auto expected = RunBatch(pipeline, corpus).predictions;
+  ASSERT_EQ(expected.size(), corpus.size());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto report = RunBatch(pipeline, corpus);
+        ASSERT_EQ(report.predictions.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          // Each batch sees one coherent snapshot: pre- or post-plan, the
+          // predictions are identical.
+          EXPECT_EQ(report.predictions[i], expected[i]) << corpus[i].title;
+        }
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let traffic start, then plan and apply concurrently with it.
+  while (batches.load(std::memory_order_relaxed) < 2) std::this_thread::yield();
+  OptimizerOptions options;
+  options.merge_min_jaccard = 0.2;
+  auto plan = PlanOptimization(pipeline.rule_set(), corpus, options);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_TRUE(pipeline.Mutate("optimizer",
+                              [&](rules::RuleTransaction& txn) {
+                                return StageOptimizationPlan(txn, plan);
+                              })
+                  .ok());
+
+  // A few post-apply batches under load, then drain.
+  size_t after_apply = batches.load(std::memory_order_relaxed);
+  while (batches.load(std::memory_order_relaxed) < after_apply + 2) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  // The optimized rule set serves the same answers, with fewer rules.
+  auto final_report = RunBatch(pipeline, corpus);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(final_report.predictions[i], expected[i]);
+  }
+  EXPECT_LT(pipeline.rule_set().CountActive(), 6u);
+}
+
+}  // namespace
+}  // namespace rulekit::maint

@@ -1,0 +1,434 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/data/catalog_generator.h"
+#include "src/engine/executor.h"
+#include "src/engine/rule_index.h"
+#include "src/maint/consolidation.h"
+#include "src/maint/optimizer.h"
+#include "src/maint/subsumption.h"
+#include "src/rules/repository.h"
+#include "src/rules/rule_parser.h"
+
+#include "tests/classify_shims.h"
+
+namespace rulekit::maint {
+namespace {
+
+rules::RuleSet MakeRuleSet(std::string_view dsl) {
+  auto parsed = rules::ParseRuleSet(dsl);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+std::vector<data::ProductItem> WheelsCorpus() {
+  data::GeneratorConfig config;
+  config.seed = 23;
+  data::CatalogGenerator gen(config);
+  size_t wheels = gen.SpecIndexOf("abrasive wheels & discs");
+  EXPECT_NE(wheels, data::CatalogGenerator::kNpos);
+  std::vector<data::ProductItem> corpus;
+  for (auto& li : gen.GenerateManyOfType(wheels, 600)) {
+    corpus.push_back(li.item);
+  }
+  for (auto& li : gen.GenerateMany(600)) corpus.push_back(li.item);
+  return corpus;
+}
+
+// ------------------------------------------------------------------- Plan --
+
+TEST(OptimizerPlanTest, DropsSubsumedRulesWithoutCorpus) {
+  auto set = MakeRuleSet(R"(
+whitelist narrow: denim.*jeans? => jeans
+whitelist broad: jeans? => jeans
+)");
+  auto plan = PlanOptimization(set, {});
+  EXPECT_EQ(plan.rules_considered, 2u);
+  ASSERT_EQ(plan.drops.size(), 1u);
+  EXPECT_EQ(plan.drops[0].id, "narrow");
+  EXPECT_EQ(plan.drops[0].by, "broad");
+  EXPECT_FALSE(plan.drops[0].equivalent);
+  // No corpus: the corpus-dependent steps stay idle.
+  EXPECT_TRUE(plan.merges.empty());
+  EXPECT_TRUE(plan.prunes.empty());
+  EXPECT_EQ(plan.rebucket.sample_titles, 0u);
+  EXPECT_EQ(plan.index_sample, nullptr);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_NE(plan.Summary().find("1 subsumption drops"), std::string::npos);
+}
+
+// Satellite regression: equivalence findings tie-break deterministically on
+// the lexicographically-lowest rule id, so a chain A == B == C retires
+// exactly the two higher ids and the keeper itself is never scheduled.
+TEST(OptimizerPlanTest, EquivalentChainKeepsLowestId) {
+  auto set = MakeRuleSet(R"(
+whitelist a: rings? => rings
+whitelist b: ring|rings => rings
+whitelist c: ring(s)? => rings
+)");
+  auto plan = PlanOptimization(set, {});
+  ASSERT_EQ(plan.drops.size(), 2u);
+  std::set<std::string> dropped;
+  for (const auto& drop : plan.drops) {
+    EXPECT_TRUE(drop.equivalent);
+    EXPECT_NE(drop.id, "a");  // the keeper can never be scheduled
+    EXPECT_LT(drop.by, drop.id);
+    dropped.insert(drop.id);
+  }
+  EXPECT_EQ(dropped, (std::set<std::string>{"b", "c"}));
+  // Every drop's keeper survives the plan.
+  for (const auto& drop : plan.drops) {
+    EXPECT_EQ(dropped.count(drop.by), 0u) << drop.by;
+  }
+  rules::RuleSet planned = PlannedRuleSet(set, plan);
+  EXPECT_EQ(planned.CountActive(), 1u);
+  EXPECT_TRUE(planned.Find("a")->is_active());
+}
+
+// Satellite regression: anchored patterns are outside the containment
+// checker's language. The pair must be reported skipped (and counted as
+// anchored), never as a finding and never as a scan failure.
+TEST(OptimizerPlanTest, AnchoredPatternsAreSkippedNotFailed) {
+  auto set = MakeRuleSet(R"(
+whitelist anch: ^denim jeans => jeans
+whitelist plain: jeans => jeans
+)");
+  auto plan = PlanOptimization(set, {});
+  EXPECT_TRUE(plan.drops.empty());
+  EXPECT_EQ(plan.subsumption.pairs_checked, 1u);
+  EXPECT_EQ(plan.subsumption.skipped_pairs, 1u);
+  EXPECT_EQ(plan.subsumption.anchored_pairs, 1u);
+  EXPECT_TRUE(plan.subsumption.findings.empty());
+}
+
+TEST(SubsumptionPrefilterTest, EndAnchorAlsoCountsAsAnchored) {
+  auto set = MakeRuleSet(R"(
+whitelist tail: jeans$ => jeans
+whitelist plain: jeans => jeans
+)");
+  auto report = FindSubsumedRules(set);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.skipped_pairs, 1u);
+  EXPECT_EQ(report.anchored_pairs, 1u);
+}
+
+TEST(SubsumptionPrefilterTest, PrefilterAgreesWithFullScan) {
+  // Non-token patterns (the '?' defeats the token fast path) so every
+  // decision is prefilter-or-DFA. The prefilter must refute some
+  // directions yet change no findings.
+  auto set = MakeRuleSet(R"(
+whitelist r0: denim.*jeans? => t
+whitelist r1: jeans? => t
+whitelist r2: jackets? => t
+whitelist r3: denim jackets? => t
+whitelist r4: shorts? => t
+whitelist r5: (denim|jean)[ -]shorts? => t
+)");
+  SubsumptionOptions with, without;
+  without.use_literal_prefilter = false;
+  auto a = FindSubsumedRules(set, with);
+  auto b = FindSubsumedRules(set, without);
+  EXPECT_GT(a.prefilter_refutations, 0u);
+  EXPECT_EQ(b.prefilter_refutations, 0u);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].subsumed, b.findings[i].subsumed);
+    EXPECT_EQ(a.findings[i].by, b.findings[i].by);
+    EXPECT_EQ(a.findings[i].equivalent, b.findings[i].equivalent);
+  }
+}
+
+// ---------------------------------------------- Consolidation round trip --
+
+// Satellite property test: ConsolidateRules followed by SplitRule recovers
+// the original branches, and the consolidated rule fires on exactly the
+// union of the titles its parts fired on.
+TEST(ConsolidationPropertyTest, MergeSplitRoundTripOnSeededCorpus) {
+  auto a = *rules::Rule::Whitelist(
+      "w1", "(abrasive|sand(er|ing))[ -](wheels?|discs?)",
+      "abrasive wheels & discs");
+  auto b = *rules::Rule::Whitelist("w2", "abrasive.*(wheels?|discs?)",
+                                   "abrasive wheels & discs");
+  auto merged = ConsolidateRules(a, b, "w1+w2");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  auto corpus = WheelsCorpus();
+  size_t fired = 0;
+  for (const auto& item : corpus) {
+    const bool on_a = a.Applies(item);
+    const bool on_b = b.Applies(item);
+    EXPECT_EQ(merged->Applies(item), on_a || on_b) << item.title;
+    if (on_a || on_b) ++fired;
+  }
+  ASSERT_GT(fired, 0u);  // the corpus genuinely exercises the union
+
+  auto split = SplitRule(*merged);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->size(), 2u);
+  for (const auto& item : corpus) {
+    EXPECT_EQ((*split)[0].Applies(item), a.Applies(item)) << item.title;
+    EXPECT_EQ((*split)[1].Applies(item), b.Applies(item)) << item.title;
+  }
+}
+
+// --------------------------------------------------------- Plan + corpus --
+
+TEST(OptimizerPlanTest, MergesPrunesAndRebucketsAgainstCorpus) {
+  auto set = MakeRuleSet(R"(
+whitelist w1: (abrasive|sand(er|ing))[ -](wheels?|discs?) => abrasive wheels & discs
+whitelist w2: abrasive.*(wheels?|discs?) => abrasive wheels & discs
+whitelist broad: jeans? => jeans
+)");
+  // A low-confidence rule with zero corpus coverage: the prune target.
+  auto dead = *rules::Rule::Whitelist("dead", "zzzquux", "jeans");
+  dead.metadata().confidence = 0.5;
+  ASSERT_TRUE(set.Add(dead).ok());
+
+  auto corpus = WheelsCorpus();
+  OptimizerOptions options;
+  options.merge_min_jaccard = 0.2;
+  auto plan = PlanOptimization(set, corpus, options);
+
+  ASSERT_EQ(plan.merges.size(), 1u);
+  EXPECT_EQ(plan.merges[0].id_a, "w1");
+  EXPECT_EQ(plan.merges[0].id_b, "w2");
+  EXPECT_EQ(plan.merges[0].merged.id(), "w1+w2");
+  EXPECT_GE(plan.merges[0].jaccard, 0.2);
+  EXPECT_GT(plan.merges[0].intersection, 0u);
+
+  ASSERT_EQ(plan.prunes.size(), 1u);
+  EXPECT_EQ(plan.prunes[0].id, "dead");
+  EXPECT_EQ(plan.prunes[0].coverage, 0u);
+  EXPECT_EQ(plan.prunes[0].score, 0.0);
+  // Zero coverage -> provably no corpus prediction changes.
+  EXPECT_EQ(plan.prune_affected_items, 0u);
+
+  EXPECT_EQ(plan.rebucket.sample_titles, corpus.size());
+  ASSERT_NE(plan.index_sample, nullptr);
+  EXPECT_EQ(plan.index_sample->size(), corpus.size());
+  EXPECT_LE(plan.rebucket.candidates_per_item_after,
+            plan.rebucket.candidates_per_item_before);
+}
+
+TEST(OptimizerPlanTest, HighConfidenceDormantRulesAreNotPruned) {
+  auto set = MakeRuleSet("whitelist keep: zzzquux => jeans\n");
+  // Default confidence 1.0 >= the 0.9 ceiling: dormant, not worthless.
+  auto corpus = WheelsCorpus();
+  auto plan = PlanOptimization(set, corpus);
+  EXPECT_TRUE(plan.prunes.empty());
+}
+
+// ------------------------------------------------------------------ Apply --
+
+TEST(OptimizerApplyTest, DryRunAppliesNothing) {
+  rules::RuleRepository repo;
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("narrow", "denim.*jeans?", "jeans"),
+               "a")
+          .ok());
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("broad", "jeans?", "jeans"), "a")
+          .ok());
+  auto plan = PlanOptimization(repo.rules(), {});
+  ASSERT_EQ(plan.drops.size(), 1u);
+
+  auto dry = ApplyOptimizationPlan(repo, plan, "optimizer", {},
+                                   /*dry_run=*/true);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_FALSE(dry->applied);
+  EXPECT_EQ(dry->retired, 1u);
+  EXPECT_TRUE(repo.rules().Find("narrow")->is_active());
+
+  auto wet = ApplyOptimizationPlan(repo, plan, "optimizer");
+  ASSERT_TRUE(wet.ok());
+  EXPECT_TRUE(wet->applied);
+  EXPECT_EQ(repo.rules().Find("narrow")->metadata().state,
+            rules::RuleState::kRetired);
+  EXPECT_TRUE(repo.rules().Find("broad")->is_active());
+  // The audit trail names the covering rule.
+  auto history = repo.HistoryOf("narrow");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_NE(history[1].detail.find("broad"), std::string::npos);
+  // Re-planning over the optimized repository finds nothing left.
+  EXPECT_TRUE(PlanOptimization(repo.rules(), {}).empty());
+}
+
+TEST(OptimizerApplyTest, TenantScopedPlanTouchesOnlyTenantRules) {
+  rules::RuleRepository repo;
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("narrow", "denim.*jeans?", "jeans"),
+               "a")
+          .ok());
+  ASSERT_TRUE(
+      repo.Add(*rules::Rule::Whitelist("broad", "jeans?", "jeans"), "a")
+          .ok());
+  rules::TenantId tenant("t1");
+  ASSERT_TRUE(repo.Mutate("a", tenant, [&](rules::RuleTransaction& txn) {
+                    auto tn_narrow = *rules::Rule::Whitelist(
+                        "tn_narrow", "denim.*jeans?", "jeans");
+                    tn_narrow.metadata().tenant = "t1";
+                    auto tn_broad =
+                        *rules::Rule::Whitelist("tn_broad", "jeans?", "jeans");
+                    tn_broad.metadata().tenant = "t1";
+                    Status st = txn.Add(tn_narrow);
+                    if (!st.ok()) return st;
+                    return txn.Add(tn_broad);
+                  })
+                  .ok());
+
+  OptimizerOptions options;
+  options.tenant = tenant;
+  auto plan = PlanOptimization(repo.rules(), {}, options);
+  ASSERT_EQ(plan.drops.size(), 1u);
+  EXPECT_EQ(plan.drops[0].id, "tn_narrow");
+
+  auto stats = ApplyOptimizationPlan(repo, plan, "optimizer", tenant);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->applied);
+  EXPECT_FALSE(repo.rules().Find("tn_narrow")->is_active());
+  // The default pool's identical redundancy is untouched.
+  EXPECT_TRUE(repo.rules().Find("narrow")->is_active());
+  EXPECT_TRUE(repo.rules().Find("broad")->is_active());
+}
+
+// -------------------------------------------------- Corpus-aware indexing --
+
+TEST(CorpusAwareIndexTest, RebucketsOntoRarerLiteralWithIdenticalMatches) {
+  auto set = MakeRuleSet(R"(
+whitelist r1: usb.*cable => cables
+whitelist r2: hdmi.*cable => cables
+)");
+  // Structurally both rules bucket on "cable" (longest literal). On this
+  // sample "cable" is everywhere while "usb"/"hdmi" are rare, so the
+  // corpus-aware build flips both rules to their prefix literal.
+  std::vector<std::string> sample = {
+      "audio cable 3m",    "cable organizer box", "coaxial cable 10ft",
+      "power cable black", "usb hub 4 port",
+  };
+  engine::RuleIndex structural;
+  structural.Build(set);
+  engine::RuleIndex aware;
+  aware.Build(set, regex::AnalysisOptions{}, sample);
+  EXPECT_GE(aware.stats().rebucketed_rules, 1u);
+  EXPECT_EQ(structural.stats().rebucketed_rules, 0u);
+
+  size_t structural_total = 0, aware_total = 0;
+  for (const auto& title : sample) {
+    structural_total += structural.Candidates(title).size();
+    aware_total += aware.Candidates(title).size();
+  }
+  EXPECT_LT(aware_total, structural_total);
+
+  // Matching is identical through the executor whichever bucket is used.
+  std::vector<data::ProductItem> items;
+  for (const char* title :
+       {"usb charging cable", "hdmi cable 4k", "plain cable", "usb hub"}) {
+    data::ProductItem item;
+    item.title = title;
+    items.push_back(item);
+  }
+  engine::RuleExecutor plain_exec(set);
+  engine::ExecutorOptions aware_options;
+  aware_options.index_sample =
+      std::make_shared<const std::vector<std::string>>(sample);
+  engine::RuleExecutor aware_exec(set, aware_options);
+  auto plain_result = plain_exec.Execute(items);
+  auto aware_result = aware_exec.Execute(items);
+  EXPECT_EQ(plain_result.matches_per_item, aware_result.matches_per_item);
+  // The re-bucketed index performed no extra evaluations on this batch.
+  EXPECT_LE(aware_result.stats.rule_evaluations,
+            plain_result.stats.rule_evaluations);
+}
+
+// ------------------------------------------------- End-to-end through PR --
+
+TEST(OptimizerPipelineTest, OutputIdenticalAndExecutedRulesDrop) {
+  auto parsed = rules::ParseRules(R"(
+whitelist narrow: denim.*jeans? => jeans
+whitelist broad: jeans? => jeans
+whitelist ring_a: rings? => rings
+whitelist ring_b: ring|rings => rings
+whitelist w1: (abrasive|sand(er|ing))[ -](wheels?|discs?) => abrasive wheels & discs
+whitelist w2: abrasive.*(wheels?|discs?) => abrasive wheels & discs
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto rules_vec = std::move(parsed).value();
+  auto dead = *rules::Rule::Whitelist("dead", "zzzquux", "jeans");
+  dead.metadata().confidence = 0.5;
+  rules_vec.push_back(dead);
+
+  chimera::ChimeraPipeline pipeline;
+  ASSERT_TRUE(pipeline.AddRules(std::move(rules_vec), "test").ok());
+
+  auto corpus = WheelsCorpus();
+  auto before = RunBatch(pipeline, corpus);
+  ASSERT_EQ(before.rule_items, corpus.size());
+  ASSERT_GT(before.rules_executed, 0u);
+  EXPECT_GT(before.ExecutedRulesPerItem(), 0.0);
+
+  OptimizerOptions options;
+  options.merge_min_jaccard = 0.2;
+  auto plan = PlanOptimization(pipeline.rule_set(), corpus, options);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_GE(plan.drops.size(), 2u);   // narrow + one of the ring twins
+  EXPECT_EQ(plan.merges.size(), 1u);  // w1 + w2
+  EXPECT_EQ(plan.prunes.size(), 1u);  // dead
+  EXPECT_EQ(plan.prune_affected_items, 0u);
+
+  ASSERT_TRUE(pipeline.Mutate("optimizer",
+                              [&](rules::RuleTransaction& txn) {
+                                return StageOptimizationPlan(txn, plan);
+                              })
+                  .ok());
+
+  auto after = RunBatch(pipeline, corpus);
+  ASSERT_EQ(after.predictions.size(), before.predictions.size());
+  for (size_t i = 0; i < before.predictions.size(); ++i) {
+    EXPECT_EQ(before.predictions[i], after.predictions[i])
+        << "item " << i << ": " << corpus[i].title;
+  }
+  // The optimization exists to shrink this: fewer regex evaluations for
+  // the same predictions.
+  EXPECT_EQ(after.rule_items, before.rule_items);
+  EXPECT_LT(after.rules_executed, before.rules_executed);
+  EXPECT_LT(after.ExecutedRulesPerItem(), before.ExecutedRulesPerItem());
+}
+
+// ---------------------------------------------------------------- Monitor --
+
+TEST(MonitorTest, ExecutedRulesPerItemWindows) {
+  chimera::QualityMonitor monitor;
+  EXPECT_EQ(monitor.ExecutedRulesPerItem(), 0.0);
+
+  chimera::ServingActivity a;
+  a.batch_index = 0;
+  a.rules_executed = 10;
+  a.rule_items = 5;
+  monitor.RecordServing(a);
+  chimera::ServingActivity b;
+  b.batch_index = 1;
+  b.rules_executed = 2;
+  b.rule_items = 2;
+  monitor.RecordServing(b);
+
+  EXPECT_DOUBLE_EQ(monitor.ExecutedRulesPerItem(), 12.0 / 7.0);
+  EXPECT_DOUBLE_EQ(monitor.ExecutedRulesPerItem(1), 1.0);  // last batch only
+  EXPECT_EQ(monitor.ExecutedRulesPerItem("t9", 0), 0.0);   // unknown tenant
+
+  chimera::ServingActivity t;
+  t.rules_executed = 9;
+  t.rule_items = 3;
+  monitor.RecordServing(t, "t1");
+  EXPECT_DOUBLE_EQ(monitor.ExecutedRulesPerItem("t1", 0), 3.0);
+  // Tenant histories are isolated.
+  EXPECT_DOUBLE_EQ(monitor.ExecutedRulesPerItem(), 12.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace rulekit::maint
