@@ -247,8 +247,8 @@ ReplayResult RunReplay(chimera::ChimeraPipeline& pipeline,
 
 void RunHotCacheReplay() {
   Fixture& f = GetFixture();
-  constexpr size_t kBatches = 6;
-  constexpr size_t kBatchSize = 10000;
+  const size_t kBatches = bench::SmokeN(6, 2);
+  const size_t kBatchSize = bench::SmokeN(10000, 500);
   constexpr double kZipfS = 1.2;
 
   Rng rng(777);
@@ -343,9 +343,9 @@ void RunHotCacheReplay() {
 // within 5% of solo.
 void RunMultiTenantReplay() {
   Fixture& f = GetFixture();
-  constexpr size_t kSteps = 20;
-  constexpr size_t kQuietBatch = 2500;
-  constexpr size_t kNoisyBatch = 2000;
+  const size_t kSteps = bench::SmokeN(20, 4);
+  const size_t kQuietBatch = bench::SmokeN(2500, 200);
+  const size_t kNoisyBatch = bench::SmokeN(2000, 200);
   constexpr double kZipfS = 1.2;
 
   Rng rng(778);
@@ -497,6 +497,7 @@ int main(int argc, char** argv) {
   std::printf("hardware_concurrency=%u\n",
               std::thread::hardware_concurrency());
   std::printf("=========================================================\n");
+  argv = rulekit::bench::SmokeBenchmarkArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   RunHotCacheReplay();

@@ -71,7 +71,7 @@ int main() {
   (void)set->Add(*rules::Rule::Whitelist(
       "sloppy-3", "classic", gen.specs()[3].name));
 
-  auto corpus = gen.GenerateMany(20000);
+  auto corpus = gen.GenerateMany(bench::SmokeN(20000, 1200));
   auto truth = TruePrecision(*set, corpus);
   std::printf("rule set: %zu active rules over a %zu-item corpus\n",
               set->CountActive(), corpus.size());
@@ -94,15 +94,19 @@ int main() {
 
   // Method 1: shared validation set (cost = labels, not crowd questions).
   {
-    std::vector<data::LabeledItem> validation(corpus.begin(),
-                                              corpus.begin() + 2000);
+    const size_t validation_n =
+        std::min<size_t>(2000, corpus.size() / 2);
+    std::vector<data::LabeledItem> validation(
+        corpus.begin(), corpus.begin() + validation_n);
     auto report = eval::EvaluateOnValidationSet(*set, validation);
     std::map<std::string, crowd::PrecisionEstimate> estimates;
     for (const auto& r : report.per_rule) {
       if (r.evaluable) estimates[r.rule_id] = r.estimate;
     }
+    const std::string label =
+        "1. shared validation set (" + std::to_string(validation_n) + ")";
     std::printf("  %-34s %-10zu %zu/%-10zu %-10.3f\n",
-                "1. shared validation set (2000)", report.labeling_cost,
+                label.c_str(), report.labeling_cost,
                 report.evaluable_rules,
                 report.evaluable_rules + report.tail_rules,
                 error_vs_truth(estimates));

@@ -44,7 +44,7 @@ int main() {
 
   // ---- stage flow ---------------------------------------------------------
   bench::Section("per-stage flow of one 5000-item batch (cold system)");
-  auto warm_batch = gen.GenerateMany(5000);
+  auto warm_batch = gen.GenerateMany(bench::SmokeN(5000, 500));
   // Prime the gate-keeper memo with a few confirmed titles.
   for (size_t i = 0; i < 50; ++i) {
     pipeline.gate_keeper().Memoize(warm_batch[i].item.title,
@@ -66,7 +66,7 @@ int main() {
   chimera::FeedbackLoopConfig loop_config;
   loop_config.max_iterations = 5;
   chimera::FeedbackLoop loop(pipeline, analyst, crowd, loop_config);
-  auto batch = gen.GenerateMany(4000);
+  auto batch = gen.GenerateMany(bench::SmokeN(4000, 400));
   auto result = loop.RunBatch(batch);
   std::printf("  %-5s %-12s %-12s %-10s %-8s %-8s\n", "iter",
               "sampled-prec", "true-prec", "recall", "rules+", "labels+");

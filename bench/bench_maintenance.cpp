@@ -188,7 +188,7 @@ whitelist j9: jeans? => jeans
 
   // ---- sharded vs monolithic republish ------------------------------------
   bench::Section("rule-edit latency: sharded vs monolithic republish");
-  constexpr size_t kRules = 20000;
+  const size_t kRules = bench::SmokeN(20000, 600);
   constexpr size_t kTypes = 200;
   constexpr size_t kShards = 16;
   constexpr int kEditRounds = 5;

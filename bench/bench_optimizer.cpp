@@ -27,12 +27,12 @@
 namespace {
 using namespace rulekit;
 
-constexpr size_t kTargetRules = 20000;
+const size_t kTargetRules = rulekit::bench::SmokeN(20000, 800);
 constexpr size_t kNumTypes = 200;
-constexpr size_t kCorpusItems = 8000;
-constexpr size_t kDeadRules = 500;
+const size_t kCorpusItems = rulekit::bench::SmokeN(8000, 500);
+const size_t kDeadRules = rulekit::bench::SmokeN(500, 50);
 constexpr size_t kMergeTypes = 20;
-constexpr int kThroughputReps = 3;
+const int kThroughputReps = static_cast<int>(rulekit::bench::SmokeN(3, 1));
 
 /// The planted rule base: per type a broad noun rule, an equivalent
 /// duplicate, single-qualifier refinements (each subsumed by the broad

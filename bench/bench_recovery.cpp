@@ -29,7 +29,7 @@ using storage::DurableRuleStore;
 using storage::FsyncPolicy;
 using storage::StoreOptions;
 
-constexpr size_t kNumRules = 20000;
+const size_t kNumRules = rulekit::bench::SmokeN(20000, 800);
 constexpr size_t kNumTypes = 200;
 constexpr size_t kShards = 8;
 

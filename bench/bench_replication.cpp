@@ -41,9 +41,9 @@ using namespace rulekit;
 using Clock = std::chrono::steady_clock;
 namespace fs = std::filesystem;
 
-constexpr size_t kWriters = 8;
-constexpr size_t kCommitsPerWriter = 250;
-constexpr size_t kReplicationRounds = 150;
+const size_t kWriters = rulekit::bench::SmokeN(8, 2);
+const size_t kCommitsPerWriter = rulekit::bench::SmokeN(250, 20);
+const size_t kReplicationRounds = rulekit::bench::SmokeN(150, 10);
 
 fs::path ScratchDir(const std::string& name) {
   fs::path dir = fs::temp_directory_path() / ("rulekit_bench_repl_" + name);

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/data/catalog_generator.h"
@@ -73,7 +74,7 @@ Fixture& GetFixture(size_t num_rules) {
   data::CatalogGenerator gen(config);
   Fixture fixture;
   fixture.rules = BuildRules(gen, num_rules);
-  for (auto& li : gen.GenerateMany(1000)) {
+  for (auto& li : gen.GenerateMany(bench::SmokeN(1000, 200))) {
     fixture.items.push_back(std::move(li.item));
   }
   return cache->emplace(num_rules, std::move(fixture)).first->second;
@@ -176,6 +177,7 @@ int main(int argc, char** argv) {
                 indexed.index_stats().unindexed_rules,
                 indexed.index_stats().literals);
   }
+  argv = rulekit::bench::SmokeBenchmarkArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

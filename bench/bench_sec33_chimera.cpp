@@ -62,7 +62,7 @@ int main() {
     trained_types.insert(gen.specs()[t].name);
   }
   std::vector<data::LabeledItem> training;
-  for (const auto& li : analyst.LabelItems(gen.GenerateMany(15000))) {
+  for (const auto& li : analyst.LabelItems(gen.GenerateMany(bench::SmokeN(15000, 1200)))) {
     if (trained_types.count(li.label)) training.push_back(li);
   }
 
@@ -76,7 +76,7 @@ int main() {
     (void)p.AddRules(analyst.WriteBrandRules(), "analyst");
   };
 
-  auto eval_batch = gen.GenerateMany(8000);
+  auto eval_batch = gen.GenerateMany(bench::SmokeN(8000, 600));
 
   bench::Section("configuration comparison (same 8000-item batch)");
   std::printf("  %-18s %-10s %-10s %-10s %-9s %-9s\n", "config",

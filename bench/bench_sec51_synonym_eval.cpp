@@ -107,7 +107,7 @@ int main() {
   config.num_types = 25;  // 25 types -> 25 input regexes
   data::CatalogGenerator gen(config);
   std::vector<std::string> titles;
-  for (const auto& li : gen.GenerateMany(25000)) {
+  for (const auto& li : gen.GenerateMany(bench::SmokeN(25000, 1500))) {
     titles.push_back(li.item.title);
   }
   std::printf("corpus: %zu titles; one input regex per type, golden = the "

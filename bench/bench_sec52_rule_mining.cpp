@@ -54,7 +54,7 @@ int main() {
   config.num_types = 40;
   data::CatalogGenerator generator(config);
 
-  auto labeled = generator.GenerateMany(30000);
+  auto labeled = generator.GenerateMany(bench::SmokeN(30000, 2000));
   std::printf("labeled data: %zu items, %zu types  [paper: 885K items, "
               "3707 types]\n",
               labeled.size(), generator.specs().size());
@@ -83,7 +83,7 @@ int main() {
 
   // ---- precision of the two sets, crowd-estimated on fresh data ----------
   bench::Section("precision of the selected rule sets (crowd-estimated)");
-  auto fresh = generator.GenerateMany(8000);
+  auto fresh = generator.GenerateMany(bench::SmokeN(8000, 600));
   crowd::CrowdSimulator crowd{crowd::CrowdConfig{}};
   auto high_set = ToRuleSet(outcome.selected, true, miner_config.alpha);
   auto low_set = ToRuleSet(outcome.selected, false, miner_config.alpha);

@@ -43,7 +43,7 @@ namespace {
 using namespace rulekit;
 using Clock = std::chrono::steady_clock;
 
-constexpr size_t kNumItems = 4000;
+const size_t kNumItems = rulekit::bench::SmokeN(4000, 300);
 constexpr size_t kNumTypes = 24;
 constexpr double kZipfS = 1.2;
 
@@ -182,7 +182,7 @@ int main() {
   // ---- 1+2: offered-load sweep, saturation on the last point ----------
   bench::Section("latency vs offered load (open loop, Zipf titles)");
   const std::vector<double> kRates = {250, 500, 1000, 2000, 4000};
-  constexpr double kSecondsPerRate = 1.2;
+  const double kSecondsPerRate = rulekit::bench::SmokeMode() ? 0.2 : 1.2;
   std::vector<SweepPoint> sweep;
   for (double rate : kRates) {
     serving::ServerConfig server_config;
@@ -235,7 +235,7 @@ int main() {
     if (!server.Start().ok()) return 1;
     auto client = serving::RuleClient::Connect(server.port());
     if (!client.ok()) return 1;
-    constexpr size_t kBurst = 3000;
+    const size_t kBurst = bench::SmokeN(3000, 200);
     LogHistogram unused;
     uint64_t ok = 0, overloaded = 0;
     std::thread receiver([&] {
@@ -291,7 +291,7 @@ int main() {
   bench::Section("noisy neighbor: per-tenant token bucket");
   constexpr double kQuietRate = 150;
   constexpr double kNoisyRate = 3000;
-  constexpr double kNoisySeconds = 1.5;
+  const double kNoisySeconds = bench::SmokeMode() ? 0.3 : 1.5;
   serving::ServerConfig fair_config;
   fair_config.coalesce_window = std::chrono::microseconds(500);
   fair_config.rate_limit_per_sec = 300;  // each tenant's budget

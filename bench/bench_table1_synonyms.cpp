@@ -47,7 +47,7 @@ int main() {
   config.seed = 1001;
   data::CatalogGenerator gen(config);
   std::vector<std::string> titles;
-  for (const auto& li : gen.GenerateMany(30000)) {
+  for (const auto& li : gen.GenerateMany(bench::SmokeN(30000, 2000))) {
     titles.push_back(li.item.title);
   }
   std::printf("corpus: %zu generated titles, %zu types\n", titles.size(),

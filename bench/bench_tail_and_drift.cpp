@@ -48,7 +48,7 @@ int main() {
 
   // ---- (a) tail types -------------------------------------------------------
   bench::Section("(a) tail type with NO training data: learning vs rules");
-  auto all_training = analyst.LabelItems(gen.GenerateMany(12000));
+  auto all_training = analyst.LabelItems(gen.GenerateMany(bench::SmokeN(12000, 1000)));
   std::vector<data::LabeledItem> training;
   for (const auto& li : all_training) {
     if (li.label != "holiday decorations") training.push_back(li);

@@ -8,6 +8,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,6 +42,36 @@ inline std::optional<std::string> ClassifyOne(
   request.tenant = tenant;
   request.items = std::span<const data::ProductItem>(&item, 1);
   return pipeline.Classify(request).report.predictions[0];
+}
+
+/// Smoke mode (RULEKIT_BENCH_SMOKE=1): every bench shrinks its iteration
+/// budget to a did-it-run sanity size — `scripts/check.sh --bench-smoke`
+/// exercises all binaries end to end in seconds instead of minutes. The
+/// measured numbers are meaningless in smoke mode; only exit status and
+/// output plumbing are under test.
+inline bool SmokeMode() {
+  const char* env = std::getenv("RULEKIT_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// `full` normally, `smoke` under RULEKIT_BENCH_SMOKE.
+inline size_t SmokeN(size_t full, size_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// For google-benchmark binaries: in smoke mode, returns an argv with
+/// --benchmark_min_time=0.01 appended (and bumps *argc), so every
+/// registered timer runs a token repetition instead of its full budget.
+/// Pass the result to benchmark::Initialize. A no-op outside smoke mode.
+inline char** SmokeBenchmarkArgs(int* argc, char** argv) {
+  if (!SmokeMode()) return argv;
+  static std::vector<char*> patched;
+  static char flag[] = "--benchmark_min_time=0.01";
+  patched.assign(argv, argv + *argc);
+  patched.push_back(flag);
+  patched.push_back(nullptr);
+  *argc += 1;
+  return patched.data();
 }
 
 inline void Header(const char* experiment, const char* paper_artifact) {

@@ -22,6 +22,12 @@
 //                             rule-set optimizer for the current tenant:
 //                             subsumption drops through one audited,
 //                             WAL-journaled transaction
+//   autoheal on [<ms>]        start the drift responder: poll the session's
+//                             quality monitor every <ms> (default 1000) and
+//                             fire policy-gated retrains on drift alarms
+//   autoheal off              stop the responder (pending retrains finish)
+//   autoheal status           per-tenant responder state: alarms, fires,
+//                             failure backoff, cooldown
 //   open <dir>                switch to a durable store (recovers state)
 //   status                    storage status (epoch, WAL size, recovery)
 //   compact                   force a snapshot + WAL rotation
@@ -35,6 +41,7 @@
 // published, and restarting the shell on the same directory recovers the
 // rules, the audit history, and any torn tail from a crash.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
@@ -45,6 +52,7 @@
 #include <utility>
 
 #include "src/chimera/pipeline.h"
+#include "src/maint/drift_responder.h"
 #include "src/replication/follower.h"
 #include "src/replication/shipper.h"
 #include "src/serving/server.h"
@@ -71,10 +79,18 @@ const char* ActionName(rules::AuditAction action) {
 
 /// Builds a pipeline, durable when `dir` is non-empty. Returns null (with
 /// a message) when the store cannot be opened — e.g. a corrupt log.
+/// Retrain reports flow into `monitor`, the session-lifetime quality
+/// monitor the drift responder (`autoheal on`) watches.
 std::unique_ptr<chimera::ChimeraPipeline> MakePipeline(
-    const std::string& dir) {
+    const std::string& dir, chimera::QualityMonitor* monitor) {
   chimera::PipelineConfig config;
   config.storage_dir = dir;
+  if (monitor != nullptr) {
+    config.retrain.report_sink = [monitor](
+        const chimera::RetrainReport& report) {
+      monitor->RecordRetrain(report);
+    };
+  }
   auto pipeline = std::make_unique<chimera::ChimeraPipeline>(config);
   if (!pipeline->storage_status().ok()) {
     std::printf("error: %s\n",
@@ -107,22 +123,33 @@ attr books1: has(ISBN) => books
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Session-lifetime quality monitor: declared before the pipeline (and
+  // the responder) so both can safely hold a reference across `open`.
+  chimera::QualityMonitor monitor;
   std::unique_ptr<chimera::ChimeraPipeline> pipeline;
   if (argc > 1) {
-    pipeline = MakePipeline(argv[1]);
+    pipeline = MakePipeline(argv[1], &monitor);
     if (pipeline == nullptr) return 1;
     // Recovered stores keep their recovered rules; only a brand-new or
     // empty store gets the demo seed.
     if (pipeline->repository().rules().size() == 0) SeedRules(*pipeline);
   } else {
-    pipeline = MakePipeline("");
+    pipeline = MakePipeline("", &monitor);
     SeedRules(*pipeline);
   }
 
+  // The self-healing loop, armed by `autoheal on`: a background poll that
+  // turns monitor alarms into policy-gated retrains. Owned here (not in
+  // the pipeline) because it must be torn down before `open` swaps the
+  // pipeline it references, then re-armed over the replacement.
+  std::unique_ptr<maint::DriftResponder> responder;
+  std::chrono::milliseconds autoheal_interval{1000};
+
   std::printf("rulekit shell — %zu rules loaded. commands: add, disable, "
               "enable, retire,\nclassify, serve, replicate, follow, tenant, "
-              "tenants, list, history, subsumed,\noptimize [--dry-run], open, "
-              "status, compact, save, load, quit\n",
+              "tenants, list, history, subsumed,\noptimize [--dry-run], "
+              "autoheal on|off|status, open, status, compact, save,\n"
+              "load, quit\n",
               pipeline->rule_set().CountActive());
 
   // The session's tenant scope: edits and classifications run through
@@ -185,6 +212,7 @@ int main(int argc, char** argv) {
       serving::ServerConfig server_config;
       server_config.port =
           static_cast<uint16_t>(std::strtoul(rest.c_str(), nullptr, 10));
+      server_config.monitor = &monitor;  // feeds `autoheal` while serving
       serving::RuleServer server(*pipeline, server_config);
       Status st = server.Start();
       if (!st.ok()) {
@@ -345,12 +373,76 @@ int main(int argc, char** argv) {
           },
           scope);
       std::printf("%s\n", st.ok() ? "applied" : st.ToString().c_str());
+    } else if (cmd == "autoheal") {
+      std::istringstream arg_in(rest);
+      std::string sub;
+      arg_in >> sub;
+      if (sub == "on") {
+        unsigned long ms = 0;
+        arg_in >> ms;
+        if (ms > 0) autoheal_interval = std::chrono::milliseconds(ms);
+        responder.reset();  // idempotent: re-arm with the new interval
+        responder =
+            std::make_unique<maint::DriftResponder>(*pipeline, monitor);
+        responder->Start(autoheal_interval);
+        std::printf("autoheal on — polling quality alarms every %llu ms "
+                    "(hysteresis %zu windows, cooldown %llu ms)\n",
+                    static_cast<unsigned long long>(
+                        autoheal_interval.count()),
+                    responder->policy().min_alarm_windows,
+                    static_cast<unsigned long long>(
+                        responder->policy().cooldown.count()));
+      } else if (sub == "off") {
+        if (responder == nullptr) {
+          std::printf("autoheal already off\n");
+        } else {
+          size_t fires = responder->fires();
+          responder.reset();
+          std::printf("autoheal off (%zu retrain%s fired this session)\n",
+                      fires, fires == 1 ? "" : "s");
+        }
+      } else if (sub == "status" || sub.empty()) {
+        if (responder == nullptr) {
+          std::printf("autoheal off — `autoheal on [<ms>]` to start\n");
+          continue;
+        }
+        std::printf("autoheal on (%llu ms poll), %zu retrain%s fired\n",
+                    static_cast<unsigned long long>(
+                        autoheal_interval.count()),
+                    responder->fires(),
+                    responder->fires() == 1 ? "" : "s");
+        for (const auto& s : responder->Status()) {
+          const rules::TenantId id(s.tenant);
+          std::printf("  %-12s alarms=%zu fires=%zu failure_streak=%zu "
+                      "backoff=x%.1f cooldown=%.0fms%s\n",
+                      id.display().c_str(), s.consecutive_alarms, s.fires,
+                      s.failure_streak, s.backoff, s.cooldown_remaining_ms,
+                      s.retrain_inflight ? " (retrain in flight)" : "");
+        }
+      } else {
+        std::printf("usage: autoheal on [<interval_ms>] | off | status\n");
+      }
     } else if (cmd == "open") {
-      auto reopened = MakePipeline(rest);
-      if (reopened == nullptr) continue;  // keep the current pipeline
-      pipeline = std::move(reopened);
-      std::printf("%zu active rules\n",
-                  pipeline->rule_set().CountActive());
+      // The responder holds a reference to the pipeline it heals, so it
+      // must stand down before the swap — and re-arm over whichever
+      // pipeline the session ends up with (the old one if the open
+      // fails, the new one if it succeeds).
+      const bool autoheal_was_on = responder != nullptr;
+      responder.reset();
+      auto reopened = MakePipeline(rest, &monitor);
+      const bool opened = reopened != nullptr;
+      if (opened) {
+        pipeline = std::move(reopened);
+        std::printf("%zu active rules\n",
+                    pipeline->rule_set().CountActive());
+      }
+      if (autoheal_was_on) {
+        responder =
+            std::make_unique<maint::DriftResponder>(*pipeline, monitor);
+        responder->Start(autoheal_interval);
+        std::printf("autoheal re-armed over the %s pipeline\n",
+                    opened ? "opened" : "previous");
+      }
     } else if (cmd == "status") {
       auto* store = pipeline->storage();
       if (store == nullptr) {

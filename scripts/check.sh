@@ -7,7 +7,7 @@
 #   scripts/check.sh --labels stress     # only tests with a matching ctest
 #                                        # label (unit | stress | storage |
 #                                        # tenant | serving | replication |
-#                                        # optimizer)
+#                                        # optimizer | drift)
 #   scripts/check.sh tsan --labels 'stress|storage'
 #   scripts/check.sh tsan --labels 'replication|stress'  # the replication
 #                                        # stream + concurrency tiers under
@@ -15,6 +15,14 @@
 #   scripts/check.sh tsan --labels optimizer  # optimize-while-serving race
 #                                        # check (the concurrency test is
 #                                        # dual-labeled optimizer+stress)
+#   scripts/check.sh tsan --labels drift # the self-healing loop under TSan
+#                                        # (drift_stress_test is dual-labeled
+#                                        # drift+stress)
+#   scripts/check.sh --bench-smoke       # build the plain tree and run every
+#                                        # bench binary once with a tiny
+#                                        # iteration budget (RULEKIT_BENCH_
+#                                        # SMOKE=1) — a did-it-run gate, not
+#                                        # a measurement
 #   scripts/check.sh --timeout 120      # per-test seconds, overriding the
 #                                        # TIMEOUT each test registers
 #   CHECK_JOBS=4 scripts/check.sh        # override parallelism
@@ -34,12 +42,14 @@ jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 labels=""
 timeout=""
 want=""
+bench_smoke=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --labels)   labels="${2:?--labels needs a ctest -L regex}"; shift 2 ;;
     --labels=*) labels="${1#*=}"; shift ;;
     --timeout)   timeout="${2:?--timeout needs seconds}"; shift 2 ;;
     --timeout=*) timeout="${1#*=}"; shift ;;
+    --bench-smoke) bench_smoke=1; shift ;;
     all|plain|asan|tsan)
       if [[ -n "${want}" ]]; then
         echo "error: more than one tree selected ('${want}', '$1')" >&2
@@ -47,7 +57,7 @@ while [[ $# -gt 0 ]]; do
       fi
       want="$1"; shift ;;
     *)
-      echo "usage: $0 [all|plain|asan|tsan] [--labels <regex>] [--timeout <sec>]" >&2
+      echo "usage: $0 [all|plain|asan|tsan] [--labels <regex>] [--timeout <sec>] [--bench-smoke]" >&2
       exit 2 ;;
   esac
 done
@@ -71,6 +81,33 @@ run_tree() {
   echo "=== [${name}] ctest ==="
   ctest --test-dir "${dir}" "${ctest_flags[@]}"
 }
+
+run_bench_smoke() {
+  echo "=== [bench-smoke] configure build ==="
+  cmake -B build -S .
+  echo "=== [bench-smoke] build benches ==="
+  cmake --build build -j "${jobs}" --target $(
+    sed -n 's/^rulekit_add_bench(\([a-z0-9_]*\).*/\1/p' bench/CMakeLists.txt)
+  echo "=== [bench-smoke] run each bench with a token budget ==="
+  local failed=0
+  for bin in build/bench/bench_*; do
+    [[ -x "${bin}" && ! -d "${bin}" ]] || continue
+    echo "--- ${bin##*/} ---"
+    if ! (cd build/bench && RULEKIT_BENCH_SMOKE=1 "./${bin##*/}" \
+            > "/tmp/${bin##*/}.smoke.log" 2>&1); then
+      echo "FAILED: ${bin##*/} (log: /tmp/${bin##*/}.smoke.log)" >&2
+      tail -20 "/tmp/${bin##*/}.smoke.log" >&2
+      failed=1
+    fi
+  done
+  [[ "${failed}" -eq 0 ]] || exit 1
+  echo "=== all benches ran clean in smoke mode ==="
+}
+
+if [[ "${bench_smoke}" -eq 1 ]]; then
+  run_bench_smoke
+  exit 0
+fi
 
 case "${want}" in
   all)

@@ -148,4 +148,23 @@ std::vector<data::LabeledItem> SimulatedAnalyst::LabelItems(
   return out;
 }
 
+std::vector<rules::Rule> WriteEventRules(
+    const data::EventStreamGenerator& stream) {
+  std::vector<rules::Rule> out;
+  for (const auto& spec : stream.specs()) {
+    for (size_t k = 0; k < spec.keywords.size(); ++k) {
+      auto rule = rules::Rule::Whitelist(
+          "evt-" + spec.name + "-" + std::to_string(k),
+          RegexEscape(spec.keywords[k]), spec.name);
+      if (rule.ok()) {
+        out.push_back(std::move(rule).value());
+      } else {
+        RULEKIT_LOG(kWarning) << "event rule failed to compile: "
+                              << rule.status().ToString();
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace rulekit::chimera

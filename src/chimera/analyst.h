@@ -6,6 +6,7 @@
 
 #include "src/common/random.h"
 #include "src/data/catalog_generator.h"
+#include "src/data/event_stream.h"
 #include "src/data/product.h"
 #include "src/rules/rule.h"
 
@@ -76,6 +77,14 @@ class SimulatedAnalyst {
   size_t rules_written_ = 0;
   uint64_t next_id_ = 0;
 };
+
+/// Decoder-style whitelist rules for the event-stream workload: one rule
+/// per (event type, signature keyword phrase), exactly what a SIEM
+/// ruleset's prematch patterns encode. Since keywords are exclusive
+/// across types, the set classifies the undrifted stream perfectly —
+/// drift is what breaks it, which is the point of the exercise.
+std::vector<rules::Rule> WriteEventRules(
+    const data::EventStreamGenerator& stream);
 
 }  // namespace rulekit::chimera
 

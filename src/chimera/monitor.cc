@@ -18,6 +18,7 @@ const RingBuffer<T>& EmptyBuffer() {
 
 void QualityMonitor::Record(const BatchQuality& quality,
                             const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(quality_mu_);
   auto it = history_.find(tenant);
   if (it == history_.end()) {
     it = history_.emplace(tenant, RingBuffer<BatchQuality>(max_history_))
@@ -28,6 +29,7 @@ void QualityMonitor::Record(const BatchQuality& quality,
 
 void QualityMonitor::RecordCache(const CacheActivity& activity,
                                  const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(quality_mu_);
   auto it = cache_history_.find(tenant);
   if (it == cache_history_.end()) {
     it = cache_history_
@@ -40,6 +42,42 @@ void QualityMonitor::RecordCache(const CacheActivity& activity,
 void QualityMonitor::RecordRetrain(const RetrainReport& report) {
   std::lock_guard<std::mutex> lock(retrain_mu_);
   retrain_history_.push_back(report);
+}
+
+void QualityMonitor::RecordResponder(const ResponderDecision& decision,
+                                     const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(responder_mu_);
+  auto it = responder_history_.find(tenant);
+  if (it == responder_history_.end()) {
+    it = responder_history_
+             .emplace(tenant, RingBuffer<ResponderDecision>(max_history_))
+             .first;
+  }
+  it->second.push_back(decision);
+}
+
+std::vector<ResponderDecision> QualityMonitor::responder_history(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(responder_mu_);
+  std::vector<ResponderDecision> out;
+  auto it = responder_history_.find(tenant);
+  if (it == responder_history_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    out.push_back(it->second[i]);
+  }
+  return out;
+}
+
+size_t QualityMonitor::responder_fires(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(responder_mu_);
+  auto it = responder_history_.find(tenant);
+  if (it == responder_history_.end()) return 0;
+  size_t fires = 0;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second[i].fired) ++fires;
+  }
+  return fires;
 }
 
 void QualityMonitor::RecordServing(const ServingActivity& activity,
@@ -150,7 +188,10 @@ size_t QualityMonitor::retrains_published(const std::string& tenant) const {
 
 double QualityMonitor::CacheHitRate(const std::string& tenant,
                                     size_t window) const {
-  const RingBuffer<CacheActivity>& buffer = cache_history(tenant);
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = cache_history_.find(tenant);
+  if (it == cache_history_.end()) return 0.0;
+  const RingBuffer<CacheActivity>& buffer = it->second;
   size_t begin = 0;
   if (window != 0 && window < buffer.size()) {
     begin = buffer.size() - window;
@@ -161,6 +202,40 @@ double QualityMonitor::CacheHitRate(const std::string& tenant,
     hits += buffer[i].hits;
   }
   return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+}
+
+double QualityMonitor::StaleDropRate(const std::string& tenant,
+                                     size_t window) const {
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = cache_history_.find(tenant);
+  if (it == cache_history_.end()) return 0.0;
+  const RingBuffer<CacheActivity>& buffer = it->second;
+  size_t begin = 0;
+  if (window != 0 && window < buffer.size()) {
+    begin = buffer.size() - window;
+  }
+  size_t lookups = 0, stale = 0;
+  for (size_t i = begin; i < buffer.size(); ++i) {
+    lookups += buffer[i].lookups;
+    stale += buffer[i].stale_drops;
+  }
+  return lookups == 0 ? 0.0 : static_cast<double>(stale) / lookups;
+}
+
+std::optional<BatchQuality> QualityMonitor::LatestQuality(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = history_.find(tenant);
+  if (it == history_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<CacheActivity> QualityMonitor::LatestCache(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = cache_history_.find(tenant);
+  if (it == cache_history_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
 }
 
 double QualityMonitor::ExecutedRulesPerItem(const std::string& tenant,
@@ -182,27 +257,41 @@ double QualityMonitor::ExecutedRulesPerItem(const std::string& tenant,
 }
 
 bool QualityMonitor::DegradationAlarm(const std::string& tenant) const {
-  const RingBuffer<BatchQuality>& buffer = history(tenant);
-  if (buffer.empty()) return false;
-  return buffer.back().precision.estimate < threshold_;
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = history_.find(tenant);
+  if (it == history_.end() || it->second.empty()) return false;
+  return it->second.back().precision.estimate < threshold_;
 }
 
 bool QualityMonitor::SevereDegradationAlarm(
     const std::string& tenant) const {
-  const RingBuffer<BatchQuality>& buffer = history(tenant);
-  if (buffer.empty()) return false;
-  return buffer.back().precision.upper < threshold_;
+  std::lock_guard<std::mutex> lock(quality_mu_);
+  auto it = history_.find(tenant);
+  if (it == history_.end() || it->second.empty()) return false;
+  return it->second.back().precision.upper < threshold_;
 }
 
 std::vector<std::string> QualityMonitor::Tenants() const {
   std::vector<std::string> out;
-  for (const auto& [tenant, buffer] : history_) {
-    if (!buffer.empty() || tenant.empty()) out.push_back(tenant);
+  {
+    std::lock_guard<std::mutex> lock(quality_mu_);
+    for (const auto& [tenant, buffer] : history_) {
+      if (!buffer.empty() || tenant.empty()) out.push_back(tenant);
+    }
+    for (const auto& [tenant, buffer] : cache_history_) {
+      if (buffer.empty() && !tenant.empty()) continue;
+      if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+        out.push_back(tenant);
+      }
+    }
   }
-  for (const auto& [tenant, buffer] : cache_history_) {
-    if (buffer.empty() && !tenant.empty()) continue;
-    if (std::find(out.begin(), out.end(), tenant) == out.end()) {
-      out.push_back(tenant);
+  {
+    std::lock_guard<std::mutex> lock(responder_mu_);
+    for (const auto& [tenant, buffer] : responder_history_) {
+      if (buffer.empty() && !tenant.empty()) continue;
+      if (std::find(out.begin(), out.end(), tenant) == out.end()) {
+        out.push_back(tenant);
+      }
     }
   }
   {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,32 @@ struct ReplicationActivity {
   uint64_t offset = 0;
 };
 
+/// One drift-responder evaluation of one tenant: which trigger (if any)
+/// was active, whether a retrain was fired, and why not when it wasn't.
+/// maint::DriftResponder records every decision — fired or suppressed —
+/// so the self-healing loop leaves a complete audit trail.
+struct ResponderDecision {
+  enum class Trigger {
+    kNone,               // no signal this evaluation
+    kDegradation,        // DegradationAlarm: point estimate below threshold
+    kSevereDegradation,  // SevereDegradationAlarm: Wilson upper bound below
+    kStaleSpike,         // hot-cache stale-drop-rate spike
+    kRuleFlags,          // RulePrecisionMonitor flagged rules
+  };
+  Trigger trigger = Trigger::kNone;
+  bool fired = false;   // a RequestRetrain was issued
+  bool urgent = false;  // severe escalation: trainer policy gates bypassed
+  /// The hysteresis counter: consecutive evaluations that saw an alarmed
+  /// window, at the time of this decision.
+  size_t consecutive_alarms = 0;
+  /// > 0 when an active trigger was suppressed by the cooldown.
+  double cooldown_remaining_ms = 0.0;
+  /// Failure-backoff multiplier in force (1.0 = none; grows after fired
+  /// retrains whose reports came back failed).
+  double backoff = 1.0;
+  std::string reason;
+};
+
 /// Tracks batch-level precision and raises a degradation alarm when the
 /// estimate falls below the business threshold (§2.2 requirement 3:
 /// "detect such quality problems quickly").
@@ -92,9 +119,14 @@ class QualityMonitor {
                            RingBuffer<CacheActivity>(max_history_));
   }
 
+  /// Records one batch-quality observation. Thread-safe: the stream
+  /// window runner records from its caller's thread while a
+  /// DriftResponder polls alarms from its own.
   void Record(const BatchQuality& quality, const std::string& tenant = {});
 
   /// Folds one batch's cache counters into the cache history.
+  /// Thread-safe, same reason as Record (and the serving dispatcher
+  /// thread records cache activity too).
   void RecordCache(const CacheActivity& activity,
                    const std::string& tenant = {});
 
@@ -111,13 +143,29 @@ class QualityMonitor {
                          const std::string& tenant = {});
 
   /// Records one background-retrain report (published, skipped, or
-  /// abandoned), filed under `report.tenant`. Unlike the other Record*
-  /// methods this one is thread-safe: it is the natural
-  /// `RetrainPolicy::report_sink` target and thus runs on the trainer
-  /// thread.
+  /// abandoned), filed under `report.tenant`. Thread-safe: it is the
+  /// natural `RetrainPolicy::report_sink` target and thus runs on the
+  /// trainer thread.
   void RecordRetrain(const RetrainReport& report);
 
+  /// Records one drift-responder trigger decision. Thread-safe: the
+  /// responder's poll thread is the natural caller.
+  void RecordResponder(const ResponderDecision& decision,
+                       const std::string& tenant = {});
+
+  /// Copy of one tenant's responder decisions, oldest first (a copy
+  /// because the responder thread may append concurrently).
+  std::vector<ResponderDecision> responder_history(
+      const std::string& tenant = {}) const;
+
+  /// How many recorded responder decisions actually fired a retrain.
+  size_t responder_fires(const std::string& tenant = {}) const;
+
   /// The default tenant's quality history (capped; oldest first).
+  /// The reference-returning history accessors are writer-thread views:
+  /// safe only when no other thread is concurrently recording (the
+  /// single-threaded test/experiment pattern). Concurrent readers use
+  /// the alarm predicates and Latest*/rate queries, which lock.
   const RingBuffer<BatchQuality>& history() const {
     return history_.at(std::string());
   }
@@ -165,6 +213,24 @@ class QualityMonitor {
   }
   double CacheHitRate(const std::string& tenant, size_t window) const;
 
+  /// Stale drops / lookups over the tenant's last `window` recorded cache
+  /// batches (all of them when window == 0). 0.0 when no lookups were
+  /// recorded. A spike here means cached winners keep invalidating —
+  /// either heavy rule churn or a drifting feed — and is one of the
+  /// DriftResponder's trigger signals.
+  double StaleDropRate(size_t window = 0) const {
+    return StaleDropRate(std::string(), window);
+  }
+  double StaleDropRate(const std::string& tenant, size_t window) const;
+
+  /// Copy of the tenant's most recent quality / cache observation, under
+  /// lock — the thread-safe "did a new window arrive?" probes the
+  /// DriftResponder clocks itself by.
+  std::optional<BatchQuality> LatestQuality(
+      const std::string& tenant = {}) const;
+  std::optional<CacheActivity> LatestCache(
+      const std::string& tenant = {}) const;
+
   /// Average regex evaluations per rule-executed item over the default
   /// tenant's last `window` serving dispatches (all of them when
   /// window == 0). 0.0 when no rule items were recorded.
@@ -196,8 +262,16 @@ class QualityMonitor {
  private:
   double threshold_;
   size_t max_history_;
+  /// Guards history_ and cache_history_ for the *locking* entry points
+  /// (Record, RecordCache, the alarm predicates, rate queries, Tenants).
+  /// The reference-returning accessors bypass it by design — see their
+  /// comment above.
+  mutable std::mutex quality_mu_;
   std::map<std::string, RingBuffer<BatchQuality>> history_;
   std::map<std::string, RingBuffer<CacheActivity>> cache_history_;
+  /// Guards responder_history_ — fed from the responder's poll thread.
+  mutable std::mutex responder_mu_;
+  std::map<std::string, RingBuffer<ResponderDecision>> responder_history_;
   /// Guards retrain_history_ only — a history fed from another thread.
   mutable std::mutex retrain_mu_;
   RingBuffer<RetrainReport> retrain_history_;

@@ -344,8 +344,8 @@ size_t ChimeraPipeline::training_size(const rules::TenantId& tenant) const {
 }
 
 std::shared_future<RetrainReport> ChimeraPipeline::RequestRetrain(
-    const rules::TenantId& tenant) {
-  return trainer_->Request(tenant.value());
+    const rules::TenantId& tenant, bool urgent) {
+  return trainer_->Request(tenant.value(), urgent);
 }
 
 void ChimeraPipeline::RetrainLearning(const rules::TenantId& tenant) {

@@ -319,8 +319,14 @@ class ChimeraPipeline {
   /// its own history. The run trains outside every pipeline lock, then
   /// installs the ensemble, bumps the tenant's semantic generation, and
   /// publishes exactly as the historical synchronous path did.
+  ///
+  /// `urgent` is the DriftResponder's severe-alarm escalation: the
+  /// request bypasses the tenant's min_interval / min_new_examples gates
+  /// (it still coalesces into the tenant's one slot), so an
+  /// unambiguously degraded tenant retrains now instead of waiting out
+  /// its throttle.
   std::shared_future<RetrainReport> RequestRetrain(
-      const rules::TenantId& tenant = {});
+      const rules::TenantId& tenant = {}, bool urgent = false);
 
   /// Synchronous wrapper: request + wait. With the default (ungated)
   /// retrain policy this is observably identical to the historical

@@ -1,0 +1,82 @@
+#ifndef RULEKIT_CHIMERA_STREAM_WINDOW_H_
+#define RULEKIT_CHIMERA_STREAM_WINDOW_H_
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/chimera/request.h"
+#include "src/common/random.h"
+#include "src/data/product.h"
+#include "src/rules/ids.h"
+
+namespace rulekit::chimera {
+
+/// Knobs of the sliding-window stream driver.
+struct StreamWindowOptions {
+  /// Classified items crowd-verified per window for the precision
+  /// estimate (capped at the window's classified count).
+  size_t sample_size = 150;
+  /// Wilson interval confidence (1.96 = 95%).
+  double z = 1.96;
+  /// Feed the verified sample back as labeled training data — the
+  /// operational crowd-labeling loop the self-healing retrain draws on.
+  /// Without it an alarm-triggered retrain has nothing new to learn from.
+  bool feed_training = true;
+  /// Also label (up to sample_size of) the window's *unclassified* items
+  /// into the training pool: the paper's manual queue. This is how a
+  /// retrain learns vocabulary the entire stack abstained on.
+  bool label_declined = true;
+  uint64_t seed = 4242;  // verification-sampling RNG
+};
+
+/// One window's outcome: the batch accounting, the quality observation
+/// that was recorded, and the window's true accuracy over classified
+/// items (experiment-side reporting; the monitor only ever sees the
+/// sampled estimate, like production would).
+struct WindowResult {
+  Status status;
+  BatchReport report;
+  BatchQuality quality;
+  double true_accuracy = 0.0;  // correct / classified, vs ground truth
+  double coverage = 0.0;
+};
+
+/// Drives a labeled event stream through the pipeline in sliding
+/// windows — the streaming analog of batch experiment loops. Per window
+/// it classifies through the one ClassifyRequest entry point,
+/// crowd-samples the predictions against the items' labels for a Wilson
+/// precision estimate, records BatchQuality + CacheActivity into the
+/// QualityMonitor (which is what the DriftResponder's alarms read), and
+/// optionally feeds the verified sample back as training data.
+///
+/// Windows are numbered per tenant, monotonically — the responder uses
+/// the recorded batch_index to tell a new window from a re-poll.
+class StreamWindowRunner {
+ public:
+  StreamWindowRunner(ChimeraPipeline& pipeline, QualityMonitor& monitor,
+                     StreamWindowOptions options = {});
+
+  /// Classifies one window of labeled stream items for `tenant`,
+  /// records quality + cache activity, and (optionally) feeds the
+  /// verified sample to the tenant's training pool.
+  WindowResult RunWindow(std::span<const data::LabeledItem> window,
+                         const rules::TenantId& tenant = {});
+
+  /// Windows run so far for `tenant`.
+  size_t windows(const rules::TenantId& tenant = {}) const;
+
+ private:
+  ChimeraPipeline& pipeline_;
+  QualityMonitor& monitor_;
+  StreamWindowOptions options_;
+  Rng rng_;
+  std::map<std::string, size_t> window_index_;
+};
+
+}  // namespace rulekit::chimera
+
+#endif  // RULEKIT_CHIMERA_STREAM_WINDOW_H_

@@ -29,7 +29,7 @@ const RetrainPolicy& BackgroundTrainer::PolicyFor(
 }
 
 std::shared_future<RetrainReport> BackgroundTrainer::Request(
-    const std::string& tenant) {
+    const std::string& tenant, bool urgent) {
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) {
     // Shutdown already began: resolve immediately instead of handing out
@@ -53,6 +53,7 @@ std::shared_future<RetrainReport> BackgroundTrainer::Request(
     slot.pending->enqueued = Clock::now();
   }
   ++slot.pending->coalesced;
+  if (urgent) slot.pending->urgent = true;
   std::shared_future<RetrainReport> future = slot.pending->future;
   lock.unlock();
   cv_.notify_all();
@@ -120,7 +121,9 @@ void BackgroundTrainer::ThreadMain() {
           slot.pending->enqueued + policy.max_queue_age;
       std::optional<RetrainReport::Outcome> gated;
       Clock::time_point gate_opens_at = hard_at;
-      if (!(defer_mode && now >= hard_at)) {
+      // An urgent batch (severe-alarm escalation) bypasses the gates the
+      // same way a hard-aged one does.
+      if (!slot.pending->urgent && !(defer_mode && now >= hard_at)) {
         if (policy.min_interval.count() > 0 && slot.has_last_run &&
             now < slot.last_run_done + policy.min_interval) {
           gated = RetrainReport::Outcome::kSkippedMinInterval;
@@ -184,6 +187,7 @@ void BackgroundTrainer::ThreadMain() {
     RetrainReport report = run_fn_(serve_tenant, batch.coalesced);
     report.coalesced_requests = batch.coalesced;
     report.tenant = serve_tenant;
+    report.urgent = batch.urgent;
     lock.lock();
     TenantSlot& done_slot = slots_[serve_tenant];
     done_slot.has_last_run = true;

@@ -45,6 +45,9 @@ struct RetrainReport {
   double duration_ms = 0.0;
   /// Tenant the run (or skip) was for; empty = the default tenant.
   std::string tenant;
+  /// True when any request folded into this run was urgent (severe-alarm
+  /// escalation): the policy gates were bypassed for it.
+  bool urgent = false;
 };
 
 /// When the trainer actually runs a requested retrain. All gates default
@@ -129,7 +132,15 @@ class BackgroundTrainer {
   /// Enqueue-or-coalesce into `tenant`'s slot; returns immediately (a
   /// mutex-protected pointer update — never waits on training). After
   /// shutdown began, resolves immediately as kAbandoned.
-  std::shared_future<RetrainReport> Request(const std::string& tenant = {});
+  ///
+  /// An `urgent` request — the DriftResponder's severe-alarm escalation —
+  /// bypasses the min_interval / min_new_examples gates: the batch it
+  /// lands in (it still coalesces normally) runs as soon as the thread
+  /// reaches it. max_queue_age never applies since the batch never
+  /// defers. Urgency is sticky per batch: once any folded request was
+  /// urgent, the batch is.
+  std::shared_future<RetrainReport> Request(const std::string& tenant = {},
+                                            bool urgent = false);
 
   /// Informs `tenant`'s policy gates of its current labeled-example
   /// count. Called by the pipeline after releasing its own locks; wakes
@@ -151,6 +162,7 @@ class BackgroundTrainer {
     std::shared_future<RetrainReport> future;
     Clock::time_point enqueued;  // oldest coalesced request's arrival
     size_t coalesced = 0;
+    bool urgent = false;  // any folded request demanded a gate bypass
   };
 
   /// One tenant's queue slot plus its private gate history.

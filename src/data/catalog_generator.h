@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/data/drift_target.h"
 #include "src/data/product.h"
 #include "src/data/taxonomy.h"
 
@@ -60,8 +61,9 @@ struct VendorProfile {
   double attr_dropout = 0.0;
 };
 
-/// Deterministic synthetic product catalog.
-class CatalogGenerator {
+/// Deterministic synthetic product catalog. Implements DriftTarget so the
+/// drift models in data/drift.h can mutate its vocabulary and popularity.
+class CatalogGenerator : public DriftTarget {
  public:
   explicit CatalogGenerator(const GeneratorConfig& config);
 
@@ -110,6 +112,25 @@ class CatalogGenerator {
 
   /// A fresh made-up word not used anywhere in the catalog vocabulary.
   std::string FreshWord();
+
+  // ---- DriftTarget -------------------------------------------------------
+
+  size_t num_drift_specs() const override { return specs_.size(); }
+  std::string_view drift_spec_name(size_t index) const override {
+    return specs_[index].name;
+  }
+  double drift_spec_weight(size_t index) const override {
+    return specs_[index].weight;
+  }
+  /// Concept drift maps to a new qualifier (the paper's "new types of
+  /// computer cables keep appearing").
+  void AddConceptWord(size_t index, std::string word) override {
+    AddQualifier(index, std::move(word));
+  }
+  void ScaleWeight(size_t index, double weight) override {
+    SetTypeWeight(index, weight);
+  }
+  std::string FreshDriftWord() override { return FreshWord(); }
 
   static constexpr size_t kNpos = static_cast<size_t>(-1);
 

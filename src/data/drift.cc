@@ -4,27 +4,27 @@
 
 namespace rulekit::data {
 
-DriftInjector::DriftInjector(CatalogGenerator& generator,
-                             const DriftConfig& config)
-    : generator_(generator), config_(config), rng_(config.seed) {
-  current_weights_.assign(generator_.specs().size(), 1.0);
-  for (size_t i = 0; i < generator_.specs().size(); ++i) {
-    current_weights_[i] = generator_.specs()[i].weight;
+DriftInjector::DriftInjector(DriftTarget& target, const DriftConfig& config)
+    : target_(target), config_(config), rng_(config.seed) {
+  current_weights_.assign(target_.num_drift_specs(), 1.0);
+  for (size_t i = 0; i < target_.num_drift_specs(); ++i) {
+    current_weights_[i] = target_.drift_spec_weight(i);
   }
 }
 
 DriftEvent DriftInjector::AdvanceEra() {
   DriftEvent event;
   event.era = ++era_;
-  const size_t num_specs = generator_.specs().size();
+  const size_t num_specs = target_.num_drift_specs();
 
-  // Concept drift: new qualifier words enter some types' vocabularies.
+  // Concept drift: new vocabulary words enter some types.
   auto drifting = rng_.SampleWithoutReplacement(
       num_specs, config_.concept_drift_types_per_era);
   for (size_t idx : drifting) {
-    std::string word = generator_.FreshWord();
-    generator_.AddQualifier(idx, word);
-    event.new_qualifiers.emplace_back(generator_.specs()[idx].name, word);
+    std::string word = target_.FreshDriftWord();
+    target_.AddConceptWord(idx, word);
+    event.new_qualifiers.emplace_back(std::string(target_.drift_spec_name(idx)),
+                                      word);
   }
 
   // Distribution drift: rescale some types' popularity.
@@ -35,8 +35,9 @@ DriftEvent DriftInjector::AdvanceEra() {
     double hi = std::log(config_.max_weight_factor);
     double factor = std::exp(lo + rng_.NextDouble() * (hi - lo));
     current_weights_[idx] *= factor;
-    generator_.SetTypeWeight(idx, current_weights_[idx]);
-    event.reweighted.emplace_back(generator_.specs()[idx].name, factor);
+    target_.ScaleWeight(idx, current_weights_[idx]);
+    event.reweighted.emplace_back(std::string(target_.drift_spec_name(idx)),
+                                  factor);
   }
 
   history_.push_back(event);

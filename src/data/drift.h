@@ -3,10 +3,11 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/data/catalog_generator.h"
+#include "src/data/drift_target.h"
 
 namespace rulekit::data {
 
@@ -33,22 +34,23 @@ struct DriftEvent {
   std::vector<std::pair<std::string, double>> reweighted;           // type, factor
 };
 
-/// Applies concept drift and distribution drift to a CatalogGenerator in
-/// discrete "eras". Items generated after AdvanceEra() reflect the new
-/// vocabulary and popularity, which is what degrades deployed rules and
-/// learned models in the experiments.
+/// Applies concept drift and distribution drift to a DriftTarget (a
+/// CatalogGenerator or EventStreamGenerator) in discrete "eras". Items
+/// generated after AdvanceEra() reflect the new vocabulary and
+/// popularity, which is what degrades deployed rules and learned models
+/// in the experiments.
 class DriftInjector {
  public:
-  DriftInjector(CatalogGenerator& generator, const DriftConfig& config);
+  DriftInjector(DriftTarget& target, const DriftConfig& config);
 
-  /// Mutates the generator and returns a record of what changed.
+  /// Mutates the target and returns a record of what changed.
   DriftEvent AdvanceEra();
 
   size_t era() const { return era_; }
   const std::vector<DriftEvent>& history() const { return history_; }
 
  private:
-  CatalogGenerator& generator_;
+  DriftTarget& target_;
   DriftConfig config_;
   Rng rng_;
   size_t era_ = 0;

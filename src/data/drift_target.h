@@ -1,0 +1,41 @@
+#ifndef RULEKIT_DATA_DRIFT_TARGET_H_
+#define RULEKIT_DATA_DRIFT_TARGET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace rulekit::data {
+
+/// What a generator must expose for the drift models in drift.h to mutate
+/// it. Both synthetic corpora implement this — CatalogGenerator (product
+/// titles) and EventStreamGenerator (log lines) — so one DriftInjector
+/// drives concept and distribution drift over either workload.
+class DriftTarget {
+ public:
+  virtual ~DriftTarget() = default;
+
+  /// Number of driftable type specs (product types / event types).
+  virtual size_t num_drift_specs() const = 0;
+
+  /// Classification label of spec `index`.
+  virtual std::string_view drift_spec_name(size_t index) const = 0;
+
+  /// Current popularity weight of spec `index`.
+  virtual double drift_spec_weight(size_t index) const = 0;
+
+  /// Concept drift: a brand-new vocabulary word enters spec `index`
+  /// (a new qualifier for a product type; a new message phrasing for an
+  /// event type). Deployed rules have never seen it.
+  virtual void AddConceptWord(size_t index, std::string word) = 0;
+
+  /// Distribution drift: sets spec `index`'s absolute popularity weight.
+  virtual void ScaleWeight(size_t index, double weight) = 0;
+
+  /// A fresh made-up word unused anywhere in the target's vocabulary.
+  virtual std::string FreshDriftWord() = 0;
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_DRIFT_TARGET_H_

@@ -1,0 +1,329 @@
+#include "src/data/event_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rulekit::data {
+
+namespace {
+
+/// Uninformative tokens shared by every event type, so no learner can
+/// lean on them (the "from port 22" connective tissue of real syslog).
+const char* const kGenericVocab[] = {
+    "from", "host", "user", "port", "session", "connection",
+    "client", "source", "request", "local", "remote", "daemon",
+};
+constexpr size_t kGenericVocabSize =
+    sizeof(kGenericVocab) / sizeof(kGenericVocab[0]);
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const auto& token : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+/// A pronounceable made-up word from a counter ("evq", "evr", ...):
+/// deterministic, collision-free with the curated vocabulary (which never
+/// uses the "zz" prefix).
+std::string CounterWord(const char* prefix, uint64_t id) {
+  std::string word = prefix;
+  do {
+    word.push_back(static_cast<char>('a' + id % 26));
+    id /= 26;
+  } while (id > 0);
+  return word;
+}
+
+}  // namespace
+
+std::vector<EventTypeSpec> EventStreamGenerator::CuratedSpecs() {
+  // Shaped after SIEM decoder corpora: each type is one decoder's
+  // (program, signature phrases) pair plus the incidental vocabulary its
+  // messages carry. Keywords are exclusive across types by construction.
+  return {
+      {"auth-failure",
+       "sshd",
+       {"failed password", "authentication failure", "invalid user"},
+       {"preauth", "ssh2", "tty", "pam"},
+       1.0,
+       {}},
+      {"auth-success",
+       "sshd",
+       {"accepted password", "accepted publickey", "session opened"},
+       {"keyboard", "interactive", "uid", "login"},
+       1.0,
+       {}},
+      {"sudo-exec",
+       "sudo",
+       {"command executed", "incorrect password attempts"},
+       {"pwd", "tty1", "root", "shell"},
+       0.8,
+       {}},
+      {"firewall-drop",
+       "kernel",
+       {"packet dropped", "connection denied", "blocked inbound"},
+       {"iptables", "chain", "proto", "eth0"},
+       1.2,
+       {}},
+      {"firewall-accept",
+       "kernel",
+       {"packet accepted", "allowed outbound"},
+       {"nat", "forward", "policy", "iface"},
+       0.9,
+       {}},
+      {"web-server-error",
+       "httpd",
+       {"internal server error", "upstream timed out"},
+       {"worker", "proxy", "backend", "gateway"},
+       1.0,
+       {}},
+      {"web-not-found",
+       "httpd",
+       {"file does not exist", "returned code 404"},
+       {"referer", "vhost", "docroot", "static"},
+       1.1,
+       {}},
+      {"malware-alert",
+       "clamd",
+       {"virus detected", "moved to quarantine"},
+       {"signature", "scan", "infected", "archive"},
+       0.6,
+       {}},
+      {"disk-alert",
+       "smartd",
+       {"smart failure predicted", "reallocated sector count"},
+       {"device", "ata", "temperature", "offline"},
+       0.5,
+       {}},
+      {"cron-run",
+       "cron",
+       {"scheduled job started", "job completed"},
+       {"crontab", "interval", "batch", "spool"},
+       1.0,
+       {}},
+      {"service-restart",
+       "systemd",
+       {"service restarted", "unit entered running"},
+       {"target", "dependency", "watchdog", "cgroup"},
+       0.7,
+       {}},
+      {"network-scan",
+       "snort",
+       {"portscan detected", "probe sequence observed"},
+       {"priority", "classification", "sid", "sensor"},
+       0.6,
+       {}},
+  };
+}
+
+EventStreamGenerator::EventStreamGenerator(const EventStreamConfig& config)
+    : config_(config), rng_(config.seed) {
+  specs_ = CuratedSpecs();
+  if (config_.num_event_types < specs_.size()) {
+    specs_.resize(std::max<size_t>(config_.num_event_types, 2));
+  }
+  while (specs_.size() < config_.num_event_types) {
+    specs_.push_back(SynthesizeSpec());
+  }
+  RebuildSampler();
+}
+
+EventTypeSpec EventStreamGenerator::SynthesizeSpec() {
+  EventTypeSpec spec;
+  size_t ordinal = specs_.size();
+  spec.name = "event-type-" + std::to_string(ordinal);
+  spec.program = "svc" + std::to_string(ordinal);
+  for (size_t k = 0; k < 2; ++k) {
+    spec.keywords.push_back(FreshDriftWord() + " " + FreshDriftWord());
+  }
+  for (size_t f = 0; f < 4; ++f) {
+    spec.filler.push_back(FreshDriftWord());
+  }
+  spec.weight = 0.5 + rng_.NextDouble();
+  return spec;
+}
+
+void EventStreamGenerator::RebuildSampler() {
+  sample_weights_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    // Zipf base by curated order, scaled by the spec's own weight —
+    // the same popularity model the catalog generator uses.
+    double zipf = 1.0 / std::pow(static_cast<double>(i + 1),
+                                 config_.zipf_skew);
+    sample_weights_[i] = zipf * std::max(specs_[i].weight, 0.0);
+  }
+}
+
+size_t EventStreamGenerator::SpecIndexOf(std::string_view type_name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == type_name) return i;
+  }
+  return kNpos;
+}
+
+std::string EventStreamGenerator::RenderLine(const EventTypeSpec& spec,
+                                             Rng& rng) {
+  std::vector<std::string> body;
+
+  // Drifted shape or a known signature shape?
+  double total_share = 0.0;
+  for (const auto& variant : spec.variants) total_share += variant.share;
+  if (total_share > 0.0 && rng.NextDouble() < std::min(total_share, 1.0)) {
+    double pick = rng.NextDouble() * total_share;
+    const EventTypeSpec::Variant* chosen = &spec.variants.back();
+    for (const auto& variant : spec.variants) {
+      if (pick < variant.share) {
+        chosen = &variant;
+        break;
+      }
+      pick -= variant.share;
+    }
+    body = chosen->tokens;
+  } else {
+    body.push_back(spec.keywords[rng.Uniform(spec.keywords.size())]);
+    size_t filler_count = spec.filler.empty() ? 0 : 1 + rng.Uniform(2);
+    for (size_t f = 0; f < filler_count; ++f) {
+      body.push_back(spec.filler[rng.Uniform(spec.filler.size())]);
+    }
+  }
+
+  // Connective tissue every type shares.
+  size_t generics = 1 + rng.Uniform(2);
+  for (size_t g = 0; g < generics; ++g) {
+    body.push_back(kGenericVocab[rng.Uniform(kGenericVocabSize)]);
+  }
+  if (rng.Bernoulli(config_.noise_prob)) {
+    body.push_back(CounterWord("x", rng.Next() % 17576));
+  }
+
+  return spec.program + ": " + JoinTokens(body);
+}
+
+LabeledItem EventStreamGenerator::MakeItem(size_t spec_index, Rng& rng) {
+  const EventTypeSpec& spec = specs_[spec_index];
+  LabeledItem labeled;
+  labeled.item.id = "evt-" + std::to_string(next_event_id_++);
+  labeled.item.title = RenderLine(spec, rng);
+  labeled.item.SetAttribute("Program", spec.program);
+  labeled.label = spec.name;
+  return labeled;
+}
+
+LabeledItem EventStreamGenerator::Generate() {
+  return MakeItem(rng_.WeightedIndex(sample_weights_), rng_);
+}
+
+std::vector<LabeledItem> EventStreamGenerator::GenerateMany(size_t n) {
+  std::vector<LabeledItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Generate());
+  return out;
+}
+
+LabeledItem EventStreamGenerator::GenerateOfType(size_t spec_index) {
+  return MakeItem(spec_index, rng_);
+}
+
+std::vector<LabeledItem> EventStreamGenerator::ReferenceCorpus() const {
+  std::vector<LabeledItem> out;
+  uint64_t id = 0;
+  for (const auto& spec : specs_) {
+    for (const auto& keyword : spec.keywords) {
+      LabeledItem labeled;
+      labeled.item.id = "ref-" + std::to_string(id++);
+      labeled.item.title = spec.program + ": " + keyword +
+                           (spec.filler.empty() ? "" : " " + spec.filler[0]) +
+                           " host";
+      labeled.item.SetAttribute("Program", spec.program);
+      labeled.label = spec.name;
+      out.push_back(std::move(labeled));
+    }
+    for (const auto& variant : spec.variants) {
+      LabeledItem labeled;
+      labeled.item.id = "ref-" + std::to_string(id++);
+      labeled.item.title =
+          spec.program + ": " + JoinTokens(variant.tokens) + " host";
+      labeled.item.SetAttribute("Program", spec.program);
+      labeled.label = spec.name;
+      out.push_back(std::move(labeled));
+    }
+  }
+  return out;
+}
+
+std::vector<EventDriftRecord> EventStreamGenerator::InjectDrift(
+    const EventDriftOptions& options, size_t magnitude) {
+  const size_t n = specs_.size();
+  magnitude = std::min(magnitude, n);
+
+  // The plan is derived from options.seed alone (fresh RNG every call),
+  // so plan entry i is identical across calls and across generators with
+  // the same vocabulary: applying magnitudes k then k+m equals applying
+  // k+m at once, and the first k entries are shared by every magnitude
+  // >= k — the nesting the monotonicity property needs.
+  Rng plan_rng(options.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  plan_rng.Shuffle(order);
+
+  std::vector<EventDriftRecord> applied;
+  for (size_t i = 0; i < magnitude; ++i) {
+    EventDriftRecord record;
+    record.target_spec = order[i];
+    record.donor_spec = (order[i] + 1 + plan_rng.Uniform(n - 1)) % n;
+    record.fresh_token = CounterWord("zz", plan_rng.Next() % 456976);
+    const EventTypeSpec& donor = specs_[record.donor_spec];
+
+    EventTypeSpec::Variant variant;
+    if (options.kind == EventDriftKind::kVocabulary) {
+      // New phrasing: a fresh signature word dressed in the donor's
+      // filler — rules abstain, a stale learner votes for the donor.
+      variant.tokens.push_back(record.fresh_token);
+      size_t borrow = std::min<size_t>(donor.filler.size(), 3);
+      for (size_t f = 0; f < borrow; ++f) {
+        variant.tokens.push_back(
+            donor.filler[(plan_rng.Uniform(donor.filler.size()) + f) %
+                         donor.filler.size()]);
+      }
+    } else {
+      // Bleed: the donor's signature keyword verbatim inside this type's
+      // lines — the donor's rule now fires wrongly on them.
+      variant.tokens.push_back(
+          donor.keywords[plan_rng.Uniform(donor.keywords.size())]);
+      variant.tokens.push_back(record.fresh_token);
+      variant.tokens.push_back(CounterWord("zz", plan_rng.Next() % 456976));
+    }
+    variant.share = options.drift_share;
+
+    // Entries below the already-applied watermark were installed by an
+    // earlier, smaller-magnitude call; consume the plan RNG identically
+    // but do not re-install them.
+    if (i >= applied_drift_) {
+      specs_[record.target_spec].variants.push_back(std::move(variant));
+      applied.push_back(std::move(record));
+    }
+  }
+  applied_drift_ = std::max(applied_drift_, magnitude);
+  return applied;
+}
+
+void EventStreamGenerator::AddConceptWord(size_t index, std::string word) {
+  EventTypeSpec::Variant variant;
+  variant.tokens.push_back(std::move(word));
+  variant.share = 0.3;
+  specs_[index].variants.push_back(std::move(variant));
+}
+
+void EventStreamGenerator::ScaleWeight(size_t index, double weight) {
+  specs_[index].weight = weight;
+  RebuildSampler();
+}
+
+std::string EventStreamGenerator::FreshDriftWord() {
+  return CounterWord("zq", next_word_id_++);
+}
+
+}  // namespace rulekit::data

@@ -1,0 +1,166 @@
+#ifndef RULEKIT_DATA_EVENT_STREAM_H_
+#define RULEKIT_DATA_EVENT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/data/drift_target.h"
+#include "src/data/product.h"
+
+namespace rulekit::data {
+
+/// Vocabulary specification of one event type — the SIEM analog of a
+/// product TypeSpec, shaped after decoder/ruleset corpora (Wazuh-style):
+/// a syslog program tag, signature keyword phrases that detection rules
+/// anchor on, and type-flavored filler vocabulary. A log line of the type
+/// renders as "<program>: <keyword phrase> <filler>* <generic>*".
+struct EventTypeSpec {
+  std::string name;     // event type = the classification label
+  std::string program;  // syslog program tag ("sshd", "kernel", ...)
+  /// Signature phrases: what a decoder's prematch/regex keys on. Every
+  /// phrase is exclusive to its type, so one rule per keyword classifies
+  /// the undrifted stream perfectly.
+  std::vector<std::string> keywords;
+  /// Type-flavored non-signature words (rules ignore these; learners
+  /// pick them up as soft evidence).
+  std::vector<std::string> filler;
+  double weight = 1.0;  // relative event frequency multiplier
+
+  /// A drifted message shape: the rendered body uses these tokens instead
+  /// of a known keyword phrase. Added by InjectDrift / AddConceptWord.
+  struct Variant {
+    std::vector<std::string> tokens;
+    double share = 0.0;  // probability a generated line uses this variant
+  };
+  std::vector<Variant> variants;
+};
+
+/// Knobs of the synthetic event stream.
+struct EventStreamConfig {
+  uint64_t seed = 2025;
+  /// Total event types. At least the curated set (~12); any excess is
+  /// synthesized with generated vocabularies.
+  size_t num_event_types = 12;
+  /// Zipf skew of event-type frequency (log traffic is heavy-headed:
+  /// a few chatty daemons dominate).
+  double zipf_skew = 1.05;
+  /// Probability of appending a random junk token (hostnames, hex ids).
+  double noise_prob = 0.05;
+};
+
+/// How InjectDrift mutates the stream.
+enum class EventDriftKind {
+  /// The drifted type starts emitting lines whose body is a fresh,
+  /// never-seen phrase plus a donor type's filler vocabulary: rules
+  /// abstain (no signature matches) and a stale learner confidently
+  /// mislabels the line as the donor type — the recoverable-by-retrain
+  /// drift the self-healing benchmarks inject.
+  kVocabulary,
+  /// A donor type's signature keyword starts appearing verbatim inside
+  /// the drifted type's lines (log forwarding / embedded quoting): the
+  /// donor's rule now fires wrongly, so every additional poisoned type
+  /// can only lower rule precision on the reference corpus — the
+  /// monotone axis the drift property tests ride.
+  kBleed,
+};
+
+struct EventDriftOptions {
+  uint64_t seed = 23;
+  EventDriftKind kind = EventDriftKind::kVocabulary;
+  /// Probability a generated line of a drifted type uses its drifted
+  /// variant instead of a known signature shape.
+  double drift_share = 0.5;
+};
+
+/// Record of one drifted type, so experiments can report what changed.
+struct EventDriftRecord {
+  size_t target_spec = 0;   // type that drifted
+  size_t donor_spec = 0;    // type whose vocabulary bled in
+  std::string fresh_token;  // never-seen word introduced by the drift
+};
+
+/// Deterministic synthetic log-line stream: the second workload beside
+/// product titles. Each generated LabeledItem carries the rendered log
+/// line as its title (plus program/severity attributes) and the event
+/// type as its label, so the stream flows through the exact same
+/// ClassifyRequest path as catalog items.
+///
+/// Implements DriftTarget, so the generic DriftInjector eras apply; the
+/// richer InjectDrift below drives the seeded, magnitude-ordered drift
+/// plans the recovery benchmarks and property tests need.
+class EventStreamGenerator : public DriftTarget {
+ public:
+  explicit EventStreamGenerator(const EventStreamConfig& config = {});
+
+  /// The ~12 hand-curated event types (auth, firewall, web, malware, ...).
+  static std::vector<EventTypeSpec> CuratedSpecs();
+
+  const std::vector<EventTypeSpec>& specs() const { return specs_; }
+
+  /// Index into specs() for an event type name, or kNpos.
+  size_t SpecIndexOf(std::string_view type_name) const;
+
+  /// One log line of a type drawn from the Zipf frequency distribution.
+  LabeledItem Generate();
+
+  /// `n` lines from the frequency distribution.
+  std::vector<LabeledItem> GenerateMany(size_t n);
+
+  /// One line of a specific type.
+  LabeledItem GenerateOfType(size_t spec_index);
+
+  /// A deterministic, RNG-free enumeration of the stream's message
+  /// space: one line per (type, keyword) and one per (type, variant),
+  /// in spec order. The fixed corpus drift properties are measured
+  /// against — adding a drifted variant appends exactly its lines and
+  /// perturbs nothing else.
+  std::vector<LabeledItem> ReferenceCorpus() const;
+
+  /// Applies the first `magnitude` entries of the seeded drift plan
+  /// derived from `options` (one entry drifts one type; magnitude is
+  /// capped at the type count). Calling again with a larger magnitude
+  /// applies only the new entries, and two fresh generators given the
+  /// same seed/options/magnitude end up with identical variants — the
+  /// replay + monotonicity contract the property tests assert.
+  std::vector<EventDriftRecord> InjectDrift(const EventDriftOptions& options,
+                                            size_t magnitude);
+
+  // ---- DriftTarget -------------------------------------------------------
+
+  size_t num_drift_specs() const override { return specs_.size(); }
+  std::string_view drift_spec_name(size_t index) const override {
+    return specs_[index].name;
+  }
+  double drift_spec_weight(size_t index) const override {
+    return specs_[index].weight;
+  }
+  /// Era-style concept drift: the word becomes a new single-token message
+  /// shape of the type (a phrasing no deployed rule has seen).
+  void AddConceptWord(size_t index, std::string word) override;
+  void ScaleWeight(size_t index, double weight) override;
+  std::string FreshDriftWord() override;
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+ private:
+  std::string RenderLine(const EventTypeSpec& spec, Rng& rng);
+  LabeledItem MakeItem(size_t spec_index, Rng& rng);
+  EventTypeSpec SynthesizeSpec();
+  void RebuildSampler();
+
+  EventStreamConfig config_;
+  Rng rng_;
+  std::vector<EventTypeSpec> specs_;
+  std::vector<double> sample_weights_;  // zipf x spec weight
+  uint64_t next_event_id_ = 0;
+  uint64_t next_word_id_ = 0;
+  size_t applied_drift_ = 0;  // drift-plan entries already applied
+};
+
+}  // namespace rulekit::data
+
+#endif  // RULEKIT_DATA_EVENT_STREAM_H_

@@ -1,0 +1,249 @@
+#include "src/maint/drift_responder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace rulekit::maint {
+
+using chimera::ResponderDecision;
+
+DriftResponder::DriftResponder(chimera::ChimeraPipeline& pipeline,
+                               chimera::QualityMonitor& monitor,
+                               DriftResponderPolicy policy,
+                               RulePrecisionMonitor* rule_monitor)
+    : pipeline_(pipeline),
+      monitor_(monitor),
+      policy_(policy),
+      rule_monitor_(rule_monitor) {}
+
+DriftResponder::~DriftResponder() { Stop(); }
+
+std::vector<ResponderDecision> DriftResponder::EvaluateNow() {
+  std::vector<ResponderDecision> decisions;
+  for (const std::string& tenant : monitor_.Tenants()) {
+    decisions.push_back(EvaluateTenant(tenant));
+  }
+  return decisions;
+}
+
+ResponderDecision DriftResponder::EvaluateTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvaluateLocked(tenant, states_[tenant]);
+}
+
+ResponderDecision DriftResponder::EvaluateLocked(const std::string& tenant,
+                                                 TenantState& state) {
+  ResponderDecision decision;
+  const Clock::time_point now = Clock::now();
+
+  // Harvest the last fired retrain's report once it completes: a failed
+  // run (journaling error, abandonment) escalates the backoff; a clean
+  // one resets it. This is what keeps the responder from hot-looping on
+  // a retrain that cannot succeed.
+  if (state.inflight.has_value() &&
+      state.inflight->wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+    const chimera::RetrainReport& report = state.inflight->get();
+    if (!report.status.ok()) {
+      ++state.failure_streak;
+      state.backoff = std::min(
+          std::pow(policy_.failure_backoff,
+                   static_cast<double>(state.failure_streak - 1)),
+          policy_.max_backoff);
+      const auto quiet = std::chrono::milliseconds(static_cast<int64_t>(
+          static_cast<double>(policy_.failure_cooldown.count()) *
+          state.backoff));
+      state.next_fire_allowed = std::max(state.next_fire_allowed, now + quiet);
+    } else {
+      state.failure_streak = 0;
+      state.backoff = 1.0;
+    }
+    state.inflight.reset();
+  }
+  decision.backoff = state.backoff;
+
+  // The histories are the responder's clocks: signals only count when a
+  // new window arrived since the last evaluation, so re-polling between
+  // windows neither inflates the hysteresis count nor double-fires.
+  std::optional<chimera::BatchQuality> quality = monitor_.LatestQuality(tenant);
+  const bool new_quality =
+      quality.has_value() && (!state.has_seen_quality ||
+                              quality->batch_index != state.last_quality_index);
+  if (new_quality) {
+    state.has_seen_quality = true;
+    state.last_quality_index = quality->batch_index;
+  }
+  std::optional<chimera::CacheActivity> cache = monitor_.LatestCache(tenant);
+  const bool new_cache =
+      cache.has_value() &&
+      (!state.has_seen_cache || cache->batch_index != state.last_cache_index);
+  if (new_cache) {
+    state.has_seen_cache = true;
+    state.last_cache_index = cache->batch_index;
+  }
+  if (!new_quality && !new_cache) {
+    decision.consecutive_alarms = state.consecutive_alarms;
+    decision.reason = "no new window";
+    return decision;  // a pure re-poll; not recorded
+  }
+
+  // Trigger signals, strongest first.
+  const bool severe = new_quality && monitor_.SevereDegradationAlarm(tenant);
+  const bool degraded = new_quality && monitor_.DegradationAlarm(tenant);
+  const bool stale_spike =
+      new_cache && monitor_.StaleDropRate(tenant, policy_.stale_window) >
+                       policy_.stale_drop_rate_threshold;
+  // The rule monitor is corpus-wide (per-rule windows, not per-tenant);
+  // its flags nudge every tenant the same way.
+  const bool rule_flags =
+      rule_monitor_ != nullptr &&
+      rule_monitor_->FlaggedRules().size() >= policy_.min_flagged_rules;
+
+  const bool alarm_signal = severe || degraded || stale_spike || rule_flags;
+  if (alarm_signal) {
+    ++state.consecutive_alarms;
+  } else {
+    state.consecutive_alarms = 0;
+  }
+  decision.consecutive_alarms = state.consecutive_alarms;
+  if (severe) {
+    decision.trigger = ResponderDecision::Trigger::kSevereDegradation;
+  } else if (degraded) {
+    decision.trigger = ResponderDecision::Trigger::kDegradation;
+  } else if (stale_spike) {
+    decision.trigger = ResponderDecision::Trigger::kStaleSpike;
+  } else if (rule_flags) {
+    decision.trigger = ResponderDecision::Trigger::kRuleFlags;
+  }
+
+  bool want_fire = false;
+  bool urgent = false;
+  if (severe && policy_.escalate_severe) {
+    // Statistically unambiguous degradation: skip the hysteresis wait
+    // and the trainer's own gates. The cooldown below still applies.
+    want_fire = true;
+    urgent = true;
+  } else if (alarm_signal &&
+             state.consecutive_alarms >= policy_.min_alarm_windows) {
+    want_fire = true;
+  }
+
+  if (!want_fire) {
+    decision.reason = alarm_signal ? "hysteresis: waiting for more windows"
+                                   : "healthy";
+  } else if (now < state.next_fire_allowed) {
+    decision.cooldown_remaining_ms =
+        std::chrono::duration<double, std::milli>(state.next_fire_allowed -
+                                                  now)
+            .count();
+    decision.reason = state.failure_streak > 0
+                          ? "backing off after failed retrain"
+                          : "suppressed by cooldown";
+  } else {
+    state.inflight =
+        pipeline_.RequestRetrain(rules::TenantId(tenant), urgent);
+    state.last_retrain = state.inflight;
+    decision.fired = true;
+    decision.urgent = urgent;
+    ++state.fires;
+    ++total_fires_;
+    state.consecutive_alarms = 0;
+    state.next_fire_allowed = now + policy_.cooldown;
+    switch (decision.trigger) {
+      case ResponderDecision::Trigger::kSevereDegradation:
+        decision.reason = "severe degradation: urgent retrain";
+        break;
+      case ResponderDecision::Trigger::kDegradation:
+        decision.reason = "sustained degradation: retrain";
+        break;
+      case ResponderDecision::Trigger::kStaleSpike:
+        decision.reason = "cache stale-drop spike: retrain";
+        break;
+      case ResponderDecision::Trigger::kRuleFlags:
+        decision.reason = "imprecise-rule flags: retrain";
+        break;
+      case ResponderDecision::Trigger::kNone:
+        break;
+    }
+  }
+
+  monitor_.RecordResponder(decision, tenant);
+  return decision;
+}
+
+void DriftResponder::Start(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;  // already running
+  stop_ = false;
+  thread_ = std::thread([this, interval] { PollLoop(interval); });
+}
+
+void DriftResponder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  thread_ = std::thread();
+}
+
+bool DriftResponder::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return !stop_ && thread_.joinable();
+}
+
+void DriftResponder::PollLoop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    EvaluateNow();
+    lock.lock();
+  }
+}
+
+size_t DriftResponder::fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_fires_;
+}
+
+std::optional<std::shared_future<chimera::RetrainReport>>
+DriftResponder::LastRetrain(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(tenant);
+  if (it == states_.end()) return std::nullopt;
+  return it->second.last_retrain;
+}
+
+std::vector<ResponderTenantStatus> DriftResponder::Status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  std::vector<ResponderTenantStatus> out;
+  out.reserve(states_.size());
+  for (const auto& [tenant, state] : states_) {
+    ResponderTenantStatus status;
+    status.tenant = tenant;
+    status.consecutive_alarms = state.consecutive_alarms;
+    status.fires = state.fires;
+    status.failure_streak = state.failure_streak;
+    status.backoff = state.backoff;
+    if (state.next_fire_allowed > now) {
+      status.cooldown_remaining_ms =
+          std::chrono::duration<double, std::milli>(state.next_fire_allowed -
+                                                    now)
+              .count();
+    }
+    status.retrain_inflight =
+        state.inflight.has_value() &&
+        state.inflight->wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace rulekit::maint

@@ -1,0 +1,167 @@
+#ifndef RULEKIT_MAINT_DRIFT_RESPONDER_H_
+#define RULEKIT_MAINT_DRIFT_RESPONDER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/chimera/trainer.h"
+#include "src/maint/drift_monitor.h"
+
+namespace rulekit::maint {
+
+/// When and how the responder converts quality signals into retrains.
+/// The defaults encode the thrash-freedom contract the benchmarks hold
+/// the loop to: one drift episode causes at most one retrain.
+struct DriftResponderPolicy {
+  /// Hysteresis: consecutive *new* alarmed windows required before a
+  /// degradation (or stale-spike / rule-flag) signal fires. One bad
+  /// window never retrains on its own.
+  size_t min_alarm_windows = 2;
+  /// Quiet period after any fired retrain for the tenant — even a severe
+  /// escalation respects it, which is what bounds retrains per episode.
+  std::chrono::milliseconds cooldown{30'000};
+  /// Severe alarms (Wilson upper bound below threshold) escalate: they
+  /// bypass the hysteresis count and issue an *urgent* request that
+  /// skips the trainer's min_interval / min_new_examples gates.
+  bool escalate_severe = true;
+  /// Stale-drop-rate trigger: fraction of cache lookups dropped stale
+  /// over the last `stale_window` cache observations.
+  double stale_drop_rate_threshold = 0.5;
+  size_t stale_window = 4;
+  /// RulePrecisionMonitor flags needed to count as an alarm signal
+  /// (ignored when no rule monitor is attached).
+  size_t min_flagged_rules = 3;
+  /// Failure backoff: when a fired retrain's report comes back non-OK
+  /// (e.g. a severed journal failing the publish Sync), the next fire is
+  /// blocked for failure_cooldown x failure_backoff^(streak-1), capped
+  /// by max_backoff — the responder backs off instead of hot-looping on
+  /// a retrain that cannot succeed. A subsequent clean report resets it.
+  std::chrono::milliseconds failure_cooldown{60'000};
+  double failure_backoff = 2.0;
+  double max_backoff = 16.0;
+};
+
+/// One tenant's responder state, snapshotted for status displays.
+struct ResponderTenantStatus {
+  std::string tenant;
+  size_t consecutive_alarms = 0;
+  size_t fires = 0;
+  size_t failure_streak = 0;
+  double backoff = 1.0;
+  double cooldown_remaining_ms = 0.0;
+  bool retrain_inflight = false;
+};
+
+/// The maintenance-side half of the self-healing loop (closing what PR 5
+/// left open): watches every tenant's QualityMonitor signals —
+/// DegradationAlarm / SevereDegradationAlarm, hot-cache stale-drop-rate
+/// spikes, and RulePrecisionMonitor flags — and converts them into
+/// policy-gated ChimeraPipeline::RequestRetrain calls. Every decision,
+/// fired or suppressed, is recorded back into the monitor
+/// (RecordResponder), so the loop audits itself.
+///
+/// Clocking: quality and cache histories are the responder's clocks — a
+/// signal only advances the hysteresis count when a *new* window has been
+/// recorded since the last evaluation, so polling faster than windows
+/// arrive never inflates the count (and never double-fires).
+///
+/// Use EvaluateNow()/EvaluateTenant() for deterministic, synchronous
+/// operation (tests, per-window experiment loops), or Start(interval) for
+/// a background poll thread (the shell's `autoheal on`).
+class DriftResponder {
+ public:
+  DriftResponder(chimera::ChimeraPipeline& pipeline,
+                 chimera::QualityMonitor& monitor,
+                 DriftResponderPolicy policy = {},
+                 RulePrecisionMonitor* rule_monitor = nullptr);
+
+  /// Stops the poll thread (if running). Outstanding retrain futures
+  /// belong to the pipeline's trainer and are unaffected.
+  ~DriftResponder();
+
+  DriftResponder(const DriftResponder&) = delete;
+  DriftResponder& operator=(const DriftResponder&) = delete;
+
+  /// One evaluation pass over every tenant the monitor knows. Returns
+  /// the decisions taken (one per tenant), also recorded into the
+  /// monitor. Thread-safe; passes serialize.
+  std::vector<chimera::ResponderDecision> EvaluateNow();
+
+  /// Evaluates a single tenant.
+  chimera::ResponderDecision EvaluateTenant(const std::string& tenant);
+
+  /// Background mode: evaluate every `interval` until Stop().
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+  bool running() const;
+
+  /// Retrains fired since construction, all tenants.
+  size_t fires() const;
+
+  /// The most recent fired retrain's future for `tenant` (nullopt when
+  /// none was ever fired). Tests wait on it; the responder itself
+  /// harvests the report on a later evaluation to drive failure backoff.
+  std::optional<std::shared_future<chimera::RetrainReport>> LastRetrain(
+      const std::string& tenant) const;
+
+  /// Per-tenant state snapshot for status displays.
+  std::vector<ResponderTenantStatus> Status() const;
+
+  const DriftResponderPolicy& policy() const { return policy_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct TenantState {
+    size_t consecutive_alarms = 0;
+    size_t fires = 0;
+    /// Watermarks of the last-seen quality / cache windows (batch_index
+    /// + count), so a re-poll without new data is a no-op.
+    bool has_seen_quality = false;
+    size_t last_quality_index = 0;
+    bool has_seen_cache = false;
+    size_t last_cache_index = 0;
+    /// Cooldown gate: no fire before this instant.
+    Clock::time_point next_fire_allowed{};
+    /// Failure backoff, driven by harvested retrain reports.
+    size_t failure_streak = 0;
+    double backoff = 1.0;
+    /// The most recent fire's future, pending harvest (cleared once its
+    /// report has been folded into the backoff state).
+    std::optional<std::shared_future<chimera::RetrainReport>> inflight;
+    /// Same future, kept past harvest for LastRetrain observers.
+    std::optional<std::shared_future<chimera::RetrainReport>> last_retrain;
+  };
+
+  chimera::ResponderDecision EvaluateLocked(const std::string& tenant,
+                                            TenantState& state);
+  void PollLoop(std::chrono::milliseconds interval);
+
+  chimera::ChimeraPipeline& pipeline_;
+  chimera::QualityMonitor& monitor_;
+  const DriftResponderPolicy policy_;
+  RulePrecisionMonitor* rule_monitor_;  // not owned; may be null
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> states_;
+  size_t total_fires_ = 0;
+
+  mutable std::mutex thread_mu_;  // guards start/stop transitions
+  std::condition_variable stop_cv_;
+  bool stop_ = true;
+  std::thread thread_;
+};
+
+}  // namespace rulekit::maint
+
+#endif  // RULEKIT_MAINT_DRIFT_RESPONDER_H_

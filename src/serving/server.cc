@@ -428,6 +428,22 @@ void RuleServer::DispatchBatch(std::vector<Pending> batch) {
     reported_overload_ = overload;
     reported_sheds_ = sheds;
     config_.monitor->RecordServing(activity, live.front().request.tenant);
+
+    // Cache counters ride along under the same batch index, so a
+    // network-served tenant's stale-drop-rate spike (a drifting feed
+    // invalidating its memoized winners) is visible to the
+    // DriftResponder exactly like an in-process stream's.
+    chimera::CacheActivity cache;
+    cache.batch_index = activity.batch_index;
+    cache.lookups =
+        result.report.cache_hits + result.report.cache_misses;
+    cache.hits = result.report.cache_hits;
+    cache.stale_drops = result.report.cache_stale_drops;
+    cache.promotions = result.report.cache_promotions;
+    cache.evictions = result.report.cache_evictions;
+    if (cache.lookups > 0) {
+      config_.monitor->RecordCache(cache, live.front().request.tenant);
+    }
   }
 }
 

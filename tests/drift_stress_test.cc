@@ -1,0 +1,145 @@
+// Race hardening for the self-healing loop (the TSan tier's drift
+// suite): a DriftResponder polling on its own thread fires retrains
+// while reader threads classify the event stream, a writer churns rules,
+// and a recorder feeds degraded quality + cache windows — every
+// combination of monitor lock, responder state, trainer slot, and
+// snapshot swap the loop can exercise at once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/chimera/analyst.h"
+#include "src/chimera/monitor.h"
+#include "src/chimera/pipeline.h"
+#include "src/chimera/request.h"
+#include "src/crowd/estimator.h"
+#include "src/data/event_stream.h"
+#include "src/maint/drift_responder.h"
+#include "src/rules/ids.h"
+
+namespace rulekit {
+namespace {
+
+using chimera::BatchQuality;
+using chimera::CacheActivity;
+using chimera::ChimeraPipeline;
+using chimera::ClassifyRequest;
+using chimera::PipelineConfig;
+using chimera::QualityMonitor;
+using chimera::RetrainReport;
+using chimera::WriteEventRules;
+using data::EventStreamGenerator;
+using data::LabeledItem;
+using maint::DriftResponder;
+using maint::DriftResponderPolicy;
+
+TEST(DriftStressTest, ResponderRetrainsWhileReadersClassifyAndWriterChurns) {
+  EventStreamGenerator stream;
+  QualityMonitor monitor;
+  PipelineConfig config;
+  config.retrain.report_sink = [&monitor](const RetrainReport& report) {
+    monitor.RecordRetrain(report);
+  };
+  ChimeraPipeline pipeline(config);
+  ASSERT_TRUE(pipeline.AddRules(WriteEventRules(stream), "analyst").ok());
+  pipeline.AddTrainingData(stream.GenerateMany(120));
+  pipeline.RetrainLearning();
+
+  DriftResponderPolicy policy;
+  policy.min_alarm_windows = 1;
+  policy.cooldown = std::chrono::milliseconds(5);
+  DriftResponder responder(pipeline, monitor, policy);
+  responder.Start(std::chrono::milliseconds(1));
+
+  constexpr int kReaders = 3;
+  constexpr auto kRunFor = std::chrono::milliseconds(600);
+  const auto deadline = std::chrono::steady_clock::now() + kRunFor;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> classified{0};
+  std::vector<std::thread> threads;
+
+  // Readers: classify event-stream windows through the one entry point.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      EventStreamGenerator local({.seed = 100 + static_cast<uint64_t>(r)});
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<LabeledItem> window = local.GenerateMany(40);
+        ClassifyRequest request;
+        std::vector<data::ProductItem> items;
+        items.reserve(window.size());
+        for (auto& labeled : window) items.push_back(labeled.item);
+        request.items = items;
+        auto response = pipeline.Classify(request);
+        EXPECT_TRUE(response.status.ok());
+        classified.fetch_add(response.report.predictions.size(),
+                             std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: churns rules (add + disable) so snapshots keep swapping
+  // under the readers and under the responder's retrains.
+  threads.emplace_back([&] {
+    uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string id = "churn-" + std::to_string(n++);
+      auto added = rules::Rule::Whitelist(id, "never matches " + id, "noise");
+      ASSERT_TRUE(added.ok()) << added.status().ToString();
+      std::ignore = pipeline.AddRules({std::move(added).value()}, "churn");
+      std::ignore = pipeline.Mutate("churn", [&](rules::RuleTransaction& tx) {
+        return tx.Disable(rules::RuleId(id), "cleanup");
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Recorder: a degraded stream of quality + cache windows keeps the
+  // responder's triggers hot (so it actually fires retrains throughout).
+  threads.emplace_back([&] {
+    size_t index = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      BatchQuality quality;
+      quality.batch_index = index;
+      quality.precision = crowd::WilsonEstimate(30, 64);
+      quality.coverage = 1.0;
+      monitor.Record(quality);
+      CacheActivity cache;
+      cache.batch_index = index;
+      cache.lookups = 50;
+      cache.hits = 10;
+      cache.stale_drops = 30;
+      monitor.RecordCache(cache);
+      ++index;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  responder.Stop();
+  EXPECT_FALSE(responder.running());
+
+  // The loop really ran end to end: items were classified, the
+  // responder fired retrains, and every decision was audited.
+  EXPECT_GT(classified.load(), 0u);
+  EXPECT_GE(responder.fires(), 1u);
+  EXPECT_EQ(monitor.responder_fires(), responder.fires());
+  EXPECT_GE(monitor.retrain_history().size(), 1u);
+  // A restart after Stop is clean.
+  responder.Start(std::chrono::milliseconds(1));
+  EXPECT_TRUE(responder.running());
+  responder.Stop();
+}
+
+}  // namespace
+}  // namespace rulekit
